@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regenerates Figure 4b and 4c of the paper: rooflines (operational
+ * intensity and achieved FLOPS) and latency of MBConv vs fused MBConv
+ * blocks on TPUv4i, as a function of input/output channel depth.
+ *
+ * Expected shape (paper): F-MBConv always achieves higher operational
+ * intensity and throughput (Fig 4b), but its latency advantage inverts
+ * as depth grows — F-MBC(32) is faster than MBC(32) while F-MBC(128) is
+ * slower than MBC(128) (Fig 4c) — because the fused block's extra total
+ * FLOPs eventually outweigh its better compute rate.
+ */
+
+#include <iostream>
+
+#include "arch/conv_arch.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "hw/chip.h"
+
+using namespace h2o;
+
+int
+main(int argc, char **argv)
+{
+    common::Flags flags;
+    flags.defineInt("batch", 64, "per-chip batch size");
+    flags.defineInt("resolution", 28, "feature map height/width");
+    flags.defineInt("kernel", 3, "depthwise / fused kernel size");
+    flags.defineDouble("expansion", 6.0, "MBConv expansion ratio");
+    flags.defineString("chip", "tpuv4i", "target chip");
+    flags.parse(argc, argv);
+
+    hw::ChipSpec chip =
+        hw::chipSpec(hw::chipModelFromName(flags.getString("chip")));
+    uint32_t batch = static_cast<uint32_t>(flags.getInt("batch"));
+    uint32_t res = static_cast<uint32_t>(flags.getInt("resolution"));
+    uint32_t kernel = static_cast<uint32_t>(flags.getInt("kernel"));
+    double expansion = flags.getDouble("expansion");
+
+    common::AsciiTable roofline(
+        "Figure 4b: Roofline of MBConv (MBC) vs Fused MBConv (F-MBC) on " +
+        chip.name);
+    roofline.setHeader({"block", "depth", "GFLOPs", "intensity(FLOP/B)",
+                        "achieved TFLOPS", "bound"});
+    common::AsciiTable latency(
+        "Figure 4c: Latency of MBConv (MBC) vs Fused MBConv (F-MBC) on " +
+        chip.name);
+    latency.setHeader({"depth", "MBC (ms)", "F-MBC (ms)", "faster"});
+
+    for (uint32_t depth : {16u, 32u, 64u, 128u, 256u}) {
+        sim::SimResult results[2];
+        const char *names[2] = {"MBC", "F-MBC"};
+        arch::BlockType types[2] = {arch::BlockType::MBConv,
+                                    arch::BlockType::FusedMBConv};
+        for (int k = 0; k < 2; ++k) {
+            sim::Graph g = arch::buildSingleBlockGraph(
+                types[k], depth, res, kernel, expansion, batch);
+            results[k] = bench::simulate(g, chip);
+            roofline.addRow(
+                {std::string(names[k]) + "(" + std::to_string(depth) + ")",
+                 std::to_string(depth),
+                 common::AsciiTable::num(results[k].totalFlops / 1e9, 2),
+                 common::AsciiTable::num(results[k].operationalIntensity,
+                                         1),
+                 common::AsciiTable::num(results[k].achievedFlops / 1e12,
+                                         2),
+                 hw::boundName(results[k].boundBy)});
+        }
+        latency.addRow(
+            {std::to_string(depth),
+             common::AsciiTable::num(results[0].stepTimeSec * 1e3, 3),
+             common::AsciiTable::num(results[1].stepTimeSec * 1e3, 3),
+             results[0].stepTimeSec < results[1].stepTimeSec ? "MBC"
+                                                             : "F-MBC"});
+    }
+
+    roofline.print(std::cout);
+    latency.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Regenerates Figure 6 of the paper: Pareto fronts on accuracy vs
+ * training throughput of the H2O-NAS-designed CoAtNet-H family vs the
+ * baseline CoAtNet family, at three pre-training dataset sizes (SD =
+ * ImageNet1K, MD = ImageNet21K, LD = JFT-300M), evaluated on
+ * ImageNet1K. Training throughput is simulated on TPUv4 with per-chip
+ * batch 64, accuracy comes from the calibrated quality model.
+ *
+ * Expected shape (paper): CoAtNet-H improves the Pareto front with
+ * ~1.54x better training throughput at neutral quality.
+ */
+
+#include <iostream>
+
+#include "arch/lowering.h"
+#include "baselines/coatnet.h"
+#include "baselines/quality_model.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "hw/chip.h"
+
+using namespace h2o;
+
+int
+main(int argc, char **argv)
+{
+    common::Flags flags;
+    flags.defineInt("max_index", 5, "largest family member to evaluate");
+    flags.parse(argc, argv);
+    int max_index = static_cast<int>(flags.getInt("max_index"));
+
+    hw::Platform platform = hw::trainingPlatform();
+
+    struct DatasetRow
+    {
+        baselines::DatasetSize size;
+        const char *name;
+    };
+    const DatasetRow datasets[] = {
+        {baselines::DatasetSize::Small, "SD (ImageNet1K)"},
+        {baselines::DatasetSize::Medium, "MD (ImageNet21K)"},
+        {baselines::DatasetSize::Large, "LD (JFT-300M)"},
+    };
+
+    std::vector<double> speedups;
+    for (const auto &ds : datasets) {
+        common::AsciiTable t(std::string("Figure 6: CoAtNet vs CoAtNet-H "
+                                         "Pareto points, ") +
+                             ds.name);
+        t.setHeader({"model", "top-1 acc", "train images/s/chip",
+                     "speedup vs baseline"});
+        for (int i = 0; i <= max_index; ++i) {
+            arch::VitArch base = baselines::coatnet(i);
+            arch::VitArch opt = baselines::coatnetH(i);
+            double base_t =
+                bench::simulate(arch::buildVitGraph(
+                                    base, platform,
+                                    arch::ExecMode::Training),
+                                platform.chip)
+                    .stepTimeSec;
+            double opt_t =
+                bench::simulate(arch::buildVitGraph(
+                                    opt, platform,
+                                    arch::ExecMode::Training),
+                                platform.chip)
+                    .stepTimeSec;
+            double base_tp = base.perChipBatch / base_t;
+            double opt_tp = opt.perChipBatch / opt_t;
+            double base_q = baselines::vitQuality(base, ds.size);
+            double opt_q = baselines::vitQuality(opt, ds.size);
+
+            t.addRow({"C-" + std::to_string(i),
+                      common::AsciiTable::num(base_q, 1),
+                      common::AsciiTable::num(base_tp, 1), "--"});
+            t.addRow({"C-H" + std::to_string(i),
+                      common::AsciiTable::num(opt_q, 1),
+                      common::AsciiTable::num(opt_tp, 1),
+                      common::AsciiTable::times(opt_tp / base_tp, 2)});
+            if (ds.size == baselines::DatasetSize::Large)
+                speedups.push_back(opt_tp / base_tp);
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "Geomean training-throughput gain of CoAtNet-H family: "
+              << common::AsciiTable::times(common::geomean(speedups), 2)
+              << " (paper: 1.54x family-wide, 1.84x for C-5)\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Regenerates Figure 7 of the paper: detailed training-performance
+ * analysis of CoAtNet-H5 (C-H5) vs baseline CoAtNet-5 (C5) on TPUv4,
+ * with C-H5 statistics normalized to C5.
+ *
+ * Paper reference ratios for C-H5 / C5:
+ *   training step time      1/1.84 (1.84x speedup)
+ *   compute rate (FLOPS)    0.86   (-14%)
+ *   total compute (FLOPs)   0.47   (-53%)
+ *   total memory bandwidth  1.20   (+20%)
+ *   CMEM (on-chip) bw       5.3x
+ *   HBM traffic             0.65   (-35%)
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "arch/lowering.h"
+#include "baselines/coatnet.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "hw/chip.h"
+#include "sim/dump.h"
+
+using namespace h2o;
+
+int
+main(int argc, char **argv)
+{
+    common::Flags flags;
+    flags.defineString("dot_prefix", "",
+                       "write <prefix>c5.dot / <prefix>ch5.dot graph "
+                       "dumps (empty disables)");
+    flags.parse(argc, argv);
+
+    hw::Platform platform = hw::trainingPlatform();
+    auto c5_arch = baselines::coatnet(5);
+    auto h5_arch = baselines::coatnetH(5);
+
+    auto c5 = bench::simulate(
+        arch::buildVitGraph(c5_arch, platform, arch::ExecMode::Training),
+        platform.chip);
+    auto h5 = bench::simulate(
+        arch::buildVitGraph(h5_arch, platform, arch::ExecMode::Training),
+        platform.chip);
+
+    common::AsciiTable t("Figure 7: training performance analysis, "
+                         "C-H5 normalized to C5 (TPUv4)");
+    t.setHeader({"metric", "C5 (raw)", "C-H5 (raw)", "C-H5 / C5",
+                 "paper"});
+
+    auto row = [&](const std::string &name, double c5v, double h5v,
+                   const std::string &paper, int decimals = 3) {
+        t.addRow({name, common::AsciiTable::num(c5v, decimals),
+                  common::AsciiTable::num(h5v, decimals),
+                  common::AsciiTable::times(h5v / c5v, 2), paper});
+    };
+
+    row("step time (ms)", c5.stepTimeSec * 1e3, h5.stepTimeSec * 1e3,
+        "0.54x (1.84x speedup)");
+    row("compute rate (TFLOPS)", c5.achievedFlops / 1e12,
+        h5.achievedFlops / 1e12, "0.86x (-14%)", 1);
+    row("total compute (GFLOPs/step)", c5.totalFlops / 1e9,
+        h5.totalFlops / 1e9, "0.47x (-53%)", 1);
+    double c5_bw = (c5.hbmBytes + c5.onChipBytes) / c5.stepTimeSec / 1e9;
+    double h5_bw = (h5.hbmBytes + h5.onChipBytes) / h5.stepTimeSec / 1e9;
+    row("total memory bandwidth (GB/s)", c5_bw, h5_bw, "1.20x (+20%)", 1);
+    row("CMEM bandwidth (GB/s)", c5.onChipBandwidthUsed / 1e9,
+        h5.onChipBandwidthUsed / 1e9, "5.3x", 1);
+    row("HBM traffic (GB/step)", c5.hbmBytes / 1e9, h5.hbmBytes / 1e9,
+        "0.65x (-35%)");
+    row("operational intensity (FLOP/B)", c5.operationalIntensity,
+        h5.operationalIntensity, "--", 1);
+    t.print(std::cout);
+
+    std::string dot_prefix = flags.getString("dot_prefix");
+    if (!dot_prefix.empty()) {
+        auto dump = [&](const arch::VitArch &a, const std::string &path) {
+            sim::Graph g = arch::buildVitGraph(a, platform,
+                                               arch::ExecMode::Training);
+            std::ofstream os(path);
+            sim::dumpDot(g, os);
+            std::cout << "wrote " << path << "\n";
+        };
+        dump(c5_arch, dot_prefix + "c5.dot");
+        dump(h5_arch, dot_prefix + "ch5.dot");
+    }
+
+    std::cout << "speedup: "
+              << common::AsciiTable::times(
+                     c5.stepTimeSec / h5.stepTimeSec, 2)
+              << " (paper: 1.84x)\n";
+    return 0;
+}

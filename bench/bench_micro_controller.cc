@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the RL controller: sampling,
+ * REINFORCE gradient accumulation, and updates over spaces as large as
+ * the production DLRM space (hundreds of categorical decisions). The
+ * controller runs once per search step on the critical path, so its
+ * cost must stay negligible next to the supernet forward pass.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/dlrm_arch.h"
+#include "common/rng.h"
+#include "controller/reinforce.h"
+#include "searchspace/dlrm_space.h"
+
+using namespace h2o;
+
+namespace {
+
+searchspace::DlrmSearchSpace &
+productionSpace()
+{
+    static searchspace::DlrmSearchSpace space(arch::baselineDlrm());
+    return space;
+}
+
+} // namespace
+
+static void
+BM_PolicySample(benchmark::State &state)
+{
+    controller::Policy policy(productionSpace().decisions());
+    common::Rng rng(1);
+    for (auto _ : state) {
+        auto s = policy.sample(rng);
+        benchmark::DoNotOptimize(s.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicySample);
+
+static void
+BM_ControllerUpdate(benchmark::State &state)
+{
+    size_t shards = static_cast<size_t>(state.range(0));
+    controller::ReinforceController ctl(productionSpace().decisions(), {});
+    common::Rng rng(2);
+    std::vector<searchspace::Sample> samples;
+    std::vector<double> rewards;
+    for (size_t s = 0; s < shards; ++s) {
+        samples.push_back(ctl.policy().sample(rng));
+        rewards.push_back(rng.uniform());
+    }
+    for (auto _ : state) {
+        auto stats = ctl.update(samples, rewards);
+        benchmark::DoNotOptimize(stats.meanReward);
+    }
+}
+BENCHMARK(BM_ControllerUpdate)->Arg(8)->Arg(64);
+
+static void
+BM_SpaceDecode(benchmark::State &state)
+{
+    auto &space = productionSpace();
+    common::Rng rng(3);
+    auto sample = space.decisions().uniformSample(rng);
+    for (auto _ : state) {
+        auto a = space.decode(sample);
+        benchmark::DoNotOptimize(a.tables.data());
+    }
+}
+BENCHMARK(BM_SpaceDecode);
+
+static void
+BM_PolicyEntropy(benchmark::State &state)
+{
+    controller::Policy policy(productionSpace().decisions());
+    for (auto _ : state) {
+        double h = policy.meanEntropy();
+        benchmark::DoNotOptimize(h);
+    }
+}
+BENCHMARK(BM_PolicyEntropy);
+
+BENCHMARK_MAIN();

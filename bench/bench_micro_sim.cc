@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the performance simulator: graph
+ * construction and simulation throughput. The one-shot search queries
+ * performance signals every step (Section 6.2: 10-100 ms step budgets),
+ * so the simulator itself — and the perf-model that replaces it — must
+ * be fast; these benchmarks quantify both sides of that trade.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/conv_arch.h"
+#include "arch/dlrm_arch.h"
+#include "baselines/efficientnet.h"
+#include "hw/chip.h"
+#include "sim/simulator.h"
+
+using namespace h2o;
+
+static void
+BM_BuildDlrmGraph(benchmark::State &state)
+{
+    arch::DlrmArch a = arch::baselineDlrm();
+    hw::Platform p = hw::trainingPlatform();
+    for (auto _ : state) {
+        sim::Graph g = arch::buildDlrmGraph(a, p, arch::ExecMode::Training);
+        benchmark::DoNotOptimize(g.size());
+    }
+}
+BENCHMARK(BM_BuildDlrmGraph);
+
+static void
+BM_SimulateDlrmTrainingStep(benchmark::State &state)
+{
+    arch::DlrmArch a = arch::baselineDlrm();
+    hw::Platform p = hw::trainingPlatform();
+    sim::Graph g = arch::buildDlrmGraph(a, p, arch::ExecMode::Training);
+    sim::Simulator simulator({p.chip, true, true, {}});
+    for (auto _ : state) {
+        auto res = simulator.run(g);
+        benchmark::DoNotOptimize(res.stepTimeSec);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulateDlrmTrainingStep);
+
+static void
+BM_SimulateEfficientNet(benchmark::State &state)
+{
+    int member = static_cast<int>(state.range(0));
+    arch::ConvArch a = baselines::efficientnetX(member);
+    hw::Platform p{hw::tpuV4i(), 1};
+    sim::Graph g = arch::buildConvGraph(a, p, arch::ExecMode::Serving);
+    sim::Simulator simulator({p.chip, true, true, {}});
+    for (auto _ : state) {
+        auto res = simulator.run(g);
+        benchmark::DoNotOptimize(res.stepTimeSec);
+    }
+}
+BENCHMARK(BM_SimulateEfficientNet)->Arg(0)->Arg(7);
+
+static void
+BM_FusionPass(benchmark::State &state)
+{
+    arch::ConvArch a = baselines::efficientnetX(4);
+    hw::Platform p{hw::tpuV4i(), 1};
+    sim::Graph g = arch::buildConvGraph(a, p, arch::ExecMode::Serving);
+    for (auto _ : state) {
+        sim::Graph copy = g;
+        auto stats = sim::fuseGraph(copy);
+        benchmark::DoNotOptimize(stats.fusedOps);
+    }
+}
+BENCHMARK(BM_FusionPass);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Regenerates Table 1 of the paper: quality and two-stage training
+ * details of the MLP performance model (2 layers x 512 neurons)
+ * predicting DLRM training performance.
+ *
+ * Rows reproduced:
+ *  - search space size (log10);
+ *  - number of pre-training samples and the pre-trained model's NRMSE
+ *    on held-out SIMULATED samples (paper: 0.31% ~ 0.47%);
+ *  - number of fine-tuning samples (20);
+ *  - pre-trained model's NRMSE on "production measurements" (paper:
+ *    14.7% ~ 42.9%) — large, because the hardware differs from the
+ *    simulator systematically;
+ *  - fine-tuned model's NRMSE on production measurements (paper:
+ *    1.05% ~ 3.08%) — the ~10x improvement from 20 measurements.
+ *
+ * The paper pre-trains on 1M samples; the default here is smaller so
+ * the bench runs in seconds — pass --pretrain_samples=1000000 for the
+ * full-scale run.
+ */
+
+#include <iostream>
+
+#include "arch/dlrm_arch.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "perfmodel/features.h"
+#include "perfmodel/hardware_oracle.h"
+#include "perfmodel/perf_model.h"
+#include "perfmodel/two_phase.h"
+#include "searchspace/dlrm_space.h"
+
+using namespace h2o;
+
+int
+main(int argc, char **argv)
+{
+    common::Flags flags;
+    flags.defineInt("pretrain_samples", 16000,
+                    "simulator-labeled pre-training samples (paper: 1M)");
+    flags.defineInt("finetune_samples", 20, "hardware measurements");
+    flags.defineInt("eval_samples", 400, "held-out evaluation samples");
+    flags.defineInt("hidden", 128, "perf-model hidden width (paper: 512; smaller default for single-core runtime)");
+    flags.defineInt("layers", 2, "perf-model hidden layers");
+    flags.defineInt("epochs", 60, "pre-training epochs");
+    flags.defineInt("seed", 7, "RNG seed");
+    flags.parse(argc, argv);
+
+    searchspace::DlrmSearchSpace space(arch::baselineDlrm());
+    perfmodel::DlrmFeatureEncoder encoder(space);
+    hw::Platform train_platform = hw::trainingPlatform();
+    hw::Platform serve_platform = hw::servingPlatform();
+
+    auto simulate = [&](const searchspace::Sample &s) {
+        arch::DlrmArch a = space.decode(s);
+        double train_t = bench::dlrmTrainStepTime(a, train_platform);
+        double serve_t = bench::dlrmServeStepTime(a, serve_platform);
+        return perfmodel::SimTimes{train_t, serve_t};
+    };
+    perfmodel::HardwareOracle oracle(
+        {}, static_cast<uint64_t>(flags.getInt("seed")) * 31 + 5);
+    perfmodel::TwoPhaseTrainer trainer(space.decisions(), encoder,
+                                       simulate, oracle);
+
+    common::Rng rng(static_cast<uint64_t>(flags.getInt("seed")));
+    perfmodel::PerfModelConfig mcfg;
+    mcfg.hiddenWidth = static_cast<size_t>(flags.getInt("hidden"));
+    mcfg.hiddenLayers = static_cast<size_t>(flags.getInt("layers"));
+    mcfg.epochs = static_cast<size_t>(flags.getInt("epochs"));
+    perfmodel::PerfModel model(encoder.dim(), mcfg, rng);
+
+    size_t n_pre = static_cast<size_t>(flags.getInt("pretrain_samples"));
+    size_t n_ft = static_cast<size_t>(flags.getInt("finetune_samples"));
+    size_t n_eval = static_cast<size_t>(flags.getInt("eval_samples"));
+
+    auto pre = trainer.pretrain(model, n_pre, rng);
+    auto pre_on_oracle = trainer.evaluateAgainstOracle(model, n_eval, rng);
+    trainer.finetune(model, n_ft, rng);
+    auto ft_on_oracle = trainer.evaluateAgainstOracle(model, n_eval, rng);
+
+    common::AsciiTable t(
+        "Table 1: Two-stage training of the MLP performance model (" +
+        std::to_string(flags.getInt("layers")) + " layers x " +
+        std::to_string(flags.getInt("hidden")) + " neurons)");
+    t.setHeader({"row", "this repo", "paper"});
+    t.addRow({"Search space size (log10)",
+              common::AsciiTable::num(space.log10Size(), 0), "~282"});
+    t.addRow({"Pre-training samples", std::to_string(n_pre), "1M"});
+    t.addRow({"NRMSE on pre-training (simulated) samples",
+              common::AsciiTable::pct(pre.train, 2), "0.31% ~ 0.47%"});
+    t.addRow({"Fine-tuning samples", std::to_string(n_ft), "20"});
+    t.addRow({"NRMSE of pretrained model on production measurements",
+              common::AsciiTable::pct(pre_on_oracle.train, 2),
+              "14.7% ~ 42.9%"});
+    t.addRow({"NRMSE of finetuned model on production measurements",
+              common::AsciiTable::pct(ft_on_oracle.train, 2),
+              "1.05% ~ 3.08%"});
+    t.addRow({"Serving head: pretrained NRMSE on measurements",
+              common::AsciiTable::pct(pre_on_oracle.serve, 2), "--"});
+    t.addRow({"Serving head: finetuned NRMSE on measurements",
+              common::AsciiTable::pct(ft_on_oracle.serve, 2), "--"});
+    t.print(std::cout);
+
+    double gain = pre_on_oracle.train /
+                  std::max(ft_on_oracle.train, 1e-9);
+    std::cout << "Fine-tuning reduced training-head NRMSE by "
+              << common::AsciiTable::times(gain, 1)
+              << " (paper: ~10x)\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Regenerates Table 3 of the paper: the breakdown of each CoAtNet-H
+ * architecture change's impact on top-1 accuracy, parameters, FLOPs,
+ * and training throughput (images/sec/chip, per-chip batch 64, TPUv4):
+ *
+ *     CoAtNet-5        89.7%   688M  1012B  101
+ *     +DeeperConv      90.3%   697M  1060B   97
+ *     +ResShrink       88.9%   697M   474B  186
+ *     +SquaredReLU     89.7%   697M   476B  186   (== CoAtNet-H5)
+ */
+
+#include <iostream>
+
+#include "arch/lowering.h"
+#include "baselines/coatnet.h"
+#include "baselines/quality_model.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "hw/chip.h"
+
+using namespace h2o;
+
+int
+main(int argc, char **argv)
+{
+    common::Flags flags;
+    flags.parse(argc, argv);
+
+    hw::Platform platform = hw::trainingPlatform();
+    auto steps = baselines::coatnetAblation();
+
+    common::AsciiTable t("Table 3: CoAtNet-5 -> CoAtNet-H5 ablation "
+                         "(train on TPUv4, per-chip batch 64)");
+    t.setHeader({"model", "top-1 acc", "#params (M)", "FLOPs (B)",
+                 "train images/s/chip"});
+    for (const auto &[name, arch] : steps) {
+        double quality =
+            baselines::vitQuality(arch, baselines::DatasetSize::Large);
+        double step = bench::simulate(
+                          arch::buildVitGraph(arch, platform,
+                                              arch::ExecMode::Training),
+                          platform.chip)
+                          .stepTimeSec;
+        t.addRow({name, common::AsciiTable::num(quality, 1),
+                  common::AsciiTable::num(arch.paramCount() / 1e6, 0),
+                  common::AsciiTable::num(arch.flopsPerImage() / 1e9, 0),
+                  common::AsciiTable::num(arch.perChipBatch / step, 0)});
+    }
+    t.print(std::cout);
+    std::cout << "Paper reference rows: 89.7/688/1012/101, "
+                 "90.3/697/1060/97, 88.9/697/474/186, 89.7/697/476/186\n";
+    return 0;
+}

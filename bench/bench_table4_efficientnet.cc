@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Regenerates Table 4 of the paper: geometric-mean speedups of the
+ * H2O-NAS-designed EfficientNet-H family over the EfficientNet-X
+ * baseline family, for training on TPUv4 and serving on TPUv4i and
+ * GPUv100, family-wide and for the B5~B7 members (the only ones the
+ * search changed).
+ *
+ * Paper reference: 5% (14%) training on TPUv4, 6% (16%) serving on
+ * TPUv4i, 6% (17%) serving on V100 — family-wide (B5~B7 in parens).
+ */
+
+#include <iostream>
+
+#include "arch/lowering.h"
+#include "baselines/efficientnet.h"
+#include "baselines/quality_model.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "hw/chip.h"
+
+using namespace h2o;
+
+namespace {
+
+double
+stepTime(const arch::ConvArch &a, const hw::Platform &platform,
+         arch::ExecMode mode)
+{
+    return bench::simulate(arch::buildConvGraph(a, platform, mode),
+                           platform.chip)
+        .stepTimeSec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    common::Flags flags;
+    flags.parse(argc, argv);
+
+    hw::Platform train{hw::tpuV4(), 128};
+    hw::Platform serve_tpu{hw::tpuV4i(), 1};
+    hw::Platform serve_gpu{hw::gpuV100(), 1};
+
+    common::AsciiTable per_model("Per-member speedups: EfficientNet-H "
+                                 "over EfficientNet-X");
+    per_model.setHeader({"member", "train TPUv4", "serve TPUv4i",
+                         "serve V100", "quality delta"});
+
+    std::vector<double> tr_all, st_all, sg_all;
+    std::vector<double> tr_big, st_big, sg_big;
+    for (int i = 0; i <= 7; ++i) {
+        auto x = baselines::efficientnetX(i);
+        auto h = baselines::efficientnetH(i);
+        double tr = stepTime(x, train, arch::ExecMode::Training) /
+                    stepTime(h, train, arch::ExecMode::Training);
+        double st = stepTime(x, serve_tpu, arch::ExecMode::Serving) /
+                    stepTime(h, serve_tpu, arch::ExecMode::Serving);
+        double sg = stepTime(x, serve_gpu, arch::ExecMode::Serving) /
+                    stepTime(h, serve_gpu, arch::ExecMode::Serving);
+        double dq = baselines::convQuality(h) - baselines::convQuality(x);
+        per_model.addRow({"B" + std::to_string(i),
+                          common::AsciiTable::times(tr, 3),
+                          common::AsciiTable::times(st, 3),
+                          common::AsciiTable::times(sg, 3),
+                          common::AsciiTable::num(dq, 2)});
+        tr_all.push_back(tr);
+        st_all.push_back(st);
+        sg_all.push_back(sg);
+        if (i >= 5) {
+            tr_big.push_back(tr);
+            st_big.push_back(st);
+            sg_big.push_back(sg);
+        }
+    }
+    per_model.print(std::cout);
+
+    common::AsciiTable t("Table 4: geomean speedup of EfficientNet-H "
+                         "over EfficientNet-X");
+    t.setHeader({"scope", "train TPUv4", "serve TPUv4i", "serve V100",
+                 "paper"});
+    auto pct = [](double x) {
+        return common::AsciiTable::pct(x - 1.0, 1);
+    };
+    t.addRow({"family (B0~B7)", pct(common::geomean(tr_all)),
+              pct(common::geomean(st_all)), pct(common::geomean(sg_all)),
+              "5% / 6% / 6%"});
+    t.addRow({"B5~B7", pct(common::geomean(tr_big)),
+              pct(common::geomean(st_big)), pct(common::geomean(sg_big)),
+              "14% / 16% / 17%"});
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries that regenerate the paper's
+ * tables and figures.
+ */
+
+#ifndef H2O_BENCH_BENCH_UTIL_H
+#define H2O_BENCH_BENCH_UTIL_H
+
+#include <string>
+
+#include "arch/dlrm_arch.h"
+#include "arch/lowering.h"
+#include "hw/chip.h"
+#include "sim/simulator.h"
+
+namespace h2o::bench {
+
+/** Simulate one graph on one chip with default passes. */
+inline sim::SimResult
+simulate(const sim::Graph &graph, const hw::ChipSpec &chip)
+{
+    sim::Simulator simulator({chip, true, true, {}});
+    return simulator.run(graph);
+}
+
+/** Training step time of a DLRM on a platform. */
+inline double
+dlrmTrainStepTime(const arch::DlrmArch &a, const hw::Platform &platform)
+{
+    return simulate(arch::buildDlrmGraph(a, platform,
+                                         arch::ExecMode::Training),
+                    platform.chip)
+        .stepTimeSec;
+}
+
+/** Serving step time of a DLRM on a platform. */
+inline double
+dlrmServeStepTime(const arch::DlrmArch &a, const hw::Platform &platform)
+{
+    arch::DlrmArch serving = a;
+    serving.globalBatch = 1024; // serving batch per request group
+    return simulate(arch::buildDlrmGraph(serving, platform,
+                                         arch::ExecMode::Serving),
+                    platform.chip)
+        .stepTimeSec;
+}
+
+/** Throughput label "images/sec/chip" from a step time and batch. */
+inline double
+throughputPerChip(double step_sec, double per_chip_batch)
+{
+    return per_chip_batch / step_sec;
+}
+
+} // namespace h2o::bench
+
+#endif // H2O_BENCH_BENCH_UTIL_H

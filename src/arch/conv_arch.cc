@@ -1,0 +1,246 @@
+#include "arch/conv_arch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "sim/ops.h"
+
+namespace h2o::arch {
+
+namespace {
+
+/**
+ * Emit one MBConv or fused-MBConv block. Returns {last op id, output
+ * spatial size}.
+ */
+struct BlockResult
+{
+    sim::OpId last;
+    double outRes;
+};
+
+BlockResult
+emitBlock(sim::Graph &graph, const std::string &name,
+          const ConvStageConfig &cfg, double batch, double res, double cin,
+          double cout, double stride, sim::OpId input)
+{
+    double expanded = std::max(cin * cfg.expansion, cin);
+    double out_res = std::ceil(res / stride);
+    double act_cost = nn::activationVpuCost(cfg.act);
+    sim::OpId cur = input;
+
+    if (cfg.type == BlockType::MBConv) {
+        // 1x1 expansion -> depthwise kxk -> (SE) -> 1x1 projection.
+        if (cfg.expansion > 1.0) {
+            sim::Op expand = sim::ops::conv2d(name + "_expand", batch, res,
+                                              res, cin, expanded, 1, 1, 1);
+            expand.inputs = {cur};
+            cur = graph.add(std::move(expand));
+            sim::Op bn = sim::ops::norm(name + "_bn0",
+                                        batch * res * res * expanded);
+            bn.inputs = {cur};
+            cur = graph.add(std::move(bn));
+            sim::Op act = sim::ops::elementwise(
+                name + "_act0", batch * res * res * expanded, act_cost);
+            act.inputs = {cur};
+            cur = graph.add(std::move(act));
+        }
+        sim::Op dw = sim::ops::depthwiseConv2d(name + "_dw", batch, res, res,
+                                               expanded, cfg.kernel,
+                                               cfg.kernel, stride);
+        dw.inputs = {cur};
+        cur = graph.add(std::move(dw));
+        sim::Op bn1 = sim::ops::norm(name + "_bn1",
+                                     batch * out_res * out_res * expanded);
+        bn1.inputs = {cur};
+        cur = graph.add(std::move(bn1));
+        sim::Op act1 = sim::ops::elementwise(
+            name + "_act1", batch * out_res * out_res * expanded, act_cost);
+        act1.inputs = {cur};
+        cur = graph.add(std::move(act1));
+        if (cfg.seRatio > 0.0) {
+            sim::Op se = sim::ops::squeezeExcite(name + "_se", batch,
+                                                 out_res, out_res, expanded,
+                                                 cfg.seRatio);
+            se.inputs = {cur};
+            cur = graph.add(std::move(se));
+        }
+        sim::Op project = sim::ops::conv2d(name + "_project", batch, out_res,
+                                           out_res, expanded, cout, 1, 1, 1);
+        project.inputs = {cur};
+        cur = graph.add(std::move(project));
+    } else {
+        // Fused MBConv: kxk expansion conv (vanilla convolution replacing
+        // expand+depthwise) -> (SE) -> 1x1 projection.
+        sim::Op fused = sim::ops::conv2d(name + "_fused", batch, res, res,
+                                         cin, expanded, cfg.kernel,
+                                         cfg.kernel, stride);
+        fused.inputs = {cur};
+        cur = graph.add(std::move(fused));
+        sim::Op bn = sim::ops::norm(name + "_bn0",
+                                    batch * out_res * out_res * expanded);
+        bn.inputs = {cur};
+        cur = graph.add(std::move(bn));
+        sim::Op act = sim::ops::elementwise(
+            name + "_act0", batch * out_res * out_res * expanded, act_cost);
+        act.inputs = {cur};
+        cur = graph.add(std::move(act));
+        if (cfg.seRatio > 0.0) {
+            sim::Op se = sim::ops::squeezeExcite(name + "_se", batch,
+                                                 out_res, out_res, expanded,
+                                                 cfg.seRatio);
+            se.inputs = {cur};
+            cur = graph.add(std::move(se));
+        }
+        if (cfg.expansion > 1.0) {
+            sim::Op project = sim::ops::conv2d(name + "_project", batch,
+                                               out_res, out_res, expanded,
+                                               cout, 1, 1, 1);
+            project.inputs = {cur};
+            cur = graph.add(std::move(project));
+        }
+    }
+
+    sim::Op bn2 = sim::ops::norm(name + "_bn2",
+                                 batch * out_res * out_res * cout);
+    bn2.inputs = {cur};
+    cur = graph.add(std::move(bn2));
+
+    if (cfg.skip && stride == 1.0 && cin == cout) {
+        sim::Op add = sim::ops::elementwise(
+            name + "_skip", batch * out_res * out_res * cout, 1.0);
+        add.inputs = {cur, input};
+        add.fusable = false; // two producers: keep as a live join
+        cur = graph.add(std::move(add));
+    }
+    return {cur, out_res};
+}
+
+} // namespace
+
+sim::Graph
+buildConvGraph(const ConvArch &arch, const hw::Platform &platform,
+               ExecMode mode)
+{
+    h2o_assert(!arch.stages.empty(), "conv arch with no stages");
+    double batch = arch.perChipBatch;
+    double res = arch.resolution;
+
+    sim::Graph graph(arch.name);
+    sim::Op source = sim::ops::reshape("image_input", 0.0, true);
+    sim::OpId cur = graph.add(std::move(source));
+
+    // Stem: 3x3 stride-2 conv; the space-to-depth variant re-lays the
+    // image as res/2 x res/2 x 12 first, turning the stem into a
+    // tile-friendlier 1x1-equivalent conv (free reshape, annotated HLO).
+    double cin = 3.0;
+    if (arch.spaceToDepthStem) {
+        sim::Op s2d = sim::ops::reshape("stem_s2d",
+                                        batch * res * res * 3.0 *
+                                            sim::ops::kDtypeBytes,
+                                        /*free=*/true);
+        s2d.inputs = {cur};
+        cur = graph.add(std::move(s2d));
+        res = std::ceil(res / 2.0);
+        cin = 12.0;
+        sim::Op stem = sim::ops::conv2d("stem_conv", batch, res, res, cin,
+                                        arch.stemFilters, 1, 1, 1);
+        stem.inputs = {cur};
+        cur = graph.add(std::move(stem));
+    } else {
+        sim::Op stem = sim::ops::conv2d("stem_conv", batch, res, res, cin,
+                                        arch.stemFilters, 3, 3, 2);
+        stem.inputs = {cur};
+        cur = graph.add(std::move(stem));
+        res = std::ceil(res / 2.0);
+    }
+    sim::Op stem_act = sim::ops::elementwise(
+        "stem_act", batch * res * res * arch.stemFilters, 5.0);
+    stem_act.inputs = {cur};
+    cur = graph.add(std::move(stem_act));
+
+    double channels = arch.stemFilters;
+    for (size_t s = 0; s < arch.stages.size(); ++s) {
+        const auto &stage = arch.stages[s];
+        h2o_assert(stage.layers >= 1, "stage ", s, " with zero layers");
+        for (uint32_t l = 0; l < stage.layers; ++l) {
+            double stride = (l == 0) ? stage.stride : 1.0;
+            std::string name =
+                "s" + std::to_string(s) + "_b" + std::to_string(l);
+            BlockResult br = emitBlock(graph, name, stage, batch, res,
+                                       channels, stage.filters, stride, cur);
+            cur = br.last;
+            res = br.outRes;
+            channels = stage.filters;
+        }
+    }
+
+    // Head: 1x1 conv, global pool, classifier.
+    sim::Op head = sim::ops::conv2d("head_conv", batch, res, res, channels,
+                                    arch.headFilters, 1, 1, 1);
+    head.inputs = {cur};
+    cur = graph.add(std::move(head));
+    sim::Op gp = sim::ops::pool("global_pool",
+                                batch * res * res * arch.headFilters,
+                                batch * arch.headFilters);
+    gp.inputs = {cur};
+    cur = graph.add(std::move(gp));
+    sim::Op fc = sim::ops::matmul("classifier", batch, arch.numClasses,
+                                  arch.headFilters);
+    fc.inputs = {cur};
+    graph.add(std::move(fc));
+
+    if (mode == ExecMode::Training) {
+        double dense_bytes = graph.totalParamBytes();
+        appendBackwardOps(graph, dense_bytes, platform.numChips);
+    }
+    graph.validate();
+    return graph;
+}
+
+double
+ConvArch::flopsPerImage() const
+{
+    ConvArch probe = *this;
+    probe.perChipBatch = 1;
+    hw::Platform one{hw::tpuV4(), 1};
+    return buildConvGraph(probe, one, ExecMode::Serving).totalFlops();
+}
+
+double
+ConvArch::paramCount() const
+{
+    ConvArch probe = *this;
+    probe.perChipBatch = 1;
+    hw::Platform one{hw::tpuV4(), 1};
+    return buildConvGraph(probe, one, ExecMode::Serving).totalParamBytes() /
+           sim::ops::kDtypeBytes;
+}
+
+sim::Graph
+buildSingleBlockGraph(BlockType type, uint32_t depth, uint32_t resolution,
+                      uint32_t kernel, double expansion, uint32_t batch)
+{
+    ConvStageConfig cfg;
+    cfg.type = type;
+    cfg.kernel = kernel;
+    cfg.stride = 1;
+    cfg.expansion = expansion;
+    cfg.seRatio = 0.0;
+    cfg.act = nn::Activation::ReLU;
+    cfg.layers = 1;
+    cfg.filters = depth;
+    cfg.skip = false;
+
+    std::string name = (type == BlockType::MBConv ? "MBC(" : "F-MBC(") +
+                       std::to_string(depth) + ")";
+    sim::Graph graph(name);
+    sim::Op source = sim::ops::reshape("input", 0.0, true);
+    sim::OpId cur = graph.add(std::move(source));
+    emitBlock(graph, "blk", cfg, batch, resolution, depth, depth, 1.0, cur);
+    graph.validate();
+    return graph;
+}
+
+} // namespace h2o::arch

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Convolutional model architecture (EfficientNet-style stacks of MBConv /
+ * fused-MBConv blocks) and its lowering to a simulator graph.
+ *
+ * Covers every searchable dimension of the paper's convolutional search
+ * space (Table 5): block type (MBConv vs Fused MBConv — Figure 4a), kernel
+ * size, stride, expansion ratio, activation, squeeze-and-excite ratio,
+ * skip connections, per-stage depth and width deltas, input resolution,
+ * and the space-to-depth tensor-reshaping option.
+ */
+
+#ifndef H2O_ARCH_CONV_ARCH_H
+#define H2O_ARCH_CONV_ARCH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/lowering.h"
+#include "hw/chip.h"
+#include "nn/activation.h"
+#include "sim/graph.h"
+
+namespace h2o::arch {
+
+/** Block macro-structure (Figure 4a). */
+enum class BlockType { MBConv, FusedMBConv };
+
+/** One stage of identical blocks. */
+struct ConvStageConfig
+{
+    BlockType type = BlockType::MBConv;
+    uint32_t kernel = 3;      ///< depthwise / fused kernel size
+    uint32_t stride = 1;      ///< stride of the stage's first layer
+    double expansion = 6.0;   ///< channel expansion ratio R
+    double seRatio = 0.25;    ///< squeeze-excite ratio; 0 removes SE
+    nn::Activation act = nn::Activation::Swish;
+    uint32_t layers = 1;      ///< blocks in this stage
+    uint32_t filters = 16;    ///< output channels
+    bool skip = true;         ///< identity skip when shapes match
+};
+
+/** Complete convolutional architecture. */
+struct ConvArch
+{
+    std::string name = "cnn";
+    uint32_t resolution = 224;   ///< input H = W
+    uint32_t stemFilters = 32;
+    bool spaceToDepthStem = false; ///< Table 5 tensor-reshaping option
+    std::vector<ConvStageConfig> stages;
+    uint32_t headFilters = 1280;
+    uint32_t numClasses = 1000;
+    uint32_t perChipBatch = 64;  ///< Table 3 uses per-chip batch 64
+
+    /** Forward FLOPs for one image (via lowering with batch 1). */
+    double flopsPerImage() const;
+
+    /** Trainable parameter count (via lowering). */
+    double paramCount() const;
+};
+
+/**
+ * Lower to a per-chip simulator graph. Convolutional models are purely
+ * data-parallel: the graph covers one chip's batch shard; training mode
+ * appends backward ops and the gradient all-reduce across the platform.
+ */
+sim::Graph buildConvGraph(const ConvArch &arch, const hw::Platform &platform,
+                          ExecMode mode);
+
+/**
+ * Build a single-block graph for roofline studies (Figure 4b/4c): one
+ * MBConv or fused MBConv with equal input/output depth on a
+ * `resolution` x `resolution` feature map.
+ */
+sim::Graph buildSingleBlockGraph(BlockType type, uint32_t depth,
+                                 uint32_t resolution, uint32_t kernel,
+                                 double expansion, uint32_t batch);
+
+} // namespace h2o::arch
+
+#endif // H2O_ARCH_CONV_ARCH_H

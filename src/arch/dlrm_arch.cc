@@ -1,0 +1,300 @@
+#include "arch/dlrm_arch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "sim/ops.h"
+
+namespace h2o::arch {
+
+namespace {
+
+/** Per-layer dense FLOPs for one example, honoring low-rank splits. */
+double
+layerFlops(double in, const MlpLayerConfig &layer)
+{
+    double out = layer.width;
+    bool low_rank =
+        layer.rank > 0 && layer.rank < std::min<double>(in, out);
+    if (low_rank)
+        return 2.0 * in * layer.rank + 2.0 * layer.rank * out;
+    return 2.0 * in * out;
+}
+
+/** Per-layer dense parameter count, honoring low-rank splits. */
+double
+layerParams(double in, const MlpLayerConfig &layer)
+{
+    double out = layer.width;
+    bool low_rank =
+        layer.rank > 0 && layer.rank < std::min<double>(in, out);
+    if (low_rank)
+        return in * layer.rank + layer.rank * out + out;
+    return in * out + out;
+}
+
+} // namespace
+
+double
+DlrmArch::embeddingParamCount() const
+{
+    double total = 0.0;
+    for (const auto &t : tables)
+        total += static_cast<double>(t.vocab) * t.width;
+    return total;
+}
+
+double
+DlrmArch::denseParamCount() const
+{
+    double total = 0.0;
+    double in = numDenseFeatures;
+    for (const auto &l : bottomMlp) {
+        total += layerParams(in, l);
+        in = l.width;
+    }
+    in = static_cast<double>(topMlpInputWidth());
+    for (const auto &l : topMlp) {
+        total += layerParams(in, l);
+        in = l.width;
+    }
+    total += in * 1.0 + 1.0; // final logit layer
+    return total;
+}
+
+double
+DlrmArch::paramCount() const
+{
+    return embeddingParamCount() + denseParamCount();
+}
+
+uint64_t
+DlrmArch::totalEmbeddingWidth() const
+{
+    uint64_t total = 0;
+    for (const auto &t : tables)
+        total += t.width;
+    return total;
+}
+
+uint64_t
+DlrmArch::topMlpInputWidth() const
+{
+    uint64_t bottom_out =
+        bottomMlp.empty() ? numDenseFeatures : bottomMlp.back().width;
+    return totalEmbeddingWidth() + bottom_out;
+}
+
+double
+DlrmArch::flopsPerExample() const
+{
+    double total = 0.0;
+    double in = numDenseFeatures;
+    for (const auto &l : bottomMlp) {
+        total += layerFlops(in, l);
+        in = l.width;
+    }
+    in = static_cast<double>(topMlpInputWidth());
+    for (const auto &l : topMlp) {
+        total += layerFlops(in, l);
+        in = l.width;
+    }
+    total += 2.0 * in; // final logit layer
+    // Embedding pooling adds.
+    for (const auto &t : tables)
+        total += t.avgIds * t.width;
+    return total;
+}
+
+double
+DlrmArch::paddedFlopsPerExample(uint32_t tile) const
+{
+    auto pad = [tile](double d) {
+        return std::ceil(d / tile) * tile;
+    };
+    auto padded_layer = [&](double in, const MlpLayerConfig &layer) {
+        double out = layer.width;
+        bool low_rank =
+            layer.rank > 0 && layer.rank < std::min<double>(in, out);
+        if (low_rank) {
+            return 2.0 * pad(in) * pad(layer.rank) +
+                   2.0 * pad(layer.rank) * pad(out);
+        }
+        return 2.0 * pad(in) * pad(out);
+    };
+    double total = 0.0;
+    double in = numDenseFeatures;
+    for (const auto &l : bottomMlp) {
+        total += padded_layer(in, l);
+        in = l.width;
+    }
+    in = static_cast<double>(topMlpInputWidth());
+    for (const auto &l : topMlp) {
+        total += padded_layer(in, l);
+        in = l.width;
+    }
+    total += 2.0 * pad(in) * tile; // logit layer pads to one tile column
+    return total;
+}
+
+double
+DlrmArch::lookupTrafficPerExample() const
+{
+    double total = 0.0;
+    for (const auto &t : tables)
+        total += t.avgIds * t.width;
+    return total;
+}
+
+double
+DlrmArch::modelBytes() const
+{
+    return paramCount() * sim::ops::kDtypeBytes;
+}
+
+namespace {
+
+/**
+ * Emit the matmul (or low-rank matmul pair) + fused activation for one
+ * MLP layer. Returns the id of the last op emitted.
+ */
+sim::OpId
+emitMlpLayer(sim::Graph &graph, const std::string &name, double batch,
+             double in, const MlpLayerConfig &layer, sim::OpId input)
+{
+    double out = layer.width;
+    bool low_rank =
+        layer.rank > 0 && layer.rank < std::min<double>(in, out);
+    sim::OpId last;
+    if (low_rank) {
+        sim::Op a = sim::ops::matmul(name + "_lr_u", batch, layer.rank, in);
+        a.inputs = {input};
+        sim::OpId au = graph.add(std::move(a));
+        sim::Op b = sim::ops::matmul(name + "_lr_v", batch, out, layer.rank);
+        b.inputs = {au};
+        last = graph.add(std::move(b));
+    } else {
+        sim::Op a = sim::ops::matmul(name, batch, out, in);
+        a.inputs = {input};
+        last = graph.add(std::move(a));
+    }
+    sim::Op act = sim::ops::elementwise(name + "_relu", batch * out, 1.0);
+    act.inputs = {last};
+    return graph.add(std::move(act));
+}
+
+} // namespace
+
+sim::Graph
+buildDlrmGraph(const DlrmArch &arch, const hw::Platform &platform,
+               ExecMode mode)
+{
+    h2o_assert(platform.numChips >= 1, "platform with no chips");
+    h2o_assert(!arch.topMlp.empty(), "DLRM without a top MLP");
+    double chips = platform.numChips;
+    double local_batch = static_cast<double>(arch.globalBatch) / chips;
+    h2o_assert(local_batch >= 1.0, "global batch ", arch.globalBatch,
+               " smaller than chip count ", platform.numChips);
+
+    sim::Graph graph(arch.name);
+
+    // Dense-feature input placeholder (zero-cost source node).
+    sim::Op source = sim::ops::reshape("dense_input", 0.0, true);
+    sim::OpId dense_in = graph.add(std::move(source));
+
+    // --- Embedding column: model-parallel tables + all-to-all. Each
+    // chip owns 1/chips of every table's work (amortized view), gathers
+    // for the global batch, and exchanges pooled vectors.
+    std::vector<sim::OpId> branches;
+    for (size_t t = 0; t < arch.tables.size(); ++t) {
+        const auto &table = arch.tables[t];
+        if (table.width == 0 || table.vocab == 0)
+            continue; // table removed by the search
+        double lookups =
+            static_cast<double>(arch.globalBatch) * table.avgIds / chips;
+        sim::Op lookup = sim::ops::embeddingLookup(
+            "emb" + std::to_string(t), lookups, table.width);
+        sim::OpId lk = graph.add(std::move(lookup));
+        if (platform.numChips > 1) {
+            double a2a_bytes = static_cast<double>(arch.globalBatch) *
+                               table.width * sim::ops::kDtypeBytes / chips;
+            sim::Op a2a = sim::ops::allToAll(
+                "emb" + std::to_string(t) + "_a2a", a2a_bytes);
+            a2a.inputs = {lk};
+            branches.push_back(graph.add(std::move(a2a)));
+        } else {
+            branches.push_back(lk);
+        }
+    }
+
+    // --- Bottom MLP on dense features (data-parallel).
+    sim::OpId bottom_out = dense_in;
+    double in_width = arch.numDenseFeatures;
+    for (size_t l = 0; l < arch.bottomMlp.size(); ++l) {
+        bottom_out = emitMlpLayer(graph, "bot" + std::to_string(l),
+                                  local_batch, in_width, arch.bottomMlp[l],
+                                  bottom_out);
+        in_width = arch.bottomMlp[l].width;
+    }
+    branches.push_back(bottom_out);
+
+    // --- Concatenate pooled embeddings with the bottom-MLP output.
+    double top_in = static_cast<double>(arch.topMlpInputWidth());
+    sim::Op cat = sim::ops::concat(
+        "feature_concat", local_batch * top_in * sim::ops::kDtypeBytes);
+    cat.inputs = branches;
+    cat.fusable = false; // join point: keep it live for the DAG
+    sim::OpId top = graph.add(std::move(cat));
+
+    // --- Top MLP + logit + sigmoid.
+    in_width = top_in;
+    for (size_t l = 0; l < arch.topMlp.size(); ++l) {
+        top = emitMlpLayer(graph, "top" + std::to_string(l), local_batch,
+                           in_width, arch.topMlp[l], top);
+        in_width = arch.topMlp[l].width;
+    }
+    sim::Op logit = sim::ops::matmul("logit", local_batch, 1.0, in_width);
+    logit.inputs = {top};
+    sim::OpId lg = graph.add(std::move(logit));
+    sim::Op sg = sim::ops::elementwise("sigmoid", local_batch, 4.0);
+    sg.inputs = {lg};
+    graph.add(std::move(sg));
+
+    if (mode == ExecMode::Training) {
+        appendBackwardOps(graph,
+                          arch.denseParamCount() * sim::ops::kDtypeBytes,
+                          platform.numChips);
+    }
+    graph.validate();
+    return graph;
+}
+
+DlrmArch
+baselineDlrm()
+{
+    DlrmArch arch;
+    arch.name = "dlrm_baseline";
+    arch.numDenseFeatures = 13;
+    arch.globalBatch = 65536;
+    // 26 sparse features with a production-like skew of vocabulary sizes.
+    const uint64_t vocabs[] = {
+        10000000, 4000000, 2000000, 1500000, 1000000, 800000, 500000,
+        300000,   200000,  150000,  100000,  80000,   50000,  30000,
+        20000,    10000,   8000,    5000,    3000,    2000,   1000,
+        500,      200,     100,     50,      20,
+    };
+    for (uint64_t v : vocabs) {
+        EmbeddingConfig t;
+        t.vocab = v;
+        t.width = 32;
+        t.avgIds = v > 100000 ? 1.0 : 2.0; // small features multivalent
+        arch.tables.push_back(t);
+    }
+    // Intentionally MLP-heavy, as described in Section 7.1.2.
+    arch.bottomMlp = {{512, 0}, {256, 0}, {128, 0}};
+    arch.topMlp = {{1024, 0}, {1024, 0}, {512, 0}, {256, 0}};
+    return arch;
+}
+
+} // namespace h2o::arch

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deep Learning Recommendation Model architecture configuration and its
+ * lowering to a simulator graph.
+ *
+ * Mirrors Figure 3 of the paper: sparse features feed embedding tables,
+ * dense features feed an optional bottom MLP, the pooled embeddings and
+ * bottom-MLP output concatenate into the top MLP, and a sigmoid produces
+ * the prediction. Every searchable dimension from Table 5 appears here:
+ * per-table embedding width and vocabulary size, MLP layer widths,
+ * low-rank factorization, and depth.
+ */
+
+#ifndef H2O_ARCH_DLRM_ARCH_H
+#define H2O_ARCH_DLRM_ARCH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/lowering.h"
+#include "hw/chip.h"
+#include "sim/graph.h"
+
+namespace h2o::arch {
+
+/** One embedding table's configuration. */
+struct EmbeddingConfig
+{
+    /** Row count. Ids hash into [0, vocab). */
+    uint64_t vocab = 0;
+    /** Embedding width; 0 removes the table (Table 5 footnote 3). */
+    uint32_t width = 0;
+    /** Average ids per example for this feature (multivalent lookup). */
+    double avgIds = 1.0;
+};
+
+/** One MLP layer's configuration. */
+struct MlpLayerConfig
+{
+    /** Output width of the layer. */
+    uint32_t width = 0;
+    /**
+     * Low-rank factorization rank; 0 or >= min(in, width) means full
+     * rank (a single dense matmul).
+     */
+    uint32_t rank = 0;
+};
+
+/** Complete DLRM architecture. */
+struct DlrmArch
+{
+    std::string name = "dlrm";
+    uint32_t numDenseFeatures = 13;
+    std::vector<EmbeddingConfig> tables;
+    std::vector<MlpLayerConfig> bottomMlp;
+    std::vector<MlpLayerConfig> topMlp; ///< final layer produces 1 logit
+    uint32_t globalBatch = 65536;
+
+    /** Total trainable parameters (embeddings + dense layers). */
+    double paramCount() const;
+
+    /** Embedding-only parameter count (the memorization capacity). */
+    double embeddingParamCount() const;
+
+    /** Dense (MLP-only) parameter count (the generalization capacity). */
+    double denseParamCount() const;
+
+    /** Forward FLOPs per example through the dense layers. */
+    double flopsPerExample() const;
+
+    /**
+     * Forward FLOPs per example with every feature dimension padded up
+     * to `tile` (the MXU lane count): the compute the tensor unit
+     * actually issues after tile quantization. A much better
+     * performance-model feature than raw FLOPs on 128-lane hardware.
+     */
+    double paddedFlopsPerExample(uint32_t tile) const;
+
+    /** Embedding lookup traffic per example (gathered elements). */
+    double lookupTrafficPerExample() const;
+
+    /** Pooled embedding width summed over live tables. */
+    uint64_t totalEmbeddingWidth() const;
+
+    /** Serving-time model memory footprint in bytes (bf16 weights). */
+    double modelBytes() const;
+
+    /** Width of the concatenated top-MLP input. */
+    uint64_t topMlpInputWidth() const;
+};
+
+/**
+ * Lower a DLRM to a per-chip simulator graph.
+ *
+ * Embedding tables are model-parallel across the platform's chips (each
+ * chip owns tables/chips of them and gathers for the *global* batch,
+ * then an all-to-all redistributes pooled vectors); MLP layers are
+ * data-parallel over per-chip batch shards, as in production DLRM
+ * systems. Training mode appends backward ops and the gradient
+ * all-reduce.
+ */
+sim::Graph buildDlrmGraph(const DlrmArch &arch, const hw::Platform &platform,
+                          ExecMode mode);
+
+/**
+ * A production-like baseline DLRM, intentionally MLP-heavy/imbalanced the
+ * way the paper describes the original production model (Section 7.1.2):
+ * MLP compute time much longer than embedding time, skewing the model
+ * toward generalization.
+ */
+DlrmArch baselineDlrm();
+
+} // namespace h2o::arch
+
+#endif // H2O_ARCH_DLRM_ARCH_H

@@ -1,0 +1,42 @@
+#include "arch/lowering.h"
+
+#include "sim/ops.h"
+
+namespace h2o::arch {
+
+void
+appendBackwardOps(sim::Graph &graph, double dense_param_bytes,
+                  uint32_t num_chips)
+{
+    size_t fwd_count = graph.size();
+    sim::OpId prev = static_cast<sim::OpId>(fwd_count - 1);
+
+    for (size_t idx = fwd_count; idx-- > 0;) {
+        const sim::Op &fwd = graph.op(static_cast<sim::OpId>(idx));
+        if (fwd.fusedAway || (fwd.flops == 0.0 && fwd.inputBytes == 0.0))
+            continue;
+        sim::Op bwd;
+        bwd.kind = fwd.kind;
+        bwd.name = fwd.name + "_bwd";
+        bwd.flops = 2.0 * fwd.flops;
+        bwd.inputBytes = fwd.inputBytes + fwd.outputBytes;
+        bwd.outputBytes = fwd.inputBytes;
+        bwd.paramBytes = fwd.paramBytes; // re-read weights for grad-input
+        bwd.networkBytes = fwd.networkBytes; // collectives mirror
+        bwd.dimM = fwd.dimM;
+        bwd.dimN = fwd.dimN;
+        bwd.dimK = fwd.dimK;
+        bwd.onTensorUnit = fwd.onTensorUnit;
+        bwd.fusable = fwd.fusable;
+        bwd.inputs = {prev};
+        prev = graph.add(std::move(bwd));
+    }
+
+    if (num_chips > 1 && dense_param_bytes > 0.0) {
+        sim::Op ar = sim::ops::allReduce("grad_allreduce", dense_param_bytes);
+        ar.inputs = {prev};
+        graph.add(std::move(ar));
+    }
+}
+
+} // namespace h2o::arch

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared lowering helpers: execution modes and the training-graph
+ * transformation (append backward-pass ops and the cross-chip gradient
+ * all-reduce to a forward graph).
+ */
+
+#ifndef H2O_ARCH_LOWERING_H
+#define H2O_ARCH_LOWERING_H
+
+#include "sim/graph.h"
+
+namespace h2o::arch {
+
+/** Whether a graph models a training step or a serving (inference) step. */
+enum class ExecMode { Training, Serving };
+
+/**
+ * Append backward-pass ops for training.
+ *
+ * For every live forward op with FLOPs, a backward op with twice the
+ * forward FLOPs (grad-input + grad-weight matmuls) and doubled activation
+ * traffic is appended in reverse order, chained sequentially after the
+ * forward ops. Finally a gradient all-reduce over the dense parameter
+ * bytes is appended (data-parallel training across `num_chips`).
+ *
+ * @param graph            Forward graph, modified in place.
+ * @param dense_param_bytes Dense (non-embedding) parameter bytes per chip.
+ * @param num_chips        Data-parallel width; 1 disables the all-reduce.
+ */
+void appendBackwardOps(sim::Graph &graph, double dense_param_bytes,
+                       uint32_t num_chips);
+
+} // namespace h2o::arch
+
+#endif // H2O_ARCH_LOWERING_H

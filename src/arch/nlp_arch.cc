@@ -1,0 +1,165 @@
+#include "arch/nlp_arch.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "sim/ops.h"
+
+namespace h2o::arch {
+
+sim::Graph
+buildNlpGraph(const NlpArch &arch, const hw::Platform &platform,
+              ExecMode mode)
+{
+    h2o_assert(!arch.blocks.empty(), "NLP arch with no transformer blocks");
+    h2o_assert(arch.vocab > 0 && arch.seqLen > 0, "degenerate LM shape");
+    double batch = arch.perChipBatch;
+    double seq = arch.seqLen;
+    double hidden0 = arch.blocks.front().hidden;
+
+    sim::Graph graph(arch.name);
+    sim::Op source = sim::ops::reshape("token_input", 0.0, true);
+    sim::OpId cur = graph.add(std::move(source));
+
+    // Token embedding: one gather per token from the [vocab, hidden]
+    // table.
+    sim::Op embed =
+        sim::ops::embeddingLookup("token_embedding", batch * seq, hidden0);
+    embed.paramBytes = double(arch.vocab) * hidden0 * sim::ops::kDtypeBytes;
+    embed.inputs = {cur};
+    cur = graph.add(std::move(embed));
+
+    double cur_seq = seq;
+    for (size_t b = 0; b < arch.blocks.size(); ++b) {
+        const auto &blk = arch.blocks[b];
+        double hidden = blk.hidden;
+        double act_cost = nn::activationVpuCost(blk.act);
+        for (uint32_t l = 0; l < blk.layers; ++l) {
+            std::string name =
+                "blk" + std::to_string(b) + "_l" + std::to_string(l);
+            sim::Op ln1 = sim::ops::norm(name + "_ln1",
+                                         batch * cur_seq * hidden);
+            ln1.inputs = {cur};
+            cur = graph.add(std::move(ln1));
+            sim::Op attn = sim::ops::attention(name + "_attn", batch,
+                                               cur_seq, hidden, blk.heads);
+            attn.inputs = {cur};
+            cur = graph.add(std::move(attn));
+            if (blk.primer) {
+                sim::Op dconv = sim::ops::depthwiseConv2d(
+                    name + "_primer_dconv", batch, cur_seq, 1.0, hidden, 3,
+                    1, 1);
+                dconv.inputs = {cur};
+                cur = graph.add(std::move(dconv));
+            }
+            sim::Op ln2 = sim::ops::norm(name + "_ln2",
+                                         batch * cur_seq * hidden);
+            ln2.inputs = {cur};
+            cur = graph.add(std::move(ln2));
+            double ffn = hidden * blk.mlpRatio;
+            if (blk.lowRank < 1.0) {
+                double rank =
+                    std::max(8.0, std::floor(hidden * blk.lowRank));
+                sim::Op u = sim::ops::matmul(name + "_ffn1_u",
+                                             batch * cur_seq, rank, hidden);
+                u.inputs = {cur};
+                cur = graph.add(std::move(u));
+                sim::Op v = sim::ops::matmul(name + "_ffn1_v",
+                                             batch * cur_seq, ffn, rank);
+                v.inputs = {cur};
+                cur = graph.add(std::move(v));
+            } else {
+                sim::Op fc1 = sim::ops::matmul(name + "_ffn1",
+                                               batch * cur_seq, ffn,
+                                               hidden);
+                fc1.inputs = {cur};
+                cur = graph.add(std::move(fc1));
+            }
+            sim::Op act = sim::ops::elementwise(
+                name + "_act", batch * cur_seq * ffn, act_cost);
+            act.inputs = {cur};
+            cur = graph.add(std::move(act));
+            sim::Op fc2 = sim::ops::matmul(name + "_ffn2", batch * cur_seq,
+                                           hidden, ffn);
+            fc2.inputs = {cur};
+            cur = graph.add(std::move(fc2));
+        }
+        // Funnel pooling halves the sequence between blocks (the LM
+        // variant of the paper's performance-aware funnel transformer).
+        if (blk.seqPool && cur_seq > 1.0) {
+            sim::Op sp = sim::ops::pool("funnel_pool" + std::to_string(b),
+                                        batch * cur_seq * hidden,
+                                        batch * (cur_seq / 2.0) * hidden);
+            sp.inputs = {cur};
+            cur = graph.add(std::move(sp));
+            cur_seq = std::ceil(cur_seq / 2.0);
+        }
+        if (b + 1 < arch.blocks.size() &&
+            arch.blocks[b + 1].hidden != blk.hidden) {
+            sim::Op proj = sim::ops::matmul(
+                "block_proj" + std::to_string(b), batch * cur_seq,
+                arch.blocks[b + 1].hidden, hidden);
+            proj.inputs = {cur};
+            cur = graph.add(std::move(proj));
+        }
+    }
+
+    // LM head: project every position onto the vocabulary.
+    double last_hidden = arch.blocks.back().hidden;
+    sim::Op head = sim::ops::matmul("lm_head", batch * cur_seq,
+                                    arch.vocab, last_hidden);
+    if (arch.tieEmbeddings)
+        head.paramBytes = 0.0; // weights shared with token_embedding
+    head.inputs = {cur};
+    cur = graph.add(std::move(head));
+    sim::Op softmax = sim::ops::elementwise(
+        "softmax", batch * cur_seq * arch.vocab, 5.0, /*fusable=*/false);
+    softmax.inputs = {cur};
+    graph.add(std::move(softmax));
+
+    if (mode == ExecMode::Training) {
+        appendBackwardOps(graph, graph.totalParamBytes(),
+                          platform.numChips);
+    }
+    graph.validate();
+    return graph;
+}
+
+double
+NlpArch::flopsPerSequence() const
+{
+    NlpArch probe = *this;
+    probe.perChipBatch = 1;
+    hw::Platform one{hw::tpuV4(), 1};
+    return buildNlpGraph(probe, one, ExecMode::Serving).totalFlops();
+}
+
+double
+NlpArch::paramCount() const
+{
+    NlpArch probe = *this;
+    probe.perChipBatch = 1;
+    hw::Platform one{hw::tpuV4(), 1};
+    return buildNlpGraph(probe, one, ExecMode::Serving).totalParamBytes() /
+           sim::ops::kDtypeBytes;
+}
+
+NlpArch
+referenceLm()
+{
+    NlpArch a;
+    a.name = "reference-lm";
+    a.vocab = 32000;
+    a.seqLen = 512;
+    a.perChipBatch = 8;
+    TfmBlockConfig blk;
+    blk.hidden = 1024;
+    blk.layers = 12;
+    blk.heads = 16;
+    blk.mlpRatio = 4.0;
+    blk.act = nn::Activation::GeLU;
+    a.blocks = {blk, blk};
+    return a;
+}
+
+} // namespace h2o::arch

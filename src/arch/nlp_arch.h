@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Pure-transformer language-model architecture.
+ *
+ * Appendix A of the paper: "Our transformer search space can be used
+ * [in] isolation to search for pure VIT or transformer based NLP
+ * models", and Section 7.1.1 argues the CoAtNet results "provide
+ * confidence in the effectiveness of the Pareto-optimizations of
+ * H2O-NAS on transformer-based NLP models as well." This module is
+ * that isolated path: a decoder-style LM (token embedding ->
+ * transformer stack -> vocabulary projection) reusing the same
+ * TfmBlockConfig the hybrid ViT search space optimizes.
+ */
+
+#ifndef H2O_ARCH_NLP_ARCH_H
+#define H2O_ARCH_NLP_ARCH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/lowering.h"
+#include "arch/vit_arch.h"
+#include "hw/chip.h"
+#include "sim/graph.h"
+
+namespace h2o::arch {
+
+/** Complete transformer LM architecture. */
+struct NlpArch
+{
+    std::string name = "nlp";
+    uint32_t vocab = 32000;   ///< sentencepiece-scale vocabulary
+    uint32_t seqLen = 512;    ///< tokens per sequence
+    std::vector<TfmBlockConfig> blocks; ///< same knobs as the ViT space
+    uint32_t perChipBatch = 8; ///< sequences per chip per step
+    /** Share the input embedding with the output projection (weight
+     *  tying), the standard LM memory optimization. */
+    bool tieEmbeddings = true;
+
+    /** Forward FLOPs for one sequence (via lowering with batch 1). */
+    double flopsPerSequence() const;
+
+    /** Trainable parameter count (via lowering). */
+    double paramCount() const;
+
+    /** Tokens processed per step per chip. */
+    double tokensPerStep() const
+    {
+        return static_cast<double>(perChipBatch) * seqLen;
+    }
+};
+
+/**
+ * Lower to a per-chip simulator graph (data-parallel; training mode
+ * appends backward ops and the gradient all-reduce).
+ */
+sim::Graph buildNlpGraph(const NlpArch &arch, const hw::Platform &platform,
+                         ExecMode mode);
+
+/** A GPT-2-medium-scale reference LM (2 blocks x 12 layers, h=1024). */
+NlpArch referenceLm();
+
+} // namespace h2o::arch
+
+#endif // H2O_ARCH_NLP_ARCH_H

@@ -1,0 +1,214 @@
+#include "arch/vit_arch.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "sim/ops.h"
+
+namespace h2o::arch {
+
+sim::Graph
+buildVitGraph(const VitArch &arch, const hw::Platform &platform,
+              ExecMode mode)
+{
+    h2o_assert(!arch.tfmBlocks.empty(), "ViT arch with no transformer blocks");
+    h2o_assert(arch.patch >= 1 && arch.resolution >= arch.patch,
+               "patch ", arch.patch, " larger than resolution ",
+               arch.resolution);
+    double batch = arch.perChipBatch;
+    double res = arch.resolution;
+
+    sim::Graph graph(arch.name);
+    sim::Op source = sim::ops::reshape("image_input", 0.0, true);
+    sim::OpId cur = graph.add(std::move(source));
+
+    // --- Convolutional section (CoAtNet's early stages).
+    double channels = 3.0;
+    if (!arch.convStages.empty()) {
+        // Standard stem in front of the conv stages.
+        double stem_filters = arch.convStages.front().filters / 2.0;
+        stem_filters = std::max(stem_filters, 16.0);
+        sim::Op stem = sim::ops::conv2d("stem_conv", batch, res, res,
+                                        channels, stem_filters, 3, 3, 2);
+        stem.inputs = {cur};
+        cur = graph.add(std::move(stem));
+        res = std::ceil(res / 2.0);
+        channels = stem_filters;
+        // Reuse the conv-block emitter via a tiny local ConvArch lowering:
+        // emit each stage inline with matched semantics.
+        for (size_t s = 0; s < arch.convStages.size(); ++s) {
+            ConvArch probe; // only used for emitBlock-equivalent emission
+            (void)probe;
+            const auto &stage = arch.convStages[s];
+            for (uint32_t l = 0; l < stage.layers; ++l) {
+                double stride = (l == 0) ? stage.stride : 1.0;
+                double expanded =
+                    std::max(channels * stage.expansion, channels);
+                double out_res = std::ceil(res / stride);
+                double act_cost = nn::activationVpuCost(stage.act);
+                std::string name = "conv_s" + std::to_string(s) + "_b" +
+                                   std::to_string(l);
+                if (stage.type == BlockType::MBConv) {
+                    sim::Op expand = sim::ops::conv2d(
+                        name + "_expand", batch, res, res, channels,
+                        expanded, 1, 1, 1);
+                    expand.inputs = {cur};
+                    cur = graph.add(std::move(expand));
+                    sim::Op dw = sim::ops::depthwiseConv2d(
+                        name + "_dw", batch, res, res, expanded,
+                        stage.kernel, stage.kernel, stride);
+                    dw.inputs = {cur};
+                    cur = graph.add(std::move(dw));
+                    sim::Op project = sim::ops::conv2d(
+                        name + "_project", batch, out_res, out_res,
+                        expanded, stage.filters, 1, 1, 1);
+                    project.inputs = {cur};
+                    cur = graph.add(std::move(project));
+                } else {
+                    sim::Op fused = sim::ops::conv2d(
+                        name + "_fused", batch, res, res, channels,
+                        stage.filters, stage.kernel, stage.kernel, stride);
+                    fused.inputs = {cur};
+                    cur = graph.add(std::move(fused));
+                }
+                sim::Op bn = sim::ops::norm(
+                    name + "_bn", batch * out_res * out_res * stage.filters);
+                bn.inputs = {cur};
+                cur = graph.add(std::move(bn));
+                sim::Op act = sim::ops::elementwise(
+                    name + "_act", batch * out_res * out_res * stage.filters,
+                    act_cost);
+                act.inputs = {cur};
+                cur = graph.add(std::move(act));
+                res = out_res;
+                channels = stage.filters;
+            }
+        }
+    }
+
+    // --- Patchify into a token sequence.
+    double eff_patch = arch.convStages.empty()
+                           ? static_cast<double>(arch.patch)
+                           : 2.0; // conv section already downsampled
+    double seq = std::ceil(res / eff_patch) * std::ceil(res / eff_patch);
+    double hidden0 = arch.tfmBlocks.front().hidden;
+    sim::Op patchify = sim::ops::conv2d("patchify", batch, res, res,
+                                        channels, hidden0, eff_patch,
+                                        eff_patch, eff_patch);
+    patchify.inputs = {cur};
+    cur = graph.add(std::move(patchify));
+
+    // --- Transformer section.
+    for (size_t b = 0; b < arch.tfmBlocks.size(); ++b) {
+        const auto &blk = arch.tfmBlocks[b];
+        double hidden = blk.hidden;
+        double act_cost = nn::activationVpuCost(blk.act);
+        for (uint32_t l = 0; l < blk.layers; ++l) {
+            std::string name =
+                "tfm" + std::to_string(b) + "_l" + std::to_string(l);
+            sim::Op ln1 = sim::ops::norm(name + "_ln1",
+                                         batch * seq * hidden);
+            ln1.inputs = {cur};
+            cur = graph.add(std::move(ln1));
+            sim::Op attn = sim::ops::attention(name + "_attn", batch, seq,
+                                               hidden, blk.heads);
+            attn.inputs = {cur};
+            cur = graph.add(std::move(attn));
+            if (blk.primer) {
+                // Primer: channel-wise depth conv after projections,
+                // over the [batch, seq, hidden] token tensor.
+                sim::Op dconv = sim::ops::depthwiseConv2d(
+                    name + "_primer_dconv", batch, seq, 1.0, hidden, 3, 1,
+                    1);
+                dconv.inputs = {cur};
+                cur = graph.add(std::move(dconv));
+            }
+            sim::Op ln2 = sim::ops::norm(name + "_ln2",
+                                         batch * seq * hidden);
+            ln2.inputs = {cur};
+            cur = graph.add(std::move(ln2));
+            // FFN: hidden -> mlpRatio*hidden -> hidden, optionally
+            // low-rank factorized.
+            double ffn = hidden * blk.mlpRatio;
+            if (blk.lowRank < 1.0) {
+                double rank = std::max(8.0, std::floor(hidden * blk.lowRank));
+                sim::Op u = sim::ops::matmul(name + "_ffn1_u", batch * seq,
+                                             rank, hidden);
+                u.inputs = {cur};
+                cur = graph.add(std::move(u));
+                sim::Op v = sim::ops::matmul(name + "_ffn1_v", batch * seq,
+                                             ffn, rank);
+                v.inputs = {cur};
+                cur = graph.add(std::move(v));
+            } else {
+                sim::Op fc1 = sim::ops::matmul(name + "_ffn1", batch * seq,
+                                               ffn, hidden);
+                fc1.inputs = {cur};
+                cur = graph.add(std::move(fc1));
+            }
+            sim::Op act = sim::ops::elementwise(name + "_act",
+                                                batch * seq * ffn, act_cost);
+            act.inputs = {cur};
+            cur = graph.add(std::move(act));
+            sim::Op fc2 = sim::ops::matmul(name + "_ffn2", batch * seq,
+                                           hidden, ffn);
+            fc2.inputs = {cur};
+            cur = graph.add(std::move(fc2));
+        }
+        if (blk.seqPool && seq > 1.0) {
+            sim::Op sp = sim::ops::pool("funnel_pool" + std::to_string(b),
+                                        batch * seq * hidden,
+                                        batch * (seq / 2.0) * hidden);
+            sp.inputs = {cur};
+            cur = graph.add(std::move(sp));
+            seq = std::ceil(seq / 2.0);
+        }
+        // Project to the next block's hidden size when it changes.
+        if (b + 1 < arch.tfmBlocks.size() &&
+            arch.tfmBlocks[b + 1].hidden != blk.hidden) {
+            sim::Op proj = sim::ops::matmul(
+                "block_proj" + std::to_string(b), batch * seq,
+                arch.tfmBlocks[b + 1].hidden, hidden);
+            proj.inputs = {cur};
+            cur = graph.add(std::move(proj));
+        }
+    }
+
+    double last_hidden = arch.tfmBlocks.back().hidden;
+    sim::Op gp = sim::ops::pool("token_pool", batch * seq * last_hidden,
+                                batch * last_hidden);
+    gp.inputs = {cur};
+    cur = graph.add(std::move(gp));
+    sim::Op fc = sim::ops::matmul("classifier", batch, arch.numClasses,
+                                  last_hidden);
+    fc.inputs = {cur};
+    graph.add(std::move(fc));
+
+    if (mode == ExecMode::Training) {
+        appendBackwardOps(graph, graph.totalParamBytes(),
+                          platform.numChips);
+    }
+    graph.validate();
+    return graph;
+}
+
+double
+VitArch::flopsPerImage() const
+{
+    VitArch probe = *this;
+    probe.perChipBatch = 1;
+    hw::Platform one{hw::tpuV4(), 1};
+    return buildVitGraph(probe, one, ExecMode::Serving).totalFlops();
+}
+
+double
+VitArch::paramCount() const
+{
+    VitArch probe = *this;
+    probe.perChipBatch = 1;
+    hw::Platform one{hw::tpuV4(), 1};
+    return buildVitGraph(probe, one, ExecMode::Serving).totalParamBytes() /
+           sim::ops::kDtypeBytes;
+}
+
+} // namespace h2o::arch

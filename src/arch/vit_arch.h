@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Hybrid vision-transformer architecture (CoAtNet-style: convolutional
+ * stages followed by transformer stages) and its lowering to a simulator
+ * graph.
+ *
+ * Covers the paper's ViT search space (Table 5): self-attention hidden
+ * size, low-rank projection option, activation function (incl. Squared
+ * ReLU, the CoAtNet-H change), sequence-pooling layers (funnel
+ * transformer), Primer-style depthwise convolutions after the attention
+ * projections, per-block layer-count deltas, and the convolutional stem
+ * with searchable patch size and input resolution.
+ */
+
+#ifndef H2O_ARCH_VIT_ARCH_H
+#define H2O_ARCH_VIT_ARCH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/conv_arch.h"
+#include "arch/lowering.h"
+#include "hw/chip.h"
+#include "nn/activation.h"
+#include "sim/graph.h"
+
+namespace h2o::arch {
+
+/** One transformer stage of identical layers. */
+struct TfmBlockConfig
+{
+    uint32_t hidden = 768;   ///< attention hidden size (multiple of 64)
+    uint32_t layers = 2;     ///< transformer layers in this block
+    uint32_t heads = 12;
+    double mlpRatio = 4.0;   ///< FFN expansion
+    /** FFN low-rank fraction of layer width; 1.0 = full rank. */
+    double lowRank = 1.0;
+    nn::Activation act = nn::Activation::GeLU;
+    bool seqPool = false;    ///< funnel: halve sequence after this block
+    bool primer = false;     ///< depthwise conv after QKV projections
+};
+
+/** Complete hybrid ViT architecture. */
+struct VitArch
+{
+    std::string name = "vit";
+    uint32_t resolution = 224;
+    uint32_t patch = 16;             ///< stem patch size
+    std::vector<ConvStageConfig> convStages; ///< optional conv section
+    std::vector<TfmBlockConfig> tfmBlocks;
+    uint32_t numClasses = 1000;
+    uint32_t perChipBatch = 64;
+
+    /** Forward FLOPs for one image (via lowering with batch 1). */
+    double flopsPerImage() const;
+
+    /** Trainable parameter count (via lowering). */
+    double paramCount() const;
+};
+
+/**
+ * Lower to a per-chip simulator graph (data-parallel; training mode
+ * appends backward ops and the gradient all-reduce).
+ */
+sim::Graph buildVitGraph(const VitArch &arch, const hw::Platform &platform,
+                         ExecMode mode);
+
+} // namespace h2o::arch
+
+#endif // H2O_ARCH_VIT_ARCH_H

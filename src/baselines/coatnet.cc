@@ -1,0 +1,124 @@
+#include "baselines/coatnet.h"
+
+#include "common/logging.h"
+
+namespace h2o::baselines {
+
+namespace {
+
+/** Family scaling table: {conv widths, conv depths, tfm hidden, tfm
+ *  depths} per index, following the published C-C-T-T layouts. */
+struct CoatSpec
+{
+    uint32_t convF1, convL1;
+    uint32_t convF2, convL2;
+    uint32_t tfmH1, tfmL1;
+    uint32_t tfmH2, tfmL2;
+};
+
+constexpr CoatSpec kSpecs[6] = {
+    {96, 2, 192, 3, 384, 5, 768, 2},     // C-0
+    {96, 2, 192, 6, 512, 14, 1024, 2},   // C-1
+    {128, 2, 256, 6, 512, 14, 1024, 2},  // C-2
+    {192, 2, 384, 6, 768, 14, 1536, 2},  // C-3
+    {192, 2, 384, 12, 768, 28, 1536, 2}, // C-4
+    {256, 2, 512, 12, 1024, 28, 2048, 2},// C-5
+};
+
+arch::VitArch
+build(int index, uint32_t resolution, uint32_t extra_conv_layers,
+      nn::Activation tfm_act, const std::string &name)
+{
+    h2o_assert(index >= 0 && index <= 5, "CoAtNet index out of range");
+    const CoatSpec &spec = kSpecs[index];
+
+    arch::VitArch a;
+    a.name = name;
+    a.resolution = resolution;
+    a.patch = 16; // unused once conv stages exist (2x patchify after)
+    a.perChipBatch = 64;
+
+    arch::ConvStageConfig s1;
+    s1.type = arch::BlockType::MBConv;
+    s1.kernel = 3;
+    s1.stride = 2;
+    s1.expansion = 4.0;
+    s1.seRatio = 0.25;
+    s1.act = nn::Activation::GeLU;
+    s1.layers = spec.convL1;
+    s1.filters = spec.convF1;
+
+    arch::ConvStageConfig s2 = s1;
+    s2.layers = spec.convL2 + extra_conv_layers;
+    s2.filters = spec.convF2;
+    a.convStages = {s1, s2};
+
+    arch::TfmBlockConfig t1;
+    t1.hidden = spec.tfmH1;
+    t1.layers = spec.tfmL1;
+    t1.heads = spec.tfmH1 / 32;
+    t1.mlpRatio = 4.0;
+    t1.act = tfm_act;
+
+    arch::TfmBlockConfig t2 = t1;
+    t2.hidden = spec.tfmH2;
+    t2.layers = spec.tfmL2;
+    t2.heads = spec.tfmH2 / 32;
+    t2.seqPool = true;
+    a.tfmBlocks = {t1, t2};
+    return a;
+}
+
+} // namespace
+
+arch::VitArch
+coatnet(int index)
+{
+    return build(index, 224, 0, nn::Activation::GeLU,
+                 "coatnet-" + std::to_string(index));
+}
+
+arch::VitArch
+coatnetH(int index)
+{
+    // DeeperConv: +4 layers in the second conv stage (12 -> 16 for C5);
+    // ResShrink: 224 -> 160; SquaredReLU in the transformer.
+    return build(index, 160, 4, nn::Activation::SquaredReLU,
+                 "coatnet-h" + std::to_string(index));
+}
+
+std::vector<arch::VitArch>
+coatnetFamily()
+{
+    std::vector<arch::VitArch> family;
+    for (int i = 0; i <= 5; ++i)
+        family.push_back(coatnet(i));
+    return family;
+}
+
+std::vector<arch::VitArch>
+coatnetHFamily()
+{
+    std::vector<arch::VitArch> family;
+    for (int i = 0; i <= 5; ++i)
+        family.push_back(coatnetH(i));
+    return family;
+}
+
+std::vector<std::pair<std::string, arch::VitArch>>
+coatnetAblation()
+{
+    std::vector<std::pair<std::string, arch::VitArch>> steps;
+    steps.emplace_back("CoAtNet-5",
+                       build(5, 224, 0, nn::Activation::GeLU, "coatnet-5"));
+    steps.emplace_back("+DeeperConv", build(5, 224, 4, nn::Activation::GeLU,
+                                            "coatnet-5-deeper"));
+    steps.emplace_back("+ResShrink", build(5, 160, 4, nn::Activation::GeLU,
+                                           "coatnet-5-deeper-160"));
+    steps.emplace_back("+SquaredReLU (CoAtNet-H5)",
+                       build(5, 160, 4, nn::Activation::SquaredReLU,
+                             "coatnet-h5"));
+    return steps;
+}
+
+} // namespace h2o::baselines

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The CoAtNet baseline family (Dai et al. 2021) and the H2O-NAS-designed
+ * CoAtNet-H family (Section 7.1.1, Table 3, Figure 6).
+ *
+ * CoAtNet is a hybrid C-C-T-T network: two convolutional (MBConv) stages
+ * followed by two transformer stages. The CoAtNet-H changes found by the
+ * search, applied here exactly as the Table 3 ablation describes:
+ *
+ *   +DeeperConv:   the second conv stage grows from 12 to 16 layers
+ *                  (model capacity up, quality up, throughput down);
+ *   +ResShrink:    pre-training resolution shrinks 224 -> 160 px
+ *                  (total FLOPs down ~53%, TPU-friendlier shapes);
+ *   +SquaredReLU:  the transformer activation becomes Squared ReLU
+ *                  (non-linearity/capacity up at trivial VPU cost).
+ */
+
+#ifndef H2O_BASELINES_COATNET_H
+#define H2O_BASELINES_COATNET_H
+
+#include <string>
+#include <vector>
+
+#include "arch/vit_arch.h"
+
+namespace h2o::baselines {
+
+/** CoAtNet-`index` baseline (index in 0..5). */
+arch::VitArch coatnet(int index);
+
+/** The H2O-NAS-designed CoAtNet-H-`index` counterpart. */
+arch::VitArch coatnetH(int index);
+
+/** All six baseline family members, C-0 .. C-5. */
+std::vector<arch::VitArch> coatnetFamily();
+
+/** All six optimized family members, C-H0 .. C-H5. */
+std::vector<arch::VitArch> coatnetHFamily();
+
+/**
+ * The Table 3 ablation sequence:
+ * {CoAtNet-5, +DeeperConv, +ResShrink, +SquaredReLU (== CoAtNet-H5)}.
+ */
+std::vector<std::pair<std::string, arch::VitArch>> coatnetAblation();
+
+} // namespace h2o::baselines
+
+#endif // H2O_BASELINES_COATNET_H

@@ -1,0 +1,132 @@
+#include "baselines/efficientnet.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace h2o::baselines {
+
+namespace {
+
+/** Compound-scaling coefficients per member: width, depth, resolution. */
+struct ScaleSpec
+{
+    double width;
+    double depth;
+    uint32_t resolution;
+};
+
+constexpr ScaleSpec kScales[8] = {
+    {1.0, 1.0, 224}, // B0
+    {1.0, 1.1, 240}, // B1
+    {1.1, 1.2, 260}, // B2
+    {1.2, 1.4, 300}, // B3
+    {1.4, 1.8, 380}, // B4
+    {1.6, 2.2, 456}, // B5
+    {1.8, 2.6, 528}, // B6
+    {2.0, 3.1, 600}, // B7
+};
+
+uint32_t
+scaleWidth(uint32_t base, double mult)
+{
+    // Round to a multiple of 8, as EfficientNet does.
+    double w = base * mult;
+    return static_cast<uint32_t>(std::max(8.0, std::round(w / 8.0) * 8.0));
+}
+
+uint32_t
+scaleDepth(uint32_t base, double mult)
+{
+    return static_cast<uint32_t>(std::ceil(base * mult));
+}
+
+arch::ConvArch
+build(int index, bool h_variant)
+{
+    h2o_assert(index >= 0 && index <= 7, "EfficientNet index out of range");
+    const ScaleSpec &sc = kScales[index];
+
+    // B0 stage table {type, kernel, stride, expansion, se, layers,
+    // filters}; EfficientNet-X fuses the early stages and uses ReLU
+    // (TPU-friendly) rather than swish in them.
+    struct Row
+    {
+        arch::BlockType type;
+        uint32_t kernel, stride;
+        double expansion;
+        uint32_t layers, filters;
+    };
+    const Row rows[7] = {
+        {arch::BlockType::FusedMBConv, 3, 1, 1.0, 1, 16},
+        {arch::BlockType::FusedMBConv, 3, 2, 6.0, 2, 24},
+        {arch::BlockType::FusedMBConv, 5, 2, 6.0, 2, 40},
+        {arch::BlockType::MBConv, 3, 2, 6.0, 3, 80},
+        {arch::BlockType::MBConv, 5, 1, 6.0, 3, 112},
+        {arch::BlockType::MBConv, 5, 2, 6.0, 4, 192},
+        {arch::BlockType::MBConv, 3, 1, 6.0, 1, 320},
+    };
+
+    arch::ConvArch a;
+    a.name = std::string(h_variant ? "efficientnet-h-b" : "efficientnet-x-b")
+             + std::to_string(index);
+    a.resolution = sc.resolution;
+    a.stemFilters = scaleWidth(32, sc.width);
+    a.spaceToDepthStem = true; // EfficientNet-X stem optimization
+    a.headFilters = scaleWidth(1280, sc.width);
+    a.perChipBatch = 64;
+
+    bool apply_h = h_variant && index >= 5;
+    for (size_t s = 0; s < 7; ++s) {
+        arch::ConvStageConfig cfg;
+        cfg.type = rows[s].type;
+        cfg.kernel = rows[s].kernel;
+        cfg.stride = rows[s].stride;
+        cfg.expansion = rows[s].expansion;
+        // EfficientNet-H (B5..B7): alternate stages drop expansion 6->4,
+        // the "mixture of 4 and 6" the search found.
+        if (apply_h && cfg.expansion == 6.0 && s % 2 == 1)
+            cfg.expansion = 4.0;
+        cfg.seRatio = 0.25;
+        cfg.act = nn::Activation::ReLU; // EfficientNet-X choice on TPUs
+        cfg.layers = scaleDepth(rows[s].layers, sc.depth);
+        cfg.filters = scaleWidth(rows[s].filters, sc.width);
+        cfg.skip = true;
+        a.stages.push_back(cfg);
+    }
+    return a;
+}
+
+} // namespace
+
+arch::ConvArch
+efficientnetX(int index)
+{
+    return build(index, false);
+}
+
+arch::ConvArch
+efficientnetH(int index)
+{
+    return build(index, true);
+}
+
+std::vector<arch::ConvArch>
+efficientnetXFamily()
+{
+    std::vector<arch::ConvArch> family;
+    for (int i = 0; i <= 7; ++i)
+        family.push_back(efficientnetX(i));
+    return family;
+}
+
+std::vector<arch::ConvArch>
+efficientnetHFamily()
+{
+    std::vector<arch::ConvArch> family;
+    for (int i = 0; i <= 7; ++i)
+        family.push_back(efficientnetH(i));
+    return family;
+}
+
+} // namespace h2o::baselines

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The EfficientNet-X baseline family (Li et al. 2021) and the
+ * H2O-NAS-designed EfficientNet-H family (Section 7.1.3, Table 4).
+ *
+ * EfficientNet-X is a TPU/GPU-optimized EfficientNet variant: fused
+ * MBConv in the early stages, space-to-depth stem, compound-scaled
+ * B0..B7 members. The H2O-NAS change: in the larger members (B5..B7)
+ * the expansion factors inside the dynamically fused MBConv blocks move
+ * from uniformly 6 to a mixture of 4 and 6; B0..B4 are unchanged.
+ */
+
+#ifndef H2O_BASELINES_EFFICIENTNET_H
+#define H2O_BASELINES_EFFICIENTNET_H
+
+#include <vector>
+
+#include "arch/conv_arch.h"
+
+namespace h2o::baselines {
+
+/** EfficientNet-X-B`index` baseline (index in 0..7). */
+arch::ConvArch efficientnetX(int index);
+
+/** The H2O-NAS-designed EfficientNet-H-B`index` counterpart. */
+arch::ConvArch efficientnetH(int index);
+
+/** All eight baseline members B0..B7. */
+std::vector<arch::ConvArch> efficientnetXFamily();
+
+/** All eight optimized members B0..B7 (B0..B4 identical to baseline). */
+std::vector<arch::ConvArch> efficientnetHFamily();
+
+} // namespace h2o::baselines
+
+#endif // H2O_BASELINES_EFFICIENTNET_H

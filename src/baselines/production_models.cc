@@ -1,0 +1,81 @@
+#include "baselines/production_models.h"
+
+#include <cmath>
+
+#include "baselines/efficientnet.h"
+#include "common/logging.h"
+
+namespace h2o::baselines {
+
+namespace {
+
+/** A deliberately under-optimized CV baseline: production models predate
+ *  hardware-aware NAS, so they use uniform MBConv, swish everywhere,
+ *  and conservative shapes — leaving headroom for the search. */
+arch::ConvArch
+legacyCvModel(const std::string &name, double width_mult, double depth_mult,
+              uint32_t resolution)
+{
+    arch::ConvArch a = efficientnetX(0);
+    a.name = name;
+    a.resolution = resolution;
+    a.spaceToDepthStem = false; // legacy stem
+    for (auto &s : a.stages) {
+        s.type = arch::BlockType::MBConv; // no fused blocks pre-search
+        s.act = nn::Activation::Swish;
+        s.expansion = 6.0;
+        s.filters = static_cast<uint32_t>(
+            std::max(8.0, std::round(s.filters * width_mult / 8.0) * 8.0));
+        s.layers = static_cast<uint32_t>(
+            std::max(1.0, std::ceil(s.layers * depth_mult)));
+    }
+    return a;
+}
+
+} // namespace
+
+std::vector<ProductionCvModel>
+productionCvFleet()
+{
+    std::vector<ProductionCvModel> fleet;
+    fleet.push_back({"CV1", legacyCvModel("cv1", 1.0, 1.0, 224), 1.0});
+    fleet.push_back({"CV2", legacyCvModel("cv2", 1.2, 1.4, 260), 1.0});
+    fleet.push_back({"CV3", legacyCvModel("cv3", 1.4, 1.8, 300), 1.0});
+    fleet.push_back({"CV4", legacyCvModel("cv4", 1.6, 2.2, 380), 1.0});
+    // CV5 trades performance for quality: the product allows a slower
+    // model if accuracy improves (Figure 10 shows its negative perf bar).
+    fleet.push_back({"CV5", legacyCvModel("cv5", 2.0, 2.6, 456), 1.15});
+    return fleet;
+}
+
+std::vector<ProductionDlrmModel>
+productionDlrmFleet()
+{
+    std::vector<ProductionDlrmModel> fleet;
+
+    arch::DlrmArch d1 = arch::baselineDlrm();
+    d1.name = "dlrm1";
+    fleet.push_back({"DLRM1", d1, 0.8});
+
+    // A smaller ranking model with fewer tables and a leaner MLP.
+    arch::DlrmArch d2 = arch::baselineDlrm();
+    d2.name = "dlrm2";
+    d2.tables.resize(16);
+    d2.bottomMlp = {{256, 0}, {128, 0}};
+    d2.topMlp = {{512, 0}, {512, 0}, {256, 0}};
+    fleet.push_back({"DLRM2", d2, 0.8});
+
+    // A retrieval-ish model, embedding-heavy; the product tolerates a
+    // small slowdown for quality (negative perf bar in Figure 10).
+    arch::DlrmArch d3 = arch::baselineDlrm();
+    d3.name = "dlrm3";
+    for (auto &t : d3.tables)
+        t.width = 64;
+    d3.bottomMlp = {{256, 0}};
+    d3.topMlp = {{512, 0}, {256, 0}};
+    fleet.push_back({"DLRM3", d3, 1.1});
+
+    return fleet;
+}
+
+} // namespace h2o::baselines

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The synthetic "production fleet" for the Figure 10 study: five
+ * computer-vision models (CV1..CV5) and three DLRMs (DLRM1..DLRM3) at
+ * assorted scales, standing in for the business-critical Google models
+ * the paper optimizes zero-touch. Each entry carries the baseline
+ * architecture plus the latency/size targets its (fictional) product
+ * imposes — the launch constraints of Section 2.2.
+ */
+
+#ifndef H2O_BASELINES_PRODUCTION_MODELS_H
+#define H2O_BASELINES_PRODUCTION_MODELS_H
+
+#include <string>
+#include <vector>
+
+#include "arch/conv_arch.h"
+#include "arch/dlrm_arch.h"
+
+namespace h2o::baselines {
+
+/** One production CV model entry. */
+struct ProductionCvModel
+{
+    std::string name;
+    arch::ConvArch baseline;
+    /** Training step-time target relative to the baseline's (1.0 =
+     *  neutral; <1 demands a speedup — performance-primary searches;
+     *  >1 allows a quality-driven slowdown, as CV5 does). */
+    double stepTimeTargetRel = 1.0;
+};
+
+/** One production DLRM entry. */
+struct ProductionDlrmModel
+{
+    std::string name;
+    arch::DlrmArch baseline;
+    double stepTimeTargetRel = 1.0;
+};
+
+/** The five CV fleet members. */
+std::vector<ProductionCvModel> productionCvFleet();
+
+/** The three DLRM fleet members. */
+std::vector<ProductionDlrmModel> productionDlrmFleet();
+
+} // namespace h2o::baselines
+
+#endif // H2O_BASELINES_PRODUCTION_MODELS_H

@@ -1,0 +1,182 @@
+#include "baselines/quality_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace h2o::baselines {
+
+namespace {
+
+/** Deterministic noise in [-scale, scale] from an arch-derived seed. */
+double
+hashNoise(uint64_t seed, double scale)
+{
+    if (seed == 0)
+        return 0.0;
+    uint64_t state = seed;
+    uint64_t h = common::splitmix64(state);
+    double u = static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+    return (2.0 * u - 1.0) * scale;
+}
+
+/** Mean activation bonus over transformer blocks (Table 3 anchors). */
+double
+tfmActivationBonus(nn::Activation act)
+{
+    switch (act) {
+      case nn::Activation::SquaredReLU:
+        return 1.2;
+      case nn::Activation::GeLU:
+        return 0.4;
+      case nn::Activation::Swish:
+        return 0.3;
+      default:
+        return 0.0;
+    }
+}
+
+/** Soft saturation toward a 99% ceiling, linear in the working range. */
+double
+saturate(double raw)
+{
+    const double ceiling = 99.0;
+    if (raw < ceiling - 20.0)
+        return raw;
+    // Smoothly compress the last 20 points toward the ceiling.
+    double x = (raw - (ceiling - 20.0)) / 20.0;
+    return (ceiling - 20.0) + 20.0 * std::tanh(x);
+}
+
+} // namespace
+
+double
+vitQuality(const arch::VitArch &a, DatasetSize dataset, uint64_t noise_seed)
+{
+    double params = std::max(a.paramCount(), 1e6);
+
+    // Dataset offsets: SD = ImageNet1K, MD = ImageNet21K, LD = JFT-300M.
+    double base;
+    switch (dataset) {
+      case DatasetSize::Small:
+        base = 49.8;
+        break;
+      case DatasetSize::Medium:
+        base = 52.4;
+        break;
+      case DatasetSize::Large:
+        base = 54.3;
+        break;
+      default:
+        h2o_panic("unhandled dataset size");
+    }
+
+    // Capacity: ~3.5 points per decade of parameters.
+    double cap = 3.5 * std::log10(params);
+
+    // Resolution: calibrated so 224 -> 160 costs 1.4 points.
+    double res = 4.16 * std::log(static_cast<double>(a.resolution) / 224.0);
+
+    // Convolutional depth: calibrated so 14 -> 18 total layers gains 0.6.
+    double conv_layers = 0.0;
+    for (const auto &s : a.convStages)
+        conv_layers += s.layers;
+    double depth = conv_layers > 0.0 ? 2.08 * std::log(conv_layers) : 0.0;
+
+    // Transformer-block terms.
+    double act_bonus = 0.0, pool_cost = 0.0, primer_bonus = 0.0,
+           rank_cost = 0.0;
+    for (const auto &b : a.tfmBlocks) {
+        act_bonus += tfmActivationBonus(b.act);
+        if (b.seqPool)
+            pool_cost += 0.25;
+        if (b.primer)
+            primer_bonus += 0.2;
+        rank_cost += 0.5 * (1.0 - std::clamp(b.lowRank, 0.0, 1.0));
+    }
+    act_bonus /= static_cast<double>(a.tfmBlocks.size());
+
+    double raw = base + cap + res + depth + act_bonus + primer_bonus -
+                 pool_cost - rank_cost;
+    raw += hashNoise(noise_seed, 0.08);
+    return std::clamp(saturate(raw), 1.0, 99.0);
+}
+
+double
+convQuality(const arch::ConvArch &a, uint64_t noise_seed)
+{
+    double params = std::max(a.paramCount(), 1e5);
+
+    double base = 56.0;
+    double cap = 3.2 * std::log10(params / 1e6) + 3.2 * 6.0; // per decade
+    double res = 2.5 * std::log(static_cast<double>(a.resolution) / 224.0);
+
+    double se_bonus = 0.0, act_bonus = 0.0, kernel_bonus = 0.0;
+    double total_stride = 2.0; // stem
+    for (const auto &s : a.stages) {
+        if (s.seRatio > 0.0)
+            se_bonus += 0.3;
+        if (s.act == nn::Activation::Swish)
+            act_bonus += 0.3;
+        kernel_bonus += 0.1 * std::log(static_cast<double>(s.kernel) / 3.0);
+        total_stride *= s.stride;
+    }
+    double n = static_cast<double>(a.stages.size());
+    se_bonus /= n;
+    act_bonus /= n;
+
+    // Spatial-collapse penalty: over-striding destroys spatial detail
+    // faster than capacity can recover it. Final feature maps smaller
+    // than the canonical ~7x7 (224/32) are punished hard, so the search
+    // cannot buy free speed with stride-4 stages.
+    double final_map =
+        static_cast<double>(a.resolution) / std::max(total_stride, 1.0);
+    double stride_cost = 0.0;
+    if (final_map < 7.0)
+        stride_cost = 6.0 * std::log(7.0 / std::max(final_map, 0.5));
+
+    double raw = base + cap + res + se_bonus + act_bonus + kernel_bonus -
+                 stride_cost;
+    raw += hashNoise(noise_seed, 0.08);
+    return std::clamp(saturate(raw), 1.0, 99.0);
+}
+
+double
+dlrmQualitySurrogate(const arch::DlrmArch &a, uint64_t noise_seed)
+{
+    // Per-table memorization value with sharply diminishing returns:
+    // each sparse feature contributes quality according to its (Zipf-
+    // ordered) importance and the capacity vocab x width devoted to it,
+    // saturating once the feature's head ids are well represented.
+    // Large production tables sit deep in saturation, so shrinking them
+    // is nearly quality-free while keeping them costs memory and
+    // network time — the landscape in which the ReLU reward's tolerance
+    // of over-achieving (smaller/faster) candidates pays off, and the
+    // balance dynamic of Section 7.1.2 emerges.
+    double mem_gain = 0.0;
+    for (size_t t = 0; t < a.tables.size(); ++t) {
+        const auto &table = a.tables[t];
+        double importance = 0.010 * std::exp(-0.12 * double(t));
+        double cap = std::log10(
+            1.0 + double(table.vocab) * double(table.width));
+        mem_gain += importance * std::tanh((cap - 4.5) / 1.2);
+    }
+
+    double dense = std::log10(std::max(a.denseParamCount(), 1.0));
+    double gen_gain = 0.014 * std::tanh((dense - 6.0) / 0.8);
+
+    // Mild imbalance penalty between memorization and generalization
+    // capacity (the original production DLRM skewed toward the MLP).
+    double emb = std::log10(std::max(a.embeddingParamCount(), 1.0));
+    double imbalance = (emb - 8.0) - (dense - 6.0);
+    double balance_cost = 0.002 * imbalance * imbalance /
+                          (1.0 + std::abs(imbalance));
+
+    double log_loss = 0.335 - mem_gain - gen_gain + balance_cost;
+    log_loss += hashNoise(noise_seed, 0.0004);
+    return -log_loss; // quality = negated log-loss, higher is better
+}
+
+} // namespace h2o::baselines

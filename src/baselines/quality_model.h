@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Calibrated analytical quality model for the vision domains.
+ *
+ * This repository cannot train ImageNet/JFT-scale vision models (see
+ * DESIGN.md substitution table), so Q(a) for CNN/ViT candidates comes
+ * from a smooth surrogate calibrated against the paper's published
+ * numbers. The NAS machinery is agnostic to where Q comes from; the
+ * performance side is always computed honestly by the simulator.
+ *
+ * Calibration anchors (Table 3 of the paper):
+ *   - +DeeperConv (conv 12->16 layers):  +0.6% top-1
+ *   - +ResShrink  (224 -> 160 px):       -1.4% top-1
+ *   - +SquaredReLU (over GeLU):          +0.8% top-1
+ *   - capacity: ~3.5% top-1 per decade of parameters (CoAtNet family
+ *     span), saturating near 99%.
+ *
+ * A small deterministic per-architecture noise term (hash-seeded) models
+ * run-to-run evaluation variance without breaking reproducibility.
+ */
+
+#ifndef H2O_BASELINES_QUALITY_MODEL_H
+#define H2O_BASELINES_QUALITY_MODEL_H
+
+#include "arch/conv_arch.h"
+#include "arch/dlrm_arch.h"
+#include "arch/vit_arch.h"
+
+namespace h2o::baselines {
+
+/** Pre-training dataset scale (Figure 6: SD/MD/LD). */
+enum class DatasetSize { Small, Medium, Large };
+
+/**
+ * Top-1 ImageNet accuracy (percent) of a hybrid ViT after pre-training
+ * at the given dataset scale.
+ *
+ * @param noise_seed 0 disables the variance term.
+ */
+double vitQuality(const arch::VitArch &a, DatasetSize dataset,
+                  uint64_t noise_seed = 0);
+
+/** Top-1 ImageNet accuracy (percent) of a convolutional model. */
+double convQuality(const arch::ConvArch &a, uint64_t noise_seed = 0);
+
+/**
+ * Surrogate DLRM quality as negated log-loss: responds to embedding
+ * capacity (memorization), dense capacity (generalization), and the
+ * balance between them, with diminishing returns on both — the
+ * trade-off Section 7.1.2 describes. Used only where training the real
+ * super-network is out of budget (the Figure 10 production fleet); the
+ * Figure 5 searches use the genuinely-trained super-network.
+ */
+double dlrmQualitySurrogate(const arch::DlrmArch &a,
+                            uint64_t noise_seed = 0);
+
+} // namespace h2o::baselines
+
+#endif // H2O_BASELINES_QUALITY_MODEL_H

@@ -1,0 +1,62 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace h2o::common {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_emit_mutex;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_emit_mutex);
+        std::fprintf(stderr, "[fatal] %s (%s:%d)\n", msg.c_str(), file, line);
+        std::fflush(stderr);
+    }
+    std::exit(1);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_emit_mutex);
+        std::fprintf(stderr, "[panic] %s (%s:%d)\n", msg.c_str(), file, line);
+        std::fflush(stderr);
+    }
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace h2o::common

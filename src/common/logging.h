@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Status/error reporting in the gem5 tradition.
+ *
+ * Severity taxonomy:
+ *  - inform(): normal operating message, no connotation of misbehavior.
+ *  - warn():   something may be off; a good place to look if strange
+ *              behavior follows.
+ *  - fatal():  the run cannot continue because of a *user* error (bad
+ *              configuration, invalid arguments). Exits with code 1.
+ *  - panic():  an internal invariant was violated (a bug in this library).
+ *              Aborts, so a core dump / debugger can capture state.
+ */
+
+#ifndef H2O_COMMON_LOGGING_H
+#define H2O_COMMON_LOGGING_H
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace h2o::common {
+
+/** Verbosity levels for runtime filtering of status messages. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Set the global verbosity; messages above this level are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+/** Emit a formatted message to stderr with a severity tag. */
+void emit(const char *tag, const std::string &msg);
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Fold a parameter pack into a string via ostringstream. */
+template <typename... Args>
+std::string
+cat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Informative message for the user; printed at Info verbosity and above. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Info)
+        detail::emit("info", detail::cat(std::forward<Args>(args)...));
+}
+
+/** Debug-level message; printed only at Debug verbosity. */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::emit("debug", detail::cat(std::forward<Args>(args)...));
+}
+
+/** Warning: possibly-incorrect behavior that does not stop the run. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emit("warn", detail::cat(std::forward<Args>(args)...));
+}
+
+} // namespace h2o::common
+
+/**
+ * Terminate because of a user/configuration error.
+ * Usage: h2o_fatal("batch size ", bs, " must be positive").
+ */
+#define h2o_fatal(...)                                                        \
+    ::h2o::common::detail::fatalImpl(                                         \
+        __FILE__, __LINE__, ::h2o::common::detail::cat(__VA_ARGS__))
+
+/** Terminate because an internal invariant was violated (library bug). */
+#define h2o_panic(...)                                                        \
+    ::h2o::common::detail::panicImpl(                                         \
+        __FILE__, __LINE__, ::h2o::common::detail::cat(__VA_ARGS__))
+
+/** Panic unless a library-internal invariant holds. Always checked. */
+#define h2o_assert(cond, ...)                                                 \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::h2o::common::detail::panicImpl(                                 \
+                __FILE__, __LINE__,                                           \
+                ::h2o::common::detail::cat("assertion failed: " #cond " ",    \
+                                           ##__VA_ARGS__));                   \
+        }                                                                     \
+    } while (0)
+
+#endif // H2O_COMMON_LOGGING_H

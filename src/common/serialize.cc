@@ -1,0 +1,58 @@
+#include "common/serialize.h"
+
+#include <iomanip>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace h2o::common {
+
+void
+writeTagged(std::ostream &os, const std::string &tag,
+            const std::vector<double> &values)
+{
+    os << "tag " << tag << " " << values.size() << "\n";
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            os << " ";
+        os << values[i];
+    }
+    os << "\n";
+}
+
+void
+writeTaggedScalar(std::ostream &os, const std::string &tag, double value)
+{
+    writeTagged(os, tag, {value});
+}
+
+std::vector<double>
+readTagged(std::istream &is, const std::string &tag)
+{
+    std::string word, name;
+    size_t count = 0;
+    if (!(is >> word >> name >> count))
+        h2o_fatal("checkpoint truncated while expecting tag '", tag, "'");
+    if (word != "tag" || name != tag)
+        h2o_fatal("checkpoint expected tag '", tag, "', found '", word,
+                  " ", name, "'");
+    std::vector<double> values(count);
+    for (size_t i = 0; i < count; ++i) {
+        if (!(is >> values[i]))
+            h2o_fatal("checkpoint truncated inside tag '", tag, "'");
+    }
+    return values;
+}
+
+double
+readTaggedScalar(std::istream &is, const std::string &tag)
+{
+    auto values = readTagged(is, tag);
+    if (values.size() != 1)
+        h2o_fatal("checkpoint tag '", tag, "' expected 1 value, found ",
+                  values.size());
+    return values[0];
+}
+
+} // namespace h2o::common

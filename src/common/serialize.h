@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal tagged text serialization for checkpoints.
+ *
+ * Production NAS runs continuously (Section 7.3's zero-touch loop), so
+ * the policy and the fine-tuned performance model must survive process
+ * restarts. The format is deliberately simple and diff-able:
+ *
+ *   tag <name> <count>
+ *   v0 v1 v2 ...
+ *
+ * Readers are strict: a missing or misnamed tag is a fatal error
+ * (corrupt checkpoints must not be silently half-loaded).
+ */
+
+#ifndef H2O_COMMON_SERIALIZE_H
+#define H2O_COMMON_SERIALIZE_H
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace h2o::common {
+
+/** Write one tagged vector of doubles. */
+void writeTagged(std::ostream &os, const std::string &tag,
+                 const std::vector<double> &values);
+
+/** Write one tagged scalar. */
+void writeTaggedScalar(std::ostream &os, const std::string &tag,
+                       double value);
+
+/**
+ * Read a tagged vector; fatal if the next tag does not match `tag`
+ * or the stream is malformed.
+ */
+std::vector<double> readTagged(std::istream &is, const std::string &tag);
+
+/** Read a tagged scalar; fatal on mismatch. */
+double readTaggedScalar(std::istream &is, const std::string &tag);
+
+} // namespace h2o::common
+
+#endif // H2O_COMMON_SERIALIZE_H

@@ -1,0 +1,214 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace h2o::common {
+
+double
+mean(const std::vector<double> &xs)
+{
+    h2o_assert(!xs.empty(), "mean of empty vector");
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double> &xs)
+{
+    double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    h2o_assert(!xs.empty(), "geomean of empty vector");
+    double acc = 0.0;
+    for (double x : xs) {
+        h2o_assert(x > 0.0, "geomean requires positive values, got ", x);
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double
+rmse(const std::vector<double> &pred, const std::vector<double> &truth)
+{
+    h2o_assert(pred.size() == truth.size() && !pred.empty(),
+               "rmse size mismatch: ", pred.size(), " vs ", truth.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < pred.size(); ++i) {
+        double d = pred[i] - truth[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(pred.size()));
+}
+
+double
+nrmse(const std::vector<double> &pred, const std::vector<double> &truth)
+{
+    double m = mean(truth);
+    h2o_assert(m != 0.0, "nrmse normalizer (mean of truth) is zero");
+    return rmse(pred, truth) / std::abs(m);
+}
+
+double
+mape(const std::vector<double> &pred, const std::vector<double> &truth)
+{
+    h2o_assert(pred.size() == truth.size() && !pred.empty(),
+               "mape size mismatch");
+    double acc = 0.0;
+    for (size_t i = 0; i < pred.size(); ++i) {
+        h2o_assert(truth[i] != 0.0, "mape with zero truth value");
+        acc += std::abs((pred[i] - truth[i]) / truth[i]);
+    }
+    return acc / static_cast<double>(pred.size());
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    h2o_assert(xs.size() == ys.size() && xs.size() >= 2,
+               "pearson needs >= 2 paired samples");
+    double mx = mean(xs), my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double dx = xs[i] - mx, dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double>
+ranks(const std::vector<double> &xs)
+{
+    size_t n = xs.size();
+    std::vector<size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), size_t{0});
+    std::sort(idx.begin(), idx.end(),
+              [&](size_t a, size_t b) { return xs[a] < xs[b]; });
+    std::vector<double> out(n, 0.0);
+    size_t i = 0;
+    while (i < n) {
+        size_t j = i;
+        while (j + 1 < n && xs[idx[j + 1]] == xs[idx[i]])
+            ++j;
+        // Average rank over the tie group [i, j].
+        double r = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+        for (size_t k = i; k <= j; ++k)
+            out[idx[k]] = r;
+        i = j + 1;
+    }
+    return out;
+}
+
+double
+spearman(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    return pearson(ranks(xs), ranks(ys));
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    h2o_assert(!xs.empty(), "quantile of empty vector");
+    h2o_assert(q >= 0.0 && q <= 1.0, "quantile q out of range: ", q);
+    std::sort(xs.begin(), xs.end());
+    double pos = q * static_cast<double>(xs.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Bucketizer::Bucketizer(size_t num_buckets) : _numBuckets(num_buckets)
+{
+    h2o_assert(num_buckets > 0, "Bucketizer needs >= 1 bucket");
+}
+
+void
+Bucketizer::add(double x, double y)
+{
+    _xs.push_back(x);
+    _ys.push_back(y);
+}
+
+std::vector<Bucketizer::Bucket>
+Bucketizer::buckets() const
+{
+    std::vector<Bucket> out;
+    if (_xs.empty())
+        return out;
+    double lo = *std::min_element(_xs.begin(), _xs.end());
+    double hi = *std::max_element(_xs.begin(), _xs.end());
+    if (lo == hi) {
+        out.push_back({lo, hi, mean(_ys), _ys.size()});
+        return out;
+    }
+    double width = (hi - lo) / static_cast<double>(_numBuckets);
+    std::vector<double> sum(_numBuckets, 0.0);
+    std::vector<size_t> cnt(_numBuckets, 0);
+    for (size_t i = 0; i < _xs.size(); ++i) {
+        size_t b = static_cast<size_t>((_xs[i] - lo) / width);
+        b = std::min(b, _numBuckets - 1);
+        sum[b] += _ys[i];
+        cnt[b] += 1;
+    }
+    for (size_t b = 0; b < _numBuckets; ++b) {
+        if (cnt[b] == 0)
+            continue;
+        out.push_back({lo + width * static_cast<double>(b),
+                       lo + width * static_cast<double>(b + 1),
+                       sum[b] / static_cast<double>(cnt[b]), cnt[b]});
+    }
+    return out;
+}
+
+void
+RunningStat::push(double x)
+{
+    if (_count == 0) {
+        _min = _max = x;
+    } else {
+        _min = std::min(_min, x);
+        _max = std::max(_max, x);
+    }
+    ++_count;
+    double delta = x - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (x - _mean);
+}
+
+double
+RunningStat::variance() const
+{
+    if (_count < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_count);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace h2o::common

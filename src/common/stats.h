@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Statistics helpers used throughout the library: summary statistics,
+ * error metrics for the performance model (NRMSE, as reported in Table 1 of
+ * the paper), rank correlations for sanity-checking performance proxies,
+ * geometric means for speedup tables (Table 4), and the quality/step-time
+ * bucketizer used by the Figure 5 reward-function study.
+ */
+
+#ifndef H2O_COMMON_STATS_H
+#define H2O_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace h2o::common {
+
+/** Arithmetic mean. @pre xs non-empty. */
+double mean(const std::vector<double> &xs);
+
+/** Population variance. @pre xs non-empty. */
+double variance(const std::vector<double> &xs);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double> &xs);
+
+/** Geometric mean. @pre all xs strictly positive. */
+double geomean(const std::vector<double> &xs);
+
+/** Root-mean-square error between predictions and targets. */
+double rmse(const std::vector<double> &pred, const std::vector<double> &truth);
+
+/**
+ * Normalized RMSE: RMSE divided by the mean of the targets, the metric the
+ * paper reports for performance-model quality (Table 1).
+ * @pre mean(truth) != 0.
+ */
+double nrmse(const std::vector<double> &pred,
+             const std::vector<double> &truth);
+
+/** Mean absolute percentage error. @pre all truth values nonzero. */
+double mape(const std::vector<double> &pred, const std::vector<double> &truth);
+
+/** Pearson linear correlation coefficient. */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Spearman rank correlation coefficient. */
+double spearman(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Linear-interpolated quantile, q in [0, 1]. @pre xs non-empty. */
+double quantile(std::vector<double> xs, double q);
+
+/** Fractional ranks with ties averaged (helper for spearman). */
+std::vector<double> ranks(const std::vector<double> &xs);
+
+/**
+ * Buckets (x, y) points by x and averages y within each bucket.
+ *
+ * This is how Figure 5b/5c summarize a searched-model population: cluster
+ * models into quality buckets and compare the average step time per bucket
+ * (and vice versa).
+ */
+class Bucketizer
+{
+  public:
+    /** One output bucket: [lo, hi) in x, with mean y of its members. */
+    struct Bucket
+    {
+        double lo;
+        double hi;
+        double meanY;
+        size_t count;
+    };
+
+    /**
+     * @param num_buckets Number of equal-width buckets spanning the x range.
+     */
+    explicit Bucketizer(size_t num_buckets);
+
+    /** Add one observation. */
+    void add(double x, double y);
+
+    /** Compute buckets over everything added so far (empty buckets skipped). */
+    std::vector<Bucket> buckets() const;
+
+  private:
+    size_t _numBuckets;
+    std::vector<double> _xs;
+    std::vector<double> _ys;
+};
+
+/** Streaming mean/variance accumulator (Welford). */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void push(double x);
+
+    /** Number of samples pushed. */
+    size_t count() const { return _count; }
+
+    /** Mean of pushed samples; 0 when empty. */
+    double mean() const { return _mean; }
+
+    /** Population variance; 0 when fewer than 2 samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest pushed sample. */
+    double min() const { return _min; }
+
+    /** Largest pushed sample. */
+    double max() const { return _max; }
+
+  private:
+    size_t _count = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+} // namespace h2o::common
+
+#endif // H2O_COMMON_STATS_H

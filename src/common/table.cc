@@ -1,0 +1,92 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace h2o::common {
+
+AsciiTable::AsciiTable(std::string title) : _title(std::move(title)) {}
+
+void
+AsciiTable::setHeader(std::vector<std::string> header)
+{
+    h2o_assert(_rows.empty(), "setHeader after rows were added");
+    _header = std::move(header);
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> row)
+{
+    h2o_assert(row.size() == _header.size(),
+               "row width ", row.size(), " != header width ", _header.size());
+    _rows.push_back(std::move(row));
+}
+
+void
+AsciiTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(_header.size(), 0);
+    for (size_t c = 0; c < _header.size(); ++c)
+        widths[c] = _header[c].size();
+    for (const auto &row : _rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    os << "== " << _title << " ==\n";
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << "\n";
+    };
+    print_row(_header);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : _rows)
+        print_row(row);
+    os << "\n";
+}
+
+void
+AsciiTable::printCsv(std::ostream &os) const
+{
+    auto csv_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    csv_row(_header);
+    for (const auto &row : _rows)
+        csv_row(row);
+}
+
+std::string
+AsciiTable::num(double v, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << v;
+    return oss.str();
+}
+
+std::string
+AsciiTable::times(double v, int decimals)
+{
+    return num(v, decimals) + "x";
+}
+
+std::string
+AsciiTable::pct(double v, int decimals)
+{
+    return num(v * 100.0, decimals) + "%";
+}
+
+} // namespace h2o::common

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Text tables for benchmark output. Every bench binary regenerating one of
+ * the paper's tables/figures prints its rows through AsciiTable so the
+ * output is directly comparable to the published artifact, and can also
+ * dump CSV for downstream plotting.
+ */
+
+#ifndef H2O_COMMON_TABLE_H
+#define H2O_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace h2o::common {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Cells are strings; numeric helpers format with a fixed precision. The
+ * table is rendered with a header rule and column padding.
+ */
+class AsciiTable
+{
+  public:
+    /** @param title Printed above the table. */
+    explicit AsciiTable(std::string title);
+
+    /** Set the header row. Must be called before any addRow(). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table as CSV (header + rows, comma separated). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows added. */
+    size_t numRows() const { return _rows.size(); }
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 3);
+
+    /** Format a value as a multiplier, e.g. "1.54x". */
+    static std::string times(double v, int decimals = 2);
+
+    /** Format a fraction as a percentage, e.g. 0.22 -> "22.0%". */
+    static std::string pct(double v, int decimals = 1);
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace h2o::common
+
+#endif // H2O_COMMON_TABLE_H

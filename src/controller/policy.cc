@@ -1,0 +1,196 @@
+#include "controller/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+
+namespace h2o::controller {
+
+namespace {
+
+/** Numerically-stable softmax. */
+std::vector<double>
+softmax(const std::vector<double> &logits)
+{
+    double mx = *std::max_element(logits.begin(), logits.end());
+    std::vector<double> p(logits.size());
+    double total = 0.0;
+    for (size_t i = 0; i < logits.size(); ++i) {
+        p[i] = std::exp(logits[i] - mx);
+        total += p[i];
+    }
+    for (auto &v : p)
+        v /= total;
+    return p;
+}
+
+} // namespace
+
+Policy::Policy(const searchspace::DecisionSpace &space)
+{
+    _logits.reserve(space.numDecisions());
+    _grads.reserve(space.numDecisions());
+    for (const auto &d : space.decisions()) {
+        _logits.emplace_back(d.numChoices, 0.0);
+        _grads.emplace_back(d.numChoices, 0.0);
+    }
+}
+
+searchspace::Sample
+Policy::sample(common::Rng &rng) const
+{
+    searchspace::Sample s(_logits.size());
+    for (size_t d = 0; d < _logits.size(); ++d) {
+        auto p = softmax(_logits[d]);
+        s[d] = rng.categorical(p);
+    }
+    return s;
+}
+
+searchspace::Sample
+Policy::argmax() const
+{
+    searchspace::Sample s(_logits.size());
+    for (size_t d = 0; d < _logits.size(); ++d) {
+        s[d] = static_cast<size_t>(
+            std::max_element(_logits[d].begin(), _logits[d].end()) -
+            _logits[d].begin());
+    }
+    return s;
+}
+
+double
+Policy::logProb(const searchspace::Sample &sample) const
+{
+    h2o_assert(sample.size() == _logits.size(), "sample size mismatch");
+    double total = 0.0;
+    for (size_t d = 0; d < _logits.size(); ++d) {
+        auto p = softmax(_logits[d]);
+        h2o_assert(sample[d] < p.size(), "choice out of range");
+        total += std::log(std::max(p[sample[d]], 1e-300));
+    }
+    return total;
+}
+
+std::vector<double>
+Policy::probs(size_t decision) const
+{
+    h2o_assert(decision < _logits.size(), "decision index out of range");
+    return softmax(_logits[decision]);
+}
+
+double
+Policy::meanEntropy() const
+{
+    if (_logits.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto &logits : _logits) {
+        auto p = softmax(logits);
+        double h = 0.0;
+        for (double v : p)
+            if (v > 0.0)
+                h -= v * std::log(v);
+        total += h;
+    }
+    return total / static_cast<double>(_logits.size());
+}
+
+void
+Policy::accumulateGrad(const searchspace::Sample &sample, double advantage)
+{
+    h2o_assert(sample.size() == _logits.size(), "sample size mismatch");
+    for (size_t d = 0; d < _logits.size(); ++d) {
+        auto p = softmax(_logits[d]);
+        for (size_t j = 0; j < p.size(); ++j) {
+            double indicator = (j == sample[d]) ? 1.0 : 0.0;
+            _grads[d][j] += advantage * (indicator - p[j]);
+        }
+    }
+}
+
+void
+Policy::accumulateEntropyGrad(double weight)
+{
+    for (size_t d = 0; d < _logits.size(); ++d) {
+        auto p = softmax(_logits[d]);
+        double h = 0.0;
+        for (double v : p)
+            if (v > 0.0)
+                h -= v * std::log(v);
+        for (size_t j = 0; j < p.size(); ++j) {
+            double logp = std::log(std::max(p[j], 1e-300));
+            _grads[d][j] += weight * (-p[j] * (logp + h));
+        }
+    }
+}
+
+void
+Policy::mergeGrad(const Policy &other)
+{
+    h2o_assert(other._grads.size() == _grads.size(),
+               "merging incompatible policies");
+    for (size_t d = 0; d < _grads.size(); ++d) {
+        h2o_assert(other._grads[d].size() == _grads[d].size(),
+                   "merging incompatible decision ", d);
+        for (size_t j = 0; j < _grads[d].size(); ++j)
+            _grads[d][j] += other._grads[d][j];
+    }
+}
+
+void
+Policy::applyGrad(double lr)
+{
+    for (size_t d = 0; d < _grads.size(); ++d) {
+        for (size_t j = 0; j < _grads[d].size(); ++j) {
+            _logits[d][j] += lr * _grads[d][j];
+            _grads[d][j] = 0.0;
+        }
+    }
+}
+
+void
+Policy::zeroGrad()
+{
+    for (auto &g : _grads)
+        std::fill(g.begin(), g.end(), 0.0);
+}
+
+const std::vector<double> &
+Policy::logits(size_t decision) const
+{
+    h2o_assert(decision < _logits.size(), "decision index out of range");
+    return _logits[decision];
+}
+
+void
+Policy::save(std::ostream &os) const
+{
+    common::writeTaggedScalar(os, "policy_decisions",
+                              static_cast<double>(_logits.size()));
+    for (size_t d = 0; d < _logits.size(); ++d)
+        common::writeTagged(os, "logits" + std::to_string(d), _logits[d]);
+}
+
+void
+Policy::load(std::istream &is)
+{
+    size_t decisions = static_cast<size_t>(
+        common::readTaggedScalar(is, "policy_decisions"));
+    if (decisions != _logits.size())
+        h2o_fatal("policy checkpoint has ", decisions,
+                  " decisions, space has ", _logits.size());
+    for (size_t d = 0; d < _logits.size(); ++d) {
+        auto values = common::readTagged(is, "logits" + std::to_string(d));
+        if (values.size() != _logits[d].size())
+            h2o_fatal("policy checkpoint decision ", d, " has ",
+                      values.size(), " choices, space has ",
+                      _logits[d].size());
+        _logits[d] = std::move(values);
+    }
+}
+
+} // namespace h2o::controller

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The RL policy pi: a probability distribution over a collection of
+ * independent multinomial variables, one per categorical decision of the
+ * search space (Section 4.1). Parameterized by per-decision logits with
+ * softmax sampling; at the end of a search the final architecture is the
+ * per-decision argmax.
+ */
+
+#ifndef H2O_CONTROLLER_POLICY_H
+#define H2O_CONTROLLER_POLICY_H
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "searchspace/decision_space.h"
+
+namespace h2o::common { class Rng; }
+
+namespace h2o::controller {
+
+/** Softmax policy over independent categorical decisions. */
+class Policy
+{
+  public:
+    /** Uniform-initialized policy over a decision space. */
+    explicit Policy(const searchspace::DecisionSpace &space);
+
+    /** Number of decisions. */
+    size_t numDecisions() const { return _logits.size(); }
+
+    /** Sample one architecture from pi. */
+    searchspace::Sample sample(common::Rng &rng) const;
+
+    /** Most probable value for each decision (search finalization). */
+    searchspace::Sample argmax() const;
+
+    /** log pi(sample). */
+    double logProb(const searchspace::Sample &sample) const;
+
+    /** Softmax probabilities for one decision. */
+    std::vector<double> probs(size_t decision) const;
+
+    /** Mean per-decision entropy (nats); uniform policy maximizes it. */
+    double meanEntropy() const;
+
+    /**
+     * Accumulate the REINFORCE gradient of `advantage` x log pi(sample)
+     * into the internal gradient buffer (d log pi / d logit_j =
+     * 1[j = a] - p_j).
+     */
+    void accumulateGrad(const searchspace::Sample &sample, double advantage);
+
+    /**
+     * Accumulate the entropy-bonus gradient scaled by `weight`
+     * (dH/d logit_j = -p_j (log p_j + H)).
+     */
+    void accumulateEntropyGrad(double weight);
+
+    /**
+     * Merge another policy's accumulated gradients into this one — the
+     * cross-shard policy update of the parallel single-step algorithm.
+     */
+    void mergeGrad(const Policy &other);
+
+    /** Gradient-ascent step with the given learning rate; zeroes grads. */
+    void applyGrad(double lr);
+
+    /** Zero the gradient buffer. */
+    void zeroGrad();
+
+    /** Raw logits for one decision (inspection / tests). */
+    const std::vector<double> &logits(size_t decision) const;
+
+    /**
+     * Checkpoint the policy (Section 7.3: production searches must
+     * survive restarts). Gradient accumulators are not persisted.
+     */
+    void save(std::ostream &os) const;
+
+    /**
+     * Restore a checkpoint. Fatal when the checkpoint's decision
+     * structure does not match this policy's space.
+     */
+    void load(std::istream &is);
+
+  private:
+    std::vector<std::vector<double>> _logits;
+    std::vector<std::vector<double>> _grads;
+};
+
+} // namespace h2o::controller
+
+#endif // H2O_CONTROLLER_POLICY_H

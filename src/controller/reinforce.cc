@@ -1,0 +1,51 @@
+#include "controller/reinforce.h"
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace h2o::controller {
+
+ReinforceController::ReinforceController(
+    const searchspace::DecisionSpace &space, ReinforceConfig config)
+    : _policy(space), _config(config)
+{
+    h2o_assert(_config.learningRate > 0.0, "non-positive RL learning rate");
+    h2o_assert(_config.baselineMomentum >= 0.0 &&
+                   _config.baselineMomentum < 1.0,
+               "baseline momentum out of [0, 1)");
+}
+
+ControllerStats
+ReinforceController::update(
+    const std::vector<searchspace::Sample> &samples,
+    const std::vector<double> &rewards)
+{
+    h2o_assert(samples.size() == rewards.size() && !samples.empty(),
+               "controller update with mismatched samples/rewards");
+
+    double mean_reward = common::mean(rewards);
+    if (!_baselineInit) {
+        _baseline = mean_reward;
+        _baselineInit = true;
+    }
+
+    double inv = 1.0 / static_cast<double>(samples.size());
+    for (size_t i = 0; i < samples.size(); ++i) {
+        double advantage = (rewards[i] - _baseline) * inv;
+        _policy.accumulateGrad(samples[i], advantage);
+    }
+    if (_config.entropyWeight > 0.0)
+        _policy.accumulateEntropyGrad(_config.entropyWeight);
+    _policy.applyGrad(_config.learningRate);
+
+    _baseline = _config.baselineMomentum * _baseline +
+                (1.0 - _config.baselineMomentum) * mean_reward;
+
+    ControllerStats stats;
+    stats.meanReward = mean_reward;
+    stats.baseline = _baseline;
+    stats.meanEntropy = _policy.meanEntropy();
+    return stats;
+}
+
+} // namespace h2o::controller

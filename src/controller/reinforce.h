@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The REINFORCE controller (Williams 1992), as used by the paper's search
+ * algorithm: rewards from the sampled architectures update the policy
+ * with a moving-average baseline for variance reduction and an optional
+ * entropy bonus to keep exploration alive early in the search.
+ *
+ * One-shot rewards are only comparable within a step (Section 2.1), so
+ * the controller centers each step's rewards against the baseline before
+ * the cross-shard gradient is applied.
+ */
+
+#ifndef H2O_CONTROLLER_REINFORCE_H
+#define H2O_CONTROLLER_REINFORCE_H
+
+#include <vector>
+
+#include "controller/policy.h"
+
+namespace h2o::controller {
+
+/** REINFORCE hyperparameters. */
+struct ReinforceConfig
+{
+    double learningRate = 0.05;
+    /** Exponential moving-average factor for the reward baseline. */
+    double baselineMomentum = 0.9;
+    /** Entropy-bonus weight; 0 disables it. */
+    double entropyWeight = 1e-3;
+};
+
+/** Telemetry from one controller update. */
+struct ControllerStats
+{
+    double meanReward = 0.0;
+    double baseline = 0.0;
+    double meanEntropy = 0.0;
+};
+
+/**
+ * REINFORCE over a Policy. update() performs the cross-shard policy
+ * update of Figure 2: all shards' (sample, reward) pairs contribute to
+ * one aggregated gradient per step.
+ */
+class ReinforceController
+{
+  public:
+    /**
+     * @param space  Decision space of the search.
+     * @param config Hyperparameters.
+     */
+    ReinforceController(const searchspace::DecisionSpace &space,
+                        ReinforceConfig config = ReinforceConfig{});
+
+    /** The current policy (sampling, argmax finalization). */
+    Policy &policy() { return _policy; }
+
+    /** The current policy (const). */
+    const Policy &policy() const { return _policy; }
+
+    /**
+     * Apply one step's cross-shard update from all shards' samples and
+     * rewards (parallel arrays, one entry per shard/candidate).
+     */
+    ControllerStats update(const std::vector<searchspace::Sample> &samples,
+                           const std::vector<double> &rewards);
+
+    /** Current moving-average reward baseline. */
+    double baseline() const { return _baseline; }
+
+  private:
+    Policy _policy;
+    ReinforceConfig _config;
+    double _baseline = 0.0;
+    bool _baselineInit = false;
+};
+
+} // namespace h2o::controller
+
+#endif // H2O_CONTROLLER_REINFORCE_H

@@ -1,0 +1,114 @@
+#include "hw/chip.h"
+
+#include "common/logging.h"
+
+namespace h2o::hw {
+
+namespace {
+
+constexpr double kTera = 1e12;
+constexpr double kGiga = 1e9;
+constexpr double kMebi = 1024.0 * 1024.0;
+constexpr double kGibi = 1024.0 * kMebi;
+
+} // namespace
+
+ChipSpec
+tpuV4()
+{
+    ChipSpec c;
+    c.name = "TPUv4";
+    c.peakTensorFlops = 275.0 * kTera;
+    c.peakVectorFlops = 4.3 * kTera;
+    c.tensorTile = 128;
+    c.hbmCapacityBytes = 32.0 * kGibi;
+    c.hbmBandwidth = 1200.0 * kGiga;
+    c.onChipCapacityBytes = 128.0 * kMebi;
+    c.onChipBandwidth = 12.0 * kTera; // ~10x HBM
+    c.iciBandwidth = 300.0 * kGiga;
+    c.idlePowerW = 60.0;
+    c.computePowerW = 130.0; // dynamic compute power at full MXU load
+    c.hbmEnergyPerByte = 56e-12;    // ~7 pJ/bit
+    c.onChipEnergyPerByte = 8e-12;  // ~1 pJ/bit
+    return c;
+}
+
+ChipSpec
+tpuV4i()
+{
+    ChipSpec c;
+    c.name = "TPUv4i";
+    c.peakTensorFlops = 138.0 * kTera;
+    c.peakVectorFlops = 2.2 * kTera;
+    c.tensorTile = 128;
+    c.hbmCapacityBytes = 8.0 * kGibi;
+    c.hbmBandwidth = 614.0 * kGiga;
+    c.onChipCapacityBytes = 128.0 * kMebi;
+    c.onChipBandwidth = 6.1 * kTera;
+    c.iciBandwidth = 100.0 * kGiga;
+    c.idlePowerW = 55.0;
+    c.computePowerW = 120.0;
+    c.hbmEnergyPerByte = 56e-12;
+    c.onChipEnergyPerByte = 8e-12;
+    return c;
+}
+
+ChipSpec
+gpuV100()
+{
+    ChipSpec c;
+    c.name = "GPUv100";
+    c.peakTensorFlops = 125.0 * kTera;
+    c.peakVectorFlops = 15.7 * kTera; // fp32 CUDA cores
+    c.tensorTile = 16;
+    c.hbmCapacityBytes = 16.0 * kGibi;
+    c.hbmBandwidth = 900.0 * kGiga;
+    c.onChipCapacityBytes = 6.0 * kMebi; // L2
+    c.onChipBandwidth = 4.0 * kTera;
+    c.iciBandwidth = 300.0 * kGiga; // NVLink2 aggregate
+    c.idlePowerW = 70.0;
+    c.computePowerW = 230.0;
+    c.hbmEnergyPerByte = 56e-12;
+    c.onChipEnergyPerByte = 10e-12;
+    return c;
+}
+
+ChipSpec
+chipSpec(ChipModel model)
+{
+    switch (model) {
+      case ChipModel::TpuV4:
+        return tpuV4();
+      case ChipModel::TpuV4i:
+        return tpuV4i();
+      case ChipModel::GpuV100:
+        return gpuV100();
+    }
+    h2o_panic("unhandled chip model");
+}
+
+ChipModel
+chipModelFromName(const std::string &name)
+{
+    if (name == "tpuv4")
+        return ChipModel::TpuV4;
+    if (name == "tpuv4i")
+        return ChipModel::TpuV4i;
+    if (name == "v100" || name == "gpuv100")
+        return ChipModel::GpuV100;
+    h2o_fatal("unknown chip '", name, "' (expected tpuv4|tpuv4i|v100)");
+}
+
+Platform
+trainingPlatform()
+{
+    return Platform{tpuV4(), 128};
+}
+
+Platform
+servingPlatform()
+{
+    return Platform{tpuV4i(), 1};
+}
+
+} // namespace h2o::hw

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Datacenter ML accelerator descriptions.
+ *
+ * A ChipSpec captures the subsystems the paper's performance simulator
+ * models (Section 6.2.3): matrix/tensor units (MXUs on TPUs, Tensor Cores
+ * on GPUs), vector processing units, the two-level memory system
+ * (on-chip CMEM-style SRAM plus off-chip HBM), and the chip-to-chip
+ * interconnect used by distributed embedding layers. Numbers follow the
+ * public TPUv4 / TPUv4i / V100 characterizations cited by the paper
+ * (Jouppi et al. 2021/2022, NVIDIA whitepapers); exact magnitudes matter
+ * less than the *ratios*, which determine roofline shape and crossovers.
+ */
+
+#ifndef H2O_HW_CHIP_H
+#define H2O_HW_CHIP_H
+
+#include <cstdint>
+#include <string>
+
+namespace h2o::hw {
+
+/** Identifier for the built-in chip models. */
+enum class ChipModel { TpuV4, TpuV4i, GpuV100 };
+
+/**
+ * Static description of one accelerator chip.
+ */
+struct ChipSpec
+{
+    std::string name;
+
+    // --- Compute ---
+    /** Peak matrix-unit throughput (bf16/fp16 MAC), FLOP/s. */
+    double peakTensorFlops;
+    /** Peak vector-unit throughput, FLOP/s (elementwise / activations). */
+    double peakVectorFlops;
+    /** Systolic array edge (TPU MXU 128, GPU tensor tile 16): dimensions
+     *  not a multiple of this waste lanes. */
+    uint32_t tensorTile;
+
+    // --- Memory ---
+    /** Off-chip HBM capacity, bytes. */
+    double hbmCapacityBytes;
+    /** Off-chip HBM bandwidth, bytes/s. */
+    double hbmBandwidth;
+    /** On-chip scratchpad (CMEM/L2) capacity, bytes. */
+    double onChipCapacityBytes;
+    /** On-chip scratchpad bandwidth, bytes/s. */
+    double onChipBandwidth;
+
+    // --- Network ---
+    /** Per-chip interconnect (ICI / NVLink) bandwidth, bytes/s. */
+    double iciBandwidth;
+
+    // --- Power ---
+    /** Idle power draw, watts. */
+    double idlePowerW;
+    /** Power at full tensor-unit utilization, watts (excl. memory). */
+    double computePowerW;
+    /** HBM access energy, joules per byte. */
+    double hbmEnergyPerByte;
+    /** On-chip access energy, joules per byte (CMEM is far cheaper than
+     *  HBM, which is why CoAtNet-H's 5.3x CMEM bandwidth increase does not
+     *  cost power — Section 7.2). */
+    double onChipEnergyPerByte;
+
+    /** Machine-balance point: FLOP/byte where HBM roofline meets peak. */
+    double ridgeIntensity() const { return peakTensorFlops / hbmBandwidth; }
+};
+
+/** The TPUv4 training chip (275 TFLOPS bf16, 1.2 TB/s HBM, 128 MB CMEM). */
+ChipSpec tpuV4();
+
+/** The TPUv4i inference chip (138 TFLOPS bf16, 614 GB/s HBM, 128 MB CMEM). */
+ChipSpec tpuV4i();
+
+/** The NVIDIA V100 (125 TFLOPS fp16 tensor core, 900 GB/s HBM2). */
+ChipSpec gpuV100();
+
+/** Fetch a built-in chip by model enum. */
+ChipSpec chipSpec(ChipModel model);
+
+/** Parse "tpuv4" / "tpuv4i" / "v100"; fatal on unknown names. */
+ChipModel chipModelFromName(const std::string &name);
+
+/**
+ * A deployment platform: N chips of one model connected by ICI.
+ * The paper trains on 128 TPUv4 and serves on 1 TPUv4i (Table 2).
+ */
+struct Platform
+{
+    ChipSpec chip;
+    uint32_t numChips;
+
+    /** Aggregate tensor FLOP/s across the platform. */
+    double totalTensorFlops() const
+    {
+        return chip.peakTensorFlops * numChips;
+    }
+
+    /** Aggregate HBM capacity across the platform. */
+    double totalHbmCapacity() const
+    {
+        return chip.hbmCapacityBytes * numChips;
+    }
+};
+
+/** The paper's training platform: 128x TPUv4. */
+Platform trainingPlatform();
+
+/** The paper's serving platform: 1x TPUv4i. */
+Platform servingPlatform();
+
+} // namespace h2o::hw
+
+#endif // H2O_HW_CHIP_H

@@ -1,0 +1,33 @@
+#include "hw/power.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace h2o::hw {
+
+double
+averagePowerW(const ChipSpec &chip, const ActivityProfile &activity)
+{
+    h2o_assert(activity.tensorUtilization >= 0.0 &&
+                   activity.tensorUtilization <= 1.0 + 1e-9,
+               "utilization out of range: ", activity.tensorUtilization);
+    h2o_assert(activity.hbmBytesPerSec >= 0.0 &&
+                   activity.onChipBytesPerSec >= 0.0,
+               "negative memory traffic");
+    double util = std::clamp(activity.tensorUtilization, 0.0, 1.0);
+    double compute = chip.computePowerW * util;
+    double memory = activity.hbmBytesPerSec * chip.hbmEnergyPerByte +
+                    activity.onChipBytesPerSec * chip.onChipEnergyPerByte;
+    return chip.idlePowerW + compute + memory;
+}
+
+double
+energyJ(const ChipSpec &chip, const ActivityProfile &activity,
+        double seconds)
+{
+    h2o_assert(seconds >= 0.0, "negative duration");
+    return averagePowerW(chip, activity) * seconds;
+}
+
+} // namespace h2o::hw

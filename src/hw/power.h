@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Chip power/energy model used by the Figure 9 study.
+ *
+ * Power = idle + compute-dynamic (scales with tensor-unit utilization)
+ *       + memory-dynamic (bytes/s times per-byte energy, split between
+ *         cheap on-chip CMEM and expensive off-chip HBM).
+ *
+ * This reproduces the paper's counter-intuitive findings: CoAtNet-H5 runs
+ * 1.84x faster *and* at lower power because its compute rate (utilization)
+ * drops 14% while its extra memory traffic lands mostly in CMEM; and
+ * memory-bound EfficientNet keeps utilization so low that idle power
+ * dominates, making *performance* the only energy lever.
+ */
+
+#ifndef H2O_HW_POWER_H
+#define H2O_HW_POWER_H
+
+#include "hw/chip.h"
+
+namespace h2o::hw {
+
+/** Activity profile of a model execution on one chip. */
+struct ActivityProfile
+{
+    double tensorUtilization;  ///< achieved / peak tensor FLOPS, [0, 1]
+    double hbmBytesPerSec;     ///< average HBM traffic
+    double onChipBytesPerSec;  ///< average CMEM traffic
+};
+
+/** Average power (watts) for a chip running at the given activity. */
+double averagePowerW(const ChipSpec &chip, const ActivityProfile &activity);
+
+/**
+ * Energy (joules) for an execution of the given duration:
+ * Energy = ExecutionTime x Power, exactly as Section 7.2 computes it.
+ */
+double energyJ(const ChipSpec &chip, const ActivityProfile &activity,
+               double seconds);
+
+} // namespace h2o::hw
+
+#endif // H2O_HW_POWER_H

@@ -1,0 +1,81 @@
+#include "hw/roofline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace h2o::hw {
+
+RooflinePoint
+rooflineTensor(const ChipSpec &chip, double flops, double hbm_bytes,
+               double efficiency)
+{
+    h2o_assert(flops >= 0.0 && hbm_bytes >= 0.0, "negative op cost");
+    h2o_assert(efficiency > 0.0 && efficiency <= 1.0,
+               "efficiency out of (0,1]: ", efficiency);
+    RooflinePoint p;
+    double bytes = std::max(hbm_bytes, 1.0);
+    p.operationalIntensity = flops / bytes;
+    double compute_ceiling = chip.peakTensorFlops * efficiency;
+    double memory_ceiling = p.operationalIntensity * chip.hbmBandwidth;
+    if (memory_ceiling < compute_ceiling) {
+        p.attainableFlops = memory_ceiling;
+        p.boundBy = BoundBy::Memory;
+    } else {
+        p.attainableFlops = compute_ceiling;
+        p.boundBy = BoundBy::TensorCompute;
+    }
+    p.utilization = p.attainableFlops / chip.peakTensorFlops;
+    return p;
+}
+
+RooflinePoint
+rooflineVector(const ChipSpec &chip, double flops, double hbm_bytes)
+{
+    h2o_assert(flops >= 0.0 && hbm_bytes >= 0.0, "negative op cost");
+    RooflinePoint p;
+    double bytes = std::max(hbm_bytes, 1.0);
+    p.operationalIntensity = flops / bytes;
+    double memory_ceiling = p.operationalIntensity * chip.hbmBandwidth;
+    if (memory_ceiling < chip.peakVectorFlops) {
+        p.attainableFlops = memory_ceiling;
+        p.boundBy = BoundBy::Memory;
+    } else {
+        p.attainableFlops = chip.peakVectorFlops;
+        p.boundBy = BoundBy::VectorCompute;
+    }
+    p.utilization = p.attainableFlops / chip.peakTensorFlops;
+    return p;
+}
+
+double
+tileEfficiency(const ChipSpec &chip, double m, double n, double k)
+{
+    h2o_assert(m > 0 && n > 0 && k > 0, "non-positive matmul dims");
+    double tile = chip.tensorTile;
+    auto pad = [tile](double d) {
+        return std::ceil(d / tile) * tile;
+    };
+    double useful = m * n * k;
+    double issued = pad(m) * pad(n) * pad(k);
+    return std::clamp(useful / issued, 1e-3, 1.0);
+}
+
+const char *
+boundName(BoundBy bound)
+{
+    switch (bound) {
+      case BoundBy::TensorCompute:
+        return "tensor-compute";
+      case BoundBy::VectorCompute:
+        return "vector-compute";
+      case BoundBy::Memory:
+        return "memory";
+      case BoundBy::Network:
+        return "network";
+    }
+    h2o_panic("unhandled bound");
+}
+
+} // namespace h2o::hw

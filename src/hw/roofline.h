@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Roofline evaluation: attainable compute rate for an op given its
+ * operational intensity and the chip's compute/memory ceilings. This is
+ * the analysis behind Figure 4b of the paper (MBConv vs fused MBConv on
+ * TPUv4i) and the per-op timing inside the performance simulator.
+ */
+
+#ifndef H2O_HW_ROOFLINE_H
+#define H2O_HW_ROOFLINE_H
+
+#include "hw/chip.h"
+
+namespace h2o::hw {
+
+/** Which ceiling bounds an op under the roofline model. */
+enum class BoundBy { TensorCompute, VectorCompute, Memory, Network };
+
+/** Result of a roofline evaluation for one op. */
+struct RooflinePoint
+{
+    double operationalIntensity; ///< FLOP per HBM byte
+    double attainableFlops;      ///< FLOP/s under the roofline
+    BoundBy boundBy;             ///< binding ceiling
+    double utilization;          ///< attainable / peak tensor FLOPS
+};
+
+/**
+ * Evaluate the roofline for a tensor-unit op.
+ *
+ * @param chip        Target chip.
+ * @param flops       Total FLOPs of the op.
+ * @param hbm_bytes   Bytes moved to/from HBM.
+ * @param efficiency  Fraction of peak the op can reach even when
+ *                    compute-bound (tile-quantization effects), in (0, 1].
+ */
+RooflinePoint rooflineTensor(const ChipSpec &chip, double flops,
+                             double hbm_bytes, double efficiency = 1.0);
+
+/**
+ * Evaluate the roofline for a vector-unit op (elementwise, activations,
+ * batch-norm): ceiling is peakVectorFlops instead of the tensor unit.
+ */
+RooflinePoint rooflineVector(const ChipSpec &chip, double flops,
+                             double hbm_bytes);
+
+/**
+ * Tile-quantization efficiency for a matrix op with the given dims: each
+ * dimension is padded up to the chip's tensorTile, so e.g. a 96-wide
+ * matmul on a 128-lane MXU wastes a quarter of the lanes. Returns the
+ * fraction of issued lanes doing useful work, in (0, 1].
+ */
+double tileEfficiency(const ChipSpec &chip, double m, double n, double k);
+
+/** Human-readable name for a bound. */
+const char *boundName(BoundBy bound);
+
+} // namespace h2o::hw
+
+#endif // H2O_HW_ROOFLINE_H

@@ -1,0 +1,143 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace h2o::nn {
+
+namespace {
+
+float
+sigmoidf(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+} // namespace
+
+float
+activate(Activation act, float x)
+{
+    switch (act) {
+      case Activation::Identity:
+        return x;
+      case Activation::ReLU:
+        return x > 0.0f ? x : 0.0f;
+      case Activation::Swish:
+        return x * sigmoidf(x);
+      case Activation::GeLU:
+        // tanh approximation of GeLU.
+        return 0.5f * x *
+               (1.0f + std::tanh(0.7978845608f * (x + 0.044715f * x * x * x)));
+      case Activation::SquaredReLU: {
+        float r = x > 0.0f ? x : 0.0f;
+        return r * r;
+      }
+      case Activation::Sigmoid:
+        return sigmoidf(x);
+      case Activation::Tanh:
+        return std::tanh(x);
+    }
+    h2o_panic("unhandled activation");
+}
+
+float
+activateGrad(Activation act, float x)
+{
+    switch (act) {
+      case Activation::Identity:
+        return 1.0f;
+      case Activation::ReLU:
+        return x > 0.0f ? 1.0f : 0.0f;
+      case Activation::Swish: {
+        float s = sigmoidf(x);
+        return s + x * s * (1.0f - s);
+      }
+      case Activation::GeLU: {
+        // Derivative of the tanh approximation.
+        float c = 0.7978845608f;
+        float inner = c * (x + 0.044715f * x * x * x);
+        float t = std::tanh(inner);
+        float dinner = c * (1.0f + 3.0f * 0.044715f * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+      }
+      case Activation::SquaredReLU:
+        return x > 0.0f ? 2.0f * x : 0.0f;
+      case Activation::Sigmoid: {
+        float s = sigmoidf(x);
+        return s * (1.0f - s);
+      }
+      case Activation::Tanh: {
+        float t = std::tanh(x);
+        return 1.0f - t * t;
+      }
+    }
+    h2o_panic("unhandled activation");
+}
+
+std::string
+activationName(Activation act)
+{
+    switch (act) {
+      case Activation::Identity:
+        return "identity";
+      case Activation::ReLU:
+        return "relu";
+      case Activation::Swish:
+        return "swish";
+      case Activation::GeLU:
+        return "gelu";
+      case Activation::SquaredReLU:
+        return "squared_relu";
+      case Activation::Sigmoid:
+        return "sigmoid";
+      case Activation::Tanh:
+        return "tanh";
+    }
+    h2o_panic("unhandled activation");
+}
+
+Activation
+activationFromName(const std::string &name)
+{
+    if (name == "identity")
+        return Activation::Identity;
+    if (name == "relu")
+        return Activation::ReLU;
+    if (name == "swish")
+        return Activation::Swish;
+    if (name == "gelu")
+        return Activation::GeLU;
+    if (name == "squared_relu")
+        return Activation::SquaredReLU;
+    if (name == "sigmoid")
+        return Activation::Sigmoid;
+    if (name == "tanh")
+        return Activation::Tanh;
+    h2o_fatal("unknown activation '", name, "'");
+}
+
+double
+activationVpuCost(Activation act)
+{
+    switch (act) {
+      case Activation::Identity:
+        return 0.0;
+      case Activation::ReLU:
+        return 1.0;
+      case Activation::SquaredReLU:
+        return 2.0; // compare + multiply
+      case Activation::Sigmoid:
+        return 4.0;
+      case Activation::Tanh:
+        return 4.0;
+      case Activation::Swish:
+        return 5.0; // sigmoid + multiply
+      case Activation::GeLU:
+        return 6.0; // tanh approximation + polynomial
+    }
+    h2o_panic("unhandled activation");
+}
+
+} // namespace h2o::nn

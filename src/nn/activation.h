@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Activation functions searched over by the H2O-NAS search spaces.
+ *
+ * The paper's Table 5 lists ReLU and swish for the CNN space, and ReLU,
+ * swish, GeLU and Squared ReLU for the transformer space; Squared ReLU is
+ * the activation H2O-NAS substituted into CoAtNet-H (Table 3).
+ */
+
+#ifndef H2O_NN_ACTIVATION_H
+#define H2O_NN_ACTIVATION_H
+
+#include <string>
+
+namespace h2o::nn {
+
+/** Activation function identifiers. */
+enum class Activation
+{
+    Identity,
+    ReLU,
+    Swish,
+    GeLU,
+    SquaredReLU,
+    Sigmoid,
+    Tanh,
+};
+
+/** Apply an activation to a scalar pre-activation. */
+float activate(Activation act, float x);
+
+/**
+ * Derivative of the activation with respect to its input, evaluated at the
+ * pre-activation value x.
+ */
+float activateGrad(Activation act, float x);
+
+/** Human-readable activation name. */
+std::string activationName(Activation act);
+
+/** Parse an activation name; fatal on unknown names. */
+Activation activationFromName(const std::string &name);
+
+/**
+ * Relative hardware cost of one activation evaluation on a vector unit, in
+ * "equivalent elementwise ops". Used by the performance simulator: swish /
+ * GeLU need transcendental evaluations on the VPU while ReLU and Squared
+ * ReLU are a compare / multiply — part of why the paper's searches favor
+ * Squared ReLU on TPUs.
+ */
+double activationVpuCost(Activation act);
+
+} // namespace h2o::nn
+
+#endif // H2O_NN_ACTIVATION_H

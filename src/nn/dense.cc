@@ -1,0 +1,79 @@
+#include "nn/dense.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nn/ops.h"
+
+namespace h2o::nn {
+
+DenseLayer::DenseLayer(size_t in, size_t out, Activation act,
+                       common::Rng &rng)
+    : _in(in), _out(out), _act(act), _w(in, out),
+      _b(std::vector<size_t>{out}), _wGrad(in, out),
+      _bGrad(std::vector<size_t>{out})
+{
+    h2o_assert(in > 0 && out > 0, "DenseLayer with zero dimension");
+    _w.heInit(rng, in);
+}
+
+const Tensor &
+DenseLayer::forward(const Tensor &input)
+{
+    h2o_assert(input.cols() == _in, "DenseLayer input width ", input.cols(),
+               " != ", _in);
+    _input = input;
+    _preact = Tensor(input.rows(), _out);
+    matmul(input, _w, _preact);
+    addBias(_preact, _b, _out);
+    _output = _preact;
+    for (auto &v : _output.data())
+        v = activate(_act, v);
+    return _output;
+}
+
+Tensor
+DenseLayer::backward(const Tensor &grad_out)
+{
+    h2o_assert(grad_out.rows() == _preact.rows() &&
+                   grad_out.cols() == _out,
+               "DenseLayer backward shape mismatch");
+    // dL/dpre = dL/dy * act'(pre)
+    Tensor dpre = grad_out;
+    for (size_t i = 0; i < dpre.size(); ++i)
+        dpre[i] *= activateGrad(_act, _preact[i]);
+
+    // dW += X^T dpre ; db += col-sums of dpre ; dX = dpre W^T
+    matmulTransAMasked(_input, dpre, _wGrad, _in, _out);
+    for (size_t r = 0; r < dpre.rows(); ++r)
+        for (size_t c = 0; c < _out; ++c)
+            _bGrad[c] += dpre.at(r, c);
+
+    Tensor dx(dpre.rows(), _in);
+    matmulTransBMasked(dpre, _w, dx, _out, _in);
+    return dx;
+}
+
+std::vector<ParamRef>
+DenseLayer::params()
+{
+    return {{&_w, &_wGrad}, {&_b, &_bGrad}};
+}
+
+size_t
+DenseLayer::activeParamCount() const
+{
+    return _in * _out + _out;
+}
+
+std::string
+DenseLayer::describe() const
+{
+    std::ostringstream oss;
+    oss << "Dense(" << _in << "->" << _out << ", "
+        << activationName(_act) << ")";
+    return oss.str();
+}
+
+} // namespace h2o::nn

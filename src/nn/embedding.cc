@@ -1,0 +1,90 @@
+#include "nn/embedding.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace h2o::nn {
+
+EmbeddingTable::EmbeddingTable(size_t vocab, size_t max_width,
+                               common::Rng &rng)
+    : _vocab(vocab), _maxWidth(max_width), _activeWidth(max_width),
+      _table(vocab, max_width), _grad(vocab, max_width)
+{
+    h2o_assert(vocab > 0 && max_width > 0, "EmbeddingTable with zero dims");
+    // Embedding init: small gaussian, as in typical DLRM training.
+    _table.gaussianInit(rng, 0.05f);
+}
+
+void
+EmbeddingTable::setActiveWidth(size_t width)
+{
+    h2o_assert(width > 0 && width <= _maxWidth, "active width ", width,
+               " out of range (max ", _maxWidth, ")");
+    _activeWidth = width;
+}
+
+Tensor
+EmbeddingTable::forward(const std::vector<IdList> &batch_ids)
+{
+    size_t batch = batch_ids.size();
+    h2o_assert(batch > 0, "embedding lookup with empty batch");
+    Tensor out(batch, _activeWidth);
+    _lastIds.assign(batch, IdList{});
+    for (size_t i = 0; i < batch; ++i) {
+        const IdList &ids = batch_ids[i];
+        if (ids.empty())
+            continue; // missing feature: zero vector
+        IdList &hashed = _lastIds[i];
+        hashed.reserve(ids.size());
+        float inv = 1.0f / static_cast<float>(ids.size());
+        for (uint32_t id : ids) {
+            uint32_t row = id % static_cast<uint32_t>(_vocab);
+            hashed.push_back(row);
+            const float *src = _table.data().data() + row * _maxWidth;
+            float *dst = out.data().data() + i * _activeWidth;
+            for (size_t d = 0; d < _activeWidth; ++d)
+                dst[d] += inv * src[d];
+        }
+    }
+    return out;
+}
+
+void
+EmbeddingTable::backward(const Tensor &grad_out)
+{
+    h2o_assert(grad_out.rows() == _lastIds.size(),
+               "embedding backward batch mismatch");
+    h2o_assert(grad_out.cols() == _activeWidth,
+               "embedding backward width mismatch");
+    for (size_t i = 0; i < _lastIds.size(); ++i) {
+        const IdList &rows = _lastIds[i];
+        if (rows.empty())
+            continue;
+        float inv = 1.0f / static_cast<float>(rows.size());
+        const float *src = grad_out.data().data() + i * _activeWidth;
+        for (uint32_t row : rows) {
+            float *dst = _grad.data().data() + row * _maxWidth;
+            for (size_t d = 0; d < _activeWidth; ++d)
+                dst[d] += inv * src[d];
+        }
+    }
+}
+
+std::vector<ParamRef>
+EmbeddingTable::params()
+{
+    return {{&_table, &_grad}};
+}
+
+std::string
+EmbeddingTable::describe() const
+{
+    std::ostringstream oss;
+    oss << "Embedding(vocab=" << _vocab << ", width=" << _activeWidth << "/"
+        << _maxWidth << ")";
+    return oss.str();
+}
+
+} // namespace h2o::nn

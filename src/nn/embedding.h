@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Embedding table with fine-grained width sharing.
+ *
+ * One embedding vector of the largest possible width is created per row;
+ * smaller embedding widths reuse the first D components and mask the rest
+ * (Figure 3, mask ① in the paper). Vocabulary-size search is NOT handled
+ * here — that uses coarse-grained sharing with one separate EmbeddingTable
+ * per vocabulary-size choice (mask ②), implemented in
+ * supernet/dlrm_supernet.*, to avoid harmful interaction between
+ * candidates that hash ids differently.
+ *
+ * Lookups are multivalent with mean pooling: each example supplies a small
+ * list of ids for the feature and receives the average of their rows.
+ */
+
+#ifndef H2O_NN_EMBEDDING_H
+#define H2O_NN_EMBEDDING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/tensor.h"
+
+namespace h2o::common { class Rng; }
+
+namespace h2o::nn {
+
+/** One sparse feature's id list for one example. */
+using IdList = std::vector<uint32_t>;
+
+/** Embedding table with maskable width and mean-pooled multivalent lookup. */
+class EmbeddingTable
+{
+  public:
+    /**
+     * @param vocab     Number of rows (ids hash into [0, vocab)).
+     * @param max_width Largest embedding width any candidate may use.
+     */
+    EmbeddingTable(size_t vocab, size_t max_width, common::Rng &rng);
+
+    /** Select the active embedding width. @pre 0 < width <= maxWidth. */
+    void setActiveWidth(size_t width);
+
+    /** Currently active width. */
+    size_t activeWidth() const { return _activeWidth; }
+
+    /** Maximum width of the shared storage. */
+    size_t maxWidth() const { return _maxWidth; }
+
+    /** Vocabulary (row) count. */
+    size_t vocab() const { return _vocab; }
+
+    /**
+     * Mean-pooled lookup for a batch. Ids are reduced modulo vocab (the
+     * hashing trick), matching how production DLRMs remap ids when the
+     * vocabulary budget changes.
+     *
+     * @return [batch, activeWidth] pooled embeddings.
+     */
+    Tensor forward(const std::vector<IdList> &batch_ids);
+
+    /**
+     * Scatter gradients back into the rows touched by the last forward.
+     * @param grad_out [batch, activeWidth] upstream gradient.
+     */
+    void backward(const Tensor &grad_out);
+
+    /** Parameter/gradient storage for the optimizer. */
+    std::vector<ParamRef> params();
+
+    /** Zero the gradient accumulator. */
+    void zeroGrad() { _grad.zero(); }
+
+    /** Parameters used at the active width. */
+    size_t activeParamCount() const { return _vocab * _activeWidth; }
+
+    /** Human-readable description. */
+    std::string describe() const;
+
+  private:
+    size_t _vocab;
+    size_t _maxWidth;
+    size_t _activeWidth;
+    Tensor _table;  ///< vocab x maxWidth
+    Tensor _grad;
+    std::vector<IdList> _lastIds; ///< cached (hashed) ids from forward
+};
+
+} // namespace h2o::nn
+
+#endif // H2O_NN_EMBEDDING_H

@@ -1,0 +1,12 @@
+#include "nn/layer.h"
+
+namespace h2o::nn {
+
+void
+Layer::zeroGrad()
+{
+    for (auto &p : params())
+        p.grad->zero();
+}
+
+} // namespace h2o::nn

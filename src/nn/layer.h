@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The layer abstraction for the manual-backprop training substrate.
+ *
+ * Layers cache whatever they need during forward() so that backward() can
+ * produce input gradients and accumulate parameter gradients. Parameters
+ * are exposed through ParamRef so optimizers can update them in place
+ * without knowing layer internals — essential for the weight-sharing
+ * super-network where many sub-networks update the same storage.
+ */
+
+#ifndef H2O_NN_LAYER_H
+#define H2O_NN_LAYER_H
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace h2o::nn {
+
+/** A parameter tensor paired with its gradient accumulator. */
+struct ParamRef
+{
+    Tensor *value;
+    Tensor *grad;
+};
+
+/**
+ * Base class for trainable layers.
+ */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /**
+     * Run the layer on a [batch, features] input, caching state for
+     * backward. The returned reference stays valid until the next forward.
+     */
+    virtual const Tensor &forward(const Tensor &input) = 0;
+
+    /**
+     * Backpropagate. Accumulates parameter gradients (into ParamRef::grad)
+     * and returns the gradient with respect to the layer input.
+     *
+     * @pre forward() was called and grad_out matches its output shape.
+     */
+    virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /** All trainable parameters with their gradient accumulators. */
+    virtual std::vector<ParamRef> params() = 0;
+
+    /** Number of parameters actually used by the currently-active
+     *  sub-network configuration (== total for non-shared layers). */
+    virtual size_t activeParamCount() const = 0;
+
+    /** Human-readable layer description. */
+    virtual std::string describe() const = 0;
+
+    /** Zero all gradient accumulators. */
+    void zeroGrad();
+};
+
+} // namespace h2o::nn
+
+#endif // H2O_NN_LAYER_H

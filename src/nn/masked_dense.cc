@@ -1,0 +1,90 @@
+#include "nn/masked_dense.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nn/ops.h"
+
+namespace h2o::nn {
+
+MaskedDenseLayer::MaskedDenseLayer(size_t max_in, size_t max_out,
+                                   Activation act, common::Rng &rng)
+    : _maxIn(max_in), _maxOut(max_out), _activeIn(max_in),
+      _activeOut(max_out), _act(act), _w(max_in, max_out),
+      _b(std::vector<size_t>{max_out}), _wGrad(max_in, max_out),
+      _bGrad(std::vector<size_t>{max_out})
+{
+    h2o_assert(max_in > 0 && max_out > 0, "MaskedDense with zero max dims");
+    _w.heInit(rng, max_in);
+}
+
+void
+MaskedDenseLayer::setActive(size_t in, size_t out)
+{
+    h2o_assert(in > 0 && in <= _maxIn, "active in ", in,
+               " out of range (max ", _maxIn, ")");
+    h2o_assert(out > 0 && out <= _maxOut, "active out ", out,
+               " out of range (max ", _maxOut, ")");
+    _activeIn = in;
+    _activeOut = out;
+}
+
+const Tensor &
+MaskedDenseLayer::forward(const Tensor &input)
+{
+    h2o_assert(input.cols() >= _activeIn,
+               "MaskedDense input width ", input.cols(), " < active in ",
+               _activeIn);
+    _input = input;
+    _preact = Tensor(input.rows(), _activeOut);
+    matmulMasked(input, _w, _preact, _activeIn, _activeOut);
+    addBias(_preact, _b, _activeOut);
+    _output = _preact;
+    for (auto &v : _output.data())
+        v = activate(_act, v);
+    return _output;
+}
+
+Tensor
+MaskedDenseLayer::backward(const Tensor &grad_out)
+{
+    h2o_assert(grad_out.cols() == _activeOut,
+               "MaskedDense backward width mismatch");
+    Tensor dpre = grad_out;
+    for (size_t i = 0; i < dpre.size(); ++i)
+        dpre[i] *= activateGrad(_act, _preact[i]);
+
+    matmulTransAMasked(_input, dpre, _wGrad, _activeIn, _activeOut);
+    for (size_t r = 0; r < dpre.rows(); ++r)
+        for (size_t c = 0; c < _activeOut; ++c)
+            _bGrad[c] += dpre.at(r, c);
+
+    Tensor dx(dpre.rows(), _activeIn);
+    matmulTransBMasked(dpre, _w, dx, _activeOut, _activeIn);
+    return dx;
+}
+
+std::vector<ParamRef>
+MaskedDenseLayer::params()
+{
+    return {{&_w, &_wGrad}, {&_b, &_bGrad}};
+}
+
+size_t
+MaskedDenseLayer::activeParamCount() const
+{
+    return _activeIn * _activeOut + _activeOut;
+}
+
+std::string
+MaskedDenseLayer::describe() const
+{
+    std::ostringstream oss;
+    oss << "MaskedDense(" << _activeIn << "/" << _maxIn << " -> "
+        << _activeOut << "/" << _maxOut << ", " << activationName(_act)
+        << ")";
+    return oss.str();
+}
+
+} // namespace h2o::nn

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A fixed-shape multi-layer perceptron built from DenseLayers.
+ *
+ * This is the workhorse for the two-phase hybrid performance model
+ * (the paper's Table 1 uses a 2-layer, 512-neuron MLP) and for any
+ * fixed-architecture network (e.g. the ground-truth teacher in the
+ * synthetic traffic generator).
+ */
+
+#ifndef H2O_NN_MLP_H
+#define H2O_NN_MLP_H
+
+#include <memory>
+#include <vector>
+
+#include "nn/activation.h"
+#include "nn/dense.h"
+
+namespace h2o::common { class Rng; }
+
+namespace h2o::nn {
+
+/** Fully-connected feed-forward network. */
+class Mlp
+{
+  public:
+    /**
+     * @param dims        Layer widths including input and output, e.g.
+     *                    {in, 512, 512, out} builds a 2-hidden-layer MLP.
+     * @param hidden_act  Activation for hidden layers.
+     * @param output_act  Activation for the output layer (Identity for
+     *                    regression, Sigmoid only if probabilities are
+     *                    needed directly).
+     */
+    Mlp(const std::vector<size_t> &dims, Activation hidden_act,
+        Activation output_act, common::Rng &rng);
+
+    /** Forward pass over a [batch, in] tensor. */
+    const Tensor &forward(const Tensor &input);
+
+    /** Backward pass; returns gradient w.r.t. the input. */
+    Tensor backward(const Tensor &grad_out);
+
+    /** All parameters for optimizer construction. */
+    std::vector<ParamRef> params();
+
+    /** Total parameter count. */
+    size_t paramCount() const;
+
+    /** Number of layers. */
+    size_t numLayers() const { return _layers.size(); }
+
+    /** Access a layer (for tests / inspection). */
+    DenseLayer &layer(size_t i) { return *_layers.at(i); }
+
+  private:
+    std::vector<std::unique_ptr<DenseLayer>> _layers;
+    const Tensor *_lastOutput = nullptr;
+};
+
+} // namespace h2o::nn
+
+#endif // H2O_NN_MLP_H

@@ -1,0 +1,72 @@
+#include "nn/normalizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace h2o::nn {
+
+namespace {
+constexpr double kStdFloor = 1e-8;
+} // namespace
+
+void
+Normalizer::fit(const Tensor &data)
+{
+    size_t n = data.rows(), d = data.cols();
+    h2o_assert(n > 0 && d > 0, "Normalizer::fit on empty data");
+    _mean.assign(d, 0.0);
+    _std.assign(d, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < d; ++j)
+            _mean[j] += data.at(i, j);
+    for (size_t j = 0; j < d; ++j)
+        _mean[j] /= static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < d; ++j) {
+            double dv = data.at(i, j) - _mean[j];
+            _std[j] += dv * dv;
+        }
+    }
+    for (size_t j = 0; j < d; ++j)
+        _std[j] = std::max(std::sqrt(_std[j] / static_cast<double>(n)),
+                           kStdFloor);
+}
+
+void
+Normalizer::transform(Tensor &data) const
+{
+    h2o_assert(fitted(), "transform before fit");
+    h2o_assert(data.cols() == _mean.size(), "column count mismatch");
+    for (size_t i = 0; i < data.rows(); ++i)
+        for (size_t j = 0; j < data.cols(); ++j)
+            data.at(i, j) = static_cast<float>(
+                (data.at(i, j) - _mean[j]) / _std[j]);
+}
+
+double
+Normalizer::inverse(double value, size_t col) const
+{
+    h2o_assert(fitted() && col < _mean.size(), "inverse on unfitted column");
+    return value * _std[col] + _mean[col];
+}
+
+void
+Normalizer::restore(std::vector<double> means, std::vector<double> stddevs)
+{
+    h2o_assert(means.size() == stddevs.size() && !means.empty(),
+               "normalizer restore size mismatch");
+    for (double s : stddevs)
+        h2o_assert(s > 0.0, "non-positive stddev in restore");
+    _mean = std::move(means);
+    _std = std::move(stddevs);
+}
+
+double
+Normalizer::apply(double value, size_t col) const
+{
+    h2o_assert(fitted() && col < _mean.size(), "apply on unfitted column");
+    return (value - _mean[col]) / _std[col];
+}
+
+} // namespace h2o::nn

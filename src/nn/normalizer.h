@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-column feature standardization (z-scoring) for the performance
+ * model: architecture hyper-parameters span many orders of magnitude
+ * (embedding vocab sizes vs layer counts), so inputs and regression
+ * targets are standardized before training and predictions un-scaled
+ * after.
+ */
+
+#ifndef H2O_NN_NORMALIZER_H
+#define H2O_NN_NORMALIZER_H
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace h2o::nn {
+
+/** Fit-then-transform column standardizer. */
+class Normalizer
+{
+  public:
+    /** Fit per-column mean and stddev on a [n, d] design matrix. */
+    void fit(const Tensor &data);
+
+    /** Standardize in place using the fitted statistics. */
+    void transform(Tensor &data) const;
+
+    /** Invert the standardization for one column's worth of values. */
+    double inverse(double value, size_t col) const;
+
+    /** Standardize one value for a given column. */
+    double apply(double value, size_t col) const;
+
+    /** Whether fit() has been called. */
+    bool fitted() const { return !_mean.empty(); }
+
+    /** Fitted per-column means. */
+    const std::vector<double> &means() const { return _mean; }
+
+    /** Fitted per-column stddevs (floored at a small epsilon). */
+    const std::vector<double> &stddevs() const { return _std; }
+
+    /** Restore fitted statistics (checkpoint loading). */
+    void restore(std::vector<double> means, std::vector<double> stddevs);
+
+  private:
+    std::vector<double> _mean;
+    std::vector<double> _std;
+};
+
+} // namespace h2o::nn
+
+#endif // H2O_NN_NORMALIZER_H

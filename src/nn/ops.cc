@@ -1,0 +1,137 @@
+#include "nn/ops.h"
+
+#include "common/logging.h"
+
+namespace h2o::nn {
+
+void
+matmulMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
+             size_t n_act, bool accumulate)
+{
+    size_t m = a.rows();
+    h2o_assert(k_act <= a.cols() && k_act <= b.rows(),
+               "matmulMasked: k_act ", k_act, " exceeds A cols ", a.cols(),
+               " or B rows ", b.rows());
+    h2o_assert(n_act <= b.cols() && n_act <= c.cols(),
+               "matmulMasked: n_act ", n_act, " exceeds B/C cols");
+    h2o_assert(c.rows() == m, "matmulMasked: C rows mismatch");
+
+    const float *ad = a.data().data();
+    const float *bd = b.data().data();
+    float *cd = c.data().data();
+    size_t ka = a.cols(), nb = b.cols(), nc = c.cols();
+
+    for (size_t i = 0; i < m; ++i) {
+        float *crow = cd + i * nc;
+        if (!accumulate) {
+            for (size_t j = 0; j < n_act; ++j)
+                crow[j] = 0.0f;
+        }
+        const float *arow = ad + i * ka;
+        // ikj loop order: stream through B rows for cache locality.
+        for (size_t k = 0; k < k_act; ++k) {
+            float av = arow[k];
+            if (av == 0.0f)
+                continue;
+            const float *brow = bd + k * nb;
+            for (size_t j = 0; j < n_act; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+matmulTransAMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
+                   size_t n_act)
+{
+    size_t m = a.rows();
+    h2o_assert(b.rows() == m, "matmulTransAMasked: batch dim mismatch");
+    h2o_assert(k_act <= a.cols() && k_act <= c.rows(),
+               "matmulTransAMasked: k_act out of range");
+    h2o_assert(n_act <= b.cols() && n_act <= c.cols(),
+               "matmulTransAMasked: n_act out of range");
+
+    const float *ad = a.data().data();
+    const float *bd = b.data().data();
+    float *cd = c.data().data();
+    size_t ka = a.cols(), nb = b.cols(), nc = c.cols();
+
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = ad + i * ka;
+        const float *brow = bd + i * nb;
+        for (size_t k = 0; k < k_act; ++k) {
+            float av = arow[k];
+            if (av == 0.0f)
+                continue;
+            float *crow = cd + k * nc;
+            for (size_t j = 0; j < n_act; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+matmulTransBMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t n_act,
+                   size_t k_act)
+{
+    size_t m = a.rows();
+    h2o_assert(n_act <= a.cols() && n_act <= b.cols(),
+               "matmulTransBMasked: n_act out of range");
+    h2o_assert(k_act <= b.rows() && k_act <= c.cols(),
+               "matmulTransBMasked: k_act out of range");
+    h2o_assert(c.rows() == m, "matmulTransBMasked: C rows mismatch");
+
+    const float *ad = a.data().data();
+    const float *bd = b.data().data();
+    float *cd = c.data().data();
+    size_t na = a.cols(), nb = b.cols(), kc = c.cols();
+
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = ad + i * na;
+        float *crow = cd + i * kc;
+        for (size_t k = 0; k < k_act; ++k) {
+            const float *brow = bd + k * nb;
+            float acc = 0.0f;
+            for (size_t j = 0; j < n_act; ++j)
+                acc += arow[j] * brow[j];
+            crow[k] += acc;
+        }
+    }
+}
+
+void
+matmul(const Tensor &a, const Tensor &b, Tensor &c)
+{
+    h2o_assert(a.cols() == b.rows(), "matmul shape mismatch: ", a.shapeStr(),
+               " x ", b.shapeStr());
+    h2o_assert(c.rows() == a.rows() && c.cols() == b.cols(),
+               "matmul output shape mismatch");
+    matmulMasked(a, b, c, a.cols(), b.cols(), false);
+}
+
+void
+addBias(Tensor &x, const Tensor &bias, size_t n_act)
+{
+    h2o_assert(n_act <= bias.size() && n_act <= x.cols(),
+               "addBias: n_act out of range");
+    float *xd = x.data().data();
+    const float *bd = bias.data().data();
+    size_t n = x.cols();
+    for (size_t i = 0; i < x.rows(); ++i) {
+        float *row = xd + i * n;
+        for (size_t j = 0; j < n_act; ++j)
+            row[j] += bd[j];
+    }
+}
+
+void
+axpy(float alpha, const Tensor &x, Tensor &y)
+{
+    h2o_assert(x.size() == y.size(), "axpy size mismatch");
+    const float *xd = x.data().data();
+    float *yd = y.data().data();
+    for (size_t i = 0; i < x.size(); ++i)
+        yd[i] += alpha * xd[i];
+}
+
+} // namespace h2o::nn

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Matrix kernels for the training substrate. All kernels operate on
+ * row-major Tensors and support the *masked* variants the weight-sharing
+ * super-network needs: a sub-network with active dimensions (k_act, n_act)
+ * of a larger shared weight matrix touches only the upper-left sub-matrix,
+ * exactly as described for the DLRM super-network (Figure 3, mask (3)).
+ */
+
+#ifndef H2O_NN_OPS_H
+#define H2O_NN_OPS_H
+
+#include <cstddef>
+
+#include "nn/tensor.h"
+
+namespace h2o::nn {
+
+/**
+ * C[m,n] += A[m,k] * B[k,n], restricted to the active sub-ranges
+ * m x k_act of A and k_act x n_act of B. C must be m x n with n >= n_act;
+ * only columns [0, n_act) of C are written.
+ *
+ * @param accumulate When false, the active region of C is overwritten.
+ */
+void matmulMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
+                  size_t n_act, bool accumulate = false);
+
+/**
+ * C[k,n] += A^T[k,m] * B[m,n] over active sub-ranges: used for weight
+ * gradients dW = X^T * dY. Only the k_act x n_act region of C is updated.
+ */
+void matmulTransAMasked(const Tensor &a, const Tensor &b, Tensor &c,
+                        size_t k_act, size_t n_act);
+
+/**
+ * C[m,k] += A[m,n] * B^T[n,k] over active sub-ranges: used for input
+ * gradients dX = dY * W^T. Only the first k_act columns of C are written.
+ */
+void matmulTransBMasked(const Tensor &a, const Tensor &b, Tensor &c,
+                        size_t n_act, size_t k_act);
+
+/** Full (unmasked) C = A * B. Shapes must conform exactly. */
+void matmul(const Tensor &a, const Tensor &b, Tensor &c);
+
+/** Add bias vector b[0..n_act) to every row of x (first n_act columns). */
+void addBias(Tensor &x, const Tensor &bias, size_t n_act);
+
+/** axpy: y += alpha * x over whole storage. Sizes must match. */
+void axpy(float alpha, const Tensor &x, Tensor &y);
+
+} // namespace h2o::nn
+
+#endif // H2O_NN_OPS_H

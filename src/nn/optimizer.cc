@@ -1,0 +1,118 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace h2o::nn {
+
+Optimizer::Optimizer(std::vector<ParamRef> params)
+    : _params(std::move(params))
+{
+    for (const auto &p : _params) {
+        h2o_assert(p.value && p.grad, "null ParamRef");
+        h2o_assert(p.value->size() == p.grad->size(),
+                   "param/grad size mismatch");
+    }
+}
+
+void
+Optimizer::zeroGrad()
+{
+    for (auto &p : _params)
+        p.grad->zero();
+}
+
+double
+Optimizer::gradNorm() const
+{
+    double acc = 0.0;
+    for (const auto &p : _params)
+        for (float g : p.grad->data())
+            acc += static_cast<double>(g) * static_cast<double>(g);
+    return std::sqrt(acc);
+}
+
+void
+Optimizer::clipGradNorm(double max_norm)
+{
+    h2o_assert(max_norm > 0.0, "clipGradNorm with non-positive max");
+    double norm = gradNorm();
+    if (norm <= max_norm || norm == 0.0)
+        return;
+    float scale = static_cast<float>(max_norm / norm);
+    for (auto &p : _params)
+        for (auto &g : p.grad->data())
+            g *= scale;
+}
+
+SgdOptimizer::SgdOptimizer(std::vector<ParamRef> params, double lr,
+                           double momentum, double weight_decay)
+    : Optimizer(std::move(params)), _momentum(momentum),
+      _weightDecay(weight_decay)
+{
+    _lr = lr;
+    _velocity.reserve(_params.size());
+    for (const auto &p : _params)
+        _velocity.emplace_back(p.value->shape());
+}
+
+void
+SgdOptimizer::step()
+{
+    for (size_t i = 0; i < _params.size(); ++i) {
+        auto &value = *_params[i].value;
+        auto &grad = *_params[i].grad;
+        auto &vel = _velocity[i];
+        for (size_t j = 0; j < value.size(); ++j) {
+            float g = grad[j];
+            if (_weightDecay != 0.0)
+                g += static_cast<float>(_weightDecay) * value[j];
+            if (_momentum != 0.0) {
+                vel[j] = static_cast<float>(_momentum) * vel[j] + g;
+                g = vel[j];
+            }
+            value[j] -= static_cast<float>(_lr) * g;
+        }
+        grad.zero();
+    }
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<ParamRef> params, double lr,
+                             double beta1, double beta2, double eps)
+    : Optimizer(std::move(params)), _beta1(beta1), _beta2(beta2), _eps(eps)
+{
+    _lr = lr;
+    _m.reserve(_params.size());
+    _v.reserve(_params.size());
+    for (const auto &p : _params) {
+        _m.emplace_back(p.value->shape());
+        _v.emplace_back(p.value->shape());
+    }
+}
+
+void
+AdamOptimizer::step()
+{
+    ++_t;
+    double bc1 = 1.0 - std::pow(_beta1, static_cast<double>(_t));
+    double bc2 = 1.0 - std::pow(_beta2, static_cast<double>(_t));
+    for (size_t i = 0; i < _params.size(); ++i) {
+        auto &value = *_params[i].value;
+        auto &grad = *_params[i].grad;
+        auto &m = _m[i];
+        auto &v = _v[i];
+        for (size_t j = 0; j < value.size(); ++j) {
+            double g = grad[j];
+            m[j] = static_cast<float>(_beta1 * m[j] + (1.0 - _beta1) * g);
+            v[j] = static_cast<float>(_beta2 * v[j] + (1.0 - _beta2) * g * g);
+            double mhat = m[j] / bc1;
+            double vhat = v[j] / bc2;
+            value[j] -= static_cast<float>(_lr * mhat /
+                                           (std::sqrt(vhat) + _eps));
+        }
+        grad.zero();
+    }
+}
+
+} // namespace h2o::nn

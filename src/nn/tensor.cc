@@ -1,0 +1,135 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace h2o::nn {
+
+namespace {
+
+size_t
+shapeSize(const std::vector<size_t> &shape)
+{
+    size_t n = 1;
+    for (size_t d : shape)
+        n *= d;
+    return shape.empty() ? 0 : n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : _shape(std::move(shape)), _data(shapeSize(_shape), 0.0f)
+{
+}
+
+Tensor::Tensor(size_t rows, size_t cols) : Tensor(std::vector<size_t>{rows, cols})
+{
+}
+
+size_t
+Tensor::rows() const
+{
+    h2o_assert(_shape.size() <= 2, "rows() on rank-", _shape.size(),
+               " tensor");
+    if (_shape.size() == 2)
+        return _shape[0];
+    return 1;
+}
+
+size_t
+Tensor::cols() const
+{
+    h2o_assert(!_shape.empty() && _shape.size() <= 2,
+               "cols() on rank-", _shape.size(), " tensor");
+    return _shape.back();
+}
+
+float &
+Tensor::at(size_t r, size_t c)
+{
+    h2o_assert(_shape.size() == 2, "at(r,c) on non-matrix tensor");
+    h2o_assert(r < _shape[0] && c < _shape[1], "index (", r, ",", c,
+               ") out of bounds for ", shapeStr());
+    return _data[r * _shape[1] + c];
+}
+
+float
+Tensor::at(size_t r, size_t c) const
+{
+    h2o_assert(_shape.size() == 2, "at(r,c) on non-matrix tensor");
+    h2o_assert(r < _shape[0] && c < _shape[1], "index (", r, ",", c,
+               ") out of bounds for ", shapeStr());
+    return _data[r * _shape[1] + c];
+}
+
+void
+Tensor::zero()
+{
+    std::fill(_data.begin(), _data.end(), 0.0f);
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(_data.begin(), _data.end(), v);
+}
+
+void
+Tensor::heInit(common::Rng &rng, size_t fan_in)
+{
+    h2o_assert(fan_in > 0, "heInit with zero fan_in");
+    float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+    gaussianInit(rng, stddev);
+}
+
+void
+Tensor::glorotInit(common::Rng &rng, size_t fan_in, size_t fan_out)
+{
+    h2o_assert(fan_in + fan_out > 0, "glorotInit with zero fans");
+    float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+    for (auto &v : _data)
+        v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+void
+Tensor::gaussianInit(common::Rng &rng, float stddev)
+{
+    for (auto &v : _data)
+        v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+double
+Tensor::sum() const
+{
+    return std::accumulate(_data.begin(), _data.end(), 0.0);
+}
+
+double
+Tensor::norm() const
+{
+    double acc = 0.0;
+    for (float v : _data)
+        acc += static_cast<double>(v) * static_cast<double>(v);
+    return std::sqrt(acc);
+}
+
+std::string
+Tensor::shapeStr() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (size_t i = 0; i < _shape.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << _shape[i];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+} // namespace h2o::nn

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A minimal dense tensor: row-major float storage with an explicit shape.
+ *
+ * The library only needs rank-1 and rank-2 tensors (batches of feature
+ * vectors and weight matrices), so Tensor optimizes for that case while
+ * still carrying a general shape vector for clarity at call sites.
+ */
+
+#ifndef H2O_NN_TENSOR_H
+#define H2O_NN_TENSOR_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace h2o::common { class Rng; }
+
+namespace h2o::nn {
+
+/**
+ * Dense row-major float tensor.
+ */
+class Tensor
+{
+  public:
+    /** An empty (rank-0, zero-element) tensor. */
+    Tensor() = default;
+
+    /** A zero-initialized tensor of the given shape. */
+    explicit Tensor(std::vector<size_t> shape);
+
+    /** Convenience rank-2 constructor (rows x cols), zero-initialized. */
+    Tensor(size_t rows, size_t cols);
+
+    /** The shape vector. */
+    const std::vector<size_t> &shape() const { return _shape; }
+
+    /** Total number of elements. */
+    size_t size() const { return _data.size(); }
+
+    /** Number of rows; valid for rank-1 (returns 1) and rank-2 tensors. */
+    size_t rows() const;
+
+    /** Number of columns; valid for rank-1 and rank-2 tensors. */
+    size_t cols() const;
+
+    /** Mutable element access for rank-2 tensors. */
+    float &at(size_t r, size_t c);
+
+    /** Const element access for rank-2 tensors. */
+    float at(size_t r, size_t c) const;
+
+    /** Mutable flat access. */
+    float &operator[](size_t i) { return _data[i]; }
+
+    /** Const flat access. */
+    float operator[](size_t i) const { return _data[i]; }
+
+    /** Raw storage. */
+    std::vector<float> &data() { return _data; }
+
+    /** Raw storage (const). */
+    const std::vector<float> &data() const { return _data; }
+
+    /** Set all elements to zero. */
+    void zero();
+
+    /** Fill with a constant. */
+    void fill(float v);
+
+    /** Fill with He-normal noise (stddev sqrt(2/fan_in)). */
+    void heInit(common::Rng &rng, size_t fan_in);
+
+    /** Fill with Glorot-uniform noise. */
+    void glorotInit(common::Rng &rng, size_t fan_in, size_t fan_out);
+
+    /** Fill with N(0, stddev) noise. */
+    void gaussianInit(common::Rng &rng, float stddev);
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** L2 norm of all elements. */
+    double norm() const;
+
+    /** Human-readable shape, e.g. "[32, 128]". */
+    std::string shapeStr() const;
+
+  private:
+    std::vector<size_t> _shape;
+    std::vector<float> _data;
+};
+
+} // namespace h2o::nn
+
+#endif // H2O_NN_TENSOR_H

@@ -1,0 +1,132 @@
+#include "perfmodel/features.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace h2o::perfmodel {
+
+namespace {
+
+double
+log1pSafe(double v)
+{
+    return std::log1p(std::max(v, 0.0));
+}
+
+} // namespace
+
+DlrmFeatureEncoder::DlrmFeatureEncoder(
+    const searchspace::DlrmSearchSpace &space)
+    : _space(space)
+{
+    _dim = encode(space.baselineSample()).size();
+}
+
+std::vector<double>
+DlrmFeatureEncoder::encode(const searchspace::Sample &s) const
+{
+    arch::DlrmArch a = _space.decode(s);
+    std::vector<double> f;
+    // Per-table hyper-parameters.
+    for (const auto &t : a.tables) {
+        f.push_back(static_cast<double>(t.width));
+        f.push_back(log1pSafe(static_cast<double>(t.vocab)));
+    }
+    // Per-layer hyper-parameters, padded to the space's max depth so the
+    // vector length is sample-independent.
+    auto push_stack = [&](const std::vector<arch::MlpLayerConfig> &stack,
+                          size_t max_depth) {
+        for (size_t l = 0; l < max_depth; ++l) {
+            if (l < stack.size()) {
+                f.push_back(static_cast<double>(stack[l].width));
+                f.push_back(static_cast<double>(
+                    stack[l].rank == 0 ? stack[l].width : stack[l].rank));
+            } else {
+                f.push_back(0.0);
+                f.push_back(0.0);
+            }
+        }
+        f.push_back(static_cast<double>(stack.size()));
+    };
+    push_stack(a.bottomMlp, _space.maxMlpDepth(true));
+    push_stack(a.topMlp, _space.maxMlpDepth(false));
+    // Derived log-scale aggregates. The padded-FLOPs and traffic
+    // features give the regressor near-direct access to the quantities
+    // that bound DLRM step time (tensor-unit issue slots, gather
+    // traffic, all-to-all bytes) — crucial for sample-efficient
+    // pre-training.
+    f.push_back(log1pSafe(a.embeddingParamCount()));
+    f.push_back(log1pSafe(a.denseParamCount()));
+    f.push_back(log1pSafe(a.flopsPerExample()));
+    f.push_back(log1pSafe(a.paddedFlopsPerExample(128)));
+    f.push_back(log1pSafe(a.lookupTrafficPerExample()));
+    f.push_back(log1pSafe(static_cast<double>(a.totalEmbeddingWidth())));
+    f.push_back(static_cast<double>(a.totalEmbeddingWidth()));
+    return f;
+}
+
+ConvFeatureEncoder::ConvFeatureEncoder(
+    const searchspace::ConvSearchSpace &space)
+    : _space(space)
+{
+    _dim = encode(space.baselineSample()).size();
+}
+
+std::vector<double>
+ConvFeatureEncoder::encode(const searchspace::Sample &s) const
+{
+    arch::ConvArch a = _space.decode(s);
+    std::vector<double> f;
+    f.push_back(static_cast<double>(a.resolution));
+    f.push_back(a.spaceToDepthStem ? 1.0 : 0.0);
+    for (const auto &st : a.stages) {
+        f.push_back(st.type == arch::BlockType::MBConv ? 0.0 : 1.0);
+        f.push_back(static_cast<double>(st.kernel));
+        f.push_back(static_cast<double>(st.stride));
+        f.push_back(st.expansion);
+        f.push_back(st.seRatio);
+        f.push_back(static_cast<double>(st.act));
+        f.push_back(st.skip ? 1.0 : 0.0);
+        f.push_back(static_cast<double>(st.layers));
+        f.push_back(static_cast<double>(st.filters));
+    }
+    f.push_back(log1pSafe(a.flopsPerImage()));
+    f.push_back(log1pSafe(a.paramCount()));
+    return f;
+}
+
+VitFeatureEncoder::VitFeatureEncoder(const searchspace::VitSearchSpace &space)
+    : _space(space)
+{
+    _dim = encode(space.baselineSample()).size();
+}
+
+std::vector<double>
+VitFeatureEncoder::encode(const searchspace::Sample &s) const
+{
+    arch::VitArch a = _space.decode(s);
+    std::vector<double> f;
+    f.push_back(static_cast<double>(a.resolution));
+    f.push_back(static_cast<double>(a.patch));
+    for (const auto &st : a.convStages) {
+        f.push_back(st.type == arch::BlockType::MBConv ? 0.0 : 1.0);
+        f.push_back(static_cast<double>(st.kernel));
+        f.push_back(st.expansion);
+        f.push_back(static_cast<double>(st.layers));
+        f.push_back(static_cast<double>(st.filters));
+    }
+    for (const auto &blk : a.tfmBlocks) {
+        f.push_back(static_cast<double>(blk.hidden));
+        f.push_back(blk.lowRank);
+        f.push_back(static_cast<double>(blk.act));
+        f.push_back(blk.seqPool ? 1.0 : 0.0);
+        f.push_back(blk.primer ? 1.0 : 0.0);
+        f.push_back(static_cast<double>(blk.layers));
+    }
+    f.push_back(log1pSafe(a.flopsPerImage()));
+    f.push_back(log1pSafe(a.paramCount()));
+    return f;
+}
+
+} // namespace h2o::perfmodel

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Architecture feature encoders for the performance model.
+ *
+ * The performance model's inputs "are the model architecture
+ * hyper-parameters as shown in Table 5" (Section 6.2.1). Encoders map a
+ * search-space Sample to a fixed-length numeric vector: the raw decoded
+ * hyper-parameters (widths, ranks, depths, vocab scales, block choices)
+ * plus a few derived log-scale aggregates (FLOPs, parameter counts) that
+ * help the MLP resolve the many orders of magnitude the space spans.
+ */
+
+#ifndef H2O_PERFMODEL_FEATURES_H
+#define H2O_PERFMODEL_FEATURES_H
+
+#include <vector>
+
+#include "searchspace/conv_space.h"
+#include "searchspace/dlrm_space.h"
+#include "searchspace/vit_space.h"
+
+namespace h2o::perfmodel {
+
+/** Abstract Sample -> feature-vector encoder. */
+class FeatureEncoder
+{
+  public:
+    virtual ~FeatureEncoder() = default;
+
+    /** Encode a sample. The returned vector always has dim() entries. */
+    virtual std::vector<double> encode(const searchspace::Sample &s) const = 0;
+
+    /** Feature dimensionality. */
+    virtual size_t dim() const = 0;
+};
+
+/** Encoder over the DLRM search space. */
+class DlrmFeatureEncoder : public FeatureEncoder
+{
+  public:
+    explicit DlrmFeatureEncoder(const searchspace::DlrmSearchSpace &space);
+    std::vector<double> encode(const searchspace::Sample &s) const override;
+    size_t dim() const override { return _dim; }
+
+  private:
+    const searchspace::DlrmSearchSpace &_space;
+    size_t _dim;
+};
+
+/** Encoder over the convolutional search space. */
+class ConvFeatureEncoder : public FeatureEncoder
+{
+  public:
+    explicit ConvFeatureEncoder(const searchspace::ConvSearchSpace &space);
+    std::vector<double> encode(const searchspace::Sample &s) const override;
+    size_t dim() const override { return _dim; }
+
+  private:
+    const searchspace::ConvSearchSpace &_space;
+    size_t _dim;
+};
+
+/** Encoder over the ViT search space. */
+class VitFeatureEncoder : public FeatureEncoder
+{
+  public:
+    explicit VitFeatureEncoder(const searchspace::VitSearchSpace &space);
+    std::vector<double> encode(const searchspace::Sample &s) const override;
+    size_t dim() const override { return _dim; }
+
+  private:
+    const searchspace::VitSearchSpace &_space;
+    size_t _dim;
+};
+
+} // namespace h2o::perfmodel
+
+#endif // H2O_PERFMODEL_FEATURES_H

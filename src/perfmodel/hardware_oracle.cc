@@ -1,0 +1,39 @@
+#include "perfmodel/hardware_oracle.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace h2o::perfmodel {
+
+HardwareOracle::HardwareOracle(OracleConfig config, uint64_t seed)
+    : _config(config), _noise(seed)
+{
+    common::Rng phase_rng(seed ^ 0x0c0ffee0ULL);
+    _phase = phase_rng.uniform(0.0, 2.0 * M_PI);
+}
+
+double
+HardwareOracle::systematic(double sim_sec) const
+{
+    h2o_assert(sim_sec > 0.0, "oracle with non-positive simulated time");
+    double log_t = std::log(sim_sec);
+    double bias = _config.biasAmplitude *
+                      std::sin(_config.biasFrequency * log_t + _phase) +
+                  _config.biasOffset;
+    return std::exp(log_t + bias);
+}
+
+Measurement
+HardwareOracle::measure(double sim_train_sec, double sim_serve_sec)
+{
+    Measurement m;
+    m.trainStepTimeSec =
+        systematic(sim_train_sec) *
+        (1.0 + _noise.normal(0.0, _config.noiseRelStd));
+    m.servingTimeSec = systematic(sim_serve_sec) *
+                       (1.0 + _noise.normal(0.0, _config.noiseRelStd));
+    return m;
+}
+
+} // namespace h2o::perfmodel

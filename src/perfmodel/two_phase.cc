@@ -1,0 +1,174 @@
+#include "perfmodel/two_phase.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace h2o::perfmodel {
+
+std::vector<double>
+polyFit(const std::vector<double> &xs, const std::vector<double> &ys,
+        size_t degree)
+{
+    h2o_assert(xs.size() == ys.size() && !xs.empty(), "polyFit data mismatch");
+    size_t n = degree + 1;
+    h2o_assert(xs.size() >= n, "polyFit underdetermined: ", xs.size(),
+               " points for degree ", degree);
+
+    // Normal equations A c = b with A[i][j] = sum x^(i+j).
+    std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+    std::vector<double> b(n, 0.0);
+    for (size_t k = 0; k < xs.size(); ++k) {
+        double pow_i = 1.0;
+        for (size_t i = 0; i < n; ++i) {
+            double pow_ij = pow_i;
+            for (size_t j = 0; j < n; ++j) {
+                a[i][j] += pow_ij;
+                pow_ij *= xs[k];
+            }
+            b[i] += pow_i * ys[k];
+            pow_i *= xs[k];
+        }
+    }
+
+    // Gaussian elimination with partial pivoting.
+    for (size_t col = 0; col < n; ++col) {
+        size_t pivot = col;
+        for (size_t row = col + 1; row < n; ++row)
+            if (std::abs(a[row][col]) > std::abs(a[pivot][col]))
+                pivot = row;
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        h2o_assert(std::abs(a[col][col]) > 1e-12,
+                   "polyFit singular system (degenerate inputs)");
+        for (size_t row = col + 1; row < n; ++row) {
+            double f = a[row][col] / a[col][col];
+            for (size_t j = col; j < n; ++j)
+                a[row][j] -= f * a[col][j];
+            b[row] -= f * b[col];
+        }
+    }
+    std::vector<double> coef(n, 0.0);
+    for (size_t row = n; row-- > 0;) {
+        double acc = b[row];
+        for (size_t j = row + 1; j < n; ++j)
+            acc -= a[row][j] * coef[j];
+        coef[row] = acc / a[row][row];
+    }
+    return coef;
+}
+
+TwoPhaseTrainer::TwoPhaseTrainer(const searchspace::DecisionSpace &space,
+                                 const FeatureEncoder &encoder,
+                                 SimulateFn simulate, HardwareOracle oracle)
+    : _space(space), _encoder(encoder), _simulate(std::move(simulate)),
+      _oracle(std::move(oracle))
+{
+    h2o_assert(_simulate, "null simulate functor");
+}
+
+EvalNrmse
+TwoPhaseTrainer::pretrain(PerfModel &model, size_t num_samples,
+                          common::Rng &rng)
+{
+    h2o_assert(num_samples >= 20, "too few pre-training samples");
+    size_t holdout = std::max<size_t>(num_samples / 10, 10);
+    size_t train_n = num_samples - holdout;
+
+    std::vector<std::vector<double>> features;
+    std::vector<std::array<double, 2>> targets;
+    features.reserve(num_samples);
+    targets.reserve(num_samples);
+    for (size_t i = 0; i < num_samples; ++i) {
+        auto sample = _space.uniformSample(rng);
+        SimTimes t = _simulate(sample);
+        features.push_back(_encoder.encode(sample));
+        targets.push_back({t.trainSec, t.serveSec});
+    }
+
+    std::vector<std::vector<double>> train_x(features.begin(),
+                                             features.begin() + train_n);
+    std::vector<std::array<double, 2>> train_y(targets.begin(),
+                                               targets.begin() + train_n);
+    model.train(train_x, train_y, rng);
+
+    std::vector<double> pred_t, pred_s, true_t, true_s;
+    for (size_t i = train_n; i < num_samples; ++i) {
+        PerfPrediction p = model.predict(features[i]);
+        pred_t.push_back(p.trainStepTimeSec);
+        pred_s.push_back(p.servingTimeSec);
+        true_t.push_back(targets[i][0]);
+        true_s.push_back(targets[i][1]);
+    }
+    return {common::nrmse(pred_t, true_t), common::nrmse(pred_s, true_s)};
+}
+
+void
+TwoPhaseTrainer::finetune(PerfModel &model, size_t num_samples,
+                          common::Rng &rng, size_t polynomial_degree)
+{
+    h2o_assert(model.trained(), "finetune before pretrain");
+    h2o_assert(num_samples >= 4, "too few fine-tuning measurements");
+    size_t degree = std::min(polynomial_degree, num_samples - 1);
+
+    std::vector<double> raw_t, raw_s, meas_t, meas_s;
+    for (size_t i = 0; i < num_samples; ++i) {
+        auto sample = _space.uniformSample(rng);
+        SimTimes t = _simulate(sample);
+        Measurement m = _oracle.measure(t.trainSec, t.serveSec);
+        auto f = _encoder.encode(sample);
+        raw_t.push_back(model.rawLogPrediction(f, 0));
+        raw_s.push_back(model.rawLogPrediction(f, 1));
+        meas_t.push_back(std::log(m.trainStepTimeSec));
+        meas_s.push_back(std::log(m.servingTimeSec));
+    }
+    auto domain = [](const std::vector<double> &xs) {
+        auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+        return std::pair<double, double>{*lo, *hi};
+    };
+    auto [t_lo, t_hi] = domain(raw_t);
+    model.setCalibration(0, polyFit(raw_t, meas_t, degree), t_lo, t_hi);
+    auto [s_lo, s_hi] = domain(raw_s);
+    model.setCalibration(1, polyFit(raw_s, meas_s, degree), s_lo, s_hi);
+}
+
+EvalNrmse
+TwoPhaseTrainer::evaluateAgainstOracle(const PerfModel &model,
+                                       size_t num_samples, common::Rng &rng)
+{
+    std::vector<double> pred_t, pred_s, true_t, true_s;
+    for (size_t i = 0; i < num_samples; ++i) {
+        auto sample = _space.uniformSample(rng);
+        SimTimes t = _simulate(sample);
+        Measurement m = _oracle.measure(t.trainSec, t.serveSec);
+        PerfPrediction p = model.predict(_encoder.encode(sample));
+        pred_t.push_back(p.trainStepTimeSec);
+        pred_s.push_back(p.servingTimeSec);
+        true_t.push_back(m.trainStepTimeSec);
+        true_s.push_back(m.servingTimeSec);
+    }
+    return {common::nrmse(pred_t, true_t), common::nrmse(pred_s, true_s)};
+}
+
+EvalNrmse
+TwoPhaseTrainer::evaluateAgainstSimulator(const PerfModel &model,
+                                          size_t num_samples,
+                                          common::Rng &rng)
+{
+    std::vector<double> pred_t, pred_s, true_t, true_s;
+    for (size_t i = 0; i < num_samples; ++i) {
+        auto sample = _space.uniformSample(rng);
+        SimTimes t = _simulate(sample);
+        PerfPrediction p = model.predict(_encoder.encode(sample));
+        pred_t.push_back(p.trainStepTimeSec);
+        pred_s.push_back(p.servingTimeSec);
+        true_t.push_back(t.trainSec);
+        true_s.push_back(t.serveSec);
+    }
+    return {common::nrmse(pred_t, true_t), common::nrmse(pred_s, true_s)};
+}
+
+} // namespace h2o::perfmodel

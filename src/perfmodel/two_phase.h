@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Two-phase performance-model training (Section 6.2.2, Table 1):
+ *
+ *   Pre-training: sample many candidates uniformly from the search
+ *   space, simulate each on the performance simulator, and fit the MLP.
+ *
+ *   Fine-tuning: take O(20) measurements of full-size candidates on
+ *   "real hardware" (the HardwareOracle here) and calibrate the
+ *   pre-trained model against them. Calibration fits a low-degree
+ *   polynomial, in log space, from the model's raw prediction to the
+ *   measured value — exactly enough capacity to absorb the smooth
+ *   systematic sim-to-hardware error while 20 points constrain it.
+ *
+ * The trainer is generic over search spaces: it needs only an encoder
+ * (Sample -> features) and a simulation functor (Sample -> times).
+ */
+
+#ifndef H2O_PERFMODEL_TWO_PHASE_H
+#define H2O_PERFMODEL_TWO_PHASE_H
+
+#include <functional>
+#include <vector>
+
+#include "perfmodel/features.h"
+#include "perfmodel/hardware_oracle.h"
+#include "perfmodel/perf_model.h"
+#include "searchspace/decision_space.h"
+
+namespace h2o::perfmodel {
+
+/** Simulated (train, serve) times for one candidate. */
+struct SimTimes
+{
+    double trainSec;
+    double serveSec;
+};
+
+/** Sample -> simulated times, supplied by the caller per domain. */
+using SimulateFn = std::function<SimTimes(const searchspace::Sample &)>;
+
+/** NRMSE of both heads against a reference set. */
+struct EvalNrmse
+{
+    double train = 0.0;
+    double serve = 0.0;
+};
+
+/** Two-phase trainer orchestrating pre-train / fine-tune / evaluate. */
+class TwoPhaseTrainer
+{
+  public:
+    /**
+     * @param space    The search space to sample candidates from.
+     * @param encoder  Feature encoder for the space.
+     * @param simulate Pre-training label source (the simulator).
+     * @param oracle   Fine-tuning label source ("real hardware").
+     */
+    TwoPhaseTrainer(const searchspace::DecisionSpace &space,
+                    const FeatureEncoder &encoder, SimulateFn simulate,
+                    HardwareOracle oracle);
+
+    /**
+     * Phase 1: sample `num_samples` candidates, simulate, fit the model.
+     * @return NRMSE of the fitted model on a held-out simulated set.
+     */
+    EvalNrmse pretrain(PerfModel &model, size_t num_samples,
+                       common::Rng &rng);
+
+    /**
+     * Phase 2: measure `num_samples` candidates on the oracle and fit
+     * the calibration. @return nothing; see evaluateAgainstOracle.
+     */
+    void finetune(PerfModel &model, size_t num_samples, common::Rng &rng,
+                  size_t polynomial_degree = 3);
+
+    /**
+     * NRMSE of the (possibly calibrated) model against fresh oracle
+     * measurements — the "NRMSE on production measurements" rows of
+     * Table 1.
+     */
+    EvalNrmse evaluateAgainstOracle(const PerfModel &model,
+                                    size_t num_samples, common::Rng &rng);
+
+    /** NRMSE of the model against fresh simulator labels. */
+    EvalNrmse evaluateAgainstSimulator(const PerfModel &model,
+                                       size_t num_samples,
+                                       common::Rng &rng);
+
+  private:
+    const searchspace::DecisionSpace &_space;
+    const FeatureEncoder &_encoder;
+    SimulateFn _simulate;
+    HardwareOracle _oracle;
+};
+
+/**
+ * Least-squares fit of a degree-`degree` polynomial y ~ poly(x).
+ * Returns coefficients lowest-degree first. Exposed for testing.
+ */
+std::vector<double> polyFit(const std::vector<double> &xs,
+                            const std::vector<double> &ys, size_t degree);
+
+} // namespace h2o::perfmodel
+
+#endif // H2O_PERFMODEL_TWO_PHASE_H

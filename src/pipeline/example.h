@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Training examples flowing through the in-memory pipeline: the synthetic
+ * stand-in for production CTR traffic (dense features, per-feature sparse
+ * id lists, a binary engagement label).
+ */
+
+#ifndef H2O_PIPELINE_EXAMPLE_H
+#define H2O_PIPELINE_EXAMPLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/embedding.h"
+
+namespace h2o::pipeline {
+
+/** One logged example. */
+struct Example
+{
+    std::vector<float> dense;       ///< continuous features
+    std::vector<nn::IdList> sparse; ///< ids per sparse feature/table
+    float label = 0.0f;             ///< binary engagement label
+};
+
+/** A batch of examples with a monotone sequence id for use-accounting. */
+struct Batch
+{
+    uint64_t sequence = 0; ///< unique, monotone batch id
+    std::vector<Example> examples;
+
+    /** Batch size. */
+    size_t size() const { return examples.size(); }
+};
+
+} // namespace h2o::pipeline
+
+#endif // H2O_PIPELINE_EXAMPLE_H

@@ -1,0 +1,83 @@
+#include "pipeline/pipeline.h"
+
+#include "common/logging.h"
+
+namespace h2o::pipeline {
+
+BatchLease::BatchLease(InMemoryPipeline *owner, Batch batch)
+    : _owner(owner), _batch(std::move(batch))
+{
+}
+
+BatchLease::BatchLease(BatchLease &&other) noexcept
+    : _owner(other._owner), _batch(std::move(other._batch)),
+      _alphaUsed(other._alphaUsed), _weightUsed(other._weightUsed)
+{
+    other._owner = nullptr;
+}
+
+BatchLease::~BatchLease()
+{
+    if (_owner)
+        _owner->onLeaseRelease(_alphaUsed, _weightUsed);
+}
+
+void
+BatchLease::markAlphaUse()
+{
+    h2o_assert(_owner, "use of a moved-from lease");
+    h2o_assert(!_alphaUsed, "batch ", _batch.sequence,
+               " used twice for architecture learning");
+    h2o_assert(!_weightUsed, "batch ", _batch.sequence,
+               " trained weights before architecture learning");
+    _alphaUsed = true;
+}
+
+void
+BatchLease::markWeightUse()
+{
+    h2o_assert(_owner, "use of a moved-from lease");
+    h2o_assert(_alphaUsed, "batch ", _batch.sequence,
+               " must inform architecture choices before weight training "
+               "(alpha-before-W invariant)");
+    h2o_assert(!_weightUsed, "batch ", _batch.sequence,
+               " used twice for weight training");
+    _weightUsed = true;
+}
+
+InMemoryPipeline::InMemoryPipeline(
+    std::unique_ptr<TrafficGenerator> generator, size_t batch_size)
+    : _generator(std::move(generator)), _batchSize(batch_size)
+{
+    h2o_assert(_generator, "pipeline without a generator");
+    h2o_assert(batch_size > 0, "pipeline with zero batch size");
+}
+
+BatchLease
+InMemoryPipeline::lease()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Batch batch = _generator->nextBatch(_batchSize);
+    _stats.batchesIssued += 1;
+    _stats.examplesIssued += batch.size();
+    return BatchLease(this, std::move(batch));
+}
+
+PipelineStats
+InMemoryPipeline::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats;
+}
+
+void
+InMemoryPipeline::onLeaseRelease(bool alpha_used, bool weight_used)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (alpha_used && weight_used)
+        _stats.completeLeases += 1;
+    else if (alpha_used)
+        _stats.alphaOnlyLeases += 1;
+}
+
+} // namespace h2o::pipeline

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The in-memory data pipeline (Figure 1, component (1)).
+ *
+ * Production traffic may not be persisted or examined, so the pipeline
+ * keeps only a bounded in-memory window of batches and enforces the two
+ * invariants the paper's unified single-step search relies on
+ * (Section 4.1):
+ *
+ *  1. single use: every batch is handed out exactly once, so no example
+ *     is ever re-used across steps (no train/validation split needed);
+ *  2. alpha-before-W ordering: within a step, a batch must be consumed
+ *     by architecture-choice learning (the forward pass producing the
+ *     reward for the RL controller) BEFORE it is used to train the
+ *     shared weights W. The BatchLease API makes violating this order a
+ *     hard error.
+ *
+ * The pipeline is thread-safe: each virtual accelerator shard leases its
+ * own batches concurrently.
+ */
+
+#ifndef H2O_PIPELINE_PIPELINE_H
+#define H2O_PIPELINE_PIPELINE_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "pipeline/example.h"
+#include "pipeline/traffic_generator.h"
+
+namespace h2o::pipeline {
+
+class InMemoryPipeline;
+
+/**
+ * A leased batch with use-ordering enforcement. Move-only; the lease
+ * reports back to the pipeline on destruction.
+ */
+class BatchLease
+{
+  public:
+    BatchLease(BatchLease &&other) noexcept;
+    BatchLease &operator=(BatchLease &&) = delete;
+    BatchLease(const BatchLease &) = delete;
+    ~BatchLease();
+
+    /** The leased examples. */
+    const Batch &batch() const { return _batch; }
+
+    /**
+     * Record that the batch was used to evaluate architecture choices
+     * (the alpha step). Must be called exactly once, before
+     * markWeightUse().
+     */
+    void markAlphaUse();
+
+    /**
+     * Record that the batch was used to train shared weights. Panics if
+     * called before markAlphaUse() — fresh data must inform the
+     * architecture decision first.
+     */
+    void markWeightUse();
+
+  private:
+    friend class InMemoryPipeline;
+    BatchLease(InMemoryPipeline *owner, Batch batch);
+
+    InMemoryPipeline *_owner;
+    Batch _batch;
+    bool _alphaUsed = false;
+    bool _weightUsed = false;
+};
+
+/** Pipeline statistics. */
+struct PipelineStats
+{
+    uint64_t batchesIssued = 0;
+    uint64_t examplesIssued = 0;
+    uint64_t completeLeases = 0;   ///< alpha+weight both recorded
+    uint64_t alphaOnlyLeases = 0;  ///< evaluated but not trained on
+};
+
+/**
+ * Bounded, non-persisting stream of fresh batches over a traffic
+ * generator.
+ */
+class InMemoryPipeline
+{
+  public:
+    /**
+     * @param generator Traffic source; the pipeline owns it.
+     * @param batch_size Examples per leased batch.
+     */
+    InMemoryPipeline(std::unique_ptr<TrafficGenerator> generator,
+                     size_t batch_size);
+
+    /** Lease the next fresh batch. Thread-safe. */
+    BatchLease lease();
+
+    /** Batch size in use. */
+    size_t batchSize() const { return _batchSize; }
+
+    /** Usage statistics so far. Thread-safe. */
+    PipelineStats stats() const;
+
+    /** The underlying generator (for oracle evaluation in tests). */
+    const TrafficGenerator &generator() const { return *_generator; }
+
+  private:
+    friend class BatchLease;
+    void onLeaseRelease(bool alpha_used, bool weight_used);
+
+    std::unique_ptr<TrafficGenerator> _generator;
+    size_t _batchSize;
+    mutable std::mutex _mutex;
+    PipelineStats _stats;
+};
+
+} // namespace h2o::pipeline
+
+#endif // H2O_PIPELINE_PIPELINE_H

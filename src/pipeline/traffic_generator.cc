@@ -1,0 +1,143 @@
+#include "pipeline/traffic_generator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/loss.h"
+
+namespace h2o::pipeline {
+
+TrafficConfig
+trafficConfigFor(uint32_t num_dense, const std::vector<uint64_t> &vocabs,
+                 const std::vector<double> &avg_ids)
+{
+    h2o_assert(vocabs.size() == avg_ids.size(),
+               "vocabs/avgIds size mismatch");
+    TrafficConfig cfg;
+    cfg.numDenseFeatures = num_dense;
+    cfg.vocabs = vocabs;
+    cfg.avgIds = avg_ids;
+    return cfg;
+}
+
+TrafficGenerator::TrafficGenerator(TrafficConfig config, uint64_t seed)
+    : _config(std::move(config)), _hiddenSeed(seed ^ 0xabcdef1234567890ULL),
+      _rng(seed)
+{
+    h2o_assert(!_config.vocabs.empty(), "traffic with no sparse features");
+    h2o_assert(_config.vocabs.size() == _config.avgIds.size(),
+               "vocabs/avgIds size mismatch");
+    // Hidden projection weights for the dense signal, drawn once from a
+    // stream decoupled from the example stream.
+    common::Rng hidden(_hiddenSeed);
+    _w1.resize(_config.numDenseFeatures);
+    _w2.resize(_config.numDenseFeatures);
+    for (size_t i = 0; i < _config.numDenseFeatures; ++i) {
+        _w1[i] = hidden.normal(0.0, 1.0 / std::sqrt(
+                                        double(_config.numDenseFeatures)));
+        _w2[i] = hidden.normal(0.0, 1.0 / std::sqrt(
+                                        double(_config.numDenseFeatures)));
+    }
+}
+
+double
+TrafficGenerator::affinity(size_t table, uint64_t id) const
+{
+    uint64_t state = _hiddenSeed ^ (0x9e3779b97f4a7c15ULL * (table + 1)) ^
+                     (0xbf58476d1ce4e5b9ULL * (id + 1));
+    uint64_t h = common::splitmix64(state);
+    // Map to [-1, 1].
+    return (static_cast<double>(h >> 11) /
+            static_cast<double>(1ULL << 53)) *
+               2.0 -
+           1.0;
+}
+
+double
+TrafficGenerator::denseSignal(const std::vector<float> &dense) const
+{
+    double z1 = 0.0, z2 = 0.0;
+    for (size_t i = 0; i < dense.size(); ++i) {
+        z1 += _w1[i] * dense[i];
+        z2 += _w2[i] * dense[i];
+    }
+    return std::sin(1.7 * z1) + 0.5 * z2 * z2 - 0.5;
+}
+
+double
+TrafficGenerator::trueProbability(const Example &example) const
+{
+    double mem = 0.0;
+    size_t live = 0;
+    for (size_t t = 0; t < example.sparse.size(); ++t) {
+        const auto &ids = example.sparse[t];
+        if (ids.empty())
+            continue;
+        double a = 0.0;
+        for (uint32_t id : ids)
+            a += affinity(t, id);
+        mem += a / static_cast<double>(ids.size());
+        live += 1;
+    }
+    if (live > 0)
+        mem /= std::sqrt(static_cast<double>(live));
+
+    double gen = denseSignal(example.dense);
+
+    double z1 = 0.0;
+    for (size_t i = 0; i < example.dense.size(); ++i)
+        z1 += _w1[i] * example.dense[i];
+    double cross = z1 * mem;
+
+    double logit = _config.bias + _config.memorizationScale * mem +
+                   _config.generalizationScale * gen +
+                   _config.interactionScale * cross;
+    return nn::sigmoid(logit);
+}
+
+Batch
+TrafficGenerator::nextBatch(size_t batch_size)
+{
+    h2o_assert(batch_size > 0, "empty batch requested");
+    Batch batch;
+    batch.sequence = _sequence++;
+    batch.examples.resize(batch_size);
+    for (auto &ex : batch.examples) {
+        ex.dense.resize(_config.numDenseFeatures);
+        for (auto &v : ex.dense)
+            v = static_cast<float>(_rng.normal());
+        ex.sparse.resize(_config.vocabs.size());
+        for (size_t t = 0; t < _config.vocabs.size(); ++t) {
+            // Expected id count ~ avgIds (at least 1).
+            size_t count = 1;
+            double extra = _config.avgIds[t] - 1.0;
+            while (extra > 0.0 && _rng.bernoulli(std::min(extra, 1.0))) {
+                ++count;
+                extra -= 1.0;
+            }
+            ex.sparse[t].resize(count);
+            for (auto &id : ex.sparse[t]) {
+                // Skewed popularity: u^4 concentrates mass on small ids,
+                // a cheap stand-in for a Zipf head-heavy distribution
+                // over very large vocabularies.
+                double u = _rng.uniform();
+                double skewed = std::pow(u, 4.0);
+                id = static_cast<uint32_t>(
+                    std::min<double>(skewed * double(_config.vocabs[t]),
+                                     double(_config.vocabs[t] - 1)));
+            }
+        }
+        double p = trueProbability(ex);
+        // Logit-space label noise.
+        if (_config.labelNoise > 0.0) {
+            double z = std::log(p / (1.0 - p)) +
+                       _rng.normal(0.0, _config.labelNoise);
+            p = nn::sigmoid(z);
+        }
+        ex.label = _rng.bernoulli(p) ? 1.0f : 0.0f;
+        ++_examples;
+    }
+    return batch;
+}
+
+} // namespace h2o::pipeline

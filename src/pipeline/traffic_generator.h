@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Synthetic production-traffic generator for DLRM search.
+ *
+ * Substitutes for the live traffic the paper trains on (Section 4.1).
+ * A hidden ground-truth model generates examples whose labels depend on
+ * BOTH memorization and generalization signals, so a searched DLRM's
+ * quality genuinely responds to the embedding/MLP balance the paper
+ * highlights (Section 7.1.2):
+ *
+ *  - memorization: each (table, id) pair carries a persistent hidden
+ *    affinity; ids are Zipf-skewed, so small vocabularies collide heavy
+ *    ids with noise ids and lose label signal;
+ *  - generalization: a smooth nonlinear function of the dense features
+ *    that only a sufficiently wide/deep MLP can fit;
+ *  - interaction: a cross term coupling dense features with sparse
+ *    affinities, requiring both sides to be learned.
+ *
+ * The stream is effectively infinite: every example is fresh, matching
+ * the paper's premise that "with vast amount of production traffic data,
+ * it is feasible to use each data sample only once."
+ */
+
+#ifndef H2O_PIPELINE_TRAFFIC_GENERATOR_H
+#define H2O_PIPELINE_TRAFFIC_GENERATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "pipeline/example.h"
+
+namespace h2o::pipeline {
+
+/** Ground-truth model configuration. */
+struct TrafficConfig
+{
+    uint32_t numDenseFeatures = 13;
+    /** True id-space size per sparse feature. */
+    std::vector<uint64_t> vocabs;
+    /** Average ids per example per feature. */
+    std::vector<double> avgIds;
+    /** Zipf skew of id popularity. */
+    double zipfExponent = 1.1;
+    /** Relative weight of the memorization (per-id affinity) signal. */
+    double memorizationScale = 1.2;
+    /** Relative weight of the dense nonlinear signal. */
+    double generalizationScale = 1.0;
+    /** Relative weight of the dense-sparse cross term. */
+    double interactionScale = 0.5;
+    /** Label noise: logit-space gaussian noise stddev. */
+    double labelNoise = 0.3;
+    /** Base click-through bias (negative: rare positives). */
+    double bias = -1.0;
+};
+
+/** Deterministic, seedable generator of labeled CTR examples. */
+class TrafficGenerator
+{
+  public:
+    /**
+     * @param config Ground-truth configuration.
+     * @param seed   Seed for the hidden model AND the example stream.
+     */
+    TrafficGenerator(TrafficConfig config, uint64_t seed);
+
+    /** Generate the next batch. Thread-compatible, not thread-safe. */
+    Batch nextBatch(size_t batch_size);
+
+    /** Ground-truth probability for an example (for oracle evaluation). */
+    double trueProbability(const Example &example) const;
+
+    /** Number of sparse features. */
+    size_t numSparseFeatures() const { return _config.vocabs.size(); }
+
+    /** Configuration in use. */
+    const TrafficConfig &config() const { return _config; }
+
+    /** Examples generated so far. */
+    uint64_t examplesGenerated() const { return _examples; }
+
+  private:
+    /** Persistent hidden affinity for (table, id), in [-1, 1]. */
+    double affinity(size_t table, uint64_t id) const;
+
+    /** Smooth nonlinear function of the dense features. */
+    double denseSignal(const std::vector<float> &dense) const;
+
+    TrafficConfig _config;
+    uint64_t _hiddenSeed;
+    common::Rng _rng;
+    uint64_t _sequence = 0;
+    uint64_t _examples = 0;
+    /** Fixed random projection weights for the dense signal. */
+    std::vector<double> _w1;
+    std::vector<double> _w2;
+};
+
+/** TrafficConfig matching a baseline DLRM's tables. */
+TrafficConfig trafficConfigFor(uint32_t num_dense,
+                               const std::vector<uint64_t> &vocabs,
+                               const std::vector<double> &avg_ids);
+
+} // namespace h2o::pipeline
+
+#endif // H2O_PIPELINE_TRAFFIC_GENERATOR_H

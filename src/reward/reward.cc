@@ -1,0 +1,59 @@
+#include "reward/reward.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace h2o::reward {
+
+RewardFunction::RewardFunction(std::vector<PerformanceObjective> objectives)
+    : _objectives(std::move(objectives))
+{
+    for (const auto &obj : _objectives) {
+        h2o_assert(obj.beta < 0.0, "objective '", obj.name,
+                   "' must have a negative beta, got ", obj.beta);
+        h2o_assert(obj.target > 0.0, "objective '", obj.name,
+                   "' must have a positive target, got ", obj.target);
+    }
+}
+
+double
+RewardFunction::compute(const CandidateMetrics &metrics) const
+{
+    h2o_assert(metrics.performance.size() == _objectives.size(),
+               "candidate has ", metrics.performance.size(),
+               " performance values for ", _objectives.size(),
+               " objectives");
+    double reward = metrics.quality;
+    for (size_t i = 0; i < _objectives.size(); ++i) {
+        double normalized_excess =
+            metrics.performance[i] / _objectives[i].target - 1.0;
+        reward += _objectives[i].beta * penalty(normalized_excess, i);
+    }
+    return reward;
+}
+
+double
+ReluReward::penalty(double normalized_excess, size_t) const
+{
+    return normalized_excess > 0.0 ? normalized_excess : 0.0;
+}
+
+double
+AbsoluteReward::penalty(double normalized_excess, size_t) const
+{
+    return std::abs(normalized_excess);
+}
+
+std::unique_ptr<RewardFunction>
+makeReward(const std::string &name,
+           std::vector<PerformanceObjective> objectives)
+{
+    if (name == "relu")
+        return std::make_unique<ReluReward>(std::move(objectives));
+    if (name == "absolute" || name == "abs")
+        return std::make_unique<AbsoluteReward>(std::move(objectives));
+    h2o_fatal("unknown reward function '", name, "' (relu|absolute)");
+}
+
+} // namespace h2o::reward

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Multi-objective reward functions (Section 6.1).
+ *
+ * The single-sided ReLU reward (Equation 1):
+ *
+ *   R(a) = Q(a) + sum_i beta_i * ReLU(T_i(a) / T_i0 - 1)
+ *
+ * penalizes candidates that exceed a performance target but never
+ * penalizes over-achievers — with multiple constraints the feasible
+ * region is sparse, and favoring faster-than-target models at equal
+ * quality is what lets the RL controller navigate it.
+ *
+ * The TuNAS absolute-value baseline (Equation 2) replaces ReLU with
+ * |.|, pulling candidates TOWARD each target from both sides and thereby
+ * discarding over-achieving models.
+ *
+ * beta_i < 0 throughout (a penalty); targets normalize each objective so
+ * rewards are scale-invariant.
+ */
+
+#ifndef H2O_REWARD_REWARD_H
+#define H2O_REWARD_REWARD_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace h2o::reward {
+
+/** One performance objective: a normalized target and its penalty weight. */
+struct PerformanceObjective
+{
+    std::string name;   ///< e.g. "train_step_time", "model_size"
+    double target;      ///< T_i0; candidate values are divided by this
+    double beta;        ///< penalty weight, must be negative
+};
+
+/** Quality plus measured performance values for one candidate. */
+struct CandidateMetrics
+{
+    double quality = 0.0;               ///< Q(a), e.g. accuracy or -logloss
+    std::vector<double> performance;    ///< T_i(a), parallel to objectives
+};
+
+/** Abstract multi-objective reward. */
+class RewardFunction
+{
+  public:
+    /** @param objectives Targets/weights; all betas must be negative. */
+    explicit RewardFunction(std::vector<PerformanceObjective> objectives);
+    virtual ~RewardFunction() = default;
+
+    /** Combined reward for one candidate. */
+    double compute(const CandidateMetrics &metrics) const;
+
+    /** The per-objective penalty term for value T against objective i. */
+    virtual double penalty(double normalized_excess, size_t i) const = 0;
+
+    /** Human-readable name. */
+    virtual std::string name() const = 0;
+
+    /** The configured objectives. */
+    const std::vector<PerformanceObjective> &objectives() const
+    {
+        return _objectives;
+    }
+
+  protected:
+    std::vector<PerformanceObjective> _objectives;
+};
+
+/** Equation 1: single-sided ReLU reward. */
+class ReluReward : public RewardFunction
+{
+  public:
+    using RewardFunction::RewardFunction;
+    double penalty(double normalized_excess, size_t i) const override;
+    std::string name() const override { return "relu"; }
+};
+
+/** Equation 2: TuNAS absolute-value reward. */
+class AbsoluteReward : public RewardFunction
+{
+  public:
+    using RewardFunction::RewardFunction;
+    double penalty(double normalized_excess, size_t i) const override;
+    std::string name() const override { return "absolute"; }
+};
+
+/** Factory by name ("relu" | "absolute"); fatal on unknown names. */
+std::unique_ptr<RewardFunction>
+makeReward(const std::string &name,
+           std::vector<PerformanceObjective> objectives);
+
+} // namespace h2o::reward
+
+#endif // H2O_REWARD_REWARD_H

@@ -1,0 +1,142 @@
+#include "search/baseline_search.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace h2o::search {
+
+namespace {
+
+/** Evaluate one candidate through the shared functor interface. */
+CandidateRecord
+evaluate(const searchspace::Sample &sample, size_t step,
+         const QualityFn &quality, const PerfFn &perf,
+         const reward::RewardFunction &rewardf)
+{
+    CandidateRecord rec;
+    rec.sample = sample;
+    rec.step = step;
+    rec.quality = quality(sample);
+    rec.performance = perf(sample);
+    rec.reward = rewardf.compute({rec.quality, rec.performance});
+    return rec;
+}
+
+} // namespace
+
+RandomSearch::RandomSearch(const searchspace::DecisionSpace &space,
+                           QualityFn quality, PerfFn perf,
+                           const reward::RewardFunction &rewardf,
+                           RandomSearchConfig config)
+    : _space(space), _quality(std::move(quality)), _perf(std::move(perf)),
+      _reward(rewardf), _config(config)
+{
+    h2o_assert(_quality && _perf, "null functor");
+    h2o_assert(_config.numCandidates > 0, "empty budget");
+}
+
+SearchOutcome
+RandomSearch::run(common::Rng &rng)
+{
+    SearchOutcome outcome;
+    outcome.history.reserve(_config.numCandidates);
+    const CandidateRecord *best = nullptr;
+    for (size_t i = 0; i < _config.numCandidates; ++i) {
+        outcome.history.push_back(evaluate(_space.uniformSample(rng), i,
+                                           _quality, _perf, _reward));
+        if (!best || outcome.history.back().reward > best->reward)
+            best = &outcome.history.back();
+        outcome.finalMeanReward = outcome.history.back().reward;
+    }
+    outcome.finalSample = best->sample;
+    return outcome;
+}
+
+EvolutionSearch::EvolutionSearch(const searchspace::DecisionSpace &space,
+                                 QualityFn quality, PerfFn perf,
+                                 const reward::RewardFunction &rewardf,
+                                 EvolutionSearchConfig config)
+    : _space(space), _quality(std::move(quality)), _perf(std::move(perf)),
+      _reward(rewardf), _config(config)
+{
+    h2o_assert(_quality && _perf, "null functor");
+    h2o_assert(_config.populationSize >= 2, "population too small");
+    h2o_assert(_config.tournamentSize >= 1 &&
+                   _config.tournamentSize <= _config.populationSize,
+               "bad tournament size");
+    h2o_assert(_config.numCandidates >= _config.populationSize,
+               "budget smaller than the seed population");
+}
+
+searchspace::Sample
+EvolutionSearch::mutate(const searchspace::Sample &parent,
+                        common::Rng &rng) const
+{
+    h2o_assert(_space.validSample(parent), "mutating invalid sample");
+    searchspace::Sample child = parent;
+    // One guaranteed mutation on a random decision...
+    size_t target = static_cast<size_t>(
+        rng.uniformInt(0, static_cast<int64_t>(child.size()) - 1));
+    for (size_t d = 0; d < child.size(); ++d) {
+        bool mutate_this =
+            d == target || rng.bernoulli(_config.extraMutationRate);
+        if (!mutate_this)
+            continue;
+        size_t choices = _space.decision(d).numChoices;
+        if (choices == 1)
+            continue;
+        // Draw a DIFFERENT choice.
+        size_t next = static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int64_t>(choices) - 2));
+        if (next >= child[d])
+            ++next;
+        child[d] = next;
+    }
+    return child;
+}
+
+SearchOutcome
+EvolutionSearch::run(common::Rng &rng)
+{
+    SearchOutcome outcome;
+    outcome.history.reserve(_config.numCandidates);
+    // Population as (index into history) with age-ordered removal.
+    std::deque<size_t> population;
+    const CandidateRecord *best = nullptr;
+
+    auto admit = [&](searchspace::Sample sample, size_t step) {
+        outcome.history.push_back(evaluate(sample, step, _quality, _perf,
+                                           _reward));
+        population.push_back(outcome.history.size() - 1);
+        if (population.size() > _config.populationSize)
+            population.pop_front(); // regularized: remove the OLDEST
+    };
+
+    // Seed with random candidates.
+    for (size_t i = 0; i < _config.populationSize; ++i)
+        admit(_space.uniformSample(rng), 0);
+
+    for (size_t i = _config.populationSize; i < _config.numCandidates;
+         ++i) {
+        // Tournament: best of a random subset becomes the parent.
+        const CandidateRecord *parent = nullptr;
+        for (size_t t = 0; t < _config.tournamentSize; ++t) {
+            size_t pick = population[static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(population.size()) - 1))];
+            const CandidateRecord &cand = outcome.history[pick];
+            if (!parent || cand.reward > parent->reward)
+                parent = &cand;
+        }
+        admit(mutate(parent->sample, rng), i);
+    }
+
+    for (const auto &rec : outcome.history)
+        if (!best || rec.reward > best->reward)
+            best = &rec;
+    outcome.finalSample = best->sample;
+    outcome.finalMeanReward = best->reward;
+    return outcome;
+}
+
+} // namespace h2o::search

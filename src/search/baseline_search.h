@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Multi-trial baseline search algorithms from the paper's taxonomy
+ * (Section 2.1): random search and regularized evolution (Real et al.
+ * 2019). Both are MULTI-TRIAL strategies — each candidate is evaluated
+ * independently with stable (architecture-determined) rewards, which is
+ * exactly why they work here against the surrogate evaluators but, as
+ * the paper notes, cannot drive one-shot NAS: one-shot rewards depend
+ * on how much data the shared weights have seen and are only comparable
+ * within a step.
+ *
+ * They share the SurrogateSearch functor interface so all four
+ * algorithms (H2O single-step RL, TuNAS alternating RL, evolution,
+ * random) can be compared on identical tasks and budgets
+ * (bench_ablation_algorithms).
+ */
+
+#ifndef H2O_SEARCH_BASELINE_SEARCH_H
+#define H2O_SEARCH_BASELINE_SEARCH_H
+
+#include "common/rng.h"
+#include "reward/reward.h"
+#include "search/surrogate_search.h"
+#include "searchspace/decision_space.h"
+
+namespace h2o::search {
+
+/** Random-search budget. */
+struct RandomSearchConfig
+{
+    size_t numCandidates = 1000;
+};
+
+/**
+ * Uniform random search: sample candidates independently, return the
+ * best-reward one. The simplest multi-trial baseline.
+ */
+class RandomSearch
+{
+  public:
+    RandomSearch(const searchspace::DecisionSpace &space, QualityFn quality,
+                 PerfFn perf, const reward::RewardFunction &rewardf,
+                 RandomSearchConfig config);
+
+    /** Run to completion. finalSample is the best evaluated candidate. */
+    SearchOutcome run(common::Rng &rng);
+
+  private:
+    const searchspace::DecisionSpace &_space;
+    QualityFn _quality;
+    PerfFn _perf;
+    const reward::RewardFunction &_reward;
+    RandomSearchConfig _config;
+};
+
+/** Regularized-evolution hyperparameters. */
+struct EvolutionSearchConfig
+{
+    size_t populationSize = 64;
+    size_t tournamentSize = 8;
+    size_t numCandidates = 1000; ///< total evaluations incl. seeding
+    /** Per-decision mutation probability beyond the single guaranteed
+     *  mutation. */
+    double extraMutationRate = 0.02;
+};
+
+/**
+ * Regularized evolution: age-based removal, tournament parent
+ * selection, single-decision mutation.
+ */
+class EvolutionSearch
+{
+  public:
+    EvolutionSearch(const searchspace::DecisionSpace &space,
+                    QualityFn quality, PerfFn perf,
+                    const reward::RewardFunction &rewardf,
+                    EvolutionSearchConfig config);
+
+    /** Run to completion. finalSample is the best evaluated candidate. */
+    SearchOutcome run(common::Rng &rng);
+
+    /** Mutate one (or occasionally more) decisions of a parent. */
+    searchspace::Sample mutate(const searchspace::Sample &parent,
+                               common::Rng &rng) const;
+
+  private:
+    const searchspace::DecisionSpace &_space;
+    QualityFn _quality;
+    PerfFn _perf;
+    const reward::RewardFunction &_reward;
+    EvolutionSearchConfig _config;
+};
+
+} // namespace h2o::search
+
+#endif // H2O_SEARCH_BASELINE_SEARCH_H

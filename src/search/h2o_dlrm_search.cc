@@ -1,0 +1,103 @@
+#include "search/h2o_dlrm_search.h"
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace h2o::search {
+
+H2oDlrmSearch::H2oDlrmSearch(const searchspace::DlrmSearchSpace &space,
+                             supernet::DlrmSupernet &supernet,
+                             pipeline::InMemoryPipeline &pipe,
+                             DlrmPerfFn perf,
+                             const reward::RewardFunction &rewardf,
+                             H2oSearchConfig config)
+    : _space(space), _supernet(supernet), _pipeline(pipe),
+      _perf(std::move(perf)), _reward(rewardf), _config(config)
+{
+    h2o_assert(_perf, "null performance functor");
+    h2o_assert(_config.numShards > 0 && _config.numSteps > 0,
+               "degenerate search configuration");
+}
+
+SearchOutcome
+H2oDlrmSearch::run(common::Rng &rng)
+{
+    controller::ReinforceController controller(_space.decisions(),
+                                               _config.rl);
+    SearchOutcome outcome;
+    _stats.clear();
+
+    std::vector<common::Rng> shard_rngs;
+    for (size_t s = 0; s < _config.numShards; ++s)
+        shard_rngs.push_back(rng.fork(s + 1));
+
+    // --- Warm-up: train shared weights on uniformly-sampled candidates
+    // so early rewards reflect architecture, not initialization.
+    for (size_t step = 0; step < _config.warmupSteps; ++step) {
+        for (size_t s = 0; s < _config.numShards; ++s) {
+            auto sample = _space.decisions().uniformSample(shard_rngs[s]);
+            auto lease = _pipeline.lease();
+            _supernet.configure(sample);
+            double loss = _supernet.accumulateGradients(lease.batch());
+            (void)loss;
+            lease.markAlphaUse();
+            lease.markWeightUse();
+        }
+        _supernet.applyGradients(_config.weightLr /
+                                 static_cast<double>(_config.numShards));
+    }
+
+    // --- Unified single-step search (Figure 2, right).
+    for (size_t step = 0; step < _config.numSteps; ++step) {
+        size_t n = _config.numShards;
+        std::vector<searchspace::Sample> samples(n);
+        std::vector<double> qualities(n), rewards(n);
+        std::vector<std::vector<double>> perfs(n);
+        double step_loss = 0.0;
+
+        // Stage (1): each shard samples its own candidate from pi.
+        for (size_t s = 0; s < n; ++s)
+            samples[s] = controller.policy().sample(shard_rngs[s]);
+
+        // Stages (1)-(3) per shard: one forward pass on a FRESH batch
+        // yields the quality signal (alpha use) and the gradients for
+        // the weight update (W use) — in that mandatory order.
+        for (size_t s = 0; s < n; ++s) {
+            auto lease = _pipeline.lease();
+            _supernet.configure(samples[s]);
+            double loss = _supernet.accumulateGradients(lease.batch());
+            lease.markAlphaUse();
+            qualities[s] = -loss; // quality = negated log-loss
+            perfs[s] = _perf(samples[s]);
+            rewards[s] = _reward.compute({qualities[s], perfs[s]});
+            lease.markWeightUse();
+            step_loss += loss;
+        }
+
+        // Stage (2): cross-shard policy update.
+        auto cstats = controller.update(samples, rewards);
+
+        // Stage (3): cross-shard (merged) weight update.
+        _supernet.applyGradients(_config.weightLr / static_cast<double>(n));
+
+        H2oStepStats st;
+        st.step = step;
+        st.meanReward = cstats.meanReward;
+        st.meanQuality = common::mean(qualities);
+        st.meanEntropy = cstats.meanEntropy;
+        st.trainLoss = step_loss / static_cast<double>(n);
+        _stats.push_back(st);
+        outcome.finalMeanReward = cstats.meanReward;
+        outcome.finalEntropy = cstats.meanEntropy;
+
+        for (size_t s = 0; s < n; ++s) {
+            outcome.history.push_back({std::move(samples[s]), qualities[s],
+                                       std::move(perfs[s]), rewards[s],
+                                       step});
+        }
+    }
+    outcome.finalSample = controller.policy().argmax();
+    return outcome;
+}
+
+} // namespace h2o::search

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The full H2O-NAS search for DLRM: the massively parallel UNIFIED
+ * single-step algorithm of Section 4 (right side of Figure 2), wired to
+ * the real weight-sharing super-network and the in-memory production
+ * traffic pipeline.
+ *
+ * Each search step runs three stages across N virtual accelerator
+ * shards:
+ *
+ *  (1) each shard samples its own candidate alpha_i from pi and runs a
+ *      forward pass with the shared weights W on a FRESH batch from the
+ *      pipeline to estimate the quality Q(alpha_i);
+ *  (2) Q(alpha_i) and the performance model's T(alpha_i) form the reward
+ *      R(alpha_i); all shards' rewards feed ONE cross-shard REINFORCE
+ *      update of pi;
+ *  (3) in parallel (same step, same batches), all shards backpropagate
+ *      their candidates and the merged cross-shard gradient updates the
+ *      shared weights W.
+ *
+ * The pipeline's BatchLease enforces the alpha-before-W invariant: the
+ * batch informs the architecture decision before it trains weights, so
+ * pi is always learned on data W has never seen — the property that
+ * replaces the train/validation split (Section 4.1).
+ *
+ * Substitution note: the shards share one in-memory super-network
+ * (threads stand in for TPU cores), so stages serialize around the
+ * supernet while preserving the exact cross-shard aggregation semantics.
+ */
+
+#ifndef H2O_SEARCH_H2O_DLRM_SEARCH_H
+#define H2O_SEARCH_H2O_DLRM_SEARCH_H
+
+#include <functional>
+
+#include "common/rng.h"
+#include "controller/reinforce.h"
+#include "pipeline/pipeline.h"
+#include "reward/reward.h"
+#include "search/surrogate_search.h"
+#include "searchspace/dlrm_space.h"
+#include "supernet/dlrm_supernet.h"
+
+namespace h2o::search {
+
+/** Sample -> performance objective values (e.g. via the perf model). */
+using DlrmPerfFn = PerfFn;
+
+/** Configuration of the unified single-step search. */
+struct H2oSearchConfig
+{
+    size_t numShards = 8;      ///< virtual accelerators per step
+    size_t numSteps = 200;
+    double weightLr = 0.05;    ///< shared-weight SGD learning rate
+    /** Steps of pure weight warm-up (uniform sampling, no policy
+     *  updates) so early rewards are not dominated by random init. */
+    size_t warmupSteps = 30;
+    controller::ReinforceConfig rl{};
+};
+
+/** Step-level telemetry. */
+struct H2oStepStats
+{
+    size_t step = 0;
+    double meanReward = 0.0;
+    double meanQuality = 0.0;
+    double meanEntropy = 0.0;
+    double trainLoss = 0.0;
+};
+
+/** The unified single-step DLRM searcher. */
+class H2oDlrmSearch
+{
+  public:
+    /**
+     * @param space    DLRM search space.
+     * @param supernet Trainable weight-sharing super-network.
+     * @param pipe     In-memory production-traffic pipeline.
+     * @param perf     Performance signal (thread-safe).
+     * @param rewardf  Multi-objective reward.
+     */
+    H2oDlrmSearch(const searchspace::DlrmSearchSpace &space,
+                  supernet::DlrmSupernet &supernet,
+                  pipeline::InMemoryPipeline &pipe, DlrmPerfFn perf,
+                  const reward::RewardFunction &rewardf,
+                  H2oSearchConfig config);
+
+    /** Run the search to completion. */
+    SearchOutcome run(common::Rng &rng);
+
+    /** Per-step telemetry from the last run(). */
+    const std::vector<H2oStepStats> &stepStats() const { return _stats; }
+
+  private:
+    const searchspace::DlrmSearchSpace &_space;
+    supernet::DlrmSupernet &_supernet;
+    pipeline::InMemoryPipeline &_pipeline;
+    DlrmPerfFn _perf;
+    const reward::RewardFunction &_reward;
+    H2oSearchConfig _config;
+    std::vector<H2oStepStats> _stats;
+};
+
+} // namespace h2o::search
+
+#endif // H2O_SEARCH_H2O_DLRM_SEARCH_H

@@ -1,0 +1,59 @@
+#include "search/pareto.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace h2o::search {
+
+bool
+dominates(const ParetoPoint &a, const ParetoPoint &b)
+{
+    bool no_worse = a.quality >= b.quality && a.cost <= b.cost;
+    bool strictly_better = a.quality > b.quality || a.cost < b.cost;
+    return no_worse && strictly_better;
+}
+
+std::vector<size_t>
+paretoFront(const std::vector<ParetoPoint> &points)
+{
+    std::vector<size_t> idx(points.size());
+    std::iota(idx.begin(), idx.end(), size_t{0});
+    // Sort by cost ascending, quality descending for ties.
+    std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+        if (points[a].cost != points[b].cost)
+            return points[a].cost < points[b].cost;
+        return points[a].quality > points[b].quality;
+    });
+    std::vector<size_t> front;
+    double best_quality = -1e300;
+    for (size_t i : idx) {
+        if (points[i].quality > best_quality) {
+            front.push_back(i);
+            best_quality = points[i].quality;
+        }
+    }
+    return front;
+}
+
+double
+hypervolume(const std::vector<ParetoPoint> &points,
+            const ParetoPoint &reference)
+{
+    auto front = paretoFront(points);
+    double volume = 0.0;
+    double prev_cost = reference.cost;
+    // Walk the front from highest cost down; each segment contributes
+    // (cost span) x (quality above reference).
+    for (size_t k = front.size(); k-- > 0;) {
+        const auto &p = points[front[k]];
+        if (p.cost >= prev_cost || p.quality <= reference.quality)
+            continue;
+        volume += (prev_cost - p.cost) * (p.quality - reference.quality);
+        prev_cost = p.cost;
+    }
+    return volume;
+}
+
+} // namespace h2o::search

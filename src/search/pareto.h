@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Pareto-front utilities for quality/performance trade-off analysis
+ * (Figures 5a and 6 of the paper plot exactly these fronts).
+ *
+ * Convention: quality is maximized, cost (step time, model size) is
+ * minimized. A point dominates another when it is no worse in both
+ * coordinates and strictly better in at least one.
+ */
+
+#ifndef H2O_SEARCH_PARETO_H
+#define H2O_SEARCH_PARETO_H
+
+#include <cstddef>
+#include <vector>
+
+namespace h2o::search {
+
+/** One candidate's (quality, cost) outcome. */
+struct ParetoPoint
+{
+    double quality; ///< maximized
+    double cost;    ///< minimized
+};
+
+/**
+ * Indices of the non-dominated points, sorted by increasing cost.
+ */
+std::vector<size_t> paretoFront(const std::vector<ParetoPoint> &points);
+
+/** True when a dominates b. */
+bool dominates(const ParetoPoint &a, const ParetoPoint &b);
+
+/**
+ * Hypervolume (2-D: summed dominated area) of a front against a
+ * reference point with quality <= all and cost >= all points. Larger is
+ * a better front.
+ */
+double hypervolume(const std::vector<ParetoPoint> &points,
+                   const ParetoPoint &reference);
+
+} // namespace h2o::search
+
+#endif // H2O_SEARCH_PARETO_H

@@ -1,0 +1,76 @@
+#include "search/surrogate_search.h"
+
+#include <thread>
+
+#include "common/logging.h"
+
+namespace h2o::search {
+
+SurrogateSearch::SurrogateSearch(const searchspace::DecisionSpace &space,
+                                 QualityFn quality, PerfFn perf,
+                                 const reward::RewardFunction &rewardf,
+                                 SurrogateSearchConfig config)
+    : _space(space), _quality(std::move(quality)), _perf(std::move(perf)),
+      _reward(rewardf), _config(config)
+{
+    h2o_assert(_quality && _perf, "null quality/perf functor");
+    h2o_assert(_config.numSteps > 0 && _config.samplesPerStep > 0,
+               "degenerate search configuration");
+}
+
+SearchOutcome
+SurrogateSearch::run(common::Rng &rng)
+{
+    controller::ReinforceController controller(_space, _config.rl);
+    SearchOutcome outcome;
+    outcome.history.reserve(_config.numSteps * _config.samplesPerStep);
+
+    // Per-shard RNG streams, deterministic regardless of thread timing.
+    std::vector<common::Rng> shard_rngs;
+    for (size_t s = 0; s < _config.samplesPerStep; ++s)
+        shard_rngs.push_back(rng.fork(s + 1));
+
+    for (size_t step = 0; step < _config.numSteps; ++step) {
+        size_t n = _config.samplesPerStep;
+        std::vector<searchspace::Sample> samples(n);
+        std::vector<double> qualities(n), rewards(n);
+        std::vector<std::vector<double>> perfs(n);
+
+        // Stage 1 (Figure 2): each shard samples its own candidate.
+        for (size_t s = 0; s < n; ++s)
+            samples[s] = controller.policy().sample(shard_rngs[s]);
+
+        // Stage 2: evaluate quality + performance per shard.
+        auto eval_shard = [&](size_t s) {
+            qualities[s] = _quality(samples[s]);
+            perfs[s] = _perf(samples[s]);
+            rewards[s] = _reward.compute({qualities[s], perfs[s]});
+        };
+        if (_config.multithread && n > 1) {
+            std::vector<std::thread> threads;
+            threads.reserve(n);
+            for (size_t s = 0; s < n; ++s)
+                threads.emplace_back(eval_shard, s);
+            for (auto &t : threads)
+                t.join();
+        } else {
+            for (size_t s = 0; s < n; ++s)
+                eval_shard(s);
+        }
+
+        // Stage 3: cross-shard policy update.
+        auto stats = controller.update(samples, rewards);
+        outcome.finalMeanReward = stats.meanReward;
+        outcome.finalEntropy = stats.meanEntropy;
+
+        for (size_t s = 0; s < n; ++s) {
+            outcome.history.push_back({std::move(samples[s]), qualities[s],
+                                       std::move(perfs[s]), rewards[s],
+                                       step});
+        }
+    }
+    outcome.finalSample = controller.policy().argmax();
+    return outcome;
+}
+
+} // namespace h2o::search

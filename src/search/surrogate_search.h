@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Surrogate-quality H2O-NAS search.
+ *
+ * For the vision domains (CNN / ViT) this repository cannot train real
+ * ImageNet-scale networks, so quality comes from a calibrated analytical
+ * quality model while performance comes honestly from the hardware
+ * simulator / performance model (see DESIGN.md, substitution table).
+ * The NAS machinery — sampling from pi, the multi-objective reward, the
+ * massively parallel cross-shard REINFORCE update, argmax finalization —
+ * is the same code path the DLRM search uses.
+ *
+ * Each step draws `samplesPerStep` candidates (the virtual accelerator
+ * shards of Figure 2), evaluates them concurrently, and applies one
+ * aggregated policy update.
+ */
+
+#ifndef H2O_SEARCH_SURROGATE_SEARCH_H
+#define H2O_SEARCH_SURROGATE_SEARCH_H
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "controller/reinforce.h"
+#include "reward/reward.h"
+#include "search/pareto.h"
+#include "searchspace/decision_space.h"
+
+namespace h2o::search {
+
+/** Sample -> quality signal (higher is better). */
+using QualityFn = std::function<double(const searchspace::Sample &)>;
+
+/** Sample -> performance objective values (parallel to the reward's). */
+using PerfFn =
+    std::function<std::vector<double>(const searchspace::Sample &)>;
+
+/** One evaluated candidate. */
+struct CandidateRecord
+{
+    searchspace::Sample sample;
+    double quality = 0.0;
+    std::vector<double> performance;
+    double reward = 0.0;
+    size_t step = 0;
+};
+
+/** Search outcome. */
+struct SearchOutcome
+{
+    searchspace::Sample finalSample;   ///< per-decision argmax of pi
+    std::vector<CandidateRecord> history;
+    double finalEntropy = 0.0;
+    double finalMeanReward = 0.0;
+};
+
+/** Search configuration. */
+struct SurrogateSearchConfig
+{
+    size_t numSteps = 200;
+    size_t samplesPerStep = 16; ///< parallel shards per step
+    controller::ReinforceConfig rl{};
+    bool multithread = true;    ///< evaluate shards on std::threads
+};
+
+/** The surrogate-quality searcher. */
+class SurrogateSearch
+{
+  public:
+    /**
+     * @param space   Decision space.
+     * @param quality Quality signal (must be thread-safe if multithread).
+     * @param perf    Performance signal (same thread-safety requirement).
+     * @param rewardf Multi-objective reward combining the two.
+     */
+    SurrogateSearch(const searchspace::DecisionSpace &space,
+                    QualityFn quality, PerfFn perf,
+                    const reward::RewardFunction &rewardf,
+                    SurrogateSearchConfig config);
+
+    /** Run the search to completion. */
+    SearchOutcome run(common::Rng &rng);
+
+  private:
+    const searchspace::DecisionSpace &_space;
+    QualityFn _quality;
+    PerfFn _perf;
+    const reward::RewardFunction &_reward;
+    SurrogateSearchConfig _config;
+};
+
+} // namespace h2o::search
+
+#endif // H2O_SEARCH_SURROGATE_SEARCH_H

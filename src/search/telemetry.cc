@@ -1,0 +1,50 @@
+#include "search/telemetry.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace h2o::search {
+
+void
+writeHistoryCsv(const SearchOutcome &outcome, std::ostream &os)
+{
+    size_t perf_dims = 0;
+    for (const auto &c : outcome.history)
+        perf_dims = std::max(perf_dims, c.performance.size());
+
+    os << "step,quality";
+    for (size_t i = 0; i < perf_dims; ++i)
+        os << ",perf" << i;
+    os << ",reward\n";
+    for (const auto &c : outcome.history) {
+        os << c.step << "," << c.quality;
+        for (size_t i = 0; i < perf_dims; ++i) {
+            os << ",";
+            if (i < c.performance.size())
+                os << c.performance[i];
+        }
+        os << "," << c.reward << "\n";
+    }
+}
+
+void
+writeStepStatsCsv(const std::vector<H2oStepStats> &stats, std::ostream &os)
+{
+    os << "step,mean_reward,mean_quality,mean_entropy,train_loss\n";
+    for (const auto &s : stats) {
+        os << s.step << "," << s.meanReward << "," << s.meanQuality << ","
+           << s.meanEntropy << "," << s.trainLoss << "\n";
+    }
+}
+
+void
+writeHistoryCsvFile(const SearchOutcome &outcome, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        h2o_fatal("cannot open telemetry file '", path, "'");
+    writeHistoryCsv(outcome, os);
+}
+
+} // namespace h2o::search

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Search telemetry export: dump a search's evaluated-candidate history
+ * and per-step statistics as CSV for offline analysis/plotting (the
+ * data behind figures like the paper's Fig 5 scatter).
+ */
+
+#ifndef H2O_SEARCH_TELEMETRY_H
+#define H2O_SEARCH_TELEMETRY_H
+
+#include <ostream>
+#include <string>
+
+#include "search/h2o_dlrm_search.h"
+#include "search/surrogate_search.h"
+
+namespace h2o::search {
+
+/**
+ * Write the candidate history as CSV: one row per evaluated candidate
+ * with step, quality, each performance objective (perf0, perf1, ...),
+ * and reward.
+ */
+void writeHistoryCsv(const SearchOutcome &outcome, std::ostream &os);
+
+/** Write per-step searcher statistics as CSV. */
+void writeStepStatsCsv(const std::vector<H2oStepStats> &stats,
+                       std::ostream &os);
+
+/**
+ * Convenience: write the history to a file path; fatal if the file
+ * cannot be opened (user-provided path).
+ */
+void writeHistoryCsvFile(const SearchOutcome &outcome,
+                         const std::string &path);
+
+} // namespace h2o::search
+
+#endif // H2O_SEARCH_TELEMETRY_H

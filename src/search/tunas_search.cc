@@ -1,0 +1,69 @@
+#include "search/tunas_search.h"
+
+#include "common/logging.h"
+
+namespace h2o::search {
+
+TunasSearch::TunasSearch(const searchspace::DlrmSearchSpace &space,
+                         supernet::DlrmSupernet &supernet,
+                         pipeline::InMemoryPipeline &pipe, PerfFn perf,
+                         const reward::RewardFunction &rewardf,
+                         TunasSearchConfig config)
+    : _space(space), _supernet(supernet), _pipeline(pipe),
+      _perf(std::move(perf)), _reward(rewardf), _config(config)
+{
+    h2o_assert(_perf, "null performance functor");
+    h2o_assert(_config.numIterations > 0, "degenerate configuration");
+}
+
+SearchOutcome
+TunasSearch::run(common::Rng &rng)
+{
+    controller::ReinforceController controller(_space.decisions(),
+                                               _config.rl);
+    SearchOutcome outcome;
+    common::Rng sample_rng = rng.fork(1);
+
+    for (size_t step = 0; step < _config.warmupSteps; ++step) {
+        auto sample = _space.decisions().uniformSample(sample_rng);
+        auto lease = _pipeline.lease();
+        _supernet.configure(sample);
+        _supernet.accumulateGradients(lease.batch());
+        lease.markAlphaUse(); // satisfies the pipeline ordering contract
+        lease.markWeightUse();
+        _supernet.applyGradients(_config.weightLr);
+    }
+
+    for (size_t iter = 0; iter < _config.numIterations; ++iter) {
+        // --- W-step on a "training" batch.
+        {
+            auto sample = controller.policy().sample(sample_rng);
+            auto lease = _pipeline.lease();
+            _supernet.configure(sample);
+            _supernet.accumulateGradients(lease.batch());
+            lease.markAlphaUse();
+            lease.markWeightUse();
+            _supernet.applyGradients(_config.weightLr);
+        }
+        // --- pi-step on a separate "validation" batch (never trains W).
+        {
+            auto sample = controller.policy().sample(sample_rng);
+            auto lease = _pipeline.lease();
+            _supernet.configure(sample);
+            auto eval = _supernet.evaluate(lease.batch());
+            lease.markAlphaUse();
+            double quality = eval.quality();
+            auto perf = _perf(sample);
+            double rwd = _reward.compute({quality, perf});
+            auto cstats = controller.update({sample}, {rwd});
+            outcome.finalMeanReward = cstats.meanReward;
+            outcome.finalEntropy = cstats.meanEntropy;
+            outcome.history.push_back(
+                {std::move(sample), quality, std::move(perf), rwd, iter});
+        }
+    }
+    outcome.finalSample = controller.policy().argmax();
+    return outcome;
+}
+
+} // namespace h2o::search

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Zero-touch model optimization — the paper's production deployment
+ * story (Section 7.3): point H2O-NAS at a production model, give it
+ * the launch constraints, and get back a deployable architecture with
+ * no manual intervention.
+ *
+ * ZeroTouchOptimizer wraps the whole flow behind one call:
+ *
+ *   - build the reward from the model's launch criteria (step-time
+ *     target relative to the measured baseline, optional model-size
+ *     and serving-throughput constraints), quality always first;
+ *   - run the parallel one-shot search;
+ *   - select the deployment candidate: the best-reward candidate the
+ *     search actually evaluated (the paper retrains the selected
+ *     architecture from scratch anyway, so joint evaluation beats a
+ *     per-decision argmax that may compose untested combinations);
+ *   - report quality / performance / size gains against the baseline.
+ *
+ * The optimizer is domain-agnostic: it sees only functors, so the same
+ * code drives CV, DLRM and ViT fleets (bench_fig10_production uses it
+ * for all eight models).
+ */
+
+#ifndef H2O_SEARCH_ZERO_TOUCH_H
+#define H2O_SEARCH_ZERO_TOUCH_H
+
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "search/surrogate_search.h"
+
+namespace h2o::search {
+
+/** Launch criteria for one production model (Section 2.2). */
+struct LaunchCriteria
+{
+    /** Step-time target relative to the measured baseline: < 1 demands
+     *  a speedup, 1 holds the line, > 1 allows a quality-driven
+     *  slowdown. */
+    double stepTimeTargetRel = 1.0;
+    /** Penalty weight for the step-time objective (negative). */
+    double stepTimeBeta = -4.0;
+    /** Model-size target relative to baseline; 0 disables the
+     *  constraint. */
+    double modelSizeTargetRel = 1.0;
+    /** Penalty weight for the size objective (negative). */
+    double modelSizeBeta = -2.0;
+};
+
+/** Search-budget knobs. */
+struct ZeroTouchConfig
+{
+    size_t numSteps = 150;
+    size_t samplesPerStep = 8;
+    double learningRate = 0.08;
+    double entropyWeight = 5e-3;
+};
+
+/** Outcome of one zero-touch optimization. */
+struct ZeroTouchResult
+{
+    searchspace::Sample deployed;    ///< selected candidate
+    double baselineQuality = 0.0;
+    double deployedQuality = 0.0;
+    double baselineStepSec = 0.0;
+    double deployedStepSec = 0.0;
+    double baselineBytes = 0.0;
+    double deployedBytes = 0.0;
+
+    /** Speedup of the deployed model (baseline / deployed step time). */
+    double perfGain() const { return baselineStepSec / deployedStepSec; }
+
+    /** Absolute quality delta. */
+    double qualityGain() const
+    {
+        return deployedQuality - baselineQuality;
+    }
+
+    /** Deployed / baseline model size. */
+    double sizeRatio() const { return deployedBytes / baselineBytes; }
+};
+
+/**
+ * The zero-touch optimizer over an arbitrary decision space.
+ *
+ * The three functors fully describe the model domain:
+ *  - quality(sample): the quality signal, higher is better;
+ *  - stepTime(sample): simulated training step time, seconds;
+ *  - modelBytes(sample): serving model size, bytes.
+ */
+class ZeroTouchOptimizer
+{
+  public:
+    using ScalarFn = std::function<double(const searchspace::Sample &)>;
+
+    /**
+     * @param space           Decision space around the baseline.
+     * @param baseline_sample The sample decoding to the baseline.
+     */
+    ZeroTouchOptimizer(const searchspace::DecisionSpace &space,
+                       searchspace::Sample baseline_sample,
+                       ScalarFn quality, ScalarFn step_time,
+                       ScalarFn model_bytes);
+
+    /** Run one zero-touch optimization. */
+    ZeroTouchResult optimize(const LaunchCriteria &criteria,
+                             const ZeroTouchConfig &config,
+                             common::Rng &rng) const;
+
+  private:
+    const searchspace::DecisionSpace &_space;
+    searchspace::Sample _baselineSample;
+    ScalarFn _quality;
+    ScalarFn _stepTime;
+    ScalarFn _modelBytes;
+};
+
+} // namespace h2o::search
+
+#endif // H2O_SEARCH_ZERO_TOUCH_H

@@ -1,0 +1,141 @@
+#include "searchspace/conv_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace h2o::searchspace {
+
+namespace {
+
+constexpr uint32_t kKernels[] = {3, 5, 7};
+constexpr uint32_t kStrides[] = {1, 2, 4};
+constexpr double kExpansions[] = {1.0, 3.0, 4.0, 6.0};
+constexpr nn::Activation kActivations[] = {nn::Activation::ReLU,
+                                           nn::Activation::Swish};
+constexpr double kSeRatios[] = {0.0, 1.0, 0.5, 0.25, 0.125};
+constexpr uint32_t kResolutions[] = {224, 240, 260, 300, 380,
+                                     456, 528, 600};
+
+template <typename T, size_t N>
+size_t
+indexOfValue(const T (&arr)[N], T value)
+{
+    for (size_t i = 0; i < N; ++i)
+        if (arr[i] == value)
+            return i;
+    return 0;
+}
+
+} // namespace
+
+ConvSearchSpace::ConvSearchSpace(arch::ConvArch baseline,
+                                 ConvSpaceConfig config)
+    : _baseline(std::move(baseline)), _config(config)
+{
+    h2o_assert(!_baseline.stages.empty(), "conv baseline with no stages");
+    for (size_t s = 0; s < _baseline.stages.size(); ++s) {
+        std::string p = "s" + std::to_string(s) + "_";
+        StageDecisions sd;
+        sd.blockType = _space.add(p + "block_type", 2);
+        sd.kernel = _space.add(p + "kernel", 3);
+        sd.stride = _space.add(p + "stride", 3);
+        sd.expansion = _space.add(p + "expansion", 4);
+        sd.activation = _space.add(p + "activation", 2);
+        sd.seRatio = _space.add(p + "se_ratio", 5);
+        sd.skip = _space.add(p + "skip", 2);
+        sd.reshape = _space.add(p + "reshape", 3);
+        sd.depth = _space.add(p + "depth", 7);
+        sd.width = _space.add(p + "width", 10);
+        _stageDecisions.push_back(sd);
+    }
+    _resolutionDecision =
+        _space.add("resolution", _config.searchResolution ? 8 : 1);
+}
+
+arch::ConvArch
+ConvSearchSpace::decode(const Sample &sample) const
+{
+    h2o_assert(_space.validSample(sample), "malformed conv sample");
+    arch::ConvArch out = _baseline;
+    out.name = _baseline.name + "_candidate";
+    out.resolution = _config.searchResolution
+                         ? kResolutions[sample[_resolutionDecision]]
+                         : _baseline.resolution;
+
+    for (size_t s = 0; s < _stageDecisions.size(); ++s) {
+        const auto &sd = _stageDecisions[s];
+        auto &stage = out.stages[s];
+        const auto &base = _baseline.stages[s];
+
+        stage.type = sample[sd.blockType] == 0 ? arch::BlockType::MBConv
+                                               : arch::BlockType::FusedMBConv;
+        stage.kernel = kKernels[sample[sd.kernel]];
+        stage.stride = kStrides[sample[sd.stride]];
+        stage.expansion = kExpansions[sample[sd.expansion]];
+        stage.act = kActivations[sample[sd.activation]];
+        stage.seRatio = kSeRatios[sample[sd.seRatio]];
+        stage.skip = sample[sd.skip] == 1;
+        // Reshape option 1 = space-to-depth at the stem; option 2
+        // (space-to-batch) is cost-equivalent in this simulator.
+        if (s == 0)
+            out.spaceToDepthStem = sample[sd.reshape] != 0;
+
+        int64_t depth_delta = static_cast<int64_t>(sample[sd.depth]) - 3;
+        int64_t depth = static_cast<int64_t>(base.layers) + depth_delta;
+        stage.layers = static_cast<uint32_t>(std::max<int64_t>(depth, 1));
+
+        // Width deltas [-5, +5] excluding zero change: choices 0..9 map
+        // to {-5..-1, +1..+5}.
+        int64_t wd = static_cast<int64_t>(sample[sd.width]);
+        int64_t delta = wd < 5 ? wd - 5 : wd - 4;
+        int64_t width = static_cast<int64_t>(base.filters) +
+                        delta * static_cast<int64_t>(_widthIncrement);
+        stage.filters = static_cast<uint32_t>(
+            std::max<int64_t>(width, _widthIncrement));
+    }
+    return out;
+}
+
+Sample
+ConvSearchSpace::baselineSample() const
+{
+    Sample s(_space.numDecisions(), 0);
+    for (size_t st = 0; st < _stageDecisions.size(); ++st) {
+        const auto &sd = _stageDecisions[st];
+        const auto &base = _baseline.stages[st];
+        s[sd.blockType] = base.type == arch::BlockType::MBConv ? 0 : 1;
+        s[sd.kernel] = indexOfValue(kKernels, base.kernel);
+        s[sd.stride] = indexOfValue(kStrides, base.stride);
+        s[sd.expansion] = indexOfValue(kExpansions, base.expansion);
+        s[sd.activation] =
+            base.act == nn::Activation::Swish ? size_t{1} : size_t{0};
+        s[sd.seRatio] = indexOfValue(kSeRatios, base.seRatio);
+        s[sd.skip] = base.skip ? 1 : 0;
+        s[sd.reshape] = _baseline.spaceToDepthStem && st == 0 ? 1 : 0;
+        s[sd.depth] = 3; // delta 0
+        // Closest-to-zero width delta is +1 (choice index 5): the space
+        // excludes an exact zero delta, as in Table 5. We still return
+        // the minimal positive change.
+        s[sd.width] = 5;
+    }
+    // Nearest resolution choice (pinned spaces have a single choice).
+    if (_config.searchResolution) {
+        size_t best = 0;
+        double best_d = 1e18;
+        for (size_t i = 0; i < 8; ++i) {
+            double d = std::abs(static_cast<double>(kResolutions[i]) -
+                                static_cast<double>(_baseline.resolution));
+            if (d < best_d) {
+                best_d = d;
+                best = i;
+            }
+        }
+        s[_resolutionDecision] = best;
+    }
+    h2o_assert(_space.validSample(s), "baseline conv sample malformed");
+    return s;
+}
+
+} // namespace h2o::searchspace

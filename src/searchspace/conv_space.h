@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The convolutional search space (Table 5, "Convolutional Models"):
+ *
+ *   Per stage (7 stages in the paper's accounting):
+ *     block type:        MBConv, Fused MBConv
+ *     kernel size:       3x3, 5x5, 7x7
+ *     stride:            1, 2, 4 (first layer of the stage)
+ *     expansion ratio:   1, 3, 4, 6
+ *     activation:        ReLU, swish
+ *     squeeze-excite:    0, 1.0, 0.5, 0.25, 0.125
+ *     skip connection:   none, identity
+ *     tensor reshaping:  none, space-to-depth, space-to-batch
+ *     depth delta:       -3 ... +3 layers
+ *     width delta:       [-5, +5] x increment, excluding zero (10 choices)
+ *   Global:
+ *     initial resolution: 8 choices in 224..600
+ *
+ * Per-stage cardinality 2*3*3*4*2*5*2*3*7*10 = 302400 and 7 stages give
+ * (302400)^7 * 8 ~ O(10^39), matching the paper's accounting.
+ */
+
+#ifndef H2O_SEARCHSPACE_CONV_SPACE_H
+#define H2O_SEARCHSPACE_CONV_SPACE_H
+
+#include "arch/conv_arch.h"
+#include "searchspace/decision_space.h"
+
+namespace h2o::searchspace {
+
+/** Knobs controlling the conv space shape. */
+struct ConvSpaceConfig
+{
+    /**
+     * When false, the input resolution stays pinned to the baseline's —
+     * production vision models often cannot change their input pipeline
+     * (Section 2.2's deployment constraints).
+     */
+    bool searchResolution = true;
+};
+
+/** The CNN search space around a baseline architecture. */
+class ConvSearchSpace
+{
+  public:
+    /** @param baseline Architecture the deltas are relative to. */
+    explicit ConvSearchSpace(arch::ConvArch baseline,
+                             ConvSpaceConfig config = ConvSpaceConfig{});
+
+    /** The categorical decisions. */
+    const DecisionSpace &decisions() const { return _space; }
+
+    /** Decode a sample into a concrete architecture. */
+    arch::ConvArch decode(const Sample &sample) const;
+
+    /** The baseline architecture. */
+    const arch::ConvArch &baseline() const { return _baseline; }
+
+    /** The sample whose decode reproduces the baseline. */
+    Sample baselineSample() const;
+
+    /** log10 cardinality. */
+    double log10Size() const { return _space.log10Size(); }
+
+  private:
+    struct StageDecisions
+    {
+        size_t blockType;
+        size_t kernel;
+        size_t stride;
+        size_t expansion;
+        size_t activation;
+        size_t seRatio;
+        size_t skip;
+        size_t reshape;
+        size_t depth;
+        size_t width;
+    };
+
+    arch::ConvArch _baseline;
+    ConvSpaceConfig _config;
+    DecisionSpace _space;
+    std::vector<StageDecisions> _stageDecisions;
+    size_t _resolutionDecision = 0;
+    uint32_t _widthIncrement = 8;
+};
+
+} // namespace h2o::searchspace
+
+#endif // H2O_SEARCHSPACE_CONV_SPACE_H

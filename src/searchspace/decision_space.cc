@@ -1,0 +1,64 @@
+#include "searchspace/decision_space.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace h2o::searchspace {
+
+size_t
+DecisionSpace::add(std::string name, size_t num_choices)
+{
+    h2o_assert(num_choices >= 1, "decision '", name, "' with no choices");
+    _decisions.push_back(Decision{std::move(name), num_choices});
+    return _decisions.size() - 1;
+}
+
+const Decision &
+DecisionSpace::decision(size_t i) const
+{
+    h2o_assert(i < _decisions.size(), "decision index ", i, " out of range");
+    return _decisions[i];
+}
+
+double
+DecisionSpace::log10Size() const
+{
+    double total = 0.0;
+    for (const auto &d : _decisions)
+        total += std::log10(static_cast<double>(d.numChoices));
+    return total;
+}
+
+bool
+DecisionSpace::validSample(const Sample &sample) const
+{
+    if (sample.size() != _decisions.size())
+        return false;
+    for (size_t i = 0; i < sample.size(); ++i)
+        if (sample[i] >= _decisions[i].numChoices)
+            return false;
+    return true;
+}
+
+Sample
+DecisionSpace::uniformSample(common::Rng &rng) const
+{
+    Sample s(_decisions.size());
+    for (size_t i = 0; i < _decisions.size(); ++i)
+        s[i] = static_cast<size_t>(rng.uniformInt(
+            0, static_cast<int64_t>(_decisions[i].numChoices) - 1));
+    return s;
+}
+
+size_t
+DecisionSpace::indexOf(const std::string &name) const
+{
+    for (size_t i = 0; i < _decisions.size(); ++i)
+        if (_decisions[i].name == name)
+            return i;
+    h2o_fatal("no decision named '", name, "'");
+}
+
+} // namespace h2o::searchspace

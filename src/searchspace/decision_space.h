@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The categorical decision space an RL search optimizes over.
+ *
+ * As Section 4.1 of the paper describes, "the search space consists of a
+ * set of categorical decisions, where each decision controls a different
+ * aspect of the network architecture", and the policy pi is a probability
+ * distribution over a collection of independent multinomial variables.
+ * DecisionSpace is that set; a Sample assigns one choice per decision.
+ */
+
+#ifndef H2O_SEARCHSPACE_DECISION_SPACE_H
+#define H2O_SEARCHSPACE_DECISION_SPACE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace h2o::common { class Rng; }
+
+namespace h2o::searchspace {
+
+/** One categorical decision. */
+struct Decision
+{
+    std::string name;
+    size_t numChoices;
+};
+
+/** One sampled architecture: a choice index per decision. */
+using Sample = std::vector<size_t>;
+
+/** An ordered collection of categorical decisions. */
+class DecisionSpace
+{
+  public:
+    /** Register a decision; returns its index. @pre num_choices >= 1. */
+    size_t add(std::string name, size_t num_choices);
+
+    /** Number of decisions. */
+    size_t numDecisions() const { return _decisions.size(); }
+
+    /** Access a decision. */
+    const Decision &decision(size_t i) const;
+
+    /** All decisions. */
+    const std::vector<Decision> &decisions() const { return _decisions; }
+
+    /** log10 of the cardinality of the full space (product of choices). */
+    double log10Size() const;
+
+    /** Validate that a sample is well-formed for this space. */
+    bool validSample(const Sample &sample) const;
+
+    /** Uniform random sample (useful for pre-training the perf model). */
+    Sample uniformSample(common::Rng &rng) const;
+
+    /** Look up a decision index by name; fatal if absent. */
+    size_t indexOf(const std::string &name) const;
+
+  private:
+    std::vector<Decision> _decisions;
+};
+
+} // namespace h2o::searchspace
+
+#endif // H2O_SEARCHSPACE_DECISION_SPACE_H

@@ -1,0 +1,208 @@
+#include "searchspace/dlrm_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace h2o::searchspace {
+
+namespace {
+
+/** Base width for an MLP layer slot, extending past the baseline depth
+ *  by replicating the last baseline layer. */
+uint32_t
+slotBaseWidth(const std::vector<arch::MlpLayerConfig> &layers, size_t slot)
+{
+    if (layers.empty())
+        return 64;
+    if (slot < layers.size())
+        return layers[slot].width;
+    return layers.back().width;
+}
+
+constexpr double kVocabScales[] = {0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0};
+
+} // namespace
+
+DlrmSearchSpace::DlrmSearchSpace(arch::DlrmArch baseline,
+                                 DlrmSpaceConfig config)
+    : _baseline(std::move(baseline)), _config(config)
+{
+    h2o_assert(!_baseline.topMlp.empty(), "baseline DLRM without top MLP");
+    size_t emb_width_choices =
+        static_cast<size_t>(config.embWidthDeltaMax - config.embWidthDeltaMin)
+        + 1;
+    size_t mlp_width_choices =
+        static_cast<size_t>(config.mlpWidthDeltaMax - config.mlpWidthDeltaMin)
+        + 1;
+    size_t depth_choices =
+        static_cast<size_t>(config.depthDeltaMax - config.depthDeltaMin) + 1;
+
+    for (size_t t = 0; t < _baseline.tables.size(); ++t) {
+        TableDecisions td;
+        td.width = _space.add("emb" + std::to_string(t) + "_width",
+                              emb_width_choices);
+        td.vocab = _space.add("emb" + std::to_string(t) + "_vocab",
+                              numVocabChoices());
+        _tableDecisions.push_back(td);
+    }
+
+    auto add_layer_slots = [&](const char *prefix,
+                               const std::vector<arch::MlpLayerConfig> &base,
+                               std::vector<LayerDecisions> &out,
+                               size_t max_depth) {
+        for (size_t l = 0; l < max_depth; ++l) {
+            LayerDecisions ld;
+            ld.width = _space.add(std::string(prefix) + std::to_string(l) +
+                                      "_width",
+                                  mlp_width_choices);
+            ld.rank = _space.add(std::string(prefix) + std::to_string(l) +
+                                     "_rank",
+                                 10);
+            out.push_back(ld);
+        }
+        (void)base;
+    };
+    add_layer_slots("bot", _baseline.bottomMlp, _bottomDecisions,
+                    maxMlpDepth(true));
+    add_layer_slots("top", _baseline.topMlp, _topDecisions,
+                    maxMlpDepth(false));
+
+    _bottomDepthDecision = _space.add("bot_depth", depth_choices);
+    _topDepthDecision = _space.add("top_depth", depth_choices);
+}
+
+size_t
+DlrmSearchSpace::maxMlpDepth(bool is_bottom) const
+{
+    size_t base = is_bottom ? _baseline.bottomMlp.size()
+                            : _baseline.topMlp.size();
+    return base + static_cast<size_t>(std::max(0, _config.depthDeltaMax));
+}
+
+uint32_t
+DlrmSearchSpace::widthFromChoice(uint32_t base, size_t choice, int32_t dmin,
+                                 bool allow_zero) const
+{
+    int64_t delta = dmin + static_cast<int64_t>(choice);
+    int64_t width = static_cast<int64_t>(base) +
+                    delta * static_cast<int64_t>(_config.widthIncrement);
+    int64_t floor = allow_zero ? 0 : _config.widthIncrement;
+    return static_cast<uint32_t>(std::max<int64_t>(width, floor));
+}
+
+uint32_t
+DlrmSearchSpace::maxEmbeddingWidth(size_t table) const
+{
+    h2o_assert(table < _baseline.tables.size(), "table index out of range");
+    return widthFromChoice(
+        _baseline.tables[table].width,
+        static_cast<size_t>(_config.embWidthDeltaMax - _config.embWidthDeltaMin),
+        _config.embWidthDeltaMin, false);
+}
+
+uint32_t
+DlrmSearchSpace::maxMlpWidth(bool is_bottom, size_t layer) const
+{
+    const auto &base = is_bottom ? _baseline.bottomMlp : _baseline.topMlp;
+    return widthFromChoice(
+        slotBaseWidth(base, layer),
+        static_cast<size_t>(_config.mlpWidthDeltaMax - _config.mlpWidthDeltaMin),
+        _config.mlpWidthDeltaMin, false);
+}
+
+size_t
+DlrmSearchSpace::vocabDecisionIndex(size_t table) const
+{
+    h2o_assert(table < _tableDecisions.size(), "table index out of range");
+    return _tableDecisions[table].vocab;
+}
+
+double
+DlrmSearchSpace::vocabScale(size_t choice) const
+{
+    h2o_assert(choice < numVocabChoices(), "vocab choice out of range");
+    return kVocabScales[choice];
+}
+
+arch::DlrmArch
+DlrmSearchSpace::decode(const Sample &sample) const
+{
+    h2o_assert(_space.validSample(sample), "malformed DLRM sample");
+    arch::DlrmArch out = _baseline;
+    out.name = _baseline.name + "_candidate";
+
+    for (size_t t = 0; t < _tableDecisions.size(); ++t) {
+        const auto &td = _tableDecisions[t];
+        uint32_t width = widthFromChoice(_baseline.tables[t].width,
+                                         sample[td.width],
+                                         _config.embWidthDeltaMin,
+                                         _config.allowTableRemoval);
+        out.tables[t].width = width;
+        double scale = vocabScale(sample[td.vocab]);
+        out.tables[t].vocab = static_cast<uint64_t>(std::max(
+            1.0, std::round(static_cast<double>(_baseline.tables[t].vocab) *
+                            scale)));
+    }
+
+    auto decode_stack = [&](const std::vector<arch::MlpLayerConfig> &base,
+                            const std::vector<LayerDecisions> &slots,
+                            size_t depth_decision, bool allow_empty) {
+        int64_t depth_delta = _config.depthDeltaMin +
+                              static_cast<int64_t>(sample[depth_decision]);
+        int64_t depth = static_cast<int64_t>(base.size()) + depth_delta;
+        int64_t min_depth = allow_empty ? 0 : 1;
+        depth = std::clamp<int64_t>(depth, min_depth,
+                                    static_cast<int64_t>(slots.size()));
+        std::vector<arch::MlpLayerConfig> stack;
+        for (int64_t l = 0; l < depth; ++l) {
+            const auto &ld = slots[static_cast<size_t>(l)];
+            uint32_t width = widthFromChoice(
+                slotBaseWidth(base, static_cast<size_t>(l)),
+                sample[ld.width], _config.mlpWidthDeltaMin, false);
+            // Rank choice r selects (r+1)/10 of the layer width; the top
+            // choice (10/10) means full rank (no factorization).
+            uint32_t rank = 0;
+            size_t rank_choice = sample[ld.rank];
+            if (rank_choice + 1 < 10) {
+                double frac = static_cast<double>(rank_choice + 1) / 10.0;
+                rank = static_cast<uint32_t>(std::max(
+                    8.0, std::floor(width * frac / 8.0) * 8.0));
+            }
+            stack.push_back({width, rank});
+        }
+        return stack;
+    };
+
+    out.bottomMlp = decode_stack(_baseline.bottomMlp, _bottomDecisions,
+                                 _bottomDepthDecision, true);
+    out.topMlp = decode_stack(_baseline.topMlp, _topDecisions,
+                              _topDepthDecision, false);
+    return out;
+}
+
+Sample
+DlrmSearchSpace::baselineSample() const
+{
+    Sample s(_space.numDecisions(), 0);
+    for (size_t t = 0; t < _tableDecisions.size(); ++t) {
+        s[_tableDecisions[t].width] =
+            static_cast<size_t>(-_config.embWidthDeltaMin);
+        s[_tableDecisions[t].vocab] = 2; // 100%
+    }
+    auto fill_stack = [&](const std::vector<LayerDecisions> &slots) {
+        for (const auto &ld : slots) {
+            s[ld.width] = static_cast<size_t>(-_config.mlpWidthDeltaMin);
+            s[ld.rank] = 9; // full rank
+        }
+    };
+    fill_stack(_bottomDecisions);
+    fill_stack(_topDecisions);
+    s[_bottomDepthDecision] = static_cast<size_t>(-_config.depthDeltaMin);
+    s[_topDepthDecision] = static_cast<size_t>(-_config.depthDeltaMin);
+    h2o_assert(_space.validSample(s), "baseline sample malformed");
+    return s;
+}
+
+} // namespace h2o::searchspace

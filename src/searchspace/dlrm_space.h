@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The DLRM search space — the paper's first-of-a-kind search space for
+ * RL-based one-shot NAS on recommendation models (Section 5.1, Table 5):
+ *
+ *   Embedding (per table):
+ *     width:      [-3, +3] x increment (8), w.r.t. baseline
+ *                 (a width of 0 removes the table)
+ *     vocabulary: 50% / 75% / 100% / 125% / 150% / 175% / 200% of baseline
+ *   DNN (per MLP layer):
+ *     width:      [-5, +5] x increment (8) excluding a zero width
+ *     low rank:   1/10, 2/10, ..., 10/10 of layer width
+ *   DNN (per MLP stack):
+ *     depth:      -3 ... +3 layers w.r.t. baseline
+ *
+ * With the paper's production model (O(300) tables, O(10) MLP layers)
+ * this space has ~10^282 candidates; log10Size() reports the cardinality
+ * of the instantiated configuration.
+ */
+
+#ifndef H2O_SEARCHSPACE_DLRM_SPACE_H
+#define H2O_SEARCHSPACE_DLRM_SPACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/dlrm_arch.h"
+#include "searchspace/decision_space.h"
+
+namespace h2o::searchspace {
+
+/** Knobs controlling the DLRM space shape. */
+struct DlrmSpaceConfig
+{
+    uint32_t widthIncrement = 8;  ///< minimal width step (Table 5)
+    int32_t embWidthDeltaMin = -3;
+    int32_t embWidthDeltaMax = 3;
+    int32_t mlpWidthDeltaMin = -5;
+    int32_t mlpWidthDeltaMax = 5;
+    int32_t depthDeltaMin = -3;
+    int32_t depthDeltaMax = 3;
+    bool allowTableRemoval = true; ///< permit embedding width 0
+};
+
+/** The DLRM search space around a baseline architecture. */
+class DlrmSearchSpace
+{
+  public:
+    /**
+     * @param baseline Architecture the deltas are relative to.
+     * @param config   Space-shape knobs.
+     */
+    explicit DlrmSearchSpace(arch::DlrmArch baseline,
+                             DlrmSpaceConfig config = DlrmSpaceConfig{});
+
+    /** The categorical decisions. */
+    const DecisionSpace &decisions() const { return _space; }
+
+    /** Decode a sample into a concrete architecture. */
+    arch::DlrmArch decode(const Sample &sample) const;
+
+    /** The baseline (also the decode of the all-baseline sample). */
+    const arch::DlrmArch &baseline() const { return _baseline; }
+
+    /** The sample whose decode reproduces the baseline. */
+    Sample baselineSample() const;
+
+    /** log10 cardinality of this space. */
+    double log10Size() const { return _space.log10Size(); }
+
+    /** Vocabulary scale corresponding to a vocab choice index. */
+    double vocabScale(size_t choice) const;
+
+    /** Number of vocabulary-scale choices (coarse-grained sharing width). */
+    size_t numVocabChoices() const { return 7; }
+
+    /**
+     * Largest embedding width any candidate can select for a table —
+     * the fine-grained shared storage width in the super-network.
+     */
+    uint32_t maxEmbeddingWidth(size_t table) const;
+
+    /** Largest width any candidate can select for MLP layer position
+     *  `layer` of the bottom (is_bottom) or top stack. */
+    uint32_t maxMlpWidth(bool is_bottom, size_t layer) const;
+
+    /** Maximum bottom/top MLP depth (baseline depth + max delta). */
+    size_t maxMlpDepth(bool is_bottom) const;
+
+    /** Decision index carrying table `t`'s vocabulary-size choice (the
+     *  coarse-grained sharing selector in the super-network). */
+    size_t vocabDecisionIndex(size_t table) const;
+
+  private:
+    /** Decision indices for one embedding table. */
+    struct TableDecisions
+    {
+        size_t width;
+        size_t vocab;
+    };
+
+    /** Decision indices for one MLP layer slot. */
+    struct LayerDecisions
+    {
+        size_t width;
+        size_t rank;
+    };
+
+    uint32_t widthFromChoice(uint32_t base, size_t choice, int32_t dmin,
+                             bool allow_zero) const;
+
+    arch::DlrmArch _baseline;
+    DlrmSpaceConfig _config;
+    DecisionSpace _space;
+    std::vector<TableDecisions> _tableDecisions;
+    std::vector<LayerDecisions> _bottomDecisions; ///< sized to max depth
+    std::vector<LayerDecisions> _topDecisions;    ///< sized to max depth
+    size_t _bottomDepthDecision = 0;
+    size_t _topDepthDecision = 0;
+};
+
+} // namespace h2o::searchspace
+
+#endif // H2O_SEARCHSPACE_DLRM_SPACE_H

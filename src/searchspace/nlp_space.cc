@@ -1,0 +1,82 @@
+#include "searchspace/nlp_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace h2o::searchspace {
+
+namespace {
+
+constexpr nn::Activation kActivations[] = {
+    nn::Activation::ReLU, nn::Activation::Swish, nn::Activation::GeLU,
+    nn::Activation::SquaredReLU};
+
+} // namespace
+
+NlpSearchSpace::NlpSearchSpace(arch::NlpArch baseline)
+    : _baseline(std::move(baseline))
+{
+    h2o_assert(!_baseline.blocks.empty(),
+               "NLP baseline with no transformer blocks");
+    for (size_t b = 0; b < _baseline.blocks.size(); ++b) {
+        std::string p = "blk" + std::to_string(b) + "_";
+        BlockDecisions bd;
+        bd.hidden = _space.add(p + "hidden", 16);
+        bd.lowRank = _space.add(p + "low_rank", 10);
+        bd.activation = _space.add(p + "activation", 4);
+        bd.seqPool = _space.add(p + "seq_pool", 2);
+        bd.primer = _space.add(p + "primer", 2);
+        bd.depth = _space.add(p + "depth", 7);
+        _blockDecisions.push_back(bd);
+    }
+}
+
+arch::NlpArch
+NlpSearchSpace::decode(const Sample &sample) const
+{
+    h2o_assert(_space.validSample(sample), "malformed NLP sample");
+    arch::NlpArch out = _baseline;
+    out.name = _baseline.name + "_candidate";
+    for (size_t b = 0; b < _blockDecisions.size(); ++b) {
+        const auto &bd = _blockDecisions[b];
+        auto &blk = out.blocks[b];
+        const auto &base = _baseline.blocks[b];
+
+        blk.hidden = 64 * static_cast<uint32_t>(sample[bd.hidden] + 1);
+        blk.heads = std::max(1u, blk.hidden / 64);
+        blk.lowRank = static_cast<double>(sample[bd.lowRank] + 1) / 10.0;
+        blk.act = kActivations[sample[bd.activation]];
+        blk.seqPool = sample[bd.seqPool] == 1;
+        blk.primer = sample[bd.primer] == 1;
+        int64_t depth = static_cast<int64_t>(base.layers) +
+                        (static_cast<int64_t>(sample[bd.depth]) - 3);
+        blk.layers = static_cast<uint32_t>(std::max<int64_t>(depth, 1));
+    }
+    return out;
+}
+
+Sample
+NlpSearchSpace::baselineSample() const
+{
+    Sample s(_space.numDecisions(), 0);
+    for (size_t b = 0; b < _blockDecisions.size(); ++b) {
+        const auto &bd = _blockDecisions[b];
+        const auto &base = _baseline.blocks[b];
+        s[bd.hidden] = std::clamp<size_t>(base.hidden / 64, 1, 16) - 1;
+        s[bd.lowRank] = 9;
+        size_t act = 2;
+        for (size_t i = 0; i < 4; ++i)
+            if (kActivations[i] == base.act)
+                act = i;
+        s[bd.activation] = act;
+        s[bd.seqPool] = base.seqPool ? 1 : 0;
+        s[bd.primer] = base.primer ? 1 : 0;
+        s[bd.depth] = 3;
+    }
+    h2o_assert(_space.validSample(s), "baseline NLP sample malformed");
+    return s;
+}
+
+} // namespace h2o::searchspace

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The transformer search space in isolation (Appendix A): the exact
+ * per-block decisions of the ViT space — hidden size (16), FFN low
+ * rank (10), activation (4), sequence pooling (2), Primer dconv (2),
+ * layer-count delta (7); 17920 candidates per block — applied to a
+ * pure-transformer LM instead of a hybrid vision model.
+ */
+
+#ifndef H2O_SEARCHSPACE_NLP_SPACE_H
+#define H2O_SEARCHSPACE_NLP_SPACE_H
+
+#include "arch/nlp_arch.h"
+#include "searchspace/decision_space.h"
+
+namespace h2o::searchspace {
+
+/** The NLP (transformer-only) search space around a baseline LM. */
+class NlpSearchSpace
+{
+  public:
+    /** @param baseline Architecture the deltas are relative to. */
+    explicit NlpSearchSpace(arch::NlpArch baseline);
+
+    /** The categorical decisions. */
+    const DecisionSpace &decisions() const { return _space; }
+
+    /** Decode a sample into a concrete architecture. */
+    arch::NlpArch decode(const Sample &sample) const;
+
+    /** The baseline architecture. */
+    const arch::NlpArch &baseline() const { return _baseline; }
+
+    /** The sample whose decode reproduces the baseline. */
+    Sample baselineSample() const;
+
+    /** log10 cardinality (17920 per block). */
+    double log10Size() const { return _space.log10Size(); }
+
+  private:
+    struct BlockDecisions
+    {
+        size_t hidden;
+        size_t lowRank;
+        size_t activation;
+        size_t seqPool;
+        size_t primer;
+        size_t depth;
+    };
+
+    arch::NlpArch _baseline;
+    DecisionSpace _space;
+    std::vector<BlockDecisions> _blockDecisions;
+};
+
+} // namespace h2o::searchspace
+
+#endif // H2O_SEARCHSPACE_NLP_SPACE_H

@@ -1,0 +1,163 @@
+#include "searchspace/vit_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace h2o::searchspace {
+
+namespace {
+
+constexpr nn::Activation kActivations[] = {
+    nn::Activation::ReLU, nn::Activation::Swish, nn::Activation::GeLU,
+    nn::Activation::SquaredReLU};
+constexpr uint32_t kPatches[] = {4, 7, 8, 14, 16, 28, 32};
+constexpr uint32_t kKernels[] = {3, 5, 7};
+constexpr double kExpansions[] = {1.0, 3.0, 4.0, 6.0};
+
+uint32_t
+resolutionChoice(size_t i)
+{
+    // 21 choices, 112..448 px in ~16px steps.
+    return static_cast<uint32_t>(112 + 16 * i);
+}
+
+} // namespace
+
+VitSearchSpace::VitSearchSpace(arch::VitArch baseline)
+    : _baseline(std::move(baseline))
+{
+    h2o_assert(!_baseline.tfmBlocks.empty(),
+               "ViT baseline with no transformer blocks");
+    for (size_t b = 0; b < _baseline.tfmBlocks.size(); ++b) {
+        std::string p = "tfm" + std::to_string(b) + "_";
+        BlockDecisions bd;
+        bd.hidden = _space.add(p + "hidden", 16);   // 64..1024 step 64
+        bd.lowRank = _space.add(p + "low_rank", 10);
+        bd.activation = _space.add(p + "activation", 4);
+        bd.seqPool = _space.add(p + "seq_pool", 2);
+        bd.primer = _space.add(p + "primer", 2);
+        bd.depth = _space.add(p + "depth", 7);
+        _blockDecisions.push_back(bd);
+    }
+    for (size_t s = 0; s < _baseline.convStages.size(); ++s) {
+        std::string p = "conv" + std::to_string(s) + "_";
+        ConvStageDecisions cd;
+        cd.blockType = _space.add(p + "block_type", 2);
+        cd.kernel = _space.add(p + "kernel", 3);
+        cd.expansion = _space.add(p + "expansion", 4);
+        cd.depth = _space.add(p + "depth", 7);
+        cd.width = _space.add(p + "width", 10);
+        _convDecisions.push_back(cd);
+    }
+    _patchDecision = _space.add("patch", 7);
+    _resolutionDecision = _space.add("resolution", 21);
+}
+
+arch::VitArch
+VitSearchSpace::decode(const Sample &sample) const
+{
+    h2o_assert(_space.validSample(sample), "malformed ViT sample");
+    arch::VitArch out = _baseline;
+    out.name = _baseline.name + "_candidate";
+    out.patch = kPatches[sample[_patchDecision]];
+    out.resolution = resolutionChoice(sample[_resolutionDecision]);
+
+    for (size_t b = 0; b < _blockDecisions.size(); ++b) {
+        const auto &bd = _blockDecisions[b];
+        auto &blk = out.tfmBlocks[b];
+        const auto &base = _baseline.tfmBlocks[b];
+
+        blk.hidden = 64 * static_cast<uint32_t>(sample[bd.hidden] + 1);
+        blk.heads = std::max(1u, blk.hidden / 64);
+        size_t rank_choice = sample[bd.lowRank];
+        blk.lowRank = static_cast<double>(rank_choice + 1) / 10.0;
+        blk.act = kActivations[sample[bd.activation]];
+        blk.seqPool = sample[bd.seqPool] == 1;
+        blk.primer = sample[bd.primer] == 1;
+        int64_t depth = static_cast<int64_t>(base.layers) +
+                        (static_cast<int64_t>(sample[bd.depth]) - 3);
+        blk.layers = static_cast<uint32_t>(std::max<int64_t>(depth, 1));
+    }
+
+    for (size_t s = 0; s < _convDecisions.size(); ++s) {
+        const auto &cd = _convDecisions[s];
+        auto &stage = out.convStages[s];
+        const auto &base = _baseline.convStages[s];
+
+        stage.type = sample[cd.blockType] == 0 ? arch::BlockType::MBConv
+                                               : arch::BlockType::FusedMBConv;
+        stage.kernel = kKernels[sample[cd.kernel]];
+        stage.expansion = kExpansions[sample[cd.expansion]];
+        int64_t depth = static_cast<int64_t>(base.layers) +
+                        (static_cast<int64_t>(sample[cd.depth]) - 3);
+        stage.layers = static_cast<uint32_t>(std::max<int64_t>(depth, 1));
+        int64_t wd = static_cast<int64_t>(sample[cd.width]);
+        int64_t delta = wd < 5 ? wd - 5 : wd - 4;
+        int64_t width = static_cast<int64_t>(base.filters) + delta * 8;
+        stage.filters =
+            static_cast<uint32_t>(std::max<int64_t>(width, 8));
+    }
+    return out;
+}
+
+Sample
+VitSearchSpace::baselineSample() const
+{
+    Sample s(_space.numDecisions(), 0);
+    for (size_t b = 0; b < _blockDecisions.size(); ++b) {
+        const auto &bd = _blockDecisions[b];
+        const auto &base = _baseline.tfmBlocks[b];
+        size_t hidden_choice = std::clamp<size_t>(base.hidden / 64, 1, 16) - 1;
+        s[bd.hidden] = hidden_choice;
+        s[bd.lowRank] = 9; // full rank
+        size_t act = 2;    // GeLU default
+        for (size_t i = 0; i < 4; ++i)
+            if (kActivations[i] == base.act)
+                act = i;
+        s[bd.activation] = act;
+        s[bd.seqPool] = base.seqPool ? 1 : 0;
+        s[bd.primer] = base.primer ? 1 : 0;
+        s[bd.depth] = 3;
+    }
+    for (size_t c = 0; c < _convDecisions.size(); ++c) {
+        const auto &cd = _convDecisions[c];
+        const auto &base = _baseline.convStages[c];
+        s[cd.blockType] = base.type == arch::BlockType::MBConv ? 0 : 1;
+        for (size_t i = 0; i < 3; ++i)
+            if (kKernels[i] == base.kernel)
+                s[cd.kernel] = i;
+        for (size_t i = 0; i < 4; ++i)
+            if (kExpansions[i] == base.expansion)
+                s[cd.expansion] = i;
+        s[cd.depth] = 3;
+        s[cd.width] = 5;
+    }
+    size_t best = 0;
+    double best_d = 1e18;
+    for (size_t i = 0; i < 7; ++i) {
+        double d = std::abs(static_cast<double>(kPatches[i]) -
+                            static_cast<double>(_baseline.patch));
+        if (d < best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    s[_patchDecision] = best;
+    best = 0;
+    best_d = 1e18;
+    for (size_t i = 0; i < 21; ++i) {
+        double d = std::abs(static_cast<double>(resolutionChoice(i)) -
+                            static_cast<double>(_baseline.resolution));
+        if (d < best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    s[_resolutionDecision] = best;
+    h2o_assert(_space.validSample(s), "baseline ViT sample malformed");
+    return s;
+}
+
+} // namespace h2o::searchspace

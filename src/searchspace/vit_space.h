@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The vision-transformer / hybrid search space (Table 5, "Vision
+ * Transformer Models"):
+ *
+ *   Per transformer block:
+ *     hidden size:      multiples of 64 up to 1024 (16 choices)
+ *     FFN low rank:     1/10 ... 10/10 of layer width (10 choices)
+ *     activation:       ReLU, swish, GeLU, Squared ReLU
+ *     sequence pooling: with / without (funnel transformer)
+ *     primer dconv:     with / without
+ *     layers delta:     -3 ... +3
+ *   => 16*10*4*2*2*7 = 17920 per block; two blocks give ~O(10^8),
+ *      matching the paper's transformer-space accounting.
+ *
+ *   Hybrid stem:
+ *     patch size:        4, 7, 8, 14, 16, 28, 32
+ *     initial resolution: 21 choices in 112..448
+ *     conv stages:        searched with the convolutional space
+ */
+
+#ifndef H2O_SEARCHSPACE_VIT_SPACE_H
+#define H2O_SEARCHSPACE_VIT_SPACE_H
+
+#include "arch/vit_arch.h"
+#include "searchspace/decision_space.h"
+
+namespace h2o::searchspace {
+
+/** The ViT search space around a baseline architecture. */
+class VitSearchSpace
+{
+  public:
+    /** @param baseline Architecture the deltas are relative to. */
+    explicit VitSearchSpace(arch::VitArch baseline);
+
+    /** The categorical decisions. */
+    const DecisionSpace &decisions() const { return _space; }
+
+    /** Decode a sample into a concrete architecture. */
+    arch::VitArch decode(const Sample &sample) const;
+
+    /** The baseline architecture. */
+    const arch::VitArch &baseline() const { return _baseline; }
+
+    /** The sample whose decode reproduces the baseline. */
+    Sample baselineSample() const;
+
+    /** log10 cardinality. */
+    double log10Size() const { return _space.log10Size(); }
+
+  private:
+    struct BlockDecisions
+    {
+        size_t hidden;
+        size_t lowRank;
+        size_t activation;
+        size_t seqPool;
+        size_t primer;
+        size_t depth;
+    };
+
+    struct ConvStageDecisions
+    {
+        size_t blockType;
+        size_t kernel;
+        size_t expansion;
+        size_t depth;
+        size_t width;
+    };
+
+    arch::VitArch _baseline;
+    DecisionSpace _space;
+    std::vector<BlockDecisions> _blockDecisions;
+    std::vector<ConvStageDecisions> _convDecisions;
+    size_t _patchDecision = 0;
+    size_t _resolutionDecision = 0;
+};
+
+} // namespace h2o::searchspace
+
+#endif // H2O_SEARCHSPACE_VIT_SPACE_H

@@ -1,0 +1,52 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace h2o::sim {
+
+OpTiming
+timeOp(const hw::ChipSpec &chip, const Op &op)
+{
+    h2o_assert(!op.fusedAway, "timing a fused-away op '", op.name, "'");
+    OpTiming t;
+
+    double act_bytes = op.inputBytes + op.outputBytes;
+    t.onChipBytes = act_bytes * op.onChipFraction;
+    t.hbmBytes = act_bytes * (1.0 - op.onChipFraction);
+    if (op.paramsOnChip)
+        t.onChipBytes += op.paramBytes;
+    else
+        t.hbmBytes += op.paramBytes;
+    t.networkBytes = op.networkBytes;
+
+    if (op.onTensorUnit) {
+        double eff = 1.0;
+        if (op.dimM > 0 && op.dimN > 0 && op.dimK > 0)
+            eff = hw::tileEfficiency(chip, op.dimM, op.dimN, op.dimK);
+        t.tensorBusySec = op.flops / (chip.peakTensorFlops * eff);
+        t.vpuBusySec = op.fusedVpuFlops / chip.peakVectorFlops;
+    } else {
+        t.vpuBusySec = (op.flops + op.fusedVpuFlops) / chip.peakVectorFlops;
+    }
+
+    double hbm_sec = t.hbmBytes / chip.hbmBandwidth;
+    double cmem_sec = t.onChipBytes / chip.onChipBandwidth;
+    double net_sec = t.networkBytes / chip.iciBandwidth;
+
+    t.seconds = std::max({t.tensorBusySec, t.vpuBusySec, hbm_sec, cmem_sec,
+                          net_sec});
+
+    if (t.seconds == t.tensorBusySec && op.onTensorUnit)
+        t.boundBy = hw::BoundBy::TensorCompute;
+    else if (t.seconds == net_sec && t.networkBytes > 0.0)
+        t.boundBy = hw::BoundBy::Network;
+    else if (t.seconds == t.vpuBusySec && t.vpuBusySec > 0.0)
+        t.boundBy = hw::BoundBy::VectorCompute;
+    else
+        t.boundBy = hw::BoundBy::Memory;
+    return t;
+}
+
+} // namespace h2o::sim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Per-operator timing: how long one op occupies each hardware resource
+ * (tensor unit, vector unit, HBM, on-chip memory, ICI) and which resource
+ * binds it. Within an op, resource use is assumed perfectly overlapped —
+ * the op's latency is the max across resources, the classic bottleneck
+ * model underlying rooflines.
+ */
+
+#ifndef H2O_SIM_COST_MODEL_H
+#define H2O_SIM_COST_MODEL_H
+
+#include "hw/chip.h"
+#include "hw/roofline.h"
+#include "sim/graph.h"
+
+namespace h2o::sim {
+
+/** Resource occupancy and latency for one op. */
+struct OpTiming
+{
+    double seconds = 0.0;       ///< op latency (max across resources)
+    double tensorBusySec = 0.0; ///< tensor-unit busy time
+    double vpuBusySec = 0.0;    ///< vector-unit busy time
+    double hbmBytes = 0.0;      ///< off-chip traffic
+    double onChipBytes = 0.0;   ///< on-chip scratchpad traffic
+    double networkBytes = 0.0;  ///< ICI traffic
+    hw::BoundBy boundBy = hw::BoundBy::Memory;
+};
+
+/**
+ * Time one (non-fused) op on a chip. Uses the op's memory-placement
+ * annotations: activation bytes split between HBM and on-chip traffic by
+ * onChipFraction; params stream from HBM unless paramsOnChip.
+ */
+OpTiming timeOp(const hw::ChipSpec &chip, const Op &op);
+
+} // namespace h2o::sim
+
+#endif // H2O_SIM_COST_MODEL_H

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Human-readable graph dumps for simulator debugging: a per-op table
+ * (costs and pass annotations, plus timings when a SimResult is
+ * supplied) and Graphviz DOT output of the DAG.
+ */
+
+#ifndef H2O_SIM_DUMP_H
+#define H2O_SIM_DUMP_H
+
+#include <ostream>
+
+#include "sim/graph.h"
+#include "sim/simulator.h"
+
+namespace h2o::sim {
+
+/** Write a per-op text table of costs for a graph. */
+void dumpGraph(const Graph &graph, std::ostream &os);
+
+/**
+ * Write a per-op table including simulated timings. The result must
+ * come from simulating this graph (perOp sizes must match).
+ */
+void dumpGraphWithTimings(const Graph &graph, const SimResult &result,
+                          std::ostream &os);
+
+/** Write the DAG in Graphviz DOT format (fused ops shown dashed). */
+void dumpDot(const Graph &graph, std::ostream &os);
+
+} // namespace h2o::sim
+
+#endif // H2O_SIM_DUMP_H

@@ -1,0 +1,54 @@
+#include "sim/fusion.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace h2o::sim {
+
+FusionStats
+fuseGraph(Graph &graph)
+{
+    FusionStats stats;
+    auto &ops = graph.ops();
+    size_t n = ops.size();
+
+    std::vector<uint32_t> consumers(n, 0);
+    for (const auto &op : ops)
+        for (OpId in : op.inputs)
+            consumers[in] += 1;
+
+    // Root of the fusion group each op currently belongs to.
+    std::vector<OpId> root(n);
+    for (size_t i = 0; i < n; ++i)
+        root[i] = static_cast<OpId>(i);
+
+    for (size_t i = 0; i < n; ++i) {
+        Op &op = ops[i];
+        if (!op.fusable || op.inputs.size() != 1)
+            continue;
+        OpId producer = op.inputs[0];
+        if (consumers[producer] != 1)
+            continue;
+        OpId r = root[producer];
+        Op &head = graph.op(r);
+        if (head.fusedAway)
+            continue; // defensive; roots are never fused away
+
+        // The producer->op intermediate stays in registers/local memory:
+        // the head now writes this op's output instead.
+        stats.bytesSaved += head.outputBytes + op.inputBytes;
+        head.fusedVpuFlops += op.flops + op.fusedVpuFlops;
+        head.outputBytes = op.outputBytes;
+        // Fused param bytes (e.g. norm scales) still stream.
+        head.paramBytes += op.paramBytes;
+        head.networkBytes += op.networkBytes;
+
+        op.fusedAway = true;
+        root[i] = r;
+        stats.fusedOps += 1;
+    }
+    return stats;
+}
+
+} // namespace h2o::sim

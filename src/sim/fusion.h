@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Operator fusion pass.
+ *
+ * The paper's simulator "simulates compiler optimizations such as op/layer
+ * fusion" when fed TensorFlow graphs (Section 6.2.3). This pass folds
+ * single-consumer fusable elementwise/norm/reshape ops into their
+ * producer: the intermediate tensor never round-trips through memory and
+ * the vector-unit work overlaps with the producer's tensor-unit work.
+ */
+
+#ifndef H2O_SIM_FUSION_H
+#define H2O_SIM_FUSION_H
+
+#include <cstddef>
+
+#include "sim/graph.h"
+
+namespace h2o::sim {
+
+/** Summary of one fusion pass. */
+struct FusionStats
+{
+    size_t fusedOps = 0;     ///< ops folded into producers
+    double bytesSaved = 0.0; ///< intermediate bytes eliminated
+};
+
+/**
+ * Fuse eligible ops in place. An op is folded when it is marked fusable,
+ * has exactly one producer input, and is that producer's only consumer.
+ * Chains fold transitively into the chain's root.
+ */
+FusionStats fuseGraph(Graph &graph);
+
+} // namespace h2o::sim
+
+#endif // H2O_SIM_FUSION_H

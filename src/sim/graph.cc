@@ -1,0 +1,103 @@
+#include "sim/graph.h"
+
+#include "common/logging.h"
+
+namespace h2o::sim {
+
+Graph::Graph(std::string name) : _name(std::move(name)) {}
+
+OpId
+Graph::add(Op op)
+{
+    for (OpId in : op.inputs) {
+        h2o_assert(in < _ops.size(), "op '", op.name,
+                   "' references future op id ", in);
+    }
+    _ops.push_back(std::move(op));
+    return static_cast<OpId>(_ops.size() - 1);
+}
+
+Op &
+Graph::op(OpId id)
+{
+    h2o_assert(id < _ops.size(), "op id ", id, " out of range");
+    return _ops[id];
+}
+
+const Op &
+Graph::op(OpId id) const
+{
+    h2o_assert(id < _ops.size(), "op id ", id, " out of range");
+    return _ops[id];
+}
+
+double
+Graph::totalFlops() const
+{
+    double total = 0.0;
+    for (const auto &op : _ops)
+        if (!op.fusedAway)
+            total += op.flops;
+    return total;
+}
+
+double
+Graph::totalParamBytes() const
+{
+    double total = 0.0;
+    for (const auto &op : _ops)
+        if (!op.fusedAway)
+            total += op.paramBytes;
+    return total;
+}
+
+void
+Graph::validate() const
+{
+    for (size_t i = 0; i < _ops.size(); ++i) {
+        for (OpId in : _ops[i].inputs) {
+            h2o_assert(in < i, "graph '", _name, "': op ", i,
+                       " consumes non-preceding op ", in);
+        }
+        h2o_assert(_ops[i].flops >= 0.0 && _ops[i].inputBytes >= 0.0 &&
+                       _ops[i].outputBytes >= 0.0 &&
+                       _ops[i].paramBytes >= 0.0 &&
+                       _ops[i].networkBytes >= 0.0,
+                   "graph '", _name, "': op '", _ops[i].name,
+                   "' has negative cost");
+    }
+}
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Matmul:
+        return "matmul";
+      case OpKind::Conv2d:
+        return "conv2d";
+      case OpKind::DepthwiseConv2d:
+        return "depthwise_conv2d";
+      case OpKind::Attention:
+        return "attention";
+      case OpKind::Elementwise:
+        return "elementwise";
+      case OpKind::Norm:
+        return "norm";
+      case OpKind::Pool:
+        return "pool";
+      case OpKind::Reshape:
+        return "reshape";
+      case OpKind::EmbeddingLookup:
+        return "embedding_lookup";
+      case OpKind::AllToAll:
+        return "all_to_all";
+      case OpKind::AllReduce:
+        return "all_reduce";
+      case OpKind::Concat:
+        return "concat";
+    }
+    h2o_panic("unhandled op kind");
+}
+
+} // namespace h2o::sim

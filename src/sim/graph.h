@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The operator IR the performance simulator walks.
+ *
+ * This mirrors the role of the TensorFlow/HLO graphs consumed by the
+ * paper's in-house simulator (Section 6.2.3): a DAG of operators, each
+ * carrying the semantic quantities the cost model needs — FLOPs, tensor
+ * sizes, matmul-equivalent dimensions for tile-quantization analysis,
+ * network traffic for collectives, and fusion eligibility.
+ */
+
+#ifndef H2O_SIM_GRAPH_H
+#define H2O_SIM_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace h2o::sim {
+
+/** Operator categories with distinct cost behavior. */
+enum class OpKind
+{
+    Matmul,          ///< dense matrix multiply (tensor unit)
+    Conv2d,          ///< standard / pointwise convolution (tensor unit)
+    DepthwiseConv2d, ///< depthwise convolution (vector unit on TPUs)
+    Attention,       ///< fused self-attention score+context matmuls
+    Elementwise,     ///< activations, bias, residual adds (vector unit)
+    Norm,            ///< batch/layer norm (vector unit, reduction)
+    Pool,            ///< spatial or sequence pooling (vector unit)
+    Reshape,         ///< layout change; bytes only, may be free if fused
+    EmbeddingLookup, ///< gather from embedding tables (memory system)
+    AllToAll,        ///< cross-chip exchange for model-parallel embeddings
+    AllReduce,       ///< cross-chip gradient/activation reduction
+    Concat,          ///< feature concatenation (memory traffic)
+};
+
+/** Unique id of an op within its graph. */
+using OpId = uint32_t;
+
+/**
+ * One operator node. All byte quantities are per executed step for one
+ * chip's shard of the model.
+ */
+struct Op
+{
+    OpKind kind = OpKind::Elementwise;
+    std::string name;
+
+    double flops = 0.0;        ///< useful floating-point work
+    double inputBytes = 0.0;   ///< activation bytes read
+    double outputBytes = 0.0;  ///< activation bytes written
+    double paramBytes = 0.0;   ///< weight bytes streamed
+    double networkBytes = 0.0; ///< ICI bytes for collectives
+
+    /** Matmul-equivalent dims for tile-efficiency (tensor-unit ops). */
+    double dimM = 0.0;
+    double dimN = 0.0;
+    double dimK = 0.0;
+
+    /** True when the op runs on the matrix/tensor unit. */
+    bool onTensorUnit = false;
+
+    /** Elementwise ops marked fusable can fold into their producer,
+     *  eliminating the intermediate round-trip to memory. */
+    bool fusable = false;
+
+    /** Producer ops this op consumes. */
+    std::vector<OpId> inputs;
+
+    // --- Filled in by simulator passes ---
+    /** Fraction of activation traffic served by on-chip memory (set by
+     *  the memory-placement pass). */
+    double onChipFraction = 0.0;
+    /** True when this op's weights stay resident in on-chip memory. */
+    bool paramsOnChip = false;
+    /** True when the fusion pass folded this op into its producer. */
+    bool fusedAway = false;
+    /** Vector-unit FLOPs absorbed from ops fused into this one. */
+    double fusedVpuFlops = 0.0;
+};
+
+/**
+ * A DAG of operators plus model-level metadata.
+ */
+class Graph
+{
+  public:
+    /** @param name Graph label used in reports. */
+    explicit Graph(std::string name);
+
+    /** Append an op; its inputs must already exist. Returns its id. */
+    OpId add(Op op);
+
+    /** Number of ops (including fused-away ones). */
+    size_t size() const { return _ops.size(); }
+
+    /** Access an op by id. */
+    Op &op(OpId id);
+
+    /** Access an op by id (const). */
+    const Op &op(OpId id) const;
+
+    /** All ops in insertion (topological) order. */
+    std::vector<Op> &ops() { return _ops; }
+
+    /** All ops (const). */
+    const std::vector<Op> &ops() const { return _ops; }
+
+    /** Graph label. */
+    const std::string &name() const { return _name; }
+
+    /** Total useful FLOPs over live (non-fused) ops. */
+    double totalFlops() const;
+
+    /** Total parameter bytes over live ops. */
+    double totalParamBytes() const;
+
+    /** Verify the DAG invariant: every input id precedes its consumer. */
+    void validate() const;
+
+  private:
+    std::string _name;
+    std::vector<Op> _ops;
+};
+
+/** Human-readable op-kind name. */
+const char *opKindName(OpKind kind);
+
+} // namespace h2o::sim
+
+#endif // H2O_SIM_GRAPH_H

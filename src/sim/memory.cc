@@ -1,0 +1,52 @@
+#include "sim/memory.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace h2o::sim {
+
+MemoryStats
+placeMemory(Graph &graph, const hw::ChipSpec &chip,
+            const MemoryConfig &config)
+{
+    h2o_assert(config.paramFraction >= 0.0 &&
+                   config.activationFraction >= 0.0 &&
+                   config.paramFraction + config.activationFraction <= 1.0 + 1e-9,
+               "memory partition fractions exceed capacity");
+    MemoryStats stats;
+    double param_budget = chip.onChipCapacityBytes * config.paramFraction;
+    stats.activationBudget =
+        chip.onChipCapacityBytes * config.activationFraction;
+
+    stats.paramsResident = graph.totalParamBytes() <= param_budget;
+
+    for (auto &op : graph.ops()) {
+        if (op.fusedAway)
+            continue;
+        op.paramsOnChip = stats.paramsResident && op.paramBytes > 0.0;
+
+        double tensor_bytes = std::max(op.inputBytes, op.outputBytes);
+        if (tensor_bytes <= 0.0) {
+            op.onChipFraction = 0.0;
+            continue;
+        }
+        if (tensor_bytes <= stats.activationBudget) {
+            op.onChipFraction = 1.0;
+            stats.onChipTensors += 1;
+        } else {
+            // The head of the tensor streams through CMEM; the rest
+            // spills. Embedding gathers never cache (random access).
+            if (op.kind == OpKind::EmbeddingLookup) {
+                op.onChipFraction = 0.0;
+            } else {
+                op.onChipFraction =
+                    std::clamp(stats.activationBudget / tensor_bytes, 0.0, 1.0);
+            }
+            stats.spilledTensors += 1;
+        }
+    }
+    return stats;
+}
+
+} // namespace h2o::sim

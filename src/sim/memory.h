@@ -1,0 +1,51 @@
+/**
+ * @file
+ * On-chip memory placement pass.
+ *
+ * Models the simulator's "memory management including on-chip memory
+ * management" (Section 6.2.3). The chip's CMEM-style scratchpad is split
+ * into a parameter partition and an activation partition. Weights become
+ * resident when the whole model fits its partition (small serving models
+ * on TPUv4i); activation tensors are placed on-chip per-op when they fit
+ * the activation partition, otherwise they spill (partially) to HBM.
+ *
+ * This pass is what differentiates CoAtNet-H5 (smaller 160px activations
+ * that live in CMEM) from baseline CoAtNet-5 (224px activations spilling
+ * to HBM) and thereby reproduces the Figure 7 CMEM/HBM traffic shift.
+ */
+
+#ifndef H2O_SIM_MEMORY_H
+#define H2O_SIM_MEMORY_H
+
+#include "hw/chip.h"
+#include "sim/graph.h"
+
+namespace h2o::sim {
+
+/** Placement policy knobs. */
+struct MemoryConfig
+{
+    /** Fraction of on-chip capacity reserved for weights. */
+    double paramFraction = 0.4;
+    /** Fraction of on-chip capacity usable for activations. */
+    double activationFraction = 0.6;
+};
+
+/** Summary of one placement pass. */
+struct MemoryStats
+{
+    bool paramsResident = false;   ///< all weights fit on-chip
+    double activationBudget = 0.0; ///< bytes available for activations
+    size_t onChipTensors = 0;      ///< tensors fully placed on-chip
+    size_t spilledTensors = 0;     ///< tensors (partially) in HBM
+};
+
+/**
+ * Annotate each live op's onChipFraction / paramsOnChip in place.
+ */
+MemoryStats placeMemory(Graph &graph, const hw::ChipSpec &chip,
+                        const MemoryConfig &config = MemoryConfig{});
+
+} // namespace h2o::sim
+
+#endif // H2O_SIM_MEMORY_H

@@ -1,0 +1,222 @@
+#include "sim/ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace h2o::sim::ops {
+
+Op
+matmul(const std::string &name, double m, double n, double k)
+{
+    h2o_assert(m > 0 && n > 0 && k > 0, "matmul '", name,
+               "' with non-positive dims");
+    Op op;
+    op.kind = OpKind::Matmul;
+    op.name = name;
+    op.flops = 2.0 * m * n * k;
+    op.inputBytes = m * k * kDtypeBytes;
+    op.outputBytes = m * n * kDtypeBytes;
+    op.paramBytes = k * n * kDtypeBytes;
+    op.dimM = m;
+    op.dimN = n;
+    op.dimK = k;
+    op.onTensorUnit = true;
+    return op;
+}
+
+Op
+conv2d(const std::string &name, double batch, double h, double w, double cin,
+       double cout, double kh, double kw, double stride)
+{
+    h2o_assert(stride >= 1, "conv2d '", name, "' stride < 1");
+    double ho = std::ceil(h / stride);
+    double wo = std::ceil(w / stride);
+    Op op;
+    op.kind = OpKind::Conv2d;
+    op.name = name;
+    op.dimM = batch * ho * wo;
+    op.dimN = cout;
+    op.dimK = kh * kw * cin;
+    op.flops = 2.0 * op.dimM * op.dimN * op.dimK;
+    op.inputBytes = batch * h * w * cin * kDtypeBytes;
+    op.outputBytes = batch * ho * wo * cout * kDtypeBytes;
+    op.paramBytes = kh * kw * cin * cout * kDtypeBytes;
+    op.onTensorUnit = true;
+    return op;
+}
+
+Op
+depthwiseConv2d(const std::string &name, double batch, double h, double w,
+                double c, double kh, double kw, double stride)
+{
+    h2o_assert(stride >= 1, "depthwise '", name, "' stride < 1");
+    double ho = std::ceil(h / stride);
+    double wo = std::ceil(w / stride);
+    Op op;
+    op.kind = OpKind::DepthwiseConv2d;
+    op.name = name;
+    // One kh x kw MAC per output element per channel; no channel
+    // reduction, so this cannot use the MXU.
+    op.flops = 2.0 * batch * ho * wo * c * kh * kw;
+    op.inputBytes = batch * h * w * c * kDtypeBytes;
+    op.outputBytes = batch * ho * wo * c * kDtypeBytes;
+    op.paramBytes = kh * kw * c * kDtypeBytes;
+    op.onTensorUnit = false;
+    return op;
+}
+
+Op
+attention(const std::string &name, double batch, double seq, double hidden,
+          double heads)
+{
+    h2o_assert(heads >= 1, "attention '", name, "' with no heads");
+    Op op;
+    op.kind = OpKind::Attention;
+    op.name = name;
+    // QKV + output projections: 4 matmuls of [b*s, h] x [h, h].
+    double proj_flops = 4.0 * 2.0 * batch * seq * hidden * hidden;
+    // Scores QK^T and context SV: 2 matmuls of [b*heads, s, d] x [d, s].
+    double attn_flops = 2.0 * 2.0 * batch * seq * seq * hidden;
+    op.flops = proj_flops + attn_flops;
+    op.inputBytes = batch * seq * hidden * kDtypeBytes;
+    op.outputBytes = batch * seq * hidden * kDtypeBytes +
+                     batch * heads * seq * seq * kDtypeBytes; // score matrix
+    op.paramBytes = 4.0 * hidden * hidden * kDtypeBytes;
+    // Effective GEMM dims for tile analysis: the projections dominate.
+    op.dimM = batch * seq;
+    op.dimN = hidden;
+    op.dimK = hidden;
+    op.onTensorUnit = true;
+    return op;
+}
+
+Op
+elementwise(const std::string &name, double elements,
+            double vpu_cost_per_element, bool fusable)
+{
+    h2o_assert(elements >= 0, "elementwise '", name, "' negative elements");
+    Op op;
+    op.kind = OpKind::Elementwise;
+    op.name = name;
+    op.flops = elements * vpu_cost_per_element;
+    op.inputBytes = elements * kDtypeBytes;
+    op.outputBytes = elements * kDtypeBytes;
+    op.onTensorUnit = false;
+    op.fusable = fusable;
+    return op;
+}
+
+Op
+norm(const std::string &name, double elements)
+{
+    Op op;
+    op.kind = OpKind::Norm;
+    op.name = name;
+    op.flops = 4.0 * elements; // mean, var, normalize, scale+shift
+    op.inputBytes = elements * kDtypeBytes;
+    op.outputBytes = elements * kDtypeBytes;
+    op.onTensorUnit = false;
+    op.fusable = true;
+    return op;
+}
+
+Op
+pool(const std::string &name, double in_elements, double out_elements)
+{
+    Op op;
+    op.kind = OpKind::Pool;
+    op.name = name;
+    op.flops = in_elements;
+    op.inputBytes = in_elements * kDtypeBytes;
+    op.outputBytes = out_elements * kDtypeBytes;
+    op.onTensorUnit = false;
+    return op;
+}
+
+Op
+squeezeExcite(const std::string &name, double batch, double h, double w,
+              double c, double se_ratio)
+{
+    h2o_assert(se_ratio > 0.0 && se_ratio <= 1.0, "SE ratio out of range");
+    double squeezed = std::max(1.0, c * se_ratio);
+    Op op;
+    op.kind = OpKind::Elementwise;
+    op.name = name;
+    // Global pool + FC(c->squeezed) + FC(squeezed->c) + scale.
+    op.flops = batch * (h * w * c + 2.0 * c * squeezed * 2.0 + h * w * c);
+    op.inputBytes = batch * h * w * c * kDtypeBytes;
+    op.outputBytes = batch * h * w * c * kDtypeBytes;
+    op.paramBytes = 2.0 * c * squeezed * kDtypeBytes;
+    op.onTensorUnit = false;
+    return op;
+}
+
+Op
+embeddingLookup(const std::string &name, double lookups, double width)
+{
+    Op op;
+    op.kind = OpKind::EmbeddingLookup;
+    op.name = name;
+    op.flops = lookups * width; // pooling adds
+    // Each gather reads one row; random access also drags in DRAM
+    // row-activation overhead, modeled as a 2x inflation of useful bytes.
+    op.inputBytes = 2.0 * lookups * width * kDtypeBytes;
+    op.outputBytes = lookups * width * kDtypeBytes;
+    op.onTensorUnit = false;
+    return op;
+}
+
+Op
+allToAll(const std::string &name, double bytes)
+{
+    Op op;
+    op.kind = OpKind::AllToAll;
+    op.name = name;
+    op.networkBytes = bytes;
+    op.onTensorUnit = false;
+    return op;
+}
+
+Op
+allReduce(const std::string &name, double bytes)
+{
+    Op op;
+    op.kind = OpKind::AllReduce;
+    op.name = name;
+    // Ring all-reduce moves ~2x the payload per chip.
+    op.networkBytes = 2.0 * bytes;
+    op.flops = bytes / kDtypeBytes; // reduction adds
+    op.onTensorUnit = false;
+    return op;
+}
+
+Op
+concat(const std::string &name, double bytes)
+{
+    Op op;
+    op.kind = OpKind::Concat;
+    op.name = name;
+    op.inputBytes = bytes;
+    op.outputBytes = bytes;
+    op.onTensorUnit = false;
+    op.fusable = true;
+    return op;
+}
+
+Op
+reshape(const std::string &name, double bytes, bool free)
+{
+    Op op;
+    op.kind = OpKind::Reshape;
+    op.name = name;
+    if (!free) {
+        op.inputBytes = bytes;
+        op.outputBytes = bytes;
+    }
+    op.onTensorUnit = false;
+    op.fusable = true;
+    return op;
+}
+
+} // namespace h2o::sim::ops

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Semantic op builders: construct cost-annotated Ops from the natural
+ * parameters of each layer type (shapes, channels, strides), so the
+ * architecture-lowering code never hand-computes FLOPs or byte counts.
+ *
+ * All builders produce *per-chip* costs; callers pass already-sharded
+ * batch sizes / table shards. The default datatype is bf16 (2 bytes), the
+ * training and serving precision on TPUs.
+ */
+
+#ifndef H2O_SIM_OPS_H
+#define H2O_SIM_OPS_H
+
+#include <string>
+
+#include "sim/graph.h"
+
+namespace h2o::sim::ops {
+
+/** Bytes per element (bf16). */
+inline constexpr double kDtypeBytes = 2.0;
+
+/**
+ * Dense matmul: [m, k] x [k, n]. m is typically batch (or batch x
+ * spatial); k, n are feature dims. Weight is the k x n operand.
+ */
+Op matmul(const std::string &name, double m, double n, double k);
+
+/**
+ * Standard 2D convolution over a [batch, h, w, cin] input producing
+ * cout channels with a kh x kw kernel and the given stride. Implemented
+ * on the tensor unit as an implicit GEMM with
+ * M = batch x h_out x w_out, N = cout, K = kh x kw x cin.
+ */
+Op conv2d(const std::string &name, double batch, double h, double w,
+          double cin, double cout, double kh, double kw, double stride);
+
+/**
+ * Depthwise 2D convolution: per-channel kh x kw filter. Runs on the
+ * vector unit on TPUs (no channel reduction to feed the MXU), which is
+ * why MBConv has low operational intensity — the motivation for the
+ * fused-MBConv search option (Figure 4).
+ */
+Op depthwiseConv2d(const std::string &name, double batch, double h, double w,
+                   double c, double kh, double kw, double stride);
+
+/**
+ * Fused multi-head self-attention over [batch, seq, hidden]: QKV
+ * projections + score/context matmuls + output projection.
+ */
+Op attention(const std::string &name, double batch, double seq,
+             double hidden, double heads);
+
+/**
+ * Elementwise op over `elements` values with a per-element vector-unit
+ * cost factor (see nn::activationVpuCost). Fusable by default.
+ */
+Op elementwise(const std::string &name, double elements,
+               double vpu_cost_per_element, bool fusable = true);
+
+/** Batch/layer normalization over `elements` values (two passes). */
+Op norm(const std::string &name, double elements);
+
+/** Pooling that reads in_elements and writes out_elements. */
+Op pool(const std::string &name, double in_elements, double out_elements);
+
+/**
+ * Squeeze-and-excite block on [batch, h, w, c] with the given squeeze
+ * ratio: global pool + two tiny matmuls + channel scale. Modeled as one
+ * vector-unit op (the matmuls are too small to fill an MXU).
+ */
+Op squeezeExcite(const std::string &name, double batch, double h, double w,
+                 double c, double se_ratio);
+
+/**
+ * Embedding lookups: `lookups` gathers of `width`-wide rows per step
+ * (already summed over tables and batch for this chip's shard).
+ * Pure memory-system work with gather-limited efficiency.
+ */
+Op embeddingLookup(const std::string &name, double lookups, double width);
+
+/** Cross-chip all-to-all moving `bytes` through the ICI per chip. */
+Op allToAll(const std::string &name, double bytes);
+
+/** Cross-chip all-reduce of `bytes` payload per chip. */
+Op allReduce(const std::string &name, double bytes);
+
+/** Concatenation writing `bytes` of output. */
+Op concat(const std::string &name, double bytes);
+
+/** Layout change moving `bytes`; zero-cost when the compiler can fold it
+ *  (free = true), e.g. space-to-depth annotated in the HLO. */
+Op reshape(const std::string &name, double bytes, bool free = false);
+
+} // namespace h2o::sim::ops
+
+#endif // H2O_SIM_OPS_H

@@ -1,0 +1,53 @@
+#include "sim/serving.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace h2o::sim {
+
+namespace {
+
+/** ln(100): exponential-tail multiplier from mean waiting to p99. */
+constexpr double kTail99 = 4.605170186;
+
+} // namespace
+
+double
+p99Sojourn(double step_time_sec, double rho)
+{
+    h2o_assert(step_time_sec > 0.0, "non-positive step time");
+    h2o_assert(rho >= 0.0 && rho < 1.0, "utilization out of [0,1): ", rho);
+    double wq = rho * step_time_sec / (2.0 * (1.0 - rho));
+    return step_time_sec + kTail99 * wq;
+}
+
+ServingResult
+servingThroughput(double step_time_sec, const ServingConfig &config)
+{
+    h2o_assert(step_time_sec > 0.0, "non-positive step time");
+    h2o_assert(config.p99TargetSec > 0.0, "non-positive p99 target");
+    h2o_assert(config.numReplicas >= 1, "no serving replicas");
+    h2o_assert(config.requestsPerBatch > 0.0, "non-positive batch size");
+
+    ServingResult res;
+    if (step_time_sec >= config.p99TargetSec)
+        return res; // even an unloaded replica misses the target
+
+    // Solve p99Sojourn(s, rho) = target for rho:
+    //   s + K * rho * s / (2 (1 - rho)) = T
+    //   rho = 2 (T - s) / (K s + 2 (T - s))
+    double slack = config.p99TargetSec - step_time_sec;
+    double rho = 2.0 * slack / (kTail99 * step_time_sec + 2.0 * slack);
+    rho = std::min(rho, 0.999); // keep strictly below saturation
+
+    res.feasible = true;
+    res.utilization = rho;
+    res.p99LatencySec = p99Sojourn(step_time_sec, rho);
+    double per_replica_qps =
+        rho / step_time_sec * config.requestsPerBatch;
+    res.maxThroughputQps = per_replica_qps * config.numReplicas;
+    return res;
+}
+
+} // namespace h2o::sim

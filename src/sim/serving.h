@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Serving-deployment model: throughput under a p99 latency target.
+ *
+ * The paper's serving objective is "the serving throughput under P99
+ * target latency over O(n) serving accelerators" (Section 6.2.2) —
+ * serving is not just a step time, because queueing at high load
+ * inflates tail latency. This module models each replica as an M/D/1
+ * queue (Poisson arrivals, deterministic service = the simulated
+ * serving step time) and computes the highest load whose p99 sojourn
+ * time stays within the target.
+ *
+ * p99 model: mean waiting for M/D/1 is Wq = rho * s / (2 (1 - rho));
+ * the tail is approximated as exponential, giving
+ * p99 sojourn ~ s + ln(100) * Wq. This captures the two regimes that
+ * matter for NAS: a model whose bare step time exceeds the target
+ * serves nothing, and a model well under the target can be driven to
+ * high utilization before the tail blows up.
+ */
+
+#ifndef H2O_SIM_SERVING_H
+#define H2O_SIM_SERVING_H
+
+#include <cstdint>
+
+namespace h2o::sim {
+
+/** Serving deployment parameters. */
+struct ServingConfig
+{
+    /** Number of serving accelerators (the paper's O(n) replicas). */
+    uint32_t numReplicas = 1;
+    /** p99 end-to-end latency target, seconds. */
+    double p99TargetSec = 0.010;
+    /** Requests served per batch (one step serves one batch). */
+    double requestsPerBatch = 1.0;
+};
+
+/** Outcome of the serving analysis. */
+struct ServingResult
+{
+    /** Highest sustainable request rate meeting the p99 target, QPS
+     *  across all replicas. Zero when the bare step time misses it. */
+    double maxThroughputQps = 0.0;
+    /** Per-replica utilization at that operating point, [0, 1). */
+    double utilization = 0.0;
+    /** p99 sojourn latency at that operating point, seconds. */
+    double p99LatencySec = 0.0;
+    /** Whether the model can meet the target at all. */
+    bool feasible = false;
+};
+
+/**
+ * Compute serving throughput under the p99 target.
+ *
+ * @param step_time_sec Simulated serving step (batch) time per replica.
+ * @param config        Deployment parameters.
+ */
+ServingResult servingThroughput(double step_time_sec,
+                                const ServingConfig &config);
+
+/** p99 sojourn time for an M/D/1 replica at utilization rho. */
+double p99Sojourn(double step_time_sec, double rho);
+
+} // namespace h2o::sim
+
+#endif // H2O_SIM_SERVING_H

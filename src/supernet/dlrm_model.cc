@@ -1,0 +1,113 @@
+#include "supernet/dlrm_model.h"
+
+#include "common/logging.h"
+#include "nn/loss.h"
+
+namespace h2o::supernet {
+
+namespace {
+
+const nn::Tensor &
+layerForward(ExtractedLayer &layer, const nn::Tensor &input)
+{
+    if (layer.dense)
+        return layer.dense->forward(input);
+    h2o_assert(layer.lowRank != nullptr, "empty extracted layer");
+    return layer.lowRank->forward(input);
+}
+
+} // namespace
+
+nn::Tensor
+DlrmModel::forward(const pipeline::Batch &batch)
+{
+    size_t b = batch.size();
+    h2o_assert(b > 0, "empty batch");
+    h2o_assert(logitLayer != nullptr, "model missing logit layer");
+
+    nn::Tensor dense_in(b, numDenseFeatures);
+    for (size_t i = 0; i < b; ++i) {
+        h2o_assert(batch.examples[i].dense.size() == numDenseFeatures,
+                   "example dense width mismatch");
+        for (size_t j = 0; j < numDenseFeatures; ++j)
+            dense_in.at(i, j) = batch.examples[i].dense[j];
+    }
+
+    const nn::Tensor *bottom = &dense_in;
+    for (auto &layer : bottomMlp)
+        bottom = &layerForward(layer, *bottom);
+
+    size_t concat_width = bottom->cols();
+    std::vector<nn::Tensor> embedded;
+    std::vector<size_t> live;
+    for (size_t t = 0; t < tables.size(); ++t) {
+        if (!tables[t])
+            continue;
+        std::vector<nn::IdList> ids(b);
+        for (size_t i = 0; i < b; ++i) {
+            h2o_assert(t < batch.examples[i].sparse.size(),
+                       "example missing sparse feature ", t);
+            ids[i] = batch.examples[i].sparse[t];
+        }
+        embedded.push_back(tables[t]->forward(ids));
+        live.push_back(t);
+        concat_width += embedded.back().cols();
+    }
+
+    nn::Tensor concat(b, concat_width);
+    size_t offset = 0;
+    for (const auto &emb : embedded) {
+        for (size_t i = 0; i < b; ++i)
+            for (size_t d = 0; d < emb.cols(); ++d)
+                concat.at(i, offset + d) = emb.at(i, d);
+        offset += emb.cols();
+    }
+    for (size_t i = 0; i < b; ++i)
+        for (size_t d = 0; d < bottom->cols(); ++d)
+            concat.at(i, offset + d) = bottom->at(i, d);
+
+    const nn::Tensor *top = &concat;
+    for (auto &layer : topMlp)
+        top = &layerForward(layer, *top);
+    return logitLayer->forward(*top);
+}
+
+ModelEval
+DlrmModel::evaluate(const pipeline::Batch &batch)
+{
+    nn::Tensor logits = forward(batch);
+    std::vector<double> probs(batch.size()), labels(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        probs[i] = nn::sigmoid(logits.at(i, 0));
+        labels[i] = batch.examples[i].label;
+    }
+    ModelEval eval;
+    eval.logLoss = nn::logLoss(probs, labels);
+    eval.auc = nn::auc(probs, labels);
+    return eval;
+}
+
+size_t
+DlrmModel::paramCount() const
+{
+    size_t total = 0;
+    for (const auto &table : tables)
+        if (table)
+            total += table->activeParamCount();
+    auto stack = [&](const std::vector<ExtractedLayer> &layers) {
+        size_t n = 0;
+        for (const auto &l : layers) {
+            if (l.dense)
+                n += l.dense->activeParamCount();
+            else if (l.lowRank)
+                n += l.lowRank->activeParamCount();
+        }
+        return n;
+    };
+    total += stack(bottomMlp) + stack(topMlp);
+    if (logitLayer)
+        total += logitLayer->activeParamCount();
+    return total;
+}
+
+} // namespace h2o::supernet

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A standalone DLRM predictor extracted from the super-network.
+ *
+ * One of the paper's deployment wins is "eliminating the need for
+ * lengthy retraining and fine-tuning for model deployment" (§1): the
+ * weights the one-shot search trained are used directly. DlrmModel is
+ * that artifact — the selected sub-network's weights copied out of the
+ * shared storage into a compact, immutable-by-sharing inference model
+ * that no longer depends on the super-network (further search steps
+ * cannot perturb it).
+ */
+
+#ifndef H2O_SUPERNET_DLRM_MODEL_H
+#define H2O_SUPERNET_DLRM_MODEL_H
+
+#include <memory>
+#include <vector>
+
+#include "nn/dense.h"
+#include "nn/embedding.h"
+#include "nn/low_rank_dense.h"
+#include "nn/tensor.h"
+#include "pipeline/example.h"
+
+namespace h2o::supernet {
+
+/** One extracted MLP layer: either dense or low-rank factorized. */
+struct ExtractedLayer
+{
+    std::unique_ptr<nn::DenseLayer> dense;        ///< set when full rank
+    std::unique_ptr<nn::LowRankDenseLayer> lowRank; ///< set when factorized
+};
+
+/** Quality metrics (matches DlrmSupernet::EvalResult semantics). */
+struct ModelEval
+{
+    double logLoss = 0.0;
+    double auc = 0.5;
+};
+
+/**
+ * Standalone extracted DLRM. Constructed by DlrmSupernet::extractModel();
+ * supports inference only (the search already trained it).
+ */
+class DlrmModel
+{
+  public:
+    /** Sparse-feature table slot; null when the search removed the
+     *  table. Indexed by feature position. */
+    std::vector<std::unique_ptr<nn::EmbeddingTable>> tables;
+    std::vector<ExtractedLayer> bottomMlp;
+    std::vector<ExtractedLayer> topMlp;
+    std::unique_ptr<nn::DenseLayer> logitLayer;
+    uint32_t numDenseFeatures = 0;
+
+    /** Forward pass: [batch, 1] logits. */
+    nn::Tensor forward(const pipeline::Batch &batch);
+
+    /** Log-loss / AUC on a batch. */
+    ModelEval evaluate(const pipeline::Batch &batch);
+
+    /** Total parameters held by this standalone model. */
+    size_t paramCount() const;
+};
+
+} // namespace h2o::supernet
+
+#endif // H2O_SUPERNET_DLRM_MODEL_H

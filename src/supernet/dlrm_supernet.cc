@@ -1,0 +1,480 @@
+#include "supernet/dlrm_supernet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/loss.h"
+
+namespace h2o::supernet {
+
+namespace {
+
+/** Cap a width at the supernet scale-down limit, keeping it positive. */
+uint32_t
+capWidth(uint32_t width, uint32_t cap)
+{
+    return std::max(1u, std::min(width, cap));
+}
+
+} // namespace
+
+DlrmSupernet::DlrmSupernet(const searchspace::DlrmSearchSpace &space,
+                           SupernetConfig config, common::Rng &rng)
+    : _space(space), _config(config)
+{
+    const auto &baseline = space.baseline();
+
+    // --- Embedding banks: coarse-grained per vocab choice (2), each
+    // table fine-grained over width (1).
+    _tables.resize(baseline.tables.size());
+    for (size_t t = 0; t < baseline.tables.size(); ++t) {
+        TableBank &bank = _tables[t];
+        bank.maxWidth = space.maxEmbeddingWidth(t);
+        uint64_t capped_base =
+            std::min<uint64_t>(baseline.tables[t].vocab, _config.vocabCap);
+        size_t physical_choices =
+            _config.fineGrainedVocabSharing ? 1 : space.numVocabChoices();
+        for (size_t c = 0; c < physical_choices; ++c) {
+            double scale = _config.fineGrainedVocabSharing
+                               ? 1.0
+                               : space.vocabScale(c);
+            uint64_t vocab = static_cast<uint64_t>(std::max(
+                16.0,
+                std::round(static_cast<double>(capped_base) * scale)));
+            common::Rng table_rng = rng.fork((t << 8) | c);
+            bank.byVocabChoice.push_back(std::make_unique<nn::EmbeddingTable>(
+                vocab, bank.maxWidth, table_rng));
+        }
+    }
+
+    // --- MLP banks: masked full-rank (3) + shared low-rank factors (4).
+    auto build_stack = [&](bool is_bottom, std::vector<LayerBank> &stack) {
+        size_t depth = space.maxMlpDepth(is_bottom);
+        uint32_t prev =
+            is_bottom ? baseline.numDenseFeatures : 0 /* set below */;
+        if (!is_bottom) {
+            // Top slot 0 consumes the concatenated features. The bottom
+            // stack's depth is searchable, so ANY bottom slot can be the
+            // last active layer — size for the widest of them (plus the
+            // dense passthrough when the bottom MLP is empty).
+            uint64_t width = 0;
+            for (size_t t = 0; t < baseline.tables.size(); ++t)
+                width += space.maxEmbeddingWidth(t);
+            uint32_t bottom_out = baseline.numDenseFeatures;
+            for (size_t l = 0; l < space.maxMlpDepth(true); ++l) {
+                bottom_out = std::max<uint32_t>(
+                    bottom_out, capWidth(space.maxMlpWidth(true, l),
+                                         _config.mlpWidthCap));
+            }
+            prev = static_cast<uint32_t>(width) + bottom_out;
+        }
+        for (size_t l = 0; l < depth; ++l) {
+            uint32_t out =
+                capWidth(space.maxMlpWidth(is_bottom, l), _config.mlpWidthCap);
+            LayerBank bank;
+            common::Rng full_rng = rng.fork(0x1000 + (is_bottom ? 0 : 512) + l);
+            bank.full = std::make_unique<nn::MaskedDenseLayer>(
+                prev, out, nn::Activation::ReLU, full_rng);
+            common::Rng lr_rng = rng.fork(0x2000 + (is_bottom ? 0 : 512) + l);
+            bank.lowRank = std::make_unique<nn::LowRankDenseLayer>(
+                prev, out, out, nn::Activation::ReLU, lr_rng);
+            stack.push_back(std::move(bank));
+            prev = out;
+        }
+    };
+    build_stack(true, _bottom);
+    build_stack(false, _top);
+
+    // Any top slot can be the final active layer (depth is searchable),
+    // so the logit layer must accept the widest of their outputs.
+    uint32_t logit_in = baseline.numDenseFeatures;
+    for (const auto &bank : _top)
+        logit_in = std::max<uint32_t>(logit_in, bank.full->maxOut());
+    common::Rng logit_rng = rng.fork(0x3000);
+    _logit = std::make_unique<nn::MaskedDenseLayer>(
+        logit_in, 1, nn::Activation::Identity, logit_rng);
+
+    // --- Optimizer over every shared parameter. SGD without momentum:
+    // sub-networks not touched by a step receive zero gradient and stay
+    // put, so sharing never bleeds updates into inactive candidates.
+    std::vector<nn::ParamRef> params;
+    for (auto &bank : _tables)
+        for (auto &table : bank.byVocabChoice)
+            for (auto &p : table->params())
+                params.push_back(p);
+    for (auto *stack : {&_bottom, &_top}) {
+        for (auto &bank : *stack) {
+            for (auto &p : bank.full->params())
+                params.push_back(p);
+            for (auto &p : bank.lowRank->params())
+                params.push_back(p);
+        }
+    }
+    for (auto &p : _logit->params())
+        params.push_back(p);
+    _optimizer = std::make_unique<nn::SgdOptimizer>(std::move(params),
+                                                    /*lr=*/0.05);
+}
+
+void
+DlrmSupernet::configure(const searchspace::Sample &sample)
+{
+    h2o_assert(_space.decisions().validSample(sample),
+               "malformed sample for supernet");
+    arch::DlrmArch arch = _space.decode(sample);
+
+    for (size_t t = 0; t < _tables.size(); ++t) {
+        TableBank &bank = _tables[t];
+        bank.vocabChoice = _config.fineGrainedVocabSharing
+                               ? 0
+                               : sample[_space.vocabDecisionIndex(t)];
+        bank.activeWidth =
+            std::min<uint32_t>(arch.tables[t].width, bank.maxWidth);
+        if (bank.activeWidth > 0) {
+            bank.byVocabChoice[bank.vocabChoice]->setActiveWidth(
+                bank.activeWidth);
+        }
+    }
+
+    auto configure_stack = [&](const std::vector<arch::MlpLayerConfig> &layers,
+                               std::vector<LayerBank> &stack,
+                               uint32_t in_width) {
+        h2o_assert(layers.size() <= stack.size(),
+                   "decoded depth exceeds supernet slots");
+        uint32_t prev = in_width;
+        for (size_t l = 0; l < layers.size(); ++l) {
+            LayerBank &bank = stack[l];
+            uint32_t out = capWidth(layers[l].width, _config.mlpWidthCap);
+            out = std::min<uint32_t>(out, bank.full->maxOut());
+            prev = std::min<uint32_t>(prev, bank.full->maxIn());
+            uint32_t rank = layers[l].rank;
+            bank.activeIn = prev;
+            bank.activeOut = out;
+            if (rank > 0 && rank < std::min(prev, out)) {
+                bank.useLowRank = true;
+                bank.activeRank = std::max(1u, rank);
+                bank.lowRank->setActive(prev, bank.activeRank, out);
+            } else {
+                bank.useLowRank = false;
+                bank.activeRank = 0;
+                bank.full->setActive(prev, out);
+            }
+            prev = out;
+        }
+        return prev;
+    };
+
+    uint32_t dense_in = _space.baseline().numDenseFeatures;
+    _bottomDepth = arch.bottomMlp.size();
+    _bottomOutWidth = configure_stack(arch.bottomMlp, _bottom, dense_in);
+    if (_bottomDepth == 0)
+        _bottomOutWidth = dense_in; // dense passthrough
+
+    uint64_t concat = _bottomOutWidth;
+    for (size_t t = 0; t < _tables.size(); ++t)
+        concat += _tables[t].activeWidth;
+
+    _topDepth = arch.topMlp.size();
+    h2o_assert(_topDepth >= 1, "decoded DLRM without top MLP");
+    uint32_t top_out = configure_stack(
+        arch.topMlp, _top, static_cast<uint32_t>(concat));
+
+    h2o_assert(top_out <= _logit->maxIn(),
+               "top MLP output ", top_out, " exceeds logit capacity ",
+               _logit->maxIn());
+    _logit->setActive(top_out, 1);
+    _configured = true;
+}
+
+nn::Tensor
+DlrmSupernet::forwardMlp(std::vector<LayerBank> &stack, size_t depth,
+                         const nn::Tensor &input)
+{
+    nn::Tensor x = input;
+    for (size_t l = 0; l < depth; ++l) {
+        LayerBank &bank = stack[l];
+        if (bank.useLowRank)
+            x = bank.lowRank->forward(x);
+        else
+            x = bank.full->forward(x);
+    }
+    return x;
+}
+
+nn::Tensor
+DlrmSupernet::backwardMlp(std::vector<LayerBank> &stack, size_t depth,
+                          nn::Tensor grad)
+{
+    for (size_t l = depth; l-- > 0;) {
+        LayerBank &bank = stack[l];
+        if (bank.useLowRank)
+            grad = bank.lowRank->backward(grad);
+        else
+            grad = bank.full->backward(grad);
+    }
+    return grad;
+}
+
+nn::Tensor
+DlrmSupernet::forward(const pipeline::Batch &batch)
+{
+    h2o_assert(_configured, "forward before configure");
+    size_t b = batch.size();
+    h2o_assert(b > 0, "empty batch");
+    uint32_t dense_in = _space.baseline().numDenseFeatures;
+
+    _denseInput = nn::Tensor(b, dense_in);
+    for (size_t i = 0; i < b; ++i) {
+        h2o_assert(batch.examples[i].dense.size() == dense_in,
+                   "example dense width mismatch");
+        for (size_t j = 0; j < dense_in; ++j)
+            _denseInput.at(i, j) = batch.examples[i].dense[j];
+    }
+
+    nn::Tensor bottom_out = _bottomDepth > 0
+                                ? forwardMlp(_bottom, _bottomDepth,
+                                             _denseInput)
+                                : _denseInput;
+
+    // Concatenate [embeddings..., bottom].
+    _liveTables.clear();
+    _concatOffsets.clear();
+    size_t concat_width = bottom_out.cols();
+    for (size_t t = 0; t < _tables.size(); ++t)
+        if (_tables[t].activeWidth > 0)
+            concat_width += _tables[t].activeWidth;
+
+    _concat = nn::Tensor(b, concat_width);
+    size_t offset = 0;
+    for (size_t t = 0; t < _tables.size(); ++t) {
+        TableBank &bank = _tables[t];
+        if (bank.activeWidth == 0)
+            continue;
+        std::vector<nn::IdList> ids(b);
+        for (size_t i = 0; i < b; ++i) {
+            h2o_assert(t < batch.examples[i].sparse.size(),
+                       "example missing sparse feature ", t);
+            ids[i] = batch.examples[i].sparse[t];
+        }
+        nn::Tensor emb = bank.byVocabChoice[bank.vocabChoice]->forward(ids);
+        for (size_t i = 0; i < b; ++i)
+            for (size_t d = 0; d < bank.activeWidth; ++d)
+                _concat.at(i, offset + d) = emb.at(i, d);
+        _liveTables.push_back(t);
+        _concatOffsets.push_back(offset);
+        offset += bank.activeWidth;
+    }
+    for (size_t i = 0; i < b; ++i)
+        for (size_t d = 0; d < bottom_out.cols(); ++d)
+            _concat.at(i, offset + d) = bottom_out.at(i, d);
+
+    nn::Tensor top_out = forwardMlp(_top, _topDepth, _concat);
+    return _logit->forward(top_out);
+}
+
+void
+DlrmSupernet::backward(const nn::Tensor &grad_logits)
+{
+    nn::Tensor grad = _logit->backward(grad_logits);
+    grad = backwardMlp(_top, _topDepth, grad);
+
+    // Split the concat gradient back into embedding and bottom slices.
+    size_t b = grad.rows();
+    for (size_t k = 0; k < _liveTables.size(); ++k) {
+        TableBank &bank = _tables[_liveTables[k]];
+        size_t offset = _concatOffsets[k];
+        nn::Tensor emb_grad(b, bank.activeWidth);
+        for (size_t i = 0; i < b; ++i)
+            for (size_t d = 0; d < bank.activeWidth; ++d)
+                emb_grad.at(i, d) = grad.at(i, offset + d);
+        bank.byVocabChoice[bank.vocabChoice]->backward(emb_grad);
+    }
+    if (_bottomDepth > 0) {
+        size_t offset = _concat.cols() - _bottomOutWidth;
+        nn::Tensor bottom_grad(b, _bottomOutWidth);
+        for (size_t i = 0; i < b; ++i)
+            for (size_t d = 0; d < _bottomOutWidth; ++d)
+                bottom_grad.at(i, d) = grad.at(i, offset + d);
+        backwardMlp(_bottom, _bottomDepth, bottom_grad);
+    }
+}
+
+EvalResult
+DlrmSupernet::evaluate(const pipeline::Batch &batch)
+{
+    nn::Tensor logits = forward(batch);
+    EvalResult res;
+    std::vector<double> probs(batch.size()), labels(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        probs[i] = nn::sigmoid(logits.at(i, 0));
+        labels[i] = batch.examples[i].label;
+    }
+    res.logLoss = nn::logLoss(probs, labels);
+    res.auc = nn::auc(probs, labels);
+    return res;
+}
+
+double
+DlrmSupernet::accumulateGradients(const pipeline::Batch &batch)
+{
+    nn::Tensor logits = forward(batch);
+    nn::Tensor labels(batch.size(), 1);
+    for (size_t i = 0; i < batch.size(); ++i)
+        labels.at(i, 0) = batch.examples[i].label;
+    nn::LossResult loss = nn::bceWithLogits(logits, labels);
+    backward(loss.grad);
+    return loss.value;
+}
+
+void
+DlrmSupernet::applyGradients(double lr)
+{
+    _optimizer->setLearningRate(lr);
+    _optimizer->step();
+}
+
+double
+DlrmSupernet::trainStep(const pipeline::Batch &batch, double lr)
+{
+    double loss = accumulateGradients(batch);
+    applyGradients(lr);
+    return loss;
+}
+
+size_t
+DlrmSupernet::activeParamCount() const
+{
+    h2o_assert(_configured, "activeParamCount before configure");
+    size_t total = 0;
+    for (const auto &bank : _tables) {
+        if (bank.activeWidth == 0)
+            continue;
+        total += bank.byVocabChoice[bank.vocabChoice]->activeParamCount();
+    }
+    auto stack_params = [](const std::vector<LayerBank> &stack,
+                           size_t depth) {
+        size_t n = 0;
+        for (size_t l = 0; l < depth; ++l) {
+            const auto &bank = stack[l];
+            n += bank.useLowRank ? bank.lowRank->activeParamCount()
+                                 : bank.full->activeParamCount();
+        }
+        return n;
+    };
+    total += stack_params(_bottom, _bottomDepth);
+    total += stack_params(_top, _topDepth);
+    total += _logit->activeParamCount();
+    return total;
+}
+
+DlrmModel
+DlrmSupernet::extractModel() const
+{
+    h2o_assert(_configured, "extractModel before configure");
+    DlrmModel model;
+    model.numDenseFeatures = _space.baseline().numDenseFeatures;
+
+    // Throwaway init stream: every extracted weight is overwritten.
+    common::Rng scratch(1);
+
+    // --- Embedding tables: copy the active width of the selected
+    // vocabulary choice's physical table.
+    model.tables.resize(_tables.size());
+    for (size_t t = 0; t < _tables.size(); ++t) {
+        const TableBank &bank = _tables[t];
+        if (bank.activeWidth == 0)
+            continue;
+        const auto &src = bank.byVocabChoice[bank.vocabChoice];
+        auto dst = std::make_unique<nn::EmbeddingTable>(
+            src->vocab(), bank.activeWidth, scratch);
+        auto src_params =
+            const_cast<nn::EmbeddingTable &>(*src).params();
+        auto dst_params = dst->params();
+        const nn::Tensor &from = *src_params[0].value;
+        nn::Tensor &to = *dst_params[0].value;
+        for (size_t row = 0; row < src->vocab(); ++row)
+            for (size_t d = 0; d < bank.activeWidth; ++d)
+                to.at(row, d) = from.at(row, d);
+        model.tables[t] = std::move(dst);
+    }
+
+    // --- MLP stacks: copy the active submatrices.
+    auto extract_stack = [&](const std::vector<LayerBank> &stack,
+                             size_t depth) {
+        std::vector<ExtractedLayer> out;
+        for (size_t l = 0; l < depth; ++l) {
+            const LayerBank &bank = stack[l];
+            ExtractedLayer layer;
+            if (bank.useLowRank) {
+                layer.lowRank = std::make_unique<nn::LowRankDenseLayer>(
+                    bank.activeIn, bank.activeRank, bank.activeOut,
+                    nn::Activation::ReLU, scratch);
+                layer.lowRank->setActive(bank.activeIn, bank.activeRank,
+                                         bank.activeOut);
+                auto src = const_cast<nn::LowRankDenseLayer &>(
+                               *bank.lowRank)
+                               .params();
+                auto dst = layer.lowRank->params();
+                // U [in, rank], V [rank, out], b [out]: copy the active
+                // upper-left blocks.
+                for (size_t r = 0; r < bank.activeIn; ++r)
+                    for (size_t c = 0; c < bank.activeRank; ++c)
+                        dst[0].value->at(r, c) = src[0].value->at(r, c);
+                for (size_t r = 0; r < bank.activeRank; ++r)
+                    for (size_t c = 0; c < bank.activeOut; ++c)
+                        dst[1].value->at(r, c) = src[1].value->at(r, c);
+                for (size_t c = 0; c < bank.activeOut; ++c)
+                    (*dst[2].value)[c] = (*src[2].value)[c];
+            } else {
+                layer.dense = std::make_unique<nn::DenseLayer>(
+                    bank.activeIn, bank.activeOut, nn::Activation::ReLU,
+                    scratch);
+                auto src =
+                    const_cast<nn::MaskedDenseLayer &>(*bank.full).params();
+                auto dst = layer.dense->params();
+                for (size_t r = 0; r < bank.activeIn; ++r)
+                    for (size_t c = 0; c < bank.activeOut; ++c)
+                        dst[0].value->at(r, c) = src[0].value->at(r, c);
+                for (size_t c = 0; c < bank.activeOut; ++c)
+                    (*dst[1].value)[c] = (*src[1].value)[c];
+            }
+            out.push_back(std::move(layer));
+        }
+        return out;
+    };
+    model.bottomMlp = extract_stack(_bottom, _bottomDepth);
+    model.topMlp = extract_stack(_top, _topDepth);
+
+    // --- Logit layer.
+    size_t logit_in = _logit->activeIn();
+    model.logitLayer = std::make_unique<nn::DenseLayer>(
+        logit_in, 1, nn::Activation::Identity, scratch);
+    auto src = const_cast<nn::MaskedDenseLayer &>(*_logit).params();
+    auto dst = model.logitLayer->params();
+    for (size_t r = 0; r < logit_in; ++r)
+        dst[0].value->at(r, 0) = src[0].value->at(r, 0);
+    (*dst[1].value)[0] = (*src[1].value)[0];
+    return model;
+}
+
+size_t
+DlrmSupernet::totalParamCount() const
+{
+    size_t total = 0;
+    for (const auto &bank : _tables)
+        for (const auto &table : bank.byVocabChoice)
+            total += table->vocab() * table->maxWidth();
+    for (const auto *stack : {&_bottom, &_top}) {
+        for (const auto &bank : *stack) {
+            total += bank.full->maxIn() * bank.full->maxOut() +
+                     bank.full->maxOut();
+            total += bank.full->maxIn() * bank.full->maxOut() +
+                     bank.full->maxOut() * bank.full->maxOut();
+        }
+    }
+    total += _logit->maxIn() + 1;
+    return total;
+}
+
+} // namespace h2o::supernet

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the multi-trial baseline searchers (random search and
+ * regularized evolution) from the paper's Section 2.1 taxonomy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "reward/reward.h"
+#include "search/baseline_search.h"
+#include "searchspace/decision_space.h"
+
+namespace sr = h2o::search;
+namespace ss = h2o::searchspace;
+namespace rw = h2o::reward;
+using h2o::common::Rng;
+
+namespace {
+
+/** Toy task: quality = sum of choices / 10, cost grows with choices. */
+struct ToyTask
+{
+    ss::DecisionSpace space;
+
+    ToyTask(size_t decisions = 4, size_t choices = 5)
+    {
+        for (size_t d = 0; d < decisions; ++d)
+            space.add("d" + std::to_string(d), choices);
+    }
+
+    double quality(const ss::Sample &s) const
+    {
+        double total = 0.0;
+        for (size_t v : s)
+            total += static_cast<double>(v);
+        return total / 10.0;
+    }
+
+    std::vector<double> perf(const ss::Sample &s) const
+    {
+        double total = 0.0;
+        for (size_t v : s)
+            total += static_cast<double>(v);
+        return {1.0 + 0.1 * total};
+    }
+};
+
+} // namespace
+
+// -------------------------------------------------------------- random
+
+TEST(RandomSearch, FindsUnconstrainedOptimum)
+{
+    ToyTask task;
+    rw::ReluReward rwd({{"cost", 100.0, -1.0}}); // non-binding
+    sr::RandomSearchConfig cfg;
+    cfg.numCandidates = 4000; // 5^4 = 625 states: easily covered
+    sr::RandomSearch search(
+        task.space, [&](const ss::Sample &s) { return task.quality(s); },
+        [&](const ss::Sample &s) { return task.perf(s); }, rwd, cfg);
+    Rng rng(1);
+    auto outcome = search.run(rng);
+    for (size_t v : outcome.finalSample)
+        EXPECT_EQ(v, 4u);
+    EXPECT_EQ(outcome.history.size(), 4000u);
+}
+
+TEST(RandomSearch, BestRespectsConstraint)
+{
+    ToyTask task;
+    // Cost target 1.8 -> total choices <= 8.
+    rw::ReluReward rwd({{"cost", 1.8, -100.0}});
+    sr::RandomSearchConfig cfg;
+    cfg.numCandidates = 5000;
+    sr::RandomSearch search(
+        task.space, [&](const ss::Sample &s) { return task.quality(s); },
+        [&](const ss::Sample &s) { return task.perf(s); }, rwd, cfg);
+    Rng rng(2);
+    auto outcome = search.run(rng);
+    size_t total = 0;
+    for (size_t v : outcome.finalSample)
+        total += v;
+    EXPECT_EQ(total, 8u); // the constrained optimum
+}
+
+TEST(RandomSearch, Deterministic)
+{
+    ToyTask task;
+    rw::ReluReward rwd({{"cost", 2.0, -1.0}});
+    sr::RandomSearchConfig cfg;
+    cfg.numCandidates = 100;
+    auto run = [&](uint64_t seed) {
+        sr::RandomSearch search(
+            task.space,
+            [&](const ss::Sample &s) { return task.quality(s); },
+            [&](const ss::Sample &s) { return task.perf(s); }, rwd, cfg);
+        Rng rng(seed);
+        return search.run(rng);
+    };
+    auto a = run(7), b = run(7);
+    EXPECT_EQ(a.finalSample, b.finalSample);
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (size_t i = 0; i < a.history.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.history[i].reward, b.history[i].reward);
+}
+
+// ----------------------------------------------------------- evolution
+
+TEST(Evolution, MutationChangesAtLeastOneDecision)
+{
+    ToyTask task(6, 4);
+    rw::ReluReward rwd({{"cost", 100.0, -1.0}});
+    sr::EvolutionSearch search(
+        task.space, [&](const ss::Sample &s) { return task.quality(s); },
+        [&](const ss::Sample &s) { return task.perf(s); }, rwd, {});
+    Rng rng(3);
+    ss::Sample parent = task.space.uniformSample(rng);
+    for (int i = 0; i < 100; ++i) {
+        ss::Sample child = search.mutate(parent, rng);
+        EXPECT_TRUE(task.space.validSample(child));
+        EXPECT_NE(child, parent) << "mutation must change something";
+    }
+}
+
+TEST(Evolution, SingleChoiceDecisionsAreStable)
+{
+    ss::DecisionSpace space;
+    space.add("fixed", 1);
+    space.add("free", 4);
+    rw::ReluReward rwd({{"cost", 100.0, -1.0}});
+    sr::EvolutionSearch search(
+        space, [](const ss::Sample &) { return 0.0; },
+        [](const ss::Sample &) { return std::vector<double>{1.0}; }, rwd,
+        {});
+    Rng rng(4);
+    ss::Sample parent = {0, 2};
+    for (int i = 0; i < 50; ++i) {
+        auto child = search.mutate(parent, rng);
+        EXPECT_EQ(child[0], 0u); // only one choice exists
+    }
+}
+
+TEST(Evolution, FindsConstrainedOptimum)
+{
+    ToyTask task;
+    rw::ReluReward rwd({{"cost", 1.8, -100.0}});
+    sr::EvolutionSearchConfig cfg;
+    cfg.populationSize = 32;
+    cfg.tournamentSize = 4;
+    cfg.numCandidates = 2000;
+    sr::EvolutionSearch search(
+        task.space, [&](const ss::Sample &s) { return task.quality(s); },
+        [&](const ss::Sample &s) { return task.perf(s); }, rwd, cfg);
+    Rng rng(5);
+    auto outcome = search.run(rng);
+    size_t total = 0;
+    for (size_t v : outcome.finalSample)
+        total += v;
+    EXPECT_EQ(total, 8u);
+    EXPECT_EQ(outcome.history.size(), 2000u);
+}
+
+TEST(Evolution, BeatsRandomOnStructuredTask)
+{
+    // A task with local structure (reward climbs smoothly toward one
+    // corner of a larger space): evolution's local mutation exploits
+    // it, random search wastes its budget.
+    ToyTask task(10, 7); // 7^10 ~ 2.8e8 states
+    rw::ReluReward rwd({{"cost", 100.0, -1.0}});
+    size_t budget = 1500;
+
+    sr::EvolutionSearchConfig ecfg;
+    ecfg.numCandidates = budget;
+    sr::EvolutionSearch evo(
+        task.space, [&](const ss::Sample &s) { return task.quality(s); },
+        [&](const ss::Sample &s) { return task.perf(s); }, rwd, ecfg);
+    Rng r1(6);
+    auto evo_out = evo.run(r1);
+
+    sr::RandomSearchConfig rcfg;
+    rcfg.numCandidates = budget;
+    sr::RandomSearch rnd(
+        task.space, [&](const ss::Sample &s) { return task.quality(s); },
+        [&](const ss::Sample &s) { return task.perf(s); }, rwd, rcfg);
+    Rng r2(6);
+    auto rnd_out = rnd.run(r2);
+
+    double evo_best = task.quality(evo_out.finalSample);
+    double rnd_best = task.quality(rnd_out.finalSample);
+    EXPECT_GT(evo_best, rnd_best);
+}
+
+TEST(Evolution, ConfigValidation)
+{
+    ToyTask task;
+    rw::ReluReward rwd({{"cost", 1.0, -1.0}});
+    sr::EvolutionSearchConfig bad;
+    bad.populationSize = 64;
+    bad.numCandidates = 10; // smaller than the seed population
+    EXPECT_DEATH(sr::EvolutionSearch(
+                     task.space,
+                     [&](const ss::Sample &s) { return task.quality(s); },
+                     [&](const ss::Sample &s) { return task.perf(s); },
+                     rwd, bad),
+                 "budget smaller");
+}

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for the RL policy and the REINFORCE controller: sampling,
+ * log-probabilities, entropy, gradient direction, cross-shard gradient
+ * merging, baselines, and convergence on a bandit task.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "controller/policy.h"
+#include "controller/reinforce.h"
+#include "searchspace/decision_space.h"
+
+namespace ctl = h2o::controller;
+namespace ss = h2o::searchspace;
+using h2o::common::Rng;
+
+namespace {
+
+ss::DecisionSpace
+twoDecisionSpace()
+{
+    ss::DecisionSpace space;
+    space.add("a", 3);
+    space.add("b", 4);
+    return space;
+}
+
+} // namespace
+
+TEST(Policy, UniformInitialization)
+{
+    auto space = twoDecisionSpace();
+    ctl::Policy policy(space);
+    auto p = policy.probs(0);
+    for (double v : p)
+        EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(policy.meanEntropy(),
+                0.5 * (std::log(3.0) + std::log(4.0)), 1e-9);
+}
+
+TEST(Policy, SamplesAreValid)
+{
+    auto space = twoDecisionSpace();
+    ctl::Policy policy(space);
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        auto s = policy.sample(rng);
+        EXPECT_TRUE(space.validSample(s));
+    }
+}
+
+TEST(Policy, LogProbMatchesUniform)
+{
+    auto space = twoDecisionSpace();
+    ctl::Policy policy(space);
+    double lp = policy.logProb({0, 0});
+    EXPECT_NEAR(lp, std::log(1.0 / 3.0) + std::log(1.0 / 4.0), 1e-9);
+}
+
+TEST(Policy, ReinforceGradientPushesTowardRewardedChoice)
+{
+    auto space = twoDecisionSpace();
+    ctl::Policy policy(space);
+    // Positive advantage on sample {2, 1}: its probability must rise.
+    double before = policy.probs(0)[2];
+    policy.accumulateGrad({2, 1}, 1.0);
+    policy.applyGrad(0.5);
+    double after = policy.probs(0)[2];
+    EXPECT_GT(after, before);
+    // Negative advantage pushes away.
+    double b1 = policy.probs(1)[3];
+    policy.accumulateGrad({2, 3}, -1.0);
+    policy.applyGrad(0.5);
+    EXPECT_LT(policy.probs(1)[3], b1);
+}
+
+TEST(Policy, EntropyGradientFlattensDistribution)
+{
+    auto space = twoDecisionSpace();
+    ctl::Policy policy(space);
+    // Skew the policy, then apply a pure entropy bonus: entropy rises.
+    policy.accumulateGrad({0, 0}, 5.0);
+    policy.applyGrad(1.0);
+    double skewed = policy.meanEntropy();
+    for (int i = 0; i < 20; ++i) {
+        policy.accumulateEntropyGrad(1.0);
+        policy.applyGrad(0.5);
+    }
+    EXPECT_GT(policy.meanEntropy(), skewed);
+}
+
+TEST(Policy, MergeGradEqualsSum)
+{
+    auto space = twoDecisionSpace();
+    ctl::Policy a(space), b(space), merged(space);
+    a.accumulateGrad({1, 2}, 1.0);
+    b.accumulateGrad({2, 0}, 0.5);
+    merged.accumulateGrad({1, 2}, 1.0);
+    merged.accumulateGrad({2, 0}, 0.5);
+
+    a.mergeGrad(b);
+    a.applyGrad(1.0);
+    merged.applyGrad(1.0);
+    for (size_t d = 0; d < 2; ++d) {
+        auto pa = a.probs(d);
+        auto pm = merged.probs(d);
+        for (size_t j = 0; j < pa.size(); ++j)
+            EXPECT_NEAR(pa[j], pm[j], 1e-12);
+    }
+}
+
+TEST(Policy, ArgmaxPicksHighestLogit)
+{
+    auto space = twoDecisionSpace();
+    ctl::Policy policy(space);
+    policy.accumulateGrad({2, 1}, 3.0);
+    policy.applyGrad(1.0);
+    auto best = policy.argmax();
+    EXPECT_EQ(best[0], 2u);
+    EXPECT_EQ(best[1], 1u);
+}
+
+TEST(Policy, ZeroGradDiscardsAccumulation)
+{
+    auto space = twoDecisionSpace();
+    ctl::Policy policy(space);
+    policy.accumulateGrad({0, 0}, 10.0);
+    policy.zeroGrad();
+    policy.applyGrad(1.0);
+    auto p = policy.probs(0);
+    EXPECT_NEAR(p[0], 1.0 / 3.0, 1e-12);
+}
+
+// ---------------------------------------------------------- controller
+
+TEST(Controller, BanditConvergesToBestArm)
+{
+    // One 4-way decision; arm 2 pays 1.0, others 0. REINFORCE must
+    // concentrate the policy on arm 2.
+    ss::DecisionSpace space;
+    space.add("arm", 4);
+    ctl::ReinforceConfig cfg;
+    cfg.learningRate = 0.3;
+    cfg.entropyWeight = 0.0;
+    ctl::ReinforceController controller(space, cfg);
+    Rng rng(11);
+    for (int step = 0; step < 300; ++step) {
+        std::vector<ss::Sample> samples;
+        std::vector<double> rewards;
+        for (int s = 0; s < 4; ++s) {
+            auto sample = controller.policy().sample(rng);
+            rewards.push_back(sample[0] == 2 ? 1.0 : 0.0);
+            samples.push_back(std::move(sample));
+        }
+        controller.update(samples, rewards);
+    }
+    EXPECT_EQ(controller.policy().argmax()[0], 2u);
+    EXPECT_GT(controller.policy().probs(0)[2], 0.8);
+}
+
+TEST(Controller, BaselineTracksMeanReward)
+{
+    ss::DecisionSpace space;
+    space.add("arm", 2);
+    ctl::ReinforceConfig cfg;
+    cfg.baselineMomentum = 0.5;
+    ctl::ReinforceController controller(space, cfg);
+    Rng rng(12);
+    auto s = controller.policy().sample(rng);
+    controller.update({s}, {10.0});
+    // First update initializes the baseline at the mean reward.
+    EXPECT_NEAR(controller.baseline(), 10.0, 1e-9);
+    controller.update({s}, {0.0});
+    EXPECT_NEAR(controller.baseline(), 5.0, 1e-9);
+}
+
+TEST(Controller, EntropyBonusSlowsCollapse)
+{
+    ss::DecisionSpace space;
+    space.add("arm", 4);
+    Rng rng1(13), rng2(13);
+
+    auto run = [&](double entropy_weight, Rng &rng) {
+        ctl::ReinforceConfig cfg;
+        cfg.learningRate = 0.5;
+        cfg.entropyWeight = entropy_weight;
+        ctl::ReinforceController c(space, cfg);
+        for (int step = 0; step < 100; ++step) {
+            auto s = c.policy().sample(rng);
+            double r = s[0] == 0 ? 1.0 : 0.9; // nearly flat rewards
+            c.update({s}, {r});
+        }
+        return c.policy().meanEntropy();
+    };
+    double without = run(0.0, rng1);
+    double with_bonus = run(0.05, rng2);
+    EXPECT_GE(with_bonus, without);
+}
+
+TEST(Controller, MismatchedUpdatePanics)
+{
+    ss::DecisionSpace space;
+    space.add("arm", 2);
+    ctl::ReinforceController controller(space, {});
+    EXPECT_DEATH(controller.update({}, {}), "mismatched");
+}
+
+TEST(Controller, StatsReportEntropyAndReward)
+{
+    ss::DecisionSpace space;
+    space.add("arm", 2);
+    ctl::ReinforceController controller(space, {});
+    Rng rng(14);
+    auto s = controller.policy().sample(rng);
+    auto stats = controller.update({s}, {0.7});
+    EXPECT_DOUBLE_EQ(stats.meanReward, 0.7);
+    EXPECT_GT(stats.meanEntropy, 0.0);
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the hardware substrate: chip specs, roofline
+ * evaluation, tile-quantization efficiency, and the power/energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/chip.h"
+#include "hw/power.h"
+#include "hw/roofline.h"
+
+namespace hw = h2o::hw;
+
+TEST(Chip, SpecsAreSane)
+{
+    for (auto model :
+         {hw::ChipModel::TpuV4, hw::ChipModel::TpuV4i, hw::ChipModel::GpuV100}) {
+        hw::ChipSpec c = hw::chipSpec(model);
+        EXPECT_GT(c.peakTensorFlops, c.peakVectorFlops) << c.name;
+        EXPECT_GT(c.hbmBandwidth, 0.0) << c.name;
+        EXPECT_GT(c.onChipBandwidth, c.hbmBandwidth) << c.name;
+        EXPECT_GT(c.hbmCapacityBytes, c.onChipCapacityBytes) << c.name;
+        EXPECT_GT(c.computePowerW, 0.0) << c.name;
+        EXPECT_GT(c.hbmEnergyPerByte, c.onChipEnergyPerByte) << c.name;
+    }
+}
+
+TEST(Chip, TpuV4FasterThanV4i)
+{
+    EXPECT_GT(hw::tpuV4().peakTensorFlops, hw::tpuV4i().peakTensorFlops);
+    EXPECT_GT(hw::tpuV4().hbmBandwidth, hw::tpuV4i().hbmBandwidth);
+}
+
+TEST(Chip, NameParsing)
+{
+    EXPECT_EQ(hw::chipModelFromName("tpuv4"), hw::ChipModel::TpuV4);
+    EXPECT_EQ(hw::chipModelFromName("tpuv4i"), hw::ChipModel::TpuV4i);
+    EXPECT_EQ(hw::chipModelFromName("v100"), hw::ChipModel::GpuV100);
+    EXPECT_EXIT(hw::chipModelFromName("abacus"),
+                testing::ExitedWithCode(1), "unknown chip");
+}
+
+TEST(Chip, PaperPlatforms)
+{
+    auto train = hw::trainingPlatform();
+    EXPECT_EQ(train.numChips, 128u);
+    EXPECT_EQ(train.chip.name, "TPUv4");
+    auto serve = hw::servingPlatform();
+    EXPECT_EQ(serve.numChips, 1u);
+    EXPECT_EQ(serve.chip.name, "TPUv4i");
+    EXPECT_DOUBLE_EQ(train.totalTensorFlops(),
+                     128.0 * train.chip.peakTensorFlops);
+}
+
+TEST(Roofline, MemoryBoundAtLowIntensity)
+{
+    hw::ChipSpec chip = hw::tpuV4i();
+    // 1 FLOP per byte: far below the ridge (~225 FLOP/B for v4i).
+    auto p = hw::rooflineTensor(chip, 1e9, 1e9);
+    EXPECT_EQ(p.boundBy, hw::BoundBy::Memory);
+    EXPECT_NEAR(p.attainableFlops, chip.hbmBandwidth, 1e-3);
+    EXPECT_LT(p.utilization, 0.02);
+}
+
+TEST(Roofline, ComputeBoundAtHighIntensity)
+{
+    hw::ChipSpec chip = hw::tpuV4i();
+    auto p = hw::rooflineTensor(chip, 1e15, 1e9); // 1e6 FLOP/B
+    EXPECT_EQ(p.boundBy, hw::BoundBy::TensorCompute);
+    EXPECT_DOUBLE_EQ(p.attainableFlops, chip.peakTensorFlops);
+    EXPECT_DOUBLE_EQ(p.utilization, 1.0);
+}
+
+TEST(Roofline, RidgeIntensityIsCrossover)
+{
+    hw::ChipSpec chip = hw::tpuV4();
+    double ridge = chip.ridgeIntensity();
+    auto below = hw::rooflineTensor(chip, ridge * 0.5 * 1e9, 1e9);
+    auto above = hw::rooflineTensor(chip, ridge * 2.0 * 1e9, 1e9);
+    EXPECT_EQ(below.boundBy, hw::BoundBy::Memory);
+    EXPECT_EQ(above.boundBy, hw::BoundBy::TensorCompute);
+}
+
+TEST(Roofline, EfficiencyLowersComputeCeiling)
+{
+    hw::ChipSpec chip = hw::tpuV4();
+    auto full = hw::rooflineTensor(chip, 1e15, 1e9, 1.0);
+    auto half = hw::rooflineTensor(chip, 1e15, 1e9, 0.5);
+    EXPECT_DOUBLE_EQ(half.attainableFlops, 0.5 * full.attainableFlops);
+}
+
+TEST(Roofline, VectorCeilingIsLower)
+{
+    hw::ChipSpec chip = hw::tpuV4();
+    auto p = hw::rooflineVector(chip, 1e15, 1e9);
+    EXPECT_EQ(p.boundBy, hw::BoundBy::VectorCompute);
+    EXPECT_DOUBLE_EQ(p.attainableFlops, chip.peakVectorFlops);
+}
+
+TEST(Roofline, TileEfficiencyExactMultiples)
+{
+    hw::ChipSpec chip = hw::tpuV4(); // 128-lane MXU
+    EXPECT_DOUBLE_EQ(hw::tileEfficiency(chip, 128, 128, 128), 1.0);
+    EXPECT_DOUBLE_EQ(hw::tileEfficiency(chip, 256, 384, 512), 1.0);
+}
+
+TEST(Roofline, TileEfficiencyPenalizesSmallDims)
+{
+    hw::ChipSpec chip = hw::tpuV4();
+    // A 32-deep channel dim wastes 3/4 of the 128-wide lanes.
+    double eff = hw::tileEfficiency(chip, 1280, 32, 128);
+    EXPECT_NEAR(eff, 0.25, 1e-9);
+    // GPUs with 16-wide tiles are less sensitive.
+    double gpu_eff = hw::tileEfficiency(hw::gpuV100(), 1280, 32, 128);
+    EXPECT_DOUBLE_EQ(gpu_eff, 1.0);
+}
+
+TEST(Power, IdleFloorAndComputeScaling)
+{
+    hw::ChipSpec chip = hw::tpuV4();
+    double idle = hw::averagePowerW(chip, {0.0, 0.0, 0.0});
+    EXPECT_DOUBLE_EQ(idle, chip.idlePowerW);
+    double busy = hw::averagePowerW(chip, {1.0, 0.0, 0.0});
+    EXPECT_DOUBLE_EQ(busy, chip.idlePowerW + chip.computePowerW);
+    double half = hw::averagePowerW(chip, {0.5, 0.0, 0.0});
+    EXPECT_DOUBLE_EQ(half, chip.idlePowerW + 0.5 * chip.computePowerW);
+}
+
+TEST(Power, HbmTrafficCostsMoreThanCmem)
+{
+    hw::ChipSpec chip = hw::tpuV4();
+    double bw = 1e12; // 1 TB/s
+    double hbm = hw::averagePowerW(chip, {0.0, bw, 0.0});
+    double cmem = hw::averagePowerW(chip, {0.0, 0.0, bw});
+    // Same bandwidth from CMEM must be far cheaper — the Section 7.2
+    // explanation for CoAtNet-H's power win.
+    EXPECT_GT(hbm - chip.idlePowerW, 5.0 * (cmem - chip.idlePowerW));
+}
+
+TEST(Power, EnergyIsTimeTimesPower)
+{
+    hw::ChipSpec chip = hw::tpuV4i();
+    hw::ActivityProfile act{0.4, 1e11, 1e11};
+    double p = hw::averagePowerW(chip, act);
+    EXPECT_DOUBLE_EQ(hw::energyJ(chip, act, 2.0), 2.0 * p);
+}
+
+TEST(Power, NegativeTrafficPanics)
+{
+    hw::ChipSpec chip = hw::tpuV4();
+    EXPECT_DEATH(hw::averagePowerW(chip, {0.5, -1.0, 0.0}),
+                 "negative memory traffic");
+}

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the two-phase hybrid performance model: feature
+ * encoders, the dual-head MLP regressor, polynomial calibration, the
+ * hardware oracle, and the Table-1 dynamic (pre-trained model is
+ * systematically wrong on "hardware"; fine-tuning fixes it).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/dlrm_arch.h"
+#include "common/rng.h"
+#include "perfmodel/features.h"
+#include "perfmodel/hardware_oracle.h"
+#include "perfmodel/perf_model.h"
+#include "perfmodel/two_phase.h"
+#include "searchspace/dlrm_space.h"
+
+namespace pm = h2o::perfmodel;
+namespace ss = h2o::searchspace;
+namespace arch = h2o::arch;
+using h2o::common::Rng;
+
+namespace {
+
+arch::DlrmArch
+smallDlrm()
+{
+    arch::DlrmArch a;
+    a.numDenseFeatures = 4;
+    a.tables = {{10000, 16, 1.0}, {5000, 8, 1.0}};
+    a.bottomMlp = {{32, 0}};
+    a.topMlp = {{64, 0}, {32, 0}};
+    a.globalBatch = 4096;
+    return a;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ features
+
+TEST(Features, DlrmEncoderFixedDim)
+{
+    ss::DlrmSearchSpace space(smallDlrm());
+    pm::DlrmFeatureEncoder enc(space);
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        auto f = enc.encode(space.decisions().uniformSample(rng));
+        EXPECT_EQ(f.size(), enc.dim());
+        for (double v : f)
+            EXPECT_TRUE(std::isfinite(v));
+    }
+}
+
+TEST(Features, DistinctSamplesUsuallyDistinctFeatures)
+{
+    ss::DlrmSearchSpace space(smallDlrm());
+    pm::DlrmFeatureEncoder enc(space);
+    Rng rng(2);
+    auto f1 = enc.encode(space.decisions().uniformSample(rng));
+    auto f2 = enc.encode(space.decisions().uniformSample(rng));
+    EXPECT_NE(f1, f2);
+}
+
+// ------------------------------------------------------------- polyfit
+
+TEST(PolyFit, RecoversExactPolynomial)
+{
+    std::vector<double> xs, ys;
+    for (double x = -2.0; x <= 2.0; x += 0.25) {
+        xs.push_back(x);
+        ys.push_back(1.0 - 2.0 * x + 0.5 * x * x);
+    }
+    auto c = pm::polyFit(xs, ys, 2);
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_NEAR(c[0], 1.0, 1e-9);
+    EXPECT_NEAR(c[1], -2.0, 1e-9);
+    EXPECT_NEAR(c[2], 0.5, 1e-9);
+}
+
+TEST(PolyFit, UnderdeterminedPanics)
+{
+    EXPECT_DEATH(pm::polyFit({1.0, 2.0}, {1.0, 2.0}, 3),
+                 "underdetermined");
+}
+
+// -------------------------------------------------------------- oracle
+
+TEST(Oracle, SystematicBiasIsDeterministicAndBounded)
+{
+    pm::OracleConfig cfg;
+    cfg.biasAmplitude = 0.25;
+    cfg.biasOffset = 0.08;
+    pm::HardwareOracle oracle(cfg, 99);
+    double t = oracle.systematic(0.01);
+    EXPECT_DOUBLE_EQ(t, oracle.systematic(0.01));
+    // log-space bias bounded by amplitude + offset.
+    double max_factor = std::exp(0.25 + 0.08);
+    EXPECT_LE(t, 0.01 * max_factor * 1.0001);
+    EXPECT_GE(t, 0.01 / max_factor * 0.9999);
+}
+
+TEST(Oracle, DifferentSeedsDifferentPhase)
+{
+    pm::HardwareOracle a({}, 1);
+    pm::HardwareOracle b({}, 2);
+    EXPECT_NE(a.systematic(0.02), b.systematic(0.02));
+}
+
+TEST(Oracle, MeasurementNoiseIsSmall)
+{
+    pm::OracleConfig cfg;
+    cfg.noiseRelStd = 0.01;
+    pm::HardwareOracle oracle(cfg, 5);
+    double sys = oracle.systematic(0.05);
+    for (int i = 0; i < 20; ++i) {
+        auto m = oracle.measure(0.05, 0.01);
+        EXPECT_NEAR(m.trainStepTimeSec / sys, 1.0, 0.06);
+    }
+}
+
+// ----------------------------------------------------------- PerfModel
+
+TEST(PerfModel, LearnsSmoothFunctionOfFeatures)
+{
+    // Targets: t = exp(0.2*f0 + 0.1*f1), s = exp(0.1*f0 - 0.2*f1).
+    Rng rng(3);
+    std::vector<std::vector<double>> features;
+    std::vector<std::array<double, 2>> targets;
+    for (int i = 0; i < 2000; ++i) {
+        double f0 = rng.uniform(-2, 2), f1 = rng.uniform(-2, 2);
+        features.push_back({f0, f1});
+        targets.push_back(
+            {std::exp(0.2 * f0 + 0.1 * f1), std::exp(0.1 * f0 - 0.2 * f1)});
+    }
+    pm::PerfModelConfig cfg;
+    cfg.hiddenWidth = 32;
+    cfg.epochs = 60;
+    pm::PerfModel model(2, cfg, rng);
+    model.train(features, targets, rng);
+
+    double err = 0.0;
+    int n = 0;
+    for (int i = 0; i < 100; ++i) {
+        double f0 = rng.uniform(-1.5, 1.5), f1 = rng.uniform(-1.5, 1.5);
+        auto p = model.predict({f0, f1});
+        double truth = std::exp(0.2 * f0 + 0.1 * f1);
+        err += std::abs(p.trainStepTimeSec - truth) / truth;
+        ++n;
+    }
+    EXPECT_LT(err / n, 0.05); // < 5% mean relative error
+}
+
+TEST(PerfModel, CalibrationShiftsPredictions)
+{
+    Rng rng(4);
+    pm::PerfModelConfig cfg;
+    cfg.hiddenWidth = 16;
+    cfg.epochs = 20;
+    pm::PerfModel model(1, cfg, rng);
+    std::vector<std::vector<double>> f = {{0.0}, {1.0}, {2.0}, {-1.0}};
+    std::vector<std::array<double, 2>> y = {
+        {1.0, 1.0}, {2.0, 2.0}, {4.0, 4.0}, {0.5, 0.5}};
+    model.train(f, y, rng);
+    double raw = model.predict({1.0}).trainStepTimeSec;
+    // Calibration log_pred -> log_pred + ln(2) doubles predictions.
+    model.setCalibration(0, {std::log(2.0), 1.0});
+    EXPECT_NEAR(model.predict({1.0}).trainStepTimeSec, 2.0 * raw, 1e-9);
+    model.clearCalibration();
+    EXPECT_NEAR(model.predict({1.0}).trainStepTimeSec, raw, 1e-9);
+}
+
+TEST(PerfModel, PredictBeforeTrainPanics)
+{
+    Rng rng(5);
+    pm::PerfModel model(2, {}, rng);
+    EXPECT_DEATH(model.predict({1.0, 2.0}), "before train");
+}
+
+// ----------------------------------------------------------- two-phase
+
+TEST(TwoPhase, ReproducesTable1Dynamic)
+{
+    // Pre-train on the "simulator" (a synthetic smooth function),
+    // evaluate against the biased oracle: large NRMSE. Fine-tune with
+    // 20 measurements: NRMSE collapses by ~an order of magnitude.
+    ss::DlrmSearchSpace space(smallDlrm());
+    pm::DlrmFeatureEncoder enc(space);
+
+    auto simulate = [&](const ss::Sample &s) {
+        arch::DlrmArch a = space.decode(s);
+        // A smooth stand-in for the simulator: time grows with compute.
+        double t = 1e-3 * (1.0 + a.flopsPerExample() / 1e6);
+        return pm::SimTimes{t, t * 0.3};
+    };
+    pm::OracleConfig ocfg;
+    ocfg.biasAmplitude = 0.3;
+    ocfg.biasOffset = 0.1;
+    pm::HardwareOracle oracle(ocfg, 77);
+    pm::TwoPhaseTrainer trainer(space.decisions(), enc, simulate, oracle);
+
+    Rng rng(6);
+    pm::PerfModelConfig mcfg;
+    mcfg.hiddenWidth = 64;
+    mcfg.epochs = 40;
+    pm::PerfModel model(enc.dim(), mcfg, rng);
+
+    auto pre = trainer.pretrain(model, 2000, rng);
+    EXPECT_LT(pre.train, 0.05); // accurate on simulator labels
+
+    auto before = trainer.evaluateAgainstOracle(model, 200, rng);
+    trainer.finetune(model, 20, rng);
+    auto after = trainer.evaluateAgainstOracle(model, 200, rng);
+
+    EXPECT_GT(before.train, 0.08); // systematically wrong pre-finetune
+    EXPECT_LT(after.train, before.train / 2.0);
+    EXPECT_LT(after.train, 0.06);
+}
+
+TEST(TwoPhase, FinetuneBeforePretrainPanics)
+{
+    ss::DlrmSearchSpace space(smallDlrm());
+    pm::DlrmFeatureEncoder enc(space);
+    auto simulate = [](const ss::Sample &) {
+        return pm::SimTimes{1.0, 1.0};
+    };
+    pm::TwoPhaseTrainer trainer(space.decisions(), enc, simulate,
+                                pm::HardwareOracle({}, 1));
+    Rng rng(7);
+    pm::PerfModel model(enc.dim(), {}, rng);
+    EXPECT_DEATH(trainer.finetune(model, 20, rng), "before pretrain");
+}

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for the synthetic traffic generator and the in-memory
+ * pipeline: determinism, ground-truth signal structure, the single-use
+ * and alpha-before-W invariants, and thread safety.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "nn/loss.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/traffic_generator.h"
+
+namespace pl = h2o::pipeline;
+
+namespace {
+
+pl::TrafficConfig
+smallConfig()
+{
+    pl::TrafficConfig cfg;
+    cfg.numDenseFeatures = 4;
+    cfg.vocabs = {1000, 100};
+    cfg.avgIds = {1.0, 2.0};
+    return cfg;
+}
+
+} // namespace
+
+// ----------------------------------------------------------- generator
+
+TEST(Traffic, DeterministicGivenSeed)
+{
+    pl::TrafficGenerator g1(smallConfig(), 7);
+    pl::TrafficGenerator g2(smallConfig(), 7);
+    auto b1 = g1.nextBatch(16);
+    auto b2 = g2.nextBatch(16);
+    for (size_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(b1.examples[i].label, b2.examples[i].label);
+        EXPECT_EQ(b1.examples[i].sparse, b2.examples[i].sparse);
+        for (size_t j = 0; j < 4; ++j)
+            EXPECT_FLOAT_EQ(b1.examples[i].dense[j],
+                            b2.examples[i].dense[j]);
+    }
+}
+
+TEST(Traffic, DifferentSeedsProduceDifferentStreams)
+{
+    pl::TrafficGenerator g1(smallConfig(), 1);
+    pl::TrafficGenerator g2(smallConfig(), 2);
+    auto b1 = g1.nextBatch(8);
+    auto b2 = g2.nextBatch(8);
+    bool any_diff = false;
+    for (size_t i = 0; i < 8; ++i)
+        if (b1.examples[i].sparse != b2.examples[i].sparse)
+            any_diff = true;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Traffic, ExamplesAreWellFormed)
+{
+    pl::TrafficGenerator gen(smallConfig(), 3);
+    auto batch = gen.nextBatch(64);
+    EXPECT_EQ(batch.size(), 64u);
+    for (const auto &ex : batch.examples) {
+        EXPECT_EQ(ex.dense.size(), 4u);
+        ASSERT_EQ(ex.sparse.size(), 2u);
+        for (uint32_t id : ex.sparse[0])
+            EXPECT_LT(id, 1000u);
+        for (uint32_t id : ex.sparse[1])
+            EXPECT_LT(id, 100u);
+        EXPECT_TRUE(ex.label == 0.0f || ex.label == 1.0f);
+    }
+}
+
+TEST(Traffic, IdsAreSkewedTowardHead)
+{
+    pl::TrafficGenerator gen(smallConfig(), 4);
+    size_t head = 0, total = 0;
+    for (int b = 0; b < 20; ++b) {
+        auto batch = gen.nextBatch(64);
+        for (const auto &ex : batch.examples)
+            for (uint32_t id : ex.sparse[0]) {
+                head += id < 100 ? 1 : 0;
+                total += 1;
+            }
+    }
+    // The head decile (ids < 100 of 1000) must carry far more than the
+    // uniform 10% of lookups (u^4 skew gives ~56%).
+    EXPECT_GT(head, total / 3);
+}
+
+TEST(Traffic, LabelsCorrelateWithTrueProbability)
+{
+    pl::TrafficGenerator gen(smallConfig(), 5);
+    std::vector<double> probs, labels;
+    for (int b = 0; b < 40; ++b) {
+        auto batch = gen.nextBatch(64);
+        for (const auto &ex : batch.examples) {
+            probs.push_back(gen.trueProbability(ex));
+            labels.push_back(ex.label);
+        }
+    }
+    // The oracle probability must rank real labels far above chance.
+    double auc = h2o::nn::auc(probs, labels);
+    EXPECT_GT(auc, 0.65);
+}
+
+TEST(Traffic, MemorizationSignalExists)
+{
+    // Per-id affinities must be persistent: the same id always carries
+    // the same hidden affinity, giving embeddings something to learn.
+    pl::TrafficGenerator gen(smallConfig(), 6);
+    pl::Example a, b;
+    a.dense = {0, 0, 0, 0};
+    a.sparse = {{42}, {}};
+    b.dense = {0, 0, 0, 0};
+    b.sparse = {{42}, {}};
+    EXPECT_DOUBLE_EQ(gen.trueProbability(a), gen.trueProbability(b));
+    pl::Example c = a;
+    c.sparse = {{43}, {}};
+    EXPECT_NE(gen.trueProbability(a), gen.trueProbability(c));
+}
+
+TEST(Traffic, StreamNeverRepeats)
+{
+    // Consecutive batches must be fresh data (single-use premise).
+    pl::TrafficGenerator gen(smallConfig(), 8);
+    auto b1 = gen.nextBatch(32);
+    auto b2 = gen.nextBatch(32);
+    size_t identical = 0;
+    for (size_t i = 0; i < 32; ++i)
+        if (b1.examples[i].sparse == b2.examples[i].sparse &&
+            b1.examples[i].dense == b2.examples[i].dense)
+            ++identical;
+    EXPECT_EQ(identical, 0u);
+    EXPECT_EQ(gen.examplesGenerated(), 64u);
+}
+
+// ------------------------------------------------------------ pipeline
+
+namespace {
+
+std::unique_ptr<pl::InMemoryPipeline>
+makePipeline(uint64_t seed = 1, size_t batch = 16)
+{
+    auto gen = std::make_unique<pl::TrafficGenerator>(smallConfig(), seed);
+    return std::make_unique<pl::InMemoryPipeline>(std::move(gen), batch);
+}
+
+} // namespace
+
+TEST(Pipeline, LeasesAreSequentialAndFresh)
+{
+    auto pipe = makePipeline();
+    std::set<uint64_t> sequences;
+    for (int i = 0; i < 10; ++i) {
+        auto lease = pipe->lease();
+        EXPECT_TRUE(sequences.insert(lease.batch().sequence).second)
+            << "batch reissued";
+        lease.markAlphaUse();
+        lease.markWeightUse();
+    }
+    auto stats = pipe->stats();
+    EXPECT_EQ(stats.batchesIssued, 10u);
+    EXPECT_EQ(stats.examplesIssued, 160u);
+    EXPECT_EQ(stats.completeLeases, 10u);
+}
+
+TEST(Pipeline, AlphaBeforeWeightEnforced)
+{
+    auto pipe = makePipeline();
+    auto lease = pipe->lease();
+    EXPECT_DEATH(lease.markWeightUse(), "alpha-before-W");
+}
+
+TEST(Pipeline, DoubleAlphaUsePanics)
+{
+    auto pipe = makePipeline();
+    auto lease = pipe->lease();
+    lease.markAlphaUse();
+    EXPECT_DEATH(lease.markAlphaUse(), "used twice");
+}
+
+TEST(Pipeline, DoubleWeightUsePanics)
+{
+    auto pipe = makePipeline();
+    auto lease = pipe->lease();
+    lease.markAlphaUse();
+    lease.markWeightUse();
+    EXPECT_DEATH(lease.markWeightUse(), "used twice");
+}
+
+TEST(Pipeline, AlphaOnlyLeaseCounted)
+{
+    auto pipe = makePipeline();
+    {
+        auto lease = pipe->lease();
+        lease.markAlphaUse();
+        // TuNAS-style validation batch: never trains weights.
+    }
+    EXPECT_EQ(pipe->stats().alphaOnlyLeases, 1u);
+    EXPECT_EQ(pipe->stats().completeLeases, 0u);
+}
+
+TEST(Pipeline, MoveTransfersOwnership)
+{
+    auto pipe = makePipeline();
+    {
+        auto lease = pipe->lease();
+        pl::BatchLease moved = std::move(lease);
+        moved.markAlphaUse();
+        moved.markWeightUse();
+        // `lease` is hollow after the move; its destructor must not
+        // report anything.
+    }
+    EXPECT_EQ(pipe->stats().completeLeases, 1u);
+}
+
+TEST(Pipeline, ConcurrentLeasesAreDistinct)
+{
+    auto pipe = makePipeline(2, 8);
+    constexpr int kThreads = 8, kPerThread = 20;
+    std::vector<std::thread> threads;
+    std::vector<std::vector<uint64_t>> seen(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                auto lease = pipe->lease();
+                seen[t].push_back(lease.batch().sequence);
+                lease.markAlphaUse();
+                lease.markWeightUse();
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    std::set<uint64_t> all;
+    for (const auto &v : seen)
+        for (uint64_t s : v)
+            EXPECT_TRUE(all.insert(s).second) << "duplicate batch " << s;
+    EXPECT_EQ(all.size(), size_t(kThreads) * kPerThread);
+    EXPECT_EQ(pipe->stats().completeLeases, size_t(kThreads) * kPerThread);
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the multi-objective reward functions: Equation 1 (the
+ * single-sided ReLU reward) vs Equation 2 (the TuNAS absolute-value
+ * reward), including the paper's central claim that they differ exactly
+ * on over-achieving candidates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reward/reward.h"
+
+namespace rw = h2o::reward;
+
+namespace {
+
+std::vector<rw::PerformanceObjective>
+oneObjective(double target = 1.0, double beta = -1.0)
+{
+    return {{"latency", target, beta}};
+}
+
+std::vector<rw::PerformanceObjective>
+twoObjectives()
+{
+    return {{"step_time", 2.0, -1.0}, {"model_size", 100.0, -0.5}};
+}
+
+} // namespace
+
+TEST(Reward, ReluNoPenaltyAtOrBelowTarget)
+{
+    rw::ReluReward r(oneObjective());
+    EXPECT_DOUBLE_EQ(r.compute({0.8, {1.0}}), 0.8);  // exactly at target
+    EXPECT_DOUBLE_EQ(r.compute({0.8, {0.5}}), 0.8);  // over-achiever
+    EXPECT_DOUBLE_EQ(r.compute({0.8, {0.01}}), 0.8); // extreme over-achiever
+}
+
+TEST(Reward, ReluLinearPenaltyAboveTarget)
+{
+    rw::ReluReward r(oneObjective(1.0, -2.0));
+    // T/T0 - 1 = 0.5 -> penalty beta * 0.5 = -1.0.
+    EXPECT_DOUBLE_EQ(r.compute({0.8, {1.5}}), 0.8 - 1.0);
+    EXPECT_DOUBLE_EQ(r.compute({0.8, {2.0}}), 0.8 - 2.0);
+}
+
+TEST(Reward, AbsolutePenalizesBothSides)
+{
+    rw::AbsoluteReward r(oneObjective(1.0, -2.0));
+    EXPECT_DOUBLE_EQ(r.compute({0.8, {1.5}}), 0.8 - 1.0);
+    EXPECT_DOUBLE_EQ(r.compute({0.8, {0.5}}), 0.8 - 1.0); // punished!
+    EXPECT_DOUBLE_EQ(r.compute({0.8, {1.0}}), 0.8);
+}
+
+TEST(Reward, OverachieverDistinguishesTheTwoFunctions)
+{
+    // The paper's core claim: a model with identical quality but better
+    // performance scores strictly higher under ReLU, identically or
+    // worse under absolute.
+    rw::ReluReward relu(oneObjective());
+    rw::AbsoluteReward abs(oneObjective());
+    rw::CandidateMetrics at_target{0.9, {1.0}};
+    rw::CandidateMetrics overachiever{0.9, {0.7}};
+    EXPECT_EQ(relu.compute(overachiever), relu.compute(at_target));
+    EXPECT_LT(abs.compute(overachiever), abs.compute(at_target));
+}
+
+TEST(Reward, SingleObjectiveAboveTargetIdentical)
+{
+    // With one performance objective and candidates at or above target,
+    // the two functions coincide — matching the paper's note that the
+    // design difference only matters with multiple objectives /
+    // over-achievers.
+    rw::ReluReward relu(oneObjective(1.0, -1.5));
+    rw::AbsoluteReward abs(oneObjective(1.0, -1.5));
+    for (double t : {1.0, 1.2, 1.7, 3.0}) {
+        rw::CandidateMetrics m{0.5, {t}};
+        EXPECT_DOUBLE_EQ(relu.compute(m), abs.compute(m));
+    }
+}
+
+TEST(Reward, MultiObjectiveComposition)
+{
+    rw::ReluReward r(twoObjectives());
+    // step_time 3.0 (excess 0.5, beta -1), size 150 (excess 0.5, beta
+    // -0.5): total penalty -0.75.
+    EXPECT_DOUBLE_EQ(r.compute({1.0, {3.0, 150.0}}), 1.0 - 0.5 - 0.25);
+    // One objective met, one violated.
+    EXPECT_DOUBLE_EQ(r.compute({1.0, {1.0, 200.0}}), 1.0 - 0.5);
+}
+
+TEST(Reward, ScaleInvariance)
+{
+    // Scaling an objective's value and target together must not change
+    // the reward (the T/T0 normalization).
+    rw::ReluReward a(oneObjective(1.0, -1.0));
+    rw::ReluReward b(oneObjective(1000.0, -1.0));
+    EXPECT_DOUBLE_EQ(a.compute({0.3, {1.5}}), b.compute({0.3, {1500.0}}));
+}
+
+TEST(Reward, PositiveBetaPanics)
+{
+    EXPECT_DEATH(rw::ReluReward({{"bad", 1.0, +1.0}}), "negative beta");
+}
+
+TEST(Reward, NonPositiveTargetPanics)
+{
+    EXPECT_DEATH(rw::ReluReward({{"bad", 0.0, -1.0}}), "positive target");
+}
+
+TEST(Reward, WrongArityPanics)
+{
+    rw::ReluReward r(twoObjectives());
+    EXPECT_DEATH(r.compute({0.5, {1.0}}), "performance values");
+}
+
+TEST(Reward, FactoryByName)
+{
+    auto relu = rw::makeReward("relu", oneObjective());
+    auto abs = rw::makeReward("absolute", oneObjective());
+    EXPECT_EQ(relu->name(), "relu");
+    EXPECT_EQ(abs->name(), "absolute");
+    EXPECT_EXIT(rw::makeReward("sigmoid", oneObjective()),
+                testing::ExitedWithCode(1), "unknown reward");
+}
+
+TEST(Reward, SparserFeasibleRegionFavorsReLU)
+{
+    // With several simultaneous constraints (the paper: "the more
+    // constraints we have, the sparser the search space"), the ReLU
+    // reward ranks a candidate beating all targets strictly above one
+    // merely touching them; absolute reward inverts that ordering.
+    std::vector<rw::PerformanceObjective> objs = {
+        {"throughput", 1.0, -1.0},
+        {"latency", 1.0, -1.0},
+        {"memory", 1.0, -1.0},
+    };
+    rw::ReluReward relu(objs);
+    rw::AbsoluteReward abs(objs);
+    rw::CandidateMetrics touching{0.9, {1.0, 1.0, 1.0}};
+    rw::CandidateMetrics beating{0.9, {0.8, 0.9, 0.7}};
+    EXPECT_GE(relu.compute(beating), relu.compute(touching));
+    EXPECT_LT(abs.compute(beating), abs.compute(touching));
+}

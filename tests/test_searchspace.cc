@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Unit tests for the decision-space abstraction and the three Table-5
+ * search spaces, including the paper's cardinality accounting and
+ * property sweeps over random samples.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/dlrm_arch.h"
+#include "baselines/coatnet.h"
+#include "baselines/efficientnet.h"
+#include "common/rng.h"
+#include "searchspace/conv_space.h"
+#include "searchspace/decision_space.h"
+#include "searchspace/dlrm_space.h"
+#include "searchspace/vit_space.h"
+
+namespace ss = h2o::searchspace;
+namespace arch = h2o::arch;
+using h2o::common::Rng;
+
+// ------------------------------------------------------- DecisionSpace
+
+TEST(DecisionSpace, AddAndQuery)
+{
+    ss::DecisionSpace space;
+    size_t a = space.add("alpha", 3);
+    size_t b = space.add("beta", 5);
+    EXPECT_EQ(space.numDecisions(), 2u);
+    EXPECT_EQ(space.decision(a).numChoices, 3u);
+    EXPECT_EQ(space.decision(b).name, "beta");
+    EXPECT_EQ(space.indexOf("beta"), b);
+}
+
+TEST(DecisionSpace, Log10Size)
+{
+    ss::DecisionSpace space;
+    space.add("a", 10);
+    space.add("b", 100);
+    EXPECT_NEAR(space.log10Size(), 3.0, 1e-12);
+}
+
+TEST(DecisionSpace, SampleValidation)
+{
+    ss::DecisionSpace space;
+    space.add("a", 2);
+    space.add("b", 3);
+    EXPECT_TRUE(space.validSample({1, 2}));
+    EXPECT_FALSE(space.validSample({1}));
+    EXPECT_FALSE(space.validSample({2, 0}));
+}
+
+TEST(DecisionSpace, UniformSampleIsValid)
+{
+    ss::DecisionSpace space;
+    space.add("a", 4);
+    space.add("b", 7);
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(space.validSample(space.uniformSample(rng)));
+}
+
+// ----------------------------------------------------------- DLRM space
+
+namespace {
+
+arch::DlrmArch
+smallDlrm()
+{
+    arch::DlrmArch a;
+    a.numDenseFeatures = 4;
+    a.tables = {{10000, 16, 1.0}, {5000, 24, 1.0}, {1000, 8, 2.0}};
+    a.bottomMlp = {{64, 0}, {32, 0}};
+    a.topMlp = {{128, 0}, {64, 0}};
+    a.globalBatch = 4096;
+    return a;
+}
+
+} // namespace
+
+TEST(DlrmSpace, DecisionCountsMatchTable5Structure)
+{
+    ss::DlrmSearchSpace space(smallDlrm());
+    // Per table: width (7) + vocab (7). Per layer slot: width (11) +
+    // rank (10). Depth: 2 decisions.
+    size_t expected = 3 * 2 + (space.maxMlpDepth(true) +
+                               space.maxMlpDepth(false)) * 2 + 2;
+    EXPECT_EQ(space.decisions().numDecisions(), expected);
+}
+
+TEST(DlrmSpace, BaselineSampleDecodesToBaseline)
+{
+    arch::DlrmArch base = smallDlrm();
+    ss::DlrmSearchSpace space(base);
+    arch::DlrmArch decoded = space.decode(space.baselineSample());
+    ASSERT_EQ(decoded.tables.size(), base.tables.size());
+    for (size_t t = 0; t < base.tables.size(); ++t) {
+        EXPECT_EQ(decoded.tables[t].width, base.tables[t].width);
+        EXPECT_EQ(decoded.tables[t].vocab, base.tables[t].vocab);
+    }
+    ASSERT_EQ(decoded.bottomMlp.size(), base.bottomMlp.size());
+    ASSERT_EQ(decoded.topMlp.size(), base.topMlp.size());
+    for (size_t l = 0; l < base.topMlp.size(); ++l) {
+        EXPECT_EQ(decoded.topMlp[l].width, base.topMlp[l].width);
+        EXPECT_EQ(decoded.topMlp[l].rank, 0u); // full rank
+    }
+}
+
+TEST(DlrmSpace, VocabScales)
+{
+    ss::DlrmSearchSpace space(smallDlrm());
+    EXPECT_DOUBLE_EQ(space.vocabScale(0), 0.5);
+    EXPECT_DOUBLE_EQ(space.vocabScale(2), 1.0);
+    EXPECT_DOUBLE_EQ(space.vocabScale(6), 2.0);
+}
+
+TEST(DlrmSpace, MaxWidthsBoundAllDecodes)
+{
+    ss::DlrmSearchSpace space(smallDlrm());
+    Rng rng(2);
+    for (int i = 0; i < 200; ++i) {
+        auto arch = space.decode(space.decisions().uniformSample(rng));
+        for (size_t t = 0; t < arch.tables.size(); ++t)
+            EXPECT_LE(arch.tables[t].width, space.maxEmbeddingWidth(t));
+        EXPECT_LE(arch.bottomMlp.size(), space.maxMlpDepth(true));
+        EXPECT_LE(arch.topMlp.size(), space.maxMlpDepth(false));
+        EXPECT_GE(arch.topMlp.size(), 1u); // top MLP never empty
+    }
+}
+
+TEST(DlrmSpace, TableRemovalReachable)
+{
+    ss::DlrmSearchSpace space(smallDlrm());
+    // Choice 0 = delta -3: table 2 has width 8, 8 - 24 < 0 -> removed.
+    ss::Sample s = space.baselineSample();
+    s[space.decisions().indexOf("emb2_width")] = 0;
+    auto arch = space.decode(s);
+    EXPECT_EQ(arch.tables[2].width, 0u);
+}
+
+TEST(DlrmSpace, RankChoicesProduceLowRankLayers)
+{
+    ss::DlrmSearchSpace space(smallDlrm());
+    ss::Sample s = space.baselineSample();
+    s[space.decisions().indexOf("top0_rank")] = 2; // 3/10 of width
+    auto arch = space.decode(s);
+    EXPECT_GT(arch.topMlp[0].rank, 0u);
+    EXPECT_LT(arch.topMlp[0].rank, arch.topMlp[0].width);
+}
+
+TEST(DlrmSpace, PaperScaleCardinality)
+{
+    // Table 5 accounts 7^O(300) * (7x10x10)^O(10) ~ O(10^282): about
+    // 300 seven-way embedding decisions (150 tables x {width, vocab})
+    // plus ~10 MLP layers. Reproduce that instantiation.
+    arch::DlrmArch big;
+    big.numDenseFeatures = 13;
+    for (int t = 0; t < 150; ++t)
+        big.tables.push_back({100000, 32, 1.0});
+    for (int l = 0; l < 4; ++l)
+        big.bottomMlp.push_back({256, 0});
+    for (int l = 0; l < 6; ++l)
+        big.topMlp.push_back({512, 0});
+    ss::DlrmSearchSpace space(big);
+    EXPECT_GT(space.log10Size(), 270.0);
+    EXPECT_LT(space.log10Size(), 300.0);
+}
+
+// ----------------------------------------------------------- Conv space
+
+TEST(ConvSpace, PerStageCardinalityMatchesTable5)
+{
+    auto base = h2o::baselines::efficientnetX(0);
+    ss::ConvSearchSpace space(base);
+    // Paper: (302400)^7 * 8 ~ O(10^39).
+    double per_stage = (space.log10Size() - std::log10(8.0)) / 7.0;
+    EXPECT_NEAR(per_stage, std::log10(302400.0), 1e-9);
+    EXPECT_NEAR(space.log10Size(), 39.0, 1.0);
+}
+
+TEST(ConvSpace, BaselineSampleRoundTripsCoreFields)
+{
+    auto base = h2o::baselines::efficientnetX(0);
+    ss::ConvSearchSpace space(base);
+    auto decoded = space.decode(space.baselineSample());
+    ASSERT_EQ(decoded.stages.size(), base.stages.size());
+    for (size_t s = 0; s < base.stages.size(); ++s) {
+        EXPECT_EQ(decoded.stages[s].type, base.stages[s].type);
+        EXPECT_EQ(decoded.stages[s].kernel, base.stages[s].kernel);
+        EXPECT_EQ(decoded.stages[s].stride, base.stages[s].stride);
+        EXPECT_DOUBLE_EQ(decoded.stages[s].expansion,
+                         base.stages[s].expansion);
+        EXPECT_EQ(decoded.stages[s].layers, base.stages[s].layers);
+    }
+    EXPECT_EQ(decoded.resolution, base.resolution);
+}
+
+TEST(ConvSpace, RandomDecodesAreConstructible)
+{
+    auto base = h2o::baselines::efficientnetX(0);
+    ss::ConvSearchSpace space(base);
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        auto arch = space.decode(space.decisions().uniformSample(rng));
+        EXPECT_GE(arch.resolution, 224u);
+        EXPECT_LE(arch.resolution, 600u);
+        for (const auto &st : arch.stages) {
+            EXPECT_GE(st.layers, 1u);
+            EXPECT_GE(st.filters, 8u);
+            EXPECT_GE(st.expansion, 1.0);
+        }
+        // Constructible: FLOPs computation must not die.
+        EXPECT_GT(arch.flopsPerImage(), 0.0);
+    }
+}
+
+// ------------------------------------------------------------ ViT space
+
+TEST(VitSpace, PerBlockCardinalityMatchesTable5)
+{
+    auto base = h2o::baselines::coatnet(0);
+    ss::VitSearchSpace space(base);
+    // Per transformer block: 16*10*4*2*2*7 = 17920 (Table 5).
+    // Our hybrid also searches the conv stages + patch + resolution.
+    double tfm_part = 2.0 * std::log10(17920.0);
+    EXPECT_GT(space.log10Size(), tfm_part);
+}
+
+TEST(VitSpace, HybridCardinalityOrder)
+{
+    auto base = h2o::baselines::coatnet(0);
+    ss::VitSearchSpace space(base);
+    // Paper accounting for 2 TFM + 2 conv blocks: ~O(10^21). Our conv
+    // sub-space is a trimmed per-stage variant, so accept a band.
+    EXPECT_GT(space.log10Size(), 15.0);
+    EXPECT_LT(space.log10Size(), 26.0);
+}
+
+TEST(VitSpace, BaselineSampleRoundTripsCoreFields)
+{
+    auto base = h2o::baselines::coatnet(1);
+    ss::VitSearchSpace space(base);
+    auto decoded = space.decode(space.baselineSample());
+    ASSERT_EQ(decoded.tfmBlocks.size(), base.tfmBlocks.size());
+    for (size_t b = 0; b < base.tfmBlocks.size(); ++b) {
+        EXPECT_EQ(decoded.tfmBlocks[b].hidden, base.tfmBlocks[b].hidden);
+        EXPECT_EQ(decoded.tfmBlocks[b].layers, base.tfmBlocks[b].layers);
+        EXPECT_EQ(decoded.tfmBlocks[b].seqPool, base.tfmBlocks[b].seqPool);
+    }
+}
+
+TEST(VitSpace, SquaredReluReachable)
+{
+    auto base = h2o::baselines::coatnet(0);
+    ss::VitSearchSpace space(base);
+    ss::Sample s = space.baselineSample();
+    s[space.decisions().indexOf("tfm0_activation")] = 3; // SquaredReLU
+    auto decoded = space.decode(s);
+    EXPECT_EQ(decoded.tfmBlocks[0].act, h2o::nn::Activation::SquaredReLU);
+}
+
+TEST(VitSpace, RandomDecodesAreConstructible)
+{
+    auto base = h2o::baselines::coatnet(0);
+    ss::VitSearchSpace space(base);
+    Rng rng(4);
+    for (int i = 0; i < 50; ++i) {
+        auto arch = space.decode(space.decisions().uniformSample(rng));
+        EXPECT_GE(arch.tfmBlocks[0].hidden, 64u);
+        EXPECT_LE(arch.tfmBlocks[0].hidden, 1024u);
+        EXPECT_GT(arch.flopsPerImage(), 0.0);
+    }
+}
+
+// -------------------------------------------- property sweep (TEST_P)
+
+/** Every seed's uniform sample must decode to a valid architecture and
+ *  re-encode consistently across spaces. */
+class DlrmSpacePropertyTest : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(DlrmSpacePropertyTest, DecodeIsTotalAndDeterministic)
+{
+    ss::DlrmSearchSpace space(smallDlrm());
+    Rng rng(GetParam());
+    auto sample = space.decisions().uniformSample(rng);
+    auto a1 = space.decode(sample);
+    auto a2 = space.decode(sample);
+    EXPECT_DOUBLE_EQ(a1.paramCount(), a2.paramCount());
+    EXPECT_DOUBLE_EQ(a1.flopsPerExample(), a2.flopsPerExample());
+    EXPECT_GE(a1.paramCount(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DlrmSpacePropertyTest,
+                         testing::Range(0, 25));

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the serving-deployment model: throughput under a p99
+ * latency target (the paper's serving objective, Section 6.2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/serving.h"
+
+namespace sim = h2o::sim;
+
+TEST(Serving, InfeasibleWhenStepExceedsTarget)
+{
+    sim::ServingConfig cfg;
+    cfg.p99TargetSec = 0.005;
+    auto res = sim::servingThroughput(0.006, cfg);
+    EXPECT_FALSE(res.feasible);
+    EXPECT_DOUBLE_EQ(res.maxThroughputQps, 0.0);
+}
+
+TEST(Serving, UnloadedLatencyIsStepTime)
+{
+    EXPECT_DOUBLE_EQ(sim::p99Sojourn(0.004, 0.0), 0.004);
+}
+
+TEST(Serving, P99GrowsWithUtilization)
+{
+    double prev = 0.0;
+    for (double rho : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        double p99 = sim::p99Sojourn(0.002, rho);
+        EXPECT_GT(p99, prev);
+        prev = p99;
+    }
+    // Near saturation the tail blows up.
+    EXPECT_GT(sim::p99Sojourn(0.002, 0.99), 10.0 * 0.002);
+}
+
+TEST(Serving, OperatingPointMeetsTargetExactly)
+{
+    sim::ServingConfig cfg;
+    cfg.p99TargetSec = 0.010;
+    auto res = sim::servingThroughput(0.002, cfg);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_NEAR(res.p99LatencySec, cfg.p99TargetSec, 1e-9);
+    EXPECT_GT(res.utilization, 0.0);
+    EXPECT_LT(res.utilization, 1.0);
+}
+
+TEST(Serving, ThroughputScalesLinearlyWithReplicas)
+{
+    sim::ServingConfig one;
+    one.p99TargetSec = 0.010;
+    one.numReplicas = 1;
+    sim::ServingConfig eight = one;
+    eight.numReplicas = 8;
+    double t1 = sim::servingThroughput(0.002, one).maxThroughputQps;
+    double t8 = sim::servingThroughput(0.002, eight).maxThroughputQps;
+    EXPECT_NEAR(t8, 8.0 * t1, 1e-9);
+}
+
+TEST(Serving, FasterModelServesMore)
+{
+    sim::ServingConfig cfg;
+    cfg.p99TargetSec = 0.010;
+    double fast = sim::servingThroughput(0.001, cfg).maxThroughputQps;
+    double slow = sim::servingThroughput(0.004, cfg).maxThroughputQps;
+    EXPECT_GT(fast, 2.0 * slow);
+}
+
+TEST(Serving, TighterTargetServesLess)
+{
+    sim::ServingConfig loose;
+    loose.p99TargetSec = 0.020;
+    sim::ServingConfig tight;
+    tight.p99TargetSec = 0.005;
+    double l = sim::servingThroughput(0.002, loose).maxThroughputQps;
+    double t = sim::servingThroughput(0.002, tight).maxThroughputQps;
+    EXPECT_GT(l, t);
+    EXPECT_GT(t, 0.0);
+}
+
+TEST(Serving, BatchMultipliesThroughput)
+{
+    sim::ServingConfig cfg;
+    cfg.p99TargetSec = 0.010;
+    cfg.requestsPerBatch = 1.0;
+    double single = sim::servingThroughput(0.002, cfg).maxThroughputQps;
+    cfg.requestsPerBatch = 16.0;
+    double batched = sim::servingThroughput(0.002, cfg).maxThroughputQps;
+    EXPECT_NEAR(batched, 16.0 * single, 1e-9);
+}
+
+TEST(Serving, InvalidInputsPanic)
+{
+    sim::ServingConfig cfg;
+    EXPECT_DEATH(sim::servingThroughput(0.0, cfg), "non-positive");
+    EXPECT_DEATH(sim::p99Sojourn(0.001, 1.0), "utilization");
+}
+
+/** Utilization headroom property: the feasible operating point never
+ *  violates the target across a parameter sweep. */
+class ServingSweepTest
+    : public testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(ServingSweepTest, OperatingPointIsAlwaysFeasible)
+{
+    auto [step_ms, target_ms] = GetParam();
+    sim::ServingConfig cfg;
+    cfg.p99TargetSec = target_ms * 1e-3;
+    auto res = sim::servingThroughput(step_ms * 1e-3, cfg);
+    if (step_ms >= target_ms) {
+        EXPECT_FALSE(res.feasible);
+    } else {
+        ASSERT_TRUE(res.feasible);
+        EXPECT_LE(res.p99LatencySec, cfg.p99TargetSec * (1.0 + 1e-9));
+        EXPECT_GT(res.maxThroughputQps, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ServingSweepTest,
+    testing::Combine(testing::Values(0.5, 1.0, 2.0, 5.0, 10.0),
+                     testing::Values(1.0, 4.0, 10.0, 25.0)));

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the zero-touch optimizer (the Section 7.3 production
+ * flow) and the search telemetry export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+#include "search/telemetry.h"
+#include "search/zero_touch.h"
+#include "searchspace/decision_space.h"
+
+namespace sr = h2o::search;
+namespace ss = h2o::searchspace;
+using h2o::common::Rng;
+
+namespace {
+
+/** A transparent toy domain: quality/stepTime/size are simple known
+ *  functions of the two decisions, so optima are computable by hand. */
+struct ToyDomain
+{
+    ss::DecisionSpace space;
+    ss::Sample baseline{2, 2}; // mid choices
+
+    ToyDomain()
+    {
+        space.add("width", 5);
+        space.add("depth", 5);
+    }
+
+    double quality(const ss::Sample &s) const
+    {
+        // Saturating in total capacity.
+        double cap = double(s[0]) + double(s[1]);
+        return 10.0 * cap / (4.0 + cap);
+    }
+
+    double stepTime(const ss::Sample &s) const
+    {
+        return 1.0 + 0.5 * double(s[0]) + 0.25 * double(s[1]);
+    }
+
+    double modelBytes(const ss::Sample &s) const
+    {
+        return 100.0 * (1.0 + double(s[0]));
+    }
+
+    sr::ZeroTouchOptimizer optimizer()
+    {
+        return sr::ZeroTouchOptimizer(
+            space, baseline,
+            [this](const ss::Sample &s) { return quality(s); },
+            [this](const ss::Sample &s) { return stepTime(s); },
+            [this](const ss::Sample &s) { return modelBytes(s); });
+    }
+};
+
+sr::ZeroTouchConfig
+fastConfig()
+{
+    sr::ZeroTouchConfig cfg;
+    cfg.numSteps = 150;
+    cfg.samplesPerStep = 6;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ZeroTouch, ReportsBaselineMetricsExactly)
+{
+    ToyDomain d;
+    auto opt = d.optimizer();
+    Rng rng(1);
+    auto res = opt.optimize({}, fastConfig(), rng);
+    EXPECT_DOUBLE_EQ(res.baselineQuality, d.quality(d.baseline));
+    EXPECT_DOUBLE_EQ(res.baselineStepSec, d.stepTime(d.baseline));
+    EXPECT_DOUBLE_EQ(res.baselineBytes, d.modelBytes(d.baseline));
+}
+
+TEST(ZeroTouch, RespectsStepTimeTarget)
+{
+    ToyDomain d;
+    auto opt = d.optimizer();
+    sr::LaunchCriteria criteria;
+    criteria.stepTimeTargetRel = 1.0; // hold the line
+    criteria.stepTimeBeta = -10.0;
+    criteria.modelSizeTargetRel = 0.0;
+    Rng rng(2);
+    auto res = opt.optimize(criteria, fastConfig(), rng);
+    EXPECT_LE(res.deployedStepSec, res.baselineStepSec * 1.05);
+    // Quality must not regress: depth is cheap, width is expensive, so
+    // the optimizer can rebalance within the time budget.
+    EXPECT_GE(res.deployedQuality, res.baselineQuality - 1e-9);
+}
+
+TEST(ZeroTouch, RelaxedTargetBuysQuality)
+{
+    ToyDomain d;
+    auto opt = d.optimizer();
+    sr::LaunchCriteria tight;
+    tight.stepTimeTargetRel = 1.0;
+    tight.modelSizeTargetRel = 0.0;
+    sr::LaunchCriteria relaxed = tight;
+    relaxed.stepTimeTargetRel = 1.6;
+    Rng r1(3), r2(3);
+    auto res_tight = opt.optimize(tight, fastConfig(), r1);
+    auto res_relaxed = opt.optimize(relaxed, fastConfig(), r2);
+    EXPECT_GE(res_relaxed.deployedQuality,
+              res_tight.deployedQuality - 1e-9);
+}
+
+TEST(ZeroTouch, NeverDeploysARegression)
+{
+    // With an impossible target, every candidate is penalized; the
+    // optimizer must fall back to the baseline rather than deploy a
+    // worse model.
+    ToyDomain d;
+    auto opt = d.optimizer();
+    sr::LaunchCriteria impossible;
+    impossible.stepTimeTargetRel = 0.01;
+    impossible.stepTimeBeta = -100.0;
+    impossible.modelSizeTargetRel = 0.0;
+    Rng rng(4);
+    auto res = opt.optimize(impossible, fastConfig(), rng);
+    // Either the baseline itself or something with at least its reward.
+    EXPECT_LE(res.deployedStepSec, res.baselineStepSec + 1e-9);
+}
+
+TEST(ZeroTouch, SizeConstraintBinds)
+{
+    ToyDomain d;
+    auto opt = d.optimizer();
+    sr::LaunchCriteria criteria;
+    criteria.stepTimeTargetRel = 2.0; // loose
+    criteria.modelSizeTargetRel = 1.0;
+    criteria.modelSizeBeta = -50.0;
+    Rng rng(5);
+    auto res = opt.optimize(criteria, fastConfig(), rng);
+    EXPECT_LE(res.deployedBytes, res.baselineBytes * 1.01);
+}
+
+TEST(ZeroTouch, GainAccessors)
+{
+    sr::ZeroTouchResult r;
+    r.baselineStepSec = 2.0;
+    r.deployedStepSec = 1.0;
+    r.baselineQuality = 80.0;
+    r.deployedQuality = 80.5;
+    r.baselineBytes = 100.0;
+    r.deployedBytes = 90.0;
+    EXPECT_DOUBLE_EQ(r.perfGain(), 2.0);
+    EXPECT_DOUBLE_EQ(r.qualityGain(), 0.5);
+    EXPECT_DOUBLE_EQ(r.sizeRatio(), 0.9);
+}
+
+TEST(ZeroTouch, InvalidBaselinePanics)
+{
+    ToyDomain d;
+    ss::Sample bad{9, 9};
+    EXPECT_DEATH(sr::ZeroTouchOptimizer(
+                     d.space, bad,
+                     [](const ss::Sample &) { return 0.0; },
+                     [](const ss::Sample &) { return 1.0; },
+                     [](const ss::Sample &) { return 1.0; }),
+                 "baseline sample invalid");
+}
+
+// ------------------------------------------------------------ telemetry
+
+TEST(Telemetry, HistoryCsvRoundTrips)
+{
+    sr::SearchOutcome outcome;
+    outcome.history.push_back({{1, 2}, 0.9, {1.5, 200.0}, 0.7, 0});
+    outcome.history.push_back({{0, 1}, 0.8, {1.2, 150.0}, 0.75, 1});
+    std::ostringstream os;
+    sr::writeHistoryCsv(outcome, os);
+    std::string csv = os.str();
+    EXPECT_NE(csv.find("step,quality,perf0,perf1,reward"),
+              std::string::npos);
+    EXPECT_NE(csv.find("0,0.9,1.5,200,0.7"), std::string::npos);
+    EXPECT_NE(csv.find("1,0.8,1.2,150,0.75"), std::string::npos);
+}
+
+TEST(Telemetry, HandlesRaggedPerformanceVectors)
+{
+    sr::SearchOutcome outcome;
+    outcome.history.push_back({{0}, 0.5, {1.0}, 0.5, 0});
+    outcome.history.push_back({{1}, 0.6, {1.0, 2.0}, 0.6, 0});
+    std::ostringstream os;
+    sr::writeHistoryCsv(outcome, os);
+    // First row pads the missing second objective with an empty cell.
+    EXPECT_NE(os.str().find("0,0.5,1,,0.5"), std::string::npos);
+}
+
+TEST(Telemetry, StepStatsCsv)
+{
+    std::vector<sr::H2oStepStats> stats;
+    stats.push_back({0, 0.5, -0.3, 2.1, 0.69});
+    std::ostringstream os;
+    sr::writeStepStatsCsv(stats, os);
+    EXPECT_NE(os.str().find(
+                  "step,mean_reward,mean_quality,mean_entropy,train_loss"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("0,0.5,-0.3,2.1,0.69"), std::string::npos);
+}
+
+TEST(Telemetry, FileWriterCreatesFile)
+{
+    sr::SearchOutcome outcome;
+    outcome.history.push_back({{0}, 0.5, {1.0}, 0.5, 0});
+    std::string path = testing::TempDir() + "/h2o_telemetry_test.csv";
+    sr::writeHistoryCsvFile(outcome, path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "step,quality,perf0,reward");
+}
