@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_accounting.dir/bench_cost_accounting.cc.o"
+  "CMakeFiles/bench_cost_accounting.dir/bench_cost_accounting.cc.o.d"
+  "bench_cost_accounting"
+  "bench_cost_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mbconv.dir/bench_fig4_mbconv.cc.o"
+  "CMakeFiles/bench_fig4_mbconv.dir/bench_fig4_mbconv.cc.o.d"
+  "bench_fig4_mbconv"
+  "bench_fig4_mbconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mbconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

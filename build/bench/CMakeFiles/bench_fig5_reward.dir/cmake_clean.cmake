@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_reward.dir/bench_fig5_reward.cc.o"
+  "CMakeFiles/bench_fig5_reward.dir/bench_fig5_reward.cc.o.d"
+  "bench_fig5_reward"
+  "bench_fig5_reward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_reward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

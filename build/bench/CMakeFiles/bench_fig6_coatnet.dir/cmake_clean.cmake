@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_coatnet.dir/bench_fig6_coatnet.cc.o"
+  "CMakeFiles/bench_fig6_coatnet.dir/bench_fig6_coatnet.cc.o.d"
+  "bench_fig6_coatnet"
+  "bench_fig6_coatnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_coatnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

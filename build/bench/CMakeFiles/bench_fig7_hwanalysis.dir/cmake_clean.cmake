@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_hwanalysis.dir/bench_fig7_hwanalysis.cc.o"
+  "CMakeFiles/bench_fig7_hwanalysis.dir/bench_fig7_hwanalysis.cc.o.d"
+  "bench_fig7_hwanalysis"
+  "bench_fig7_hwanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hwanalysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

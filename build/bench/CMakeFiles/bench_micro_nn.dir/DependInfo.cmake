@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_nn.cc" "bench/CMakeFiles/bench_micro_nn.dir/bench_micro_nn.cc.o" "gcc" "bench/CMakeFiles/bench_micro_nn.dir/bench_micro_nn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/h2o_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/h2o_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/h2o_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/h2o_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/h2o_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/searchspace/CMakeFiles/h2o_searchspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/supernet/CMakeFiles/h2o_supernet.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/h2o_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/h2o_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/reward/CMakeFiles/h2o_reward.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/h2o_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/h2o_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/h2o_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

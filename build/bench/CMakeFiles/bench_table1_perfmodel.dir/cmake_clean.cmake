@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_perfmodel.dir/bench_table1_perfmodel.cc.o"
+  "CMakeFiles/bench_table1_perfmodel.dir/bench_table1_perfmodel.cc.o.d"
+  "bench_table1_perfmodel"
+  "bench_table1_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_efficientnet.dir/bench_table4_efficientnet.cc.o"
+  "CMakeFiles/bench_table4_efficientnet.dir/bench_table4_efficientnet.cc.o.d"
+  "bench_table4_efficientnet"
+  "bench_table4_efficientnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_efficientnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_serving_search.dir/cnn_serving_search.cpp.o"
+  "CMakeFiles/cnn_serving_search.dir/cnn_serving_search.cpp.o.d"
+  "cnn_serving_search"
+  "cnn_serving_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_serving_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrm_search.dir/dlrm_search.cpp.o"
+  "CMakeFiles/dlrm_search.dir/dlrm_search.cpp.o.d"
+  "dlrm_search"
+  "dlrm_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrm_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfmodel_workflow.dir/perfmodel_workflow.cpp.o"
+  "CMakeFiles/perfmodel_workflow.dir/perfmodel_workflow.cpp.o.d"
+  "perfmodel_workflow"
+  "perfmodel_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfmodel_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

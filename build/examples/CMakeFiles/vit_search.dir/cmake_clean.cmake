@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vit_search.dir/vit_search.cpp.o"
+  "CMakeFiles/vit_search.dir/vit_search.cpp.o.d"
+  "vit_search"
+  "vit_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vit_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

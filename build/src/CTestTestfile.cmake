@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("nn")
+subdirs("hw")
+subdirs("sim")
+subdirs("arch")
+subdirs("searchspace")
+subdirs("supernet")
+subdirs("pipeline")
+subdirs("controller")
+subdirs("reward")
+subdirs("perfmodel")
+subdirs("search")
+subdirs("baselines")

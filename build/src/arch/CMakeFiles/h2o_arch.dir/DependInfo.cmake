@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/conv_arch.cc" "src/arch/CMakeFiles/h2o_arch.dir/conv_arch.cc.o" "gcc" "src/arch/CMakeFiles/h2o_arch.dir/conv_arch.cc.o.d"
+  "/root/repo/src/arch/dlrm_arch.cc" "src/arch/CMakeFiles/h2o_arch.dir/dlrm_arch.cc.o" "gcc" "src/arch/CMakeFiles/h2o_arch.dir/dlrm_arch.cc.o.d"
+  "/root/repo/src/arch/lowering.cc" "src/arch/CMakeFiles/h2o_arch.dir/lowering.cc.o" "gcc" "src/arch/CMakeFiles/h2o_arch.dir/lowering.cc.o.d"
+  "/root/repo/src/arch/nlp_arch.cc" "src/arch/CMakeFiles/h2o_arch.dir/nlp_arch.cc.o" "gcc" "src/arch/CMakeFiles/h2o_arch.dir/nlp_arch.cc.o.d"
+  "/root/repo/src/arch/vit_arch.cc" "src/arch/CMakeFiles/h2o_arch.dir/vit_arch.cc.o" "gcc" "src/arch/CMakeFiles/h2o_arch.dir/vit_arch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/h2o_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/h2o_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/h2o_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/h2o_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2o_arch.dir/conv_arch.cc.o"
+  "CMakeFiles/h2o_arch.dir/conv_arch.cc.o.d"
+  "CMakeFiles/h2o_arch.dir/dlrm_arch.cc.o"
+  "CMakeFiles/h2o_arch.dir/dlrm_arch.cc.o.d"
+  "CMakeFiles/h2o_arch.dir/lowering.cc.o"
+  "CMakeFiles/h2o_arch.dir/lowering.cc.o.d"
+  "CMakeFiles/h2o_arch.dir/nlp_arch.cc.o"
+  "CMakeFiles/h2o_arch.dir/nlp_arch.cc.o.d"
+  "CMakeFiles/h2o_arch.dir/vit_arch.cc.o"
+  "CMakeFiles/h2o_arch.dir/vit_arch.cc.o.d"
+  "libh2o_arch.a"
+  "libh2o_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2o_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/coatnet.cc" "src/baselines/CMakeFiles/h2o_baselines.dir/coatnet.cc.o" "gcc" "src/baselines/CMakeFiles/h2o_baselines.dir/coatnet.cc.o.d"
+  "/root/repo/src/baselines/efficientnet.cc" "src/baselines/CMakeFiles/h2o_baselines.dir/efficientnet.cc.o" "gcc" "src/baselines/CMakeFiles/h2o_baselines.dir/efficientnet.cc.o.d"
+  "/root/repo/src/baselines/production_models.cc" "src/baselines/CMakeFiles/h2o_baselines.dir/production_models.cc.o" "gcc" "src/baselines/CMakeFiles/h2o_baselines.dir/production_models.cc.o.d"
+  "/root/repo/src/baselines/quality_model.cc" "src/baselines/CMakeFiles/h2o_baselines.dir/quality_model.cc.o" "gcc" "src/baselines/CMakeFiles/h2o_baselines.dir/quality_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/h2o_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/h2o_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/h2o_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/h2o_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/h2o_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

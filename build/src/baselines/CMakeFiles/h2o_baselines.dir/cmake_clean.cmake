@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2o_baselines.dir/coatnet.cc.o"
+  "CMakeFiles/h2o_baselines.dir/coatnet.cc.o.d"
+  "CMakeFiles/h2o_baselines.dir/efficientnet.cc.o"
+  "CMakeFiles/h2o_baselines.dir/efficientnet.cc.o.d"
+  "CMakeFiles/h2o_baselines.dir/production_models.cc.o"
+  "CMakeFiles/h2o_baselines.dir/production_models.cc.o.d"
+  "CMakeFiles/h2o_baselines.dir/quality_model.cc.o"
+  "CMakeFiles/h2o_baselines.dir/quality_model.cc.o.d"
+  "libh2o_baselines.a"
+  "libh2o_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2o_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2o_common.dir/flags.cc.o"
+  "CMakeFiles/h2o_common.dir/flags.cc.o.d"
+  "CMakeFiles/h2o_common.dir/logging.cc.o"
+  "CMakeFiles/h2o_common.dir/logging.cc.o.d"
+  "CMakeFiles/h2o_common.dir/rng.cc.o"
+  "CMakeFiles/h2o_common.dir/rng.cc.o.d"
+  "CMakeFiles/h2o_common.dir/serialize.cc.o"
+  "CMakeFiles/h2o_common.dir/serialize.cc.o.d"
+  "CMakeFiles/h2o_common.dir/stats.cc.o"
+  "CMakeFiles/h2o_common.dir/stats.cc.o.d"
+  "CMakeFiles/h2o_common.dir/table.cc.o"
+  "CMakeFiles/h2o_common.dir/table.cc.o.d"
+  "libh2o_common.a"
+  "libh2o_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2o_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

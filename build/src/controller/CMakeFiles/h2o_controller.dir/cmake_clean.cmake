@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2o_controller.dir/policy.cc.o"
+  "CMakeFiles/h2o_controller.dir/policy.cc.o.d"
+  "CMakeFiles/h2o_controller.dir/reinforce.cc.o"
+  "CMakeFiles/h2o_controller.dir/reinforce.cc.o.d"
+  "libh2o_controller.a"
+  "libh2o_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2o_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/chip.cc" "src/hw/CMakeFiles/h2o_hw.dir/chip.cc.o" "gcc" "src/hw/CMakeFiles/h2o_hw.dir/chip.cc.o.d"
+  "/root/repo/src/hw/power.cc" "src/hw/CMakeFiles/h2o_hw.dir/power.cc.o" "gcc" "src/hw/CMakeFiles/h2o_hw.dir/power.cc.o.d"
+  "/root/repo/src/hw/roofline.cc" "src/hw/CMakeFiles/h2o_hw.dir/roofline.cc.o" "gcc" "src/hw/CMakeFiles/h2o_hw.dir/roofline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/h2o_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2o_hw.dir/chip.cc.o"
+  "CMakeFiles/h2o_hw.dir/chip.cc.o.d"
+  "CMakeFiles/h2o_hw.dir/power.cc.o"
+  "CMakeFiles/h2o_hw.dir/power.cc.o.d"
+  "CMakeFiles/h2o_hw.dir/roofline.cc.o"
+  "CMakeFiles/h2o_hw.dir/roofline.cc.o.d"
+  "libh2o_hw.a"
+  "libh2o_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2o_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

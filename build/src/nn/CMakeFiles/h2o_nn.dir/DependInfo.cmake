@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/nn/CMakeFiles/h2o_nn.dir/activation.cc.o" "gcc" "src/nn/CMakeFiles/h2o_nn.dir/activation.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/h2o_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/h2o_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/h2o_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/h2o_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/h2o_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/h2o_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/h2o_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/h2o_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/low_rank_dense.cc" "src/nn/CMakeFiles/h2o_nn.dir/low_rank_dense.cc.o" "gcc" "src/nn/CMakeFiles/h2o_nn.dir/low_rank_dense.cc.o.d"
+  "/root/repo/src/nn/masked_dense.cc" "src/nn/CMakeFiles/h2o_nn.dir/masked_dense.cc.o" "gcc" "src/nn/CMakeFiles/h2o_nn.dir/masked_dense.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/h2o_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/h2o_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/normalizer.cc" "src/nn/CMakeFiles/h2o_nn.dir/normalizer.cc.o" "gcc" "src/nn/CMakeFiles/h2o_nn.dir/normalizer.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/nn/CMakeFiles/h2o_nn.dir/ops.cc.o" "gcc" "src/nn/CMakeFiles/h2o_nn.dir/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/h2o_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/h2o_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/h2o_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/h2o_nn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/h2o_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2o_nn.dir/activation.cc.o"
+  "CMakeFiles/h2o_nn.dir/activation.cc.o.d"
+  "CMakeFiles/h2o_nn.dir/dense.cc.o"
+  "CMakeFiles/h2o_nn.dir/dense.cc.o.d"
+  "CMakeFiles/h2o_nn.dir/embedding.cc.o"
+  "CMakeFiles/h2o_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/h2o_nn.dir/layer.cc.o"
+  "CMakeFiles/h2o_nn.dir/layer.cc.o.d"
+  "CMakeFiles/h2o_nn.dir/loss.cc.o"
+  "CMakeFiles/h2o_nn.dir/loss.cc.o.d"
+  "CMakeFiles/h2o_nn.dir/low_rank_dense.cc.o"
+  "CMakeFiles/h2o_nn.dir/low_rank_dense.cc.o.d"
+  "CMakeFiles/h2o_nn.dir/masked_dense.cc.o"
+  "CMakeFiles/h2o_nn.dir/masked_dense.cc.o.d"
+  "CMakeFiles/h2o_nn.dir/mlp.cc.o"
+  "CMakeFiles/h2o_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/h2o_nn.dir/normalizer.cc.o"
+  "CMakeFiles/h2o_nn.dir/normalizer.cc.o.d"
+  "CMakeFiles/h2o_nn.dir/ops.cc.o"
+  "CMakeFiles/h2o_nn.dir/ops.cc.o.d"
+  "CMakeFiles/h2o_nn.dir/optimizer.cc.o"
+  "CMakeFiles/h2o_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/h2o_nn.dir/tensor.cc.o"
+  "CMakeFiles/h2o_nn.dir/tensor.cc.o.d"
+  "libh2o_nn.a"
+  "libh2o_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2o_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

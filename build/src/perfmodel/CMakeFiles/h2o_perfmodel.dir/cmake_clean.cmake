@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2o_perfmodel.dir/features.cc.o"
+  "CMakeFiles/h2o_perfmodel.dir/features.cc.o.d"
+  "CMakeFiles/h2o_perfmodel.dir/hardware_oracle.cc.o"
+  "CMakeFiles/h2o_perfmodel.dir/hardware_oracle.cc.o.d"
+  "CMakeFiles/h2o_perfmodel.dir/perf_model.cc.o"
+  "CMakeFiles/h2o_perfmodel.dir/perf_model.cc.o.d"
+  "CMakeFiles/h2o_perfmodel.dir/two_phase.cc.o"
+  "CMakeFiles/h2o_perfmodel.dir/two_phase.cc.o.d"
+  "libh2o_perfmodel.a"
+  "libh2o_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2o_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

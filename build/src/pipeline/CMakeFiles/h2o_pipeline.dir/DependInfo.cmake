@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/pipeline.cc" "src/pipeline/CMakeFiles/h2o_pipeline.dir/pipeline.cc.o" "gcc" "src/pipeline/CMakeFiles/h2o_pipeline.dir/pipeline.cc.o.d"
+  "/root/repo/src/pipeline/traffic_generator.cc" "src/pipeline/CMakeFiles/h2o_pipeline.dir/traffic_generator.cc.o" "gcc" "src/pipeline/CMakeFiles/h2o_pipeline.dir/traffic_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/h2o_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/h2o_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/h2o_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/h2o_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/h2o_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2o_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/h2o_pipeline.dir/pipeline.cc.o.d"
+  "CMakeFiles/h2o_pipeline.dir/traffic_generator.cc.o"
+  "CMakeFiles/h2o_pipeline.dir/traffic_generator.cc.o.d"
+  "libh2o_pipeline.a"
+  "libh2o_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2o_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2o_reward.dir/reward.cc.o"
+  "CMakeFiles/h2o_reward.dir/reward.cc.o.d"
+  "libh2o_reward.a"
+  "libh2o_reward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2o_reward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

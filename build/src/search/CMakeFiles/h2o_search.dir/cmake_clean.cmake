@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2o_search.dir/baseline_search.cc.o"
+  "CMakeFiles/h2o_search.dir/baseline_search.cc.o.d"
+  "CMakeFiles/h2o_search.dir/h2o_dlrm_search.cc.o"
+  "CMakeFiles/h2o_search.dir/h2o_dlrm_search.cc.o.d"
+  "CMakeFiles/h2o_search.dir/pareto.cc.o"
+  "CMakeFiles/h2o_search.dir/pareto.cc.o.d"
+  "CMakeFiles/h2o_search.dir/surrogate_search.cc.o"
+  "CMakeFiles/h2o_search.dir/surrogate_search.cc.o.d"
+  "CMakeFiles/h2o_search.dir/telemetry.cc.o"
+  "CMakeFiles/h2o_search.dir/telemetry.cc.o.d"
+  "CMakeFiles/h2o_search.dir/tunas_search.cc.o"
+  "CMakeFiles/h2o_search.dir/tunas_search.cc.o.d"
+  "CMakeFiles/h2o_search.dir/zero_touch.cc.o"
+  "CMakeFiles/h2o_search.dir/zero_touch.cc.o.d"
+  "libh2o_search.a"
+  "libh2o_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2o_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2o_searchspace.dir/conv_space.cc.o"
+  "CMakeFiles/h2o_searchspace.dir/conv_space.cc.o.d"
+  "CMakeFiles/h2o_searchspace.dir/decision_space.cc.o"
+  "CMakeFiles/h2o_searchspace.dir/decision_space.cc.o.d"
+  "CMakeFiles/h2o_searchspace.dir/dlrm_space.cc.o"
+  "CMakeFiles/h2o_searchspace.dir/dlrm_space.cc.o.d"
+  "CMakeFiles/h2o_searchspace.dir/nlp_space.cc.o"
+  "CMakeFiles/h2o_searchspace.dir/nlp_space.cc.o.d"
+  "CMakeFiles/h2o_searchspace.dir/vit_space.cc.o"
+  "CMakeFiles/h2o_searchspace.dir/vit_space.cc.o.d"
+  "libh2o_searchspace.a"
+  "libh2o_searchspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2o_searchspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

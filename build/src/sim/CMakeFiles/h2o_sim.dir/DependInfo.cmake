@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/h2o_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/h2o_sim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sim/dump.cc" "src/sim/CMakeFiles/h2o_sim.dir/dump.cc.o" "gcc" "src/sim/CMakeFiles/h2o_sim.dir/dump.cc.o.d"
+  "/root/repo/src/sim/fusion.cc" "src/sim/CMakeFiles/h2o_sim.dir/fusion.cc.o" "gcc" "src/sim/CMakeFiles/h2o_sim.dir/fusion.cc.o.d"
+  "/root/repo/src/sim/graph.cc" "src/sim/CMakeFiles/h2o_sim.dir/graph.cc.o" "gcc" "src/sim/CMakeFiles/h2o_sim.dir/graph.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/h2o_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/h2o_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/ops.cc" "src/sim/CMakeFiles/h2o_sim.dir/ops.cc.o" "gcc" "src/sim/CMakeFiles/h2o_sim.dir/ops.cc.o.d"
+  "/root/repo/src/sim/serving.cc" "src/sim/CMakeFiles/h2o_sim.dir/serving.cc.o" "gcc" "src/sim/CMakeFiles/h2o_sim.dir/serving.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/h2o_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/h2o_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/h2o_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/h2o_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/h2o_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2o_sim.dir/cost_model.cc.o"
+  "CMakeFiles/h2o_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/h2o_sim.dir/dump.cc.o"
+  "CMakeFiles/h2o_sim.dir/dump.cc.o.d"
+  "CMakeFiles/h2o_sim.dir/fusion.cc.o"
+  "CMakeFiles/h2o_sim.dir/fusion.cc.o.d"
+  "CMakeFiles/h2o_sim.dir/graph.cc.o"
+  "CMakeFiles/h2o_sim.dir/graph.cc.o.d"
+  "CMakeFiles/h2o_sim.dir/memory.cc.o"
+  "CMakeFiles/h2o_sim.dir/memory.cc.o.d"
+  "CMakeFiles/h2o_sim.dir/ops.cc.o"
+  "CMakeFiles/h2o_sim.dir/ops.cc.o.d"
+  "CMakeFiles/h2o_sim.dir/serving.cc.o"
+  "CMakeFiles/h2o_sim.dir/serving.cc.o.d"
+  "CMakeFiles/h2o_sim.dir/simulator.cc.o"
+  "CMakeFiles/h2o_sim.dir/simulator.cc.o.d"
+  "libh2o_sim.a"
+  "libh2o_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2o_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

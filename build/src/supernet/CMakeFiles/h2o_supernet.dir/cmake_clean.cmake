@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2o_supernet.dir/dlrm_model.cc.o"
+  "CMakeFiles/h2o_supernet.dir/dlrm_model.cc.o.d"
+  "CMakeFiles/h2o_supernet.dir/dlrm_supernet.cc.o"
+  "CMakeFiles/h2o_supernet.dir/dlrm_supernet.cc.o.d"
+  "libh2o_supernet.a"
+  "libh2o_supernet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2o_supernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

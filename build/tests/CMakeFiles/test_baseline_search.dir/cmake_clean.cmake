@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_search.dir/test_baseline_search.cc.o"
+  "CMakeFiles/test_baseline_search.dir/test_baseline_search.cc.o.d"
+  "test_baseline_search"
+  "test_baseline_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

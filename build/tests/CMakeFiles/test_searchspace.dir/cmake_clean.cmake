@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_searchspace.dir/test_searchspace.cc.o"
+  "CMakeFiles/test_searchspace.dir/test_searchspace.cc.o.d"
+  "test_searchspace"
+  "test_searchspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_searchspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

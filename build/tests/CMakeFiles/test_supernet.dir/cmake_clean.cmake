@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_supernet.dir/test_supernet.cc.o"
+  "CMakeFiles/test_supernet.dir/test_supernet.cc.o.d"
+  "test_supernet"
+  "test_supernet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_supernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zero_touch.dir/test_zero_touch.cc.o"
+  "CMakeFiles/test_zero_touch.dir/test_zero_touch.cc.o.d"
+  "test_zero_touch"
+  "test_zero_touch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zero_touch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
