@@ -38,6 +38,7 @@ main(int argc, char **argv)
     common::Flags flags;
     flags.defineInt("budget", 1200, "candidate evaluations per algorithm");
     flags.defineInt("seed", 13, "RNG seed");
+    common::defineThreadsFlag(flags);
     flags.parse(argc, argv);
     size_t budget = static_cast<size_t>(flags.getInt("budget"));
     uint64_t seed = static_cast<uint64_t>(flags.getInt("seed"));
@@ -88,6 +89,7 @@ main(int argc, char **argv)
         cfg.numSteps = budget / cfg.samplesPerStep;
         cfg.rl.learningRate = 0.08;
         cfg.rl.entropyWeight = 5e-3;
+        cfg.threads = static_cast<size_t>(flags.getInt("threads"));
         search::SurrogateSearch s(space.decisions(), quality, perf, rwd,
                                   cfg);
         common::Rng rng(seed);

@@ -48,6 +48,7 @@ main(int argc, char **argv)
     common::Flags flags;
     flags.defineInt("budget", 512, "total candidates per configuration");
     flags.defineInt("seed", 11, "RNG seed");
+    common::defineThreadsFlag(flags);
     flags.parse(argc, argv);
     size_t budget = static_cast<size_t>(flags.getInt("budget"));
     uint64_t seed = static_cast<uint64_t>(flags.getInt("seed"));
@@ -82,6 +83,7 @@ main(int argc, char **argv)
         cfg.numShards = shards;
         cfg.numSteps = budget / shards;
         cfg.warmupSteps = cfg.numSteps / 10;
+        cfg.threads = static_cast<size_t>(flags.getInt("threads"));
         search::H2oDlrmSearch search(
             space, net, pipe,
             [&](const searchspace::Sample &s) {

@@ -57,7 +57,7 @@ struct RunResult
 
 RunResult
 runSearch(const searchspace::DlrmSearchSpace &space, bool fine_only,
-          uint64_t seed, size_t steps)
+          uint64_t seed, size_t steps, size_t threads)
 {
     common::Rng rng(seed);
     supernet::SupernetConfig ncfg;
@@ -83,6 +83,7 @@ runSearch(const searchspace::DlrmSearchSpace &space, bool fine_only,
     cfg.numShards = 4;
     cfg.numSteps = steps;
     cfg.warmupSteps = steps / 5;
+    cfg.threads = threads;
     search::H2oDlrmSearch search(
         space, net, pipe,
         [&](const searchspace::Sample &s) {
@@ -112,8 +113,10 @@ main(int argc, char **argv)
     common::Flags flags;
     flags.defineInt("steps", 150, "search steps per variant");
     flags.defineInt("seed", 3, "RNG seed");
+    common::defineThreadsFlag(flags);
     flags.parse(argc, argv);
     size_t steps = static_cast<size_t>(flags.getInt("steps"));
+    size_t threads = static_cast<size_t>(flags.getInt("threads"));
     uint64_t seed = static_cast<uint64_t>(flags.getInt("seed"));
 
     common::AsciiTable t("Weight-sharing ablation: hybrid (paper) vs "
@@ -124,7 +127,7 @@ main(int argc, char **argv)
     // Hybrid: the full Table-5 space with the shipped supernet.
     {
         searchspace::DlrmSearchSpace space(benchDlrm());
-        auto r = runSearch(space, false, seed, steps);
+        auto r = runSearch(space, false, seed, steps, threads);
         t.addRow({"hybrid (fine width + coarse vocab)",
                   common::AsciiTable::num(r.finalLoss, 4),
                   common::AsciiTable::num(r.finalEval, 4),
@@ -140,7 +143,7 @@ main(int argc, char **argv)
         scfg.mlpWidthDeltaMin = 1;
         scfg.mlpWidthDeltaMax = 1;
         searchspace::DlrmSearchSpace space(benchDlrm(), scfg);
-        auto r = runSearch(space, false, seed, steps);
+        auto r = runSearch(space, false, seed, steps, threads);
         t.addRow({"coarse-only (no width masking)",
                   common::AsciiTable::num(r.finalLoss, 4),
                   common::AsciiTable::num(r.finalEval, 4),
@@ -152,7 +155,7 @@ main(int argc, char **argv)
     // moduli now interfere in the shared rows.
     {
         searchspace::DlrmSearchSpace space(benchDlrm());
-        auto r = runSearch(space, true, seed, steps);
+        auto r = runSearch(space, true, seed, steps, threads);
         t.addRow({"fine-only (shared vocab tables)",
                   common::AsciiTable::num(r.finalLoss, 4),
                   common::AsciiTable::num(r.finalEval, 4),

@@ -80,6 +80,7 @@ main(int argc, char **argv)
     flags.defineInt("steps", 200, "training / search steps to time");
     flags.defineInt("shards", 4, "search shards");
     flags.defineInt("seed", 37, "RNG seed");
+    common::defineThreadsFlag(flags);
     flags.parse(argc, argv);
     size_t steps = static_cast<size_t>(flags.getInt("steps"));
     size_t shards = static_cast<size_t>(flags.getInt("shards"));
@@ -118,6 +119,7 @@ main(int argc, char **argv)
         cfg.numShards = 1; // per-accelerator cost, like vanilla above
         cfg.numSteps = steps;
         cfg.warmupSteps = 0;
+        cfg.threads = static_cast<size_t>(flags.getInt("threads"));
         search::H2oDlrmSearch search(
             space, net, *pipe,
             [&](const searchspace::Sample &s) {

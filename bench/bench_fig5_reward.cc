@@ -65,6 +65,7 @@ main(int argc, char **argv)
     flags.defineInt("steps", 120, "search steps per target");
     flags.defineInt("shards", 8, "parallel candidates per step");
     flags.defineInt("seed", 17, "base RNG seed");
+    common::defineThreadsFlag(flags);
     flags.parse(argc, argv);
 
     searchspace::DlrmSearchSpace space(arch::baselineDlrm());
@@ -99,6 +100,7 @@ main(int argc, char **argv)
             cfg.samplesPerStep =
                 static_cast<size_t>(flags.getInt("shards"));
             cfg.rl.learningRate = 0.1;
+            cfg.threads = static_cast<size_t>(flags.getInt("threads"));
             search::SurrogateSearch s(space.decisions(), quality_fn,
                                       perf_fn, *reward, cfg);
             common::Rng rng(

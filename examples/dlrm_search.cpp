@@ -15,7 +15,8 @@
  *     candidate budget;
  *  5. report the found architecture and its simulated performance.
  *
- *   $ ./dlrm_search --steps=150 --shards=8
+ *   $ ./dlrm_search --steps=150 --shards=8 --threads=8 \
+ *       --checkpoint=/tmp/h2o.ckpt
  */
 
 #include <iostream>
@@ -47,6 +48,10 @@ main(int argc, char **argv)
     flags.defineInt("pretrain_samples", 1500, "perf-model samples");
     flags.defineInt("seed", 11, "RNG seed");
     flags.defineBool("run_tunas", true, "also run the TuNAS baseline");
+    flags.defineString("checkpoint", "",
+                       "checkpoint file for the H2O search (resumes when "
+                       "it already exists; empty disables)");
+    common::defineThreadsFlag(flags);
     flags.parse(argc, argv);
     uint64_t seed = static_cast<uint64_t>(flags.getInt("seed"));
 
@@ -125,6 +130,9 @@ main(int argc, char **argv)
     cfg.numShards = static_cast<size_t>(flags.getInt("shards"));
     cfg.numSteps = static_cast<size_t>(flags.getInt("steps"));
     cfg.warmupSteps = cfg.numSteps / 5;
+    cfg.threads = static_cast<size_t>(flags.getInt("threads"));
+    cfg.checkpointPath = flags.getString("checkpoint");
+    cfg.checkpointEvery = 10;
     search::H2oDlrmSearch h2o_search(space, supernet, *pipe, perf_fn,
                                      reward, cfg);
     common::Rng srng(seed + 3);

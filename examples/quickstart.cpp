@@ -8,12 +8,13 @@
  * single-sided ReLU reward, and prints the architecture the policy
  * converged to.
  *
- *   $ ./quickstart
+ *   $ ./quickstart [--threads=N]
  */
 
 #include <iostream>
 
 #include "arch/dlrm_arch.h"
+#include "common/flags.h"
 #include "common/rng.h"
 #include "pipeline/pipeline.h"
 #include "reward/reward.h"
@@ -24,8 +25,12 @@
 using namespace h2o;
 
 int
-main()
+main(int argc, char **argv)
 {
+    common::Flags flags;
+    common::defineThreadsFlag(flags);
+    flags.parse(argc, argv);
+
     // 1. A baseline DLRM to search around: 3 embedding tables, a small
     //    bottom/top MLP. Every Table-5 dimension (widths, vocabs,
     //    low-rank, depth) becomes searchable around this point.
@@ -67,6 +72,7 @@ main()
     config.numShards = 4;
     config.numSteps = 100;
     config.warmupSteps = 20;
+    config.threads = static_cast<size_t>(flags.getInt("threads"));
     search::H2oDlrmSearch search(
         space, supernet, pipe,
         [&](const searchspace::Sample &s) {

@@ -33,6 +33,7 @@ main(int argc, char **argv)
     flags.defineInt("steps", 100, "search steps");
     flags.defineInt("shards", 8, "parallel candidates per step");
     flags.defineInt("seed", 19, "RNG seed");
+    common::defineThreadsFlag(flags);
     flags.parse(argc, argv);
 
     hw::Platform train = hw::trainingPlatform();
@@ -68,6 +69,7 @@ main(int argc, char **argv)
     cfg.samplesPerStep = static_cast<size_t>(flags.getInt("shards"));
     cfg.rl.learningRate = 0.08;
     cfg.rl.entropyWeight = 5e-3;
+    cfg.threads = static_cast<size_t>(flags.getInt("threads"));
     search::SurrogateSearch search(space.decisions(), quality_fn, perf_fn,
                                    reward, cfg);
     common::Rng rng(static_cast<uint64_t>(flags.getInt("seed")));

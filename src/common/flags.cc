@@ -130,4 +130,27 @@ Flags::getBool(const std::string &name) const
     return lookup(name, Type::Bool).value == "true";
 }
 
+int64_t
+threadsFlagDefault()
+{
+    const char *env = std::getenv("H2O_THREADS");
+    if (!env || *env == '\0')
+        return 0;
+    char *end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || v < 0) {
+        warn("ignoring malformed H2O_THREADS='", env, "'");
+        return 0;
+    }
+    return v;
+}
+
+void
+defineThreadsFlag(Flags &flags)
+{
+    flags.defineInt("threads", threadsFlagDefault(),
+                    "worker threads for shard evaluation (0 = one per "
+                    "hardware thread; default from H2O_THREADS)");
+}
+
 } // namespace h2o::common

@@ -73,6 +73,17 @@ class Flags
     std::map<std::string, Spec> _specs;
 };
 
+/**
+ * Default value for a --threads flag: the H2O_THREADS environment
+ * variable when set (and a valid non-negative integer), otherwise 0,
+ * which the execution runtime resolves to one worker per hardware
+ * thread. The command line always wins over the environment.
+ */
+int64_t threadsFlagDefault();
+
+/** Register the standard --threads flag with the shared help text. */
+void defineThreadsFlag(Flags &flags);
+
 } // namespace h2o::common
 
 #endif // H2O_COMMON_FLAGS_H

@@ -131,4 +131,22 @@ Rng::next64()
     return _engine();
 }
 
+void
+Rng::save(std::ostream &os) const
+{
+    // The mt19937_64 stream operators serialize the full engine state as
+    // decimal integers — exact, unlike a double round-trip.
+    os << "rng " << _seed << "\n" << _engine << "\n";
+}
+
+void
+Rng::load(std::istream &is)
+{
+    std::string word;
+    if (!(is >> word) || word != "rng")
+        h2o_fatal("checkpoint expected 'rng', found '", word, "'");
+    if (!(is >> _seed >> _engine))
+        h2o_fatal("checkpoint truncated inside rng state");
+}
+
 } // namespace h2o::common

@@ -13,6 +13,8 @@
 #define H2O_COMMON_RNG_H
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <random>
 #include <vector>
 
@@ -73,6 +75,16 @@ class Rng
 
     /** The seed this stream was constructed with. */
     uint64_t seed() const { return _seed; }
+
+    /**
+     * Checkpoint the stream: seed plus full engine state, exactly. A
+     * restored stream produces the identical draw sequence, which is
+     * what makes a resumed search bit-identical to an uninterrupted one.
+     */
+    void save(std::ostream &os) const;
+
+    /** Restore a checkpointed stream; fatal on malformed input. */
+    void load(std::istream &is);
 
   private:
     uint64_t _seed;

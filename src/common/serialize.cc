@@ -55,4 +55,35 @@ readTaggedScalar(std::istream &is, const std::string &tag)
     return values[0];
 }
 
+void
+writeTaggedU64(std::ostream &os, const std::string &tag,
+               const std::vector<uint64_t> &values)
+{
+    os << "tagu64 " << tag << " " << values.size() << "\n";
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            os << " ";
+        os << values[i];
+    }
+    os << "\n";
+}
+
+std::vector<uint64_t>
+readTaggedU64(std::istream &is, const std::string &tag)
+{
+    std::string word, name;
+    size_t count = 0;
+    if (!(is >> word >> name >> count))
+        h2o_fatal("checkpoint truncated while expecting tag '", tag, "'");
+    if (word != "tagu64" || name != tag)
+        h2o_fatal("checkpoint expected u64 tag '", tag, "', found '", word,
+                  " ", name, "'");
+    std::vector<uint64_t> values(count);
+    for (size_t i = 0; i < count; ++i) {
+        if (!(is >> values[i]))
+            h2o_fatal("checkpoint truncated inside tag '", tag, "'");
+    }
+    return values;
+}
+
 } // namespace h2o::common

@@ -16,6 +16,7 @@
 #ifndef H2O_COMMON_SERIALIZE_H
 #define H2O_COMMON_SERIALIZE_H
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -39,6 +40,18 @@ std::vector<double> readTagged(std::istream &is, const std::string &tag);
 
 /** Read a tagged scalar; fatal on mismatch. */
 double readTaggedScalar(std::istream &is, const std::string &tag);
+
+/**
+ * Write one tagged vector of 64-bit counters. Encoded as decimal
+ * integers, not doubles: step counts, sequence cursors and seeds must
+ * round-trip exactly even above 2^53.
+ */
+void writeTaggedU64(std::ostream &os, const std::string &tag,
+                    const std::vector<uint64_t> &values);
+
+/** Read a tagged u64 vector; fatal on tag mismatch or truncation. */
+std::vector<uint64_t> readTaggedU64(std::istream &is,
+                                    const std::string &tag);
 
 } // namespace h2o::common
 

@@ -1,6 +1,7 @@
 #include "controller/reinforce.h"
 
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "common/stats.h"
 
 namespace h2o::controller {
@@ -46,6 +47,23 @@ ReinforceController::update(
     stats.baseline = _baseline;
     stats.meanEntropy = _policy.meanEntropy();
     return stats;
+}
+
+void
+ReinforceController::save(std::ostream &os) const
+{
+    _policy.save(os);
+    common::writeTaggedScalar(os, "baseline", _baseline);
+    common::writeTaggedScalar(os, "baseline_init",
+                              _baselineInit ? 1.0 : 0.0);
+}
+
+void
+ReinforceController::load(std::istream &is)
+{
+    _policy.load(is);
+    _baseline = common::readTaggedScalar(is, "baseline");
+    _baselineInit = common::readTaggedScalar(is, "baseline_init") != 0.0;
 }
 
 } // namespace h2o::controller

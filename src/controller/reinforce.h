@@ -13,6 +13,8 @@
 #ifndef H2O_CONTROLLER_REINFORCE_H
 #define H2O_CONTROLLER_REINFORCE_H
 
+#include <istream>
+#include <ostream>
 #include <vector>
 
 #include "controller/policy.h"
@@ -67,6 +69,17 @@ class ReinforceController
 
     /** Current moving-average reward baseline. */
     double baseline() const { return _baseline; }
+
+    /**
+     * Checkpoint the full controller state: policy logits plus the
+     * moving-average baseline. The baseline matters for exact resume —
+     * the first post-restart update must center rewards against the
+     * same value the uninterrupted run would have used.
+     */
+    void save(std::ostream &os) const;
+
+    /** Restore a checkpointed controller; fatal on mismatch. */
+    void load(std::istream &is);
 
   private:
     Policy _policy;

@@ -1,0 +1,39 @@
+#include "exec/checkpoint.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace h2o::exec {
+
+void
+CheckpointWriter::commit(const std::string &path)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            h2o_fatal("cannot open checkpoint temp file '", tmp, "'");
+        out << _buf.str();
+        out.flush();
+        if (!out)
+            h2o_fatal("failed writing checkpoint temp file '", tmp, "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        h2o_fatal("failed publishing checkpoint '", path, "'");
+}
+
+bool
+CheckpointReader::exists(const std::string &path)
+{
+    std::ifstream in(path);
+    return in.good();
+}
+
+CheckpointReader::CheckpointReader(const std::string &path) : _in(path)
+{
+    if (!_in)
+        h2o_fatal("cannot open checkpoint '", path, "'");
+}
+
+} // namespace h2o::exec

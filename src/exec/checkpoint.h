@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Atomic checkpoint files for preemptible searches.
+ *
+ * A production search on a preemptible fleet must resume after losing the
+ * whole job, not just a shard (Section 7.3's zero-touch loop runs
+ * continuously). The searchers therefore periodically serialize their
+ * complete evolving state — policy parameters, supernet weights, pipeline
+ * cursor, per-shard RNG streams, step statistics — through these helpers,
+ * and a restarted process resumes to a bit-identical SearchOutcome.
+ *
+ * Writers buffer the whole checkpoint in memory and commit() it with the
+ * write-temp-then-rename idiom, so a preemption mid-write never leaves a
+ * truncated checkpoint behind: the previous complete checkpoint survives.
+ * The payload format is the strict tagged text of common/serialize, plus
+ * exact (non-double-roundtripped) encodings for 64-bit counters and
+ * RNG engine state added alongside it.
+ */
+
+#ifndef H2O_EXEC_CHECKPOINT_H
+#define H2O_EXEC_CHECKPOINT_H
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace h2o::exec {
+
+/** Buffered checkpoint writer with atomic commit. */
+class CheckpointWriter
+{
+  public:
+    /** The stream to serialize state into. */
+    std::ostream &stream() { return _buf; }
+
+    /**
+     * Atomically publish the buffered payload at `path` (write to
+     * `path.tmp`, fsync-free rename over the destination). Fatal when
+     * the file cannot be written.
+     */
+    void commit(const std::string &path);
+
+  private:
+    std::ostringstream _buf;
+};
+
+/** Strict checkpoint reader. */
+class CheckpointReader
+{
+  public:
+    /** Whether a committed checkpoint exists at `path`. */
+    static bool exists(const std::string &path);
+
+    /** Open a checkpoint; fatal when missing or unreadable. */
+    explicit CheckpointReader(const std::string &path);
+
+    /** The stream to deserialize state from. */
+    std::istream &stream() { return _in; }
+
+  private:
+    std::ifstream _in;
+};
+
+} // namespace h2o::exec
+
+#endif // H2O_EXEC_CHECKPOINT_H

@@ -1,0 +1,167 @@
+#include "exec/shard_runner.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace h2o::exec {
+
+// ------------------------------------------------------ OrderedSection
+
+void
+OrderedSection::reset(size_t n)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _done.assign(n, false);
+}
+
+void
+OrderedSection::waitTurn(size_t shard)
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    h2o_assert(shard < _done.size(), "shard out of range in OrderedSection");
+    _cv.wait(lock, [&] {
+        for (size_t i = 0; i < shard; ++i)
+            if (!_done[i])
+                return false;
+        return true;
+    });
+}
+
+void
+OrderedSection::markDone(size_t shard)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _done[shard] = true;
+    }
+    _cv.notify_all();
+}
+
+void
+OrderedSection::skip(size_t shard)
+{
+    markDone(shard);
+}
+
+OrderedSection::Guard::Guard(OrderedSection &section, size_t shard)
+    : _section(section), _shard(shard)
+{
+    _section.waitTurn(shard);
+}
+
+OrderedSection::Guard::~Guard()
+{
+    _section.markDone(_shard);
+}
+
+// ---------------------------------------------------------- StepReport
+
+std::vector<size_t>
+StepReport::survivors() const
+{
+    std::vector<size_t> ok;
+    ok.reserve(shards.size());
+    for (size_t s = 0; s < shards.size(); ++s)
+        if (shards[s].state != ShardState::Degraded)
+            ok.push_back(s);
+    return ok;
+}
+
+bool
+StepReport::degraded() const
+{
+    for (const auto &r : shards)
+        if (r.state == ShardState::Degraded)
+            return true;
+    return false;
+}
+
+// --------------------------------------------------------- ShardRunner
+
+ShardRunner::ShardRunner(ThreadPool &pool, ShardRunnerConfig config,
+                         FaultInjector *injector)
+    : _pool(pool), _config(config), _injector(injector)
+{
+    h2o_assert(_config.numShards > 0, "runner with zero shards");
+    h2o_assert(_config.maxAttempts > 0, "runner with zero attempts");
+    h2o_assert(_config.backoffBaseMs >= 0.0, "negative backoff");
+}
+
+ShardResult
+ShardRunner::runShard(size_t step, size_t shard,
+                      const std::function<void(size_t)> &body)
+{
+    ShardResult result;
+    for (size_t attempt = 0; attempt < _config.maxAttempts; ++attempt) {
+        result.attempts = attempt + 1;
+        FaultKind fault = _injector
+                              ? _injector->decide(step, shard, attempt)
+                              : FaultKind::None;
+        if (fault == FaultKind::Preempt) {
+            _injector->record(fault);
+            result.state = ShardState::Degraded;
+            _ordered.skip(shard);
+            return result;
+        }
+        if (fault == FaultKind::Fail) {
+            _injector->record(fault);
+            if (attempt + 1 < _config.maxAttempts &&
+                _config.backoffBaseMs > 0.0) {
+                auto delay = std::chrono::duration<double, std::milli>(
+                    _config.backoffBaseMs *
+                    static_cast<double>(1ULL << attempt));
+                std::this_thread::sleep_for(delay);
+            }
+            continue;
+        }
+        if (fault == FaultKind::Straggle) {
+            _injector->record(fault);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    _injector->config().stragglerDelayMs));
+        }
+        try {
+            body(shard);
+            result.state = attempt == 0 ? ShardState::Ok
+                                        : ShardState::Retried;
+            return result;
+        } catch (const std::exception &e) {
+            h2o::common::warn("shard ", shard, " attempt ", attempt,
+                              " failed: ", e.what());
+        }
+    }
+    result.state = ShardState::Degraded;
+    _ordered.skip(shard);
+    return result;
+}
+
+StepReport
+ShardRunner::runStep(size_t step,
+                     const std::function<void(size_t shard)> &body)
+{
+    h2o_assert(body, "null shard body");
+    StepReport report;
+    report.shards.assign(_config.numShards, ShardResult{});
+    _ordered.reset(_config.numShards);
+
+    std::vector<std::future<void>> futures;
+    futures.reserve(_config.numShards);
+    for (size_t s = 0; s < _config.numShards; ++s) {
+        futures.push_back(_pool.submit([this, step, s, &body, &report] {
+            report.shards[s] = runShard(step, s, body);
+        }));
+    }
+    // The cross-shard barrier: aggregation must not start before every
+    // shard has completed or been declared lost.
+    for (auto &f : futures)
+        f.get();
+
+    for (const auto &r : report.shards)
+        if (r.state == ShardState::Degraded)
+            ++_degradedShardSteps;
+    return report;
+}
+
+} // namespace h2o::exec

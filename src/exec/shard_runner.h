@@ -1,0 +1,170 @@
+/**
+ * @file
+ * ShardRunner: one search step across N virtual accelerator shards.
+ *
+ * runStep() dispatches one task per shard onto a persistent ThreadPool,
+ * barrier-waits for all of them (the cross-shard all-reduce point of
+ * Figure 2), and reports which shards survived. The caller then performs
+ * the cross-shard REINFORCE / gradient aggregation over the survivors in
+ * shard-index order on its own thread — which is what keeps the
+ * aggregation bit-for-bit identical to a serial run at any thread count.
+ *
+ * Shared-resource regions (the weight-sharing super-network, the batch
+ * pipeline) go through OrderedSection: a critical section that admits
+ * shards strictly in index order. Execution inside the section is
+ * therefore the exact serial order — same batches to the same shards,
+ * same floating-point accumulation order into the shared gradients —
+ * while everything outside the section (policy sampling from per-shard
+ * streams, perf-model queries, reward computation) runs concurrently.
+ *
+ * Fault tolerance: when a FaultInjector is attached, each shard attempt
+ * may be failed (retry with exponential backoff, up to maxAttempts),
+ * straggled (delayed), or preempted (shard lost for the step). A shard
+ * whose attempts are exhausted is reported Degraded; the caller
+ * aggregates over the surviving shards with scaled baselines. Injected
+ * faults strike BEFORE the shard body executes, so a failed attempt
+ * leaves no partial side effects. Thrown exceptions from the body are
+ * treated as real failures and retried the same way.
+ */
+
+#ifndef H2O_EXEC_SHARD_RUNNER_H
+#define H2O_EXEC_SHARD_RUNNER_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "exec/fault_injector.h"
+#include "exec/thread_pool.h"
+
+namespace h2o::exec {
+
+/**
+ * Admits shards strictly in index order; used for the shared-supernet
+ * and pipeline regions of a shard body. A degraded shard's turn is
+ * skipped by the runner so later shards are not stuck waiting for it.
+ */
+class OrderedSection
+{
+  public:
+    /** Prepare the section for a step over n shards. Not thread-safe. */
+    void reset(size_t n);
+
+    /** Mark a shard's turn as forfeited (it will never enter). */
+    void skip(size_t shard);
+
+    /** RAII turn: blocks until every lower-indexed shard is done. */
+    class Guard
+    {
+      public:
+        Guard(OrderedSection &section, size_t shard);
+        ~Guard();
+        Guard(const Guard &) = delete;
+        Guard &operator=(const Guard &) = delete;
+
+      private:
+        OrderedSection &_section;
+        size_t _shard;
+    };
+
+  private:
+    void markDone(size_t shard);
+    void waitTurn(size_t shard);
+
+    std::mutex _mutex;
+    std::condition_variable _cv;
+    std::vector<bool> _done;
+};
+
+/** Per-shard result of one step. */
+enum class ShardState {
+    Ok,       ///< completed on the first attempt
+    Retried,  ///< completed after >= 1 failed attempt
+    Degraded, ///< lost for this step (preempted or attempts exhausted)
+};
+
+/** One shard's step report. */
+struct ShardResult
+{
+    ShardState state = ShardState::Ok;
+    size_t attempts = 0; ///< attempts actually executed or injected-failed
+};
+
+/** One step's report across all shards. */
+struct StepReport
+{
+    std::vector<ShardResult> shards;
+
+    /** Indices of shards that completed (Ok or Retried), in order. */
+    std::vector<size_t> survivors() const;
+
+    /** Number of surviving shards. */
+    size_t numOk() const { return survivors().size(); }
+
+    /** True when at least one shard was lost this step. */
+    bool degraded() const;
+};
+
+/** Runner configuration. */
+struct ShardRunnerConfig
+{
+    size_t numShards = 1;
+    /** Max attempts per shard per step (>= 1). */
+    size_t maxAttempts = 3;
+    /** Exponential backoff base between retries, in milliseconds. */
+    double backoffBaseMs = 0.5;
+};
+
+/**
+ * Runs the N shards of one search step concurrently and fault-tolerantly
+ * on a caller-owned persistent pool.
+ */
+class ShardRunner
+{
+  public:
+    /**
+     * @param pool     Persistent worker pool (outlives the runner). The
+     *                 pool must not run unrelated work during runStep():
+     *                 ordered sections rely on FIFO dispatch of the
+     *                 step's own shard tasks.
+     * @param config   Shard count and retry policy.
+     * @param injector Optional fault oracle; nullptr injects nothing.
+     */
+    ShardRunner(ThreadPool &pool, ShardRunnerConfig config,
+                FaultInjector *injector = nullptr);
+
+    /**
+     * Execute `body(shard)` for every shard of one step and barrier-wait
+     * for all of them. The body may carve out ordered sub-regions with
+     * `OrderedSection::Guard guard(runner.ordered(), shard)`.
+     *
+     * @param step Step index, used to key fault-injection decisions.
+     */
+    StepReport runStep(size_t step,
+                       const std::function<void(size_t shard)> &body);
+
+    /** The step-scoped ordered section (reset by every runStep). */
+    OrderedSection &ordered() { return _ordered; }
+
+    /** Shard count. */
+    size_t numShards() const { return _config.numShards; }
+
+    /** Cumulative count of degraded (lost) shard-steps. */
+    uint64_t degradedShardSteps() const { return _degradedShardSteps; }
+
+  private:
+    ShardResult runShard(size_t step, size_t shard,
+                         const std::function<void(size_t)> &body);
+
+    ThreadPool &_pool;
+    ShardRunnerConfig _config;
+    FaultInjector *_injector;
+    OrderedSection _ordered;
+    uint64_t _degradedShardSteps = 0;
+};
+
+} // namespace h2o::exec
+
+#endif // H2O_EXEC_SHARD_RUNNER_H

@@ -1,6 +1,7 @@
 #include "pipeline/pipeline.h"
 
 #include "common/logging.h"
+#include "common/serialize.h"
 
 namespace h2o::pipeline {
 
@@ -68,6 +69,31 @@ InMemoryPipeline::stats() const
 {
     std::lock_guard<std::mutex> lock(_mutex);
     return _stats;
+}
+
+void
+InMemoryPipeline::save(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _generator->save(os);
+    common::writeTaggedU64(os, "pipeline_stats",
+                           {_stats.batchesIssued, _stats.examplesIssued,
+                            _stats.completeLeases,
+                            _stats.alphaOnlyLeases});
+}
+
+void
+InMemoryPipeline::load(std::istream &is)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _generator->load(is);
+    auto s = common::readTaggedU64(is, "pipeline_stats");
+    if (s.size() != 4)
+        h2o_fatal("malformed pipeline stats in checkpoint");
+    _stats.batchesIssued = s[0];
+    _stats.examplesIssued = s[1];
+    _stats.completeLeases = s[2];
+    _stats.alphaOnlyLeases = s[3];
 }
 
 void

@@ -23,8 +23,10 @@
 #define H2O_PIPELINE_PIPELINE_H
 
 #include <cstdint>
+#include <istream>
 #include <memory>
 #include <mutex>
+#include <ostream>
 
 #include "pipeline/example.h"
 #include "pipeline/traffic_generator.h"
@@ -106,6 +108,17 @@ class InMemoryPipeline
 
     /** The underlying generator (for oracle evaluation in tests). */
     const TrafficGenerator &generator() const { return *_generator; }
+
+    /**
+     * Checkpoint the pipeline cursor (generator stream position plus
+     * usage statistics), so a resumed search leases exactly the batches
+     * the uninterrupted run would have. Thread-safe; must not race with
+     * outstanding leases.
+     */
+    void save(std::ostream &os) const;
+
+    /** Restore a checkpointed cursor. Thread-safe. */
+    void load(std::istream &is);
 
   private:
     friend class BatchLease;

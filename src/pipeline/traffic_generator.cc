@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "nn/loss.h"
 
 namespace h2o::pipeline {
@@ -138,6 +139,24 @@ TrafficGenerator::nextBatch(size_t batch_size)
         ++_examples;
     }
     return batch;
+}
+
+void
+TrafficGenerator::save(std::ostream &os) const
+{
+    _rng.save(os);
+    common::writeTaggedU64(os, "traffic_cursor", {_sequence, _examples});
+}
+
+void
+TrafficGenerator::load(std::istream &is)
+{
+    _rng.load(is);
+    auto cursor = common::readTaggedU64(is, "traffic_cursor");
+    if (cursor.size() != 2)
+        h2o_fatal("malformed traffic cursor in checkpoint");
+    _sequence = cursor[0];
+    _examples = cursor[1];
 }
 
 } // namespace h2o::pipeline

@@ -25,6 +25,8 @@
 #define H2O_PIPELINE_TRAFFIC_GENERATOR_H
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <vector>
 
 #include "common/rng.h"
@@ -78,6 +80,17 @@ class TrafficGenerator
 
     /** Examples generated so far. */
     uint64_t examplesGenerated() const { return _examples; }
+
+    /**
+     * Checkpoint the stream cursor: example RNG state plus sequence and
+     * example counters. The hidden ground-truth model is derived from
+     * the constructor seed and is not persisted — a restored generator
+     * must be constructed with the same config and seed.
+     */
+    void save(std::ostream &os) const;
+
+    /** Restore a checkpointed stream cursor. */
+    void load(std::istream &is);
 
   private:
     /** Persistent hidden affinity for (table, id), in [-1, 1]. */

@@ -1,7 +1,12 @@
 #include "search/h2o_dlrm_search.h"
 
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "common/stats.h"
+#include "exec/checkpoint.h"
+#include "exec/fault_injector.h"
+#include "exec/shard_runner.h"
+#include "exec/thread_pool.h"
 
 namespace h2o::search {
 
@@ -12,11 +17,12 @@ H2oDlrmSearch::H2oDlrmSearch(const searchspace::DlrmSearchSpace &space,
                              const reward::RewardFunction &rewardf,
                              H2oSearchConfig config)
     : _space(space), _supernet(supernet), _pipeline(pipe),
-      _perf(std::move(perf)), _reward(rewardf), _config(config)
+      _perf(std::move(perf)), _reward(rewardf), _config(std::move(config))
 {
     h2o_assert(_perf, "null performance functor");
     h2o_assert(_config.numShards > 0 && _config.numSteps > 0,
                "degenerate search configuration");
+    h2o_assert(_config.checkpointEvery > 0, "zero checkpoint interval");
 }
 
 SearchOutcome
@@ -27,77 +33,306 @@ H2oDlrmSearch::run(common::Rng &rng)
     SearchOutcome outcome;
     _stats.clear();
 
-    std::vector<common::Rng> shard_rngs;
-    for (size_t s = 0; s < _config.numShards; ++s)
-        shard_rngs.push_back(rng.fork(s + 1));
+    // Per-shard RNG streams: forked from the caller's stream exactly as
+    // the serial implementation always did, independent of thread count.
+    auto shard_rngs =
+        exec::ThreadPool::splitRngs(rng, _config.numShards);
+
+    // --- Resume: a pre-existing checkpoint replaces warm-up and the
+    // already-completed steps with their exact recorded state.
+    size_t start_step = 0;
+    bool resumed = false;
+    const bool checkpointing = !_config.checkpointPath.empty();
+    if (checkpointing &&
+        exec::CheckpointReader::exists(_config.checkpointPath)) {
+        start_step = loadCheckpoint(controller, shard_rngs, outcome);
+        resumed = true;
+        common::inform("resumed search from '", _config.checkpointPath,
+                       "' at step ", start_step);
+    }
+
+    exec::ThreadPool pool(
+        exec::ThreadPool::resolve(_config.threads, _config.numShards));
+    exec::ShardRunner runner(pool,
+                             {_config.numShards, _config.maxShardAttempts,
+                              _config.retryBackoffMs},
+                             _config.faults);
+    const size_t n = _config.numShards;
 
     // --- Warm-up: train shared weights on uniformly-sampled candidates
-    // so early rewards reflect architecture, not initialization.
-    for (size_t step = 0; step < _config.warmupSteps; ++step) {
-        for (size_t s = 0; s < _config.numShards; ++s) {
-            auto sample = _space.decisions().uniformSample(shard_rngs[s]);
-            auto lease = _pipeline.lease();
-            _supernet.configure(sample);
-            double loss = _supernet.accumulateGradients(lease.batch());
-            (void)loss;
-            lease.markAlphaUse();
-            lease.markWeightUse();
+    // so early rewards reflect architecture, not initialization. Shards
+    // run concurrently; the shared supernet + pipeline region is entered
+    // in shard-index order, so batches and gradient accumulation match
+    // the serial schedule exactly.
+    if (!resumed) {
+        for (size_t step = 0; step < _config.warmupSteps; ++step) {
+            auto report = runner.runStep(step, [&](size_t s) {
+                auto sample =
+                    _space.decisions().uniformSample(shard_rngs[s]);
+                exec::OrderedSection::Guard guard(runner.ordered(), s);
+                auto lease = _pipeline.lease();
+                _supernet.configure(sample);
+                (void)_supernet.accumulateGradients(lease.batch());
+                lease.markAlphaUse();
+                lease.markWeightUse();
+            });
+            size_t live = report.numOk();
+            if (live > 0) {
+                _supernet.applyGradients(_config.weightLr /
+                                         static_cast<double>(live));
+            }
         }
-        _supernet.applyGradients(_config.weightLr /
-                                 static_cast<double>(_config.numShards));
     }
 
     // --- Unified single-step search (Figure 2, right).
-    for (size_t step = 0; step < _config.numSteps; ++step) {
-        size_t n = _config.numShards;
+    for (size_t step = start_step; step < _config.numSteps; ++step) {
         std::vector<searchspace::Sample> samples(n);
-        std::vector<double> qualities(n), rewards(n);
+        std::vector<double> qualities(n, 0.0), rewards(n, 0.0);
+        std::vector<double> losses(n, 0.0);
         std::vector<std::vector<double>> perfs(n);
-        double step_loss = 0.0;
 
-        // Stage (1): each shard samples its own candidate from pi.
-        for (size_t s = 0; s < n; ++s)
-            samples[s] = controller.policy().sample(shard_rngs[s]);
-
-        // Stages (1)-(3) per shard: one forward pass on a FRESH batch
+        // Stages (1)-(3) per shard, concurrently. Sampling draws from
+        // the shard's own stream; the forward pass on a FRESH batch
         // yields the quality signal (alpha use) and the gradients for
-        // the weight update (W use) — in that mandatory order.
-        for (size_t s = 0; s < n; ++s) {
-            auto lease = _pipeline.lease();
-            _supernet.configure(samples[s]);
-            double loss = _supernet.accumulateGradients(lease.batch());
-            lease.markAlphaUse();
-            qualities[s] = -loss; // quality = negated log-loss
-            perfs[s] = _perf(samples[s]);
-            rewards[s] = _reward.compute({qualities[s], perfs[s]});
-            lease.markWeightUse();
-            step_loss += loss;
-        }
+        // the weight update (W use) — in that mandatory order — inside
+        // the deterministic ordered section.
+        auto report = runner.runStep(
+            _config.warmupSteps + step, [&](size_t s) {
+                samples[s] = controller.policy().sample(shard_rngs[s]);
+                {
+                    exec::OrderedSection::Guard guard(runner.ordered(),
+                                                      s);
+                    auto lease = _pipeline.lease();
+                    _supernet.configure(samples[s]);
+                    losses[s] =
+                        _supernet.accumulateGradients(lease.batch());
+                    lease.markAlphaUse();
+                    lease.markWeightUse();
+                }
+                qualities[s] = -losses[s]; // quality = negated log-loss
+                perfs[s] = _perf(samples[s]);
+                rewards[s] = _reward.compute({qualities[s], perfs[s]});
+            });
 
-        // Stage (2): cross-shard policy update.
-        auto cstats = controller.update(samples, rewards);
-
-        // Stage (3): cross-shard (merged) weight update.
-        _supernet.applyGradients(_config.weightLr / static_cast<double>(n));
-
+        // Graceful degradation: aggregate over the shards that survived
+        // this step; baselines scale with the live shard count.
+        auto live = report.survivors();
         H2oStepStats st;
         st.step = step;
-        st.meanReward = cstats.meanReward;
-        st.meanQuality = common::mean(qualities);
-        st.meanEntropy = cstats.meanEntropy;
-        st.trainLoss = step_loss / static_cast<double>(n);
-        _stats.push_back(st);
-        outcome.finalMeanReward = cstats.meanReward;
-        outcome.finalEntropy = cstats.meanEntropy;
+        st.liveShards = live.size();
+        if (!live.empty()) {
+            std::vector<searchspace::Sample> live_samples;
+            std::vector<double> live_rewards, live_qualities,
+                live_losses;
+            live_samples.reserve(live.size());
+            for (size_t s : live) {
+                live_samples.push_back(samples[s]);
+                live_rewards.push_back(rewards[s]);
+                live_qualities.push_back(qualities[s]);
+                live_losses.push_back(losses[s]);
+            }
 
-        for (size_t s = 0; s < n; ++s) {
-            outcome.history.push_back({std::move(samples[s]), qualities[s],
-                                       std::move(perfs[s]), rewards[s],
-                                       step});
+            // Stage (2): cross-shard policy update over survivors.
+            auto cstats = controller.update(live_samples, live_rewards);
+
+            // Stage (3): cross-shard (merged) weight update, scaled by
+            // the number of shards that actually contributed gradients.
+            _supernet.applyGradients(
+                _config.weightLr / static_cast<double>(live.size()));
+
+            st.meanReward = cstats.meanReward;
+            st.meanQuality = common::mean(live_qualities);
+            st.meanEntropy = cstats.meanEntropy;
+            st.trainLoss = common::mean(live_losses);
+            outcome.finalMeanReward = cstats.meanReward;
+            outcome.finalEntropy = cstats.meanEntropy;
+
+            for (size_t s : live) {
+                outcome.history.push_back({std::move(samples[s]),
+                                           qualities[s],
+                                           std::move(perfs[s]),
+                                           rewards[s], step});
+            }
+        } else {
+            // Every shard lost: the step is skipped entirely (no policy
+            // or weight update), which a preemptible fleet survives.
+            st.meanEntropy = controller.policy().meanEntropy();
+            common::warn("search step ", step,
+                         " lost all shards; skipping update");
+        }
+        _stats.push_back(st);
+
+        if (checkpointing && ((step + 1) % _config.checkpointEvery == 0 ||
+                              step + 1 == _config.numSteps)) {
+            saveCheckpoint(step + 1, controller, shard_rngs, outcome);
         }
     }
     outcome.finalSample = controller.policy().argmax();
     return outcome;
+}
+
+// ------------------------------------------------------- checkpointing
+
+namespace {
+constexpr uint64_t kCheckpointVersion = 1;
+} // namespace
+
+void
+H2oDlrmSearch::saveCheckpoint(
+    size_t next_step, const controller::ReinforceController &controller,
+    const std::vector<common::Rng> &shard_rngs,
+    const SearchOutcome &outcome) const
+{
+    exec::CheckpointWriter writer;
+    std::ostream &os = writer.stream();
+
+    common::writeTaggedU64(os, "h2o_search_ckpt",
+                           {kCheckpointVersion, next_step,
+                            _config.numShards, _config.numSteps,
+                            _config.warmupSteps});
+    controller.save(os);
+    _supernet.save(os);
+    _pipeline.save(os);
+    for (const auto &r : shard_rngs)
+        r.save(os);
+
+    // Step telemetry.
+    std::vector<uint64_t> stat_steps, stat_live;
+    std::vector<double> stat_reward, stat_quality, stat_entropy,
+        stat_loss;
+    for (const auto &st : _stats) {
+        stat_steps.push_back(st.step);
+        stat_live.push_back(st.liveShards);
+        stat_reward.push_back(st.meanReward);
+        stat_quality.push_back(st.meanQuality);
+        stat_entropy.push_back(st.meanEntropy);
+        stat_loss.push_back(st.trainLoss);
+    }
+    common::writeTaggedU64(os, "stat_steps", stat_steps);
+    common::writeTaggedU64(os, "stat_live", stat_live);
+    common::writeTagged(os, "stat_reward", stat_reward);
+    common::writeTagged(os, "stat_quality", stat_quality);
+    common::writeTagged(os, "stat_entropy", stat_entropy);
+    common::writeTagged(os, "stat_loss", stat_loss);
+
+    // Search outcome so far. Samples all have numDecisions entries and
+    // rewards have a fixed objective count, so the history flattens into
+    // parallel arrays.
+    common::writeTagged(os, "outcome_finals",
+                        {outcome.finalMeanReward, outcome.finalEntropy});
+    std::vector<uint64_t> hist_samples, hist_steps, hist_perf_lens;
+    std::vector<double> hist_quality, hist_reward, hist_perfs;
+    for (const auto &rec : outcome.history) {
+        for (size_t v : rec.sample)
+            hist_samples.push_back(v);
+        hist_steps.push_back(rec.step);
+        hist_quality.push_back(rec.quality);
+        hist_reward.push_back(rec.reward);
+        hist_perf_lens.push_back(rec.performance.size());
+        for (double p : rec.performance)
+            hist_perfs.push_back(p);
+    }
+    common::writeTaggedU64(os, "hist_count", {outcome.history.size()});
+    common::writeTaggedU64(os, "hist_samples", hist_samples);
+    common::writeTaggedU64(os, "hist_steps", hist_steps);
+    common::writeTaggedU64(os, "hist_perf_lens", hist_perf_lens);
+    common::writeTagged(os, "hist_quality", hist_quality);
+    common::writeTagged(os, "hist_reward", hist_reward);
+    common::writeTagged(os, "hist_perfs", hist_perfs);
+
+    writer.commit(_config.checkpointPath);
+}
+
+size_t
+H2oDlrmSearch::loadCheckpoint(controller::ReinforceController &controller,
+                              std::vector<common::Rng> &shard_rngs,
+                              SearchOutcome &outcome)
+{
+    exec::CheckpointReader reader(_config.checkpointPath);
+    std::istream &is = reader.stream();
+
+    auto header = common::readTaggedU64(is, "h2o_search_ckpt");
+    if (header.size() != 5 || header[0] != kCheckpointVersion)
+        h2o_fatal("unsupported search checkpoint header in '",
+                  _config.checkpointPath, "'");
+    if (header[2] != _config.numShards ||
+        header[4] != _config.warmupSteps) {
+        h2o_fatal("checkpoint was taken with ", header[2], " shards / ",
+                  header[4], " warmup steps; config has ",
+                  _config.numShards, " / ", _config.warmupSteps);
+    }
+    size_t next_step = header[1];
+
+    controller.load(is);
+    _supernet.load(is);
+    _pipeline.load(is);
+    for (auto &r : shard_rngs)
+        r.load(is);
+
+    auto stat_steps = common::readTaggedU64(is, "stat_steps");
+    auto stat_live = common::readTaggedU64(is, "stat_live");
+    auto stat_reward = common::readTagged(is, "stat_reward");
+    auto stat_quality = common::readTagged(is, "stat_quality");
+    auto stat_entropy = common::readTagged(is, "stat_entropy");
+    auto stat_loss = common::readTagged(is, "stat_loss");
+    if (stat_live.size() != stat_steps.size() ||
+        stat_reward.size() != stat_steps.size() ||
+        stat_quality.size() != stat_steps.size() ||
+        stat_entropy.size() != stat_steps.size() ||
+        stat_loss.size() != stat_steps.size())
+        h2o_fatal("inconsistent telemetry arrays in checkpoint");
+    _stats.clear();
+    for (size_t i = 0; i < stat_steps.size(); ++i) {
+        _stats.push_back({stat_steps[i], stat_reward[i], stat_quality[i],
+                          stat_entropy[i], stat_loss[i],
+                          static_cast<size_t>(stat_live[i])});
+    }
+
+    auto finals = common::readTagged(is, "outcome_finals");
+    if (finals.size() != 2)
+        h2o_fatal("malformed outcome finals in checkpoint");
+    outcome.finalMeanReward = finals[0];
+    outcome.finalEntropy = finals[1];
+
+    size_t decisions = _space.decisions().numDecisions();
+    auto hist_count = common::readTaggedU64(is, "hist_count");
+    auto hist_samples = common::readTaggedU64(is, "hist_samples");
+    auto hist_steps = common::readTaggedU64(is, "hist_steps");
+    auto hist_perf_lens = common::readTaggedU64(is, "hist_perf_lens");
+    auto hist_quality = common::readTagged(is, "hist_quality");
+    auto hist_reward = common::readTagged(is, "hist_reward");
+    auto hist_perfs = common::readTagged(is, "hist_perfs");
+    if (hist_count.size() != 1)
+        h2o_fatal("malformed history count in checkpoint");
+    size_t records = hist_count[0];
+    if (hist_samples.size() != records * decisions ||
+        hist_steps.size() != records ||
+        hist_perf_lens.size() != records ||
+        hist_quality.size() != records || hist_reward.size() != records)
+        h2o_fatal("inconsistent history arrays in checkpoint");
+
+    outcome.history.clear();
+    outcome.history.reserve(records);
+    size_t perf_cursor = 0;
+    for (size_t i = 0; i < records; ++i) {
+        CandidateRecord rec;
+        rec.sample.assign(hist_samples.begin() +
+                              static_cast<ptrdiff_t>(i * decisions),
+                          hist_samples.begin() +
+                              static_cast<ptrdiff_t>((i + 1) * decisions));
+        rec.quality = hist_quality[i];
+        rec.reward = hist_reward[i];
+        rec.step = hist_steps[i];
+        size_t len = hist_perf_lens[i];
+        if (perf_cursor + len > hist_perfs.size())
+            h2o_fatal("truncated history performance values");
+        rec.performance.assign(
+            hist_perfs.begin() + static_cast<ptrdiff_t>(perf_cursor),
+            hist_perfs.begin() + static_cast<ptrdiff_t>(perf_cursor + len));
+        perf_cursor += len;
+        outcome.history.push_back(std::move(rec));
+    }
+    return next_step;
 }
 
 } // namespace h2o::search

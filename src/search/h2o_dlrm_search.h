@@ -23,15 +23,28 @@
  * pi is always learned on data W has never seen — the property that
  * replaces the train/validation split (Section 4.1).
  *
- * Substitution note: the shards share one in-memory super-network
- * (threads stand in for TPU cores), so stages serialize around the
- * supernet while preserving the exact cross-shard aggregation semantics.
+ * Execution model: steps run on the h2o::exec runtime. Shards of one
+ * step execute concurrently on a persistent worker pool (threads stand
+ * in for TPU cores); policy sampling, perf-model queries and reward
+ * computation are fully parallel, while the shared super-network and the
+ * batch pipeline are entered through a deterministic shard-index-ordered
+ * critical section. The cross-shard aggregation therefore stays
+ * bit-for-bit identical to a serial run at any thread count. With a
+ * FaultInjector attached, the runtime also reproduces the paper's
+ * preemptible-fleet reality: failed shards retry with backoff, preempted
+ * shards are dropped and the step aggregates over the survivors with
+ * scaled baselines. With a checkpoint path configured, the full search
+ * state (policy, baseline, supernet weights, pipeline cursor, shard RNG
+ * streams, telemetry, candidate history) is committed atomically every
+ * few steps, and a restarted search resumes to an identical
+ * SearchOutcome.
  */
 
 #ifndef H2O_SEARCH_H2O_DLRM_SEARCH_H
 #define H2O_SEARCH_H2O_DLRM_SEARCH_H
 
 #include <functional>
+#include <string>
 
 #include "common/rng.h"
 #include "controller/reinforce.h"
@@ -40,6 +53,8 @@
 #include "search/surrogate_search.h"
 #include "searchspace/dlrm_space.h"
 #include "supernet/dlrm_supernet.h"
+
+namespace h2o::exec { class FaultInjector; }
 
 namespace h2o::search {
 
@@ -56,6 +71,25 @@ struct H2oSearchConfig
      *  updates) so early rewards are not dominated by random init. */
     size_t warmupSteps = 30;
     controller::ReinforceConfig rl{};
+
+    // --- Execution runtime (h2o::exec).
+    /** Worker threads for shard evaluation; 0 = one per hardware
+     *  thread. Clamped to numShards. Any value yields bit-identical
+     *  results at the same seed. */
+    size_t threads = 0;
+    /** Optional fault oracle (preemptible-fleet emulation); not owned. */
+    exec::FaultInjector *faults = nullptr;
+    /** Max attempts per shard per step before it is dropped. */
+    size_t maxShardAttempts = 3;
+    /** Exponential retry backoff base, in milliseconds. */
+    double retryBackoffMs = 0.5;
+
+    // --- Checkpoint/resume.
+    /** Checkpoint file; empty disables checkpointing. When the file
+     *  already exists, run() resumes from it instead of starting over. */
+    std::string checkpointPath;
+    /** Steps between checkpoint commits. */
+    size_t checkpointEvery = 1;
 };
 
 /** Step-level telemetry. */
@@ -66,6 +100,8 @@ struct H2oStepStats
     double meanQuality = 0.0;
     double meanEntropy = 0.0;
     double trainLoss = 0.0;
+    /** Shards that survived this step (== numShards without faults). */
+    size_t liveShards = 0;
 };
 
 /** The unified single-step DLRM searcher. */
@@ -85,13 +121,22 @@ class H2oDlrmSearch
                   const reward::RewardFunction &rewardf,
                   H2oSearchConfig config);
 
-    /** Run the search to completion. */
+    /** Run the search to completion (resuming from the configured
+     *  checkpoint when one exists). */
     SearchOutcome run(common::Rng &rng);
 
     /** Per-step telemetry from the last run(). */
     const std::vector<H2oStepStats> &stepStats() const { return _stats; }
 
   private:
+    void saveCheckpoint(size_t next_step,
+                        const controller::ReinforceController &controller,
+                        const std::vector<common::Rng> &shard_rngs,
+                        const SearchOutcome &outcome) const;
+    size_t loadCheckpoint(controller::ReinforceController &controller,
+                          std::vector<common::Rng> &shard_rngs,
+                          SearchOutcome &outcome);
+
     const searchspace::DlrmSearchSpace &_space;
     supernet::DlrmSupernet &_supernet;
     pipeline::InMemoryPipeline &_pipeline;

@@ -1,8 +1,9 @@
 #include "search/surrogate_search.h"
 
-#include <thread>
-
 #include "common/logging.h"
+#include "exec/fault_injector.h"
+#include "exec/shard_runner.h"
+#include "exec/thread_pool.h"
 
 namespace h2o::search {
 
@@ -24,46 +25,54 @@ SurrogateSearch::run(common::Rng &rng)
     controller::ReinforceController controller(_space, _config.rl);
     SearchOutcome outcome;
     outcome.history.reserve(_config.numSteps * _config.samplesPerStep);
+    const size_t n = _config.samplesPerStep;
 
     // Per-shard RNG streams, deterministic regardless of thread timing.
-    std::vector<common::Rng> shard_rngs;
-    for (size_t s = 0; s < _config.samplesPerStep; ++s)
-        shard_rngs.push_back(rng.fork(s + 1));
+    auto shard_rngs = exec::ThreadPool::splitRngs(rng, n);
+
+    exec::ThreadPool pool(
+        _config.multithread ? exec::ThreadPool::resolve(_config.threads, n)
+                            : 1);
+    exec::ShardRunner runner(pool,
+                             {n, _config.maxShardAttempts,
+                              _config.retryBackoffMs},
+                             _config.faults);
 
     for (size_t step = 0; step < _config.numSteps; ++step) {
-        size_t n = _config.samplesPerStep;
         std::vector<searchspace::Sample> samples(n);
-        std::vector<double> qualities(n), rewards(n);
+        std::vector<double> qualities(n, 0.0), rewards(n, 0.0);
         std::vector<std::vector<double>> perfs(n);
 
-        // Stage 1 (Figure 2): each shard samples its own candidate.
-        for (size_t s = 0; s < n; ++s)
+        // Stages (1)-(2) of Figure 2, per shard: sample a candidate from
+        // pi on the shard's own stream, then evaluate quality +
+        // performance. Shards share no mutable state, so no ordered
+        // section is needed here.
+        auto report = runner.runStep(step, [&](size_t s) {
             samples[s] = controller.policy().sample(shard_rngs[s]);
-
-        // Stage 2: evaluate quality + performance per shard.
-        auto eval_shard = [&](size_t s) {
             qualities[s] = _quality(samples[s]);
             perfs[s] = _perf(samples[s]);
             rewards[s] = _reward.compute({qualities[s], perfs[s]});
-        };
-        if (_config.multithread && n > 1) {
-            std::vector<std::thread> threads;
-            threads.reserve(n);
-            for (size_t s = 0; s < n; ++s)
-                threads.emplace_back(eval_shard, s);
-            for (auto &t : threads)
-                t.join();
-        } else {
-            for (size_t s = 0; s < n; ++s)
-                eval_shard(s);
-        }
+        });
 
-        // Stage 3: cross-shard policy update.
-        auto stats = controller.update(samples, rewards);
+        // Stage (3): cross-shard policy update over the survivors.
+        auto live = report.survivors();
+        if (live.empty()) {
+            common::warn("surrogate step ", step,
+                         " lost all shards; skipping update");
+            continue;
+        }
+        std::vector<searchspace::Sample> live_samples;
+        std::vector<double> live_rewards;
+        live_samples.reserve(live.size());
+        for (size_t s : live) {
+            live_samples.push_back(samples[s]);
+            live_rewards.push_back(rewards[s]);
+        }
+        auto stats = controller.update(live_samples, live_rewards);
         outcome.finalMeanReward = stats.meanReward;
         outcome.finalEntropy = stats.meanEntropy;
 
-        for (size_t s = 0; s < n; ++s) {
+        for (size_t s : live) {
             outcome.history.push_back({std::move(samples[s]), qualities[s],
                                        std::move(perfs[s]), rewards[s],
                                        step});

@@ -11,8 +11,10 @@
  * is the same code path the DLRM search uses.
  *
  * Each step draws `samplesPerStep` candidates (the virtual accelerator
- * shards of Figure 2), evaluates them concurrently, and applies one
- * aggregated policy update.
+ * shards of Figure 2), evaluates them concurrently on the h2o::exec
+ * runtime's persistent worker pool, and applies one aggregated policy
+ * update over the shards that survived the step (all of them unless a
+ * FaultInjector is attached).
  */
 
 #ifndef H2O_SEARCH_SURROGATE_SEARCH_H
@@ -26,6 +28,8 @@
 #include "reward/reward.h"
 #include "search/pareto.h"
 #include "searchspace/decision_space.h"
+
+namespace h2o::exec { class FaultInjector; }
 
 namespace h2o::search {
 
@@ -61,7 +65,18 @@ struct SurrogateSearchConfig
     size_t numSteps = 200;
     size_t samplesPerStep = 16; ///< parallel shards per step
     controller::ReinforceConfig rl{};
-    bool multithread = true;    ///< evaluate shards on std::threads
+    /** Evaluate shards on the worker pool; false forces a pool of one
+     *  worker (results are bit-identical either way). */
+    bool multithread = true;
+    /** Worker threads when multithread; 0 = one per hardware thread.
+     *  Clamped to samplesPerStep. */
+    size_t threads = 0;
+    /** Optional fault oracle (preemptible-fleet emulation); not owned. */
+    exec::FaultInjector *faults = nullptr;
+    /** Max attempts per shard per step before it is dropped. */
+    size_t maxShardAttempts = 3;
+    /** Exponential retry backoff base, in milliseconds. */
+    double retryBackoffMs = 0.5;
 };
 
 /** The surrogate-quality searcher. */

@@ -1,6 +1,9 @@
 #include "search/tunas_search.h"
 
 #include "common/logging.h"
+#include "exec/fault_injector.h"
+#include "exec/shard_runner.h"
+#include "exec/thread_pool.h"
 
 namespace h2o::search {
 
@@ -24,19 +27,32 @@ TunasSearch::run(common::Rng &rng)
     SearchOutcome outcome;
     common::Rng sample_rng = rng.fork(1);
 
+    // TuNAS "was not built for hyperscale deployments, and therefore
+    // lacks parallelism": a single worker and a single shard. Running it
+    // through the exec runtime anyway gives the baseline the same
+    // fault-tolerance story (retry with backoff; a preempted step is
+    // simply lost) so head-to-head fleet experiments are fair.
+    exec::ThreadPool pool(1);
+    exec::ShardRunner runner(pool,
+                             {1, _config.maxShardAttempts,
+                              _config.retryBackoffMs},
+                             _config.faults);
+
     for (size_t step = 0; step < _config.warmupSteps; ++step) {
-        auto sample = _space.decisions().uniformSample(sample_rng);
-        auto lease = _pipeline.lease();
-        _supernet.configure(sample);
-        _supernet.accumulateGradients(lease.batch());
-        lease.markAlphaUse(); // satisfies the pipeline ordering contract
-        lease.markWeightUse();
-        _supernet.applyGradients(_config.weightLr);
+        runner.runStep(step, [&](size_t) {
+            auto sample = _space.decisions().uniformSample(sample_rng);
+            auto lease = _pipeline.lease();
+            _supernet.configure(sample);
+            _supernet.accumulateGradients(lease.batch());
+            lease.markAlphaUse(); // satisfies the pipeline ordering contract
+            lease.markWeightUse();
+            _supernet.applyGradients(_config.weightLr);
+        });
     }
 
     for (size_t iter = 0; iter < _config.numIterations; ++iter) {
         // --- W-step on a "training" batch.
-        {
+        runner.runStep(_config.warmupSteps + 2 * iter, [&](size_t) {
             auto sample = controller.policy().sample(sample_rng);
             auto lease = _pipeline.lease();
             _supernet.configure(sample);
@@ -44,9 +60,9 @@ TunasSearch::run(common::Rng &rng)
             lease.markAlphaUse();
             lease.markWeightUse();
             _supernet.applyGradients(_config.weightLr);
-        }
+        });
         // --- pi-step on a separate "validation" batch (never trains W).
-        {
+        runner.runStep(_config.warmupSteps + 2 * iter + 1, [&](size_t) {
             auto sample = controller.policy().sample(sample_rng);
             auto lease = _pipeline.lease();
             _supernet.configure(sample);
@@ -60,7 +76,7 @@ TunasSearch::run(common::Rng &rng)
             outcome.finalEntropy = cstats.meanEntropy;
             outcome.history.push_back(
                 {std::move(sample), quality, std::move(perf), rwd, iter});
-        }
+        });
     }
     outcome.finalSample = controller.policy().argmax();
     return outcome;

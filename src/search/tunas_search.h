@@ -29,6 +29,8 @@
 #include "searchspace/dlrm_space.h"
 #include "supernet/dlrm_supernet.h"
 
+namespace h2o::exec { class FaultInjector; }
+
 namespace h2o::search {
 
 /** Configuration of the alternating baseline. */
@@ -38,6 +40,13 @@ struct TunasSearchConfig
     double weightLr = 0.05;
     size_t warmupSteps = 30;
     controller::ReinforceConfig rl{};
+    /** Optional fault oracle; TuNAS has a single (non-sharded) worker,
+     *  so a preempted step is simply lost. Not owned. */
+    exec::FaultInjector *faults = nullptr;
+    /** Max attempts per step before it is dropped. */
+    size_t maxShardAttempts = 3;
+    /** Exponential retry backoff base, in milliseconds. */
+    double retryBackoffMs = 0.5;
 };
 
 /** The TuNAS alternating two-step searcher. */

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "nn/loss.h"
 
 namespace h2o::supernet {
@@ -113,6 +114,7 @@ DlrmSupernet::DlrmSupernet(const searchspace::DlrmSearchSpace &space,
     }
     for (auto &p : _logit->params())
         params.push_back(p);
+    _allParams = params;
     _optimizer = std::make_unique<nn::SgdOptimizer>(std::move(params),
                                                     /*lr=*/0.05);
 }
@@ -475,6 +477,40 @@ DlrmSupernet::totalParamCount() const
     }
     total += _logit->maxIn() + 1;
     return total;
+}
+
+void
+DlrmSupernet::save(std::ostream &os) const
+{
+    common::writeTaggedScalar(os, "supernet_tensors",
+                              static_cast<double>(_allParams.size()));
+    for (size_t i = 0; i < _allParams.size(); ++i) {
+        const auto &data = _allParams[i].value->data();
+        // float -> double is exact, and the tagged writer emits enough
+        // digits for an exact double round-trip.
+        std::vector<double> values(data.begin(), data.end());
+        common::writeTagged(os, "w" + std::to_string(i), values);
+    }
+}
+
+void
+DlrmSupernet::load(std::istream &is)
+{
+    size_t tensors = static_cast<size_t>(
+        common::readTaggedScalar(is, "supernet_tensors"));
+    if (tensors != _allParams.size())
+        h2o_fatal("supernet checkpoint has ", tensors,
+                  " tensors, this supernet has ", _allParams.size());
+    for (size_t i = 0; i < _allParams.size(); ++i) {
+        auto values = common::readTagged(is, "w" + std::to_string(i));
+        auto &data = _allParams[i].value->data();
+        if (values.size() != data.size())
+            h2o_fatal("supernet checkpoint tensor ", i, " has ",
+                      values.size(), " values, expected ", data.size());
+        for (size_t j = 0; j < data.size(); ++j)
+            data[j] = static_cast<float>(values[j]);
+        _allParams[i].grad->zero();
+    }
 }
 
 } // namespace h2o::supernet

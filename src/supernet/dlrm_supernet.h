@@ -25,7 +25,9 @@
 #ifndef H2O_SUPERNET_DLRM_SUPERNET_H
 #define H2O_SUPERNET_DLRM_SUPERNET_H
 
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <vector>
 
 #include "common/rng.h"
@@ -117,6 +119,21 @@ class DlrmSupernet
     bool configured() const { return _configured; }
 
     /**
+     * Checkpoint every shared parameter tensor (preemptible-fleet
+     * resume). Gradient accumulators are not persisted: checkpoints are
+     * taken between steps, where they are zero. Exact: float values
+     * round-trip bit-for-bit through the tagged text format.
+     */
+    void save(std::ostream &os) const;
+
+    /**
+     * Restore checkpointed weights into the shared storage; fatal when
+     * the checkpoint's tensor structure does not match this supernet.
+     * Zeroes all gradient accumulators.
+     */
+    void load(std::istream &is);
+
+    /**
      * Extract the currently-configured sub-network as a standalone
      * model: the selected candidate's weights are COPIED out of the
      * shared storage, so the search's own training is reused directly
@@ -175,6 +192,8 @@ class DlrmSupernet
     size_t _bottomOutWidth = 0;
 
     std::unique_ptr<nn::SgdOptimizer> _optimizer;
+    /** Every shared parameter, in construction order (checkpointing). */
+    std::vector<nn::ParamRef> _allParams;
 };
 
 } // namespace h2o::supernet
