@@ -25,6 +25,7 @@
 #include "common/table.h"
 #include "reward/reward.h"
 #include "search/surrogate_search.h"
+#include "search/telemetry.h"
 #include "searchspace/dlrm_space.h"
 
 using namespace h2o;
@@ -83,9 +84,13 @@ main(int argc, char **argv)
     auto quality_fn = [&](const searchspace::Sample &s) {
         return 100.0 * baselines::dlrmQualitySurrogate(space.decode(s));
     };
+    // Memoize step-time simulation: as the RL policy converges it
+    // re-samples the same candidates, and those repeats hit the cache.
+    // SimCache is thread-safe, so the sharded evaluators share it.
+    bench::CachedDlrmTimer timer(platform, hw::servingPlatform());
     auto perf_fn = [&](const searchspace::Sample &s) {
         arch::DlrmArch a = space.decode(s);
-        return std::vector<double>{bench::dlrmTrainStepTime(a, platform),
+        return std::vector<double>{timer.trainStepTime(space, s),
                                    a.modelBytes()};
     };
     reward::ReluReward rwd({{"step_time", base_bd.stepSec, -2.0},
@@ -143,5 +148,7 @@ main(int argc, char **argv)
               << " (paper: ~1.1x / 10%), quality delta "
               << common::AsciiTable::pct(h_quality - base_quality, 3)
               << " (paper: +0.02%)\n";
+    std::cout << "SimCache counters:\n";
+    search::writeSimCacheStatsCsv(timer.cacheStats(), std::cout);
     return 0;
 }

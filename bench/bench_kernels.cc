@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Hot-path micro-benchmark: A/B of the reference (naive scalar) vs tiled
+ * matmul kernels at super-network shapes, steady-state allocations per
+ * training step, and the SimCache hit rate on a repeat-heavy evaluation
+ * stream. Emits machine-readable JSON (BENCH_kernels.json) so perf
+ * regressions are diffable across commits; registered as a ctest smoke
+ * with a tiny iteration count.
+ *
+ * Reported metrics:
+ *  - GFLOP/s per masked kernel (matmul / transA / transB), reference vs
+ *    tiled, at the DLRM supernet's bottom-MLP shape;
+ *  - tensor allocations on the first (warm-up) supernet-style training
+ *    step vs a steady-state step (target: 0);
+ *  - SimCache hit/miss counters for a stream that revisits candidates.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/dlrm_arch.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "nn/mlp.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "searchspace/dlrm_space.h"
+
+using namespace h2o;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+nn::Tensor
+randomTensor(size_t rows, size_t cols, common::Rng &rng)
+{
+    nn::Tensor t(rows, cols);
+    for (size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.normal());
+    return t;
+}
+
+struct KernelScore
+{
+    double referenceGflops = 0.0;
+    double tiledGflops = 0.0;
+    double speedup() const
+    {
+        return referenceGflops > 0.0 ? tiledGflops / referenceGflops : 0.0;
+    }
+};
+
+/** Time fn(iterations) doing `flops` useful FLOPs per call. */
+template <typename Fn>
+double
+gflops(size_t iters, double flops_per_call, Fn &&fn)
+{
+    // One untimed call to warm caches and fault in pages.
+    fn();
+    auto start = Clock::now();
+    for (size_t i = 0; i < iters; ++i)
+        fn();
+    double sec = secondsSince(start);
+    return flops_per_call * double(iters) / sec / 1e9;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    common::Flags flags;
+    flags.defineInt("iters", 200, "timed iterations per kernel");
+    flags.defineInt("m", 256, "rows (supernet batch)");
+    flags.defineInt("k", 512, "inner dim (bottom-MLP input width)");
+    flags.defineInt("n", 256, "cols (bottom-MLP output width)");
+    flags.defineInt("seed", 11, "RNG seed");
+    flags.defineString("json", "BENCH_kernels.json",
+                       "output path for the JSON report");
+    flags.parse(argc, argv);
+
+    size_t iters = static_cast<size_t>(flags.getInt("iters"));
+    size_t m = static_cast<size_t>(flags.getInt("m"));
+    size_t k = static_cast<size_t>(flags.getInt("k"));
+    size_t n = static_cast<size_t>(flags.getInt("n"));
+    common::Rng rng(static_cast<uint64_t>(flags.getInt("seed")));
+
+    // --- Kernel A/B at supernet shapes (full active masks: the worst
+    // case for the reference kernel's zero-skip, the common case for a
+    // configured candidate).
+    nn::Tensor a = randomTensor(m, k, rng);
+    nn::Tensor b = randomTensor(k, n, rng);
+    nn::Tensor bt = randomTensor(k, n, rng); // used transposed: C = A * B^T
+    nn::Tensor c(m, n), ct(k, n), cb(m, k);
+
+    double mm_flops = 2.0 * double(m) * double(k) * double(n);
+    KernelScore matmul, transa, transb;
+    matmul.referenceGflops = gflops(iters, mm_flops, [&] {
+        nn::reference::matmulMasked(a, b, c, k, n);
+    });
+    matmul.tiledGflops = gflops(iters, mm_flops, [&] {
+        nn::tiled::matmulMasked(a, b, c, k, n);
+    });
+    ct.zero();
+    transa.referenceGflops = gflops(iters, mm_flops, [&] {
+        nn::reference::matmulTransAMasked(a, c, ct, k, n);
+    });
+    ct.zero();
+    transa.tiledGflops = gflops(iters, mm_flops, [&] {
+        nn::tiled::matmulTransAMasked(a, c, ct, k, n);
+    });
+    transb.referenceGflops = gflops(iters, mm_flops, [&] {
+        nn::reference::matmulTransBMasked(c, bt, cb, n, k);
+    });
+    transb.tiledGflops = gflops(iters, mm_flops, [&] {
+        nn::tiled::matmulTransBMasked(c, bt, cb, n, k);
+    });
+
+    // --- Allocations per training step: an MLP forward/backward at the
+    // same shapes, first step (buffers grown) vs steady state (reused).
+    nn::Mlp mlp({k, n, n, 1}, nn::Activation::ReLU,
+                nn::Activation::Identity, rng);
+    nn::Tensor x = randomTensor(m, k, rng);
+    nn::Tensor grad = randomTensor(m, 1, rng);
+    nn::resetTensorAllocCount();
+    mlp.forward(x);
+    mlp.backward(grad);
+    size_t first_step_allocs = nn::tensorAllocCount();
+    nn::resetTensorAllocCount();
+    for (size_t s = 0; s < 10; ++s) {
+        mlp.forward(x);
+        mlp.backward(grad);
+    }
+    size_t steady_allocs = nn::tensorAllocCount() / 10;
+
+    // --- SimCache hit rate on a repeat-heavy stream: a candidate pool
+    // evaluated round-robin, as paired eval sets / converged policies do.
+    searchspace::DlrmSearchSpace space(arch::baselineDlrm());
+    bench::CachedDlrmTimer timer(hw::trainingPlatform(),
+                                 hw::servingPlatform());
+    size_t pool_size = 32;
+    size_t evals = std::max<size_t>(iters, 64);
+    std::vector<searchspace::Sample> pool;
+    for (size_t i = 0; i < pool_size; ++i)
+        pool.push_back(space.decisions().uniformSample(rng));
+    auto sim_start = Clock::now();
+    double checksum = 0.0;
+    for (size_t i = 0; i < evals; ++i)
+        checksum += timer.trainStepTime(space, pool[i % pool.size()]);
+    double sim_sec = secondsSince(sim_start);
+    sim::SimCacheStats cache = timer.cacheStats();
+
+    // --- Report.
+    std::cout << "kernel GFLOP/s at (" << m << " x " << k << " x " << n
+              << "), " << iters << " iters:\n";
+    auto line = [](const char *name, const KernelScore &s) {
+        std::cout << "  " << name << ": reference " << s.referenceGflops
+                  << ", tiled " << s.tiledGflops << " (" << s.speedup()
+                  << "x)\n";
+    };
+    line("matmulMasked", matmul);
+    line("matmulTransAMasked", transa);
+    line("matmulTransBMasked", transb);
+    std::cout << "allocs/step: first " << first_step_allocs
+              << ", steady-state " << steady_allocs << "\n";
+    std::cout << "sim cache: " << cache.hits << " hits / " << cache.misses
+              << " misses (hit rate " << cache.hitRate() << ") over "
+              << evals << " evals in " << sim_sec
+              << " s (checksum " << checksum << ")\n";
+
+    std::string json_path = flags.getString("json");
+    std::ofstream js(json_path);
+    if (!js) {
+        std::cerr << "cannot open " << json_path << "\n";
+        return 1;
+    }
+    js << "{\n"
+       << "  \"shape\": {\"m\": " << m << ", \"k\": " << k << ", \"n\": "
+       << n << "},\n"
+       << "  \"iters\": " << iters << ",\n"
+       << "  \"gflops\": {\n"
+       << "    \"matmul_masked\": {\"reference\": " << matmul.referenceGflops
+       << ", \"tiled\": " << matmul.tiledGflops << ", \"speedup\": "
+       << matmul.speedup() << "},\n"
+       << "    \"matmul_transa_masked\": {\"reference\": "
+       << transa.referenceGflops << ", \"tiled\": " << transa.tiledGflops
+       << ", \"speedup\": " << transa.speedup() << "},\n"
+       << "    \"matmul_transb_masked\": {\"reference\": "
+       << transb.referenceGflops << ", \"tiled\": " << transb.tiledGflops
+       << ", \"speedup\": " << transb.speedup() << "}\n"
+       << "  },\n"
+       << "  \"allocs_per_step\": {\"first\": " << first_step_allocs
+       << ", \"steady\": " << steady_allocs << "},\n"
+       << "  \"sim_cache\": {\"hits\": " << cache.hits << ", \"misses\": "
+       << cache.misses << ", \"evictions\": " << cache.evictions
+       << ", \"hit_rate\": " << cache.hitRate() << "}\n"
+       << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+    return 0;
+}

@@ -12,6 +12,8 @@
 #include "arch/dlrm_arch.h"
 #include "arch/lowering.h"
 #include "hw/chip.h"
+#include "searchspace/dlrm_space.h"
+#include "sim/sim_cache.h"
 #include "sim/simulator.h"
 
 namespace h2o::bench {
@@ -52,6 +54,75 @@ throughputPerChip(double step_sec, double per_chip_batch)
 {
     return per_chip_batch / step_sec;
 }
+
+/**
+ * Memoized DLRM step-time evaluation: fronts `Simulator::run` with a
+ * `sim::SimCache` keyed by the candidate's canonical decision encoding
+ * plus an exec-mode tag and the simulator-config fingerprint. Candidates
+ * that recur — paired eval sets, a converging RL policy's repeats —
+ * skip decode, lowering, the compiler passes and the DAG walk entirely.
+ */
+class CachedDlrmTimer
+{
+  public:
+    CachedDlrmTimer(hw::Platform train_platform,
+                    hw::Platform serve_platform,
+                    size_t cache_capacity = 1 << 16)
+        : _train(train_platform), _serve(serve_platform),
+          _trainConfig{train_platform.chip, true, true, {}},
+          _serveConfig{serve_platform.chip, true, true, {}},
+          _cache(cache_capacity)
+    {
+    }
+
+    /** Training step time of the sample's decode on the train platform. */
+    double trainStepTime(const searchspace::DlrmSearchSpace &space,
+                         const searchspace::Sample &sample)
+    {
+        sim::SimCacheKey key =
+            sim::makeSimCacheKey(sample, kTrainTag, _trainConfig);
+        return _cache
+            .getOrCompute(key,
+                          [&] {
+                              arch::DlrmArch a = space.decode(sample);
+                              sim::Simulator simulator(_trainConfig);
+                              return simulator.run(arch::buildDlrmGraph(
+                                  a, _train, arch::ExecMode::Training));
+                          })
+            .stepTimeSec;
+    }
+
+    /** Serving step time (serving batch 1024, as dlrmServeStepTime). */
+    double serveStepTime(const searchspace::DlrmSearchSpace &space,
+                         const searchspace::Sample &sample)
+    {
+        sim::SimCacheKey key =
+            sim::makeSimCacheKey(sample, kServeTag, _serveConfig);
+        return _cache
+            .getOrCompute(key,
+                          [&] {
+                              arch::DlrmArch serving = space.decode(sample);
+                              serving.globalBatch = 1024;
+                              sim::Simulator simulator(_serveConfig);
+                              return simulator.run(arch::buildDlrmGraph(
+                                  serving, _serve,
+                                  arch::ExecMode::Serving));
+                          })
+            .stepTimeSec;
+    }
+
+    sim::SimCacheStats cacheStats() const { return _cache.stats(); }
+
+  private:
+    static constexpr uint64_t kTrainTag = 0;
+    static constexpr uint64_t kServeTag = 1;
+
+    hw::Platform _train;
+    hw::Platform _serve;
+    sim::SimConfig _trainConfig;
+    sim::SimConfig _serveConfig;
+    sim::SimCache _cache;
+};
 
 } // namespace h2o::bench
 

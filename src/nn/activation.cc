@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "nn/tensor.h"
 
 namespace h2o::nn {
 
@@ -14,7 +15,120 @@ sigmoidf(float x)
     return 1.0f / (1.0f + std::exp(-x));
 }
 
+/** Apply f element-wise: out[i] = f(pre[i]). */
+template <typename F>
+void
+mapTensor(const Tensor &pre, Tensor &out, F f)
+{
+    const float *p = pre.data().data();
+    float *o = out.data().data();
+    size_t n = pre.size();
+    for (size_t i = 0; i < n; ++i)
+        o[i] = f(p[i]);
+}
+
+/** Fused backward map: dpre[i] = grad_out[i] * df(pre[i]). */
+template <typename F>
+void
+mapGradTensor(const Tensor &pre, const Tensor &grad_out, Tensor &dpre, F df)
+{
+    const float *p = pre.data().data();
+    const float *g = grad_out.data().data();
+    float *d = dpre.data().data();
+    size_t n = pre.size();
+    for (size_t i = 0; i < n; ++i)
+        d[i] = g[i] * df(p[i]);
+}
+
 } // namespace
+
+void
+activateTensor(Activation act, const Tensor &pre, Tensor &out)
+{
+    h2o_assert(out.size() == pre.size(), "activateTensor size mismatch");
+    switch (act) {
+      case Activation::Identity:
+        if (&out != &pre)
+            mapTensor(pre, out, [](float x) { return x; });
+        return;
+      case Activation::ReLU:
+        mapTensor(pre, out, [](float x) { return x > 0.0f ? x : 0.0f; });
+        return;
+      case Activation::Swish:
+        mapTensor(pre, out, [](float x) { return x * sigmoidf(x); });
+        return;
+      case Activation::GeLU:
+        mapTensor(pre, out, [](float x) {
+            return 0.5f * x *
+                   (1.0f +
+                    std::tanh(0.7978845608f * (x + 0.044715f * x * x * x)));
+        });
+        return;
+      case Activation::SquaredReLU:
+        mapTensor(pre, out, [](float x) {
+            float r = x > 0.0f ? x : 0.0f;
+            return r * r;
+        });
+        return;
+      case Activation::Sigmoid:
+        mapTensor(pre, out, [](float x) { return sigmoidf(x); });
+        return;
+      case Activation::Tanh:
+        mapTensor(pre, out, [](float x) { return std::tanh(x); });
+        return;
+    }
+    h2o_panic("unhandled activation");
+}
+
+void
+activateGradTensor(Activation act, const Tensor &pre, const Tensor &grad_out,
+                   Tensor &dpre)
+{
+    h2o_assert(pre.size() == grad_out.size() && pre.size() == dpre.size(),
+               "activateGradTensor size mismatch");
+    switch (act) {
+      case Activation::Identity:
+        if (&dpre != &grad_out)
+            mapGradTensor(pre, grad_out, dpre, [](float) { return 1.0f; });
+        return;
+      case Activation::ReLU:
+        mapGradTensor(pre, grad_out, dpre,
+                      [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+        return;
+      case Activation::Swish:
+        mapGradTensor(pre, grad_out, dpre, [](float x) {
+            float s = sigmoidf(x);
+            return s + x * s * (1.0f - s);
+        });
+        return;
+      case Activation::GeLU:
+        mapGradTensor(pre, grad_out, dpre, [](float x) {
+            float c = 0.7978845608f;
+            float inner = c * (x + 0.044715f * x * x * x);
+            float t = std::tanh(inner);
+            float dinner = c * (1.0f + 3.0f * 0.044715f * x * x);
+            return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+        });
+        return;
+      case Activation::SquaredReLU:
+        mapGradTensor(pre, grad_out, dpre,
+                      [](float x) { return x > 0.0f ? 2.0f * x : 0.0f; });
+        return;
+      case Activation::Sigmoid:
+        mapGradTensor(pre, grad_out, dpre, [](float x) {
+            float s = sigmoidf(x);
+            return s * (1.0f - s);
+        });
+        return;
+      case Activation::Tanh:
+        mapGradTensor(pre, grad_out, dpre, [](float x) {
+            float t = std::tanh(x);
+            return 1.0f - t * t;
+        });
+        return;
+    }
+    h2o_panic("unhandled activation");
+}
 
 float
 activate(Activation act, float x)

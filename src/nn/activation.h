@@ -14,6 +14,8 @@
 
 namespace h2o::nn {
 
+class Tensor;
+
 /** Activation function identifiers. */
 enum class Activation
 {
@@ -34,6 +36,21 @@ float activate(Activation act, float x);
  * pre-activation value x.
  */
 float activateGrad(Activation act, float x);
+
+/**
+ * out[i] = activate(act, pre[i]) over the whole storage, with the
+ * activation dispatch hoisted out of the element loop (the scalar
+ * activate() re-enters the switch per element — too slow for the layer
+ * hot path). out must match pre's size; out may alias pre.
+ */
+void activateTensor(Activation act, const Tensor &pre, Tensor &out);
+
+/**
+ * dpre[i] = grad_out[i] * activateGrad(act, pre[i]) — the fused backward
+ * step, dispatch hoisted. Sizes must match; dpre may alias grad_out.
+ */
+void activateGradTensor(Activation act, const Tensor &pre,
+                        const Tensor &grad_out, Tensor &dpre);
 
 /** Human-readable activation name. */
 std::string activationName(Activation act);

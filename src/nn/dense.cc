@@ -23,36 +23,35 @@ DenseLayer::forward(const Tensor &input)
 {
     h2o_assert(input.cols() == _in, "DenseLayer input width ", input.cols(),
                " != ", _in);
-    _input = input;
-    _preact = Tensor(input.rows(), _out);
+    _input = &input;
+    _preact.resizeUninitialized(input.rows(), _out);
     matmul(input, _w, _preact);
     addBias(_preact, _b, _out);
-    _output = _preact;
-    for (auto &v : _output.data())
-        v = activate(_act, v);
+    _output.resizeUninitialized(input.rows(), _out);
+    activateTensor(_act, _preact, _output);
     return _output;
 }
 
-Tensor
+const Tensor &
 DenseLayer::backward(const Tensor &grad_out)
 {
+    h2o_assert(_input, "DenseLayer backward before forward");
     h2o_assert(grad_out.rows() == _preact.rows() &&
                    grad_out.cols() == _out,
                "DenseLayer backward shape mismatch");
     // dL/dpre = dL/dy * act'(pre)
-    Tensor dpre = grad_out;
-    for (size_t i = 0; i < dpre.size(); ++i)
-        dpre[i] *= activateGrad(_act, _preact[i]);
+    _dpre.resizeUninitialized(grad_out.rows(), _out);
+    activateGradTensor(_act, _preact, grad_out, _dpre);
 
     // dW += X^T dpre ; db += col-sums of dpre ; dX = dpre W^T
-    matmulTransAMasked(_input, dpre, _wGrad, _in, _out);
-    for (size_t r = 0; r < dpre.rows(); ++r)
+    matmulTransAMasked(*_input, _dpre, _wGrad, _in, _out);
+    for (size_t r = 0; r < _dpre.rows(); ++r)
         for (size_t c = 0; c < _out; ++c)
-            _bGrad[c] += dpre.at(r, c);
+            _bGrad[c] += _dpre.at(r, c);
 
-    Tensor dx(dpre.rows(), _in);
-    matmulTransBMasked(dpre, _w, dx, _out, _in);
-    return dx;
+    _dx.resizeUninitialized(_dpre.rows(), _in);
+    matmulTransBMasked(_dpre, _w, _dx, _out, _in);
+    return _dx;
 }
 
 std::vector<ParamRef>

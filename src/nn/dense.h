@@ -30,7 +30,7 @@ class DenseLayer : public Layer
     DenseLayer(size_t in, size_t out, Activation act, common::Rng &rng);
 
     const Tensor &forward(const Tensor &input) override;
-    Tensor backward(const Tensor &grad_out) override;
+    const Tensor &backward(const Tensor &grad_out) override;
     std::vector<ParamRef> params() override;
     size_t activeParamCount() const override;
     std::string describe() const override;
@@ -55,9 +55,11 @@ class DenseLayer : public Layer
     Tensor _b;
     Tensor _wGrad;
     Tensor _bGrad;
-    Tensor _input;   ///< cached forward input
-    Tensor _preact;  ///< cached pre-activation
-    Tensor _output;  ///< cached activation output
+    const Tensor *_input = nullptr; ///< forward input (caller-owned)
+    Tensor _preact;  ///< cached pre-activation (reused across calls)
+    Tensor _output;  ///< cached activation output (reused across calls)
+    Tensor _dpre;    ///< backward scratch (reused across calls)
+    Tensor _dx;      ///< input gradient returned by backward
 };
 
 } // namespace h2o::nn

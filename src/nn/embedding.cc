@@ -25,12 +25,13 @@ EmbeddingTable::setActiveWidth(size_t width)
     _activeWidth = width;
 }
 
-Tensor
+const Tensor &
 EmbeddingTable::forward(const std::vector<IdList> &batch_ids)
 {
     size_t batch = batch_ids.size();
     h2o_assert(batch > 0, "embedding lookup with empty batch");
-    Tensor out(batch, _activeWidth);
+    _out.resizeUninitialized(batch, _activeWidth);
+    _out.zero(); // pooling accumulates; missing features stay zero
     _lastIds.assign(batch, IdList{});
     for (size_t i = 0; i < batch; ++i) {
         const IdList &ids = batch_ids[i];
@@ -43,12 +44,12 @@ EmbeddingTable::forward(const std::vector<IdList> &batch_ids)
             uint32_t row = id % static_cast<uint32_t>(_vocab);
             hashed.push_back(row);
             const float *src = _table.data().data() + row * _maxWidth;
-            float *dst = out.data().data() + i * _activeWidth;
+            float *dst = _out.data().data() + i * _activeWidth;
             for (size_t d = 0; d < _activeWidth; ++d)
                 dst[d] += inv * src[d];
         }
     }
-    return out;
+    return _out;
 }
 
 void

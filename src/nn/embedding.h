@@ -58,9 +58,10 @@ class EmbeddingTable
      * hashing trick), matching how production DLRMs remap ids when the
      * vocabulary budget changes.
      *
-     * @return [batch, activeWidth] pooled embeddings.
+     * @return [batch, activeWidth] pooled embeddings — a reference to a
+     *         reused internal buffer, valid until the next forward.
      */
-    Tensor forward(const std::vector<IdList> &batch_ids);
+    const Tensor &forward(const std::vector<IdList> &batch_ids);
 
     /**
      * Scatter gradients back into the rows touched by the last forward.
@@ -86,6 +87,7 @@ class EmbeddingTable
     size_t _activeWidth;
     Tensor _table;  ///< vocab x maxWidth
     Tensor _grad;
+    Tensor _out; ///< pooled lookup output (reused across calls)
     std::vector<IdList> _lastIds; ///< cached (hashed) ids from forward
 };
 

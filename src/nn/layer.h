@@ -37,16 +37,23 @@ class Layer
     /**
      * Run the layer on a [batch, features] input, caching state for
      * backward. The returned reference stays valid until the next forward.
+     *
+     * Layers cache `input` by POINTER (no copy): the caller must keep the
+     * input tensor alive and unmodified until the matching backward()
+     * completes. Chained layers satisfy this naturally — each layer's
+     * output is a member buffer that persists until its next forward.
      */
     virtual const Tensor &forward(const Tensor &input) = 0;
 
     /**
      * Backpropagate. Accumulates parameter gradients (into ParamRef::grad)
-     * and returns the gradient with respect to the layer input.
+     * and returns the gradient with respect to the layer input — a
+     * reference to a layer-owned buffer, valid until the next backward.
      *
-     * @pre forward() was called and grad_out matches its output shape.
+     * @pre forward() was called, its input is still alive, and grad_out
+     *      matches the forward output shape.
      */
-    virtual Tensor backward(const Tensor &grad_out) = 0;
+    virtual const Tensor &backward(const Tensor &grad_out) = 0;
 
     /** All trainable parameters with their gradient accumulators. */
     virtual std::vector<ParamRef> params() = 0;

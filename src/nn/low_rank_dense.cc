@@ -38,41 +38,41 @@ const Tensor &
 LowRankDenseLayer::forward(const Tensor &input)
 {
     h2o_assert(input.cols() >= _activeIn, "LowRankDense input too narrow");
-    _input = input;
-    _hidden = Tensor(input.rows(), _activeRank);
+    _input = &input;
+    _hidden.resizeUninitialized(input.rows(), _activeRank);
     matmulMasked(input, _u, _hidden, _activeIn, _activeRank);
-    _preact = Tensor(input.rows(), _activeOut);
+    _preact.resizeUninitialized(input.rows(), _activeOut);
     matmulMasked(_hidden, _v, _preact, _activeRank, _activeOut);
     addBias(_preact, _b, _activeOut);
-    _output = _preact;
-    for (auto &x : _output.data())
-        x = activate(_act, x);
+    _output.resizeUninitialized(input.rows(), _activeOut);
+    activateTensor(_act, _preact, _output);
     return _output;
 }
 
-Tensor
+const Tensor &
 LowRankDenseLayer::backward(const Tensor &grad_out)
 {
-    h2o_assert(grad_out.cols() == _activeOut,
+    h2o_assert(_input, "LowRankDense backward before forward");
+    h2o_assert(grad_out.rows() == _preact.rows() &&
+                   grad_out.cols() == _activeOut,
                "LowRankDense backward width mismatch");
-    Tensor dpre = grad_out;
-    for (size_t i = 0; i < dpre.size(); ++i)
-        dpre[i] *= activateGrad(_act, _preact[i]);
+    _dpre.resizeUninitialized(grad_out.rows(), _activeOut);
+    activateGradTensor(_act, _preact, grad_out, _dpre);
 
     // dV += H^T dpre ; db += col-sums ; dH = dpre V^T
-    matmulTransAMasked(_hidden, dpre, _vGrad, _activeRank, _activeOut);
-    for (size_t r = 0; r < dpre.rows(); ++r)
+    matmulTransAMasked(_hidden, _dpre, _vGrad, _activeRank, _activeOut);
+    for (size_t r = 0; r < _dpre.rows(); ++r)
         for (size_t c = 0; c < _activeOut; ++c)
-            _bGrad[c] += dpre.at(r, c);
+            _bGrad[c] += _dpre.at(r, c);
 
-    Tensor dh(dpre.rows(), _activeRank);
-    matmulTransBMasked(dpre, _v, dh, _activeOut, _activeRank);
+    _dh.resizeUninitialized(_dpre.rows(), _activeRank);
+    matmulTransBMasked(_dpre, _v, _dh, _activeOut, _activeRank);
 
     // dU += X^T dH ; dX = dH U^T
-    matmulTransAMasked(_input, dh, _uGrad, _activeIn, _activeRank);
-    Tensor dx(dpre.rows(), _activeIn);
-    matmulTransBMasked(dh, _u, dx, _activeRank, _activeIn);
-    return dx;
+    matmulTransAMasked(*_input, _dh, _uGrad, _activeIn, _activeRank);
+    _dx.resizeUninitialized(_dpre.rows(), _activeIn);
+    matmulTransBMasked(_dh, _u, _dx, _activeRank, _activeIn);
+    return _dx;
 }
 
 std::vector<ParamRef>

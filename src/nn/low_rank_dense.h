@@ -44,7 +44,7 @@ class LowRankDenseLayer : public Layer
     size_t activeOut() const { return _activeOut; }
 
     const Tensor &forward(const Tensor &input) override;
-    Tensor backward(const Tensor &grad_out) override;
+    const Tensor &backward(const Tensor &grad_out) override;
     std::vector<ParamRef> params() override;
     size_t activeParamCount() const override;
     std::string describe() const override;
@@ -63,10 +63,13 @@ class LowRankDenseLayer : public Layer
     Tensor _uGrad;
     Tensor _vGrad;
     Tensor _bGrad;
-    Tensor _input;
+    const Tensor *_input = nullptr; ///< forward input (caller-owned)
     Tensor _hidden; ///< x U (batch x rank)
     Tensor _preact;
     Tensor _output;
+    Tensor _dpre; ///< backward scratch (reused across calls)
+    Tensor _dh;   ///< hidden gradient scratch
+    Tensor _dx;   ///< input gradient returned by backward
 };
 
 } // namespace h2o::nn

@@ -36,33 +36,33 @@ MaskedDenseLayer::forward(const Tensor &input)
     h2o_assert(input.cols() >= _activeIn,
                "MaskedDense input width ", input.cols(), " < active in ",
                _activeIn);
-    _input = input;
-    _preact = Tensor(input.rows(), _activeOut);
+    _input = &input;
+    _preact.resizeUninitialized(input.rows(), _activeOut);
     matmulMasked(input, _w, _preact, _activeIn, _activeOut);
     addBias(_preact, _b, _activeOut);
-    _output = _preact;
-    for (auto &v : _output.data())
-        v = activate(_act, v);
+    _output.resizeUninitialized(input.rows(), _activeOut);
+    activateTensor(_act, _preact, _output);
     return _output;
 }
 
-Tensor
+const Tensor &
 MaskedDenseLayer::backward(const Tensor &grad_out)
 {
-    h2o_assert(grad_out.cols() == _activeOut,
+    h2o_assert(_input, "MaskedDense backward before forward");
+    h2o_assert(grad_out.rows() == _preact.rows() &&
+                   grad_out.cols() == _activeOut,
                "MaskedDense backward width mismatch");
-    Tensor dpre = grad_out;
-    for (size_t i = 0; i < dpre.size(); ++i)
-        dpre[i] *= activateGrad(_act, _preact[i]);
+    _dpre.resizeUninitialized(grad_out.rows(), _activeOut);
+    activateGradTensor(_act, _preact, grad_out, _dpre);
 
-    matmulTransAMasked(_input, dpre, _wGrad, _activeIn, _activeOut);
-    for (size_t r = 0; r < dpre.rows(); ++r)
+    matmulTransAMasked(*_input, _dpre, _wGrad, _activeIn, _activeOut);
+    for (size_t r = 0; r < _dpre.rows(); ++r)
         for (size_t c = 0; c < _activeOut; ++c)
-            _bGrad[c] += dpre.at(r, c);
+            _bGrad[c] += _dpre.at(r, c);
 
-    Tensor dx(dpre.rows(), _activeIn);
-    matmulTransBMasked(dpre, _w, dx, _activeOut, _activeIn);
-    return dx;
+    _dx.resizeUninitialized(_dpre.rows(), _activeIn);
+    matmulTransBMasked(_dpre, _w, _dx, _activeOut, _activeIn);
+    return _dx;
 }
 
 std::vector<ParamRef>

@@ -54,7 +54,7 @@ class MaskedDenseLayer : public Layer
     size_t maxOut() const { return _maxOut; }
 
     const Tensor &forward(const Tensor &input) override;
-    Tensor backward(const Tensor &grad_out) override;
+    const Tensor &backward(const Tensor &grad_out) override;
     std::vector<ParamRef> params() override;
     size_t activeParamCount() const override;
     std::string describe() const override;
@@ -69,9 +69,11 @@ class MaskedDenseLayer : public Layer
     Tensor _b;
     Tensor _wGrad;
     Tensor _bGrad;
-    Tensor _input;
+    const Tensor *_input = nullptr; ///< forward input (caller-owned)
     Tensor _preact;
     Tensor _output;
+    Tensor _dpre; ///< backward scratch (reused across calls)
+    Tensor _dx;   ///< input gradient returned by backward
 };
 
 } // namespace h2o::nn

@@ -27,14 +27,14 @@ Mlp::forward(const Tensor &input)
     return *x;
 }
 
-Tensor
+const Tensor &
 Mlp::backward(const Tensor &grad_out)
 {
     h2o_assert(_lastOutput, "backward before forward");
-    Tensor g = grad_out;
+    const Tensor *g = &grad_out;
     for (auto it = _layers.rbegin(); it != _layers.rend(); ++it)
-        g = (*it)->backward(g);
-    return g;
+        g = &(*it)->backward(*g);
+    return *g;
 }
 
 std::vector<ParamRef>

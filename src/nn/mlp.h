@@ -36,11 +36,16 @@ class Mlp
     Mlp(const std::vector<size_t> &dims, Activation hidden_act,
         Activation output_act, common::Rng &rng);
 
-    /** Forward pass over a [batch, in] tensor. */
+    /**
+     * Forward pass over a [batch, in] tensor. The first layer caches
+     * `input` by pointer: keep it alive and unmodified until backward.
+     */
     const Tensor &forward(const Tensor &input);
 
-    /** Backward pass; returns gradient w.r.t. the input. */
-    Tensor backward(const Tensor &grad_out);
+    /** Backward pass; returns the gradient w.r.t. the input — a
+     *  reference to the first layer's buffer, valid until the next
+     *  backward. */
+    const Tensor &backward(const Tensor &grad_out);
 
     /** All parameters for optimizer construction. */
     std::vector<ParamRef> params();

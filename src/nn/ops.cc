@@ -1,21 +1,106 @@
 #include "nn/ops.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
 #include "common/logging.h"
 
 namespace h2o::nn {
 
+namespace {
+
+/** Shape checks shared by every implementation of each kernel. */
 void
-matmulMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
-             size_t n_act, bool accumulate)
+checkMatmulMasked(const Tensor &a, const Tensor &b, const Tensor &c,
+                  size_t k_act, size_t n_act)
 {
-    size_t m = a.rows();
     h2o_assert(k_act <= a.cols() && k_act <= b.rows(),
                "matmulMasked: k_act ", k_act, " exceeds A cols ", a.cols(),
                " or B rows ", b.rows());
     h2o_assert(n_act <= b.cols() && n_act <= c.cols(),
                "matmulMasked: n_act ", n_act, " exceeds B/C cols");
-    h2o_assert(c.rows() == m, "matmulMasked: C rows mismatch");
+    h2o_assert(c.rows() == a.rows(), "matmulMasked: C rows mismatch");
+}
 
+void
+checkMatmulTransAMasked(const Tensor &a, const Tensor &b, const Tensor &c,
+                        size_t k_act, size_t n_act)
+{
+    h2o_assert(b.rows() == a.rows(),
+               "matmulTransAMasked: batch dim mismatch");
+    h2o_assert(k_act <= a.cols() && k_act <= c.rows(),
+               "matmulTransAMasked: k_act out of range");
+    h2o_assert(n_act <= b.cols() && n_act <= c.cols(),
+               "matmulTransAMasked: n_act out of range");
+}
+
+void
+checkMatmulTransBMasked(const Tensor &a, const Tensor &b, const Tensor &c,
+                        size_t n_act, size_t k_act)
+{
+    h2o_assert(n_act <= a.cols() && n_act <= b.cols(),
+               "matmulTransBMasked: n_act out of range");
+    h2o_assert(k_act <= b.rows() && k_act <= c.cols(),
+               "matmulTransBMasked: k_act out of range");
+    h2o_assert(c.rows() == a.rows(), "matmulTransBMasked: C rows mismatch");
+}
+
+std::atomic<KernelImpl> g_impl{KernelImpl::Tiled};
+
+/** One-time H2O_KERNELS env override, applied before first dispatch. */
+bool
+applyEnvOverride()
+{
+    if (const char *env = std::getenv("H2O_KERNELS"))
+        g_impl.store(kernelImplFromName(env), std::memory_order_relaxed);
+    return true;
+}
+
+} // namespace
+
+void
+setKernelImpl(KernelImpl impl)
+{
+    g_impl.store(impl, std::memory_order_relaxed);
+}
+
+KernelImpl
+kernelImpl()
+{
+    static bool env_applied = applyEnvOverride();
+    (void)env_applied;
+    return g_impl.load(std::memory_order_relaxed);
+}
+
+KernelImpl
+kernelImplFromName(const std::string &name)
+{
+    if (name == "tiled")
+        return KernelImpl::Tiled;
+    if (name == "reference")
+        return KernelImpl::Reference;
+    h2o_fatal("unknown kernel impl '", name, "' (want tiled|reference)");
+}
+
+const char *
+kernelImplName(KernelImpl impl)
+{
+    return impl == KernelImpl::Tiled ? "tiled" : "reference";
+}
+
+// ---------------------------------------------------------------------------
+// Reference kernels: the original scalar loops, kept as the A/B oracle.
+// ---------------------------------------------------------------------------
+
+namespace reference {
+
+void
+matmulMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
+             size_t n_act, bool accumulate)
+{
+    checkMatmulMasked(a, b, c, k_act, n_act);
+    size_t m = a.rows();
     const float *ad = a.data().data();
     const float *bd = b.data().data();
     float *cd = c.data().data();
@@ -44,13 +129,8 @@ void
 matmulTransAMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
                    size_t n_act)
 {
+    checkMatmulTransAMasked(a, b, c, k_act, n_act);
     size_t m = a.rows();
-    h2o_assert(b.rows() == m, "matmulTransAMasked: batch dim mismatch");
-    h2o_assert(k_act <= a.cols() && k_act <= c.rows(),
-               "matmulTransAMasked: k_act out of range");
-    h2o_assert(n_act <= b.cols() && n_act <= c.cols(),
-               "matmulTransAMasked: n_act out of range");
-
     const float *ad = a.data().data();
     const float *bd = b.data().data();
     float *cd = c.data().data();
@@ -72,15 +152,10 @@ matmulTransAMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
 
 void
 matmulTransBMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t n_act,
-                   size_t k_act)
+                   size_t k_act, bool accumulate)
 {
+    checkMatmulTransBMasked(a, b, c, n_act, k_act);
     size_t m = a.rows();
-    h2o_assert(n_act <= a.cols() && n_act <= b.cols(),
-               "matmulTransBMasked: n_act out of range");
-    h2o_assert(k_act <= b.rows() && k_act <= c.cols(),
-               "matmulTransBMasked: k_act out of range");
-    h2o_assert(c.rows() == m, "matmulTransBMasked: C rows mismatch");
-
     const float *ad = a.data().data();
     const float *bd = b.data().data();
     float *cd = c.data().data();
@@ -94,9 +169,229 @@ matmulTransBMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t n_act,
             float acc = 0.0f;
             for (size_t j = 0; j < n_act; ++j)
                 acc += arow[j] * brow[j];
-            crow[k] += acc;
+            if (accumulate)
+                crow[k] += acc;
+            else
+                crow[k] = acc;
         }
     }
+}
+
+} // namespace reference
+
+// ---------------------------------------------------------------------------
+// Tiled kernels.
+//
+// The blocking schedule is a compile-time constant (kRowTile rows of the
+// left operand per micro-kernel, kColTile output columns per block, k
+// strictly ascending inside each block), so for a given shape every run —
+// at any thread count — performs the identical sequence of FP operations
+// per output element. That is the determinism contract: bit-identical
+// repeats for the tiled impl, ~1e-5 agreement vs the reference impl
+// (whose summation order differs).
+// ---------------------------------------------------------------------------
+
+namespace tiled {
+
+namespace {
+
+/** Rows of the left operand processed together by a micro-kernel. */
+constexpr size_t kRowTile = 4;
+/** Output columns per register block; 64 floats = one cache-resident
+ *  strip that still leaves room for kRowTile accumulator rows in L1. */
+constexpr size_t kColTile = 64;
+
+} // namespace
+
+void
+matmulMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
+             size_t n_act, bool accumulate)
+{
+    checkMatmulMasked(a, b, c, k_act, n_act);
+    size_t m = a.rows();
+    const float *ad = a.data().data();
+    const float *bd = b.data().data();
+    float *cd = c.data().data();
+    size_t ka = a.cols(), nb = b.cols(), nc = c.cols();
+
+    for (size_t i0 = 0; i0 < m; i0 += kRowTile) {
+        size_t rt = std::min(kRowTile, m - i0);
+        for (size_t j0 = 0; j0 < n_act; j0 += kColTile) {
+            size_t jt = std::min(kColTile, n_act - j0);
+            float acc[kRowTile][kColTile];
+            for (size_t r = 0; r < rt; ++r) {
+                float *crow = cd + (i0 + r) * nc + j0;
+                if (accumulate) {
+                    for (size_t j = 0; j < jt; ++j)
+                        acc[r][j] = crow[j];
+                } else {
+                    for (size_t j = 0; j < jt; ++j)
+                        acc[r][j] = 0.0f;
+                }
+            }
+            // k ascending for every C element: fixed summation order.
+            for (size_t k = 0; k < k_act; ++k) {
+                const float *brow = bd + k * nb + j0;
+                for (size_t r = 0; r < rt; ++r) {
+                    float av = ad[(i0 + r) * ka + k];
+                    float *arow = acc[r];
+#pragma omp simd
+                    for (size_t j = 0; j < jt; ++j)
+                        arow[j] += av * brow[j];
+                }
+            }
+            for (size_t r = 0; r < rt; ++r) {
+                float *crow = cd + (i0 + r) * nc + j0;
+                for (size_t j = 0; j < jt; ++j)
+                    crow[j] = acc[r][j];
+            }
+        }
+    }
+}
+
+void
+matmulTransAMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
+                   size_t n_act)
+{
+    checkMatmulTransAMasked(a, b, c, k_act, n_act);
+    size_t m = a.rows();
+    const float *ad = a.data().data();
+    const float *bd = b.data().data();
+    float *cd = c.data().data();
+    size_t ka = a.cols(), nb = b.cols(), nc = c.cols();
+
+    // C[k, j] += sum_i A[i, k] * B[i, j]; block (k, j) output tiles and
+    // stream the batch dimension i through each tile, i ascending — the
+    // same per-element order as the reference kernel.
+    for (size_t k0 = 0; k0 < k_act; k0 += kRowTile) {
+        size_t kt = std::min(kRowTile, k_act - k0);
+        for (size_t j0 = 0; j0 < n_act; j0 += kColTile) {
+            size_t jt = std::min(kColTile, n_act - j0);
+            float acc[kRowTile][kColTile];
+            for (size_t r = 0; r < kt; ++r) {
+                const float *crow = cd + (k0 + r) * nc + j0;
+                for (size_t j = 0; j < jt; ++j)
+                    acc[r][j] = crow[j];
+            }
+            for (size_t i = 0; i < m; ++i) {
+                const float *arow = ad + i * ka + k0;
+                const float *brow = bd + i * nb + j0;
+                for (size_t r = 0; r < kt; ++r) {
+                    float av = arow[r];
+                    float *accr = acc[r];
+#pragma omp simd
+                    for (size_t j = 0; j < jt; ++j)
+                        accr[j] += av * brow[j];
+                }
+            }
+            for (size_t r = 0; r < kt; ++r) {
+                float *crow = cd + (k0 + r) * nc + j0;
+                for (size_t j = 0; j < jt; ++j)
+                    crow[j] = acc[r][j];
+            }
+        }
+    }
+}
+
+void
+matmulTransBMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t n_act,
+                   size_t k_act, bool accumulate)
+{
+    checkMatmulTransBMasked(a, b, c, n_act, k_act);
+    size_t m = a.rows();
+    const float *ad = a.data().data();
+    const float *bd = b.data().data();
+    float *cd = c.data().data();
+    size_t na = a.cols(), nb = b.cols(), kc = c.cols();
+
+    // C[i, k] = dot(A row i, B row k): process kRowTile A-rows per pass so
+    // each B row is loaded once per pass, with independent simd
+    // reductions per dot product (fixed contraction order per element).
+    for (size_t i0 = 0; i0 < m; i0 += kRowTile) {
+        size_t rt = std::min(kRowTile, m - i0);
+        if (rt == kRowTile) {
+            const float *a0 = ad + (i0 + 0) * na;
+            const float *a1 = ad + (i0 + 1) * na;
+            const float *a2 = ad + (i0 + 2) * na;
+            const float *a3 = ad + (i0 + 3) * na;
+            for (size_t k = 0; k < k_act; ++k) {
+                const float *brow = bd + k * nb;
+                float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+#pragma omp simd reduction(+ : s0, s1, s2, s3)
+                for (size_t j = 0; j < n_act; ++j) {
+                    float bv = brow[j];
+                    s0 += a0[j] * bv;
+                    s1 += a1[j] * bv;
+                    s2 += a2[j] * bv;
+                    s3 += a3[j] * bv;
+                }
+                float *col = cd + i0 * kc + k;
+                if (accumulate) {
+                    col[0 * kc] += s0;
+                    col[1 * kc] += s1;
+                    col[2 * kc] += s2;
+                    col[3 * kc] += s3;
+                } else {
+                    col[0 * kc] = s0;
+                    col[1 * kc] = s1;
+                    col[2 * kc] = s2;
+                    col[3 * kc] = s3;
+                }
+            }
+        } else {
+            for (size_t r = 0; r < rt; ++r) {
+                const float *arow = ad + (i0 + r) * na;
+                float *crow = cd + (i0 + r) * kc;
+                for (size_t k = 0; k < k_act; ++k) {
+                    const float *brow = bd + k * nb;
+                    float s = 0.0f;
+#pragma omp simd reduction(+ : s)
+                    for (size_t j = 0; j < n_act; ++j)
+                        s += arow[j] * brow[j];
+                    if (accumulate)
+                        crow[k] += s;
+                    else
+                        crow[k] = s;
+                }
+            }
+        }
+    }
+}
+
+} // namespace tiled
+
+// ---------------------------------------------------------------------------
+// Dispatchers.
+// ---------------------------------------------------------------------------
+
+void
+matmulMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
+             size_t n_act, bool accumulate)
+{
+    if (kernelImpl() == KernelImpl::Tiled)
+        tiled::matmulMasked(a, b, c, k_act, n_act, accumulate);
+    else
+        reference::matmulMasked(a, b, c, k_act, n_act, accumulate);
+}
+
+void
+matmulTransAMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
+                   size_t n_act)
+{
+    if (kernelImpl() == KernelImpl::Tiled)
+        tiled::matmulTransAMasked(a, b, c, k_act, n_act);
+    else
+        reference::matmulTransAMasked(a, b, c, k_act, n_act);
+}
+
+void
+matmulTransBMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t n_act,
+                   size_t k_act, bool accumulate)
+{
+    if (kernelImpl() == KernelImpl::Tiled)
+        tiled::matmulTransBMasked(a, b, c, n_act, k_act, accumulate);
+    else
+        reference::matmulTransBMasked(a, b, c, n_act, k_act, accumulate);
 }
 
 void
@@ -119,6 +414,7 @@ addBias(Tensor &x, const Tensor &bias, size_t n_act)
     size_t n = x.cols();
     for (size_t i = 0; i < x.rows(); ++i) {
         float *row = xd + i * n;
+#pragma omp simd
         for (size_t j = 0; j < n_act; ++j)
             row[j] += bd[j];
     }
@@ -130,7 +426,9 @@ axpy(float alpha, const Tensor &x, Tensor &y)
     h2o_assert(x.size() == y.size(), "axpy size mismatch");
     const float *xd = x.data().data();
     float *yd = y.data().data();
-    for (size_t i = 0; i < x.size(); ++i)
+    size_t n = x.size();
+#pragma omp simd
+    for (size_t i = 0; i < n; ++i)
         yd[i] += alpha * xd[i];
 }
 

@@ -5,19 +5,55 @@
  * super-network needs: a sub-network with active dimensions (k_act, n_act)
  * of a larger shared weight matrix touches only the upper-left sub-matrix,
  * exactly as described for the DLRM super-network (Figure 3, mask (3)).
+ *
+ * Two implementations back every kernel:
+ *
+ *  - `Tiled` (default): register-tiled, cache-blocked loops with
+ *    `omp simd` vectorization hints. The blocking schedule is fixed at
+ *    compile time and never depends on runtime state, so results are
+ *    deterministic run-to-run and bit-identical at any `--threads`
+ *    setting (kernels are single-threaded; parallelism lives in
+ *    `h2o::exec`, whose ordered aggregation preserves FP order).
+ *  - `Reference`: the original scalar loops, kept for A/B testing and as
+ *    the correctness oracle in `tests/test_nn_kernels.cc`.
+ *
+ * Select with setKernelImpl() or the H2O_KERNELS environment variable
+ * ("tiled" / "reference", read once at startup). Tiled and reference
+ * results agree to ~1e-5 relative (FP summation order differs), and each
+ * implementation individually is exactly deterministic.
  */
 
 #ifndef H2O_NN_OPS_H
 #define H2O_NN_OPS_H
 
 #include <cstddef>
+#include <string>
 
 #include "nn/tensor.h"
 
 namespace h2o::nn {
 
+/** Kernel implementation selector. */
+enum class KernelImpl
+{
+    Tiled,     ///< register-tiled + vectorized (default)
+    Reference, ///< original scalar loops (A/B oracle)
+};
+
+/** Select the implementation used by the dispatching kernels below. */
+void setKernelImpl(KernelImpl impl);
+
+/** The currently selected implementation. */
+KernelImpl kernelImpl();
+
+/** Parse "tiled" / "reference"; fatal on unknown names. */
+KernelImpl kernelImplFromName(const std::string &name);
+
+/** Human-readable implementation name. */
+const char *kernelImplName(KernelImpl impl);
+
 /**
- * C[m,n] += A[m,k] * B[k,n], restricted to the active sub-ranges
+ * C[m,n] = (or +=) A[m,k] * B[k,n], restricted to the active sub-ranges
  * m x k_act of A and k_act x n_act of B. C must be m x n with n >= n_act;
  * only columns [0, n_act) of C are written.
  *
@@ -29,16 +65,23 @@ void matmulMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
 /**
  * C[k,n] += A^T[k,m] * B[m,n] over active sub-ranges: used for weight
  * gradients dW = X^T * dY. Only the k_act x n_act region of C is updated.
+ * Always accumulates: weight gradients sum across micro-batches.
  */
 void matmulTransAMasked(const Tensor &a, const Tensor &b, Tensor &c,
                         size_t k_act, size_t n_act);
 
 /**
- * C[m,k] += A[m,n] * B^T[n,k] over active sub-ranges: used for input
- * gradients dX = dY * W^T. Only the first k_act columns of C are written.
+ * C[m,k] = (or +=) A[m,n] * B^T[n,k] over active sub-ranges: used for
+ * input gradients dX = dY * W^T. Only the first k_act columns of C are
+ * written.
+ *
+ * @param accumulate When false (default), the active region of C is
+ *        overwritten — callers no longer need to pre-zero C. Pass true
+ *        for the historical read-modify-write behavior.
  */
 void matmulTransBMasked(const Tensor &a, const Tensor &b, Tensor &c,
-                        size_t n_act, size_t k_act);
+                        size_t n_act, size_t k_act,
+                        bool accumulate = false);
 
 /** Full (unmasked) C = A * B. Shapes must conform exactly. */
 void matmul(const Tensor &a, const Tensor &b, Tensor &c);
@@ -48,6 +91,35 @@ void addBias(Tensor &x, const Tensor &bias, size_t n_act);
 
 /** axpy: y += alpha * x over whole storage. Sizes must match. */
 void axpy(float alpha, const Tensor &x, Tensor &y);
+
+/**
+ * Reference (scalar) kernels, callable directly regardless of the
+ * selected implementation — the A/B oracle for tests and benches.
+ */
+namespace reference {
+
+void matmulMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
+                  size_t n_act, bool accumulate = false);
+void matmulTransAMasked(const Tensor &a, const Tensor &b, Tensor &c,
+                        size_t k_act, size_t n_act);
+void matmulTransBMasked(const Tensor &a, const Tensor &b, Tensor &c,
+                        size_t n_act, size_t k_act,
+                        bool accumulate = false);
+
+} // namespace reference
+
+/** Tiled kernels, callable directly (used by the A/B micro-benchmark). */
+namespace tiled {
+
+void matmulMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
+                  size_t n_act, bool accumulate = false);
+void matmulTransAMasked(const Tensor &a, const Tensor &b, Tensor &c,
+                        size_t k_act, size_t n_act);
+void matmulTransBMasked(const Tensor &a, const Tensor &b, Tensor &c,
+                        size_t n_act, size_t k_act,
+                        bool accumulate = false);
+
+} // namespace tiled
 
 } // namespace h2o::nn
 

@@ -1,5 +1,6 @@
 #include "nn/tensor.h"
 
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <sstream>
@@ -20,15 +21,83 @@ shapeSize(const std::vector<size_t> &shape)
     return shape.empty() ? 0 : n;
 }
 
+std::atomic<size_t> g_allocCount{0};
+
+/** Record a fresh float-buffer allocation (or capacity growth). */
+void
+countAlloc(size_t elements)
+{
+    if (elements > 0)
+        g_allocCount.fetch_add(1, std::memory_order_relaxed);
+}
+
 } // namespace
+
+size_t
+tensorAllocCount()
+{
+    return g_allocCount.load(std::memory_order_relaxed);
+}
+
+void
+resetTensorAllocCount()
+{
+    g_allocCount.store(0, std::memory_order_relaxed);
+}
 
 Tensor::Tensor(std::vector<size_t> shape)
     : _shape(std::move(shape)), _data(shapeSize(_shape), 0.0f)
 {
+    countAlloc(_data.size());
 }
 
 Tensor::Tensor(size_t rows, size_t cols) : Tensor(std::vector<size_t>{rows, cols})
 {
+}
+
+Tensor::Tensor(const Tensor &other)
+    : _shape(other._shape), _data(other._data)
+{
+    countAlloc(_data.size());
+}
+
+Tensor &
+Tensor::operator=(const Tensor &other)
+{
+    if (this == &other)
+        return *this;
+    if (other._data.size() > _data.capacity())
+        countAlloc(other._data.size());
+    _shape = other._shape;
+    _data.assign(other._data.begin(), other._data.end());
+    return *this;
+}
+
+void
+Tensor::resizeUninitialized(size_t rows, size_t cols)
+{
+    resizeUninitialized(std::vector<size_t>{rows, cols});
+}
+
+void
+Tensor::resizeUninitialized(std::vector<size_t> shape)
+{
+    size_t n = shapeSize(shape);
+    if (n > _data.capacity())
+        countAlloc(n);
+    _shape = std::move(shape);
+    _data.resize(n);
+}
+
+void
+Tensor::copyFrom(const Tensor &src)
+{
+    if (this == &src)
+        return;
+    if (src._data.size() > _data.capacity())
+        countAlloc(src._data.size());
+    _shape = src._shape;
+    _data.assign(src._data.begin(), src._data.end());
 }
 
 size_t

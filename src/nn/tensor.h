@@ -33,6 +33,26 @@ class Tensor
     /** Convenience rank-2 constructor (rows x cols), zero-initialized. */
     Tensor(size_t rows, size_t cols);
 
+    // Copies are counted by the allocation tracker (see tensorAllocCount);
+    // moves transfer storage and are free.
+    Tensor(const Tensor &other);
+    Tensor &operator=(const Tensor &other);
+    Tensor(Tensor &&other) noexcept = default;
+    Tensor &operator=(Tensor &&other) noexcept = default;
+
+    /**
+     * Reshape to rows x cols, reusing existing capacity — the zero-alloc
+     * path for per-step workspace buffers. Contents are unspecified
+     * afterwards; every element must be overwritten before being read.
+     */
+    void resizeUninitialized(size_t rows, size_t cols);
+
+    /** As above, for an arbitrary shape. */
+    void resizeUninitialized(std::vector<size_t> shape);
+
+    /** Become a copy of src, reusing existing capacity where possible. */
+    void copyFrom(const Tensor &src);
+
     /** The shape vector. */
     const std::vector<size_t> &shape() const { return _shape; }
 
@@ -91,6 +111,17 @@ class Tensor
     std::vector<size_t> _shape;
     std::vector<float> _data;
 };
+
+/**
+ * Number of float-buffer heap allocations (fresh buffers and capacity
+ * growths) across all Tensors since the last reset. The allocs/step
+ * metric for the zero-alloc workspace bench: a warmed-up layer stack
+ * should add zero per forward/backward.
+ */
+size_t tensorAllocCount();
+
+/** Reset the allocation counter to zero. */
+void resetTensorAllocCount();
 
 } // namespace h2o::nn
 

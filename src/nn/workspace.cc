@@ -1,0 +1,30 @@
+#include "nn/workspace.h"
+
+namespace h2o::nn {
+
+Tensor &
+Workspace::scratch(const std::string &key, size_t rows, size_t cols)
+{
+    auto &slot = _buffers[key];
+    if (!slot)
+        slot = std::make_unique<Tensor>();
+    slot->resizeUninitialized(rows, cols);
+    return *slot;
+}
+
+Tensor &
+Workspace::zeroed(const std::string &key, size_t rows, size_t cols)
+{
+    Tensor &t = scratch(key, rows, cols);
+    t.zero();
+    return t;
+}
+
+Workspace &
+Workspace::forThread()
+{
+    thread_local Workspace ws;
+    return ws;
+}
+
+} // namespace h2o::nn

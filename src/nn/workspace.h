@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A keyed scratch-buffer pool for zero-allocation hot loops.
+ *
+ * Layers keep their own persistent buffers (resized in place via
+ * Tensor::resizeUninitialized), but composite code — the supernet's
+ * concat/split staging, bench drivers, the perf-model batch loop — needs
+ * loose scratch tensors whose shapes vary call to call. A Workspace hands
+ * out named buffers that keep their heap storage across calls: after the
+ * first pass at a given shape, a steady-state step performs zero tensor
+ * allocations (verify with tensorAllocCount()).
+ *
+ * Buffers are identified by string key; references returned by scratch()
+ * remain valid for the Workspace's lifetime (buffers are never moved or
+ * dropped). Not thread-safe — use one Workspace per thread, or the
+ * per-thread instance from Workspace::forThread().
+ */
+
+#ifndef H2O_NN_WORKSPACE_H
+#define H2O_NN_WORKSPACE_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "nn/tensor.h"
+
+namespace h2o::nn {
+
+/** Named scratch tensors with sticky heap storage. */
+class Workspace
+{
+  public:
+    /**
+     * The scratch tensor registered under `key`, reshaped to rows x cols
+     * with contents unspecified (write before read). Storage is reused
+     * across calls; the reference stays valid for the Workspace's
+     * lifetime.
+     */
+    Tensor &scratch(const std::string &key, size_t rows, size_t cols);
+
+    /** As above, zero-filled (for accumulation targets). */
+    Tensor &zeroed(const std::string &key, size_t rows, size_t cols);
+
+    /** Number of distinct buffers allocated so far. */
+    size_t buffers() const { return _buffers.size(); }
+
+    /** Release all buffers (references become dangling). */
+    void clear() { _buffers.clear(); }
+
+    /** A per-thread Workspace for code without a natural owner. */
+    static Workspace &forThread();
+
+  private:
+    // unique_ptr gives buffers stable addresses across rehashes.
+    std::unordered_map<std::string, std::unique_ptr<Tensor>> _buffers;
+};
+
+} // namespace h2o::nn
+
+#endif // H2O_NN_WORKSPACE_H

@@ -59,6 +59,9 @@ PerfModel::train(const std::vector<std::vector<double>> &features,
     double final_loss = 0.0;
     size_t bs = std::min(_config.batchSize, n);
     double lr = _config.learningRate;
+    // Batch staging buffers hoisted out of the epoch loop: every element
+    // is overwritten per batch, so steady-state training is alloc-free.
+    nn::Tensor xb(bs, _inputDim), yb(bs, 2);
     for (size_t epoch = 0; epoch < _config.epochs; ++epoch) {
         _optimizer->setLearningRate(lr);
         lr *= _config.lrDecay;
@@ -66,7 +69,6 @@ PerfModel::train(const std::vector<std::vector<double>> &features,
         double epoch_loss = 0.0;
         size_t batches = 0;
         for (size_t start = 0; start + bs <= n; start += bs) {
-            nn::Tensor xb(bs, _inputDim), yb(bs, 2);
             for (size_t i = 0; i < bs; ++i) {
                 size_t src = perm[start + i];
                 for (size_t j = 0; j < _inputDim; ++j)

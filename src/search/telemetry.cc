@@ -47,4 +47,22 @@ writeHistoryCsvFile(const SearchOutcome &outcome, const std::string &path)
     writeHistoryCsv(outcome, os);
 }
 
+void
+writeSimCacheStatsCsv(const sim::SimCacheStats &stats, std::ostream &os)
+{
+    os << "hits,misses,evictions,entries,hit_rate\n";
+    os << stats.hits << "," << stats.misses << "," << stats.evictions
+       << "," << stats.entries << "," << stats.hitRate() << "\n";
+}
+
+void
+writeSimCacheStatsCsvFile(const sim::SimCacheStats &stats,
+                          const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        h2o_fatal("cannot open telemetry file '", path, "'");
+    writeSimCacheStatsCsv(stats, os);
+}
+
 } // namespace h2o::search

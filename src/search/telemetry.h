@@ -13,6 +13,7 @@
 
 #include "search/h2o_dlrm_search.h"
 #include "search/surrogate_search.h"
+#include "sim/sim_cache.h"
 
 namespace h2o::search {
 
@@ -33,6 +34,18 @@ void writeStepStatsCsv(const std::vector<H2oStepStats> &stats,
  */
 void writeHistoryCsvFile(const SearchOutcome &outcome,
                          const std::string &path);
+
+/**
+ * Write a SimCache counter snapshot as one CSV row
+ * (hits, misses, evictions, entries, hit_rate) — the memoization
+ * telemetry the perf benches log alongside their wall-clock numbers.
+ */
+void writeSimCacheStatsCsv(const sim::SimCacheStats &stats,
+                           std::ostream &os);
+
+/** File variant of writeSimCacheStatsCsv; fatal if unopenable. */
+void writeSimCacheStatsCsvFile(const sim::SimCacheStats &stats,
+                               const std::string &path);
 
 } // namespace h2o::search
 

@@ -3,32 +3,33 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/pass_workspace.h"
 
 namespace h2o::sim {
 
 OpTiming
-timeOp(const hw::ChipSpec &chip, const Op &op)
+timeOp(const hw::ChipSpec &chip, const Op &op, const OpAnnotations &a)
 {
-    h2o_assert(!op.fusedAway, "timing a fused-away op '", op.name, "'");
+    h2o_assert(!a.fusedAway, "timing a fused-away op '", op.name, "'");
     OpTiming t;
 
-    double act_bytes = op.inputBytes + op.outputBytes;
-    t.onChipBytes = act_bytes * op.onChipFraction;
-    t.hbmBytes = act_bytes * (1.0 - op.onChipFraction);
-    if (op.paramsOnChip)
-        t.onChipBytes += op.paramBytes;
+    double act_bytes = op.inputBytes + a.outputBytes;
+    t.onChipBytes = act_bytes * a.onChipFraction;
+    t.hbmBytes = act_bytes * (1.0 - a.onChipFraction);
+    if (a.paramsOnChip)
+        t.onChipBytes += a.paramBytes;
     else
-        t.hbmBytes += op.paramBytes;
-    t.networkBytes = op.networkBytes;
+        t.hbmBytes += a.paramBytes;
+    t.networkBytes = a.networkBytes;
 
     if (op.onTensorUnit) {
         double eff = 1.0;
         if (op.dimM > 0 && op.dimN > 0 && op.dimK > 0)
             eff = hw::tileEfficiency(chip, op.dimM, op.dimN, op.dimK);
         t.tensorBusySec = op.flops / (chip.peakTensorFlops * eff);
-        t.vpuBusySec = op.fusedVpuFlops / chip.peakVectorFlops;
+        t.vpuBusySec = a.fusedVpuFlops / chip.peakVectorFlops;
     } else {
-        t.vpuBusySec = (op.flops + op.fusedVpuFlops) / chip.peakVectorFlops;
+        t.vpuBusySec = (op.flops + a.fusedVpuFlops) / chip.peakVectorFlops;
     }
 
     double hbm_sec = t.hbmBytes / chip.hbmBandwidth;
@@ -47,6 +48,20 @@ timeOp(const hw::ChipSpec &chip, const Op &op)
     else
         t.boundBy = hw::BoundBy::Memory;
     return t;
+}
+
+OpTiming
+timeOp(const hw::ChipSpec &chip, const Op &op)
+{
+    OpAnnotations a;
+    a.outputBytes = op.outputBytes;
+    a.paramBytes = op.paramBytes;
+    a.networkBytes = op.networkBytes;
+    a.fusedVpuFlops = op.fusedVpuFlops;
+    a.fusedAway = op.fusedAway;
+    a.onChipFraction = op.onChipFraction;
+    a.paramsOnChip = op.paramsOnChip;
+    return timeOp(chip, op, a);
 }
 
 } // namespace h2o::sim

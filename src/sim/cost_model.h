@@ -28,11 +28,18 @@ struct OpTiming
     hw::BoundBy boundBy = hw::BoundBy::Memory;
 };
 
+struct OpAnnotations;
+
 /**
- * Time one (non-fused) op on a chip. Uses the op's memory-placement
- * annotations: activation bytes split between HBM and on-chip traffic by
+ * Time one (non-fused) op on a chip against a pass-annotation record:
+ * activation bytes split between HBM and on-chip traffic by
  * onChipFraction; params stream from HBM unless paramsOnChip.
  */
+OpTiming timeOp(const hw::ChipSpec &chip, const Op &op,
+                const OpAnnotations &a);
+
+/** Convenience overload reading the annotations stored on the op itself
+ *  (graphs annotated by the in-place pass wrappers). */
 OpTiming timeOp(const hw::ChipSpec &chip, const Op &op);
 
 } // namespace h2o::sim

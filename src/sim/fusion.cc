@@ -3,51 +3,66 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "sim/pass_workspace.h"
 
 namespace h2o::sim {
 
 FusionStats
-fuseGraph(Graph &graph)
+fuseGraph(const Graph &graph, PassWorkspace &ws)
 {
     FusionStats stats;
-    auto &ops = graph.ops();
+    const auto &ops = graph.ops();
     size_t n = ops.size();
+    h2o_assert(ws.ann.size() == n, "fusion workspace not reset for graph");
 
-    std::vector<uint32_t> consumers(n, 0);
+    auto &consumers = ws.consumers;
+    consumers.assign(n, 0);
     for (const auto &op : ops)
         for (OpId in : op.inputs)
             consumers[in] += 1;
 
     // Root of the fusion group each op currently belongs to.
-    std::vector<OpId> root(n);
+    auto &root = ws.root;
+    root.resize(n);
     for (size_t i = 0; i < n; ++i)
         root[i] = static_cast<OpId>(i);
 
     for (size_t i = 0; i < n; ++i) {
-        Op &op = ops[i];
+        const Op &op = ops[i];
+        OpAnnotations &a = ws.ann[i];
         if (!op.fusable || op.inputs.size() != 1)
             continue;
         OpId producer = op.inputs[0];
         if (consumers[producer] != 1)
             continue;
         OpId r = root[producer];
-        Op &head = graph.op(r);
+        OpAnnotations &head = ws.ann[r];
         if (head.fusedAway)
             continue; // defensive; roots are never fused away
 
         // The producer->op intermediate stays in registers/local memory:
         // the head now writes this op's output instead.
         stats.bytesSaved += head.outputBytes + op.inputBytes;
-        head.fusedVpuFlops += op.flops + op.fusedVpuFlops;
-        head.outputBytes = op.outputBytes;
+        head.fusedVpuFlops += op.flops + a.fusedVpuFlops;
+        head.outputBytes = a.outputBytes;
         // Fused param bytes (e.g. norm scales) still stream.
-        head.paramBytes += op.paramBytes;
-        head.networkBytes += op.networkBytes;
+        head.paramBytes += a.paramBytes;
+        head.networkBytes += a.networkBytes;
 
-        op.fusedAway = true;
+        a.fusedAway = true;
         root[i] = r;
         stats.fusedOps += 1;
     }
+    return stats;
+}
+
+FusionStats
+fuseGraph(Graph &graph)
+{
+    PassWorkspace ws;
+    ws.reset(graph);
+    FusionStats stats = fuseGraph(static_cast<const Graph &>(graph), ws);
+    ws.apply(graph);
     return stats;
 }
 

@@ -18,6 +18,8 @@
 
 namespace h2o::sim {
 
+struct PassWorkspace;
+
 /** Summary of one fusion pass. */
 struct FusionStats
 {
@@ -26,10 +28,16 @@ struct FusionStats
 };
 
 /**
- * Fuse eligible ops in place. An op is folded when it is marked fusable,
- * has exactly one producer input, and is that producer's only consumer.
- * Chains fold transitively into the chain's root.
+ * Fuse eligible ops, writing the results into the workspace's annotation
+ * array (the graph stays const). An op is folded when it is marked
+ * fusable, has exactly one producer input, and is that producer's only
+ * consumer. Chains fold transitively into the chain's root.
+ * @pre ws.reset(graph) was called.
  */
+FusionStats fuseGraph(const Graph &graph, PassWorkspace &ws);
+
+/** In-place convenience wrapper: annotate into a scratch workspace and
+ *  write the results back onto the graph's ops. */
 FusionStats fuseGraph(Graph &graph);
 
 } // namespace h2o::sim

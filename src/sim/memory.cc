@@ -3,49 +3,73 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/pass_workspace.h"
 
 namespace h2o::sim {
 
 MemoryStats
-placeMemory(Graph &graph, const hw::ChipSpec &chip,
-            const MemoryConfig &config)
+placeMemory(const Graph &graph, const hw::ChipSpec &chip,
+            const MemoryConfig &config, PassWorkspace &ws)
 {
     h2o_assert(config.paramFraction >= 0.0 &&
                    config.activationFraction >= 0.0 &&
                    config.paramFraction + config.activationFraction <= 1.0 + 1e-9,
                "memory partition fractions exceed capacity");
+    const auto &ops = graph.ops();
+    h2o_assert(ws.ann.size() == ops.size(),
+               "memory workspace not reset for graph");
     MemoryStats stats;
     double param_budget = chip.onChipCapacityBytes * config.paramFraction;
     stats.activationBudget =
         chip.onChipCapacityBytes * config.activationFraction;
 
-    stats.paramsResident = graph.totalParamBytes() <= param_budget;
+    // Live parameter bytes post-fusion (fused ops' params were folded
+    // into their heads, so summing live annotations preserves the total).
+    double total_param_bytes = 0.0;
+    for (size_t i = 0; i < ops.size(); ++i)
+        if (!ws.ann[i].fusedAway)
+            total_param_bytes += ws.ann[i].paramBytes;
+    stats.paramsResident = total_param_bytes <= param_budget;
 
-    for (auto &op : graph.ops()) {
-        if (op.fusedAway)
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const Op &op = ops[i];
+        OpAnnotations &a = ws.ann[i];
+        if (a.fusedAway)
             continue;
-        op.paramsOnChip = stats.paramsResident && op.paramBytes > 0.0;
+        a.paramsOnChip = stats.paramsResident && a.paramBytes > 0.0;
 
-        double tensor_bytes = std::max(op.inputBytes, op.outputBytes);
+        double tensor_bytes = std::max(op.inputBytes, a.outputBytes);
         if (tensor_bytes <= 0.0) {
-            op.onChipFraction = 0.0;
+            a.onChipFraction = 0.0;
             continue;
         }
         if (tensor_bytes <= stats.activationBudget) {
-            op.onChipFraction = 1.0;
+            a.onChipFraction = 1.0;
             stats.onChipTensors += 1;
         } else {
             // The head of the tensor streams through CMEM; the rest
             // spills. Embedding gathers never cache (random access).
             if (op.kind == OpKind::EmbeddingLookup) {
-                op.onChipFraction = 0.0;
+                a.onChipFraction = 0.0;
             } else {
-                op.onChipFraction =
+                a.onChipFraction =
                     std::clamp(stats.activationBudget / tensor_bytes, 0.0, 1.0);
             }
             stats.spilledTensors += 1;
         }
     }
+    return stats;
+}
+
+MemoryStats
+placeMemory(Graph &graph, const hw::ChipSpec &chip,
+            const MemoryConfig &config)
+{
+    PassWorkspace ws;
+    ws.reset(graph);
+    MemoryStats stats =
+        placeMemory(static_cast<const Graph &>(graph), chip, config, ws);
+    ws.apply(graph);
     return stats;
 }
 

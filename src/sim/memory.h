@@ -40,9 +40,20 @@ struct MemoryStats
     size_t spilledTensors = 0;     ///< tensors (partially) in HBM
 };
 
+struct PassWorkspace;
+
 /**
- * Annotate each live op's onChipFraction / paramsOnChip in place.
+ * Annotate each live op's onChipFraction / paramsOnChip in the
+ * workspace's annotation array (the graph stays const). Runs after the
+ * fusion pass in the same workspace so fused param/output bytes are
+ * accounted to their heads.
+ * @pre ws.reset(graph) was called (and fuseGraph ran first if enabled).
  */
+MemoryStats placeMemory(const Graph &graph, const hw::ChipSpec &chip,
+                        const MemoryConfig &config, PassWorkspace &ws);
+
+/** In-place convenience wrapper: annotate into a scratch workspace and
+ *  write the results back onto the graph's ops. */
 MemoryStats placeMemory(Graph &graph, const hw::ChipSpec &chip,
                         const MemoryConfig &config = MemoryConfig{});
 

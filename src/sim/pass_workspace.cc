@@ -1,0 +1,51 @@
+#include "sim/pass_workspace.h"
+
+#include "common/logging.h"
+
+namespace h2o::sim {
+
+void
+PassWorkspace::reset(const Graph &graph)
+{
+    const auto &ops = graph.ops();
+    ann.resize(ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const Op &op = ops[i];
+        OpAnnotations &a = ann[i];
+        a.outputBytes = op.outputBytes;
+        a.paramBytes = op.paramBytes;
+        a.networkBytes = op.networkBytes;
+        a.fusedVpuFlops = op.fusedVpuFlops;
+        a.fusedAway = op.fusedAway;
+        a.onChipFraction = op.onChipFraction;
+        a.paramsOnChip = op.paramsOnChip;
+    }
+}
+
+void
+PassWorkspace::apply(Graph &graph) const
+{
+    auto &ops = graph.ops();
+    h2o_assert(ann.size() == ops.size(),
+               "pass workspace sized for a different graph");
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const OpAnnotations &a = ann[i];
+        Op &op = ops[i];
+        op.outputBytes = a.outputBytes;
+        op.paramBytes = a.paramBytes;
+        op.networkBytes = a.networkBytes;
+        op.fusedVpuFlops = a.fusedVpuFlops;
+        op.fusedAway = a.fusedAway;
+        op.onChipFraction = a.onChipFraction;
+        op.paramsOnChip = a.paramsOnChip;
+    }
+}
+
+PassWorkspace &
+PassWorkspace::forThread()
+{
+    thread_local PassWorkspace ws;
+    return ws;
+}
+
+} // namespace h2o::sim

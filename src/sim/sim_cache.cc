@@ -1,0 +1,174 @@
+#include "sim/sim_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace h2o::sim {
+
+namespace {
+
+/** SplitMix64-style combine: order-sensitive, avalanche per word. */
+uint64_t
+mixWord(uint64_t h, uint64_t v)
+{
+    uint64_t z = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+mixDouble(uint64_t h, double v)
+{
+    return mixWord(h, std::bit_cast<uint64_t>(v));
+}
+
+uint64_t
+mixString(uint64_t h, const std::string &s)
+{
+    h = mixWord(h, s.size());
+    for (char c : s)
+        h = mixWord(h, static_cast<uint64_t>(static_cast<uint8_t>(c)));
+    return h;
+}
+
+} // namespace
+
+uint64_t
+chipFingerprint(const hw::ChipSpec &chip)
+{
+    uint64_t h = 0x6833326f63686970ULL; // "h2ochip"
+    h = mixString(h, chip.name);
+    h = mixDouble(h, chip.peakTensorFlops);
+    h = mixDouble(h, chip.peakVectorFlops);
+    h = mixWord(h, chip.tensorTile);
+    h = mixDouble(h, chip.hbmCapacityBytes);
+    h = mixDouble(h, chip.hbmBandwidth);
+    h = mixDouble(h, chip.onChipCapacityBytes);
+    h = mixDouble(h, chip.onChipBandwidth);
+    h = mixDouble(h, chip.iciBandwidth);
+    h = mixDouble(h, chip.idlePowerW);
+    h = mixDouble(h, chip.computePowerW);
+    h = mixDouble(h, chip.hbmEnergyPerByte);
+    h = mixDouble(h, chip.onChipEnergyPerByte);
+    return h;
+}
+
+uint64_t
+simConfigFingerprint(const SimConfig &config)
+{
+    uint64_t h = chipFingerprint(config.chip);
+    h = mixWord(h, config.enableFusion ? 1 : 0);
+    h = mixWord(h, config.enableMemoryPlacement ? 2 : 0);
+    h = mixDouble(h, config.memory.paramFraction);
+    h = mixDouble(h, config.memory.activationFraction);
+    return h;
+}
+
+uint64_t
+simCacheKeyHash(const SimCacheKey &key)
+{
+    uint64_t h = key.configFingerprint;
+    h = mixWord(h, key.decisions.size());
+    for (uint64_t d : key.decisions)
+        h = mixWord(h, d);
+    return h;
+}
+
+SimCacheKey
+makeSimCacheKey(const std::vector<size_t> &sample, uint64_t mode_tag,
+                const SimConfig &config)
+{
+    SimCacheKey key;
+    key.decisions.reserve(sample.size() + 1);
+    for (size_t d : sample)
+        key.decisions.push_back(static_cast<uint64_t>(d));
+    key.decisions.push_back(mode_tag);
+    key.configFingerprint = simConfigFingerprint(config);
+    return key;
+}
+
+SimCache::SimCache(size_t capacity, size_t num_shards)
+{
+    h2o_assert(capacity > 0, "sim cache with zero capacity");
+    if (num_shards == 0)
+        num_shards = 1;
+    // Never more shards than entries: every shard must hold >= 1 entry.
+    num_shards = std::min(num_shards, capacity);
+    _shardCapacity = (capacity + num_shards - 1) / num_shards;
+    _shards.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s)
+        _shards.push_back(std::make_unique<Shard>());
+}
+
+SimCache::Shard &
+SimCache::shardFor(const SimCacheKey &key)
+{
+    return *_shards[simCacheKeyHash(key) % _shards.size()];
+}
+
+bool
+SimCache::lookup(const SimCacheKey &key, SimResult &out)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        _misses.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    out = it->second->value;
+    _hits.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+SimCache::insert(const SimCacheKey &key, SimResult value)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+        // Concurrent miss raced us here; results are identical (the
+        // simulator is pure), keep the freshest and refresh LRU.
+        it->second->value = std::move(value);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    shard.lru.push_front(Entry{key, std::move(value)});
+    shard.index.emplace(key, shard.lru.begin());
+    if (shard.index.size() > _shardCapacity) {
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        _evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+SimCacheStats
+SimCache::stats() const
+{
+    SimCacheStats s;
+    s.hits = _hits.load(std::memory_order_relaxed);
+    s.misses = _misses.load(std::memory_order_relaxed);
+    s.evictions = _evictions.load(std::memory_order_relaxed);
+    for (const auto &shard : _shards) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        s.entries += shard->index.size();
+    }
+    return s;
+}
+
+void
+SimCache::clear()
+{
+    for (auto &shard : _shards) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->index.clear();
+        shard->lru.clear();
+    }
+}
+
+} // namespace h2o::sim

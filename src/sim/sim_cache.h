@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Sharded memoization cache fronting `Simulator::run`.
+ *
+ * Perf-model two-phase pretraining and the figure benches evaluate
+ * thousands of candidates drawn from a *discrete* search space, and the
+ * same candidate architectures recur — across paired evaluation sets,
+ * across a converging RL policy's samples, and across benches sharing a
+ * baseline. HW-NAS-Bench-style cost lookup is the standard way to
+ * amortize those repeats: SimCache maps a canonical key — the candidate's
+ * decision encoding plus a fingerprint of the chip and pass configuration
+ * — to the full SimResult.
+ *
+ * Concurrency: the table is sharded by key hash with one mutex per
+ * shard (mutex striping), so concurrent evaluators from h2o::exec rarely
+ * contend. Each shard keeps an LRU list bounded at capacity/shards;
+ * eviction is O(1). getOrCompute() runs the miss computation OUTSIDE the
+ * shard lock: two threads may race to simulate the same key (both
+ * compute, last insert wins) — acceptable because Simulator::run is pure.
+ *
+ * Hit/miss/eviction counters are atomics, exported through
+ * `search/telemetry` (writeSimCacheStatsCsv) for the benches.
+ */
+
+#ifndef H2O_SIM_SIM_CACHE_H
+#define H2O_SIM_SIM_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "hw/chip.h"
+#include "sim/simulator.h"
+
+namespace h2o::sim {
+
+/**
+ * Canonical identity of one simulation request: the candidate's decision
+ * encoding (plus any caller tags, e.g. exec mode) and a fingerprint of
+ * everything else that determines the result (chip, pass config).
+ * Equality is exact — fingerprints only pick the shard/bucket; full keys
+ * are compared on lookup, so distinct configurations never alias.
+ */
+struct SimCacheKey
+{
+    /** Canonical decision encoding; callers append discriminator tags
+     *  (e.g. training-vs-serving) as extra trailing elements. */
+    std::vector<uint64_t> decisions;
+    /** simConfigFingerprint() of the chip + pass configuration. */
+    uint64_t configFingerprint = 0;
+
+    bool operator==(const SimCacheKey &other) const = default;
+};
+
+/** Order-sensitive 64-bit fingerprint of a chip description. */
+uint64_t chipFingerprint(const hw::ChipSpec &chip);
+
+/** Fingerprint of a full simulator configuration (chip + passes). */
+uint64_t simConfigFingerprint(const SimConfig &config);
+
+/** Hash of a full cache key (shard/bucket selection only). */
+uint64_t simCacheKeyHash(const SimCacheKey &key);
+
+/** Build a key from a candidate's decision sample, a caller-chosen mode
+ *  tag, and the simulator configuration. */
+SimCacheKey makeSimCacheKey(const std::vector<size_t> &sample,
+                            uint64_t mode_tag, const SimConfig &config);
+
+/** Counter snapshot. */
+struct SimCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+
+    double hitRate() const
+    {
+        uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) / double(total) : 0.0;
+    }
+};
+
+/**
+ * The sharded, LRU-bounded memo-cache. Thread-safe; copyable results.
+ */
+class SimCache
+{
+  public:
+    /**
+     * @param capacity   Max cached entries across all shards (>= 1).
+     * @param num_shards Mutex stripes; rounded up to at least 1.
+     */
+    explicit SimCache(size_t capacity, size_t num_shards = 16);
+
+    /** Look up a key; on hit copies the cached result into `out` and
+     *  refreshes its LRU position. Counts a hit or miss. */
+    bool lookup(const SimCacheKey &key, SimResult &out);
+
+    /** Insert (or overwrite) a key's result, evicting the shard's
+     *  least-recently-used entry when over budget. */
+    void insert(const SimCacheKey &key, SimResult value);
+
+    /** Memoize `compute()` under `key`. The computation runs outside
+     *  any lock; concurrent misses on one key may compute twice. */
+    template <typename Fn>
+    SimResult getOrCompute(const SimCacheKey &key, Fn &&compute)
+    {
+        SimResult cached;
+        if (lookup(key, cached))
+            return cached;
+        SimResult fresh = compute();
+        insert(key, fresh);
+        return fresh;
+    }
+
+    /** Snapshot the counters (entries is summed across shards). */
+    SimCacheStats stats() const;
+
+    /** Drop every entry; counters are preserved. */
+    void clear();
+
+    /** Total entry budget across shards. */
+    size_t capacity() const { return _shardCapacity * _shards.size(); }
+
+  private:
+    struct Entry
+    {
+        SimCacheKey key;
+        SimResult value;
+    };
+    struct KeyHash
+    {
+        size_t operator()(const SimCacheKey &k) const
+        {
+            return static_cast<size_t>(simCacheKeyHash(k));
+        }
+    };
+    struct Shard
+    {
+        std::mutex mu;
+        /** Front = most recently used. */
+        std::list<Entry> lru;
+        std::unordered_map<SimCacheKey, std::list<Entry>::iterator,
+                           KeyHash>
+            index;
+    };
+
+    Shard &shardFor(const SimCacheKey &key);
+
+    std::vector<std::unique_ptr<Shard>> _shards;
+    size_t _shardCapacity;
+    std::atomic<uint64_t> _hits{0};
+    std::atomic<uint64_t> _misses{0};
+    std::atomic<uint64_t> _evictions{0};
+};
+
+} // namespace h2o::sim
+
+#endif // H2O_SIM_SIM_CACHE_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/pass_workspace.h"
 
 namespace h2o::sim {
 
@@ -16,41 +17,46 @@ SimResult
 Simulator::run(const Graph &input) const
 {
     input.validate();
-    Graph graph = input; // passes annotate a private copy
+    // Pass annotations live in a reusable per-thread workspace: the
+    // graph itself stays read-only and is never copied.
+    PassWorkspace &ws = PassWorkspace::forThread();
+    ws.reset(input);
 
     SimResult res;
     if (_config.enableFusion) {
-        FusionStats fs = fuseGraph(graph);
+        FusionStats fs = fuseGraph(input, ws);
         res.fusedOps = fs.fusedOps;
     }
     MemoryStats ms;
     if (_config.enableMemoryPlacement) {
-        ms = placeMemory(graph, _config.chip, _config.memory);
+        ms = placeMemory(input, _config.chip, _config.memory, ws);
     }
     res.paramsResident = ms.paramsResident;
 
-    const auto &ops = graph.ops();
+    const auto &ops = input.ops();
     res.perOp.assign(ops.size(), OpTiming{});
 
     // Longest-path earliest-finish times over the DAG. Fused-away ops are
     // transparent: they finish when their producer finishes.
-    std::vector<double> finish(ops.size(), 0.0);
+    auto &finish = ws.finish;
+    finish.assign(ops.size(), 0.0);
 
     for (size_t i = 0; i < ops.size(); ++i) {
         const Op &op = ops[i];
+        const OpAnnotations &a = ws.ann[i];
         double ready = 0.0;
         for (OpId in : op.inputs)
             ready = std::max(ready, finish[in]);
-        if (op.fusedAway) {
+        if (a.fusedAway) {
             finish[i] = ready;
             continue;
         }
-        OpTiming t = timeOp(_config.chip, op);
+        OpTiming t = timeOp(_config.chip, op, a);
         res.perOp[i] = t;
         finish[i] = ready + t.seconds;
 
         res.liveOps += 1;
-        res.totalFlops += op.flops + op.fusedVpuFlops;
+        res.totalFlops += op.flops + a.fusedVpuFlops;
         res.tensorBusySec += t.tensorBusySec;
         res.vpuBusySec += t.vpuBusySec;
         res.hbmBytes += t.hbmBytes;

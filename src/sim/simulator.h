@@ -77,8 +77,10 @@ struct SimResult
 };
 
 /**
- * The simulator. Stateless apart from configuration; run() copies the
- * graph so pass annotations never leak back to the caller.
+ * The simulator. Stateless apart from configuration. run() keeps the
+ * input graph const: pass annotations go into a reusable per-thread
+ * PassWorkspace, so repeated runs neither copy the graph nor leak
+ * annotations back to the caller.
  */
 class Simulator
 {

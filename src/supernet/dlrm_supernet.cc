@@ -189,36 +189,35 @@ DlrmSupernet::configure(const searchspace::Sample &sample)
     _configured = true;
 }
 
-nn::Tensor
+const nn::Tensor &
 DlrmSupernet::forwardMlp(std::vector<LayerBank> &stack, size_t depth,
                          const nn::Tensor &input)
 {
-    nn::Tensor x = input;
+    // Chain by pointer: each layer's output is a member buffer that
+    // stays alive (and caches its input by pointer) through backward.
+    const nn::Tensor *x = &input;
     for (size_t l = 0; l < depth; ++l) {
         LayerBank &bank = stack[l];
-        if (bank.useLowRank)
-            x = bank.lowRank->forward(x);
-        else
-            x = bank.full->forward(x);
+        x = bank.useLowRank ? &bank.lowRank->forward(*x)
+                            : &bank.full->forward(*x);
     }
-    return x;
+    return *x;
 }
 
-nn::Tensor
+const nn::Tensor &
 DlrmSupernet::backwardMlp(std::vector<LayerBank> &stack, size_t depth,
-                          nn::Tensor grad)
+                          const nn::Tensor &grad)
 {
+    const nn::Tensor *g = &grad;
     for (size_t l = depth; l-- > 0;) {
         LayerBank &bank = stack[l];
-        if (bank.useLowRank)
-            grad = bank.lowRank->backward(grad);
-        else
-            grad = bank.full->backward(grad);
+        g = bank.useLowRank ? &bank.lowRank->backward(*g)
+                            : &bank.full->backward(*g);
     }
-    return grad;
+    return *g;
 }
 
-nn::Tensor
+const nn::Tensor &
 DlrmSupernet::forward(const pipeline::Batch &batch)
 {
     h2o_assert(_configured, "forward before configure");
@@ -226,7 +225,7 @@ DlrmSupernet::forward(const pipeline::Batch &batch)
     h2o_assert(b > 0, "empty batch");
     uint32_t dense_in = _space.baseline().numDenseFeatures;
 
-    _denseInput = nn::Tensor(b, dense_in);
+    _denseInput.resizeUninitialized(b, dense_in);
     for (size_t i = 0; i < b; ++i) {
         h2o_assert(batch.examples[i].dense.size() == dense_in,
                    "example dense width mismatch");
@@ -234,10 +233,9 @@ DlrmSupernet::forward(const pipeline::Batch &batch)
             _denseInput.at(i, j) = batch.examples[i].dense[j];
     }
 
-    nn::Tensor bottom_out = _bottomDepth > 0
-                                ? forwardMlp(_bottom, _bottomDepth,
-                                             _denseInput)
-                                : _denseInput;
+    const nn::Tensor &bottom_out =
+        _bottomDepth > 0 ? forwardMlp(_bottom, _bottomDepth, _denseInput)
+                         : _denseInput;
 
     // Concatenate [embeddings..., bottom].
     _liveTables.clear();
@@ -247,19 +245,20 @@ DlrmSupernet::forward(const pipeline::Batch &batch)
         if (_tables[t].activeWidth > 0)
             concat_width += _tables[t].activeWidth;
 
-    _concat = nn::Tensor(b, concat_width);
+    _concat.resizeUninitialized(b, concat_width);
     size_t offset = 0;
+    std::vector<nn::IdList> ids(b);
     for (size_t t = 0; t < _tables.size(); ++t) {
         TableBank &bank = _tables[t];
         if (bank.activeWidth == 0)
             continue;
-        std::vector<nn::IdList> ids(b);
         for (size_t i = 0; i < b; ++i) {
             h2o_assert(t < batch.examples[i].sparse.size(),
                        "example missing sparse feature ", t);
             ids[i] = batch.examples[i].sparse[t];
         }
-        nn::Tensor emb = bank.byVocabChoice[bank.vocabChoice]->forward(ids);
+        const nn::Tensor &emb =
+            bank.byVocabChoice[bank.vocabChoice]->forward(ids);
         for (size_t i = 0; i < b; ++i)
             for (size_t d = 0; d < bank.activeWidth; ++d)
                 _concat.at(i, offset + d) = emb.at(i, d);
@@ -271,22 +270,23 @@ DlrmSupernet::forward(const pipeline::Batch &batch)
         for (size_t d = 0; d < bottom_out.cols(); ++d)
             _concat.at(i, offset + d) = bottom_out.at(i, d);
 
-    nn::Tensor top_out = forwardMlp(_top, _topDepth, _concat);
+    const nn::Tensor &top_out = forwardMlp(_top, _topDepth, _concat);
     return _logit->forward(top_out);
 }
 
 void
 DlrmSupernet::backward(const nn::Tensor &grad_logits)
 {
-    nn::Tensor grad = _logit->backward(grad_logits);
-    grad = backwardMlp(_top, _topDepth, grad);
+    const nn::Tensor &top_grad = _logit->backward(grad_logits);
+    const nn::Tensor &grad = backwardMlp(_top, _topDepth, top_grad);
 
     // Split the concat gradient back into embedding and bottom slices.
     size_t b = grad.rows();
     for (size_t k = 0; k < _liveTables.size(); ++k) {
         TableBank &bank = _tables[_liveTables[k]];
         size_t offset = _concatOffsets[k];
-        nn::Tensor emb_grad(b, bank.activeWidth);
+        nn::Tensor &emb_grad =
+            _ws.scratch("emb_grad", b, bank.activeWidth);
         for (size_t i = 0; i < b; ++i)
             for (size_t d = 0; d < bank.activeWidth; ++d)
                 emb_grad.at(i, d) = grad.at(i, offset + d);
@@ -294,7 +294,8 @@ DlrmSupernet::backward(const nn::Tensor &grad_logits)
     }
     if (_bottomDepth > 0) {
         size_t offset = _concat.cols() - _bottomOutWidth;
-        nn::Tensor bottom_grad(b, _bottomOutWidth);
+        nn::Tensor &bottom_grad =
+            _ws.scratch("bottom_grad", b, _bottomOutWidth);
         for (size_t i = 0; i < b; ++i)
             for (size_t d = 0; d < _bottomOutWidth; ++d)
                 bottom_grad.at(i, d) = grad.at(i, offset + d);
@@ -305,7 +306,7 @@ DlrmSupernet::backward(const nn::Tensor &grad_logits)
 EvalResult
 DlrmSupernet::evaluate(const pipeline::Batch &batch)
 {
-    nn::Tensor logits = forward(batch);
+    const nn::Tensor &logits = forward(batch);
     EvalResult res;
     std::vector<double> probs(batch.size()), labels(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -320,8 +321,8 @@ DlrmSupernet::evaluate(const pipeline::Batch &batch)
 double
 DlrmSupernet::accumulateGradients(const pipeline::Batch &batch)
 {
-    nn::Tensor logits = forward(batch);
-    nn::Tensor labels(batch.size(), 1);
+    const nn::Tensor &logits = forward(batch);
+    nn::Tensor &labels = _ws.scratch("labels", batch.size(), 1);
     for (size_t i = 0; i < batch.size(); ++i)
         labels.at(i, 0) = batch.examples[i].label;
     nn::LossResult loss = nn::bceWithLogits(logits, labels);

@@ -35,6 +35,7 @@
 #include "nn/low_rank_dense.h"
 #include "nn/masked_dense.h"
 #include "nn/optimizer.h"
+#include "nn/workspace.h"
 #include "pipeline/example.h"
 #include "searchspace/dlrm_space.h"
 #include "supernet/dlrm_model.h"
@@ -86,10 +87,11 @@ class DlrmSupernet
     void configure(const searchspace::Sample &sample);
 
     /**
-     * Forward pass on a batch; returns [batch, 1] logits.
+     * Forward pass on a batch; returns [batch, 1] logits — a reference
+     * to an internal buffer, valid until the next forward.
      * @pre configure() was called.
      */
-    nn::Tensor forward(const pipeline::Batch &batch);
+    const nn::Tensor &forward(const pipeline::Batch &batch);
 
     /** Forward + loss only (no gradients): the alpha-step evaluation. */
     EvalResult evaluate(const pipeline::Batch &batch);
@@ -166,10 +168,11 @@ class DlrmSupernet
         uint32_t activeRank = 0;
     };
 
-    nn::Tensor forwardMlp(std::vector<LayerBank> &stack, size_t depth,
-                          const nn::Tensor &input);
-    nn::Tensor backwardMlp(std::vector<LayerBank> &stack, size_t depth,
-                           nn::Tensor grad);
+    // Both chain layer-owned buffers by reference: no per-layer copies.
+    const nn::Tensor &forwardMlp(std::vector<LayerBank> &stack,
+                                 size_t depth, const nn::Tensor &input);
+    const nn::Tensor &backwardMlp(std::vector<LayerBank> &stack,
+                                  size_t depth, const nn::Tensor &grad);
     void backward(const nn::Tensor &grad_logits);
 
     const searchspace::DlrmSearchSpace &_space;
@@ -190,6 +193,9 @@ class DlrmSupernet
     std::vector<size_t> _concatOffsets; ///< column offset per live table
     std::vector<size_t> _liveTables;
     size_t _bottomOutWidth = 0;
+
+    /** Reused scratch for gradient splits and label staging. */
+    nn::Workspace _ws;
 
     std::unique_ptr<nn::SgdOptimizer> _optimizer;
     /** Every shared parameter, in construction order (checkpointing). */

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * A/B tests for the tiled matmul kernels against the reference scalar
+ * kernels, plus the determinism contract: tiled results are bitwise
+ * reproducible run-to-run and bit-identical across exec thread counts.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/shard_runner.h"
+#include "exec/thread_pool.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+using namespace h2o;
+
+namespace {
+
+nn::Tensor
+randomTensor(size_t rows, size_t cols, common::Rng &rng,
+             double zero_prob = 0.0)
+{
+    nn::Tensor t(rows, cols);
+    for (size_t i = 0; i < t.size(); ++i) {
+        if (zero_prob > 0.0 && rng.uniform() < zero_prob)
+            t[i] = 0.0f;
+        else
+            t[i] = static_cast<float>(rng.normal());
+    }
+    return t;
+}
+
+/** |tiled - ref| <= tol * max(1, |ref|), element-wise over the storage. */
+void
+expectClose(const nn::Tensor &tiled, const nn::Tensor &ref, double tol)
+{
+    ASSERT_EQ(tiled.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        double r = ref[i];
+        double bound = tol * std::max(1.0, std::abs(r));
+        EXPECT_NEAR(tiled[i], r, bound) << "element " << i;
+    }
+}
+
+void
+expectBitIdentical(const nn::Tensor &a, const nn::Tensor &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(0, std::memcmp(a.data().data(), b.data().data(),
+                             a.size() * sizeof(float)));
+}
+
+struct Shape
+{
+    size_t m, k, n, k_act, n_act;
+};
+
+std::vector<Shape>
+randomShapes(common::Rng &rng, size_t count)
+{
+    std::vector<Shape> shapes;
+    // Fixed corner cases: single element, sub-tile, exact tile multiples,
+    // and ragged remainders around the 4x64 blocking schedule.
+    shapes.push_back({1, 1, 1, 1, 1});
+    shapes.push_back({3, 5, 7, 2, 4});
+    shapes.push_back({4, 16, 64, 16, 64});
+    shapes.push_back({8, 32, 128, 32, 128});
+    shapes.push_back({5, 17, 65, 13, 33});
+    shapes.push_back({9, 64, 192, 50, 130});
+    for (size_t i = 0; i < count; ++i) {
+        size_t m = static_cast<size_t>(rng.uniformInt(1, 40));
+        size_t k = static_cast<size_t>(rng.uniformInt(1, 96));
+        size_t n = static_cast<size_t>(rng.uniformInt(1, 160));
+        size_t k_act = static_cast<size_t>(
+            rng.uniformInt(1, static_cast<int64_t>(k)));
+        size_t n_act = static_cast<size_t>(
+            rng.uniformInt(1, static_cast<int64_t>(n)));
+        shapes.push_back({m, k, n, k_act, n_act});
+    }
+    return shapes;
+}
+
+} // namespace
+
+TEST(NnKernels, TiledMatmulMaskedMatchesReference)
+{
+    common::Rng rng(1234);
+    for (const Shape &s : randomShapes(rng, 24)) {
+        // Masked-weight sparsity exercises the reference kernel's
+        // zero-skip path against the tiled kernel's dense path.
+        nn::Tensor a = randomTensor(s.m, s.k, rng, 0.3);
+        nn::Tensor b = randomTensor(s.k, s.n, rng, 0.3);
+        for (bool accumulate : {false, true}) {
+            nn::Tensor c_ref = randomTensor(s.m, s.n, rng);
+            nn::Tensor c_tiled = c_ref; // same starting contents
+            nn::reference::matmulMasked(a, b, c_ref, s.k_act, s.n_act,
+                                        accumulate);
+            nn::tiled::matmulMasked(a, b, c_tiled, s.k_act, s.n_act,
+                                    accumulate);
+            expectClose(c_tiled, c_ref, 1e-5);
+        }
+    }
+}
+
+TEST(NnKernels, TiledMatmulTransAMaskedMatchesReference)
+{
+    common::Rng rng(2345);
+    for (const Shape &s : randomShapes(rng, 24)) {
+        nn::Tensor a = randomTensor(s.m, s.k, rng, 0.3); // A[m,k]
+        nn::Tensor b = randomTensor(s.m, s.n, rng, 0.3); // B[m,n]
+        nn::Tensor c_ref = randomTensor(s.k, s.n, rng);  // C[k,n] +=
+        nn::Tensor c_tiled = c_ref;
+        nn::reference::matmulTransAMasked(a, b, c_ref, s.k_act, s.n_act);
+        nn::tiled::matmulTransAMasked(a, b, c_tiled, s.k_act, s.n_act);
+        expectClose(c_tiled, c_ref, 1e-5);
+    }
+}
+
+TEST(NnKernels, TiledMatmulTransBMaskedMatchesReference)
+{
+    common::Rng rng(3456);
+    for (const Shape &s : randomShapes(rng, 24)) {
+        nn::Tensor a = randomTensor(s.m, s.n, rng, 0.3); // A[m,n]
+        nn::Tensor b = randomTensor(s.k, s.n, rng, 0.3); // B[k,n], used ^T
+        for (bool accumulate : {false, true}) {
+            nn::Tensor c_ref = randomTensor(s.m, s.k, rng);
+            nn::Tensor c_tiled = c_ref;
+            nn::reference::matmulTransBMasked(a, b, c_ref, s.n_act,
+                                              s.k_act, accumulate);
+            nn::tiled::matmulTransBMasked(a, b, c_tiled, s.n_act, s.k_act,
+                                          accumulate);
+            expectClose(c_tiled, c_ref, 1e-5);
+        }
+    }
+}
+
+TEST(NnKernels, TransBOverwriteIgnoresStaleContents)
+{
+    // The accumulate=false default must make the result independent of
+    // whatever garbage C held — the uninitialized-C footgun the explicit
+    // flag removed.
+    common::Rng rng(4567);
+    nn::Tensor a = randomTensor(6, 20, rng);
+    nn::Tensor b = randomTensor(12, 20, rng);
+    nn::Tensor c1(6, 12), c2(6, 12);
+    for (size_t i = 0; i < c1.size(); ++i)
+        c1[i] = 1e30f;
+    c2.zero();
+    nn::matmulTransBMasked(a, b, c1, 20, 12);
+    nn::matmulTransBMasked(a, b, c2, 20, 12);
+    expectBitIdentical(c1, c2);
+}
+
+TEST(NnKernels, TiledIsBitwiseDeterministicRunToRun)
+{
+    common::Rng rng(5678);
+    nn::Tensor a = randomTensor(16, 48, rng);
+    nn::Tensor b = randomTensor(48, 96, rng);
+    nn::Tensor c1(16, 96), c2(16, 96);
+    nn::tiled::matmulMasked(a, b, c1, 48, 96);
+    nn::tiled::matmulMasked(a, b, c2, 48, 96);
+    expectBitIdentical(c1, c2);
+}
+
+TEST(NnKernels, DispatcherSelectsImplementation)
+{
+    nn::KernelImpl before = nn::kernelImpl();
+    common::Rng rng(6789);
+    nn::Tensor a = randomTensor(4, 8, rng);
+    nn::Tensor b = randomTensor(8, 8, rng);
+
+    nn::setKernelImpl(nn::KernelImpl::Reference);
+    nn::Tensor c_ref(4, 8);
+    nn::matmulMasked(a, b, c_ref, 8, 8);
+    nn::Tensor c_oracle(4, 8);
+    nn::reference::matmulMasked(a, b, c_oracle, 8, 8);
+    expectBitIdentical(c_ref, c_oracle);
+
+    nn::setKernelImpl(nn::KernelImpl::Tiled);
+    nn::Tensor c_tiled(4, 8);
+    nn::matmulMasked(a, b, c_tiled, 8, 8);
+    nn::Tensor t_oracle(4, 8);
+    nn::tiled::matmulMasked(a, b, t_oracle, 8, 8);
+    expectBitIdentical(c_tiled, t_oracle);
+
+    nn::setKernelImpl(before);
+    EXPECT_EQ(nn::kernelImplFromName("tiled"), nn::KernelImpl::Tiled);
+    EXPECT_EQ(nn::kernelImplFromName("reference"),
+              nn::KernelImpl::Reference);
+}
+
+// The cross-thread contract: kernels are single-threaded and parallelism
+// lives in h2o::exec, whose OrderedSection serializes shared-state
+// updates in shard-index order. A sharded compute + ordered-aggregate
+// step must therefore produce bit-identical results at any pool width.
+TEST(NnKernels, TiledBitIdenticalAcross1_2_8ExecThreads)
+{
+    constexpr size_t kShards = 8;
+    common::Rng rng(7890);
+    std::vector<nn::Tensor> as, bs;
+    for (size_t s = 0; s < kShards; ++s) {
+        as.push_back(randomTensor(12, 40, rng));
+        bs.push_back(randomTensor(40, 72, rng));
+    }
+
+    auto run_with_threads = [&](size_t threads) {
+        exec::ThreadPool pool(threads);
+        exec::ShardRunner runner(pool, {kShards, 1, 0.1});
+        nn::Tensor accum(12, 72);
+        accum.zero();
+        std::vector<nn::Tensor> outs(kShards);
+        auto report = runner.runStep(0, [&](size_t shard) {
+            nn::Tensor &c = outs[shard];
+            c = nn::Tensor(12, 72);
+            nn::tiled::matmulMasked(as[shard], bs[shard], c, 40, 72);
+            // Shared-state aggregation in strict shard order.
+            exec::OrderedSection::Guard guard(runner.ordered(), shard);
+            nn::axpy(1.0f / kShards, c, accum);
+        });
+        EXPECT_EQ(report.numOk(), kShards);
+        return accum;
+    };
+
+    nn::Tensor t1 = run_with_threads(1);
+    nn::Tensor t2 = run_with_threads(2);
+    nn::Tensor t8 = run_with_threads(8);
+    expectBitIdentical(t1, t2);
+    expectBitIdentical(t1, t8);
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * SimCache unit tests: exact hit semantics, no cross-chip/config
+ * collisions, LRU eviction, and the capacity bound under concurrent
+ * mixed lookup/insert traffic (runs under the `concurrency` label).
+ */
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hw/chip.h"
+#include "sim/sim_cache.h"
+#include "sim/simulator.h"
+
+using namespace h2o;
+
+namespace {
+
+sim::SimResult
+resultWithStepTime(double step_sec)
+{
+    sim::SimResult r;
+    r.stepTimeSec = step_sec;
+    r.totalFlops = step_sec * 2.0;
+    r.liveOps = 3;
+    r.perOp.assign(3, sim::OpTiming{});
+    r.perOp[1].seconds = step_sec / 3.0;
+    return r;
+}
+
+sim::SimConfig
+configFor(hw::ChipModel model)
+{
+    return sim::SimConfig{hw::chipSpec(model), true, true, {}};
+}
+
+} // namespace
+
+TEST(SimCache, HitReturnsExactCachedResult)
+{
+    sim::SimCache cache(16);
+    sim::SimCacheKey key =
+        sim::makeSimCacheKey({1, 2, 3}, 0, configFor(hw::ChipModel::TpuV4));
+
+    sim::SimResult out;
+    EXPECT_FALSE(cache.lookup(key, out));
+
+    sim::SimResult stored = resultWithStepTime(0.125);
+    cache.insert(key, stored);
+    ASSERT_TRUE(cache.lookup(key, out));
+    EXPECT_EQ(out.stepTimeSec, stored.stepTimeSec);
+    EXPECT_EQ(out.totalFlops, stored.totalFlops);
+    EXPECT_EQ(out.liveOps, stored.liveOps);
+    ASSERT_EQ(out.perOp.size(), stored.perOp.size());
+    EXPECT_EQ(out.perOp[1].seconds, stored.perOp[1].seconds);
+
+    sim::SimCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SimCache, GetOrComputeComputesOnceThenHits)
+{
+    sim::SimCache cache(16);
+    sim::SimCacheKey key =
+        sim::makeSimCacheKey({7}, 1, configFor(hw::ChipModel::TpuV4i));
+    size_t computes = 0;
+    auto compute = [&] {
+        ++computes;
+        return resultWithStepTime(0.5);
+    };
+    EXPECT_EQ(cache.getOrCompute(key, compute).stepTimeSec, 0.5);
+    EXPECT_EQ(cache.getOrCompute(key, compute).stepTimeSec, 0.5);
+    EXPECT_EQ(computes, 1u);
+    EXPECT_DOUBLE_EQ(cache.stats().hitRate(), 0.5);
+}
+
+TEST(SimCache, DistinctChipsAndConfigsNeverCollide)
+{
+    sim::SimCache cache(64);
+    std::vector<size_t> sample{4, 0, 2, 9};
+
+    // Same decisions, three axes of config difference: chip model,
+    // pass toggles, memory partition fractions.
+    sim::SimConfig tpu = configFor(hw::ChipModel::TpuV4);
+    sim::SimConfig gpu = configFor(hw::ChipModel::GpuV100);
+    sim::SimConfig nofuse = tpu;
+    nofuse.enableFusion = false;
+    sim::SimConfig repart = tpu;
+    repart.memory.paramFraction = 0.2;
+    repart.memory.activationFraction = 0.8;
+
+    std::vector<sim::SimConfig> configs{tpu, gpu, nofuse, repart};
+    for (size_t i = 0; i < configs.size(); ++i)
+        cache.insert(sim::makeSimCacheKey(sample, 0, configs[i]),
+                     resultWithStepTime(double(i + 1)));
+    // Same config, different mode tag (training vs serving).
+    cache.insert(sim::makeSimCacheKey(sample, 1, tpu),
+                 resultWithStepTime(99.0));
+
+    sim::SimResult out;
+    for (size_t i = 0; i < configs.size(); ++i) {
+        ASSERT_TRUE(cache.lookup(
+            sim::makeSimCacheKey(sample, 0, configs[i]), out));
+        EXPECT_EQ(out.stepTimeSec, double(i + 1))
+            << "config " << i << " aliased another entry";
+    }
+    ASSERT_TRUE(cache.lookup(sim::makeSimCacheKey(sample, 1, tpu), out));
+    EXPECT_EQ(out.stepTimeSec, 99.0);
+}
+
+TEST(SimCache, LruEvictsLeastRecentlyUsed)
+{
+    // One shard, room for two entries: classic A,B, touch A, add C.
+    sim::SimCache cache(2, 1);
+    sim::SimConfig cfg = configFor(hw::ChipModel::TpuV4);
+    auto key = [&](size_t i) {
+        return sim::makeSimCacheKey({i}, 0, cfg);
+    };
+    cache.insert(key(1), resultWithStepTime(1.0));
+    cache.insert(key(2), resultWithStepTime(2.0));
+    sim::SimResult out;
+    ASSERT_TRUE(cache.lookup(key(1), out)); // refresh A
+    cache.insert(key(3), resultWithStepTime(3.0)); // evicts B
+    EXPECT_TRUE(cache.lookup(key(1), out));
+    EXPECT_FALSE(cache.lookup(key(2), out));
+    EXPECT_TRUE(cache.lookup(key(3), out));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_LE(cache.stats().entries, cache.capacity());
+}
+
+TEST(SimCache, CapacityBoundHoldsUnderConcurrentAccess)
+{
+    constexpr size_t kCapacity = 64;
+    constexpr size_t kThreads = 8;
+    constexpr size_t kKeysPerThread = 500;
+    sim::SimCache cache(kCapacity, 8);
+    sim::SimConfig cfg = configFor(hw::ChipModel::TpuV4);
+
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            for (size_t i = 0; i < kKeysPerThread; ++i) {
+                // Overlapping key ranges across threads: a mix of
+                // genuine hits, racing double-computes, and evictions.
+                size_t id = (t % 2) * 7919 + i;
+                sim::SimCacheKey key =
+                    sim::makeSimCacheKey({id, t % 2}, 0, cfg);
+                sim::SimResult r = cache.getOrCompute(key, [&] {
+                    return resultWithStepTime(double(id + 1));
+                });
+                // Whoever computed it, the value must be the pure
+                // function of the key.
+                EXPECT_EQ(r.stepTimeSec, double(id + 1));
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    sim::SimCacheStats stats = cache.stats();
+    EXPECT_LE(stats.entries, cache.capacity());
+    EXPECT_EQ(stats.hits + stats.misses,
+              uint64_t(kThreads) * kKeysPerThread);
+    EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST(SimCache, ClearDropsEntriesKeepsCounters)
+{
+    sim::SimCache cache(8);
+    sim::SimCacheKey key =
+        sim::makeSimCacheKey({1}, 0, configFor(hw::ChipModel::TpuV4));
+    cache.insert(key, resultWithStepTime(1.0));
+    sim::SimResult out;
+    ASSERT_TRUE(cache.lookup(key, out));
+    cache.clear();
+    EXPECT_FALSE(cache.lookup(key, out));
+    sim::SimCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+}
