@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <iostream>
+#include <span>
 
 #include "arch/dlrm_arch.h"
 #include "common/flags.h"
@@ -84,10 +85,16 @@ main(int argc, char **argv)
         cfg.numSteps = budget / shards;
         cfg.warmupSteps = cfg.numSteps / 10;
         cfg.threads = static_cast<size_t>(flags.getInt("threads"));
+        // Batched performance stage: one call per step over the step's
+        // surviving shard candidates.
         search::H2oDlrmSearch search(
             space, net, pipe,
-            [&](const searchspace::Sample &s) {
-                return std::vector<double>{space.decode(s).modelBytes()};
+            [&](std::span<const searchspace::Sample> ss) {
+                std::vector<std::vector<double>> out;
+                out.reserve(ss.size());
+                for (const auto &s : ss)
+                    out.push_back({space.decode(s).modelBytes()});
+                return out;
             },
             rwd, cfg);
 

@@ -16,6 +16,7 @@
  */
 
 #include <iostream>
+#include <span>
 
 #include "arch/dlrm_arch.h"
 #include "baselines/quality_model.h"
@@ -88,10 +89,16 @@ main(int argc, char **argv)
     // re-samples the same candidates, and those repeats hit the cache.
     // SimCache is thread-safe, so the sharded evaluators share it.
     bench::CachedDlrmTimer timer(platform, hw::servingPlatform());
-    auto perf_fn = [&](const searchspace::Sample &s) {
-        arch::DlrmArch a = space.decode(s);
-        return std::vector<double>{timer.trainStepTime(space, s),
-                                   a.modelBytes()};
+    // Batched performance stage: one SimCache lookupBatch + one
+    // Simulator::runBatch over the step's surviving shard candidates.
+    auto perf_fn = [&](std::span<const searchspace::Sample> ss) {
+        auto step_times = timer.trainStepTimes(space, ss);
+        std::vector<std::vector<double>> out;
+        out.reserve(ss.size());
+        for (size_t i = 0; i < ss.size(); ++i)
+            out.push_back(
+                {step_times[i], space.decode(ss[i]).modelBytes()});
+        return out;
     };
     reward::ReluReward rwd({{"step_time", base_bd.stepSec, -2.0},
                             {"model_size", base_size, -2.0}});

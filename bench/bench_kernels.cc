@@ -133,16 +133,24 @@ main(int argc, char **argv)
                 nn::Activation::Identity, rng);
     nn::Tensor x = randomTensor(m, k, rng);
     nn::Tensor grad = randomTensor(m, 1, rng);
+    // Whole-buffer zero fills ride along: redundant zeroing (clearing a
+    // buffer every element of which is then overwritten) is wasted
+    // bandwidth on the training hot path. Steady-state fills should be
+    // limited to genuine accumulator resets.
     nn::resetTensorAllocCount();
+    nn::resetTensorZeroFillCount();
     mlp.forward(x);
     mlp.backward(grad);
     size_t first_step_allocs = nn::tensorAllocCount();
+    size_t first_step_zero_fills = nn::tensorZeroFillCount();
     nn::resetTensorAllocCount();
+    nn::resetTensorZeroFillCount();
     for (size_t s = 0; s < 10; ++s) {
         mlp.forward(x);
         mlp.backward(grad);
     }
     size_t steady_allocs = nn::tensorAllocCount() / 10;
+    size_t steady_zero_fills = nn::tensorZeroFillCount() / 10;
 
     // --- SimCache hit rate on a repeat-heavy stream: a candidate pool
     // evaluated round-robin, as paired eval sets / converged policies do.
@@ -174,6 +182,8 @@ main(int argc, char **argv)
     line("matmulTransBMasked", transb);
     std::cout << "allocs/step: first " << first_step_allocs
               << ", steady-state " << steady_allocs << "\n";
+    std::cout << "zero-fills/step: first " << first_step_zero_fills
+              << ", steady-state " << steady_zero_fills << "\n";
     std::cout << "sim cache: " << cache.hits << " hits / " << cache.misses
               << " misses (hit rate " << cache.hitRate() << ") over "
               << evals << " evals in " << sim_sec
@@ -202,6 +212,8 @@ main(int argc, char **argv)
        << "  },\n"
        << "  \"allocs_per_step\": {\"first\": " << first_step_allocs
        << ", \"steady\": " << steady_allocs << "},\n"
+       << "  \"zero_fills_per_step\": {\"first\": " << first_step_zero_fills
+       << ", \"steady\": " << steady_zero_fills << "},\n"
        << "  \"sim_cache\": {\"hits\": " << cache.hits << ", \"misses\": "
        << cache.misses << ", \"evictions\": " << cache.evictions
        << ", \"hit_rate\": " << cache.hitRate() << "}\n"

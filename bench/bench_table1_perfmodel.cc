@@ -26,6 +26,7 @@
 #include "arch/dlrm_arch.h"
 #include "bench_util.h"
 #include "common/flags.h"
+#include "exec/checkpoint.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "perfmodel/features.h"
@@ -51,6 +52,9 @@ main(int argc, char **argv)
     flags.defineInt("seed", 7, "RNG seed");
     flags.defineBool("sim_cache", true,
                      "memoize Simulator::run behind sim::SimCache");
+    flags.defineString("sim_cache_file", "",
+                       "persist the SimCache across runs: load before "
+                       "pretraining if the file exists, save after");
     flags.parse(argc, argv);
 
     searchspace::DlrmSearchSpace space(arch::baselineDlrm());
@@ -59,21 +63,36 @@ main(int argc, char **argv)
     hw::Platform serve_platform = hw::servingPlatform();
 
     bool use_cache = flags.getBool("sim_cache");
+    std::string cache_file = flags.getString("sim_cache_file");
     bench::CachedDlrmTimer timer(train_platform, serve_platform);
-    auto simulate = [&](const searchspace::Sample &s) {
-        if (use_cache) {
-            return perfmodel::SimTimes{timer.trainStepTime(space, s),
-                                       timer.serveStepTime(space, s)};
-        }
-        arch::DlrmArch a = space.decode(s);
-        double train_t = bench::dlrmTrainStepTime(a, train_platform);
-        double serve_t = bench::dlrmServeStepTime(a, serve_platform);
-        return perfmodel::SimTimes{train_t, serve_t};
-    };
+    if (use_cache && !cache_file.empty() &&
+        exec::CheckpointReader::exists(cache_file)) {
+        exec::CheckpointReader reader(cache_file);
+        timer.cache().load(reader.stream());
+        std::cout << "SimCache warmed from " << cache_file << " ("
+                  << timer.cacheStats().entries << " entries)\n";
+    }
+    perfmodel::SimulateBatchFn simulate_batch =
+        [&](std::span<const searchspace::Sample> samples) {
+            std::vector<perfmodel::SimTimes> out(samples.size());
+            if (use_cache) {
+                auto train_t = timer.trainStepTimes(space, samples);
+                auto serve_t = timer.serveStepTimes(space, samples);
+                for (size_t i = 0; i < samples.size(); ++i)
+                    out[i] = {train_t[i], serve_t[i]};
+                return out;
+            }
+            for (size_t i = 0; i < samples.size(); ++i) {
+                arch::DlrmArch a = space.decode(samples[i]);
+                out[i] = {bench::dlrmTrainStepTime(a, train_platform),
+                          bench::dlrmServeStepTime(a, serve_platform)};
+            }
+            return out;
+        };
     perfmodel::HardwareOracle oracle(
         {}, static_cast<uint64_t>(flags.getInt("seed")) * 31 + 5);
     perfmodel::TwoPhaseTrainer trainer(space.decisions(), encoder,
-                                       simulate, oracle);
+                                       simulate_batch, oracle);
 
     common::Rng rng(static_cast<uint64_t>(flags.getInt("seed")));
     perfmodel::PerfModelConfig mcfg;
@@ -140,6 +159,13 @@ main(int argc, char **argv)
     if (use_cache) {
         std::cout << "SimCache counters:\n";
         search::writeSimCacheStatsCsv(timer.cacheStats(), std::cout);
+        if (!cache_file.empty()) {
+            exec::CheckpointWriter writer;
+            timer.cache().save(writer.stream());
+            writer.commit(cache_file);
+            std::cout << "SimCache persisted to " << cache_file << " ("
+                      << timer.cacheStats().entries << " entries)\n";
+        }
     }
     return 0;
 }

@@ -7,7 +7,9 @@
 #ifndef H2O_BENCH_BENCH_UTIL_H
 #define H2O_BENCH_BENCH_UTIL_H
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "arch/dlrm_arch.h"
 #include "arch/lowering.h"
@@ -111,11 +113,84 @@ class CachedDlrmTimer
             .stepTimeSec;
     }
 
+    /**
+     * Batched training step times, parallel to `samples`. One
+     * getOrComputeBatch (each cache stripe locked once per phase) and
+     * one Simulator::runBatch over the misses — equal values to
+     * per-sample trainStepTime calls, identical hit/miss totals.
+     */
+    std::vector<double>
+    trainStepTimes(const searchspace::DlrmSearchSpace &space,
+                   std::span<const searchspace::Sample> samples)
+    {
+        return stepTimes(space, samples, kTrainTag, _trainConfig, _train,
+                         arch::ExecMode::Training);
+    }
+
+    /** Batched serving step times (serving batch 1024). */
+    std::vector<double>
+    serveStepTimes(const searchspace::DlrmSearchSpace &space,
+                   std::span<const searchspace::Sample> samples)
+    {
+        return stepTimes(space, samples, kServeTag, _serveConfig, _serve,
+                         arch::ExecMode::Serving);
+    }
+
     sim::SimCacheStats cacheStats() const { return _cache.stats(); }
+
+    /** The underlying cache, e.g. for save()/load() persistence. */
+    sim::SimCache &cache() { return _cache; }
 
   private:
     static constexpr uint64_t kTrainTag = 0;
     static constexpr uint64_t kServeTag = 1;
+
+    std::vector<double>
+    stepTimes(const searchspace::DlrmSearchSpace &space,
+              std::span<const searchspace::Sample> samples, uint64_t tag,
+              const sim::SimConfig &config, const hw::Platform &platform,
+              arch::ExecMode mode)
+    {
+        std::vector<sim::SimCacheKey> keys;
+        keys.reserve(samples.size());
+        for (const auto &s : samples)
+            keys.push_back(sim::makeSimCacheKey(s, tag, config));
+        auto results = _cache.getOrComputeBatch(
+            keys, [&](const std::vector<size_t> &misses) {
+                // Lower and simulate in chunks: batches can be tens of
+                // thousands of candidates, and materializing every graph
+                // before the first simulate would blow the data cache.
+                constexpr size_t kChunk = 256;
+                std::vector<sim::SimResult> fresh;
+                fresh.reserve(misses.size());
+                sim::Simulator simulator(config);
+                std::vector<sim::Graph> graphs;
+                std::vector<const sim::Graph *> ptrs;
+                for (size_t c = 0; c < misses.size(); c += kChunk) {
+                    size_t end = std::min(misses.size(), c + kChunk);
+                    graphs.clear();
+                    ptrs.clear();
+                    for (size_t k = c; k < end; ++k) {
+                        arch::DlrmArch a = space.decode(samples[misses[k]]);
+                        if (mode == arch::ExecMode::Serving)
+                            a.globalBatch = 1024;
+                        graphs.push_back(
+                            arch::buildDlrmGraph(a, platform, mode));
+                    }
+                    for (const auto &g : graphs)
+                        ptrs.push_back(&g);
+                    auto part = simulator.runBatch(ptrs);
+                    for (auto &r : part)
+                        fresh.push_back(std::move(r));
+                }
+                return fresh;
+            });
+        std::vector<double> out;
+        out.reserve(results.size());
+        for (const auto &r : results)
+            out.push_back(r.stepTimeSec);
+        return out;
+    }
 
     hw::Platform _train;
     hw::Platform _serve;

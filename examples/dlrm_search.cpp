@@ -20,6 +20,7 @@
  */
 
 #include <iostream>
+#include <span>
 
 #include "arch/dlrm_arch.h"
 #include "bench/bench_util.h"
@@ -119,10 +120,20 @@ main(int argc, char **argv)
     reward::ReluReward reward({{"step_time", base_time, -2.0},
                                {"model_size", baseline.modelBytes(),
                                 -2.0}});
-    auto perf_fn = [&](const searchspace::Sample &s) {
-        auto p = perf_model.predict(encoder.encode(s));
-        arch::DlrmArch a = space.decode(s);
-        return std::vector<double>{p.trainStepTimeSec, a.modelBytes()};
+    // Batched performance stage: one PerfModel::predictBatch (a single
+    // packed MLP forward) per step over the surviving shard candidates.
+    auto perf_fn = [&](std::span<const searchspace::Sample> ss) {
+        std::vector<std::vector<double>> feats;
+        feats.reserve(ss.size());
+        for (const auto &s : ss)
+            feats.push_back(encoder.encode(s));
+        auto preds = perf_model.predictBatch(feats);
+        std::vector<std::vector<double>> out;
+        out.reserve(ss.size());
+        for (size_t i = 0; i < ss.size(); ++i)
+            out.push_back({preds[i].trainStepTimeSec,
+                           space.decode(ss[i]).modelBytes()});
+        return out;
     };
 
     // --- H2O unified single-step search.

@@ -1,0 +1,85 @@
+#include "eval/eval_engine.h"
+
+#include "common/logging.h"
+
+namespace h2o::eval {
+
+PerfBatchFn
+batchify(PerfFn fn)
+{
+    h2o_assert(fn, "null performance functor");
+    return [fn = std::move(fn)](
+               std::span<const searchspace::Sample> samples) {
+        std::vector<std::vector<double>> out;
+        out.reserve(samples.size());
+        for (const auto &s : samples)
+            out.push_back(fn(s));
+        return out;
+    };
+}
+
+EvalEngine::EvalEngine(PerfStage perf,
+                       const reward::RewardFunction &rewardf,
+                       EvalEngineConfig config)
+    : _perf(std::move(perf)), _reward(rewardf), _config(config),
+      _pool(config.multithread
+                ? exec::ThreadPool::resolve(config.threads,
+                                            config.numShards)
+                : 1),
+      _runner(_pool,
+              {config.numShards, config.maxShardAttempts,
+               config.retryBackoffMs},
+              config.faults)
+{
+    h2o_assert(_perf.perCandidate || _perf.batched,
+               "null performance functor");
+    h2o_assert(_config.numShards > 0, "engine with zero shards");
+}
+
+StepEval
+EvalEngine::evaluate(size_t step, const ShardBodyFn &body)
+{
+    const size_t n = _config.numShards;
+    StepEval ev;
+    ev.samples.resize(n);
+    ev.qualities.assign(n, 0.0);
+    ev.performance.resize(n);
+    ev.rewards.assign(n, 0.0);
+
+    // Stage 1: quality, per shard, under the fault-tolerant runner. In
+    // per-candidate mode the performance call rides along inside the
+    // shard body, so a blocking function (device-in-the-loop) occupies
+    // its shard and overlaps across workers.
+    ev.report = _runner.runStep(step, [&](size_t s) {
+        body(s, ev.samples[s], ev.qualities[s]);
+        if (_perf.perCandidate)
+            ev.performance[s] = _perf.perCandidate(ev.samples[s]);
+    });
+    ev.survivors = ev.report.survivors();
+    if (ev.survivors.empty())
+        return ev;
+
+    // Stage 2 (batched mode): one performance call over the survivors,
+    // on this thread. Purity makes this element-for-element identical
+    // to the per-shard calls of per-candidate mode.
+    if (_perf.batched) {
+        std::vector<searchspace::Sample> live;
+        live.reserve(ev.survivors.size());
+        for (size_t s : ev.survivors)
+            live.push_back(ev.samples[s]);
+        auto perfs = _perf.batched(live);
+        h2o_assert(perfs.size() == live.size(),
+                   "performance batch returned ", perfs.size(),
+                   " results for ", live.size(), " candidates");
+        for (size_t i = 0; i < ev.survivors.size(); ++i)
+            ev.performance[ev.survivors[i]] = std::move(perfs[i]);
+    }
+
+    // Stage 3: reward, per survivor, in shard-index order.
+    for (size_t s : ev.survivors)
+        ev.rewards[s] =
+            _reward.compute({ev.qualities[s], ev.performance[s]});
+    return ev;
+}
+
+} // namespace h2o::eval

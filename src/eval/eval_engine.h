@@ -1,0 +1,179 @@
+/**
+ * @file
+ * eval::EvalEngine — the candidate -> reward evaluation pipeline shared
+ * by every search loop.
+ *
+ * One search step evaluates N candidates (the virtual accelerator
+ * shards of Figure 2). Before this subsystem each search loop owned its
+ * own copy of the plumbing: a ThreadPool + ShardRunner pair, a per-shard
+ * body that sampled/evaluated/rewarded one candidate, and ad-hoc
+ * survivor bookkeeping. EvalEngine centralizes that pipeline:
+ *
+ *   1. quality stage — runs per shard INSIDE ShardRunner::runStep, so
+ *      FaultInjector semantics are unchanged: an injected fault strikes
+ *      before the shard body, a degraded shard never draws its sample
+ *      and never advances its RNG stream. Bodies may still carve out
+ *      deterministic shard-index-ordered regions (the shared supernet /
+ *      pipeline) via `engine.runner().ordered()`.
+ *   2. performance stage — in one of two modes, chosen by which functor
+ *      type the engine is built with:
+ *      - PerfBatchFn: ONE batched call over the step's surviving
+ *        candidates, on the coordinator thread. Callers back it with the
+ *        batched entry points (PerfModel::predictBatch,
+ *        Simulator::runBatch behind a SimCache), amortizing feature
+ *        packing, striped-lock traffic and workspace setup across the
+ *        step. Use this for cheap, pure, CPU-side functions.
+ *      - PerfFn: per candidate, INSIDE the shard body on the worker
+ *        pool. Use this when the function occupies a device or
+ *        otherwise blocks (the production shape: each shard's candidate
+ *        runs on a remote accelerator) — shard occupancy then overlaps
+ *        across worker threads instead of serializing on the
+ *        coordinator.
+ *      Performance functions are pure, so the two modes produce
+ *      element-for-element identical values.
+ *   3. reward stage — the multi-objective RewardFunction over
+ *      (quality, performance), per surviving shard, in shard order.
+ *
+ * Aggregation (REINFORCE update, merged weight update) stays in the
+ * caller, which consumes StepEval in shard-index order on its own
+ * thread — bit-for-bit identical to a serial run at any thread count.
+ */
+
+#ifndef H2O_EVAL_EVAL_ENGINE_H
+#define H2O_EVAL_EVAL_ENGINE_H
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "exec/shard_runner.h"
+#include "exec/thread_pool.h"
+#include "reward/reward.h"
+#include "searchspace/decision_space.h"
+
+namespace h2o::eval {
+
+/** Candidate -> performance objective values (e.g. perf-model query). */
+using PerfFn =
+    std::function<std::vector<double>(const searchspace::Sample &)>;
+
+/** Batch of candidates -> objective values, one vector per candidate.
+ *  The batched analogue of PerfFn; must be pure (same answer for the
+ *  same sample regardless of batch composition). */
+using PerfBatchFn = std::function<std::vector<std::vector<double>>(
+    std::span<const searchspace::Sample>)>;
+
+/** Wrap a per-candidate performance function into a PerfBatchFn. */
+PerfBatchFn batchify(PerfFn fn);
+
+/**
+ * The performance stage in one of its two execution modes (see the file
+ * comment). Implicitly constructible from either functor type, so search
+ * ctor overloads forward their performance argument straight through.
+ */
+struct PerfStage
+{
+    /** Per-candidate mode: runs inside the shard body on the worker
+     *  pool (device-in-the-loop / blocking functions). */
+    PerfStage(PerfFn fn) : perCandidate(std::move(fn)) {}
+    /** Batched mode: one coordinator-side call per step over the
+     *  surviving candidates (batch entry points). */
+    PerfStage(PerfBatchFn fn) : batched(std::move(fn)) {}
+
+    PerfFn perCandidate;  ///< exactly one of the two is non-null
+    PerfBatchFn batched;
+};
+
+/** Engine configuration (mirrors the exec runtime knobs). */
+struct EvalEngineConfig
+{
+    /** Virtual accelerator shards = candidates per step. */
+    size_t numShards = 1;
+    /** Worker threads; 0 = one per hardware thread. Clamped to
+     *  numShards. Any value yields bit-identical results. */
+    size_t threads = 0;
+    /** false forces a single worker (results identical either way). */
+    bool multithread = true;
+    /** Optional fault oracle (preemptible-fleet emulation); not owned. */
+    exec::FaultInjector *faults = nullptr;
+    /** Max attempts per shard per step before it is dropped. */
+    size_t maxShardAttempts = 3;
+    /** Exponential retry backoff base, in milliseconds. */
+    double retryBackoffMs = 0.5;
+};
+
+/**
+ * One evaluated step. Vectors are indexed by shard; entries for
+ * degraded shards are value-initialized and excluded from `survivors`.
+ */
+struct StepEval
+{
+    std::vector<searchspace::Sample> samples;
+    std::vector<double> qualities;
+    std::vector<std::vector<double>> performance;
+    std::vector<double> rewards;
+    /** Shards that completed the quality stage, ascending. */
+    std::vector<size_t> survivors;
+    exec::StepReport report;
+};
+
+/**
+ * The engine. Owns the persistent worker pool and the fault-tolerant
+ * ShardRunner; outlives many evaluate() calls.
+ */
+class EvalEngine
+{
+  public:
+    /**
+     * Per-shard quality stage: fill in the shard's candidate and its
+     * quality signal. Runs inside the shard body — draw the sample from
+     * the shard's own RNG stream HERE so a degraded shard leaves its
+     * stream untouched.
+     */
+    using ShardBodyFn = std::function<void(
+        size_t shard, searchspace::Sample &sample, double &quality)>;
+
+    /**
+     * @param perf    Performance stage (pure). A PerfBatchFn runs once
+     *                per step on the caller's thread; a PerfFn runs per
+     *                candidate inside the shard body.
+     * @param rewardf Multi-objective reward; not owned, must outlive
+     *                the engine.
+     * @param config  Shard count and runtime knobs.
+     */
+    EvalEngine(PerfStage perf, const reward::RewardFunction &rewardf,
+               EvalEngineConfig config);
+
+    /**
+     * Evaluate one step: run `body` for every shard (concurrently,
+     * fault-tolerantly), then one batched performance call and the
+     * reward over the survivors.
+     *
+     * @param step Step index keying fault-injection decisions; callers
+     *             with multiple runStep phases (warm-up, W-steps) must
+     *             keep the combined sequence strictly increasing.
+     */
+    StepEval evaluate(size_t step, const ShardBodyFn &body);
+
+    /** The underlying runner, for ordered sections inside bodies and
+     *  for non-evaluation steps (weight warm-up) that must share the
+     *  fault-injection step sequence. */
+    exec::ShardRunner &runner() { return _runner; }
+
+    /** The persistent worker pool. */
+    exec::ThreadPool &pool() { return _pool; }
+
+    /** Shard count. */
+    size_t numShards() const { return _config.numShards; }
+
+  private:
+    PerfStage _perf;
+    const reward::RewardFunction &_reward;
+    EvalEngineConfig _config;
+    exec::ThreadPool _pool;
+    exec::ShardRunner _runner;
+};
+
+} // namespace h2o::eval
+
+#endif // H2O_EVAL_EVAL_ENGINE_H

@@ -45,10 +45,20 @@ DenseLayer::backward(const Tensor &grad_out)
 
     // dW += X^T dpre ; db += col-sums of dpre ; dX = dpre W^T
     matmulTransAMasked(*_input, _dpre, _wGrad, _in, _out);
-    for (size_t r = 0; r < _dpre.rows(); ++r)
+    const float *dp = _dpre.data().data();
+    float *bg = _bGrad.data().data();
+    for (size_t r = 0; r < _dpre.rows(); ++r) {
+        const float *row = dp + r * _out;
+#pragma omp simd
         for (size_t c = 0; c < _out; ++c)
-            _bGrad[c] += _dpre.at(r, c);
+            bg[c] += row[c];
+    }
 
+    if (!_needInputGrad) {
+        // First-layer fast path: nothing consumes dX, skip its matmul.
+        _dx.resizeUninitialized(0, 0);
+        return _dx;
+    }
     _dx.resizeUninitialized(_dpre.rows(), _in);
     matmulTransBMasked(_dpre, _w, _dx, _out, _in);
     return _dx;

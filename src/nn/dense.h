@@ -47,6 +47,15 @@ class DenseLayer : public Layer
     /** Bias vector. */
     Tensor &bias() { return _b; }
 
+    /**
+     * When disabled, backward() skips the dX = dpre W^T matmul and
+     * returns an empty tensor. Only valid for a network's first layer,
+     * whose input gradient has no consumer (e.g. the perf model trains
+     * on fixed feature rows) — roughly a third of the layer's backward
+     * FLOPs for free.
+     */
+    void setNeedInputGrad(bool need) { _needInputGrad = need; }
+
   private:
     size_t _in;
     size_t _out;
@@ -60,6 +69,7 @@ class DenseLayer : public Layer
     Tensor _output;  ///< cached activation output (reused across calls)
     Tensor _dpre;    ///< backward scratch (reused across calls)
     Tensor _dx;      ///< input gradient returned by backward
+    bool _needInputGrad = true;
 };
 
 } // namespace h2o::nn

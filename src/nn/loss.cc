@@ -26,7 +26,7 @@ bceWithLogits(const Tensor &logits, const Tensor &labels)
     h2o_assert(logits.size() == labels.size() && logits.size() > 0,
                "bce shape mismatch");
     LossResult res;
-    res.grad = Tensor(logits.shape());
+    res.grad.resizeUninitialized(logits.shape()); // every element written
     double inv = 1.0 / static_cast<double>(logits.size());
     double total = 0.0;
     for (size_t i = 0; i < logits.size(); ++i) {
@@ -47,7 +47,7 @@ mseLoss(const Tensor &pred, const Tensor &target)
     h2o_assert(pred.size() == target.size() && pred.size() > 0,
                "mse shape mismatch");
     LossResult res;
-    res.grad = Tensor(pred.shape());
+    res.grad.resizeUninitialized(pred.shape()); // every element written
     double inv = 1.0 / static_cast<double>(pred.size());
     double total = 0.0;
     for (size_t i = 0; i < pred.size(); ++i) {
@@ -66,7 +66,7 @@ huberLoss(const Tensor &pred, const Tensor &target, double delta)
                "huber shape mismatch");
     h2o_assert(delta > 0.0, "huber delta must be positive");
     LossResult res;
-    res.grad = Tensor(pred.shape());
+    res.grad.resizeUninitialized(pred.shape()); // every element written
     double inv = 1.0 / static_cast<double>(pred.size());
     double total = 0.0;
     for (size_t i = 0; i < pred.size(); ++i) {

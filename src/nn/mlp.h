@@ -59,6 +59,17 @@ class Mlp
     /** Access a layer (for tests / inspection). */
     DenseLayer &layer(size_t i) { return *_layers.at(i); }
 
+    /**
+     * Enable/disable the input-gradient matmul of the FIRST layer. When
+     * the network's input is data (not an upstream layer's activation),
+     * backward()'s return value is unused and the dX product is wasted
+     * work; disabling it returns an empty tensor from backward().
+     */
+    void setInputGradEnabled(bool enabled)
+    {
+        _layers.front()->setNeedInputGrad(enabled);
+    }
+
   private:
     std::vector<std::unique_ptr<DenseLayer>> _layers;
     const Tensor *_lastOutput = nullptr;

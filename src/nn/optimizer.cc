@@ -100,16 +100,24 @@ AdamOptimizer::step()
     for (size_t i = 0; i < _params.size(); ++i) {
         auto &value = *_params[i].value;
         auto &grad = *_params[i].grad;
-        auto &m = _m[i];
-        auto &v = _v[i];
-        for (size_t j = 0; j < value.size(); ++j) {
-            double g = grad[j];
-            m[j] = static_cast<float>(_beta1 * m[j] + (1.0 - _beta1) * g);
-            v[j] = static_cast<float>(_beta2 * v[j] + (1.0 - _beta2) * g * g);
-            double mhat = m[j] / bc1;
-            double vhat = v[j] / bc2;
-            value[j] -= static_cast<float>(_lr * mhat /
-                                           (std::sqrt(vhat) + _eps));
+        float *vp = value.data().data();
+        const float *gp = grad.data().data();
+        float *mp = _m[i].data().data();
+        float *vvp = _v[i].data().data();
+        size_t count = value.size();
+        // Elementwise update: each lane is independent and keeps the
+        // exact scalar expression order, so vectorization is
+        // bit-identical to the serial loop.
+#pragma omp simd
+        for (size_t j = 0; j < count; ++j) {
+            double g = gp[j];
+            mp[j] = static_cast<float>(_beta1 * mp[j] + (1.0 - _beta1) * g);
+            vvp[j] =
+                static_cast<float>(_beta2 * vvp[j] + (1.0 - _beta2) * g * g);
+            double mhat = mp[j] / bc1;
+            double vhat = vvp[j] / bc2;
+            vp[j] -= static_cast<float>(_lr * mhat /
+                                        (std::sqrt(vhat) + _eps));
         }
         grad.zero();
     }

@@ -22,6 +22,7 @@ shapeSize(const std::vector<size_t> &shape)
 }
 
 std::atomic<size_t> g_allocCount{0};
+std::atomic<size_t> g_zeroFillCount{0};
 
 /** Record a fresh float-buffer allocation (or capacity growth). */
 void
@@ -29,6 +30,14 @@ countAlloc(size_t elements)
 {
     if (elements > 0)
         g_allocCount.fetch_add(1, std::memory_order_relaxed);
+}
+
+/** Record a whole-buffer zero fill. */
+void
+countZeroFill(size_t elements)
+{
+    if (elements > 0)
+        g_zeroFillCount.fetch_add(1, std::memory_order_relaxed);
 }
 
 } // namespace
@@ -45,10 +54,23 @@ resetTensorAllocCount()
     g_allocCount.store(0, std::memory_order_relaxed);
 }
 
+size_t
+tensorZeroFillCount()
+{
+    return g_zeroFillCount.load(std::memory_order_relaxed);
+}
+
+void
+resetTensorZeroFillCount()
+{
+    g_zeroFillCount.store(0, std::memory_order_relaxed);
+}
+
 Tensor::Tensor(std::vector<size_t> shape)
     : _shape(std::move(shape)), _data(shapeSize(_shape), 0.0f)
 {
     countAlloc(_data.size());
+    countZeroFill(_data.size());
 }
 
 Tensor::Tensor(size_t rows, size_t cols) : Tensor(std::vector<size_t>{rows, cols})
@@ -139,6 +161,7 @@ Tensor::at(size_t r, size_t c) const
 void
 Tensor::zero()
 {
+    countZeroFill(_data.size());
     std::fill(_data.begin(), _data.end(), 0.0f);
 }
 

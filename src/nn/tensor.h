@@ -123,6 +123,18 @@ size_t tensorAllocCount();
 /** Reset the allocation counter to zero. */
 void resetTensorAllocCount();
 
+/**
+ * Number of whole-buffer zero fills (zero-initializing constructions and
+ * zero() calls) across all Tensors since the last reset. Redundant
+ * zeroing — clearing a buffer every element of which is then
+ * overwritten — shows up here; hot paths should prefer
+ * resizeUninitialized and the kernels' explicit `accumulate` flag.
+ */
+size_t tensorZeroFillCount();
+
+/** Reset the zero-fill counter to zero. */
+void resetTensorZeroFillCount();
+
 } // namespace h2o::nn
 
 #endif // H2O_NN_TENSOR_H

@@ -67,8 +67,19 @@ class PerfModel
                  const std::vector<std::array<double, 2>> &targets,
                  common::Rng &rng);
 
-    /** Predict both heads for one feature vector. */
+    /** Predict both heads for one feature vector. Equivalent to (and
+     *  implemented as) a one-row predictBatch. */
     PerfPrediction predict(const std::vector<double> &features) const;
+
+    /**
+     * Predict both heads for a batch of feature vectors with ONE packed
+     * MLP forward over an [n, d] matrix — the tiled kernels' fixed
+     * per-element contraction order makes every row bit-identical to a
+     * one-row predict(), while the batch amortizes dispatch and runs at
+     * matrix (not vector) arithmetic intensity.
+     */
+    std::vector<PerfPrediction>
+    predictBatch(const std::vector<std::vector<double>> &features) const;
 
     /**
      * Apply a post-hoc calibration (from fine-tuning) to subsequent
@@ -90,6 +101,11 @@ class PerfModel
     /** The raw (uncalibrated) log-space prediction of one head. */
     double rawLogPrediction(const std::vector<double> &features,
                             size_t head) const;
+
+    /** Raw log-space predictions of BOTH heads for a batch of feature
+     *  vectors, via one packed forward; out[i] = {head 0, head 1}. */
+    std::vector<std::array<double, 2>> rawLogPredictionBatch(
+        const std::vector<std::vector<double>> &features) const;
 
     /** True once train() has run. */
     bool trained() const { return _trained; }

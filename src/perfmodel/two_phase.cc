@@ -64,10 +64,37 @@ polyFit(const std::vector<double> &xs, const std::vector<double> &ys,
 TwoPhaseTrainer::TwoPhaseTrainer(const searchspace::DecisionSpace &space,
                                  const FeatureEncoder &encoder,
                                  SimulateFn simulate, HardwareOracle oracle)
-    : _space(space), _encoder(encoder), _simulate(std::move(simulate)),
-      _oracle(std::move(oracle))
+    : _space(space), _encoder(encoder), _oracle(std::move(oracle))
+{
+    h2o_assert(simulate, "null simulate functor");
+    _simulate = [fn = std::move(simulate)](
+                    std::span<const searchspace::Sample> samples) {
+        std::vector<SimTimes> times;
+        times.reserve(samples.size());
+        for (const auto &s : samples)
+            times.push_back(fn(s));
+        return times;
+    };
+}
+
+TwoPhaseTrainer::TwoPhaseTrainer(const searchspace::DecisionSpace &space,
+                                 const FeatureEncoder &encoder,
+                                 SimulateBatchFn simulate_batch,
+                                 HardwareOracle oracle)
+    : _space(space), _encoder(encoder),
+      _simulate(std::move(simulate_batch)), _oracle(std::move(oracle))
 {
     h2o_assert(_simulate, "null simulate functor");
+}
+
+std::vector<searchspace::Sample>
+TwoPhaseTrainer::drawSamples(size_t n, common::Rng &rng) const
+{
+    std::vector<searchspace::Sample> samples;
+    samples.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        samples.push_back(_space.uniformSample(rng));
+    return samples;
 }
 
 EvalNrmse
@@ -78,15 +105,20 @@ TwoPhaseTrainer::pretrain(PerfModel &model, size_t num_samples,
     size_t holdout = std::max<size_t>(num_samples / 10, 10);
     size_t train_n = num_samples - holdout;
 
+    // Sampling first, then one batched simulate: the simulator never
+    // consumes the RNG, so the draw sequence matches the historical
+    // interleaved loop exactly.
+    auto samples = drawSamples(num_samples, rng);
+    auto times = _simulate(samples);
+    h2o_assert(times.size() == num_samples, "simulate batch size mismatch");
+
     std::vector<std::vector<double>> features;
     std::vector<std::array<double, 2>> targets;
     features.reserve(num_samples);
     targets.reserve(num_samples);
     for (size_t i = 0; i < num_samples; ++i) {
-        auto sample = _space.uniformSample(rng);
-        SimTimes t = _simulate(sample);
-        features.push_back(_encoder.encode(sample));
-        targets.push_back({t.trainSec, t.serveSec});
+        features.push_back(_encoder.encode(samples[i]));
+        targets.push_back({times[i].trainSec, times[i].serveSec});
     }
 
     std::vector<std::vector<double>> train_x(features.begin(),
@@ -95,9 +127,12 @@ TwoPhaseTrainer::pretrain(PerfModel &model, size_t num_samples,
                                                targets.begin() + train_n);
     model.train(train_x, train_y, rng);
 
+    std::vector<std::vector<double>> holdout_x(
+        features.begin() + train_n, features.end());
+    auto preds = model.predictBatch(holdout_x);
     std::vector<double> pred_t, pred_s, true_t, true_s;
     for (size_t i = train_n; i < num_samples; ++i) {
-        PerfPrediction p = model.predict(features[i]);
+        const PerfPrediction &p = preds[i - train_n];
         pred_t.push_back(p.trainStepTimeSec);
         pred_s.push_back(p.servingTimeSec);
         true_t.push_back(targets[i][0]);
@@ -114,14 +149,22 @@ TwoPhaseTrainer::finetune(PerfModel &model, size_t num_samples,
     h2o_assert(num_samples >= 4, "too few fine-tuning measurements");
     size_t degree = std::min(polynomial_degree, num_samples - 1);
 
+    auto samples = drawSamples(num_samples, rng);
+    auto times = _simulate(samples);
+    h2o_assert(times.size() == num_samples, "simulate batch size mismatch");
+
+    std::vector<std::vector<double>> features;
+    features.reserve(num_samples);
+    for (const auto &s : samples)
+        features.push_back(_encoder.encode(s));
+    auto raw = model.rawLogPredictionBatch(features);
+
     std::vector<double> raw_t, raw_s, meas_t, meas_s;
     for (size_t i = 0; i < num_samples; ++i) {
-        auto sample = _space.uniformSample(rng);
-        SimTimes t = _simulate(sample);
-        Measurement m = _oracle.measure(t.trainSec, t.serveSec);
-        auto f = _encoder.encode(sample);
-        raw_t.push_back(model.rawLogPrediction(f, 0));
-        raw_s.push_back(model.rawLogPrediction(f, 1));
+        Measurement m =
+            _oracle.measure(times[i].trainSec, times[i].serveSec);
+        raw_t.push_back(raw[i][0]);
+        raw_s.push_back(raw[i][1]);
         meas_t.push_back(std::log(m.trainStepTimeSec));
         meas_s.push_back(std::log(m.servingTimeSec));
     }
@@ -139,14 +182,21 @@ EvalNrmse
 TwoPhaseTrainer::evaluateAgainstOracle(const PerfModel &model,
                                        size_t num_samples, common::Rng &rng)
 {
+    auto samples = drawSamples(num_samples, rng);
+    auto times = _simulate(samples);
+    h2o_assert(times.size() == num_samples, "simulate batch size mismatch");
+    std::vector<std::vector<double>> features;
+    features.reserve(num_samples);
+    for (const auto &s : samples)
+        features.push_back(_encoder.encode(s));
+    auto preds = model.predictBatch(features);
+
     std::vector<double> pred_t, pred_s, true_t, true_s;
     for (size_t i = 0; i < num_samples; ++i) {
-        auto sample = _space.uniformSample(rng);
-        SimTimes t = _simulate(sample);
-        Measurement m = _oracle.measure(t.trainSec, t.serveSec);
-        PerfPrediction p = model.predict(_encoder.encode(sample));
-        pred_t.push_back(p.trainStepTimeSec);
-        pred_s.push_back(p.servingTimeSec);
+        Measurement m =
+            _oracle.measure(times[i].trainSec, times[i].serveSec);
+        pred_t.push_back(preds[i].trainStepTimeSec);
+        pred_s.push_back(preds[i].servingTimeSec);
         true_t.push_back(m.trainStepTimeSec);
         true_s.push_back(m.servingTimeSec);
     }
@@ -158,15 +208,21 @@ TwoPhaseTrainer::evaluateAgainstSimulator(const PerfModel &model,
                                           size_t num_samples,
                                           common::Rng &rng)
 {
+    auto samples = drawSamples(num_samples, rng);
+    auto times = _simulate(samples);
+    h2o_assert(times.size() == num_samples, "simulate batch size mismatch");
+    std::vector<std::vector<double>> features;
+    features.reserve(num_samples);
+    for (const auto &s : samples)
+        features.push_back(_encoder.encode(s));
+    auto preds = model.predictBatch(features);
+
     std::vector<double> pred_t, pred_s, true_t, true_s;
     for (size_t i = 0; i < num_samples; ++i) {
-        auto sample = _space.uniformSample(rng);
-        SimTimes t = _simulate(sample);
-        PerfPrediction p = model.predict(_encoder.encode(sample));
-        pred_t.push_back(p.trainStepTimeSec);
-        pred_s.push_back(p.servingTimeSec);
-        true_t.push_back(t.trainSec);
-        true_s.push_back(t.serveSec);
+        pred_t.push_back(preds[i].trainStepTimeSec);
+        pred_s.push_back(preds[i].servingTimeSec);
+        true_t.push_back(times[i].trainSec);
+        true_s.push_back(times[i].serveSec);
     }
     return {common::nrmse(pred_t, true_t), common::nrmse(pred_s, true_s)};
 }

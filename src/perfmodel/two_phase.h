@@ -20,6 +20,7 @@
 #define H2O_PERFMODEL_TWO_PHASE_H
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "perfmodel/features.h"
@@ -38,6 +39,12 @@ struct SimTimes
 
 /** Sample -> simulated times, supplied by the caller per domain. */
 using SimulateFn = std::function<SimTimes(const searchspace::Sample &)>;
+
+/** Batch of samples -> simulated times, one entry per sample. Callers
+ *  with a batched simulator (Simulator::runBatch fronted by a SimCache)
+ *  supply this to amortize lock traffic and workspace setup. */
+using SimulateBatchFn = std::function<std::vector<SimTimes>(
+    std::span<const searchspace::Sample>)>;
 
 /** NRMSE of both heads against a reference set. */
 struct EvalNrmse
@@ -59,6 +66,13 @@ class TwoPhaseTrainer
     TwoPhaseTrainer(const searchspace::DecisionSpace &space,
                     const FeatureEncoder &encoder, SimulateFn simulate,
                     HardwareOracle oracle);
+
+    /** As above, with a batched label source: every internal loop
+     *  (pretrain labels, fine-tune measurements, evaluation sets) issues
+     *  one simulate call per phase instead of one per candidate. */
+    TwoPhaseTrainer(const searchspace::DecisionSpace &space,
+                    const FeatureEncoder &encoder,
+                    SimulateBatchFn simulate_batch, HardwareOracle oracle);
 
     /**
      * Phase 1: sample `num_samples` candidates, simulate, fit the model.
@@ -88,9 +102,13 @@ class TwoPhaseTrainer
                                        common::Rng &rng);
 
   private:
+    /** Draw n candidates and simulate them in one batch. */
+    std::vector<searchspace::Sample> drawSamples(size_t n,
+                                                 common::Rng &rng) const;
+
     const searchspace::DecisionSpace &_space;
     const FeatureEncoder &_encoder;
-    SimulateFn _simulate;
+    SimulateBatchFn _simulate;
     HardwareOracle _oracle;
 };
 

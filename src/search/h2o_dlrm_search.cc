@@ -3,6 +3,7 @@
 #include "common/logging.h"
 #include "common/serialize.h"
 #include "common/stats.h"
+#include "eval/eval_engine.h"
 #include "exec/checkpoint.h"
 #include "exec/fault_injector.h"
 #include "exec/shard_runner.h"
@@ -16,10 +17,36 @@ H2oDlrmSearch::H2oDlrmSearch(const searchspace::DlrmSearchSpace &space,
                              DlrmPerfFn perf,
                              const reward::RewardFunction &rewardf,
                              H2oSearchConfig config)
-    : _space(space), _supernet(supernet), _pipeline(pipe),
-      _perf(std::move(perf)), _reward(rewardf), _config(std::move(config))
+    : H2oDlrmSearch(space, supernet, pipe,
+                    eval::PerfStage(std::move(perf)), rewardf,
+                    std::move(config))
 {
-    h2o_assert(_perf, "null performance functor");
+}
+
+H2oDlrmSearch::H2oDlrmSearch(const searchspace::DlrmSearchSpace &space,
+                             supernet::DlrmSupernet &supernet,
+                             pipeline::InMemoryPipeline &pipe,
+                             DlrmPerfBatchFn perf_batch,
+                             const reward::RewardFunction &rewardf,
+                             H2oSearchConfig config)
+    : H2oDlrmSearch(space, supernet, pipe,
+                    eval::PerfStage(std::move(perf_batch)), rewardf,
+                    std::move(config))
+{
+}
+
+H2oDlrmSearch::H2oDlrmSearch(const searchspace::DlrmSearchSpace &space,
+                             supernet::DlrmSupernet &supernet,
+                             pipeline::InMemoryPipeline &pipe,
+                             eval::PerfStage perf,
+                             const reward::RewardFunction &rewardf,
+                             H2oSearchConfig config)
+    : _space(space), _supernet(supernet), _pipeline(pipe),
+      _perf(std::move(perf)), _reward(rewardf),
+      _config(std::move(config))
+{
+    h2o_assert(_perf.perCandidate || _perf.batched,
+               "null performance functor");
     h2o_assert(_config.numShards > 0 && _config.numSteps > 0,
                "degenerate search configuration");
     h2o_assert(_config.checkpointEvery > 0, "zero checkpoint interval");
@@ -51,19 +78,21 @@ H2oDlrmSearch::run(common::Rng &rng)
                        "' at step ", start_step);
     }
 
-    exec::ThreadPool pool(
-        exec::ThreadPool::resolve(_config.threads, _config.numShards));
-    exec::ShardRunner runner(pool,
-                             {_config.numShards, _config.maxShardAttempts,
-                              _config.retryBackoffMs},
-                             _config.faults);
-    const size_t n = _config.numShards;
+    // The candidate -> reward pipeline: per-shard quality (supernet
+    // forward in the ordered section) on the engine's worker pool, then
+    // one batched performance + reward pass per step.
+    eval::EvalEngine engine(_perf, _reward,
+                            {_config.numShards, _config.threads, true,
+                             _config.faults, _config.maxShardAttempts,
+                             _config.retryBackoffMs});
+    exec::ShardRunner &runner = engine.runner();
 
     // --- Warm-up: train shared weights on uniformly-sampled candidates
     // so early rewards reflect architecture, not initialization. Shards
     // run concurrently; the shared supernet + pipeline region is entered
     // in shard-index order, so batches and gradient accumulation match
-    // the serial schedule exactly.
+    // the serial schedule exactly. Warm-up shares the engine's runner so
+    // the fault-injection step sequence stays contiguous.
     if (!resumed) {
         for (size_t step = 0; step < _config.warmupSteps; ++step) {
             auto report = runner.runStep(step, [&](size_t s) {
@@ -86,37 +115,34 @@ H2oDlrmSearch::run(common::Rng &rng)
 
     // --- Unified single-step search (Figure 2, right).
     for (size_t step = start_step; step < _config.numSteps; ++step) {
-        std::vector<searchspace::Sample> samples(n);
-        std::vector<double> qualities(n, 0.0), rewards(n, 0.0);
-        std::vector<double> losses(n, 0.0);
-        std::vector<std::vector<double>> perfs(n);
+        std::vector<double> losses(_config.numShards, 0.0);
 
-        // Stages (1)-(3) per shard, concurrently. Sampling draws from
-        // the shard's own stream; the forward pass on a FRESH batch
-        // yields the quality signal (alpha use) and the gradients for
-        // the weight update (W use) — in that mandatory order — inside
-        // the deterministic ordered section.
-        auto report = runner.runStep(
-            _config.warmupSteps + step, [&](size_t s) {
-                samples[s] = controller.policy().sample(shard_rngs[s]);
+        // Stage (1) per shard, concurrently. Sampling draws from the
+        // shard's own stream; the forward pass on a FRESH batch yields
+        // the quality signal (alpha use) and the gradients for the
+        // weight update (W use) — in that mandatory order — inside the
+        // deterministic ordered section. The engine then runs the
+        // batched performance stage and the reward over the survivors.
+        auto ev = engine.evaluate(
+            _config.warmupSteps + step,
+            [&](size_t s, searchspace::Sample &sample, double &quality) {
+                sample = controller.policy().sample(shard_rngs[s]);
                 {
                     exec::OrderedSection::Guard guard(runner.ordered(),
                                                       s);
                     auto lease = _pipeline.lease();
-                    _supernet.configure(samples[s]);
+                    _supernet.configure(sample);
                     losses[s] =
                         _supernet.accumulateGradients(lease.batch());
                     lease.markAlphaUse();
                     lease.markWeightUse();
                 }
-                qualities[s] = -losses[s]; // quality = negated log-loss
-                perfs[s] = _perf(samples[s]);
-                rewards[s] = _reward.compute({qualities[s], perfs[s]});
+                quality = -losses[s]; // quality = negated log-loss
             });
 
         // Graceful degradation: aggregate over the shards that survived
         // this step; baselines scale with the live shard count.
-        auto live = report.survivors();
+        const auto &live = ev.survivors;
         H2oStepStats st;
         st.step = step;
         st.liveShards = live.size();
@@ -126,9 +152,9 @@ H2oDlrmSearch::run(common::Rng &rng)
                 live_losses;
             live_samples.reserve(live.size());
             for (size_t s : live) {
-                live_samples.push_back(samples[s]);
-                live_rewards.push_back(rewards[s]);
-                live_qualities.push_back(qualities[s]);
+                live_samples.push_back(ev.samples[s]);
+                live_rewards.push_back(ev.rewards[s]);
+                live_qualities.push_back(ev.qualities[s]);
                 live_losses.push_back(losses[s]);
             }
 
@@ -148,10 +174,10 @@ H2oDlrmSearch::run(common::Rng &rng)
             outcome.finalEntropy = cstats.meanEntropy;
 
             for (size_t s : live) {
-                outcome.history.push_back({std::move(samples[s]),
-                                           qualities[s],
-                                           std::move(perfs[s]),
-                                           rewards[s], step});
+                outcome.history.push_back({std::move(ev.samples[s]),
+                                           ev.qualities[s],
+                                           std::move(ev.performance[s]),
+                                           ev.rewards[s], step});
             }
         } else {
             // Every shard lost: the step is skipped entirely (no policy

@@ -61,6 +61,9 @@ namespace h2o::search {
 /** Sample -> performance objective values (e.g. via the perf model). */
 using DlrmPerfFn = PerfFn;
 
+/** Batched performance stage (one call per step over the survivors). */
+using DlrmPerfBatchFn = PerfBatchFn;
+
 /** Configuration of the unified single-step search. */
 struct H2oSearchConfig
 {
@@ -112,12 +115,25 @@ class H2oDlrmSearch
      * @param space    DLRM search space.
      * @param supernet Trainable weight-sharing super-network.
      * @param pipe     In-memory production-traffic pipeline.
-     * @param perf     Performance signal (thread-safe).
+     * @param perf     Performance signal (thread-safe). Runs per
+     *                 candidate INSIDE the shard body, so a blocking
+     *                 function (device-in-the-loop) overlaps across
+     *                 worker threads.
      * @param rewardf  Multi-objective reward.
      */
     H2oDlrmSearch(const searchspace::DlrmSearchSpace &space,
                   supernet::DlrmSupernet &supernet,
                   pipeline::InMemoryPipeline &pipe, DlrmPerfFn perf,
+                  const reward::RewardFunction &rewardf,
+                  H2oSearchConfig config);
+
+    /** As above with a batched performance stage (perf-model /
+     *  simulator batch entry points, one coordinator-side call per
+     *  step over the survivors). */
+    H2oDlrmSearch(const searchspace::DlrmSearchSpace &space,
+                  supernet::DlrmSupernet &supernet,
+                  pipeline::InMemoryPipeline &pipe,
+                  DlrmPerfBatchFn perf_batch,
                   const reward::RewardFunction &rewardf,
                   H2oSearchConfig config);
 
@@ -129,6 +145,12 @@ class H2oDlrmSearch
     const std::vector<H2oStepStats> &stepStats() const { return _stats; }
 
   private:
+    H2oDlrmSearch(const searchspace::DlrmSearchSpace &space,
+                  supernet::DlrmSupernet &supernet,
+                  pipeline::InMemoryPipeline &pipe, eval::PerfStage perf,
+                  const reward::RewardFunction &rewardf,
+                  H2oSearchConfig config);
+
     void saveCheckpoint(size_t next_step,
                         const controller::ReinforceController &controller,
                         const std::vector<common::Rng> &shard_rngs,
@@ -140,7 +162,7 @@ class H2oDlrmSearch
     const searchspace::DlrmSearchSpace &_space;
     supernet::DlrmSupernet &_supernet;
     pipeline::InMemoryPipeline &_pipeline;
-    DlrmPerfFn _perf;
+    eval::PerfStage _perf;
     const reward::RewardFunction &_reward;
     H2oSearchConfig _config;
     std::vector<H2oStepStats> _stats;

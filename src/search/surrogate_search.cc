@@ -1,8 +1,8 @@
 #include "search/surrogate_search.h"
 
 #include "common/logging.h"
+#include "eval/eval_engine.h"
 #include "exec/fault_injector.h"
-#include "exec/shard_runner.h"
 #include "exec/thread_pool.h"
 
 namespace h2o::search {
@@ -11,10 +11,30 @@ SurrogateSearch::SurrogateSearch(const searchspace::DecisionSpace &space,
                                  QualityFn quality, PerfFn perf,
                                  const reward::RewardFunction &rewardf,
                                  SurrogateSearchConfig config)
+    : SurrogateSearch(space, std::move(quality),
+                      eval::PerfStage(std::move(perf)), rewardf, config)
+{
+}
+
+SurrogateSearch::SurrogateSearch(const searchspace::DecisionSpace &space,
+                                 QualityFn quality, PerfBatchFn perf_batch,
+                                 const reward::RewardFunction &rewardf,
+                                 SurrogateSearchConfig config)
+    : SurrogateSearch(space, std::move(quality),
+                      eval::PerfStage(std::move(perf_batch)), rewardf,
+                      config)
+{
+}
+
+SurrogateSearch::SurrogateSearch(const searchspace::DecisionSpace &space,
+                                 QualityFn quality, eval::PerfStage perf,
+                                 const reward::RewardFunction &rewardf,
+                                 SurrogateSearchConfig config)
     : _space(space), _quality(std::move(quality)), _perf(std::move(perf)),
       _reward(rewardf), _config(config)
 {
-    h2o_assert(_quality && _perf, "null quality/perf functor");
+    h2o_assert(_quality && (_perf.perCandidate || _perf.batched),
+               "null quality/perf functor");
     h2o_assert(_config.numSteps > 0 && _config.samplesPerStep > 0,
                "degenerate search configuration");
 }
@@ -30,52 +50,47 @@ SurrogateSearch::run(common::Rng &rng)
     // Per-shard RNG streams, deterministic regardless of thread timing.
     auto shard_rngs = exec::ThreadPool::splitRngs(rng, n);
 
-    exec::ThreadPool pool(
-        _config.multithread ? exec::ThreadPool::resolve(_config.threads, n)
-                            : 1);
-    exec::ShardRunner runner(pool,
-                             {n, _config.maxShardAttempts,
-                              _config.retryBackoffMs},
-                             _config.faults);
+    // The candidate -> reward pipeline: per-shard quality on the worker
+    // pool, the performance stage (batched per step, or per candidate
+    // inside the shard body), then the reward pass in shard order.
+    eval::EvalEngine engine(
+        _perf, _reward,
+        {n, _config.threads, _config.multithread, _config.faults,
+         _config.maxShardAttempts, _config.retryBackoffMs});
 
     for (size_t step = 0; step < _config.numSteps; ++step) {
-        std::vector<searchspace::Sample> samples(n);
-        std::vector<double> qualities(n, 0.0), rewards(n, 0.0);
-        std::vector<std::vector<double>> perfs(n);
-
         // Stages (1)-(2) of Figure 2, per shard: sample a candidate from
-        // pi on the shard's own stream, then evaluate quality +
-        // performance. Shards share no mutable state, so no ordered
-        // section is needed here.
-        auto report = runner.runStep(step, [&](size_t s) {
-            samples[s] = controller.policy().sample(shard_rngs[s]);
-            qualities[s] = _quality(samples[s]);
-            perfs[s] = _perf(samples[s]);
-            rewards[s] = _reward.compute({qualities[s], perfs[s]});
-        });
+        // pi on the shard's own stream, then evaluate quality. Shards
+        // share no mutable state, so no ordered section is needed here.
+        auto ev = engine.evaluate(
+            step, [&](size_t s, searchspace::Sample &sample,
+                      double &quality) {
+                sample = controller.policy().sample(shard_rngs[s]);
+                quality = _quality(sample);
+            });
 
         // Stage (3): cross-shard policy update over the survivors.
-        auto live = report.survivors();
-        if (live.empty()) {
+        if (ev.survivors.empty()) {
             common::warn("surrogate step ", step,
                          " lost all shards; skipping update");
             continue;
         }
         std::vector<searchspace::Sample> live_samples;
         std::vector<double> live_rewards;
-        live_samples.reserve(live.size());
-        for (size_t s : live) {
-            live_samples.push_back(samples[s]);
-            live_rewards.push_back(rewards[s]);
+        live_samples.reserve(ev.survivors.size());
+        for (size_t s : ev.survivors) {
+            live_samples.push_back(ev.samples[s]);
+            live_rewards.push_back(ev.rewards[s]);
         }
         auto stats = controller.update(live_samples, live_rewards);
         outcome.finalMeanReward = stats.meanReward;
         outcome.finalEntropy = stats.meanEntropy;
 
-        for (size_t s : live) {
-            outcome.history.push_back({std::move(samples[s]), qualities[s],
-                                       std::move(perfs[s]), rewards[s],
-                                       step});
+        for (size_t s : ev.survivors) {
+            outcome.history.push_back({std::move(ev.samples[s]),
+                                       ev.qualities[s],
+                                       std::move(ev.performance[s]),
+                                       ev.rewards[s], step});
         }
     }
     outcome.finalSample = controller.policy().argmax();

@@ -25,6 +25,7 @@
 
 #include "common/rng.h"
 #include "controller/reinforce.h"
+#include "eval/eval_engine.h"
 #include "reward/reward.h"
 #include "search/pareto.h"
 #include "searchspace/decision_space.h"
@@ -37,8 +38,10 @@ namespace h2o::search {
 using QualityFn = std::function<double(const searchspace::Sample &)>;
 
 /** Sample -> performance objective values (parallel to the reward's). */
-using PerfFn =
-    std::function<std::vector<double>(const searchspace::Sample &)>;
+using PerfFn = eval::PerfFn;
+
+/** Batched performance stage (see eval::PerfBatchFn). */
+using PerfBatchFn = eval::PerfBatchFn;
 
 /** One evaluated candidate. */
 struct CandidateRecord
@@ -87,6 +90,9 @@ class SurrogateSearch
      * @param space   Decision space.
      * @param quality Quality signal (must be thread-safe if multithread).
      * @param perf    Performance signal (same thread-safety requirement).
+     *                Runs per candidate INSIDE the shard body, so a
+     *                blocking function (device-in-the-loop) overlaps
+     *                across worker threads.
      * @param rewardf Multi-objective reward combining the two.
      */
     SurrogateSearch(const searchspace::DecisionSpace &space,
@@ -94,13 +100,26 @@ class SurrogateSearch
                     const reward::RewardFunction &rewardf,
                     SurrogateSearchConfig config);
 
+    /** As above with a batched performance stage: one coordinator-side
+     *  call per step over the step's surviving candidates (perf-model /
+     *  simulator batch entry points) instead of one call per candidate. */
+    SurrogateSearch(const searchspace::DecisionSpace &space,
+                    QualityFn quality, PerfBatchFn perf_batch,
+                    const reward::RewardFunction &rewardf,
+                    SurrogateSearchConfig config);
+
     /** Run the search to completion. */
     SearchOutcome run(common::Rng &rng);
 
   private:
+    SurrogateSearch(const searchspace::DecisionSpace &space,
+                    QualityFn quality, eval::PerfStage perf,
+                    const reward::RewardFunction &rewardf,
+                    SurrogateSearchConfig config);
+
     const searchspace::DecisionSpace &_space;
     QualityFn _quality;
-    PerfFn _perf;
+    eval::PerfStage _perf;
     const reward::RewardFunction &_reward;
     SurrogateSearchConfig _config;
 };

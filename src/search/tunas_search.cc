@@ -1,6 +1,7 @@
 #include "search/tunas_search.h"
 
 #include "common/logging.h"
+#include "eval/eval_engine.h"
 #include "exec/fault_injector.h"
 #include "exec/shard_runner.h"
 #include "exec/thread_pool.h"
@@ -12,10 +13,33 @@ TunasSearch::TunasSearch(const searchspace::DlrmSearchSpace &space,
                          pipeline::InMemoryPipeline &pipe, PerfFn perf,
                          const reward::RewardFunction &rewardf,
                          TunasSearchConfig config)
+    : TunasSearch(space, supernet, pipe,
+                  eval::PerfStage(std::move(perf)), rewardf, config)
+{
+}
+
+TunasSearch::TunasSearch(const searchspace::DlrmSearchSpace &space,
+                         supernet::DlrmSupernet &supernet,
+                         pipeline::InMemoryPipeline &pipe,
+                         PerfBatchFn perf_batch,
+                         const reward::RewardFunction &rewardf,
+                         TunasSearchConfig config)
+    : TunasSearch(space, supernet, pipe,
+                  eval::PerfStage(std::move(perf_batch)), rewardf, config)
+{
+}
+
+TunasSearch::TunasSearch(const searchspace::DlrmSearchSpace &space,
+                         supernet::DlrmSupernet &supernet,
+                         pipeline::InMemoryPipeline &pipe,
+                         eval::PerfStage perf,
+                         const reward::RewardFunction &rewardf,
+                         TunasSearchConfig config)
     : _space(space), _supernet(supernet), _pipeline(pipe),
       _perf(std::move(perf)), _reward(rewardf), _config(config)
 {
-    h2o_assert(_perf, "null performance functor");
+    h2o_assert(_perf.perCandidate || _perf.batched,
+               "null performance functor");
     h2o_assert(_config.numIterations > 0, "degenerate configuration");
 }
 
@@ -29,14 +53,14 @@ TunasSearch::run(common::Rng &rng)
 
     // TuNAS "was not built for hyperscale deployments, and therefore
     // lacks parallelism": a single worker and a single shard. Running it
-    // through the exec runtime anyway gives the baseline the same
+    // through the eval engine anyway gives the baseline the same
     // fault-tolerance story (retry with backoff; a preempted step is
     // simply lost) so head-to-head fleet experiments are fair.
-    exec::ThreadPool pool(1);
-    exec::ShardRunner runner(pool,
-                             {1, _config.maxShardAttempts,
-                              _config.retryBackoffMs},
-                             _config.faults);
+    eval::EvalEngine engine(_perf, _reward,
+                            {1, 1, false, _config.faults,
+                             _config.maxShardAttempts,
+                             _config.retryBackoffMs});
+    exec::ShardRunner &runner = engine.runner();
 
     for (size_t step = 0; step < _config.warmupSteps; ++step) {
         runner.runStep(step, [&](size_t) {
@@ -51,7 +75,8 @@ TunasSearch::run(common::Rng &rng)
     }
 
     for (size_t iter = 0; iter < _config.numIterations; ++iter) {
-        // --- W-step on a "training" batch.
+        // --- W-step on a "training" batch (no candidate evaluation —
+        // the runner alone keeps the fault-step sequence contiguous).
         runner.runStep(_config.warmupSteps + 2 * iter, [&](size_t) {
             auto sample = controller.policy().sample(sample_rng);
             auto lease = _pipeline.lease();
@@ -61,22 +86,28 @@ TunasSearch::run(common::Rng &rng)
             lease.markWeightUse();
             _supernet.applyGradients(_config.weightLr);
         });
-        // --- pi-step on a separate "validation" batch (never trains W).
-        runner.runStep(_config.warmupSteps + 2 * iter + 1, [&](size_t) {
-            auto sample = controller.policy().sample(sample_rng);
-            auto lease = _pipeline.lease();
-            _supernet.configure(sample);
-            auto eval = _supernet.evaluate(lease.batch());
-            lease.markAlphaUse();
-            double quality = eval.quality();
-            auto perf = _perf(sample);
-            double rwd = _reward.compute({quality, perf});
-            auto cstats = controller.update({sample}, {rwd});
-            outcome.finalMeanReward = cstats.meanReward;
-            outcome.finalEntropy = cstats.meanEntropy;
-            outcome.history.push_back(
-                {std::move(sample), quality, std::move(perf), rwd, iter});
-        });
+        // --- pi-step on a separate "validation" batch (never trains W):
+        // quality from the supernet inside the shard body, then the
+        // engine's batched performance + reward stages.
+        auto ev = engine.evaluate(
+            _config.warmupSteps + 2 * iter + 1,
+            [&](size_t, searchspace::Sample &sample, double &quality) {
+                sample = controller.policy().sample(sample_rng);
+                auto lease = _pipeline.lease();
+                _supernet.configure(sample);
+                auto eval_res = _supernet.evaluate(lease.batch());
+                lease.markAlphaUse();
+                quality = eval_res.quality();
+            });
+        if (ev.survivors.empty())
+            continue; // preempted pi-step: the iteration is lost
+        auto cstats = controller.update({ev.samples[0]}, {ev.rewards[0]});
+        outcome.finalMeanReward = cstats.meanReward;
+        outcome.finalEntropy = cstats.meanEntropy;
+        outcome.history.push_back({std::move(ev.samples[0]),
+                                   ev.qualities[0],
+                                   std::move(ev.performance[0]),
+                                   ev.rewards[0], iter});
     }
     outcome.finalSample = controller.policy().argmax();
     return outcome;

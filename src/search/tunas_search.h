@@ -59,14 +59,27 @@ class TunasSearch
                 const reward::RewardFunction &rewardf,
                 TunasSearchConfig config);
 
+    /** As above with a batched performance stage. */
+    TunasSearch(const searchspace::DlrmSearchSpace &space,
+                supernet::DlrmSupernet &supernet,
+                pipeline::InMemoryPipeline &pipe, PerfBatchFn perf_batch,
+                const reward::RewardFunction &rewardf,
+                TunasSearchConfig config);
+
     /** Run the search to completion. */
     SearchOutcome run(common::Rng &rng);
 
   private:
+    TunasSearch(const searchspace::DlrmSearchSpace &space,
+                supernet::DlrmSupernet &supernet,
+                pipeline::InMemoryPipeline &pipe, eval::PerfStage perf,
+                const reward::RewardFunction &rewardf,
+                TunasSearchConfig config);
+
     const searchspace::DlrmSearchSpace &_space;
     supernet::DlrmSupernet &_supernet;
     pipeline::InMemoryPipeline &_pipeline;
-    PerfFn _perf;
+    eval::PerfStage _perf;
     const reward::RewardFunction &_reward;
     TunasSearchConfig _config;
 };

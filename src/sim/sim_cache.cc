@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/logging.h"
+#include "common/serialize.h"
 
 namespace h2o::sim {
 
@@ -147,6 +148,95 @@ SimCache::insert(const SimCacheKey &key, SimResult value)
     }
 }
 
+std::vector<char>
+SimCache::lookupBatch(std::span<const SimCacheKey> keys,
+                      std::vector<SimResult> &out)
+{
+    size_t n = keys.size();
+    if (out.size() < n)
+        out.resize(n);
+    std::vector<char> hit(n, 0);
+
+    // Group key positions by stripe, then visit each stripe under one
+    // lock. Ascending batch position within a stripe keeps the LRU
+    // refresh order deterministic.
+    std::vector<size_t> stripe_of(n);
+    for (size_t i = 0; i < n; ++i)
+        stripe_of[i] = simCacheKeyHash(keys[i]) % _shards.size();
+
+    uint64_t hits = 0, misses = 0;
+    std::vector<char> stripe_seen(_shards.size(), 0);
+    for (size_t i = 0; i < n; ++i) {
+        size_t s = stripe_of[i];
+        if (stripe_seen[s])
+            continue;
+        stripe_seen[s] = 1;
+        Shard &shard = *_shards[s];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (size_t j = i; j < n; ++j) {
+            if (stripe_of[j] != s)
+                continue;
+            auto it = shard.index.find(keys[j]);
+            if (it == shard.index.end()) {
+                ++misses;
+                continue;
+            }
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            out[j] = it->second->value;
+            hit[j] = 1;
+            ++hits;
+        }
+    }
+    if (hits)
+        _hits.fetch_add(hits, std::memory_order_relaxed);
+    if (misses)
+        _misses.fetch_add(misses, std::memory_order_relaxed);
+    return hit;
+}
+
+void
+SimCache::insertBatch(std::span<const SimCacheKey> keys,
+                      std::span<const SimResult> values)
+{
+    h2o_assert(keys.size() == values.size(),
+               "insertBatch key/value count mismatch");
+    size_t n = keys.size();
+    std::vector<size_t> stripe_of(n);
+    for (size_t i = 0; i < n; ++i)
+        stripe_of[i] = simCacheKeyHash(keys[i]) % _shards.size();
+
+    uint64_t evictions = 0;
+    std::vector<char> stripe_seen(_shards.size(), 0);
+    for (size_t i = 0; i < n; ++i) {
+        size_t s = stripe_of[i];
+        if (stripe_seen[s])
+            continue;
+        stripe_seen[s] = 1;
+        Shard &shard = *_shards[s];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (size_t j = i; j < n; ++j) {
+            if (stripe_of[j] != s)
+                continue;
+            auto it = shard.index.find(keys[j]);
+            if (it != shard.index.end()) {
+                it->second->value = values[j];
+                shard.lru.splice(shard.lru.begin(), shard.lru,
+                                 it->second);
+                continue;
+            }
+            shard.lru.push_front(Entry{keys[j], values[j]});
+            shard.index.emplace(keys[j], shard.lru.begin());
+            if (shard.index.size() > _shardCapacity) {
+                shard.index.erase(shard.lru.back().key);
+                shard.lru.pop_back();
+                ++evictions;
+            }
+        }
+    }
+    if (evictions)
+        _evictions.fetch_add(evictions, std::memory_order_relaxed);
+}
+
 SimCacheStats
 SimCache::stats() const
 {
@@ -168,6 +258,146 @@ SimCache::clear()
         std::lock_guard<std::mutex> lock(shard->mu);
         shard->index.clear();
         shard->lru.clear();
+    }
+}
+
+// ------------------------------------------------------- persistence
+
+namespace {
+
+constexpr uint64_t kSimCacheFormatVersion = 1;
+
+void
+writeResult(std::ostream &os, const SimResult &r)
+{
+    common::writeTagged(
+        os, "res",
+        {r.stepTimeSec, r.totalFlops, r.achievedFlops,
+         r.operationalIntensity, r.hbmBytes, r.onChipBytes,
+         r.networkBytes, r.hbmBandwidthUsed, r.onChipBandwidthUsed,
+         r.tensorBusySec, r.vpuBusySec, r.hbmSec, r.onChipSec,
+         r.networkSec, r.criticalPathSec, r.tensorUtilization,
+         r.avgPowerW, r.energyPerStepJ});
+    common::writeTaggedU64(os, "res_meta",
+                           {static_cast<uint64_t>(r.boundBy),
+                            static_cast<uint64_t>(r.liveOps),
+                            static_cast<uint64_t>(r.fusedOps),
+                            r.paramsResident ? 1ULL : 0ULL});
+    std::vector<double> per_op;
+    per_op.reserve(r.perOp.size() * 7);
+    for (const OpTiming &t : r.perOp) {
+        per_op.push_back(t.seconds);
+        per_op.push_back(t.tensorBusySec);
+        per_op.push_back(t.vpuBusySec);
+        per_op.push_back(t.hbmBytes);
+        per_op.push_back(t.onChipBytes);
+        per_op.push_back(t.networkBytes);
+        per_op.push_back(static_cast<double>(t.boundBy));
+    }
+    common::writeTagged(os, "res_per_op", per_op);
+}
+
+SimResult
+readResult(std::istream &is)
+{
+    SimResult r;
+    auto d = common::readTagged(is, "res");
+    if (d.size() != 18)
+        h2o_fatal("malformed sim-cache result record (", d.size(),
+                  " scalars)");
+    r.stepTimeSec = d[0];
+    r.totalFlops = d[1];
+    r.achievedFlops = d[2];
+    r.operationalIntensity = d[3];
+    r.hbmBytes = d[4];
+    r.onChipBytes = d[5];
+    r.networkBytes = d[6];
+    r.hbmBandwidthUsed = d[7];
+    r.onChipBandwidthUsed = d[8];
+    r.tensorBusySec = d[9];
+    r.vpuBusySec = d[10];
+    r.hbmSec = d[11];
+    r.onChipSec = d[12];
+    r.networkSec = d[13];
+    r.criticalPathSec = d[14];
+    r.tensorUtilization = d[15];
+    r.avgPowerW = d[16];
+    r.energyPerStepJ = d[17];
+    auto meta = common::readTaggedU64(is, "res_meta");
+    if (meta.size() != 4)
+        h2o_fatal("malformed sim-cache result metadata");
+    r.boundBy = static_cast<hw::BoundBy>(meta[0]);
+    r.liveOps = static_cast<size_t>(meta[1]);
+    r.fusedOps = static_cast<size_t>(meta[2]);
+    r.paramsResident = meta[3] != 0;
+    auto per_op = common::readTagged(is, "res_per_op");
+    if (per_op.size() % 7 != 0)
+        h2o_fatal("malformed sim-cache per-op record");
+    r.perOp.resize(per_op.size() / 7);
+    for (size_t i = 0; i < r.perOp.size(); ++i) {
+        OpTiming &t = r.perOp[i];
+        const double *p = per_op.data() + i * 7;
+        t.seconds = p[0];
+        t.tensorBusySec = p[1];
+        t.vpuBusySec = p[2];
+        t.hbmBytes = p[3];
+        t.onChipBytes = p[4];
+        t.networkBytes = p[5];
+        t.boundBy = static_cast<hw::BoundBy>(p[6]);
+    }
+    return r;
+}
+
+} // namespace
+
+void
+SimCache::save(std::ostream &os) const
+{
+    // Snapshot under the stripe locks first so one consistent image is
+    // serialized even while other threads keep inserting.
+    std::vector<const Entry *> entries;
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(_shards.size());
+    for (const auto &shard : _shards)
+        locks.emplace_back(shard->mu);
+    size_t total = 0;
+    for (const auto &shard : _shards)
+        total += shard->index.size();
+
+    common::writeTaggedU64(os, "sim_cache",
+                           {kSimCacheFormatVersion,
+                            static_cast<uint64_t>(total)});
+    for (const auto &shard : _shards) {
+        // Least-recently-used first: replaying inserts in this order
+        // reproduces each stripe's recency order on load.
+        for (auto it = shard->lru.rbegin(); it != shard->lru.rend();
+             ++it) {
+            std::vector<uint64_t> key_words;
+            key_words.reserve(it->key.decisions.size() + 1);
+            key_words.push_back(it->key.configFingerprint);
+            key_words.insert(key_words.end(), it->key.decisions.begin(),
+                             it->key.decisions.end());
+            common::writeTaggedU64(os, "key", key_words);
+            writeResult(os, it->value);
+        }
+    }
+}
+
+void
+SimCache::load(std::istream &is)
+{
+    auto header = common::readTaggedU64(is, "sim_cache");
+    if (header.size() != 2 || header[0] != kSimCacheFormatVersion)
+        h2o_fatal("unsupported sim-cache stream header");
+    size_t count = static_cast<size_t>(header[1]);
+    for (size_t i = 0; i < count; ++i) {
+        auto key_words = common::readTaggedU64(is, "key");
+        if (key_words.empty())
+            h2o_fatal("malformed sim-cache key record");
+        SimCacheKey key;
+        key.configFingerprint = key_words[0];
+        key.decisions.assign(key_words.begin() + 1, key_words.end());
+        insert(key, readResult(is));
     }
 }
 

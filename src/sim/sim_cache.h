@@ -27,9 +27,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <istream>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <ostream>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -106,6 +109,52 @@ class SimCache
      *  least-recently-used entry when over budget. */
     void insert(const SimCacheKey &key, SimResult value);
 
+    /**
+     * Batched lookup: keys are grouped by mutex stripe so each stripe's
+     * lock is acquired ONCE per batch instead of once per key. Within a
+     * stripe, keys are processed in ascending batch position, so hit
+     * counting and LRU refresh order are deterministic. On hit,
+     * `out[i]` is filled. Returns one hit flag per key.
+     */
+    std::vector<char> lookupBatch(std::span<const SimCacheKey> keys,
+                                  std::vector<SimResult> &out);
+
+    /** Batched insert, one stripe-lock acquisition per stripe touched.
+     *  keys and values are parallel arrays. */
+    void insertBatch(std::span<const SimCacheKey> keys,
+                     std::span<const SimResult> values);
+
+    /**
+     * Batched memoization: one lookupBatch, then `computeMisses(miss
+     * indices) -> results parallel to the miss list` runs OUTSIDE every
+     * lock, then one insertBatch of the fresh results. Returns results
+     * parallel to `keys`. Duplicate missing keys within a batch are
+     * computed once per occurrence (the simulator is pure, so either
+     * copy is correct).
+     */
+    template <typename Fn>
+    std::vector<SimResult> getOrComputeBatch(
+        std::span<const SimCacheKey> keys, Fn &&computeMisses)
+    {
+        std::vector<SimResult> results(keys.size());
+        std::vector<char> hit = lookupBatch(keys, results);
+        std::vector<size_t> misses;
+        for (size_t i = 0; i < keys.size(); ++i)
+            if (!hit[i])
+                misses.push_back(i);
+        if (misses.empty())
+            return results;
+        std::vector<SimResult> fresh = computeMisses(misses);
+        std::vector<SimCacheKey> miss_keys;
+        miss_keys.reserve(misses.size());
+        for (size_t i : misses)
+            miss_keys.push_back(keys[i]);
+        insertBatch(miss_keys, fresh);
+        for (size_t j = 0; j < misses.size(); ++j)
+            results[misses[j]] = std::move(fresh[j]);
+        return results;
+    }
+
     /** Memoize `compute()` under `key`. The computation runs outside
      *  any lock; concurrent misses on one key may compute twice. */
     template <typename Fn>
@@ -124,6 +173,22 @@ class SimCache
 
     /** Drop every entry; counters are preserved. */
     void clear();
+
+    /**
+     * Serialize every cached entry (least-recently-used first, so a
+     * subsequent load() reproduces the recency order) in the tagged
+     * text format used by exec::Checkpoint streams. Counters are not
+     * persisted — they describe a process, not the cache contents.
+     */
+    void save(std::ostream &os) const;
+
+    /**
+     * Merge a save()d stream into this cache via normal inserts (LRU
+     * eviction applies if the stream exceeds capacity). Entries whose
+     * config fingerprint no longer matches any caller's configuration
+     * are harmless: exact key equality keeps them from ever aliasing.
+     */
+    void load(std::istream &is);
 
     /** Total entry budget across shards. */
     size_t capacity() const { return _shardCapacity * _shards.size(); }

@@ -19,7 +19,34 @@ Simulator::run(const Graph &input) const
     input.validate();
     // Pass annotations live in a reusable per-thread workspace: the
     // graph itself stays read-only and is never copied.
+    return runValidated(input, PassWorkspace::forThread());
+}
+
+std::vector<SimResult>
+Simulator::runBatch(std::span<const Graph *const> graphs) const
+{
+    std::vector<SimResult> results;
+    results.reserve(graphs.size());
+    // One workspace fetch for the batch; validation once per distinct
+    // graph pointer (batches that re-simulate one supernet graph under
+    // different configs validate it once).
     PassWorkspace &ws = PassWorkspace::forThread();
+    std::vector<const Graph *> validated;
+    for (const Graph *g : graphs) {
+        h2o_assert(g != nullptr, "null graph in runBatch");
+        if (std::find(validated.begin(), validated.end(), g) ==
+            validated.end()) {
+            g->validate();
+            validated.push_back(g);
+        }
+        results.push_back(runValidated(*g, ws));
+    }
+    return results;
+}
+
+SimResult
+Simulator::runValidated(const Graph &input, PassWorkspace &ws) const
+{
     ws.reset(input);
 
     SimResult res;

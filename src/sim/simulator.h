@@ -20,6 +20,7 @@
 #ifndef H2O_SIM_SIMULATOR_H
 #define H2O_SIM_SIMULATOR_H
 
+#include <span>
 #include <vector>
 
 #include "hw/chip.h"
@@ -30,6 +31,8 @@
 #include "sim/memory.h"
 
 namespace h2o::sim {
+
+class PassWorkspace;
 
 /** Simulator configuration. */
 struct SimConfig
@@ -88,13 +91,28 @@ class Simulator
     /** @param config Chip and pass configuration. */
     explicit Simulator(SimConfig config);
 
-    /** Simulate one execution step of the graph. */
+    /** Simulate one execution step of the graph. Implemented as a
+     *  one-element runBatch. */
     SimResult run(const Graph &graph) const;
+
+    /**
+     * Simulate one step of each graph, in order. The calling thread's
+     * PassWorkspace is fetched once for the whole batch and graph
+     * validation is amortized: a graph pointer that recurs in the batch
+     * is validated only on first sight. Results are element-for-element
+     * identical to N separate run() calls (the simulator is pure).
+     */
+    std::vector<SimResult>
+    runBatch(std::span<const Graph *const> graphs) const;
 
     /** The configured chip. */
     const hw::ChipSpec &chip() const { return _config.chip; }
 
   private:
+    /** The per-graph core: passes + timing on an already-validated
+     *  graph, annotations in the caller's workspace. */
+    SimResult runValidated(const Graph &graph, PassWorkspace &ws) const;
+
     SimConfig _config;
 };
 
