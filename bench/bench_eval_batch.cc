@@ -55,11 +55,13 @@ main(int argc, char **argv)
     flags.defineInt("seed", 17, "RNG seed");
     flags.defineString("json", "BENCH_eval_batch.json",
                        "output path for the JSON report");
+    common::defineThreadsFlag(flags);
     flags.parse(argc, argv);
 
     size_t steps = static_cast<size_t>(flags.getInt("steps"));
     size_t shards = static_cast<size_t>(flags.getInt("shards"));
     uint64_t seed = static_cast<uint64_t>(flags.getInt("seed"));
+    size_t threads = static_cast<size_t>(flags.getInt("threads"));
 
     searchspace::DlrmSearchSpace space(arch::baselineDlrm());
     hw::Platform train_platform = hw::trainingPlatform();
@@ -95,11 +97,14 @@ main(int argc, char **argv)
     }
 
     // --- Batched path: EvalEngine steps over the same candidates with
-    // the batched performance stage (also from a cold cache).
+    // the batched performance stage (also from a cold cache). --threads
+    // sizes both the engine's shard pool and the cache's miss-fill pool;
+    // checksums stay identical at any value.
     double batch_checksum = 0.0;
     double batch_sec = 0.0;
     {
-        bench::CachedDlrmTimer timer(train_platform, serve_platform);
+        bench::CachedDlrmTimer timer(train_platform, serve_platform,
+                                     1 << 16, threads);
         eval::PerfBatchFn perf_batch =
             [&](std::span<const searchspace::Sample> ss) {
                 auto times = timer.trainStepTimes(space, ss);
@@ -110,7 +115,7 @@ main(int argc, char **argv)
                         {times[i], space.decode(ss[i]).modelBytes()});
                 return out;
             };
-        eval::EvalEngine engine(perf_batch, rwd, {shards});
+        eval::EvalEngine engine(perf_batch, rwd, {shards, threads});
         auto start = Clock::now();
         for (size_t step = 0; step < steps; ++step) {
             auto ev = engine.evaluate(

@@ -87,8 +87,12 @@ main(int argc, char **argv)
     };
     // Memoize step-time simulation: as the RL policy converges it
     // re-samples the same candidates, and those repeats hit the cache.
-    // SimCache is thread-safe, so the sharded evaluators share it.
-    bench::CachedDlrmTimer timer(platform, hw::servingPlatform());
+    // SimCache is thread-safe, so the sharded evaluators share it; the
+    // cold path (early steps, before repeats accumulate) fills misses
+    // on --threads workers with bit-identical results.
+    bench::CachedDlrmTimer timer(
+        platform, hw::servingPlatform(), 1 << 16,
+        static_cast<size_t>(flags.getInt("threads")));
     // Batched performance stage: one SimCache lookupBatch + one
     // Simulator::runBatch over the step's surviving shard candidates.
     auto perf_fn = [&](std::span<const searchspace::Sample> ss) {

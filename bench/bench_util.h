@@ -7,12 +7,15 @@
 #ifndef H2O_BENCH_BENCH_UTIL_H
 #define H2O_BENCH_BENCH_UTIL_H
 
+#include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "arch/dlrm_arch.h"
 #include "arch/lowering.h"
+#include "exec/thread_pool.h"
 #include "hw/chip.h"
 #include "searchspace/dlrm_space.h"
 #include "sim/sim_cache.h"
@@ -67,14 +70,28 @@ throughputPerChip(double step_sec, double per_chip_batch)
 class CachedDlrmTimer
 {
   public:
+    /**
+     * @param fill_threads Workers for the cold-path fill: cache misses
+     *        in the batched entry points decode/lower/simulate on this
+     *        many threads (SimCache::getOrComputeBatch fan-out; the
+     *        per-thread PassWorkspaces keep workers allocation-free).
+     *        1 — the default — computes misses inline on the calling
+     *        thread; 0 means one worker per hardware thread. Results,
+     *        counters and cache images are bit-identical at any value.
+     */
     CachedDlrmTimer(hw::Platform train_platform,
                     hw::Platform serve_platform,
-                    size_t cache_capacity = 1 << 16)
+                    size_t cache_capacity = 1 << 16,
+                    size_t fill_threads = 1)
         : _train(train_platform), _serve(serve_platform),
           _trainConfig{train_platform.chip, true, true, {}},
           _serveConfig{serve_platform.chip, true, true, {}},
           _cache(cache_capacity)
     {
+        size_t resolved = exec::ThreadPool::resolve(
+            fill_threads, std::numeric_limits<size_t>::max());
+        if (resolved > 1)
+            _fillPool = std::make_unique<exec::ThreadPool>(resolved);
     }
 
     /** Training step time of the sample's decode on the train platform. */
@@ -115,9 +132,11 @@ class CachedDlrmTimer
 
     /**
      * Batched training step times, parallel to `samples`. One
-     * getOrComputeBatch (each cache stripe locked once per phase) and
-     * one Simulator::runBatch over the misses — equal values to
-     * per-sample trainStepTime calls, identical hit/miss totals.
+     * getOrComputeBatch (each cache stripe locked once per phase) with
+     * Simulator::runBatch over chunks of the distinct misses —
+     * computed in parallel on the fill pool when one was requested —
+     * equal values to per-sample trainStepTime calls, identical
+     * hit/miss totals.
      */
     std::vector<double>
     trainStepTimes(const searchspace::DlrmSearchSpace &space,
@@ -155,36 +174,30 @@ class CachedDlrmTimer
         keys.reserve(samples.size());
         for (const auto &s : samples)
             keys.push_back(sim::makeSimCacheKey(s, tag, config));
+        // The cache chunks the distinct misses (kDefaultFillChunk), so
+        // at most one chunk's worth of decoded graphs is live per
+        // worker, and fans the chunks out over _fillPool when present.
+        // The lambda touches only locals + const state: thread-safe.
         auto results = _cache.getOrComputeBatch(
-            keys, [&](const std::vector<size_t> &misses) {
-                // Lower and simulate in chunks: batches can be tens of
-                // thousands of candidates, and materializing every graph
-                // before the first simulate would blow the data cache.
-                constexpr size_t kChunk = 256;
-                std::vector<sim::SimResult> fresh;
-                fresh.reserve(misses.size());
+            keys,
+            [&](const std::vector<size_t> &misses) {
                 sim::Simulator simulator(config);
                 std::vector<sim::Graph> graphs;
-                std::vector<const sim::Graph *> ptrs;
-                for (size_t c = 0; c < misses.size(); c += kChunk) {
-                    size_t end = std::min(misses.size(), c + kChunk);
-                    graphs.clear();
-                    ptrs.clear();
-                    for (size_t k = c; k < end; ++k) {
-                        arch::DlrmArch a = space.decode(samples[misses[k]]);
-                        if (mode == arch::ExecMode::Serving)
-                            a.globalBatch = 1024;
-                        graphs.push_back(
-                            arch::buildDlrmGraph(a, platform, mode));
-                    }
-                    for (const auto &g : graphs)
-                        ptrs.push_back(&g);
-                    auto part = simulator.runBatch(ptrs);
-                    for (auto &r : part)
-                        fresh.push_back(std::move(r));
+                graphs.reserve(misses.size());
+                for (size_t k : misses) {
+                    arch::DlrmArch a = space.decode(samples[k]);
+                    if (mode == arch::ExecMode::Serving)
+                        a.globalBatch = 1024;
+                    graphs.push_back(
+                        arch::buildDlrmGraph(a, platform, mode));
                 }
-                return fresh;
-            });
+                std::vector<const sim::Graph *> ptrs;
+                ptrs.reserve(graphs.size());
+                for (const auto &g : graphs)
+                    ptrs.push_back(&g);
+                return simulator.runBatch(ptrs);
+            },
+            _fillPool.get());
         std::vector<double> out;
         out.reserve(results.size());
         for (const auto &r : results)
@@ -197,6 +210,8 @@ class CachedDlrmTimer
     sim::SimConfig _trainConfig;
     sim::SimConfig _serveConfig;
     sim::SimCache _cache;
+    /** Cold-path fill workers; null = compute misses inline. */
+    std::unique_ptr<exec::ThreadPool> _fillPool;
 };
 
 } // namespace h2o::bench

@@ -28,7 +28,7 @@ EvalEngine::EvalEngine(PerfStage perf,
                 : 1),
       _runner(_pool,
               {config.numShards, config.maxShardAttempts,
-               config.retryBackoffMs},
+               config.retryBackoffMs, config.inlineSingleThread},
               config.faults)
 {
     h2o_assert(_perf.perCandidate || _perf.batched,

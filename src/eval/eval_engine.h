@@ -100,6 +100,12 @@ struct EvalEngineConfig
     size_t maxShardAttempts = 3;
     /** Exponential retry backoff base, in milliseconds. */
     double retryBackoffMs = 0.5;
+    /** With one worker (threads == 1 or !multithread), execute shard
+     *  bodies inline on the evaluate() caller's thread instead of
+     *  dispatching to the pool — bit-identical results (see
+     *  exec::ShardRunnerConfig::inlineSingleWorker), no cross-thread
+     *  hand-off cost. Disable only to A/B the dispatch path. */
+    bool inlineSingleThread = true;
 };
 
 /**

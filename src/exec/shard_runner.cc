@@ -146,17 +146,29 @@ ShardRunner::runStep(size_t step,
     report.shards.assign(_config.numShards, ShardResult{});
     _ordered.reset(_config.numShards);
 
-    std::vector<std::future<void>> futures;
-    futures.reserve(_config.numShards);
-    for (size_t s = 0; s < _config.numShards; ++s) {
-        futures.push_back(_pool.submit([this, step, s, &body, &report] {
+    if (_config.inlineSingleWorker && _pool.size() == 1) {
+        // Single-worker fast path: run the shards inline in index
+        // order on this thread — exactly the order one FIFO worker
+        // would run them, with the same fault decisions and ordered-
+        // section admissions — skipping the cross-thread dispatch.
+        for (size_t s = 0; s < _config.numShards; ++s)
             report.shards[s] = runShard(step, s, body);
-        }));
+        ++_inlineSteps;
+    } else {
+        std::vector<std::future<void>> futures;
+        futures.reserve(_config.numShards);
+        for (size_t s = 0; s < _config.numShards; ++s) {
+            futures.push_back(
+                _pool.submit([this, step, s, &body, &report] {
+                    report.shards[s] = runShard(step, s, body);
+                }));
+        }
+        // The cross-shard barrier: aggregation must not start before
+        // every shard has completed or been declared lost.
+        for (auto &f : futures)
+            f.get();
+        ++_dispatchedSteps;
     }
-    // The cross-shard barrier: aggregation must not start before every
-    // shard has completed or been declared lost.
-    for (auto &f : futures)
-        f.get();
 
     for (const auto &r : report.shards)
         if (r.state == ShardState::Degraded)

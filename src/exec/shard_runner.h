@@ -115,6 +115,18 @@ struct ShardRunnerConfig
     size_t maxAttempts = 3;
     /** Exponential backoff base between retries, in milliseconds. */
     double backoffBaseMs = 0.5;
+    /**
+     * On a pool of ONE worker, run the step's shards inline on the
+     * calling thread in shard-index order instead of dispatching them
+     * across threads. Semantically identical to dispatch — a single
+     * FIFO worker also runs shards 0..N-1 sequentially, fault
+     * decisions key on (step, shard, attempt) alone, and ordered
+     * sections are entered in ascending order either way — but skips
+     * the submit/future/wake-up round trip per shard, which is pure
+     * overhead when there is nothing to overlap. Disable to force
+     * dispatch (the equivalence tests A/B the two paths).
+     */
+    bool inlineSingleWorker = true;
 };
 
 /**
@@ -154,6 +166,12 @@ class ShardRunner
     /** Cumulative count of degraded (lost) shard-steps. */
     uint64_t degradedShardSteps() const { return _degradedShardSteps; }
 
+    /** Steps executed inline on the caller's thread (single-worker
+     *  fast path) / via pool dispatch — telemetry for the benches and
+     *  the inline-equivalence tests. */
+    uint64_t inlineSteps() const { return _inlineSteps; }
+    uint64_t dispatchedSteps() const { return _dispatchedSteps; }
+
   private:
     ShardResult runShard(size_t step, size_t shard,
                          const std::function<void(size_t)> &body);
@@ -163,6 +181,8 @@ class ShardRunner
     FaultInjector *_injector;
     OrderedSection _ordered;
     uint64_t _degradedShardSteps = 0;
+    uint64_t _inlineSteps = 0;
+    uint64_t _dispatchedSteps = 0;
 };
 
 } // namespace h2o::exec

@@ -72,7 +72,10 @@ struct SurrogateSearchConfig
      *  worker (results are bit-identical either way). */
     bool multithread = true;
     /** Worker threads when multithread; 0 = one per hardware thread.
-     *  Clamped to samplesPerStep. */
+     *  Clamped to samplesPerStep. When the pool resolves to ONE worker
+     *  the engine runs shard bodies inline on the caller's thread
+     *  (eval::EvalEngineConfig::inlineSingleThread) — same results,
+     *  no cross-thread dispatch. */
     size_t threads = 0;
     /** Optional fault oracle (preemptible-fleet emulation); not owned. */
     exec::FaultInjector *faults = nullptr;

@@ -55,7 +55,10 @@ TunasSearch::run(common::Rng &rng)
     // lacks parallelism": a single worker and a single shard. Running it
     // through the eval engine anyway gives the baseline the same
     // fault-tolerance story (retry with backoff; a preempted step is
-    // simply lost) so head-to-head fleet experiments are fair.
+    // simply lost) so head-to-head fleet experiments are fair. The
+    // single-worker engine executes its shard inline on this thread
+    // (no pool hand-off), which keeps the baseline's step loop honest:
+    // its wall-clock contains no multithreading tax it never asked for.
     eval::EvalEngine engine(_perf, _reward,
                             {1, 1, false, _config.faults,
                              _config.maxShardAttempts,

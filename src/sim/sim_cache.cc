@@ -121,6 +121,7 @@ SimCache::lookup(const SimCacheKey &key, SimResult &out)
         return false;
     }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    it->second->tick = nextTick();
     out = it->second->value;
     _hits.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -137,9 +138,10 @@ SimCache::insert(const SimCacheKey &key, SimResult value)
         // simulator is pure), keep the freshest and refresh LRU.
         it->second->value = std::move(value);
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        it->second->tick = nextTick();
         return;
     }
-    shard.lru.push_front(Entry{key, std::move(value)});
+    shard.lru.push_front(Entry{key, std::move(value), nextTick()});
     shard.index.emplace(key, shard.lru.begin());
     if (shard.index.size() > _shardCapacity) {
         shard.index.erase(shard.lru.back().key);
@@ -182,6 +184,7 @@ SimCache::lookupBatch(std::span<const SimCacheKey> keys,
                 continue;
             }
             shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            it->second->tick = nextTick();
             out[j] = it->second->value;
             hit[j] = 1;
             ++hits;
@@ -222,9 +225,10 @@ SimCache::insertBatch(std::span<const SimCacheKey> keys,
                 it->second->value = values[j];
                 shard.lru.splice(shard.lru.begin(), shard.lru,
                                  it->second);
+                it->second->tick = nextTick();
                 continue;
             }
-            shard.lru.push_front(Entry{keys[j], values[j]});
+            shard.lru.push_front(Entry{keys[j], values[j], nextTick()});
             shard.index.emplace(keys[j], shard.lru.begin());
             if (shard.index.size() > _shardCapacity) {
                 shard.index.erase(shard.lru.back().key);
@@ -360,26 +364,30 @@ SimCache::save(std::ostream &os) const
     locks.reserve(_shards.size());
     for (const auto &shard : _shards)
         locks.emplace_back(shard->mu);
-    size_t total = 0;
     for (const auto &shard : _shards)
-        total += shard->index.size();
+        for (const Entry &e : shard->lru)
+            entries.push_back(&e);
+
+    // Global least-recently-used first (the recency ticks interleave
+    // the stripes): replaying inserts in this order reproduces the
+    // cross-shard recency order on load, into ANY target geometry, and
+    // a smaller-capacity load evicts the globally oldest entries.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry *a, const Entry *b) {
+                  return a->tick < b->tick;
+              });
 
     common::writeTaggedU64(os, "sim_cache",
                            {kSimCacheFormatVersion,
-                            static_cast<uint64_t>(total)});
-    for (const auto &shard : _shards) {
-        // Least-recently-used first: replaying inserts in this order
-        // reproduces each stripe's recency order on load.
-        for (auto it = shard->lru.rbegin(); it != shard->lru.rend();
-             ++it) {
-            std::vector<uint64_t> key_words;
-            key_words.reserve(it->key.decisions.size() + 1);
-            key_words.push_back(it->key.configFingerprint);
-            key_words.insert(key_words.end(), it->key.decisions.begin(),
-                             it->key.decisions.end());
-            common::writeTaggedU64(os, "key", key_words);
-            writeResult(os, it->value);
-        }
+                            static_cast<uint64_t>(entries.size())});
+    for (const Entry *e : entries) {
+        std::vector<uint64_t> key_words;
+        key_words.reserve(e->key.decisions.size() + 1);
+        key_words.push_back(e->key.configFingerprint);
+        key_words.insert(key_words.end(), e->key.decisions.begin(),
+                         e->key.decisions.end());
+        common::writeTaggedU64(os, "key", key_words);
+        writeResult(os, e->value);
     }
 }
 

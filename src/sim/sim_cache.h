@@ -18,15 +18,29 @@
  * shard lock: two threads may race to simulate the same key (both
  * compute, last insert wins) — acceptable because Simulator::run is pure.
  *
+ * The cold path parallelizes: getOrComputeBatch() dedupes the batch's
+ * missing keys (each distinct key is computed exactly once) and can fan
+ * the miss chunks out over an h2o::exec::ThreadPool. Every cache
+ * mutation stays on the calling thread in ascending batch position —
+ * workers only run the pure miss computation — so hit counting, LRU
+ * refresh order and eviction order are bit-identical at any pool size.
+ *
  * Hit/miss/eviction counters are atomics, exported through
- * `search/telemetry` (writeSimCacheStatsCsv) for the benches.
+ * `search/telemetry` (writeSimCacheStatsCsv) for the benches. Entries
+ * additionally carry a global recency tick so save() can serialize the
+ * cache in global least-recently-used-first order: a load() into any
+ * capacity/shard geometry replays accesses oldest-first and therefore
+ * evicts oldest-first when the stream exceeds the target's capacity.
  */
 
 #ifndef H2O_SIM_SIM_CACHE_H
 #define H2O_SIM_SIM_CACHE_H
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <exception>
+#include <future>
 #include <istream>
 #include <list>
 #include <memory>
@@ -37,6 +51,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
+#include "exec/thread_pool.h"
 #include "hw/chip.h"
 #include "sim/simulator.h"
 
@@ -124,34 +140,122 @@ class SimCache
     void insertBatch(std::span<const SimCacheKey> keys,
                      std::span<const SimResult> values);
 
+    /** Default bound on distinct misses handed to one computeMisses
+     *  call: keeps thousands of decoded graphs from ever being live at
+     *  once, and is the unit of work a fill pool's workers steal. */
+    static constexpr size_t kDefaultFillChunk = 256;
+
     /**
      * Batched memoization: one lookupBatch, then `computeMisses(miss
      * indices) -> results parallel to the miss list` runs OUTSIDE every
      * lock, then one insertBatch of the fresh results. Returns results
-     * parallel to `keys`. Duplicate missing keys within a batch are
-     * computed once per occurrence (the simulator is pure, so either
-     * copy is correct).
+     * parallel to `keys`.
+     *
+     * Duplicate missing keys within a batch are computed ONCE per
+     * distinct key; the result fans out to every duplicate position.
+     * `computeMisses` receives chunks of at most `fill_chunk` distinct
+     * miss positions (ascending within a chunk) and may therefore be
+     * invoked several times per batch; it must be pure — the same
+     * position yields the same result regardless of chunking.
+     *
+     * With a non-null `fill_pool` of more than one worker the chunks
+     * are computed concurrently on the pool ("parallel cold-path
+     * fill"); `computeMisses` must then also be thread-safe. All cache
+     * mutations — the lookup, the write-back, the eviction — still run
+     * on the calling thread in ascending batch position, so results,
+     * counters, LRU order and save() images are bit-identical at any
+     * pool size. A chunk that throws aborts the batch: the exception is
+     * rethrown here after every in-flight chunk has drained, and no
+     * partial chunk result is inserted (whole chunks that completed are
+     * not rolled back; the simulator being pure makes them correct).
      */
     template <typename Fn>
-    std::vector<SimResult> getOrComputeBatch(
-        std::span<const SimCacheKey> keys, Fn &&computeMisses)
+    std::vector<SimResult>
+    getOrComputeBatch(std::span<const SimCacheKey> keys, Fn &&computeMisses,
+                      exec::ThreadPool *fill_pool = nullptr,
+                      size_t fill_chunk = kDefaultFillChunk)
     {
+        h2o_assert(fill_chunk > 0, "zero sim-cache fill chunk");
         std::vector<SimResult> results(keys.size());
         std::vector<char> hit = lookupBatch(keys, results);
-        std::vector<size_t> misses;
-        for (size_t i = 0; i < keys.size(); ++i)
-            if (!hit[i])
-                misses.push_back(i);
-        if (misses.empty())
+
+        // Distinct missing keys, in first-occurrence order. `reps[r]`
+        // is the representative batch position of distinct key r;
+        // `rep_of[j]` maps the j-th miss position back to its key.
+        std::vector<size_t> reps;
+        std::vector<size_t> miss_pos;
+        std::vector<size_t> rep_of;
+        {
+            std::unordered_map<SimCacheKey, size_t, KeyHash> first_seen;
+            for (size_t i = 0; i < keys.size(); ++i) {
+                if (hit[i])
+                    continue;
+                auto [it, inserted] =
+                    first_seen.try_emplace(keys[i], reps.size());
+                if (inserted)
+                    reps.push_back(i);
+                miss_pos.push_back(i);
+                rep_of.push_back(it->second);
+            }
+        }
+        if (reps.empty())
             return results;
-        std::vector<SimResult> fresh = computeMisses(misses);
+
+        std::vector<SimResult> fresh(reps.size());
+        const size_t n_chunks = (reps.size() + fill_chunk - 1) / fill_chunk;
+        auto run_chunk = [&](size_t c) {
+            size_t lo = c * fill_chunk;
+            size_t hi = std::min(reps.size(), lo + fill_chunk);
+            std::vector<size_t> part(reps.begin() +
+                                         static_cast<ptrdiff_t>(lo),
+                                     reps.begin() +
+                                         static_cast<ptrdiff_t>(hi));
+            std::vector<SimResult> out = computeMisses(part);
+            h2o_assert(out.size() == part.size(),
+                       "computeMisses returned ", out.size(),
+                       " results for ", part.size(), " misses");
+            std::move(out.begin(), out.end(),
+                      fresh.begin() + static_cast<ptrdiff_t>(lo));
+        };
+        if (fill_pool != nullptr && fill_pool->size() > 1 && n_chunks > 1) {
+            std::vector<std::future<void>> futures;
+            futures.reserve(n_chunks);
+            for (size_t c = 0; c < n_chunks; ++c)
+                futures.push_back(
+                    fill_pool->submit([&run_chunk, c] { run_chunk(c); }));
+            // Drain every chunk before propagating the first failure so
+            // no task outlives the locals it references.
+            std::exception_ptr first_error;
+            for (auto &f : futures) {
+                try {
+                    f.get();
+                } catch (...) {
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+            }
+            if (first_error)
+                std::rethrow_exception(first_error);
+        } else {
+            for (size_t c = 0; c < n_chunks; ++c)
+                run_chunk(c);
+        }
+
+        // Write-back on the calling thread, ascending representative
+        // position: insertion/eviction/recency order is a function of
+        // the batch alone, never of worker timing.
         std::vector<SimCacheKey> miss_keys;
-        miss_keys.reserve(misses.size());
-        for (size_t i : misses)
+        miss_keys.reserve(reps.size());
+        for (size_t i : reps)
             miss_keys.push_back(keys[i]);
         insertBatch(miss_keys, fresh);
-        for (size_t j = 0; j < misses.size(); ++j)
-            results[misses[j]] = std::move(fresh[j]);
+
+        // Fan out: duplicate positions copy, the representative moves.
+        for (size_t j = 0; j < miss_pos.size(); ++j)
+            if (miss_pos[j] != reps[rep_of[j]])
+                results[miss_pos[j]] = fresh[rep_of[j]];
+        for (size_t r = 0; r < reps.size(); ++r)
+            results[reps[r]] = std::move(fresh[r]);
         return results;
     }
 
@@ -175,18 +279,22 @@ class SimCache
     void clear();
 
     /**
-     * Serialize every cached entry (least-recently-used first, so a
-     * subsequent load() reproduces the recency order) in the tagged
-     * text format used by exec::Checkpoint streams. Counters are not
-     * persisted — they describe a process, not the cache contents.
+     * Serialize every cached entry in GLOBAL least-recently-used-first
+     * order (the per-entry recency tick, not per-shard list order) in
+     * the tagged text format used by exec::Checkpoint streams. A
+     * subsequent load() therefore reproduces the recency order even
+     * into a cache with a different capacity or shard count. Counters
+     * are not persisted — they describe a process, not the contents.
      */
     void save(std::ostream &os) const;
 
     /**
      * Merge a save()d stream into this cache via normal inserts (LRU
-     * eviction applies if the stream exceeds capacity). Entries whose
-     * config fingerprint no longer matches any caller's configuration
-     * are harmless: exact key equality keeps them from ever aliasing.
+     * eviction applies if the stream exceeds capacity; the stream's
+     * global oldest-first order means the oldest entries are the ones
+     * evicted). Entries whose config fingerprint no longer matches any
+     * caller's configuration are harmless: exact key equality keeps
+     * them from ever aliasing.
      */
     void load(std::istream &is);
 
@@ -198,6 +306,8 @@ class SimCache
     {
         SimCacheKey key;
         SimResult value;
+        /** Global recency stamp (higher = more recent); orders save(). */
+        uint64_t tick = 0;
     };
     struct KeyHash
     {
@@ -218,8 +328,15 @@ class SimCache
 
     Shard &shardFor(const SimCacheKey &key);
 
+    /** Next global recency stamp (see Entry::tick). */
+    uint64_t nextTick()
+    {
+        return _accessTick.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+
     std::vector<std::unique_ptr<Shard>> _shards;
     size_t _shardCapacity;
+    std::atomic<uint64_t> _accessTick{0};
     std::atomic<uint64_t> _hits{0};
     std::atomic<uint64_t> _misses{0};
     std::atomic<uint64_t> _evictions{0};

@@ -252,6 +252,114 @@ TEST(EvalEngine, BatchPathBitIdenticalAcrossThreadCounts)
     expect_identical(t1, t8);
 }
 
+// ------------------------------------------- inline single-worker path
+
+namespace {
+
+/** One engine run (threads=1) with faults and an ordered section; the
+ *  `inline_path` flag A/Bs the caller-thread fast path against forced
+ *  pool dispatch. Returns everything observable. */
+struct InlineRunResult
+{
+    std::vector<ev::StepEval> evals;
+    std::vector<size_t> ordered_entries; ///< shard ids, in entry order
+    std::vector<double> rng_probes;      ///< post-run per-shard draws
+    uint64_t inline_steps = 0;
+    uint64_t dispatched_steps = 0;
+};
+
+InlineRunResult
+runSingleWorker(bool inline_path)
+{
+    ToyTask task;
+    rw::ReluReward reward({{"cost", 2.0, -2.0}});
+    ex::FaultInjector faults({0.15, 0.0, 0.0, 0.2, 77});
+    const size_t shards = 6, steps = 20;
+
+    ev::EvalEngineConfig cfg;
+    cfg.numShards = shards;
+    cfg.threads = 1;
+    cfg.faults = &faults;
+    cfg.inlineSingleThread = inline_path;
+    ev::PerfBatchFn perf_batch =
+        [&](std::span<const ss::Sample> samples) {
+            std::vector<std::vector<double>> out;
+            for (const auto &s : samples)
+                out.push_back(task.perf(s));
+            return out;
+        };
+    ev::EvalEngine engine(perf_batch, reward, cfg);
+
+    std::vector<Rng> shard_rngs;
+    for (size_t s = 0; s < shards; ++s)
+        shard_rngs.emplace_back(300 + s);
+
+    InlineRunResult run;
+    for (size_t step = 0; step < steps; ++step) {
+        run.evals.push_back(engine.evaluate(
+            step, [&](size_t s, ss::Sample &sample, double &quality) {
+                sample = task.space.uniformSample(shard_rngs[s]);
+                quality = task.quality(sample);
+                // Shared-resource region: both paths must admit shards
+                // strictly in index order (degraded shards skipped).
+                ex::OrderedSection::Guard guard(engine.runner().ordered(),
+                                                s);
+                run.ordered_entries.push_back(s);
+            }));
+    }
+    run.inline_steps = engine.runner().inlineSteps();
+    run.dispatched_steps = engine.runner().dispatchedSteps();
+    // Probe each shard's stream position: equal probes mean the two
+    // paths advanced every stream identically — including NOT advancing
+    // the streams of degraded shards.
+    for (size_t s = 0; s < shards; ++s)
+        run.rng_probes.push_back(double(
+            task.space.uniformSample(shard_rngs[s])[0]));
+    return run;
+}
+
+} // namespace
+
+TEST(EvalEngine, InlinePathBitIdenticalToForcedDispatch)
+{
+    InlineRunResult inl = runSingleWorker(/*inline_path=*/true);
+    InlineRunResult disp = runSingleWorker(/*inline_path=*/false);
+
+    // The two runs took the paths they were asked to take.
+    EXPECT_EQ(inl.inline_steps, inl.evals.size());
+    EXPECT_EQ(inl.dispatched_steps, 0u);
+    EXPECT_EQ(disp.inline_steps, 0u);
+    EXPECT_EQ(disp.dispatched_steps, disp.evals.size());
+
+    ASSERT_EQ(inl.evals.size(), disp.evals.size());
+    size_t degraded_total = 0;
+    for (size_t i = 0; i < inl.evals.size(); ++i) {
+        const ev::StepEval &a = inl.evals[i];
+        const ev::StepEval &b = disp.evals[i];
+        EXPECT_EQ(a.samples, b.samples) << "step " << i;
+        EXPECT_EQ(a.qualities, b.qualities) << "step " << i;
+        EXPECT_EQ(a.performance, b.performance) << "step " << i;
+        EXPECT_EQ(a.rewards, b.rewards) << "step " << i;
+        EXPECT_EQ(a.survivors, b.survivors) << "step " << i;
+        ASSERT_EQ(a.report.shards.size(), b.report.shards.size());
+        for (size_t s = 0; s < a.report.shards.size(); ++s) {
+            EXPECT_EQ(a.report.shards[s].state, b.report.shards[s].state);
+            EXPECT_EQ(a.report.shards[s].attempts,
+                      b.report.shards[s].attempts);
+        }
+        degraded_total +=
+            a.report.shards.size() - a.survivors.size();
+    }
+    // The fault rates above must actually have degraded shards, or the
+    // RNG non-advancement half of the check is vacuous.
+    EXPECT_GT(degraded_total, 0u);
+
+    // Ordered sections admitted shards in the same (ascending) order.
+    EXPECT_EQ(inl.ordered_entries, disp.ordered_entries);
+    // Every shard's RNG stream ended at the same position.
+    EXPECT_EQ(inl.rng_probes, disp.rng_probes);
+}
+
 // ------------------------------------------------- fault degradation
 
 TEST(EvalEngine, FaultsDropCandidatesFromBatchGracefully)

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <tuple>
 
 #include "arch/conv_arch.h"
@@ -21,9 +22,11 @@
 #include "nn/dense.h"
 #include "nn/masked_dense.h"
 #include "reward/reward.h"
+#include "exec/thread_pool.h"
 #include "searchspace/conv_space.h"
 #include "searchspace/dlrm_space.h"
 #include "searchspace/vit_space.h"
+#include "sim/sim_cache.h"
 #include "sim/simulator.h"
 
 namespace nn = h2o::nn;
@@ -335,3 +338,101 @@ TEST(ConsistencyProperties, PaddedFlopsUpperBoundsRawFlops)
                     0.01 * dense_only + 256.0);
     }
 }
+
+// ------------------------------------------- sim-cache batch algebra
+
+namespace ex = h2o::exec;
+
+/**
+ * Property: for ANY mix of duplicate keys, cache pre-state (interleaved
+ * hits) and fill-pool size, SimCache::getOrComputeBatch returns per
+ * position exactly what an uncached Simulator::run of that position's
+ * graph returns, and its counters add up — hits + misses == lookups,
+ * entries <= capacity. Parameterized over (seed, fill-pool workers).
+ */
+class SimCacheBatchPropertyTest
+    : public testing::TestWithParam<std::tuple<uint64_t, size_t>>
+{
+};
+
+TEST_P(SimCacheBatchPropertyTest, BatchEqualsUncachedRunAndStatsAddUp)
+{
+    auto [seed, pool_workers] = GetParam();
+    arch::DlrmArch base;
+    base.numDenseFeatures = 8;
+    base.tables = {{2048, 16, 1.0}, {4096, 24, 1.0}};
+    base.bottomMlp = {{48, 0}};
+    base.topMlp = {{96, 0}};
+    base.globalBatch = 256;
+    ss::DlrmSearchSpace space(base);
+    hw::Platform platform = hw::trainingPlatform();
+    sim::SimConfig config{platform.chip, true, true, {}};
+    sim::Simulator uncached(config);
+
+    Rng rng(seed);
+    // A pool of candidate samples; batches draw from it with
+    // replacement, so duplicates occur both within and across batches
+    // (cross-batch repeats become genuine interleaved hits).
+    std::vector<ss::Sample> candidates;
+    for (size_t i = 0; i < 10; ++i)
+        candidates.push_back(space.decisions().uniformSample(rng));
+
+    const size_t capacity = 8; // smaller than the pool: evictions occur
+    sim::SimCache cache(capacity, 2);
+    std::unique_ptr<ex::ThreadPool> pool;
+    if (pool_workers > 1)
+        pool = std::make_unique<ex::ThreadPool>(pool_workers);
+
+    uint64_t lookups = 0;
+    for (size_t batch = 0; batch < 4; ++batch) {
+        size_t n = 6 + static_cast<size_t>(rng.uniformInt(0, 6));
+        std::vector<const ss::Sample *> picked;
+        std::vector<sim::SimCacheKey> keys;
+        for (size_t i = 0; i < n; ++i) {
+            picked.push_back(&candidates[static_cast<size_t>(
+                rng.uniformInt(0, 9))]);
+            keys.push_back(sim::makeSimCacheKey(*picked.back(), 0,
+                                                config));
+        }
+        lookups += n;
+        auto results = cache.getOrComputeBatch(
+            keys,
+            [&](const std::vector<size_t> &misses) {
+                sim::Simulator simulator(config);
+                std::vector<sim::Graph> graphs;
+                graphs.reserve(misses.size());
+                for (size_t k : misses)
+                    graphs.push_back(arch::buildDlrmGraph(
+                        space.decode(*picked[k]), platform,
+                        arch::ExecMode::Training));
+                std::vector<const sim::Graph *> ptrs;
+                for (const auto &g : graphs)
+                    ptrs.push_back(&g);
+                return simulator.runBatch(ptrs);
+            },
+            pool.get(), /*chunk=*/3);
+
+        ASSERT_EQ(results.size(), n);
+        for (size_t i = 0; i < n; ++i) {
+            sim::SimResult ref = uncached.run(arch::buildDlrmGraph(
+                space.decode(*picked[i]), platform,
+                arch::ExecMode::Training));
+            // Exact: cached, deduped and pooled fills must all be the
+            // pure function of the candidate.
+            EXPECT_EQ(results[i].stepTimeSec, ref.stepTimeSec)
+                << "batch " << batch << " position " << i;
+            EXPECT_EQ(results[i].totalFlops, ref.totalFlops);
+            EXPECT_EQ(results[i].energyPerStepJ, ref.energyPerStepJ);
+            EXPECT_EQ(results[i].criticalPathSec, ref.criticalPathSec);
+        }
+        sim::SimCacheStats stats = cache.stats();
+        EXPECT_EQ(stats.hits + stats.misses, lookups);
+        EXPECT_LE(stats.entries, cache.capacity());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimCacheBatchPropertyTest,
+    testing::Combine(testing::Values(uint64_t(3), uint64_t(17),
+                                     uint64_t(29)),
+                     testing::Values(size_t(1), size_t(4))));
