@@ -39,6 +39,10 @@ main(int argc, char **argv)
     flags.defineInt("steps", 120, "search steps per model");
     flags.defineInt("shards", 8, "parallel candidates per step");
     flags.defineInt("seed", 41, "RNG seed");
+    flags.defineString("sim_cache_file", "",
+                       "persist the fleet's SimCache across zero-touch "
+                       "runs: warm-start from the file if it exists, "
+                       "merge-save after");
     flags.parse(argc, argv);
 
     search::ZeroTouchConfig zcfg;
@@ -46,6 +50,30 @@ main(int argc, char **argv)
     zcfg.samplesPerStep = static_cast<size_t>(flags.getInt("shards"));
 
     hw::Platform train = hw::trainingPlatform();
+
+    // One step-time memo for the whole fleet: repeat samples inside a
+    // model's search hit immediately, and a warmed cache file carries
+    // the continuous zero-touch loop's simulations across runs. Each
+    // model gets its own key tag — the fleets' search spaces differ, so
+    // raw decision encodings could alias across models.
+    sim::SimConfig sim_cfg{train.chip, true, true, {}};
+    sim::SimCache cache(1 << 16);
+    std::string cache_file = flags.getString("sim_cache_file");
+    if (sim::warmSimCacheFromFile(cache, cache_file))
+        std::cout << "SimCache warmed from " << cache_file << " ("
+                  << cache.stats().entries << " entries)\n";
+    uint64_t model_tag = 0;
+    auto cached_step_time = [&](uint64_t tag,
+                                const searchspace::Sample &s,
+                                auto &&build_graph) {
+        sim::SimCacheKey key = sim::makeSimCacheKey(s, tag, sim_cfg);
+        sim::SimResult res;
+        if (!cache.lookup(key, res)) {
+            res = bench::simulate(build_graph(), train.chip);
+            cache.insert(key, res);
+        }
+        return res.stepTimeSec;
+    };
     common::AsciiTable t("Figure 10: zero-touch production fleet gains");
     t.setHeader({"model", "perf gain", "quality gain (abs %)",
                  "model size"});
@@ -65,12 +93,11 @@ main(int argc, char **argv)
             [&](const searchspace::Sample &s) {
                 return baselines::convQuality(space.decode(s));
             },
-            [&](const searchspace::Sample &s) {
-                return bench::simulate(
-                           arch::buildConvGraph(space.decode(s), train,
-                                                arch::ExecMode::Training),
-                           train.chip)
-                    .stepTimeSec;
+            [&, tag = model_tag++](const searchspace::Sample &s) {
+                return cached_step_time(tag, s, [&] {
+                    return arch::buildConvGraph(space.decode(s), train,
+                                                arch::ExecMode::Training);
+                });
             },
             [&](const searchspace::Sample &s) {
                 return space.decode(s).paramCount() * 2.0;
@@ -98,8 +125,11 @@ main(int argc, char **argv)
                 return 100.0 *
                        baselines::dlrmQualitySurrogate(space.decode(s));
             },
-            [&](const searchspace::Sample &s) {
-                return bench::dlrmTrainStepTime(space.decode(s), train);
+            [&, tag = model_tag++](const searchspace::Sample &s) {
+                return cached_step_time(tag, s, [&] {
+                    return arch::buildDlrmGraph(space.decode(s), train,
+                                                arch::ExecMode::Training);
+                });
             },
             [&](const searchspace::Sample &s) {
                 return space.decode(s).modelBytes();
@@ -132,5 +162,13 @@ main(int argc, char **argv)
          common::AsciiTable::num(common::mean(dlrm_quality), 3),
          "1.22x / +0.12%"});
     summary.print(std::cout);
+    sim::SimCacheStats cs = cache.stats();
+    std::cout << "SimCache: " << cs.entries << " entries, hit rate "
+              << 100.0 * cs.hitRate() << "%\n";
+    if (!cache_file.empty()) {
+        sim::saveSimCacheFileMerged(cache, cache_file);
+        std::cout << "SimCache persisted to " << cache_file << " ("
+                  << cache.stats().entries << " entries)\n";
+    }
     return 0;
 }

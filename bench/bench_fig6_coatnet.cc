@@ -29,10 +29,39 @@ main(int argc, char **argv)
 {
     common::Flags flags;
     flags.defineInt("max_index", 5, "largest family member to evaluate");
+    flags.defineString("sim_cache_file", "",
+                       "persist simulated step times across runs: "
+                       "warm-start from the file if it exists, "
+                       "merge-save after");
     flags.parse(argc, argv);
     int max_index = static_cast<int>(flags.getInt("max_index"));
 
     hw::Platform platform = hw::trainingPlatform();
+
+    // Step-time memo: the CoAtNet family is a fixed enumerable set, so
+    // a warmed cache file turns every rerun of this figure into pure
+    // lookups. Keys are (family index, baseline-vs-H) — the fingerprint
+    // covers the chip and pass config.
+    sim::SimConfig sim_cfg{platform.chip, true, true, {}};
+    sim::SimCache cache(256);
+    std::string cache_file = flags.getString("sim_cache_file");
+    if (sim::warmSimCacheFromFile(cache, cache_file))
+        std::cout << "SimCache warmed from " << cache_file << " ("
+                  << cache.stats().entries << " entries)\n";
+    auto cached_step_time = [&](size_t index, size_t variant,
+                                const arch::VitArch &a) {
+        sim::SimCacheKey key =
+            sim::makeSimCacheKey({index, variant}, 0, sim_cfg);
+        sim::SimResult res;
+        if (!cache.lookup(key, res)) {
+            res = bench::simulate(
+                arch::buildVitGraph(a, platform,
+                                    arch::ExecMode::Training),
+                platform.chip);
+            cache.insert(key, res);
+        }
+        return res.stepTimeSec;
+    };
 
     struct DatasetRow
     {
@@ -56,17 +85,9 @@ main(int argc, char **argv)
             arch::VitArch base = baselines::coatnet(i);
             arch::VitArch opt = baselines::coatnetH(i);
             double base_t =
-                bench::simulate(arch::buildVitGraph(
-                                    base, platform,
-                                    arch::ExecMode::Training),
-                                platform.chip)
-                    .stepTimeSec;
+                cached_step_time(static_cast<size_t>(i), 0, base);
             double opt_t =
-                bench::simulate(arch::buildVitGraph(
-                                    opt, platform,
-                                    arch::ExecMode::Training),
-                                platform.chip)
-                    .stepTimeSec;
+                cached_step_time(static_cast<size_t>(i), 1, opt);
             double base_tp = base.perChipBatch / base_t;
             double opt_tp = opt.perChipBatch / opt_t;
             double base_q = baselines::vitQuality(base, ds.size);
@@ -88,5 +109,10 @@ main(int argc, char **argv)
     std::cout << "Geomean training-throughput gain of CoAtNet-H family: "
               << common::AsciiTable::times(common::geomean(speedups), 2)
               << " (paper: 1.54x family-wide, 1.84x for C-5)\n";
+    if (!cache_file.empty()) {
+        sim::saveSimCacheFileMerged(cache, cache_file);
+        std::cout << "SimCache persisted to " << cache_file << " ("
+                  << cache.stats().entries << " entries)\n";
+    }
     return 0;
 }

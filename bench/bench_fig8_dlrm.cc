@@ -71,6 +71,9 @@ main(int argc, char **argv)
     flags.defineInt("steps", 400, "search steps");
     flags.defineInt("shards", 8, "parallel candidates per step");
     flags.defineInt("seed", 5, "RNG seed");
+    flags.defineString("sim_cache_file", "",
+                       "persist the SimCache across runs: warm-start "
+                       "from the file if it exists, merge-save after");
     common::defineThreadsFlag(flags);
     flags.parse(argc, argv);
 
@@ -93,6 +96,10 @@ main(int argc, char **argv)
     bench::CachedDlrmTimer timer(
         platform, hw::servingPlatform(), 1 << 16,
         static_cast<size_t>(flags.getInt("threads")));
+    std::string cache_file = flags.getString("sim_cache_file");
+    if (sim::warmSimCacheFromFile(timer.cache(), cache_file))
+        std::cout << "SimCache warmed from " << cache_file << " ("
+                  << timer.cacheStats().entries << " entries)\n";
     // Batched performance stage: one SimCache lookupBatch + one
     // Simulator::runBatch over the step's surviving shard candidates.
     auto perf_fn = [&](std::span<const searchspace::Sample> ss) {
@@ -161,5 +168,10 @@ main(int argc, char **argv)
               << " (paper: +0.02%)\n";
     std::cout << "SimCache counters:\n";
     search::writeSimCacheStatsCsv(timer.cacheStats(), std::cout);
+    if (!cache_file.empty()) {
+        sim::saveSimCacheFileMerged(timer.cache(), cache_file);
+        std::cout << "SimCache persisted to " << cache_file << " ("
+                  << timer.cacheStats().entries << " entries)\n";
+    }
     return 0;
 }

@@ -70,13 +70,9 @@ main(int argc, char **argv)
     size_t fill_threads = static_cast<size_t>(flags.getInt("threads"));
     bench::CachedDlrmTimer timer(train_platform, serve_platform, 1 << 16,
                                  fill_threads);
-    if (use_cache && !cache_file.empty() &&
-        exec::CheckpointReader::exists(cache_file)) {
-        exec::CheckpointReader reader(cache_file);
-        timer.cache().load(reader.stream());
+    if (use_cache && sim::warmSimCacheFromFile(timer.cache(), cache_file))
         std::cout << "SimCache warmed from " << cache_file << " ("
                   << timer.cacheStats().entries << " entries)\n";
-    }
     perfmodel::SimulateBatchFn simulate_batch =
         [&](std::span<const searchspace::Sample> samples) {
             std::vector<perfmodel::SimTimes> out(samples.size());
@@ -166,9 +162,9 @@ main(int argc, char **argv)
         std::cout << "SimCache counters:\n";
         search::writeSimCacheStatsCsv(timer.cacheStats(), std::cout);
         if (!cache_file.empty()) {
-            exec::CheckpointWriter writer;
-            timer.cache().save(writer.stream());
-            writer.commit(cache_file);
+            // Merge-save: entries another run persisted since our
+            // warm-start survive alongside this run's work.
+            sim::saveSimCacheFileMerged(timer.cache(), cache_file);
             std::cout << "SimCache persisted to " << cache_file << " ("
                       << timer.cacheStats().entries << " entries)\n";
         }

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Memoized DLRM step-time evaluation: fronts `Simulator::run` with a
+ * `sim::SimCache` keyed by the candidate's canonical decision encoding
+ * plus an exec-mode tag and the simulator-config fingerprint. Candidates
+ * that recur — paired eval sets, a converging RL policy's repeats, and
+ * (with a shared cache) OTHER TENANTS' searches over the same space —
+ * skip decode, lowering, the compiler passes and the DAG walk entirely.
+ *
+ * Grew up in bench/bench_util.h; promoted here so the NAS job server
+ * (h2o::serve) can hang many jobs' timers off one shared SimCache.
+ */
+
+#ifndef H2O_EVAL_DLRM_TIMER_H
+#define H2O_EVAL_DLRM_TIMER_H
+
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "arch/dlrm_arch.h"
+#include "arch/lowering.h"
+#include "exec/thread_pool.h"
+#include "hw/chip.h"
+#include "searchspace/dlrm_space.h"
+#include "sim/sim_cache.h"
+#include "sim/simulator.h"
+
+namespace h2o::eval {
+
+/** See file comment. Thread-safe to the extent SimCache is: concurrent
+ *  calls from different jobs are fine; results are pure. */
+class CachedDlrmTimer
+{
+  public:
+    /**
+     * Owning constructor: the timer creates its own cache.
+     *
+     * @param fill_threads Workers for the cold-path fill: cache misses
+     *        in the batched entry points decode/lower/simulate on this
+     *        many threads (SimCache::getOrComputeBatch fan-out; the
+     *        per-thread PassWorkspaces keep workers allocation-free).
+     *        1 — the default — computes misses inline on the calling
+     *        thread; 0 means one worker per hardware thread. Results,
+     *        counters and cache images are bit-identical at any value.
+     * @param key_salt Distinguishes timers whose samples come from
+     *        DIFFERENT search spaces sharing one cache: the salt folds
+     *        into the exec-mode tag appended to every key (salt 0
+     *        reproduces the historical tags 0/1, so existing cache
+     *        files stay warm).
+     */
+    CachedDlrmTimer(hw::Platform train_platform,
+                    hw::Platform serve_platform,
+                    size_t cache_capacity = 1 << 16,
+                    size_t fill_threads = 1, uint64_t key_salt = 0)
+        : _train(train_platform), _serve(serve_platform),
+          _trainConfig{train_platform.chip, true, true, {}},
+          _serveConfig{serve_platform.chip, true, true, {}},
+          _owned(std::make_unique<sim::SimCache>(cache_capacity)),
+          _cache(_owned.get()), _trainTag(key_salt << 1),
+          _serveTag((key_salt << 1) | 1)
+    {
+        makeFillPool(fill_threads);
+    }
+
+    /**
+     * Shared-cache constructor: the timer fronts a cache owned by the
+     * caller (e.g. the job server's cross-tenant cache). The cache must
+     * outlive the timer. Give each distinct search space its own
+     * `key_salt` so two spaces' identical decision vectors never alias.
+     */
+    CachedDlrmTimer(hw::Platform train_platform,
+                    hw::Platform serve_platform, sim::SimCache &shared,
+                    size_t fill_threads = 1, uint64_t key_salt = 0)
+        : _train(train_platform), _serve(serve_platform),
+          _trainConfig{train_platform.chip, true, true, {}},
+          _serveConfig{serve_platform.chip, true, true, {}},
+          _cache(&shared), _trainTag(key_salt << 1),
+          _serveTag((key_salt << 1) | 1)
+    {
+        makeFillPool(fill_threads);
+    }
+
+    /** Training step time of the sample's decode on the train platform. */
+    double trainStepTime(const searchspace::DlrmSearchSpace &space,
+                         const searchspace::Sample &sample)
+    {
+        sim::SimCacheKey key =
+            sim::makeSimCacheKey(sample, _trainTag, _trainConfig);
+        return _cache
+            ->getOrCompute(key,
+                           [&] {
+                               arch::DlrmArch a = space.decode(sample);
+                               sim::Simulator simulator(_trainConfig);
+                               return simulator.run(arch::buildDlrmGraph(
+                                   a, _train, arch::ExecMode::Training));
+                           })
+            .stepTimeSec;
+    }
+
+    /** Serving step time (serving batch 1024, as dlrmServeStepTime). */
+    double serveStepTime(const searchspace::DlrmSearchSpace &space,
+                         const searchspace::Sample &sample)
+    {
+        sim::SimCacheKey key =
+            sim::makeSimCacheKey(sample, _serveTag, _serveConfig);
+        return _cache
+            ->getOrCompute(key,
+                           [&] {
+                               arch::DlrmArch serving =
+                                   space.decode(sample);
+                               serving.globalBatch = 1024;
+                               sim::Simulator simulator(_serveConfig);
+                               return simulator.run(arch::buildDlrmGraph(
+                                   serving, _serve,
+                                   arch::ExecMode::Serving));
+                           })
+            .stepTimeSec;
+    }
+
+    /**
+     * Batched training step times, parallel to `samples`. One
+     * getOrComputeBatch (each cache stripe locked once per phase) with
+     * Simulator::runBatch over chunks of the distinct misses —
+     * computed in parallel on the fill pool when one was requested —
+     * equal values to per-sample trainStepTime calls, identical
+     * hit/miss totals.
+     */
+    std::vector<double>
+    trainStepTimes(const searchspace::DlrmSearchSpace &space,
+                   std::span<const searchspace::Sample> samples)
+    {
+        return stepTimes(space, samples, _trainTag, _trainConfig, _train,
+                         arch::ExecMode::Training);
+    }
+
+    /** Batched serving step times (serving batch 1024). */
+    std::vector<double>
+    serveStepTimes(const searchspace::DlrmSearchSpace &space,
+                   std::span<const searchspace::Sample> samples)
+    {
+        return stepTimes(space, samples, _serveTag, _serveConfig, _serve,
+                         arch::ExecMode::Serving);
+    }
+
+    sim::SimCacheStats cacheStats() const { return _cache->stats(); }
+
+    /** The underlying cache, e.g. for save()/load() persistence. */
+    sim::SimCache &cache() { return *_cache; }
+
+  private:
+    void makeFillPool(size_t fill_threads)
+    {
+        size_t resolved = exec::ThreadPool::resolve(
+            fill_threads, std::numeric_limits<size_t>::max());
+        if (resolved > 1)
+            _fillPool = std::make_unique<exec::ThreadPool>(resolved);
+    }
+
+    std::vector<double>
+    stepTimes(const searchspace::DlrmSearchSpace &space,
+              std::span<const searchspace::Sample> samples, uint64_t tag,
+              const sim::SimConfig &config, const hw::Platform &platform,
+              arch::ExecMode mode)
+    {
+        std::vector<sim::SimCacheKey> keys;
+        keys.reserve(samples.size());
+        for (const auto &s : samples)
+            keys.push_back(sim::makeSimCacheKey(s, tag, config));
+        // The cache chunks the distinct misses (kDefaultFillChunk), so
+        // at most one chunk's worth of decoded graphs is live per
+        // worker, and fans the chunks out over _fillPool when present.
+        // The lambda touches only locals + const state: thread-safe.
+        auto results = _cache->getOrComputeBatch(
+            keys,
+            [&](const std::vector<size_t> &misses) {
+                sim::Simulator simulator(config);
+                std::vector<sim::Graph> graphs;
+                graphs.reserve(misses.size());
+                for (size_t k : misses) {
+                    arch::DlrmArch a = space.decode(samples[k]);
+                    if (mode == arch::ExecMode::Serving)
+                        a.globalBatch = 1024;
+                    graphs.push_back(
+                        arch::buildDlrmGraph(a, platform, mode));
+                }
+                std::vector<const sim::Graph *> ptrs;
+                ptrs.reserve(graphs.size());
+                for (const auto &g : graphs)
+                    ptrs.push_back(&g);
+                return simulator.runBatch(ptrs);
+            },
+            _fillPool.get());
+        std::vector<double> out;
+        out.reserve(results.size());
+        for (const auto &r : results)
+            out.push_back(r.stepTimeSec);
+        return out;
+    }
+
+    hw::Platform _train;
+    hw::Platform _serve;
+    sim::SimConfig _trainConfig;
+    sim::SimConfig _serveConfig;
+    /** Present only for the owning constructor. */
+    std::unique_ptr<sim::SimCache> _owned;
+    sim::SimCache *_cache;
+    uint64_t _trainTag;
+    uint64_t _serveTag;
+    /** Cold-path fill workers; null = compute misses inline. */
+    std::unique_ptr<exec::ThreadPool> _fillPool;
+};
+
+} // namespace h2o::eval
+
+#endif // H2O_EVAL_DLRM_TIMER_H

@@ -8,8 +8,268 @@
 #include "exec/fault_injector.h"
 #include "exec/shard_runner.h"
 #include "exec/thread_pool.h"
+#include "search/stepwise.h"
 
 namespace h2o::search {
+
+/**
+ * Step-wise state of the unified single-step search: the policy, the
+ * per-shard RNG streams, the eval engine and the accumulated outcome.
+ * Warm-up runs lazily inside the first step(); a load()ed stepper
+ * skips it because the restored supernet weights already contain it.
+ * save()/load() speak the pre-existing H2oDlrmSearch checkpoint format
+ * (version 1), so checkpoints written before the stepper refactor keep
+ * loading byte-for-byte.
+ */
+class H2oDlrmStepper final : public StepwiseSearch
+{
+  public:
+    H2oDlrmStepper(H2oDlrmSearch &owner, common::Rng &rng)
+        : _owner(owner),
+          _controller(owner._space.decisions(), owner._config.rl),
+          // Per-shard RNG streams: forked from the caller's stream
+          // exactly as the serial implementation always did,
+          // independent of thread count.
+          _rngs(exec::ThreadPool::splitRngs(rng, owner._config.numShards)),
+          // The candidate -> reward pipeline: per-shard quality
+          // (supernet forward in the ordered section) on the engine's
+          // worker pool, then one batched performance + reward pass per
+          // step.
+          _engine(owner._perf, owner._reward,
+                  {owner._config.numShards, owner._config.threads, true,
+                   owner._config.faults, owner._config.maxShardAttempts,
+                   owner._config.retryBackoffMs})
+    {
+        owner._stats.clear();
+    }
+
+    bool step() override
+    {
+        if (done())
+            return false;
+        auto &cfg = _owner._config;
+        exec::ShardRunner &runner = _engine.runner();
+
+        // --- Warm-up: train shared weights on uniformly-sampled
+        // candidates so early rewards reflect architecture, not
+        // initialization. Shards run concurrently; the shared supernet
+        // + pipeline region is entered in shard-index order, so batches
+        // and gradient accumulation match the serial schedule exactly.
+        // Warm-up shares the engine's runner so the fault-injection
+        // step sequence stays contiguous.
+        if (!_warmed) {
+            for (size_t w = 0; w < cfg.warmupSteps; ++w) {
+                auto report = runner.runStep(w, [&](size_t s) {
+                    auto sample =
+                        _owner._space.decisions().uniformSample(_rngs[s]);
+                    exec::OrderedSection::Guard guard(runner.ordered(),
+                                                      s);
+                    auto lease = _owner._pipeline.lease();
+                    _owner._supernet.configure(sample);
+                    (void)_owner._supernet.accumulateGradients(
+                        lease.batch());
+                    lease.markAlphaUse();
+                    lease.markWeightUse();
+                });
+                size_t live = report.numOk();
+                if (live > 0) {
+                    _owner._supernet.applyGradients(
+                        cfg.weightLr / static_cast<double>(live));
+                }
+            }
+            _warmed = true;
+        }
+
+        // --- One step of the unified single-step search (Figure 2,
+        // right).
+        const size_t step = _next;
+        std::vector<double> losses(cfg.numShards, 0.0);
+
+        // Stage (1) per shard, concurrently. Sampling draws from the
+        // shard's own stream; the forward pass on a FRESH batch yields
+        // the quality signal (alpha use) and the gradients for the
+        // weight update (W use) — in that mandatory order — inside the
+        // deterministic ordered section. The engine then runs the
+        // batched performance stage and the reward over the survivors.
+        auto ev = _engine.evaluate(
+            cfg.warmupSteps + step,
+            [&](size_t s, searchspace::Sample &sample, double &quality) {
+                sample = _controller.policy().sample(_rngs[s]);
+                {
+                    exec::OrderedSection::Guard guard(runner.ordered(),
+                                                      s);
+                    auto lease = _owner._pipeline.lease();
+                    _owner._supernet.configure(sample);
+                    losses[s] = _owner._supernet.accumulateGradients(
+                        lease.batch());
+                    lease.markAlphaUse();
+                    lease.markWeightUse();
+                }
+                quality = -losses[s]; // quality = negated log-loss
+            });
+        ++_next;
+
+        // Graceful degradation: aggregate over the shards that survived
+        // this step; baselines scale with the live shard count.
+        const auto &live = ev.survivors;
+        H2oStepStats st;
+        st.step = step;
+        st.liveShards = live.size();
+        if (!live.empty()) {
+            std::vector<searchspace::Sample> live_samples;
+            std::vector<double> live_rewards, live_qualities,
+                live_losses;
+            live_samples.reserve(live.size());
+            for (size_t s : live) {
+                live_samples.push_back(ev.samples[s]);
+                live_rewards.push_back(ev.rewards[s]);
+                live_qualities.push_back(ev.qualities[s]);
+                live_losses.push_back(losses[s]);
+            }
+
+            // Stage (2): cross-shard policy update over survivors.
+            auto cstats = _controller.update(live_samples, live_rewards);
+
+            // Stage (3): cross-shard (merged) weight update, scaled by
+            // the number of shards that actually contributed gradients.
+            _owner._supernet.applyGradients(
+                cfg.weightLr / static_cast<double>(live.size()));
+
+            st.meanReward = cstats.meanReward;
+            st.meanQuality = common::mean(live_qualities);
+            st.meanEntropy = cstats.meanEntropy;
+            st.trainLoss = common::mean(live_losses);
+            _outcome.finalMeanReward = cstats.meanReward;
+            _outcome.finalEntropy = cstats.meanEntropy;
+
+            for (size_t s : live) {
+                _outcome.history.push_back({std::move(ev.samples[s]),
+                                            ev.qualities[s],
+                                            std::move(ev.performance[s]),
+                                            ev.rewards[s], step});
+            }
+        } else {
+            // Every shard lost: the step is skipped entirely (no policy
+            // or weight update), which a preemptible fleet survives.
+            st.meanEntropy = _controller.policy().meanEntropy();
+            common::warn("search step ", step,
+                         " lost all shards; skipping update");
+        }
+        _owner._stats.push_back(st);
+        return !done();
+    }
+
+    size_t stepIndex() const override { return _next; }
+    size_t totalSteps() const override { return _owner._config.numSteps; }
+    double lastMeanReward() const override
+    {
+        return _outcome.finalMeanReward;
+    }
+    const SearchOutcome &partialOutcome() const override
+    {
+        return _outcome;
+    }
+
+    SearchOutcome finish() override
+    {
+        _outcome.finalSample = _controller.policy().argmax();
+        return std::move(_outcome);
+    }
+
+    void save(std::ostream &os) const override
+    {
+        common::writeTaggedU64(os, "h2o_search_ckpt",
+                               {kCheckpointVersion, _next,
+                                _owner._config.numShards,
+                                _owner._config.numSteps,
+                                _owner._config.warmupSteps});
+        _controller.save(os);
+        _owner._supernet.save(os);
+        _owner._pipeline.save(os);
+        for (const auto &r : _rngs)
+            r.save(os);
+
+        // Step telemetry.
+        std::vector<uint64_t> stat_steps, stat_live;
+        std::vector<double> stat_reward, stat_quality, stat_entropy,
+            stat_loss;
+        for (const auto &st : _owner._stats) {
+            stat_steps.push_back(st.step);
+            stat_live.push_back(st.liveShards);
+            stat_reward.push_back(st.meanReward);
+            stat_quality.push_back(st.meanQuality);
+            stat_entropy.push_back(st.meanEntropy);
+            stat_loss.push_back(st.trainLoss);
+        }
+        common::writeTaggedU64(os, "stat_steps", stat_steps);
+        common::writeTaggedU64(os, "stat_live", stat_live);
+        common::writeTagged(os, "stat_reward", stat_reward);
+        common::writeTagged(os, "stat_quality", stat_quality);
+        common::writeTagged(os, "stat_entropy", stat_entropy);
+        common::writeTagged(os, "stat_loss", stat_loss);
+
+        // Search outcome so far (samples all have numDecisions entries,
+        // so the history flattens into parallel arrays).
+        writeOutcomeTagged(os, _outcome);
+    }
+
+    void load(std::istream &is) override
+    {
+        auto header = common::readTaggedU64(is, "h2o_search_ckpt");
+        if (header.size() != 5 || header[0] != kCheckpointVersion)
+            h2o_fatal("unsupported search checkpoint header");
+        if (header[2] != _owner._config.numShards ||
+            header[4] != _owner._config.warmupSteps) {
+            h2o_fatal("checkpoint was taken with ", header[2],
+                      " shards / ", header[4],
+                      " warmup steps; config has ",
+                      _owner._config.numShards, " / ",
+                      _owner._config.warmupSteps);
+        }
+        _next = header[1];
+
+        _controller.load(is);
+        _owner._supernet.load(is);
+        _owner._pipeline.load(is);
+        for (auto &r : _rngs)
+            r.load(is);
+
+        auto stat_steps = common::readTaggedU64(is, "stat_steps");
+        auto stat_live = common::readTaggedU64(is, "stat_live");
+        auto stat_reward = common::readTagged(is, "stat_reward");
+        auto stat_quality = common::readTagged(is, "stat_quality");
+        auto stat_entropy = common::readTagged(is, "stat_entropy");
+        auto stat_loss = common::readTagged(is, "stat_loss");
+        if (stat_live.size() != stat_steps.size() ||
+            stat_reward.size() != stat_steps.size() ||
+            stat_quality.size() != stat_steps.size() ||
+            stat_entropy.size() != stat_steps.size() ||
+            stat_loss.size() != stat_steps.size())
+            h2o_fatal("inconsistent telemetry arrays in checkpoint");
+        _owner._stats.clear();
+        for (size_t i = 0; i < stat_steps.size(); ++i) {
+            _owner._stats.push_back(
+                {stat_steps[i], stat_reward[i], stat_quality[i],
+                 stat_entropy[i], stat_loss[i],
+                 static_cast<size_t>(stat_live[i])});
+        }
+
+        readOutcomeTagged(is, _owner._space.decisions().numDecisions(),
+                          _outcome);
+        _warmed = true; // the restored weights already contain warm-up
+    }
+
+  private:
+    static constexpr uint64_t kCheckpointVersion = 1;
+
+    H2oDlrmSearch &_owner;
+    controller::ReinforceController _controller;
+    std::vector<common::Rng> _rngs;
+    eval::EvalEngine _engine;
+    SearchOutcome _outcome;
+    size_t _next = 0;
+    bool _warmed = false;
+};
 
 H2oDlrmSearch::H2oDlrmSearch(const searchspace::DlrmSearchSpace &space,
                              supernet::DlrmSupernet &supernet,
@@ -55,310 +315,36 @@ H2oDlrmSearch::H2oDlrmSearch(const searchspace::DlrmSearchSpace &space,
 SearchOutcome
 H2oDlrmSearch::run(common::Rng &rng)
 {
-    controller::ReinforceController controller(_space.decisions(),
-                                               _config.rl);
-    SearchOutcome outcome;
-    _stats.clear();
-
-    // Per-shard RNG streams: forked from the caller's stream exactly as
-    // the serial implementation always did, independent of thread count.
-    auto shard_rngs =
-        exec::ThreadPool::splitRngs(rng, _config.numShards);
+    H2oDlrmStepper stepper(*this, rng);
 
     // --- Resume: a pre-existing checkpoint replaces warm-up and the
     // already-completed steps with their exact recorded state.
-    size_t start_step = 0;
-    bool resumed = false;
     const bool checkpointing = !_config.checkpointPath.empty();
     if (checkpointing &&
         exec::CheckpointReader::exists(_config.checkpointPath)) {
-        start_step = loadCheckpoint(controller, shard_rngs, outcome);
-        resumed = true;
+        exec::CheckpointReader reader(_config.checkpointPath);
+        stepper.load(reader.stream());
         common::inform("resumed search from '", _config.checkpointPath,
-                       "' at step ", start_step);
+                       "' at step ", stepper.stepIndex());
     }
 
-    // The candidate -> reward pipeline: per-shard quality (supernet
-    // forward in the ordered section) on the engine's worker pool, then
-    // one batched performance + reward pass per step.
-    eval::EvalEngine engine(_perf, _reward,
-                            {_config.numShards, _config.threads, true,
-                             _config.faults, _config.maxShardAttempts,
-                             _config.retryBackoffMs});
-    exec::ShardRunner &runner = engine.runner();
-
-    // --- Warm-up: train shared weights on uniformly-sampled candidates
-    // so early rewards reflect architecture, not initialization. Shards
-    // run concurrently; the shared supernet + pipeline region is entered
-    // in shard-index order, so batches and gradient accumulation match
-    // the serial schedule exactly. Warm-up shares the engine's runner so
-    // the fault-injection step sequence stays contiguous.
-    if (!resumed) {
-        for (size_t step = 0; step < _config.warmupSteps; ++step) {
-            auto report = runner.runStep(step, [&](size_t s) {
-                auto sample =
-                    _space.decisions().uniformSample(shard_rngs[s]);
-                exec::OrderedSection::Guard guard(runner.ordered(), s);
-                auto lease = _pipeline.lease();
-                _supernet.configure(sample);
-                (void)_supernet.accumulateGradients(lease.batch());
-                lease.markAlphaUse();
-                lease.markWeightUse();
-            });
-            size_t live = report.numOk();
-            if (live > 0) {
-                _supernet.applyGradients(_config.weightLr /
-                                         static_cast<double>(live));
-            }
+    while (!stepper.done()) {
+        stepper.step();
+        if (checkpointing &&
+            (stepper.stepIndex() % _config.checkpointEvery == 0 ||
+             stepper.stepIndex() == _config.numSteps)) {
+            exec::CheckpointWriter writer;
+            stepper.save(writer.stream());
+            writer.commit(_config.checkpointPath);
         }
     }
-
-    // --- Unified single-step search (Figure 2, right).
-    for (size_t step = start_step; step < _config.numSteps; ++step) {
-        std::vector<double> losses(_config.numShards, 0.0);
-
-        // Stage (1) per shard, concurrently. Sampling draws from the
-        // shard's own stream; the forward pass on a FRESH batch yields
-        // the quality signal (alpha use) and the gradients for the
-        // weight update (W use) — in that mandatory order — inside the
-        // deterministic ordered section. The engine then runs the
-        // batched performance stage and the reward over the survivors.
-        auto ev = engine.evaluate(
-            _config.warmupSteps + step,
-            [&](size_t s, searchspace::Sample &sample, double &quality) {
-                sample = controller.policy().sample(shard_rngs[s]);
-                {
-                    exec::OrderedSection::Guard guard(runner.ordered(),
-                                                      s);
-                    auto lease = _pipeline.lease();
-                    _supernet.configure(sample);
-                    losses[s] =
-                        _supernet.accumulateGradients(lease.batch());
-                    lease.markAlphaUse();
-                    lease.markWeightUse();
-                }
-                quality = -losses[s]; // quality = negated log-loss
-            });
-
-        // Graceful degradation: aggregate over the shards that survived
-        // this step; baselines scale with the live shard count.
-        const auto &live = ev.survivors;
-        H2oStepStats st;
-        st.step = step;
-        st.liveShards = live.size();
-        if (!live.empty()) {
-            std::vector<searchspace::Sample> live_samples;
-            std::vector<double> live_rewards, live_qualities,
-                live_losses;
-            live_samples.reserve(live.size());
-            for (size_t s : live) {
-                live_samples.push_back(ev.samples[s]);
-                live_rewards.push_back(ev.rewards[s]);
-                live_qualities.push_back(ev.qualities[s]);
-                live_losses.push_back(losses[s]);
-            }
-
-            // Stage (2): cross-shard policy update over survivors.
-            auto cstats = controller.update(live_samples, live_rewards);
-
-            // Stage (3): cross-shard (merged) weight update, scaled by
-            // the number of shards that actually contributed gradients.
-            _supernet.applyGradients(
-                _config.weightLr / static_cast<double>(live.size()));
-
-            st.meanReward = cstats.meanReward;
-            st.meanQuality = common::mean(live_qualities);
-            st.meanEntropy = cstats.meanEntropy;
-            st.trainLoss = common::mean(live_losses);
-            outcome.finalMeanReward = cstats.meanReward;
-            outcome.finalEntropy = cstats.meanEntropy;
-
-            for (size_t s : live) {
-                outcome.history.push_back({std::move(ev.samples[s]),
-                                           ev.qualities[s],
-                                           std::move(ev.performance[s]),
-                                           ev.rewards[s], step});
-            }
-        } else {
-            // Every shard lost: the step is skipped entirely (no policy
-            // or weight update), which a preemptible fleet survives.
-            st.meanEntropy = controller.policy().meanEntropy();
-            common::warn("search step ", step,
-                         " lost all shards; skipping update");
-        }
-        _stats.push_back(st);
-
-        if (checkpointing && ((step + 1) % _config.checkpointEvery == 0 ||
-                              step + 1 == _config.numSteps)) {
-            saveCheckpoint(step + 1, controller, shard_rngs, outcome);
-        }
-    }
-    outcome.finalSample = controller.policy().argmax();
-    return outcome;
+    return stepper.finish();
 }
 
-// ------------------------------------------------------- checkpointing
-
-namespace {
-constexpr uint64_t kCheckpointVersion = 1;
-} // namespace
-
-void
-H2oDlrmSearch::saveCheckpoint(
-    size_t next_step, const controller::ReinforceController &controller,
-    const std::vector<common::Rng> &shard_rngs,
-    const SearchOutcome &outcome) const
+std::unique_ptr<StepwiseSearch>
+H2oDlrmSearch::makeStepper(common::Rng &rng)
 {
-    exec::CheckpointWriter writer;
-    std::ostream &os = writer.stream();
-
-    common::writeTaggedU64(os, "h2o_search_ckpt",
-                           {kCheckpointVersion, next_step,
-                            _config.numShards, _config.numSteps,
-                            _config.warmupSteps});
-    controller.save(os);
-    _supernet.save(os);
-    _pipeline.save(os);
-    for (const auto &r : shard_rngs)
-        r.save(os);
-
-    // Step telemetry.
-    std::vector<uint64_t> stat_steps, stat_live;
-    std::vector<double> stat_reward, stat_quality, stat_entropy,
-        stat_loss;
-    for (const auto &st : _stats) {
-        stat_steps.push_back(st.step);
-        stat_live.push_back(st.liveShards);
-        stat_reward.push_back(st.meanReward);
-        stat_quality.push_back(st.meanQuality);
-        stat_entropy.push_back(st.meanEntropy);
-        stat_loss.push_back(st.trainLoss);
-    }
-    common::writeTaggedU64(os, "stat_steps", stat_steps);
-    common::writeTaggedU64(os, "stat_live", stat_live);
-    common::writeTagged(os, "stat_reward", stat_reward);
-    common::writeTagged(os, "stat_quality", stat_quality);
-    common::writeTagged(os, "stat_entropy", stat_entropy);
-    common::writeTagged(os, "stat_loss", stat_loss);
-
-    // Search outcome so far. Samples all have numDecisions entries and
-    // rewards have a fixed objective count, so the history flattens into
-    // parallel arrays.
-    common::writeTagged(os, "outcome_finals",
-                        {outcome.finalMeanReward, outcome.finalEntropy});
-    std::vector<uint64_t> hist_samples, hist_steps, hist_perf_lens;
-    std::vector<double> hist_quality, hist_reward, hist_perfs;
-    for (const auto &rec : outcome.history) {
-        for (size_t v : rec.sample)
-            hist_samples.push_back(v);
-        hist_steps.push_back(rec.step);
-        hist_quality.push_back(rec.quality);
-        hist_reward.push_back(rec.reward);
-        hist_perf_lens.push_back(rec.performance.size());
-        for (double p : rec.performance)
-            hist_perfs.push_back(p);
-    }
-    common::writeTaggedU64(os, "hist_count", {outcome.history.size()});
-    common::writeTaggedU64(os, "hist_samples", hist_samples);
-    common::writeTaggedU64(os, "hist_steps", hist_steps);
-    common::writeTaggedU64(os, "hist_perf_lens", hist_perf_lens);
-    common::writeTagged(os, "hist_quality", hist_quality);
-    common::writeTagged(os, "hist_reward", hist_reward);
-    common::writeTagged(os, "hist_perfs", hist_perfs);
-
-    writer.commit(_config.checkpointPath);
-}
-
-size_t
-H2oDlrmSearch::loadCheckpoint(controller::ReinforceController &controller,
-                              std::vector<common::Rng> &shard_rngs,
-                              SearchOutcome &outcome)
-{
-    exec::CheckpointReader reader(_config.checkpointPath);
-    std::istream &is = reader.stream();
-
-    auto header = common::readTaggedU64(is, "h2o_search_ckpt");
-    if (header.size() != 5 || header[0] != kCheckpointVersion)
-        h2o_fatal("unsupported search checkpoint header in '",
-                  _config.checkpointPath, "'");
-    if (header[2] != _config.numShards ||
-        header[4] != _config.warmupSteps) {
-        h2o_fatal("checkpoint was taken with ", header[2], " shards / ",
-                  header[4], " warmup steps; config has ",
-                  _config.numShards, " / ", _config.warmupSteps);
-    }
-    size_t next_step = header[1];
-
-    controller.load(is);
-    _supernet.load(is);
-    _pipeline.load(is);
-    for (auto &r : shard_rngs)
-        r.load(is);
-
-    auto stat_steps = common::readTaggedU64(is, "stat_steps");
-    auto stat_live = common::readTaggedU64(is, "stat_live");
-    auto stat_reward = common::readTagged(is, "stat_reward");
-    auto stat_quality = common::readTagged(is, "stat_quality");
-    auto stat_entropy = common::readTagged(is, "stat_entropy");
-    auto stat_loss = common::readTagged(is, "stat_loss");
-    if (stat_live.size() != stat_steps.size() ||
-        stat_reward.size() != stat_steps.size() ||
-        stat_quality.size() != stat_steps.size() ||
-        stat_entropy.size() != stat_steps.size() ||
-        stat_loss.size() != stat_steps.size())
-        h2o_fatal("inconsistent telemetry arrays in checkpoint");
-    _stats.clear();
-    for (size_t i = 0; i < stat_steps.size(); ++i) {
-        _stats.push_back({stat_steps[i], stat_reward[i], stat_quality[i],
-                          stat_entropy[i], stat_loss[i],
-                          static_cast<size_t>(stat_live[i])});
-    }
-
-    auto finals = common::readTagged(is, "outcome_finals");
-    if (finals.size() != 2)
-        h2o_fatal("malformed outcome finals in checkpoint");
-    outcome.finalMeanReward = finals[0];
-    outcome.finalEntropy = finals[1];
-
-    size_t decisions = _space.decisions().numDecisions();
-    auto hist_count = common::readTaggedU64(is, "hist_count");
-    auto hist_samples = common::readTaggedU64(is, "hist_samples");
-    auto hist_steps = common::readTaggedU64(is, "hist_steps");
-    auto hist_perf_lens = common::readTaggedU64(is, "hist_perf_lens");
-    auto hist_quality = common::readTagged(is, "hist_quality");
-    auto hist_reward = common::readTagged(is, "hist_reward");
-    auto hist_perfs = common::readTagged(is, "hist_perfs");
-    if (hist_count.size() != 1)
-        h2o_fatal("malformed history count in checkpoint");
-    size_t records = hist_count[0];
-    if (hist_samples.size() != records * decisions ||
-        hist_steps.size() != records ||
-        hist_perf_lens.size() != records ||
-        hist_quality.size() != records || hist_reward.size() != records)
-        h2o_fatal("inconsistent history arrays in checkpoint");
-
-    outcome.history.clear();
-    outcome.history.reserve(records);
-    size_t perf_cursor = 0;
-    for (size_t i = 0; i < records; ++i) {
-        CandidateRecord rec;
-        rec.sample.assign(hist_samples.begin() +
-                              static_cast<ptrdiff_t>(i * decisions),
-                          hist_samples.begin() +
-                              static_cast<ptrdiff_t>((i + 1) * decisions));
-        rec.quality = hist_quality[i];
-        rec.reward = hist_reward[i];
-        rec.step = hist_steps[i];
-        size_t len = hist_perf_lens[i];
-        if (perf_cursor + len > hist_perfs.size())
-            h2o_fatal("truncated history performance values");
-        rec.performance.assign(
-            hist_perfs.begin() + static_cast<ptrdiff_t>(perf_cursor),
-            hist_perfs.begin() + static_cast<ptrdiff_t>(perf_cursor + len));
-        perf_cursor += len;
-        outcome.history.push_back(std::move(rec));
-    }
-    return next_step;
+    return std::make_unique<H2oDlrmStepper>(*this, rng);
 }
 
 } // namespace h2o::search

@@ -141,23 +141,26 @@ class H2oDlrmSearch
      *  checkpoint when one exists). */
     SearchOutcome run(common::Rng &rng);
 
+    /** Step-wise execution; bit-identical to run() (see
+     *  search/stepwise.h). Warm-up runs lazily inside the first step();
+     *  a load()ed stepper skips it (the restored weights contain it).
+     *  stepStats() accumulates as the stepper advances. The searcher
+     *  and its supernet/pipeline must outlive the stepper. Unlike
+     *  run(), makeStepper ignores checkpointPath — the caller owns
+     *  persistence via save()/load(). */
+    std::unique_ptr<StepwiseSearch> makeStepper(common::Rng &rng);
+
     /** Per-step telemetry from the last run(). */
     const std::vector<H2oStepStats> &stepStats() const { return _stats; }
 
   private:
+    friend class H2oDlrmStepper;
+
     H2oDlrmSearch(const searchspace::DlrmSearchSpace &space,
                   supernet::DlrmSupernet &supernet,
                   pipeline::InMemoryPipeline &pipe, eval::PerfStage perf,
                   const reward::RewardFunction &rewardf,
                   H2oSearchConfig config);
-
-    void saveCheckpoint(size_t next_step,
-                        const controller::ReinforceController &controller,
-                        const std::vector<common::Rng> &shard_rngs,
-                        const SearchOutcome &outcome) const;
-    size_t loadCheckpoint(controller::ReinforceController &controller,
-                          std::vector<common::Rng> &shard_rngs,
-                          SearchOutcome &outcome);
 
     const searchspace::DlrmSearchSpace &_space;
     supernet::DlrmSupernet &_supernet;

@@ -1,0 +1,85 @@
+#include "search/stepwise.h"
+
+#include "common/logging.h"
+#include "common/serialize.h"
+
+namespace h2o::search {
+
+void
+writeOutcomeTagged(std::ostream &os, const SearchOutcome &outcome)
+{
+    common::writeTagged(os, "outcome_finals",
+                        {outcome.finalMeanReward, outcome.finalEntropy});
+    std::vector<uint64_t> hist_samples, hist_steps, hist_perf_lens;
+    std::vector<double> hist_quality, hist_reward, hist_perfs;
+    for (const auto &rec : outcome.history) {
+        for (size_t v : rec.sample)
+            hist_samples.push_back(v);
+        hist_steps.push_back(rec.step);
+        hist_quality.push_back(rec.quality);
+        hist_reward.push_back(rec.reward);
+        hist_perf_lens.push_back(rec.performance.size());
+        for (double p : rec.performance)
+            hist_perfs.push_back(p);
+    }
+    common::writeTaggedU64(os, "hist_count", {outcome.history.size()});
+    common::writeTaggedU64(os, "hist_samples", hist_samples);
+    common::writeTaggedU64(os, "hist_steps", hist_steps);
+    common::writeTaggedU64(os, "hist_perf_lens", hist_perf_lens);
+    common::writeTagged(os, "hist_quality", hist_quality);
+    common::writeTagged(os, "hist_reward", hist_reward);
+    common::writeTagged(os, "hist_perfs", hist_perfs);
+}
+
+void
+readOutcomeTagged(std::istream &is, size_t num_decisions,
+                  SearchOutcome &outcome)
+{
+    auto finals = common::readTagged(is, "outcome_finals");
+    if (finals.size() != 2)
+        h2o_fatal("malformed outcome finals in checkpoint");
+    outcome.finalMeanReward = finals[0];
+    outcome.finalEntropy = finals[1];
+
+    auto hist_count = common::readTaggedU64(is, "hist_count");
+    auto hist_samples = common::readTaggedU64(is, "hist_samples");
+    auto hist_steps = common::readTaggedU64(is, "hist_steps");
+    auto hist_perf_lens = common::readTaggedU64(is, "hist_perf_lens");
+    auto hist_quality = common::readTagged(is, "hist_quality");
+    auto hist_reward = common::readTagged(is, "hist_reward");
+    auto hist_perfs = common::readTagged(is, "hist_perfs");
+    if (hist_count.size() != 1)
+        h2o_fatal("malformed history count in checkpoint");
+    size_t records = hist_count[0];
+    if (hist_samples.size() != records * num_decisions ||
+        hist_steps.size() != records ||
+        hist_perf_lens.size() != records ||
+        hist_quality.size() != records || hist_reward.size() != records)
+        h2o_fatal("inconsistent history arrays in checkpoint");
+
+    outcome.history.clear();
+    outcome.history.reserve(records);
+    size_t perf_cursor = 0;
+    for (size_t i = 0; i < records; ++i) {
+        CandidateRecord rec;
+        rec.sample.assign(
+            hist_samples.begin() +
+                static_cast<ptrdiff_t>(i * num_decisions),
+            hist_samples.begin() +
+                static_cast<ptrdiff_t>((i + 1) * num_decisions));
+        rec.quality = hist_quality[i];
+        rec.reward = hist_reward[i];
+        rec.step = hist_steps[i];
+        size_t len = hist_perf_lens[i];
+        if (perf_cursor + len > hist_perfs.size())
+            h2o_fatal("truncated history performance values");
+        rec.performance.assign(
+            hist_perfs.begin() + static_cast<ptrdiff_t>(perf_cursor),
+            hist_perfs.begin() +
+                static_cast<ptrdiff_t>(perf_cursor + len));
+        perf_cursor += len;
+        outcome.history.push_back(std::move(rec));
+    }
+}
+
+} // namespace h2o::search

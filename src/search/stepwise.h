@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Step-wise (resumable) search execution.
+ *
+ * The run-to-completion searchers (`SurrogateSearch`, `TunasSearch`,
+ * `H2oDlrmSearch`) all advance in discrete steps: evaluate a batch of
+ * candidates, update the policy, append to the candidate history. The
+ * NAS job server (`h2o::serve`) needs to own that loop — interleaving
+ * many tenants' searches on one worker pool, checkpointing between
+ * steps, pausing and resuming jobs — so each searcher exposes a
+ * stepper: an object holding the search's complete evolving state
+ * (policy, RNG streams, history, and for the supernet searches the
+ * shared weights and pipeline cursor) behind this interface.
+ *
+ * Contract: driving a stepper with `while (step());` then `finish()`
+ * is bit-identical to the searcher's own `run()` — run() is in fact
+ * implemented exactly that way. `save()`/`load()` serialize the full
+ * state in the strict tagged format of common/serialize, so a stepper
+ * reloaded in a fresh process continues to the same SearchOutcome a
+ * never-interrupted run produces.
+ */
+
+#ifndef H2O_SEARCH_STEPWISE_H
+#define H2O_SEARCH_STEPWISE_H
+
+#include <cstddef>
+#include <istream>
+#include <ostream>
+
+#include "search/surrogate_search.h"
+
+namespace h2o::search {
+
+/** The resumable step-wise search interface (see file comment). */
+class StepwiseSearch
+{
+  public:
+    virtual ~StepwiseSearch() = default;
+
+    /**
+     * Execute the next search step (candidate evaluation + policy
+     * update). Returns true while more steps remain afterwards; calling
+     * step() once the budget is exhausted is a no-op returning false.
+     */
+    virtual bool step() = 0;
+
+    /** Index of the next step to execute (== steps completed). */
+    virtual size_t stepIndex() const = 0;
+
+    /** Total step budget. */
+    virtual size_t totalSteps() const = 0;
+
+    /** Whether the step budget is exhausted. */
+    bool done() const { return stepIndex() >= totalSteps(); }
+
+    /** Mean reward of the most recent completed step (0 before any). */
+    virtual double lastMeanReward() const = 0;
+
+    /** The outcome accumulated so far (history grows per step;
+     *  finalSample is only set by finish()). */
+    virtual const SearchOutcome &partialOutcome() const = 0;
+
+    /**
+     * Finalize: compute the per-decision argmax sample and hand the
+     * outcome out. Call once, after the last step (the stepper's
+     * history is moved out, so the stepper is spent afterwards).
+     */
+    virtual SearchOutcome finish() = 0;
+
+    /** Serialize the complete search state (tagged text). */
+    virtual void save(std::ostream &os) const = 0;
+
+    /** Restore state saved by save(); strict — malformed or mismatched
+     *  streams are fatal. Replaces any progress made so far. */
+    virtual void load(std::istream &is) = 0;
+};
+
+/**
+ * Tagged serialization of a SearchOutcome-in-progress (finals +
+ * flattened candidate history; finalSample is NOT persisted — it is
+ * recomputed by finish()). Shared by every stepper's checkpoint format
+ * and byte-compatible with the pre-existing H2oDlrmSearch checkpoint
+ * layout.
+ */
+void writeOutcomeTagged(std::ostream &os, const SearchOutcome &outcome);
+
+/** Inverse of writeOutcomeTagged; fatal on malformed streams.
+ *  @param num_decisions Expected sample width (history records are
+ *         flattened; the width recovers the record boundaries). */
+void readOutcomeTagged(std::istream &is, size_t num_decisions,
+                       SearchOutcome &outcome);
+
+} // namespace h2o::search
+
+#endif // H2O_SEARCH_STEPWISE_H

@@ -1,11 +1,136 @@
 #include "search/surrogate_search.h"
 
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "eval/eval_engine.h"
 #include "exec/fault_injector.h"
 #include "exec/thread_pool.h"
+#include "search/stepwise.h"
 
 namespace h2o::search {
+
+/**
+ * Step-wise state of a SurrogateSearch: the policy, the per-shard RNG
+ * streams, and the accumulated history — everything run() kept on its
+ * stack, promoted to members so steps can interleave with other jobs
+ * and survive save()/load() (see search/stepwise.h for the contract).
+ */
+class SurrogateStepper final : public StepwiseSearch
+{
+  public:
+    SurrogateStepper(SurrogateSearch &owner, common::Rng &rng)
+        : _owner(owner),
+          _controller(owner._space, owner._config.rl),
+          _rngs(exec::ThreadPool::splitRngs(rng,
+                                            owner._config.samplesPerStep)),
+          _engine(owner._perf, owner._reward,
+                  {owner._config.samplesPerStep, owner._config.threads,
+                   owner._config.multithread, owner._config.faults,
+                   owner._config.maxShardAttempts,
+                   owner._config.retryBackoffMs})
+    {
+        _outcome.history.reserve(owner._config.numSteps *
+                                 owner._config.samplesPerStep);
+    }
+
+    bool step() override
+    {
+        if (done())
+            return false;
+        const size_t step = _next;
+
+        // Stages (1)-(2) of Figure 2, per shard: sample a candidate from
+        // pi on the shard's own stream, then evaluate quality. Shards
+        // share no mutable state, so no ordered section is needed here.
+        auto ev = _engine.evaluate(
+            step, [&](size_t s, searchspace::Sample &sample,
+                      double &quality) {
+                sample = _controller.policy().sample(_rngs[s]);
+                quality = _owner._quality(sample);
+            });
+        ++_next;
+
+        // Stage (3): cross-shard policy update over the survivors.
+        if (ev.survivors.empty()) {
+            common::warn("surrogate step ", step,
+                         " lost all shards; skipping update");
+            return !done();
+        }
+        std::vector<searchspace::Sample> live_samples;
+        std::vector<double> live_rewards;
+        live_samples.reserve(ev.survivors.size());
+        for (size_t s : ev.survivors) {
+            live_samples.push_back(ev.samples[s]);
+            live_rewards.push_back(ev.rewards[s]);
+        }
+        auto stats = _controller.update(live_samples, live_rewards);
+        _outcome.finalMeanReward = stats.meanReward;
+        _outcome.finalEntropy = stats.meanEntropy;
+
+        for (size_t s : ev.survivors) {
+            _outcome.history.push_back({std::move(ev.samples[s]),
+                                        ev.qualities[s],
+                                        std::move(ev.performance[s]),
+                                        ev.rewards[s], step});
+        }
+        return !done();
+    }
+
+    size_t stepIndex() const override { return _next; }
+    size_t totalSteps() const override { return _owner._config.numSteps; }
+    double lastMeanReward() const override
+    {
+        return _outcome.finalMeanReward;
+    }
+    const SearchOutcome &partialOutcome() const override
+    {
+        return _outcome;
+    }
+
+    SearchOutcome finish() override
+    {
+        _outcome.finalSample = _controller.policy().argmax();
+        return std::move(_outcome);
+    }
+
+    void save(std::ostream &os) const override
+    {
+        common::writeTaggedU64(os, "surrogate_stepper",
+                               {kVersion, _next,
+                                _owner._config.samplesPerStep,
+                                _owner._config.numSteps});
+        _controller.save(os);
+        for (const auto &r : _rngs)
+            r.save(os);
+        writeOutcomeTagged(os, _outcome);
+    }
+
+    void load(std::istream &is) override
+    {
+        auto header = common::readTaggedU64(is, "surrogate_stepper");
+        if (header.size() != 4 || header[0] != kVersion)
+            h2o_fatal("unsupported surrogate stepper checkpoint");
+        if (header[2] != _owner._config.samplesPerStep)
+            h2o_fatal("surrogate checkpoint shard count mismatch: saved ",
+                      header[2], ", configured ",
+                      _owner._config.samplesPerStep);
+        _next = header[1];
+        _controller.load(is);
+        for (auto &r : _rngs)
+            r.load(is);
+        readOutcomeTagged(is, _owner._space.numDecisions(), _outcome);
+    }
+
+  private:
+    static constexpr uint64_t kVersion = 1;
+
+    SurrogateSearch &_owner;
+    controller::ReinforceController _controller;
+    std::vector<common::Rng> _rngs;
+    eval::EvalEngine _engine;
+    SearchOutcome _outcome;
+    size_t _next = 0;
+};
 
 SurrogateSearch::SurrogateSearch(const searchspace::DecisionSpace &space,
                                  QualityFn quality, PerfFn perf,
@@ -42,59 +167,16 @@ SurrogateSearch::SurrogateSearch(const searchspace::DecisionSpace &space,
 SearchOutcome
 SurrogateSearch::run(common::Rng &rng)
 {
-    controller::ReinforceController controller(_space, _config.rl);
-    SearchOutcome outcome;
-    outcome.history.reserve(_config.numSteps * _config.samplesPerStep);
-    const size_t n = _config.samplesPerStep;
-
-    // Per-shard RNG streams, deterministic regardless of thread timing.
-    auto shard_rngs = exec::ThreadPool::splitRngs(rng, n);
-
-    // The candidate -> reward pipeline: per-shard quality on the worker
-    // pool, the performance stage (batched per step, or per candidate
-    // inside the shard body), then the reward pass in shard order.
-    eval::EvalEngine engine(
-        _perf, _reward,
-        {n, _config.threads, _config.multithread, _config.faults,
-         _config.maxShardAttempts, _config.retryBackoffMs});
-
-    for (size_t step = 0; step < _config.numSteps; ++step) {
-        // Stages (1)-(2) of Figure 2, per shard: sample a candidate from
-        // pi on the shard's own stream, then evaluate quality. Shards
-        // share no mutable state, so no ordered section is needed here.
-        auto ev = engine.evaluate(
-            step, [&](size_t s, searchspace::Sample &sample,
-                      double &quality) {
-                sample = controller.policy().sample(shard_rngs[s]);
-                quality = _quality(sample);
-            });
-
-        // Stage (3): cross-shard policy update over the survivors.
-        if (ev.survivors.empty()) {
-            common::warn("surrogate step ", step,
-                         " lost all shards; skipping update");
-            continue;
-        }
-        std::vector<searchspace::Sample> live_samples;
-        std::vector<double> live_rewards;
-        live_samples.reserve(ev.survivors.size());
-        for (size_t s : ev.survivors) {
-            live_samples.push_back(ev.samples[s]);
-            live_rewards.push_back(ev.rewards[s]);
-        }
-        auto stats = controller.update(live_samples, live_rewards);
-        outcome.finalMeanReward = stats.meanReward;
-        outcome.finalEntropy = stats.meanEntropy;
-
-        for (size_t s : ev.survivors) {
-            outcome.history.push_back({std::move(ev.samples[s]),
-                                       ev.qualities[s],
-                                       std::move(ev.performance[s]),
-                                       ev.rewards[s], step});
-        }
+    SurrogateStepper stepper(*this, rng);
+    while (stepper.step()) {
     }
-    outcome.finalSample = controller.policy().argmax();
-    return outcome;
+    return stepper.finish();
+}
+
+std::unique_ptr<StepwiseSearch>
+SurrogateSearch::makeStepper(common::Rng &rng)
+{
+    return std::make_unique<SurrogateStepper>(*this, rng);
 }
 
 } // namespace h2o::search

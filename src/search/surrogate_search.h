@@ -21,6 +21,7 @@
 #define H2O_SEARCH_SURROGATE_SEARCH_H
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -33,6 +34,8 @@
 namespace h2o::exec { class FaultInjector; }
 
 namespace h2o::search {
+
+class StepwiseSearch;
 
 /** Sample -> quality signal (higher is better). */
 using QualityFn = std::function<double(const searchspace::Sample &)>;
@@ -114,7 +117,16 @@ class SurrogateSearch
     /** Run the search to completion. */
     SearchOutcome run(common::Rng &rng);
 
+    /** Step-wise execution of the same search: driving the stepper to
+     *  exhaustion then calling finish() is bit-identical to run() (see
+     *  search/stepwise.h). @p rng seeds the per-shard streams; it is
+     *  forked up front, not referenced afterwards. The searcher must
+     *  outlive the stepper. */
+    std::unique_ptr<StepwiseSearch> makeStepper(common::Rng &rng);
+
   private:
+    friend class SurrogateStepper;
+
     SurrogateSearch(const searchspace::DecisionSpace &space,
                     QualityFn quality, eval::PerfStage perf,
                     const reward::RewardFunction &rewardf,

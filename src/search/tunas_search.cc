@@ -1,12 +1,164 @@
 #include "search/tunas_search.h"
 
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "eval/eval_engine.h"
 #include "exec/fault_injector.h"
 #include "exec/shard_runner.h"
 #include "exec/thread_pool.h"
+#include "search/stepwise.h"
 
 namespace h2o::search {
+
+/**
+ * Step-wise TuNAS state. One step() is one alternating iteration (a
+ * W-step plus a pi-step); the uniform-sampling warmup runs lazily
+ * inside the first step() so a freshly constructed stepper is cheap and
+ * a load()ed one (whose supernet weights already contain the warmup)
+ * skips it.
+ */
+class TunasStepper final : public StepwiseSearch
+{
+  public:
+    TunasStepper(TunasSearch &owner, common::Rng &rng)
+        : _owner(owner),
+          _controller(owner._space.decisions(), owner._config.rl),
+          _sampleRng(rng.fork(1)),
+          // TuNAS "was not built for hyperscale deployments, and
+          // therefore lacks parallelism": a single worker and a single
+          // shard, executed inline on the calling thread (see run()).
+          _engine(owner._perf, owner._reward,
+                  {1, 1, false, owner._config.faults,
+                   owner._config.maxShardAttempts,
+                   owner._config.retryBackoffMs})
+    {
+    }
+
+    bool step() override
+    {
+        if (done())
+            return false;
+        auto &cfg = _owner._config;
+        exec::ShardRunner &runner = _engine.runner();
+
+        if (!_warmed) {
+            for (size_t step = 0; step < cfg.warmupSteps; ++step) {
+                runner.runStep(step, [&](size_t) {
+                    auto sample = _owner._space.decisions().uniformSample(
+                        _sampleRng);
+                    auto lease = _owner._pipeline.lease();
+                    _owner._supernet.configure(sample);
+                    _owner._supernet.accumulateGradients(lease.batch());
+                    lease.markAlphaUse(); // pipeline ordering contract
+                    lease.markWeightUse();
+                    _owner._supernet.applyGradients(cfg.weightLr);
+                });
+            }
+            _warmed = true;
+        }
+
+        const size_t iter = _next;
+        // --- W-step on a "training" batch (no candidate evaluation —
+        // the runner alone keeps the fault-step sequence contiguous).
+        runner.runStep(cfg.warmupSteps + 2 * iter, [&](size_t) {
+            auto sample = _controller.policy().sample(_sampleRng);
+            auto lease = _owner._pipeline.lease();
+            _owner._supernet.configure(sample);
+            _owner._supernet.accumulateGradients(lease.batch());
+            lease.markAlphaUse();
+            lease.markWeightUse();
+            _owner._supernet.applyGradients(cfg.weightLr);
+        });
+        // --- pi-step on a separate "validation" batch (never trains W):
+        // quality from the supernet inside the shard body, then the
+        // engine's batched performance + reward stages.
+        auto ev = _engine.evaluate(
+            cfg.warmupSteps + 2 * iter + 1,
+            [&](size_t, searchspace::Sample &sample, double &quality) {
+                sample = _controller.policy().sample(_sampleRng);
+                auto lease = _owner._pipeline.lease();
+                _owner._supernet.configure(sample);
+                auto eval_res = _owner._supernet.evaluate(lease.batch());
+                lease.markAlphaUse();
+                quality = eval_res.quality();
+            });
+        ++_next;
+        if (ev.survivors.empty())
+            return !done(); // preempted pi-step: the iteration is lost
+        auto cstats = _controller.update({ev.samples[0]},
+                                         {ev.rewards[0]});
+        _outcome.finalMeanReward = cstats.meanReward;
+        _outcome.finalEntropy = cstats.meanEntropy;
+        _outcome.history.push_back({std::move(ev.samples[0]),
+                                    ev.qualities[0],
+                                    std::move(ev.performance[0]),
+                                    ev.rewards[0], iter});
+        return !done();
+    }
+
+    size_t stepIndex() const override { return _next; }
+    size_t totalSteps() const override
+    {
+        return _owner._config.numIterations;
+    }
+    double lastMeanReward() const override
+    {
+        return _outcome.finalMeanReward;
+    }
+    const SearchOutcome &partialOutcome() const override
+    {
+        return _outcome;
+    }
+
+    SearchOutcome finish() override
+    {
+        _outcome.finalSample = _controller.policy().argmax();
+        return std::move(_outcome);
+    }
+
+    void save(std::ostream &os) const override
+    {
+        common::writeTaggedU64(os, "tunas_stepper",
+                               {kVersion, _next,
+                                _owner._config.numIterations,
+                                _owner._config.warmupSteps});
+        _controller.save(os);
+        _sampleRng.save(os);
+        _owner._supernet.save(os);
+        _owner._pipeline.save(os);
+        writeOutcomeTagged(os, _outcome);
+    }
+
+    void load(std::istream &is) override
+    {
+        auto header = common::readTaggedU64(is, "tunas_stepper");
+        if (header.size() != 4 || header[0] != kVersion)
+            h2o_fatal("unsupported tunas stepper checkpoint");
+        if (header[3] != _owner._config.warmupSteps)
+            h2o_fatal("tunas checkpoint warmup mismatch: saved ",
+                      header[3], ", configured ",
+                      _owner._config.warmupSteps);
+        _next = header[1];
+        _controller.load(is);
+        _sampleRng.load(is);
+        _owner._supernet.load(is);
+        _owner._pipeline.load(is);
+        readOutcomeTagged(is, _owner._space.decisions().numDecisions(),
+                          _outcome);
+        _warmed = true; // the restored weights already contain warmup
+    }
+
+  private:
+    static constexpr uint64_t kVersion = 1;
+
+    TunasSearch &_owner;
+    controller::ReinforceController _controller;
+    common::Rng _sampleRng;
+    eval::EvalEngine _engine;
+    SearchOutcome _outcome;
+    size_t _next = 0;
+    bool _warmed = false;
+};
 
 TunasSearch::TunasSearch(const searchspace::DlrmSearchSpace &space,
                          supernet::DlrmSupernet &supernet,
@@ -46,74 +198,16 @@ TunasSearch::TunasSearch(const searchspace::DlrmSearchSpace &space,
 SearchOutcome
 TunasSearch::run(common::Rng &rng)
 {
-    controller::ReinforceController controller(_space.decisions(),
-                                               _config.rl);
-    SearchOutcome outcome;
-    common::Rng sample_rng = rng.fork(1);
-
-    // TuNAS "was not built for hyperscale deployments, and therefore
-    // lacks parallelism": a single worker and a single shard. Running it
-    // through the eval engine anyway gives the baseline the same
-    // fault-tolerance story (retry with backoff; a preempted step is
-    // simply lost) so head-to-head fleet experiments are fair. The
-    // single-worker engine executes its shard inline on this thread
-    // (no pool hand-off), which keeps the baseline's step loop honest:
-    // its wall-clock contains no multithreading tax it never asked for.
-    eval::EvalEngine engine(_perf, _reward,
-                            {1, 1, false, _config.faults,
-                             _config.maxShardAttempts,
-                             _config.retryBackoffMs});
-    exec::ShardRunner &runner = engine.runner();
-
-    for (size_t step = 0; step < _config.warmupSteps; ++step) {
-        runner.runStep(step, [&](size_t) {
-            auto sample = _space.decisions().uniformSample(sample_rng);
-            auto lease = _pipeline.lease();
-            _supernet.configure(sample);
-            _supernet.accumulateGradients(lease.batch());
-            lease.markAlphaUse(); // satisfies the pipeline ordering contract
-            lease.markWeightUse();
-            _supernet.applyGradients(_config.weightLr);
-        });
+    TunasStepper stepper(*this, rng);
+    while (stepper.step()) {
     }
+    return stepper.finish();
+}
 
-    for (size_t iter = 0; iter < _config.numIterations; ++iter) {
-        // --- W-step on a "training" batch (no candidate evaluation —
-        // the runner alone keeps the fault-step sequence contiguous).
-        runner.runStep(_config.warmupSteps + 2 * iter, [&](size_t) {
-            auto sample = controller.policy().sample(sample_rng);
-            auto lease = _pipeline.lease();
-            _supernet.configure(sample);
-            _supernet.accumulateGradients(lease.batch());
-            lease.markAlphaUse();
-            lease.markWeightUse();
-            _supernet.applyGradients(_config.weightLr);
-        });
-        // --- pi-step on a separate "validation" batch (never trains W):
-        // quality from the supernet inside the shard body, then the
-        // engine's batched performance + reward stages.
-        auto ev = engine.evaluate(
-            _config.warmupSteps + 2 * iter + 1,
-            [&](size_t, searchspace::Sample &sample, double &quality) {
-                sample = controller.policy().sample(sample_rng);
-                auto lease = _pipeline.lease();
-                _supernet.configure(sample);
-                auto eval_res = _supernet.evaluate(lease.batch());
-                lease.markAlphaUse();
-                quality = eval_res.quality();
-            });
-        if (ev.survivors.empty())
-            continue; // preempted pi-step: the iteration is lost
-        auto cstats = controller.update({ev.samples[0]}, {ev.rewards[0]});
-        outcome.finalMeanReward = cstats.meanReward;
-        outcome.finalEntropy = cstats.meanEntropy;
-        outcome.history.push_back({std::move(ev.samples[0]),
-                                   ev.qualities[0],
-                                   std::move(ev.performance[0]),
-                                   ev.rewards[0], iter});
-    }
-    outcome.finalSample = controller.policy().argmax();
-    return outcome;
+std::unique_ptr<StepwiseSearch>
+TunasSearch::makeStepper(common::Rng &rng)
+{
+    return std::make_unique<TunasStepper>(*this, rng);
 }
 
 } // namespace h2o::search

@@ -69,7 +69,14 @@ class TunasSearch
     /** Run the search to completion. */
     SearchOutcome run(common::Rng &rng);
 
+    /** Step-wise execution (one W-step + one pi-step per call);
+     *  bit-identical to run() — see search/stepwise.h. The searcher and
+     *  its supernet/pipeline must outlive the stepper. */
+    std::unique_ptr<StepwiseSearch> makeStepper(common::Rng &rng);
+
   private:
+    friend class TunasStepper;
+
     TunasSearch(const searchspace::DlrmSearchSpace &space,
                 supernet::DlrmSupernet &supernet,
                 pipeline::InMemoryPipeline &pipe, eval::PerfStage perf,

@@ -1,0 +1,243 @@
+#include "serve/scheduler.h"
+
+#include <cstdio>
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "common/logging.h"
+#include "exec/checkpoint.h"
+
+namespace h2o::serve {
+
+Server::Server(ServeConfig config)
+    : _config(std::move(config)), _pool(_config.threads),
+      _cache(_config.cacheCapacity, _config.cacheShards)
+{
+    h2o_assert(_config.maxConcurrentJobs > 0, "zero concurrency slots");
+    h2o_assert(_config.stepsPerSlice > 0, "zero steps per slice");
+    if (!_config.factory)
+        _config.factory = makeDefaultJob;
+    if (warmSimCacheFromFile(_cache, _config.warmCacheFile))
+        common::inform("serve: warmed sim cache from '",
+                       _config.warmCacheFile, "' (",
+                       _cache.stats().entries, " entries)");
+}
+
+uint64_t
+Server::submit(JobSpec spec)
+{
+    return _queue.submit(std::move(spec), _round);
+}
+
+std::string
+Server::checkpointPathFor(uint64_t id) const
+{
+    if (_config.checkpointDir.empty())
+        return {};
+    return _config.checkpointDir + "/job_" + std::to_string(id) +
+           ".ckpt";
+}
+
+void
+Server::admit()
+{
+    while (_active.size() < _config.maxConcurrentJobs) {
+        auto spec = _queue.popQueued();
+        if (!spec)
+            return;
+        auto aj = std::make_unique<ActiveJob>();
+        aj->id = spec->id;
+        aj->spec = *spec;
+        try {
+            aj->job = _config.factory(*spec, _cache);
+            // Crash recovery / resume-from-pause: a checkpoint written
+            // for this job id replaces the fresh stepper state.
+            std::string ckpt = checkpointPathFor(aj->id);
+            if (!ckpt.empty() && exec::CheckpointReader::exists(ckpt)) {
+                exec::CheckpointReader reader(ckpt);
+                aj->job->stepper().load(reader.stream());
+                aj->progress.absorb(
+                    aj->job->stepper().partialOutcome());
+                _queue.setProgress(aj->id,
+                                   aj->job->stepper().stepIndex(),
+                                   aj->progress.bestReward);
+                common::inform("serve: job ", aj->id,
+                               " resumed from '", ckpt, "' at step ",
+                               aj->job->stepper().stepIndex());
+            }
+        } catch (const std::exception &e) {
+            _queue.setError(aj->id, e.what());
+            _queue.setState(aj->id, JobState::Failed, _round);
+            continue;
+        }
+        _active.push_back(std::move(aj));
+    }
+}
+
+void
+Server::slice(ActiveJob &aj, size_t running_jobs)
+{
+    try {
+        search::StepwiseSearch &st = aj.job->stepper();
+        for (size_t i = 0; i < _config.stepsPerSlice; ++i) {
+            if (st.done())
+                return;
+            int req = aj.request.load(std::memory_order_acquire);
+            if (req == 1) {
+                aj.pausePending = true;
+                return;
+            }
+            if (req == 2) {
+                aj.cancelPending = true;
+                return;
+            }
+            st.step();
+            // Deterministic fields first (a pure function of the job),
+            // then the observational server-state snapshot.
+            TelemetryRow row = makeProgressRow(aj.id, st, aj.progress);
+            sim::SimCacheStats cs = _cache.stats();
+            row.cacheHitRate = cs.hitRate();
+            row.cacheEntries = cs.entries;
+            row.queueDepth = _queue.depth();
+            row.runningJobs = running_jobs;
+            _telemetry.record(row);
+            _queue.setProgress(aj.id, st.stepIndex(),
+                               aj.progress.bestReward);
+            if (!_config.checkpointDir.empty() &&
+                _config.checkpointEvery > 0 && !st.done() &&
+                st.stepIndex() % _config.checkpointEvery == 0)
+                checkpointJob(aj);
+        }
+    } catch (const std::exception &e) {
+        aj.failed = true;
+        aj.error = e.what();
+    } catch (...) {
+        aj.failed = true;
+        aj.error = "unknown job failure";
+    }
+}
+
+void
+Server::checkpointJob(ActiveJob &aj)
+{
+    exec::CheckpointWriter writer;
+    aj.job->stepper().save(writer.stream());
+    writer.commit(checkpointPathFor(aj.id));
+}
+
+void
+Server::finalizeRound()
+{
+    std::vector<std::unique_ptr<ActiveJob>> still_active;
+    still_active.reserve(_active.size());
+    for (auto &aj : _active) {
+        search::StepwiseSearch &st = aj->job->stepper();
+        if (aj->failed) {
+            _queue.setError(aj->id, aj->error);
+            _queue.setState(aj->id, JobState::Failed, _round);
+            common::warn("serve: job ", aj->id, " failed: ", aj->error);
+        } else if (aj->cancelPending) {
+            _queue.setState(aj->id, JobState::Cancelled, _round);
+            std::string ckpt = checkpointPathFor(aj->id);
+            if (!ckpt.empty())
+                std::remove(ckpt.c_str());
+        } else if (aj->pausePending) {
+            checkpointJob(*aj);
+            _queue.setState(aj->id, JobState::Paused, _round);
+        } else if (st.done()) {
+            size_t steps = st.stepIndex();
+            JobResult res =
+                makeJobResult(st.finish(), aj->progress, steps);
+            _queue.setProgress(aj->id, steps, res.bestReward);
+            _queue.setState(aj->id, JobState::Done, _round);
+            _results.emplace(aj->id, std::move(res));
+            std::string ckpt = checkpointPathFor(aj->id);
+            if (!ckpt.empty())
+                std::remove(ckpt.c_str());
+        } else {
+            still_active.push_back(std::move(aj));
+        }
+    }
+    _active = std::move(still_active);
+}
+
+bool
+Server::runRound()
+{
+    ++_round;
+    admit();
+    if (_active.empty())
+        return false;
+
+    // One fair-share slice per active job, all on the shared pool; the
+    // round barrier below is the only wait, and it runs on this
+    // (non-worker) coordinator thread.
+    const size_t running = _active.size();
+    std::vector<std::future<void>> futures;
+    futures.reserve(running);
+    for (auto &aj : _active) {
+        ActiveJob *p = aj.get();
+        futures.push_back(
+            _pool.submit([this, p, running] { slice(*p, running); }));
+    }
+    for (auto &f : futures)
+        f.get();
+
+    finalizeRound();
+    return true;
+}
+
+void
+Server::runUntilIdle()
+{
+    while (runRound()) {
+    }
+}
+
+bool
+Server::pauseJob(uint64_t id)
+{
+    if (_config.checkpointDir.empty())
+        return false;
+    for (auto &aj : _active) {
+        if (aj->id == id) {
+            aj->request.store(1, std::memory_order_release);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Server::resumeJob(uint64_t id)
+{
+    _queue.requeue(id);
+}
+
+bool
+Server::cancelJob(uint64_t id)
+{
+    for (auto &aj : _active) {
+        if (aj->id == id) {
+            aj->request.store(2, std::memory_order_release);
+            return true;
+        }
+    }
+    return _queue.cancelQueued(id);
+}
+
+const JobResult *
+Server::result(uint64_t id) const
+{
+    auto it = _results.find(id);
+    return it == _results.end() ? nullptr : &it->second;
+}
+
+void
+Server::saveCacheFile(const std::string &path)
+{
+    saveSimCacheFileMerged(_cache, path);
+}
+
+} // namespace h2o::serve

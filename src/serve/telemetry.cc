@@ -1,0 +1,95 @@
+#include "serve/telemetry.h"
+
+#include <fstream>
+#include <iomanip>
+
+#include "common/logging.h"
+
+namespace h2o::serve {
+
+void
+TelemetryStream::record(const TelemetryRow &row)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    _rows.push_back(row);
+}
+
+std::vector<TelemetryRow>
+TelemetryStream::rows() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _rows;
+}
+
+std::vector<TelemetryRow>
+TelemetryStream::rowsForJob(uint64_t job_id) const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    std::vector<TelemetryRow> out;
+    for (const TelemetryRow &r : _rows)
+        if (r.jobId == job_id)
+            out.push_back(r);
+    return out;
+}
+
+size_t
+TelemetryStream::size() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _rows.size();
+}
+
+void
+TelemetryStream::writeCsv(std::ostream &os) const
+{
+    auto snapshot = rows();
+    os << "job_id,step,mean_reward,best_reward,cache_hit_rate,"
+          "cache_entries,queue_depth,running_jobs\n";
+    os << std::setprecision(17);
+    for (const TelemetryRow &r : snapshot) {
+        os << r.jobId << ',' << r.step << ',' << r.meanReward << ','
+           << r.bestReward << ',' << r.cacheHitRate << ','
+           << r.cacheEntries << ',' << r.queueDepth << ','
+           << r.runningJobs << '\n';
+    }
+}
+
+void
+TelemetryStream::writeJson(std::ostream &os) const
+{
+    auto snapshot = rows();
+    os << std::setprecision(17);
+    os << "[\n";
+    for (size_t i = 0; i < snapshot.size(); ++i) {
+        const TelemetryRow &r = snapshot[i];
+        os << "  {\"job_id\": " << r.jobId << ", \"step\": " << r.step
+           << ", \"mean_reward\": " << r.meanReward
+           << ", \"best_reward\": " << r.bestReward
+           << ", \"cache_hit_rate\": " << r.cacheHitRate
+           << ", \"cache_entries\": " << r.cacheEntries
+           << ", \"queue_depth\": " << r.queueDepth
+           << ", \"running_jobs\": " << r.runningJobs << "}"
+           << (i + 1 < snapshot.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+}
+
+void
+TelemetryStream::writeCsvFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        h2o_fatal("cannot write telemetry CSV '", path, "'");
+    writeCsv(os);
+}
+
+void
+TelemetryStream::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        h2o_fatal("cannot write telemetry JSON '", path, "'");
+    writeJson(os);
+}
+
+} // namespace h2o::serve

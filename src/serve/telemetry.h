@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Telemetry stream of the NAS job server: one row per completed search
+ * step of every job, appended concurrently by the scheduler's slices
+ * and flushed to CSV or JSON for dashboards.
+ *
+ * Determinism contract (see scheduler.h): a row's `jobId`, `step`,
+ * `meanReward` and `bestReward` are functions of the job's spec and
+ * seed ALONE — a job's row subsequence carries exactly the values the
+ * same search produces standalone, regardless of the tenant mix. The
+ * remaining fields (`cacheHitRate`, `cacheEntries`, `queueDepth`,
+ * `runningJobs`) snapshot the shared server state at record time and
+ * legitimately vary with scheduling: they are observational and
+ * excluded from the contract, as is the global interleaving of rows
+ * from different jobs.
+ */
+
+#ifndef H2O_SERVE_TELEMETRY_H
+#define H2O_SERVE_TELEMETRY_H
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace h2o::serve {
+
+/** One per-step telemetry record (see file comment for which fields
+ *  are deterministic). */
+struct TelemetryRow
+{
+    // --- Deterministic per (spec, seed).
+    uint64_t jobId = 0;
+    uint64_t step = 0;          ///< search step the row describes
+    double meanReward = 0.0;    ///< step's mean reward across shards
+    double bestReward = 0.0;    ///< best single-candidate reward so far
+
+    // --- Observational (tenant-mix dependent).
+    double cacheHitRate = 0.0;  ///< shared SimCache lifetime hit rate
+    uint64_t cacheEntries = 0;  ///< shared SimCache live entries
+    uint64_t queueDepth = 0;    ///< jobs still waiting in the queue
+    uint64_t runningJobs = 0;   ///< jobs active this scheduling round
+};
+
+/** Thread-safe append-only row stream. */
+class TelemetryStream
+{
+  public:
+    void record(const TelemetryRow &row);
+
+    /** Snapshot of every row recorded so far, in record order. */
+    std::vector<TelemetryRow> rows() const;
+
+    /** The rows of one job, in record (== step) order. */
+    std::vector<TelemetryRow> rowsForJob(uint64_t job_id) const;
+
+    size_t size() const;
+
+    /** Flush as CSV (header + one line per row, 17 significant digits
+     *  so reloaded values compare bitwise). */
+    void writeCsv(std::ostream &os) const;
+
+    /** Flush as a JSON array of row objects. */
+    void writeJson(std::ostream &os) const;
+
+    void writeCsvFile(const std::string &path) const;
+    void writeJsonFile(const std::string &path) const;
+
+  private:
+    mutable std::mutex _mu;
+    std::vector<TelemetryRow> _rows;
+};
+
+} // namespace h2o::serve
+
+#endif // H2O_SERVE_TELEMETRY_H

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/serialize.h"
+#include "exec/checkpoint.h"
 
 namespace h2o::sim {
 
@@ -407,6 +409,84 @@ SimCache::load(std::istream &is)
         key.decisions.assign(key_words.begin() + 1, key_words.end());
         insert(key, readResult(is));
     }
+}
+
+void
+SimCache::mergeFrom(std::istream &is)
+{
+    // Parse the incoming stream up front (save() wrote it globally
+    // oldest-first; that relative order is preserved below).
+    auto header = common::readTaggedU64(is, "sim_cache");
+    if (header.size() != 2 || header[0] != kSimCacheFormatVersion)
+        h2o_fatal("unsupported sim-cache stream header");
+    size_t count = static_cast<size_t>(header[1]);
+    std::vector<std::pair<SimCacheKey, SimResult>> incoming;
+    incoming.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        auto key_words = common::readTaggedU64(is, "key");
+        if (key_words.empty())
+            h2o_fatal("malformed sim-cache key record");
+        SimCacheKey key;
+        key.configFingerprint = key_words[0];
+        key.decisions.assign(key_words.begin() + 1, key_words.end());
+        incoming.emplace_back(std::move(key), readResult(is));
+    }
+
+    // Snapshot the live entries, globally oldest-first by recency tick.
+    std::vector<Entry> live;
+    {
+        std::vector<std::unique_lock<std::mutex>> locks;
+        locks.reserve(_shards.size());
+        for (const auto &shard : _shards)
+            locks.emplace_back(shard->mu);
+        for (const auto &shard : _shards)
+            for (const Entry &e : shard->lru)
+                live.push_back(e);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.tick < b.tick;
+              });
+    std::unordered_set<SimCacheKey, KeyHash> live_keys;
+    live_keys.reserve(live.size());
+    for (const Entry &e : live)
+        live_keys.insert(e.key);
+
+    // Rebuild: stream-only entries first (they take the oldest recency
+    // ranks), then the live entries oldest-to-newest, so LRU eviction
+    // under capacity pressure drops the merged-in entries before
+    // anything this process computed, and a key present on both sides
+    // keeps the live value.
+    clear();
+    for (auto &[key, value] : incoming)
+        if (!live_keys.contains(key))
+            insert(key, std::move(value));
+    for (Entry &e : live)
+        insert(e.key, std::move(e.value));
+}
+
+bool
+warmSimCacheFromFile(SimCache &cache, const std::string &path)
+{
+    if (path.empty() || !exec::CheckpointReader::exists(path))
+        return false;
+    exec::CheckpointReader reader(path);
+    cache.load(reader.stream());
+    return true;
+}
+
+void
+saveSimCacheFileMerged(SimCache &cache, const std::string &path)
+{
+    if (path.empty())
+        return;
+    if (exec::CheckpointReader::exists(path)) {
+        exec::CheckpointReader reader(path);
+        cache.mergeFrom(reader.stream());
+    }
+    exec::CheckpointWriter writer;
+    cache.save(writer.stream());
+    writer.commit(path);
 }
 
 } // namespace h2o::sim

@@ -298,6 +298,22 @@ class SimCache
      */
     void load(std::istream &is);
 
+    /**
+     * Eviction-aware merge of a save()d stream into this cache's LIVE
+     * contents: after the merge the cache holds the union of both entry
+     * sets, with the stream's entries ranked older than everything
+     * computed in this process (their relative oldest-first order is
+     * preserved), so when the union exceeds capacity the LRU policy
+     * evicts the merged-in (stale) entries first and a key present on
+     * both sides keeps this process's value and recency. This is what
+     * makes concurrent or sequential fills COMPOSE through one cache
+     * file — save-over-existing keeps the globally newest entries —
+     * instead of the last writer clobbering the others' work (see
+     * saveSimCacheFileMerged). Counters are preserved; merge-driven
+     * evictions count as evictions.
+     */
+    void mergeFrom(std::istream &is);
+
     /** Total entry budget across shards. */
     size_t capacity() const { return _shardCapacity * _shards.size(); }
 
@@ -341,6 +357,19 @@ class SimCache
     std::atomic<uint64_t> _misses{0};
     std::atomic<uint64_t> _evictions{0};
 };
+
+/** Warm-start a cache from a checkpoint file written by
+ *  saveSimCacheFileMerged (or a raw save() commit). Returns false —
+ *  without touching the cache — when the path is empty or the file does
+ *  not exist, so `--sim_cache_file` flags can pass their value through
+ *  unconditionally. */
+bool warmSimCacheFromFile(SimCache &cache, const std::string &path);
+
+/** Persist a cache to `path` with the eviction-aware merge: any
+ *  existing file's entries are mergeFrom()ed first (this process's
+ *  entries rank newer), then one atomic CheckpointWriter commit writes
+ *  the union. No-op when the path is empty. */
+void saveSimCacheFileMerged(SimCache &cache, const std::string &path);
 
 } // namespace h2o::sim
 

@@ -16,6 +16,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "common/flags.h"
@@ -283,6 +285,81 @@ TEST(Checkpoint, RoundTripAndAtomicCommit)
         h2o::common::readTaggedU64(reader.stream(), "payload");
     std::vector<uint64_t> expected = {1, 2, 3};
     EXPECT_EQ(payload, expected);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedFileRejectedCleanly)
+{
+    // A checkpoint chopped mid-payload (e.g. a copy that ran out of
+    // disk) must die with a diagnostic, not half-load state.
+    std::string path = testing::TempDir() + "/h2o_exec_ckpt_truncated";
+    ex::CheckpointWriter writer;
+    h2o::common::writeTaggedU64(writer.stream(), "payload",
+                                {10, 20, 30, 40});
+    writer.commit(path);
+    std::ifstream in(path);
+    std::string full((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << full.substr(0, full.size() / 2);
+    }
+    EXPECT_EXIT(
+        {
+            ex::CheckpointReader reader(path);
+            h2o::common::readTaggedU64(reader.stream(), "payload");
+        },
+        testing::ExitedWithCode(1), "truncated");
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CorruptFileRejectedCleanly)
+{
+    std::string path = testing::TempDir() + "/h2o_exec_ckpt_corrupt";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "tag not_the_payload 2\n1 2\n";
+    }
+    EXPECT_EXIT(
+        {
+            ex::CheckpointReader reader(path);
+            h2o::common::readTaggedU64(reader.stream(), "payload");
+        },
+        testing::ExitedWithCode(1), "expected u64 tag 'payload'");
+    std::remove(path.c_str());
+
+    EXPECT_EXIT(ex::CheckpointReader missing(path + "_nonexistent"),
+                testing::ExitedWithCode(1), "cannot open checkpoint");
+}
+
+TEST(Checkpoint, InterruptedCommitLeavesPreviousCheckpointIntact)
+{
+    // A kill mid-write leaves a partial `.tmp` behind; the committed
+    // file must be untouched, and a later successful commit must
+    // replace it atomically.
+    std::string path = testing::TempDir() + "/h2o_exec_ckpt_atomic";
+    ex::CheckpointWriter v1;
+    h2o::common::writeTaggedU64(v1.stream(), "payload", {1, 1, 1});
+    v1.commit(path);
+
+    {
+        std::ofstream tmp(path + ".tmp", std::ios::trunc);
+        tmp << "tag payl"; // torn write of the next checkpoint
+    }
+    ex::CheckpointReader reader(path);
+    std::vector<uint64_t> expected = {1, 1, 1};
+    EXPECT_EQ(h2o::common::readTaggedU64(reader.stream(), "payload"),
+              expected);
+
+    ex::CheckpointWriter v2;
+    h2o::common::writeTaggedU64(v2.stream(), "payload", {2, 2});
+    v2.commit(path);
+    EXPECT_FALSE(ex::CheckpointReader::exists(path + ".tmp"));
+    ex::CheckpointReader reader2(path);
+    expected = {2, 2};
+    EXPECT_EQ(h2o::common::readTaggedU64(reader2.stream(), "payload"),
+              expected);
     std::remove(path.c_str());
 }
 

@@ -8,13 +8,16 @@
  */
 
 #include <atomic>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "exec/checkpoint.h"
 #include "exec/thread_pool.h"
 #include "hw/chip.h"
 #include "sim/sim_cache.h"
@@ -308,6 +311,140 @@ TEST(SimCache, LoadIntoSmallerCapacityEvictsGloballyOldestFirst)
     EXPECT_EQ(out.stepTimeSec, 5.0);
     for (size_t i : {0u, 2u, 3u, 5u})
         EXPECT_FALSE(small.lookup(key(i), out)) << "entry " << i;
+}
+
+TEST(SimCache, MergeFromUnionsStreamEntriesAsOlder)
+{
+    sim::SimConfig cfg = configFor(hw::ChipModel::TpuV4);
+    auto key = [&](size_t i) {
+        return sim::makeSimCacheKey({i}, 0, cfg);
+    };
+    // The stream holds keys 0,1,2 (value = i+1); the live cache holds
+    // 2,3 with a DIFFERENT value for the duplicate key 2.
+    sim::SimCache source(8);
+    for (size_t i = 0; i < 3; ++i)
+        source.insert(key(i), resultWithStepTime(double(i + 1)));
+    std::ostringstream os;
+    source.save(os);
+
+    sim::SimCache cache(8);
+    cache.insert(key(2), resultWithStepTime(30.0));
+    cache.insert(key(3), resultWithStepTime(40.0));
+    std::istringstream is(os.str());
+    cache.mergeFrom(is);
+
+    // Union of keys; the live value wins the duplicate.
+    EXPECT_EQ(cache.stats().entries, 4u);
+    sim::SimResult out;
+    EXPECT_TRUE(cache.lookup(key(0), out));
+    EXPECT_EQ(out.stepTimeSec, 1.0);
+    EXPECT_TRUE(cache.lookup(key(1), out));
+    EXPECT_EQ(out.stepTimeSec, 2.0);
+    EXPECT_TRUE(cache.lookup(key(2), out));
+    EXPECT_EQ(out.stepTimeSec, 30.0);
+    EXPECT_TRUE(cache.lookup(key(3), out));
+    EXPECT_EQ(out.stepTimeSec, 40.0);
+}
+
+TEST(SimCache, MergeFromUnderCapacityEvictsStreamEntriesFirst)
+{
+    sim::SimConfig cfg = configFor(hw::ChipModel::TpuV4);
+    auto key = [&](size_t i) {
+        return sim::makeSimCacheKey({i}, 0, cfg);
+    };
+    sim::SimCache source(8, 1);
+    for (size_t i = 0; i < 3; ++i)
+        source.insert(key(i), resultWithStepTime(double(i + 1)));
+    std::ostringstream os;
+    source.save(os);
+
+    // A 3-entry single-stripe cache already holding 2 live entries:
+    // merging 3 stream-only keys must keep BOTH live entries (they
+    // rank newer) and only the newest stream survivor.
+    sim::SimCache cache(3, 1);
+    cache.insert(key(10), resultWithStepTime(10.0));
+    cache.insert(key(11), resultWithStepTime(11.0));
+    std::istringstream is(os.str());
+    cache.mergeFrom(is);
+
+    EXPECT_EQ(cache.stats().entries, 3u);
+    sim::SimResult out;
+    EXPECT_TRUE(cache.lookup(key(10), out));
+    EXPECT_TRUE(cache.lookup(key(11), out));
+    EXPECT_TRUE(cache.lookup(key(2), out)); // newest stream entry
+    EXPECT_FALSE(cache.lookup(key(0), out));
+    EXPECT_FALSE(cache.lookup(key(1), out));
+}
+
+TEST(SimCache, WarmAndMergedSaveFileHelpers)
+{
+    sim::SimConfig cfg = configFor(hw::ChipModel::TpuV4);
+    auto key = [&](size_t i) {
+        return sim::makeSimCacheKey({i}, 0, cfg);
+    };
+    std::string path = testing::TempDir() + "/h2o_simcache_warmfile";
+    std::remove(path.c_str());
+
+    // Empty path and missing file are clean no-ops.
+    sim::SimCache cache(8);
+    EXPECT_FALSE(sim::warmSimCacheFromFile(cache, ""));
+    EXPECT_FALSE(sim::warmSimCacheFromFile(cache, path));
+    saveSimCacheFileMerged(cache, ""); // no file appears
+    EXPECT_FALSE(exec::CheckpointReader::exists(""));
+
+    // First run: simulate keys 0,1 and save.
+    cache.insert(key(0), resultWithStepTime(1.0));
+    cache.insert(key(1), resultWithStepTime(2.0));
+    saveSimCacheFileMerged(cache, path);
+    ASSERT_TRUE(exec::CheckpointReader::exists(path));
+
+    // Second run: warm-start from the file, add key 2, merge-save.
+    sim::SimCache second(8);
+    EXPECT_TRUE(sim::warmSimCacheFromFile(second, path));
+    EXPECT_EQ(second.stats().entries, 2u);
+    second.insert(key(2), resultWithStepTime(3.0));
+    saveSimCacheFileMerged(second, path);
+
+    // Third run sees the union of both runs' work.
+    sim::SimCache third(8);
+    EXPECT_TRUE(sim::warmSimCacheFromFile(third, path));
+    EXPECT_EQ(third.stats().entries, 3u);
+    sim::SimResult out;
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_TRUE(third.lookup(key(i), out));
+        EXPECT_EQ(out.stepTimeSec, double(i + 1));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SimCache, MergedSaveKeepsOtherProcessEntries)
+{
+    // Two processes sharing one cache file: the second save must not
+    // wipe the first process's entries (the merge in "save over
+    // existing").
+    sim::SimConfig cfg = configFor(hw::ChipModel::TpuV4);
+    auto key = [&](size_t i) {
+        return sim::makeSimCacheKey({i}, 0, cfg);
+    };
+    std::string path = testing::TempDir() + "/h2o_simcache_sharedfile";
+    std::remove(path.c_str());
+
+    sim::SimCache a(8);
+    a.insert(key(0), resultWithStepTime(1.0));
+    saveSimCacheFileMerged(a, path);
+
+    // Process B never saw key 0 (did NOT warm-start) yet key 0
+    // survives B's save.
+    sim::SimCache b(8);
+    b.insert(key(1), resultWithStepTime(2.0));
+    saveSimCacheFileMerged(b, path);
+
+    sim::SimCache check(8);
+    ASSERT_TRUE(sim::warmSimCacheFromFile(check, path));
+    sim::SimResult out;
+    EXPECT_TRUE(check.lookup(key(0), out));
+    EXPECT_TRUE(check.lookup(key(1), out));
+    std::remove(path.c_str());
 }
 
 TEST(SimCache, ClearDropsEntriesKeepsCounters)
