@@ -12,6 +12,9 @@
  *    tiled, at the DLRM supernet's bottom-MLP shape;
  *  - tensor allocations on the first (warm-up) supernet-style training
  *    step vs a steady-state step (target: 0);
+ *  - tensor allocations per steady-state DlrmSupernet::evaluateBatch
+ *    call (the batched quality stage's no-grad path; target 0, and the
+ *    bench exits non-zero when it regresses);
  *  - SimCache hit/miss counters for a stream that revisits candidates.
  */
 
@@ -28,7 +31,10 @@
 #include "nn/mlp.h"
 #include "nn/ops.h"
 #include "nn/tensor.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/traffic_generator.h"
 #include "searchspace/dlrm_space.h"
+#include "supernet/dlrm_supernet.h"
 
 using namespace h2o;
 
@@ -152,6 +158,43 @@ main(int argc, char **argv)
     size_t steady_allocs = nn::tensorAllocCount() / 10;
     size_t steady_zero_fills = nn::tensorZeroFillCount() / 10;
 
+    // --- Allocations per batched supernet evaluation: the no-grad
+    // packed pass reuses workspace scratch and staging buffers, so a
+    // steady-state evaluateBatch over a fixed candidate list must not
+    // allocate tensors at all.
+    size_t eval_first_allocs = 0;
+    size_t eval_steady_allocs = 0;
+    {
+        arch::DlrmArch small;
+        small.numDenseFeatures = 4;
+        small.tables = {{512, 8, 1.0}, {256, 8, 1.0}};
+        small.bottomMlp = {{16, 0}};
+        small.topMlp = {{32, 0}};
+        small.globalBatch = 256;
+        searchspace::DlrmSearchSpace eval_space(small);
+        common::Rng net_rng = rng.fork(3);
+        supernet::DlrmSupernet net(eval_space, {}, net_rng);
+        std::vector<uint64_t> vocabs{512, 256};
+        std::vector<double> avg_ids{1.0, 1.0};
+        auto gen = std::make_unique<pipeline::TrafficGenerator>(
+            pipeline::trafficConfigFor(4, vocabs, avg_ids), 77);
+        pipeline::InMemoryPipeline pipe(std::move(gen), 32);
+        auto lease = pipe.lease();
+        std::vector<searchspace::Sample> cands;
+        for (size_t i = 0; i < 8; ++i)
+            cands.push_back(eval_space.decisions().uniformSample(rng));
+        nn::resetTensorAllocCount();
+        (void)net.evaluateBatch(cands, lease.batch());
+        eval_first_allocs = nn::tensorAllocCount();
+        nn::resetTensorAllocCount();
+        for (size_t s = 0; s < 10; ++s)
+            (void)net.evaluateBatch(cands, lease.batch());
+        eval_steady_allocs = nn::tensorAllocCount() / 10;
+        lease.markAlphaUse();
+        nn::resetTensorAllocCount();
+        nn::resetTensorZeroFillCount();
+    }
+
     // --- SimCache hit rate on a repeat-heavy stream: a candidate pool
     // evaluated round-robin, as paired eval sets / converged policies do.
     searchspace::DlrmSearchSpace space(arch::baselineDlrm());
@@ -184,6 +227,9 @@ main(int argc, char **argv)
               << ", steady-state " << steady_allocs << "\n";
     std::cout << "zero-fills/step: first " << first_step_zero_fills
               << ", steady-state " << steady_zero_fills << "\n";
+    std::cout << "allocs/evaluateBatch: first " << eval_first_allocs
+              << ", steady-state " << eval_steady_allocs
+              << (eval_steady_allocs == 0 ? "" : " (REGRESSION)") << "\n";
     std::cout << "sim cache: " << cache.hits << " hits / " << cache.misses
               << " misses (hit rate " << cache.hitRate() << ") over "
               << evals << " evals in " << sim_sec
@@ -214,10 +260,15 @@ main(int argc, char **argv)
        << ", \"steady\": " << steady_allocs << "},\n"
        << "  \"zero_fills_per_step\": {\"first\": " << first_step_zero_fills
        << ", \"steady\": " << steady_zero_fills << "},\n"
+       << "  \"allocs_per_evaluate_batch\": {\"first\": "
+       << eval_first_allocs << ", \"steady\": " << eval_steady_allocs
+       << "},\n"
        << "  \"sim_cache\": {\"hits\": " << cache.hits << ", \"misses\": "
        << cache.misses << ", \"evictions\": " << cache.evictions
        << ", \"hit_rate\": " << cache.hitRate() << "}\n"
        << "}\n";
     std::cout << "wrote " << json_path << "\n";
-    return 0;
+    // The batched eval path's zero-alloc contract is load-bearing for
+    // the quality stage's throughput — fail the smoke when it breaks.
+    return eval_steady_allocs == 0 ? 0 : 1;
 }

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Batched vs per-candidate supernet evaluation wall-clock: the same
+ * candidate lists evaluated (a) one configure()+evaluate() call at a
+ * time and (b) through DlrmSupernet::evaluateBatch — the packed
+ * multi-candidate pass behind the batched quality stage.
+ *
+ * Three candidate regimes: "uniform" and "converged" bracket a
+ * search's lifetime, and the headline "search_mix" strings them
+ * together the way one run actually unfolds.
+ *  - "uniform":    every candidate an independent uniform draw (early
+ *                  search, warm-up). Batching wins come from sharing
+ *                  embedding gathers across candidates that picked the
+ *                  same (table, vocab-choice) pair, bottom-MLP dedup,
+ *                  and staging the dense features once per step.
+ *  - "converged":  candidates drawn from a small pool (late search,
+ *                  concentrated policy). Full-candidate dedup collapses
+ *                  repeats to one evaluation each.
+ *  - "search_mix": the first third of the steps uniform, the rest from
+ *                  the pool — the exploration-then-convergence shape a
+ *                  REINFORCE policy produces (the searcher's entropy
+ *                  telemetry shows exactly this concentration). The
+ *                  top-level speedup is this regime's.
+ *
+ * Both paths see identical candidates and the same batch, and
+ * evaluateBatch is bitwise-identical to sequential evaluate() calls by
+ * construction — the bench verifies every logLoss/auc pair exactly and
+ * exits non-zero on any divergence, so it doubles as an end-to-end A/B
+ * gate. Emits BENCH_quality_batch.json; registered as a ctest smoke
+ * with tiny counts.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <algorithm>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/dlrm_arch.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/traffic_generator.h"
+#include "searchspace/dlrm_space.h"
+#include "supernet/dlrm_supernet.h"
+
+using namespace h2o;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** The small-but-real DLRM the bench searches over: two embedding
+ *  tables with a vocabulary/width trade-off and two-layer top MLP, the
+ *  same shape family the search tests exercise. */
+arch::DlrmArch
+benchDlrm()
+{
+    arch::DlrmArch a;
+    a.name = "dlrm-quality-bench";
+    a.numDenseFeatures = 8;
+    a.tables = {{4096, 16, 2.0}, {1024, 16, 2.0}, {512, 8, 1.0}};
+    a.bottomMlp = {{32, 0}};
+    a.topMlp = {{64, 0}, {32, 0}};
+    a.globalBatch = 256;
+    return a;
+}
+
+struct RegimeResult
+{
+    std::string name;
+    size_t candidates = 0;
+    size_t distinct = 0;
+    double serialSec = 0.0;
+    double batchedSec = 0.0;
+    bool identical = true;
+    double speedup() const
+    {
+        return batchedSec > 0.0 ? serialSec / batchedSec : 0.0;
+    }
+    double serialRate() const
+    {
+        return serialSec > 0.0 ? double(candidates) / serialSec : 0.0;
+    }
+    double batchedRate() const
+    {
+        return batchedSec > 0.0 ? double(candidates) / batchedSec : 0.0;
+    }
+};
+
+/** Evaluate `steps` lists of `cands` candidates through both paths and
+ *  compare every result bitwise. */
+RegimeResult
+runRegime(const std::string &name, supernet::DlrmSupernet &net,
+          const pipeline::Batch &batch,
+          const std::vector<searchspace::Sample> &candidates,
+          size_t steps, size_t cands, size_t chunk)
+{
+    RegimeResult res;
+    res.name = name;
+    res.candidates = steps * cands;
+
+    // --- Per-candidate path: the historical per-shard call sequence.
+    std::vector<supernet::EvalResult> serial(steps * cands);
+    auto start = Clock::now();
+    for (size_t i = 0; i < steps * cands; ++i) {
+        net.configure(candidates[i]);
+        serial[i] = net.evaluate(batch);
+    }
+    res.serialSec = secondsSince(start);
+
+    // --- Batched path: one packed pass per step over the same lists.
+    std::vector<supernet::EvalResult> batched(steps * cands);
+    start = Clock::now();
+    for (size_t step = 0; step < steps; ++step) {
+        std::span<const searchspace::Sample> list(
+            candidates.data() + step * cands, cands);
+        auto out = net.evaluateBatch(list, batch, chunk);
+        for (size_t i = 0; i < cands; ++i)
+            batched[step * cands + i] = out[i];
+        res.distinct += net.batchStats().distinct;
+    }
+    res.batchedSec = secondsSince(start);
+
+    for (size_t i = 0; i < steps * cands; ++i)
+        if (serial[i].logLoss != batched[i].logLoss ||
+            serial[i].auc != batched[i].auc) {
+            std::cerr << name << ": candidate " << i
+                      << " diverges (serial logLoss " << serial[i].logLoss
+                      << ", batched " << batched[i].logLoss << ")\n";
+            res.identical = false;
+        }
+    return res;
+}
+
+void
+printRegime(const RegimeResult &r)
+{
+    std::cout << "  " << r.name << ": " << r.candidates << " candidates ("
+              << r.distinct << " distinct across steps)\n"
+              << "    per-candidate " << r.serialSec << " s ("
+              << r.serialRate() << " cand/s)\n"
+              << "    batched       " << r.batchedSec << " s ("
+              << r.batchedRate() << " cand/s)\n"
+              << "    speedup " << r.speedup() << "x, results "
+              << (r.identical ? "identical" : "DIFFER") << "\n";
+}
+
+void
+jsonRegime(std::ostream &os, const RegimeResult &r, bool last)
+{
+    os << "    \"" << r.name << "\": {\n"
+       << "      \"candidates\": " << r.candidates << ",\n"
+       << "      \"distinct\": " << r.distinct << ",\n"
+       << "      \"per_candidate_sec\": " << r.serialSec << ",\n"
+       << "      \"batched_sec\": " << r.batchedSec << ",\n"
+       << "      \"per_candidate_cand_per_sec\": " << r.serialRate()
+       << ",\n"
+       << "      \"batched_cand_per_sec\": " << r.batchedRate() << ",\n"
+       << "      \"speedup\": " << r.speedup() << ",\n"
+       << "      \"bitwise_identical\": "
+       << (r.identical ? "true" : "false") << "\n"
+       << "    }" << (last ? "\n" : ",\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    common::Flags flags;
+    flags.defineInt("steps", 24, "search steps per regime");
+    flags.defineInt("cands", 16, "candidates per step");
+    flags.defineInt("pool", 4, "distinct pool size, converged regime");
+    flags.defineInt("batch", 128, "examples per pipeline batch");
+    flags.defineInt("chunk", 0, "evaluateBatch chunk cap (0 = auto)");
+    flags.defineInt("seed", 23, "RNG seed");
+    flags.defineString("json", "BENCH_quality_batch.json",
+                       "output path for the JSON report");
+    flags.parse(argc, argv);
+
+    size_t steps = static_cast<size_t>(flags.getInt("steps"));
+    size_t cands = static_cast<size_t>(flags.getInt("cands"));
+    size_t pool_size = static_cast<size_t>(flags.getInt("pool"));
+    size_t batch_rows = static_cast<size_t>(flags.getInt("batch"));
+    size_t chunk = static_cast<size_t>(flags.getInt("chunk"));
+    common::Rng rng(static_cast<uint64_t>(flags.getInt("seed")));
+
+    searchspace::DlrmSearchSpace space(benchDlrm());
+    common::Rng net_rng = rng.fork(1);
+    supernet::DlrmSupernet net(space, {}, net_rng);
+
+    std::vector<uint64_t> vocabs;
+    std::vector<double> avg_ids;
+    for (const auto &t : benchDlrm().tables) {
+        vocabs.push_back(t.vocab);
+        avg_ids.push_back(t.avgIds);
+    }
+    auto gen = std::make_unique<pipeline::TrafficGenerator>(
+        pipeline::trafficConfigFor(benchDlrm().numDenseFeatures, vocabs,
+                                   avg_ids),
+        rng.fork(2).uniformInt(1, 1 << 30));
+    pipeline::InMemoryPipeline pipe(std::move(gen), batch_rows);
+    auto lease = pipe.lease();
+    const pipeline::Batch &batch = lease.batch();
+
+    // --- Uniform regime: independent draws every step.
+    std::vector<searchspace::Sample> uniform;
+    uniform.reserve(steps * cands);
+    for (size_t i = 0; i < steps * cands; ++i)
+        uniform.push_back(space.decisions().uniformSample(rng));
+
+    // --- Converged regime: every candidate from a small pool.
+    std::vector<searchspace::Sample> pool;
+    for (size_t i = 0; i < pool_size; ++i)
+        pool.push_back(space.decisions().uniformSample(rng));
+    std::vector<searchspace::Sample> converged;
+    converged.reserve(steps * cands);
+    for (size_t i = 0; i < steps * cands; ++i)
+        converged.push_back(
+            pool[static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(pool_size) - 1))]);
+
+    std::cout << "quality batch: " << steps << " steps x " << cands
+              << " candidates, batch " << batch_rows << ", chunk ";
+    if (chunk == 0)
+        std::cout << "auto";
+    else
+        std::cout << chunk;
+    std::cout << "\n";
+    RegimeResult r_uniform = runRegime("uniform", net, batch, uniform,
+                                       steps, cands, chunk);
+    printRegime(r_uniform);
+    RegimeResult r_conv = runRegime("converged", net, batch, converged,
+                                    steps, cands, chunk);
+    printRegime(r_conv);
+
+    // --- Search-mix regime: exploration then convergence.
+    size_t mix_uniform_steps = std::max<size_t>(1, steps / 3);
+    std::vector<searchspace::Sample> mix;
+    mix.reserve(steps * cands);
+    for (size_t i = 0; i < steps * cands; ++i) {
+        if (i < mix_uniform_steps * cands)
+            mix.push_back(space.decisions().uniformSample(rng));
+        else
+            mix.push_back(
+                pool[static_cast<size_t>(rng.uniformInt(
+                    0, static_cast<int64_t>(pool_size) - 1))]);
+    }
+    RegimeResult r_mix = runRegime("search_mix", net, batch, mix, steps,
+                                   cands, chunk);
+    printRegime(r_mix);
+    lease.markAlphaUse();
+
+    double speedup = r_mix.speedup();
+    bool identical =
+        r_uniform.identical && r_conv.identical && r_mix.identical;
+    std::cout << "  headline (search_mix) speedup " << speedup << "x\n";
+
+    std::string json_path = flags.getString("json");
+    std::ofstream js(json_path);
+    if (!js) {
+        std::cerr << "cannot open " << json_path << "\n";
+        return 1;
+    }
+    js << "{\n"
+       << "  \"steps\": " << steps << ",\n"
+       << "  \"cands_per_step\": " << cands << ",\n"
+       << "  \"batch_rows\": " << batch_rows << ",\n"
+       << "  \"chunk\": " << chunk << ",\n"
+       << "  \"regimes\": {\n";
+    jsonRegime(js, r_uniform, false);
+    jsonRegime(js, r_conv, false);
+    jsonRegime(js, r_mix, true);
+    js << "  },\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"bitwise_identical\": " << (identical ? "true" : "false")
+       << "\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+    return identical ? 0 : 1;
+}

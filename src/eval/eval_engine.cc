@@ -36,6 +36,31 @@ EvalEngine::EvalEngine(PerfStage perf,
     h2o_assert(_config.numShards > 0, "engine with zero shards");
 }
 
+void
+EvalEngine::finishStep(StepEval &ev)
+{
+    // Stage 2 (batched mode): one performance call over the survivors,
+    // on this thread. Purity makes this element-for-element identical
+    // to the per-shard calls of per-candidate mode.
+    if (_perf.batched) {
+        std::vector<searchspace::Sample> live;
+        live.reserve(ev.survivors.size());
+        for (size_t s : ev.survivors)
+            live.push_back(ev.samples[s]);
+        auto perfs = _perf.batched(live);
+        h2o_assert(perfs.size() == live.size(),
+                   "performance batch returned ", perfs.size(),
+                   " results for ", live.size(), " candidates");
+        for (size_t i = 0; i < ev.survivors.size(); ++i)
+            ev.performance[ev.survivors[i]] = std::move(perfs[i]);
+    }
+
+    // Stage 3: reward, per survivor, in shard-index order.
+    for (size_t s : ev.survivors)
+        ev.rewards[s] =
+            _reward.compute({ev.qualities[s], ev.performance[s]});
+}
+
 StepEval
 EvalEngine::evaluate(size_t step, const ShardBodyFn &body)
 {
@@ -59,26 +84,50 @@ EvalEngine::evaluate(size_t step, const ShardBodyFn &body)
     if (ev.survivors.empty())
         return ev;
 
-    // Stage 2 (batched mode): one performance call over the survivors,
-    // on this thread. Purity makes this element-for-element identical
-    // to the per-shard calls of per-candidate mode.
-    if (_perf.batched) {
-        std::vector<searchspace::Sample> live;
-        live.reserve(ev.survivors.size());
-        for (size_t s : ev.survivors)
-            live.push_back(ev.samples[s]);
-        auto perfs = _perf.batched(live);
-        h2o_assert(perfs.size() == live.size(),
-                   "performance batch returned ", perfs.size(),
-                   " results for ", live.size(), " candidates");
-        for (size_t i = 0; i < ev.survivors.size(); ++i)
-            ev.performance[ev.survivors[i]] = std::move(perfs[i]);
-    }
+    finishStep(ev);
+    return ev;
+}
 
-    // Stage 3: reward, per survivor, in shard-index order.
+StepEval
+EvalEngine::evaluate(size_t step, const SampleBodyFn &body,
+                     const QualityBatchFn &quality)
+{
+    h2o_assert(quality, "null batched quality functor");
+    const size_t n = _config.numShards;
+    StepEval ev;
+    ev.samples.resize(n);
+    ev.qualities.assign(n, 0.0);
+    ev.performance.resize(n);
+    ev.rewards.assign(n, 0.0);
+
+    // Stage 1: draw-only shard bodies under the fault-tolerant runner —
+    // fault semantics are unchanged (a degraded shard never draws, its
+    // RNG stream never advances). Per-candidate performance still rides
+    // along so device-in-the-loop functions overlap across workers.
+    ev.report = _runner.runStep(step, [&](size_t s) {
+        body(s, ev.samples[s]);
+        if (_perf.perCandidate)
+            ev.performance[s] = _perf.perCandidate(ev.samples[s]);
+    });
+    ev.survivors = ev.report.survivors();
+    if (ev.survivors.empty())
+        return ev;
+
+    // Stage 1b: ONE quality call over the survivors, ascending shard
+    // order — exactly the order the per-shard path's ordered sections
+    // admit shards, so a quality function that runs the same work per
+    // candidate produces bit-identical qualities.
+    std::vector<searchspace::Sample> live;
+    live.reserve(ev.survivors.size());
     for (size_t s : ev.survivors)
-        ev.rewards[s] =
-            _reward.compute({ev.qualities[s], ev.performance[s]});
+        live.push_back(ev.samples[s]);
+    std::vector<double> qs = quality(ev.survivors, live);
+    h2o_assert(qs.size() == live.size(), "quality batch returned ",
+               qs.size(), " results for ", live.size(), " candidates");
+    for (size_t i = 0; i < ev.survivors.size(); ++i)
+        ev.qualities[ev.survivors[i]] = qs[i];
+
+    finishStep(ev);
     return ev;
 }
 

@@ -140,6 +140,27 @@ class EvalEngine
         size_t shard, searchspace::Sample &sample, double &quality)>;
 
     /**
+     * Draw-only shard body for the batched quality mode: fill in the
+     * shard's candidate (from the shard's own RNG stream, so a degraded
+     * shard leaves its stream untouched) WITHOUT computing quality.
+     */
+    using SampleBodyFn =
+        std::function<void(size_t shard, searchspace::Sample &sample)>;
+
+    /**
+     * Batched quality stage: one coordinator-side call per step over the
+     * step's surviving candidates, in ascending shard order — the order
+     * the per-shard path's ordered sections serialize to. Returns one
+     * quality per candidate (same indexing as `samples`).
+     *
+     * @param shards  Surviving shard indices, ascending.
+     * @param samples The candidates those shards drew, same order.
+     */
+    using QualityBatchFn = std::function<std::vector<double>(
+        std::span<const size_t> shards,
+        std::span<const searchspace::Sample> samples)>;
+
+    /**
      * @param perf    Performance stage (pure). A PerfBatchFn runs once
      *                per step on the caller's thread; a PerfFn runs per
      *                candidate inside the shard body.
@@ -161,6 +182,18 @@ class EvalEngine
      */
     StepEval evaluate(size_t step, const ShardBodyFn &body);
 
+    /**
+     * Batched quality mode: run the draw-only `body` for every shard
+     * under the fault-tolerant runner (per-candidate performance still
+     * rides along inside the shard body when configured), then ONE
+     * `quality` call over the survivors on this thread, then the shared
+     * performance/reward tail. Identical StepEval to the per-shard
+     * overload whenever `quality` computes what the per-shard bodies
+     * would have computed in ascending shard order.
+     */
+    StepEval evaluate(size_t step, const SampleBodyFn &body,
+                      const QualityBatchFn &quality);
+
     /** The underlying runner, for ordered sections inside bodies and
      *  for non-evaluation steps (weight warm-up) that must share the
      *  fault-injection step sequence. */
@@ -173,6 +206,10 @@ class EvalEngine
     size_t numShards() const { return _config.numShards; }
 
   private:
+    /** Shared stage-2/3 tail: batched performance over the survivors,
+     *  then the reward in shard-index order. */
+    void finishStep(StepEval &ev);
+
     PerfStage _perf;
     const reward::RewardFunction &_reward;
     EvalEngineConfig _config;

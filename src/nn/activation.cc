@@ -40,7 +40,71 @@ mapGradTensor(const Tensor &pre, const Tensor &grad_out, Tensor &dpre, F df)
         d[i] = g[i] * df(p[i]);
 }
 
+/** Row-range, column-prefix map: out(i, j) = f(pre(i, j)). */
+template <typename F>
+void
+mapTensorRows(const Tensor &pre, Tensor &out, size_t row0, size_t rows,
+              size_t n_act, F f)
+{
+    const float *p = pre.data().data();
+    float *o = out.data().data();
+    size_t stride = pre.cols();
+    for (size_t i = row0; i < row0 + rows; ++i) {
+        const float *prow = p + i * stride;
+        float *orow = o + i * stride;
+        for (size_t j = 0; j < n_act; ++j)
+            orow[j] = f(prow[j]);
+    }
+}
+
 } // namespace
+
+void
+activateTensorRows(Activation act, const Tensor &pre, Tensor &out,
+                   size_t row0, size_t rows, size_t n_act)
+{
+    h2o_assert(out.size() == pre.size() && out.cols() == pre.cols(),
+               "activateTensorRows shape mismatch");
+    h2o_assert(row0 + rows <= pre.rows() && n_act <= pre.cols(),
+               "activateTensorRows range out of bounds");
+    switch (act) {
+      case Activation::Identity:
+        if (&out != &pre)
+            mapTensorRows(pre, out, row0, rows, n_act,
+                          [](float x) { return x; });
+        return;
+      case Activation::ReLU:
+        mapTensorRows(pre, out, row0, rows, n_act,
+                      [](float x) { return x > 0.0f ? x : 0.0f; });
+        return;
+      case Activation::Swish:
+        mapTensorRows(pre, out, row0, rows, n_act,
+                      [](float x) { return x * sigmoidf(x); });
+        return;
+      case Activation::GeLU:
+        mapTensorRows(pre, out, row0, rows, n_act, [](float x) {
+            return 0.5f * x *
+                   (1.0f +
+                    std::tanh(0.7978845608f * (x + 0.044715f * x * x * x)));
+        });
+        return;
+      case Activation::SquaredReLU:
+        mapTensorRows(pre, out, row0, rows, n_act, [](float x) {
+            float r = x > 0.0f ? x : 0.0f;
+            return r * r;
+        });
+        return;
+      case Activation::Sigmoid:
+        mapTensorRows(pre, out, row0, rows, n_act,
+                      [](float x) { return sigmoidf(x); });
+        return;
+      case Activation::Tanh:
+        mapTensorRows(pre, out, row0, rows, n_act,
+                      [](float x) { return std::tanh(x); });
+        return;
+    }
+    h2o_panic("unhandled activation");
+}
 
 void
 activateTensor(Activation act, const Tensor &pre, Tensor &out)

@@ -10,6 +10,7 @@
 #ifndef H2O_NN_ACTIVATION_H
 #define H2O_NN_ACTIVATION_H
 
+#include <cstddef>
 #include <string>
 
 namespace h2o::nn {
@@ -44,6 +45,16 @@ float activateGrad(Activation act, float x);
  * hot path). out must match pre's size; out may alias pre.
  */
 void activateTensor(Activation act, const Tensor &pre, Tensor &out);
+
+/**
+ * Row-range, column-prefix variant of activateTensor for packed
+ * multi-candidate tensors: out(i, j) = activate(act, pre(i, j)) for
+ * i in [row0, row0 + rows) and j in [0, n_act); other elements are
+ * untouched. pre and out must share shape; out may alias pre. Values
+ * are bitwise identical to activateTensor over the same elements.
+ */
+void activateTensorRows(Activation act, const Tensor &pre, Tensor &out,
+                        size_t row0, size_t rows, size_t n_act);
 
 /**
  * dpre[i] = grad_out[i] * activateGrad(act, pre[i]) — the fused backward

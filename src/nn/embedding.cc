@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "nn/ops.h"
 
 namespace h2o::nn {
 
@@ -25,52 +26,70 @@ EmbeddingTable::setActiveWidth(size_t width)
     _activeWidth = width;
 }
 
-const Tensor &
-EmbeddingTable::forward(const std::vector<IdList> &batch_ids)
+void
+EmbeddingTable::stage(std::span<const IdList *const> batch_ids)
 {
     size_t batch = batch_ids.size();
     h2o_assert(batch > 0, "embedding lookup with empty batch");
-    _out.resizeUninitialized(batch, _activeWidth);
-    _out.zero(); // pooling accumulates; missing features stay zero
-    _lastIds.assign(batch, IdList{});
-    for (size_t i = 0; i < batch; ++i) {
-        const IdList &ids = batch_ids[i];
-        if (ids.empty())
-            continue; // missing feature: zero vector
-        IdList &hashed = _lastIds[i];
-        hashed.reserve(ids.size());
-        float inv = 1.0f / static_cast<float>(ids.size());
-        for (uint32_t id : ids) {
-            uint32_t row = id % static_cast<uint32_t>(_vocab);
-            hashed.push_back(row);
-            const float *src = _table.data().data() + row * _maxWidth;
-            float *dst = _out.data().data() + i * _activeWidth;
-            for (size_t d = 0; d < _activeWidth; ++d)
-                dst[d] += inv * src[d];
-        }
+    size_t total = 0;
+    for (const IdList *ids : batch_ids)
+        total += ids->size();
+    _rows.clear();
+    _rows.reserve(total);
+    _offsets.clear();
+    _offsets.reserve(batch + 1);
+    _inv.clear();
+    _inv.reserve(batch);
+    _offsets.push_back(0);
+    uint32_t vocab = static_cast<uint32_t>(_vocab);
+    for (const IdList *ids : batch_ids) {
+        for (uint32_t id : *ids)
+            _rows.push_back(id % vocab);
+        _offsets.push_back(_rows.size());
+        _inv.push_back(ids->empty()
+                           ? 0.0f
+                           : 1.0f / static_cast<float>(ids->size()));
     }
+}
+
+const Tensor &
+EmbeddingTable::forward(const std::vector<IdList> &batch_ids)
+{
+    _ptrScratch.clear();
+    _ptrScratch.reserve(batch_ids.size());
+    for (const IdList &ids : batch_ids)
+        _ptrScratch.push_back(&ids);
+    return forward(std::span<const IdList *const>(_ptrScratch));
+}
+
+const Tensor &
+EmbeddingTable::forward(std::span<const IdList *const> batch_ids)
+{
+    stage(batch_ids);
+    _out.resizeUninitialized(batch_ids.size(), _activeWidth);
+    embeddingGatherPooled(_table, _rows, _offsets, _inv, _out, _activeWidth);
     return _out;
+}
+
+void
+EmbeddingTable::lookup(std::span<const IdList *const> batch_ids, size_t width,
+                       Tensor &out)
+{
+    h2o_assert(width > 0 && width <= _maxWidth, "lookup width ", width,
+               " out of range (max ", _maxWidth, ")");
+    stage(batch_ids);
+    out.resizeUninitialized(batch_ids.size(), width);
+    embeddingGatherPooled(_table, _rows, _offsets, _inv, out, width);
 }
 
 void
 EmbeddingTable::backward(const Tensor &grad_out)
 {
-    h2o_assert(grad_out.rows() == _lastIds.size(),
+    h2o_assert(grad_out.rows() + 1 == _offsets.size(),
                "embedding backward batch mismatch");
     h2o_assert(grad_out.cols() == _activeWidth,
                "embedding backward width mismatch");
-    for (size_t i = 0; i < _lastIds.size(); ++i) {
-        const IdList &rows = _lastIds[i];
-        if (rows.empty())
-            continue;
-        float inv = 1.0f / static_cast<float>(rows.size());
-        const float *src = grad_out.data().data() + i * _activeWidth;
-        for (uint32_t row : rows) {
-            float *dst = _grad.data().data() + row * _maxWidth;
-            for (size_t d = 0; d < _activeWidth; ++d)
-                dst[d] += inv * src[d];
-        }
-    }
+    embeddingScatterAdd(grad_out, _rows, _offsets, _inv, _grad, _activeWidth);
 }
 
 std::vector<ParamRef>

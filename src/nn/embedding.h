@@ -11,13 +11,18 @@
  * candidates that hash ids differently.
  *
  * Lookups are multivalent with mean pooling: each example supplies a small
- * list of ids for the feature and receives the average of their rows.
+ * list of ids for the feature and receives the average of their rows. The
+ * pooled gather and the gradient scatter-add run through the tiled kernel
+ * family in nn/ops.h (selectable via H2O_KERNELS, bitwise identical across
+ * implementations); ids are staged into flat CSR-style buffers
+ * (rows/offsets/inv) that are reused across calls.
  */
 
 #ifndef H2O_NN_EMBEDDING_H
 #define H2O_NN_EMBEDDING_H
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -64,6 +69,26 @@ class EmbeddingTable
     const Tensor &forward(const std::vector<IdList> &batch_ids);
 
     /**
+     * Same lookup over a span of id-list pointers — lets callers that
+     * already hold per-example lists elsewhere (the packed multi-candidate
+     * eval pass) avoid copying them into a contiguous vector.
+     */
+    const Tensor &forward(std::span<const IdList *const> batch_ids);
+
+    /**
+     * No-grad lookup at an explicit width into a caller-owned tensor,
+     * for the batched eval path: `out` is resized to [batch, width] and
+     * filled with the pooled rows (columns [0, width) of the shared
+     * storage, independent of activeWidth). Overwrites the staging
+     * buffers backward() reads, so a training forward/backward pair must
+     * not straddle a lookup() call.
+     *
+     * @pre 0 < width <= maxWidth.
+     */
+    void lookup(std::span<const IdList *const> batch_ids, size_t width,
+                Tensor &out);
+
+    /**
      * Scatter gradients back into the rows touched by the last forward.
      * @param grad_out [batch, activeWidth] upstream gradient.
      */
@@ -82,13 +107,19 @@ class EmbeddingTable
     std::string describe() const;
 
   private:
+    /** Hash ids into the flat CSR staging buffers (_rows/_offsets/_inv). */
+    void stage(std::span<const IdList *const> batch_ids);
+
     size_t _vocab;
     size_t _maxWidth;
     size_t _activeWidth;
     Tensor _table;  ///< vocab x maxWidth
     Tensor _grad;
     Tensor _out; ///< pooled lookup output (reused across calls)
-    std::vector<IdList> _lastIds; ///< cached (hashed) ids from forward
+    std::vector<uint32_t> _rows;   ///< hashed table rows, all examples
+    std::vector<size_t> _offsets;  ///< per-example [start, end) into _rows
+    std::vector<float> _inv;       ///< per-example 1/|ids| (0 if empty)
+    std::vector<const IdList *> _ptrScratch; ///< vector-overload adapter
 };
 
 } // namespace h2o::nn

@@ -65,8 +65,22 @@ class Layer
     /** Human-readable layer description. */
     virtual std::string describe() const = 0;
 
+    /**
+     * Training vs evaluation mode. In eval mode a layer skips backward
+     * bookkeeping (input pointer caching, separate output buffers) —
+     * forward VALUES are unchanged bit-for-bit, but calling backward()
+     * after an eval-mode forward is an error. Default: training.
+     */
+    void setTraining(bool training) { _training = training; }
+
+    /** Whether the layer is in training mode. */
+    bool training() const { return _training; }
+
     /** Zero all gradient accumulators. */
     void zeroGrad();
+
+  protected:
+    bool _training = true;
 };
 
 } // namespace h2o::nn

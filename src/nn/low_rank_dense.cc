@@ -38,12 +38,17 @@ const Tensor &
 LowRankDenseLayer::forward(const Tensor &input)
 {
     h2o_assert(input.cols() >= _activeIn, "LowRankDense input too narrow");
-    _input = &input;
+    _input = _training ? &input : nullptr;
     _hidden.resizeUninitialized(input.rows(), _activeRank);
     matmulMasked(input, _u, _hidden, _activeIn, _activeRank);
     _preact.resizeUninitialized(input.rows(), _activeOut);
     matmulMasked(_hidden, _v, _preact, _activeRank, _activeOut);
     addBias(_preact, _b, _activeOut);
+    if (!_training) {
+        // Eval mode: activate in place (see MaskedDenseLayer::forward).
+        activateTensor(_act, _preact, _preact);
+        return _preact;
+    }
     _output.resizeUninitialized(input.rows(), _activeOut);
     activateTensor(_act, _preact, _output);
     return _output;

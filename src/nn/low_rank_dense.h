@@ -43,6 +43,18 @@ class LowRankDenseLayer : public Layer
     /** Currently active output width. */
     size_t activeOut() const { return _activeOut; }
 
+    /** Shared U factor storage [maxIn, maxRank] (packed eval access). */
+    const Tensor &uTensor() const { return _u; }
+
+    /** Shared V factor storage [maxRank, maxOut]. */
+    const Tensor &vTensor() const { return _v; }
+
+    /** Shared bias storage [maxOut]. */
+    const Tensor &biasTensor() const { return _b; }
+
+    /** The activation applied by forward(). */
+    Activation activation() const { return _act; }
+
     const Tensor &forward(const Tensor &input) override;
     const Tensor &backward(const Tensor &grad_out) override;
     std::vector<ParamRef> params() override;

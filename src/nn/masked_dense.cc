@@ -36,10 +36,17 @@ MaskedDenseLayer::forward(const Tensor &input)
     h2o_assert(input.cols() >= _activeIn,
                "MaskedDense input width ", input.cols(), " < active in ",
                _activeIn);
-    _input = &input;
+    _input = _training ? &input : nullptr;
     _preact.resizeUninitialized(input.rows(), _activeOut);
     matmulMasked(input, _w, _preact, _activeIn, _activeOut);
     addBias(_preact, _b, _activeOut);
+    if (!_training) {
+        // Eval mode: no backward will read the pre-activations, so
+        // activate in place (bitwise-identical values; activateTensor
+        // allows aliasing) and skip the separate output buffer.
+        activateTensor(_act, _preact, _preact);
+        return _preact;
+    }
     _output.resizeUninitialized(input.rows(), _activeOut);
     activateTensor(_act, _preact, _output);
     return _output;

@@ -53,6 +53,16 @@ class MaskedDenseLayer : public Layer
     /** Maximum (shared-storage) output width. */
     size_t maxOut() const { return _maxOut; }
 
+    /** Shared weight storage [maxIn, maxOut] (read-only access for the
+     *  packed multi-candidate eval pass). */
+    const Tensor &weightTensor() const { return _w; }
+
+    /** Shared bias storage [maxOut]. */
+    const Tensor &biasTensor() const { return _b; }
+
+    /** The activation applied by forward(). */
+    Activation activation() const { return _act; }
+
     const Tensor &forward(const Tensor &input) override;
     const Tensor &backward(const Tensor &grad_out) override;
     std::vector<ParamRef> params() override;

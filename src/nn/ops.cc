@@ -46,6 +46,40 @@ checkMatmulTransBMasked(const Tensor &a, const Tensor &b, const Tensor &c,
     h2o_assert(c.rows() == a.rows(), "matmulTransBMasked: C rows mismatch");
 }
 
+void
+checkGrouped(const Tensor &a, const Tensor &b, const Tensor &c,
+             std::span<const MaskGroup> groups)
+{
+    h2o_assert(c.rows() == a.rows(), "matmulMaskedGrouped: C rows mismatch");
+    for (const MaskGroup &g : groups) {
+        h2o_assert(g.rowBegin + g.rows <= a.rows(),
+                   "matmulMaskedGrouped: group rows [", g.rowBegin, ", ",
+                   g.rowBegin + g.rows, ") exceed A rows ", a.rows());
+        h2o_assert(g.kAct <= a.cols() && g.kAct <= b.rows(),
+                   "matmulMaskedGrouped: kAct ", g.kAct, " out of range");
+        h2o_assert(g.nAct <= b.cols() && g.nAct <= c.cols(),
+                   "matmulMaskedGrouped: nAct ", g.nAct, " out of range");
+    }
+}
+
+void
+checkEmbedding(const Tensor &table_like, std::span<const uint32_t> rows,
+               std::span<const size_t> offsets, std::span<const float> inv,
+               size_t batch, size_t batch_width, size_t width)
+{
+    h2o_assert(offsets.size() == batch + 1,
+               "embedding kernel: offsets size ", offsets.size(),
+               " != batch + 1 (", batch + 1, ")");
+    h2o_assert(inv.size() == batch, "embedding kernel: inv size mismatch");
+    h2o_assert(offsets.empty() || offsets.back() <= rows.size(),
+               "embedding kernel: offsets exceed rows");
+    h2o_assert(width <= table_like.cols(),
+               "embedding kernel: width ", width, " exceeds table cols ",
+               table_like.cols());
+    h2o_assert(width <= batch_width,
+               "embedding kernel: width exceeds batch tensor cols");
+}
+
 std::atomic<KernelImpl> g_impl{KernelImpl::Tiled};
 
 /** One-time H2O_KERNELS env override, applied before first dispatch. */
@@ -95,18 +129,20 @@ kernelImplName(KernelImpl impl)
 
 namespace reference {
 
+namespace {
+
+/** The matmulMasked loops over an explicit row range — shared by the
+ *  plain and grouped entry points so the two are bitwise identical. */
 void
-matmulMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
-             size_t n_act, bool accumulate)
+matmulMaskedRows(const Tensor &a, const Tensor &b, Tensor &c, size_t row0,
+                 size_t rows, size_t k_act, size_t n_act, bool accumulate)
 {
-    checkMatmulMasked(a, b, c, k_act, n_act);
-    size_t m = a.rows();
     const float *ad = a.data().data();
     const float *bd = b.data().data();
     float *cd = c.data().data();
     size_t ka = a.cols(), nb = b.cols(), nc = c.cols();
 
-    for (size_t i = 0; i < m; ++i) {
+    for (size_t i = row0; i < row0 + rows; ++i) {
         float *crow = cd + i * nc;
         if (!accumulate) {
             for (size_t j = 0; j < n_act; ++j)
@@ -121,6 +157,70 @@ matmulMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
             const float *brow = bd + k * nb;
             for (size_t j = 0; j < n_act; ++j)
                 crow[j] += av * brow[j];
+        }
+    }
+}
+
+} // namespace
+
+void
+matmulMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
+             size_t n_act, bool accumulate)
+{
+    checkMatmulMasked(a, b, c, k_act, n_act);
+    matmulMaskedRows(a, b, c, 0, a.rows(), k_act, n_act, accumulate);
+}
+
+void
+matmulMaskedGrouped(const Tensor &a, const Tensor &b, Tensor &c,
+                    std::span<const MaskGroup> groups, bool accumulate)
+{
+    checkGrouped(a, b, c, groups);
+    for (const MaskGroup &g : groups)
+        matmulMaskedRows(a, b, c, g.rowBegin, g.rows, g.kAct, g.nAct,
+                         accumulate);
+}
+
+void
+embeddingGatherPooled(const Tensor &table, std::span<const uint32_t> rows,
+                      std::span<const size_t> offsets,
+                      std::span<const float> inv, Tensor &out, size_t width)
+{
+    checkEmbedding(table, rows, offsets, inv, out.rows(), out.cols(), width);
+    const float *td = table.data().data();
+    float *od = out.data().data();
+    size_t tw = table.cols(), ow = out.cols();
+    for (size_t i = 0; i < out.rows(); ++i) {
+        float *dst = od + i * ow;
+        for (size_t d = 0; d < width; ++d)
+            dst[d] = 0.0f;
+        float w = inv[i];
+        for (size_t p = offsets[i]; p < offsets[i + 1]; ++p) {
+            const float *src = td + rows[p] * tw;
+            for (size_t d = 0; d < width; ++d)
+                dst[d] += w * src[d];
+        }
+    }
+}
+
+void
+embeddingScatterAdd(const Tensor &grad_out, std::span<const uint32_t> rows,
+                    std::span<const size_t> offsets,
+                    std::span<const float> inv, Tensor &grad_table,
+                    size_t width)
+{
+    checkEmbedding(grad_table, rows, offsets, inv, grad_out.rows(),
+                   grad_out.cols(), width);
+    const float *gd = grad_out.data().data();
+    float *td = grad_table.data().data();
+    size_t tw = grad_table.cols(), gw = grad_out.cols();
+    for (size_t i = 0; i < grad_out.rows(); ++i) {
+        const float *src = gd + i * gw;
+        float w = inv[i];
+        for (size_t p = offsets[i]; p < offsets[i + 1]; ++p) {
+            float *dst = td + rows[p] * tw;
+            for (size_t d = 0; d < width; ++d)
+                dst[d] += w * src[d];
         }
     }
 }
@@ -201,21 +301,21 @@ constexpr size_t kRowTile = 4;
  *  strip that still leaves room for kRowTile accumulator rows in L1. */
 constexpr size_t kColTile = 64;
 
-} // namespace
-
+/** The tiled matmulMasked loops over an explicit row range. Row tiling
+ *  restarts at row0, but per output element the contraction is k
+ *  ascending regardless of tile position — so the grouped entry point
+ *  is bitwise identical to per-candidate calls. */
 void
-matmulMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
-             size_t n_act, bool accumulate)
+matmulMaskedRows(const Tensor &a, const Tensor &b, Tensor &c, size_t row0,
+                 size_t rows, size_t k_act, size_t n_act, bool accumulate)
 {
-    checkMatmulMasked(a, b, c, k_act, n_act);
-    size_t m = a.rows();
     const float *ad = a.data().data();
     const float *bd = b.data().data();
     float *cd = c.data().data();
     size_t ka = a.cols(), nb = b.cols(), nc = c.cols();
 
-    for (size_t i0 = 0; i0 < m; i0 += kRowTile) {
-        size_t rt = std::min(kRowTile, m - i0);
+    for (size_t i0 = row0; i0 < row0 + rows; i0 += kRowTile) {
+        size_t rt = std::min(kRowTile, row0 + rows - i0);
         for (size_t j0 = 0; j0 < n_act; j0 += kColTile) {
             size_t jt = std::min(kColTile, n_act - j0);
             float acc[kRowTile][kColTile];
@@ -244,6 +344,98 @@ matmulMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
                 float *crow = cd + (i0 + r) * nc + j0;
                 for (size_t j = 0; j < jt; ++j)
                     crow[j] = acc[r][j];
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+matmulMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t k_act,
+             size_t n_act, bool accumulate)
+{
+    checkMatmulMasked(a, b, c, k_act, n_act);
+    matmulMaskedRows(a, b, c, 0, a.rows(), k_act, n_act, accumulate);
+}
+
+void
+matmulMaskedGrouped(const Tensor &a, const Tensor &b, Tensor &c,
+                    std::span<const MaskGroup> groups, bool accumulate)
+{
+    checkGrouped(a, b, c, groups);
+    for (const MaskGroup &g : groups)
+        matmulMaskedRows(a, b, c, g.rowBegin, g.rows, g.kAct, g.nAct,
+                         accumulate);
+}
+
+void
+embeddingGatherPooled(const Tensor &table, std::span<const uint32_t> rows,
+                      std::span<const size_t> offsets,
+                      std::span<const float> inv, Tensor &out, size_t width)
+{
+    checkEmbedding(table, rows, offsets, inv, out.rows(), out.cols(), width);
+    const float *td = table.data().data();
+    float *od = out.data().data();
+    size_t tw = table.cols(), ow = out.cols();
+    // Blocked gather: the pooled row accumulates in registers per
+    // kColTile strip (one store per strip instead of a read-modify-write
+    // per id). Per element the adds still run in id-list order from a
+    // zero accumulator — bitwise identical to the reference kernel.
+    for (size_t i = 0; i < out.rows(); ++i) {
+        float *dst = od + i * ow;
+        float w = inv[i];
+        size_t p0 = offsets[i], p1 = offsets[i + 1];
+        for (size_t d0 = 0; d0 < width; d0 += kColTile) {
+            size_t dt = std::min(kColTile, width - d0);
+            float acc[kColTile];
+            for (size_t j = 0; j < dt; ++j)
+                acc[j] = 0.0f;
+            for (size_t p = p0; p < p1; ++p) {
+                const float *src = td + rows[p] * tw + d0;
+#pragma omp simd
+                for (size_t j = 0; j < dt; ++j)
+                    acc[j] += w * src[j];
+            }
+            for (size_t j = 0; j < dt; ++j)
+                dst[d0 + j] = acc[j];
+        }
+    }
+}
+
+void
+embeddingScatterAdd(const Tensor &grad_out, std::span<const uint32_t> rows,
+                    std::span<const size_t> offsets,
+                    std::span<const float> inv, Tensor &grad_table,
+                    size_t width)
+{
+    checkEmbedding(grad_table, rows, offsets, inv, grad_out.rows(),
+                   grad_out.cols(), width);
+    const float *gd = grad_out.data().data();
+    float *td = grad_table.data().data();
+    size_t tw = grad_table.cols(), gw = grad_out.cols();
+    // Fused scatter: the example's scaled gradient inv * g is staged
+    // once per strip (hoisting the multiply out of the id loop), then
+    // added to each touched table row with simd. inv * g[d] is the same
+    // IEEE product the reference computes per id, and adds run in
+    // id-list order — bitwise identical results.
+    for (size_t i = 0; i < grad_out.rows(); ++i) {
+        const float *src = gd + i * gw;
+        float w = inv[i];
+        size_t p0 = offsets[i], p1 = offsets[i + 1];
+        if (p0 == p1)
+            continue;
+        for (size_t d0 = 0; d0 < width; d0 += kColTile) {
+            size_t dt = std::min(kColTile, width - d0);
+            float tmp[kColTile];
+#pragma omp simd
+            for (size_t j = 0; j < dt; ++j)
+                tmp[j] = w * src[d0 + j];
+            for (size_t p = p0; p < p1; ++p) {
+                float *dst = td + rows[p] * tw + d0;
+#pragma omp simd
+                for (size_t j = 0; j < dt; ++j)
+                    dst[j] += tmp[j];
             }
         }
     }
@@ -395,6 +587,42 @@ matmulTransBMasked(const Tensor &a, const Tensor &b, Tensor &c, size_t n_act,
 }
 
 void
+matmulMaskedGrouped(const Tensor &a, const Tensor &b, Tensor &c,
+                    std::span<const MaskGroup> groups, bool accumulate)
+{
+    if (kernelImpl() == KernelImpl::Tiled)
+        tiled::matmulMaskedGrouped(a, b, c, groups, accumulate);
+    else
+        reference::matmulMaskedGrouped(a, b, c, groups, accumulate);
+}
+
+void
+embeddingGatherPooled(const Tensor &table, std::span<const uint32_t> rows,
+                      std::span<const size_t> offsets,
+                      std::span<const float> inv, Tensor &out, size_t width)
+{
+    if (kernelImpl() == KernelImpl::Tiled)
+        tiled::embeddingGatherPooled(table, rows, offsets, inv, out, width);
+    else
+        reference::embeddingGatherPooled(table, rows, offsets, inv, out,
+                                         width);
+}
+
+void
+embeddingScatterAdd(const Tensor &grad_out, std::span<const uint32_t> rows,
+                    std::span<const size_t> offsets,
+                    std::span<const float> inv, Tensor &grad_table,
+                    size_t width)
+{
+    if (kernelImpl() == KernelImpl::Tiled)
+        tiled::embeddingScatterAdd(grad_out, rows, offsets, inv, grad_table,
+                                   width);
+    else
+        reference::embeddingScatterAdd(grad_out, rows, offsets, inv,
+                                       grad_table, width);
+}
+
+void
 matmul(const Tensor &a, const Tensor &b, Tensor &c)
 {
     h2o_assert(a.cols() == b.rows(), "matmul shape mismatch: ", a.shapeStr(),
@@ -417,6 +645,26 @@ addBias(Tensor &x, const Tensor &bias, size_t n_act)
 #pragma omp simd
         for (size_t j = 0; j < n_act; ++j)
             row[j] += bd[j];
+    }
+}
+
+void
+addBiasGrouped(Tensor &x, const Tensor &bias,
+               std::span<const MaskGroup> groups)
+{
+    float *xd = x.data().data();
+    const float *bd = bias.data().data();
+    size_t n = x.cols();
+    for (const MaskGroup &g : groups) {
+        h2o_assert(g.rowBegin + g.rows <= x.rows() && g.nAct <= n &&
+                       g.nAct <= bias.size(),
+                   "addBiasGrouped: group out of range");
+        for (size_t i = g.rowBegin; i < g.rowBegin + g.rows; ++i) {
+            float *row = xd + i * n;
+#pragma omp simd
+            for (size_t j = 0; j < g.nAct; ++j)
+                row[j] += bd[j];
+        }
     }
 }
 

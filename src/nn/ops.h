@@ -27,6 +27,8 @@
 #define H2O_NN_OPS_H
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 
 #include "nn/tensor.h"
@@ -83,6 +85,64 @@ void matmulTransBMasked(const Tensor &a, const Tensor &b, Tensor &c,
                         size_t n_act, size_t k_act,
                         bool accumulate = false);
 
+/**
+ * One candidate's row range and active dimensions inside a *packed*
+ * multi-candidate tensor (layout [n_cand * batch, max_width]): the
+ * grouped kernels below run the corresponding masked kernel on rows
+ * [rowBegin, rowBegin + rows) with this group's (kAct, nAct) masks.
+ * Per output element the floating-point operation sequence is the one
+ * the ungrouped kernel would use on that candidate's own tensor, so a
+ * packed pass is bitwise identical to per-candidate calls.
+ */
+struct MaskGroup
+{
+    size_t rowBegin = 0; ///< first packed row of this candidate
+    size_t rows = 0;     ///< rows (batch size) of this candidate
+    size_t kAct = 0;     ///< active contraction width
+    size_t nAct = 0;     ///< active output width
+};
+
+/**
+ * Grouped-mask batched matmul: for every group g,
+ * C[rows of g, 0..nAct) = A[rows of g, 0..kAct) * B[0..kAct, 0..nAct),
+ * sharing one weight matrix B across all groups. Row ranges must not
+ * overlap. Bitwise identical to calling matmulMasked per candidate.
+ */
+void matmulMaskedGrouped(const Tensor &a, const Tensor &b, Tensor &c,
+                         std::span<const MaskGroup> groups,
+                         bool accumulate = false);
+
+/** Grouped addBias: rows of each group get bias[0..nAct). */
+void addBiasGrouped(Tensor &x, const Tensor &bias,
+                    std::span<const MaskGroup> groups);
+
+/**
+ * Mean-pooled embedding gather. For each example i (a row of `out`),
+ * sums inv[i] * table[rows[p]] over p in [offsets[i], offsets[i+1]),
+ * writing columns [0, width) of out; examples with an empty range get a
+ * zero row. `rows` holds pre-hashed table row indices; `offsets` has
+ * out.rows()+1 entries. Per element the adds run in id-list order from
+ * a zero accumulator — both implementations share that order, so tiled
+ * and reference results are bitwise identical here.
+ */
+void embeddingGatherPooled(const Tensor &table,
+                           std::span<const uint32_t> rows,
+                           std::span<const size_t> offsets,
+                           std::span<const float> inv, Tensor &out,
+                           size_t width);
+
+/**
+ * The matching scatter-add: grad_table[rows[p]][d] += inv[i] *
+ * grad_out[i][d] for d < width, ids in list order. Bitwise identical
+ * across implementations (the tiled path hoists the inv product per
+ * example, which is value-identical).
+ */
+void embeddingScatterAdd(const Tensor &grad_out,
+                         std::span<const uint32_t> rows,
+                         std::span<const size_t> offsets,
+                         std::span<const float> inv, Tensor &grad_table,
+                         size_t width);
+
 /** Full (unmasked) C = A * B. Shapes must conform exactly. */
 void matmul(const Tensor &a, const Tensor &b, Tensor &c);
 
@@ -105,6 +165,19 @@ void matmulTransAMasked(const Tensor &a, const Tensor &b, Tensor &c,
 void matmulTransBMasked(const Tensor &a, const Tensor &b, Tensor &c,
                         size_t n_act, size_t k_act,
                         bool accumulate = false);
+void matmulMaskedGrouped(const Tensor &a, const Tensor &b, Tensor &c,
+                         std::span<const MaskGroup> groups,
+                         bool accumulate = false);
+void embeddingGatherPooled(const Tensor &table,
+                           std::span<const uint32_t> rows,
+                           std::span<const size_t> offsets,
+                           std::span<const float> inv, Tensor &out,
+                           size_t width);
+void embeddingScatterAdd(const Tensor &grad_out,
+                         std::span<const uint32_t> rows,
+                         std::span<const size_t> offsets,
+                         std::span<const float> inv, Tensor &grad_table,
+                         size_t width);
 
 } // namespace reference
 
@@ -118,6 +191,19 @@ void matmulTransAMasked(const Tensor &a, const Tensor &b, Tensor &c,
 void matmulTransBMasked(const Tensor &a, const Tensor &b, Tensor &c,
                         size_t n_act, size_t k_act,
                         bool accumulate = false);
+void matmulMaskedGrouped(const Tensor &a, const Tensor &b, Tensor &c,
+                         std::span<const MaskGroup> groups,
+                         bool accumulate = false);
+void embeddingGatherPooled(const Tensor &table,
+                           std::span<const uint32_t> rows,
+                           std::span<const size_t> offsets,
+                           std::span<const float> inv, Tensor &out,
+                           size_t width);
+void embeddingScatterAdd(const Tensor &grad_out,
+                         std::span<const uint32_t> rows,
+                         std::span<const size_t> offsets,
+                         std::span<const float> inv, Tensor &grad_table,
+                         size_t width);
 
 } // namespace tiled
 

@@ -85,28 +85,60 @@ class H2oDlrmStepper final : public StepwiseSearch
         const size_t step = _next;
         std::vector<double> losses(cfg.numShards, 0.0);
 
-        // Stage (1) per shard, concurrently. Sampling draws from the
-        // shard's own stream; the forward pass on a FRESH batch yields
-        // the quality signal (alpha use) and the gradients for the
-        // weight update (W use) — in that mandatory order — inside the
-        // deterministic ordered section. The engine then runs the
-        // batched performance stage and the reward over the survivors.
-        auto ev = _engine.evaluate(
-            cfg.warmupSteps + step,
-            [&](size_t s, searchspace::Sample &sample, double &quality) {
-                sample = _controller.policy().sample(_rngs[s]);
-                {
-                    exec::OrderedSection::Guard guard(runner.ordered(),
-                                                      s);
-                    auto lease = _owner._pipeline.lease();
-                    _owner._supernet.configure(sample);
-                    losses[s] = _owner._supernet.accumulateGradients(
-                        lease.batch());
-                    lease.markAlphaUse();
-                    lease.markWeightUse();
-                }
-                quality = -losses[s]; // quality = negated log-loss
-            });
+        // Stage (1). The H2O quality signal is GRAD-CARRYING: each
+        // candidate's forward+backward on a FRESH batch both measures
+        // quality (alpha use) and accumulates the shared-weight
+        // gradients (W use), in that mandatory order. Two execution
+        // modes, bit-identical at the same seed:
+        //
+        //  - batched (default): shard bodies only draw their samples
+        //    (per-shard RNG streams and fault semantics unchanged);
+        //    the lease/configure/accumulate sequence then runs as ONE
+        //    coordinator-side pass over the survivors in ascending
+        //    shard order — the order the ordered section admits shards
+        //    — with no per-shard ordered-section hand-offs.
+        //  - per-shard: the sequence runs inside each shard body under
+        //    the ordered section (the historical path, kept for A/B).
+        auto ev =
+            cfg.batchedQuality
+                ? _engine.evaluate(
+                      cfg.warmupSteps + step,
+                      [&](size_t s, searchspace::Sample &sample) {
+                          sample = _controller.policy().sample(_rngs[s]);
+                      },
+                      [&](std::span<const size_t> shards,
+                          std::span<const searchspace::Sample> samples) {
+                          std::vector<double> qs(samples.size());
+                          for (size_t i = 0; i < samples.size(); ++i) {
+                              auto lease = _owner._pipeline.lease();
+                              _owner._supernet.configure(samples[i]);
+                              losses[shards[i]] =
+                                  _owner._supernet.accumulateGradients(
+                                      lease.batch());
+                              lease.markAlphaUse();
+                              lease.markWeightUse();
+                              qs[i] = -losses[shards[i]];
+                          }
+                          return qs;
+                      })
+                : _engine.evaluate(
+                      cfg.warmupSteps + step,
+                      [&](size_t s, searchspace::Sample &sample,
+                          double &quality) {
+                          sample = _controller.policy().sample(_rngs[s]);
+                          {
+                              exec::OrderedSection::Guard guard(
+                                  runner.ordered(), s);
+                              auto lease = _owner._pipeline.lease();
+                              _owner._supernet.configure(sample);
+                              losses[s] =
+                                  _owner._supernet.accumulateGradients(
+                                      lease.batch());
+                              lease.markAlphaUse();
+                              lease.markWeightUse();
+                          }
+                          quality = -losses[s]; // negated log-loss
+                      });
         ++_next;
 
         // Graceful degradation: aggregate over the shards that survived

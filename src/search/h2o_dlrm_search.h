@@ -75,6 +75,16 @@ struct H2oSearchConfig
     size_t warmupSteps = 30;
     controller::ReinforceConfig rl{};
 
+    /**
+     * Batched quality stage: shard bodies only DRAW their candidates
+     * (so fault/RNG semantics are unchanged), and the step's gradient
+     * accumulation runs as one coordinator-side pass over the survivors
+     * in ascending shard order — exactly the order the per-shard path's
+     * ordered section serializes to, so results are bit-identical at
+     * any thread count. Disable to A/B against the per-shard path.
+     */
+    bool batchedQuality = true;
+
     // --- Execution runtime (h2o::exec).
     /** Worker threads for shard evaluation; 0 = one per hardware
      *  thread. Clamped to numShards. Any value yields bit-identical

@@ -70,18 +70,40 @@ class TunasStepper final : public StepwiseSearch
             _owner._supernet.applyGradients(cfg.weightLr);
         });
         // --- pi-step on a separate "validation" batch (never trains W):
-        // quality from the supernet inside the shard body, then the
-        // engine's batched performance + reward stages.
-        auto ev = _engine.evaluate(
-            cfg.warmupSteps + 2 * iter + 1,
-            [&](size_t, searchspace::Sample &sample, double &quality) {
-                sample = _controller.policy().sample(_sampleRng);
-                auto lease = _owner._pipeline.lease();
-                _owner._supernet.configure(sample);
-                auto eval_res = _owner._supernet.evaluate(lease.batch());
-                lease.markAlphaUse();
-                quality = eval_res.quality();
-            });
+        // pure no-grad candidate evaluation. In batched mode (default)
+        // the shard body only draws the sample and the supernet's packed
+        // multi-candidate pass computes the quality; per-candidate mode
+        // calls evaluate() inside the shard body. Bit-identical.
+        auto ev =
+            cfg.batchedQuality
+                ? _engine.evaluate(
+                      cfg.warmupSteps + 2 * iter + 1,
+                      [&](size_t, searchspace::Sample &sample) {
+                          sample = _controller.policy().sample(_sampleRng);
+                      },
+                      [&](std::span<const size_t>,
+                          std::span<const searchspace::Sample> samples) {
+                          auto lease = _owner._pipeline.lease();
+                          auto res = _owner._supernet.evaluateBatch(
+                              samples, lease.batch());
+                          lease.markAlphaUse();
+                          std::vector<double> qs(res.size());
+                          for (size_t i = 0; i < res.size(); ++i)
+                              qs[i] = res[i].quality();
+                          return qs;
+                      })
+                : _engine.evaluate(
+                      cfg.warmupSteps + 2 * iter + 1,
+                      [&](size_t, searchspace::Sample &sample,
+                          double &quality) {
+                          sample = _controller.policy().sample(_sampleRng);
+                          auto lease = _owner._pipeline.lease();
+                          _owner._supernet.configure(sample);
+                          auto eval_res =
+                              _owner._supernet.evaluate(lease.batch());
+                          lease.markAlphaUse();
+                          quality = eval_res.quality();
+                      });
         ++_next;
         if (ev.survivors.empty())
             return !done(); // preempted pi-step: the iteration is lost

@@ -40,6 +40,12 @@ struct TunasSearchConfig
     double weightLr = 0.05;
     size_t warmupSteps = 30;
     controller::ReinforceConfig rl{};
+    /** Run the pi-step's candidate evaluation through the supernet's
+     *  packed multi-candidate pass (DlrmSupernet::evaluateBatch) instead
+     *  of a per-candidate evaluate() call. Bit-identical results (TuNAS
+     *  evaluates one candidate per step, so this exercises the n=1
+     *  packed path); disable to A/B. */
+    bool batchedQuality = true;
     /** Optional fault oracle; TuNAS has a single (non-sharded) worker,
      *  so a preempted step is simply lost. Not owned. */
     exec::FaultInjector *faults = nullptr;

@@ -225,6 +225,7 @@ class DlrmSupernetJob final : public DlrmSupernetJobBase
         cfg.warmupSteps = 4;
         cfg.rl.learningRate = spec.learningRate;
         cfg.rl.entropyWeight = spec.entropyWeight;
+        cfg.batchedQuality = spec.batchedQuality;
         cfg.threads = 1; // see DlrmSurrogateJob::config
         return cfg;
     }
@@ -255,6 +256,7 @@ class DlrmTunasJob final : public DlrmSupernetJobBase
         cfg.warmupSteps = 4;
         cfg.rl.learningRate = spec.learningRate;
         cfg.rl.entropyWeight = spec.entropyWeight;
+        cfg.batchedQuality = spec.batchedQuality;
         return cfg;
     }
 

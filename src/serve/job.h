@@ -66,6 +66,11 @@ struct JobSpec
     double modelSizeTargetRel = 1.0;
     double learningRate = 0.08;
     double entropyWeight = 5e-3;
+    /** Batched quality stage for the supernet kinds: one coordinator-
+     *  side pass per step over the step's sampled candidates instead of
+     *  per-shard supernet entry. Bit-identical results either way (the
+     *  server's determinism contract is unaffected); disable to A/B. */
+    bool batchedQuality = true;
 };
 
 /** A finished job's outputs. */

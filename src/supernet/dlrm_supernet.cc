@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/logging.h"
 #include "common/serialize.h"
 #include "nn/loss.h"
+#include "nn/ops.h"
 
 namespace h2o::supernet {
 
@@ -303,9 +305,22 @@ DlrmSupernet::backward(const nn::Tensor &grad_logits)
     }
 }
 
+void
+DlrmSupernet::setTrainingMode(bool training)
+{
+    for (auto *stack : {&_bottom, &_top}) {
+        for (auto &bank : *stack) {
+            bank.full->setTraining(training);
+            bank.lowRank->setTraining(training);
+        }
+    }
+    _logit->setTraining(training);
+}
+
 EvalResult
 DlrmSupernet::evaluate(const pipeline::Batch &batch)
 {
+    setTrainingMode(false);
     const nn::Tensor &logits = forward(batch);
     EvalResult res;
     std::vector<double> probs(batch.size()), labels(batch.size());
@@ -315,7 +330,332 @@ DlrmSupernet::evaluate(const pipeline::Batch &batch)
     }
     res.logLoss = nn::logLoss(probs, labels);
     res.auc = nn::auc(probs, labels);
+    setTrainingMode(true);
     return res;
+}
+
+std::vector<EvalResult>
+DlrmSupernet::evaluateBatch(std::span<const searchspace::Sample> samples,
+                            const pipeline::Batch &batch, size_t max_chunk)
+{
+    size_t n = samples.size();
+    h2o_assert(n > 0, "evaluateBatch with no samples");
+    size_t b = batch.size();
+    h2o_assert(b > 0, "empty batch");
+
+    // --- Full-sample dedup: a converged policy resamples the same
+    // candidate many times per step; identical samples share one
+    // evaluation. `ord` maps each sample index to its distinct ordinal.
+    std::vector<size_t> ord(n);
+    std::vector<size_t> rep; // distinct ordinal -> first sample index
+    for (size_t i = 0; i < n; ++i) {
+        size_t found = rep.size();
+        for (size_t j = 0; j < rep.size(); ++j) {
+            if (samples[rep[j]] == samples[i]) {
+                found = j;
+                break;
+            }
+        }
+        if (found == rep.size())
+            rep.push_back(i);
+        ord[i] = found;
+    }
+    size_t nd = rep.size();
+
+    _batchStats = EvalBatchStats{};
+    _batchStats.candidates = n;
+    _batchStats.distinct = nd;
+
+    setTrainingMode(false);
+
+    // --- Stage the dense features once: identical for every candidate.
+    uint32_t dense_in = _space.baseline().numDenseFeatures;
+    nn::Tensor &dense = _ws.scratch("eb_dense", b, dense_in);
+    for (size_t i = 0; i < b; ++i) {
+        h2o_assert(batch.examples[i].dense.size() == dense_in,
+                   "example dense width mismatch");
+        for (size_t j = 0; j < dense_in; ++j)
+            dense.at(i, j) = batch.examples[i].dense[j];
+    }
+
+    std::vector<EvalResult> distinct_res(nd);
+    std::vector<double> probs(b), labels(b);
+    for (size_t i = 0; i < b; ++i)
+        labels[i] = batch.examples[i].label;
+
+    // Bottom-MLP dedup spans chunks: cache buffers persist in _ws.
+    std::vector<std::vector<uint32_t>> bottom_sigs;
+    std::vector<const nn::Tensor *> bottom_cache;
+
+    // Per-candidate configuration captured after configure().
+    struct LiveTable
+    {
+        size_t table, choice, cacheIdx;
+        uint32_t width;
+    };
+    struct TopSlot
+    {
+        bool lowRank;
+        uint32_t in, out, rank;
+    };
+    struct Cfg
+    {
+        std::vector<LiveTable> live;
+        std::vector<TopSlot> top;
+        size_t bottomSig = 0;
+        size_t concatW = 0;
+        uint32_t bottomW = 0;
+        uint32_t logitIn = 0;
+    };
+
+    size_t chunk_cap = max_chunk;
+    if (chunk_cap == 0) {
+        // Cache-aware auto-chunk. The packed top-MLP pass ping-pongs two
+        // [chunk * b, w] buffers through every layer; once they outgrow
+        // the fast cache levels each grouped matmul streams from memory
+        // and the packed pass loses to a per-candidate loop whose one
+        // small activation tensor stays hot. Cap the pair's footprint
+        // (bounded by the top bank's physical input width) to keep the
+        // working set cache-resident. Chunking never changes results —
+        // only how many candidates share one packed pass.
+        constexpr size_t kWorkingSetBytes = 512 * 1024;
+        size_t w_bound =
+            _top.empty() ? std::max<size_t>(_bottomOutWidth, 1)
+                         : _top[0].full->weightTensor().rows();
+        size_t per_cand = 2 * b * std::max<size_t>(w_bound, 1) *
+                          sizeof(float);
+        chunk_cap = std::max<size_t>(1, kWorkingSetBytes / per_cand);
+    }
+    for (size_t chunk0 = 0; chunk0 < nd; chunk0 += chunk_cap) {
+        size_t cn = std::min(chunk_cap, nd - chunk0);
+
+        // --- Pass 1: configure each distinct candidate, snapshot its
+        // active dimensions, and run each NEW bottom-MLP configuration
+        // once (the banks are configured for this candidate right now,
+        // so forwardMlp computes exactly what evaluate() would).
+        std::vector<Cfg> cfgs(cn);
+        for (size_t g = 0; g < cn; ++g) {
+            configure(samples[rep[chunk0 + g]]);
+            Cfg &c = cfgs[g];
+            for (size_t t = 0; t < _tables.size(); ++t) {
+                const TableBank &bank = _tables[t];
+                if (bank.activeWidth == 0)
+                    continue;
+                c.live.push_back(
+                    {t, bank.vocabChoice, 0, bank.activeWidth});
+            }
+            c.bottomW = static_cast<uint32_t>(_bottomOutWidth);
+            c.concatW = _bottomOutWidth;
+            for (const LiveTable &lt : c.live)
+                c.concatW += lt.width;
+            for (size_t l = 0; l < _topDepth; ++l) {
+                const LayerBank &bank = _top[l];
+                c.top.push_back({bank.useLowRank, bank.activeIn,
+                                 bank.activeOut, bank.activeRank});
+            }
+            c.logitIn = static_cast<uint32_t>(_logit->activeIn());
+
+            std::vector<uint32_t> sig;
+            sig.push_back(static_cast<uint32_t>(_bottomDepth));
+            for (size_t l = 0; l < _bottomDepth; ++l) {
+                const LayerBank &bank = _bottom[l];
+                sig.push_back(bank.useLowRank ? 1 : 0);
+                sig.push_back(bank.activeIn);
+                sig.push_back(bank.activeOut);
+                sig.push_back(bank.activeRank);
+            }
+            size_t s = bottom_sigs.size();
+            for (size_t j = 0; j < bottom_sigs.size(); ++j) {
+                if (bottom_sigs[j] == sig) {
+                    s = j;
+                    break;
+                }
+            }
+            if (s == bottom_sigs.size()) {
+                bottom_sigs.push_back(sig);
+                if (_bottomDepth == 0) {
+                    bottom_cache.push_back(&dense); // passthrough
+                } else {
+                    const nn::Tensor &bo =
+                        forwardMlp(_bottom, _bottomDepth, dense);
+                    nn::Tensor &cache = _ws.scratch(
+                        "eb_bot" + std::to_string(s), b, bo.cols());
+                    for (size_t i = 0; i < b; ++i)
+                        for (size_t d = 0; d < bo.cols(); ++d)
+                            cache.at(i, d) = bo.at(i, d);
+                    bottom_cache.push_back(&cache);
+                }
+            }
+            c.bottomSig = s;
+        }
+        _batchStats.distinctBottoms = bottom_sigs.size();
+
+        // --- Pass 2: one pooled gather per (table, vocab-choice) used
+        // in this chunk, at the widest width any candidate needs. Each
+        // pooled element is independent of the lookup width, so prefix
+        // columns are bitwise identical to a narrower lookup.
+        struct EmbNeed
+        {
+            size_t table, choice;
+            uint32_t width;
+            nn::Tensor *cache = nullptr;
+        };
+        std::vector<EmbNeed> needs;
+        for (Cfg &c : cfgs) {
+            for (LiveTable &lt : c.live) {
+                size_t found = needs.size();
+                for (size_t j = 0; j < needs.size(); ++j) {
+                    if (needs[j].table == lt.table &&
+                        needs[j].choice == lt.choice) {
+                        found = j;
+                        break;
+                    }
+                }
+                if (found == needs.size())
+                    needs.push_back({lt.table, lt.choice, lt.width});
+                else
+                    needs[found].width =
+                        std::max(needs[found].width, lt.width);
+                lt.cacheIdx = found;
+            }
+        }
+        _idPtrScratch.resize(b);
+        for (EmbNeed &need : needs) {
+            for (size_t i = 0; i < b; ++i) {
+                h2o_assert(need.table < batch.examples[i].sparse.size(),
+                           "example missing sparse feature ", need.table);
+                _idPtrScratch[i] = &batch.examples[i].sparse[need.table];
+            }
+            need.cache = &_ws.scratch("eb_emb_" +
+                                          std::to_string(need.table) + "_" +
+                                          std::to_string(need.choice),
+                                      b, need.width);
+            _tables[need.table].byVocabChoice[need.choice]->lookup(
+                _idPtrScratch, need.width, *need.cache);
+            ++_batchStats.embLookups;
+        }
+
+        // --- Pass 3: assemble the packed concat tensor P0: candidate g
+        // occupies rows [g*b, (g+1)*b), laid out [embeddings..., bottom]
+        // exactly as forward() builds _concat.
+        size_t max_w = 0, max_rank = 0, max_depth = 0;
+        for (const Cfg &c : cfgs) {
+            max_w = std::max(max_w, c.concatW);
+            for (const TopSlot &ts : c.top) {
+                max_w = std::max<size_t>(max_w, ts.out);
+                if (ts.lowRank)
+                    max_rank = std::max<size_t>(max_rank, ts.rank);
+            }
+            max_depth = std::max(max_depth, c.top.size());
+        }
+        nn::Tensor &p0 = _ws.scratch("eb_p0", cn * b, max_w);
+        nn::Tensor &p1 = _ws.scratch("eb_p1", cn * b, max_w);
+        for (size_t g = 0; g < cn; ++g) {
+            const Cfg &c = cfgs[g];
+            size_t row0 = g * b;
+            size_t off = 0;
+            for (const LiveTable &lt : c.live) {
+                const nn::Tensor &emb = *needs[lt.cacheIdx].cache;
+                for (size_t i = 0; i < b; ++i)
+                    for (size_t d = 0; d < lt.width; ++d)
+                        p0.at(row0 + i, off + d) = emb.at(i, d);
+                off += lt.width;
+            }
+            const nn::Tensor &bo = *bottom_cache[c.bottomSig];
+            for (size_t i = 0; i < b; ++i)
+                for (size_t d = 0; d < c.bottomW; ++d)
+                    p0.at(row0 + i, off + d) = bo.at(i, d);
+        }
+
+        // --- Pass 4: packed top MLP. Slot by slot, candidates still
+        // active at slot l run as mask groups over the shared slot
+        // weights; ping-pong between P0 and P1 (slot l reads parity l,
+        // writes parity l+1). A candidate whose depth is exhausted keeps
+        // its final rows in buffer (depth % 2), which later slots never
+        // write (groups only touch their own rows).
+        nn::Tensor *bufs[2] = {&p0, &p1};
+        nn::Tensor *hid =
+            max_rank > 0 ? &_ws.scratch("eb_hid", cn * b, max_rank)
+                         : nullptr;
+        std::vector<nn::MaskGroup> full_g, lr_u, lr_v;
+        for (size_t l = 0; l < max_depth; ++l) {
+            nn::Tensor &src = *bufs[l % 2];
+            nn::Tensor &dst = *bufs[(l + 1) % 2];
+            full_g.clear();
+            lr_u.clear();
+            lr_v.clear();
+            for (size_t g = 0; g < cn; ++g) {
+                if (l >= cfgs[g].top.size())
+                    continue;
+                const TopSlot &ts = cfgs[g].top[l];
+                if (ts.lowRank) {
+                    lr_u.push_back({g * b, b, ts.in, ts.rank});
+                    lr_v.push_back({g * b, b, ts.rank, ts.out});
+                } else {
+                    full_g.push_back({g * b, b, ts.in, ts.out});
+                }
+            }
+            LayerBank &bank = _top[l];
+            if (!full_g.empty()) {
+                nn::matmulMaskedGrouped(src, bank.full->weightTensor(),
+                                        dst, full_g);
+                nn::addBiasGrouped(dst, bank.full->biasTensor(), full_g);
+                for (const nn::MaskGroup &grp : full_g)
+                    nn::activateTensorRows(bank.full->activation(), dst,
+                                           dst, grp.rowBegin, grp.rows,
+                                           grp.nAct);
+                ++_batchStats.packedPasses;
+            }
+            if (!lr_u.empty()) {
+                nn::matmulMaskedGrouped(src, bank.lowRank->uTensor(),
+                                        *hid, lr_u);
+                nn::matmulMaskedGrouped(*hid, bank.lowRank->vTensor(),
+                                        dst, lr_v);
+                nn::addBiasGrouped(dst, bank.lowRank->biasTensor(), lr_v);
+                for (const nn::MaskGroup &grp : lr_v)
+                    nn::activateTensorRows(bank.lowRank->activation(), dst,
+                                           dst, grp.rowBegin, grp.rows,
+                                           grp.nAct);
+                ++_batchStats.packedPasses;
+            }
+        }
+
+        // --- Pass 5: packed logit head. Candidates read from the buffer
+        // their final top output landed in (depth parity); Identity
+        // activation, like _logit->forward().
+        nn::Tensor &logits = _ws.scratch("eb_logit", cn * b, 1);
+        std::vector<nn::MaskGroup> logit_g[2];
+        for (size_t g = 0; g < cn; ++g)
+            logit_g[cfgs[g].top.size() % 2].push_back(
+                {g * b, b, cfgs[g].logitIn, 1});
+        for (size_t parity = 0; parity < 2; ++parity) {
+            if (logit_g[parity].empty())
+                continue;
+            nn::matmulMaskedGrouped(*bufs[parity],
+                                    _logit->weightTensor(), logits,
+                                    logit_g[parity]);
+            nn::addBiasGrouped(logits, _logit->biasTensor(),
+                               logit_g[parity]);
+            ++_batchStats.packedPasses;
+        }
+
+        // --- Pass 6: per-candidate metrics, exactly as evaluate().
+        for (size_t g = 0; g < cn; ++g) {
+            for (size_t i = 0; i < b; ++i)
+                probs[i] = nn::sigmoid(logits.at(g * b + i, 0));
+            EvalResult res;
+            res.logLoss = nn::logLoss(probs, labels);
+            res.auc = nn::auc(probs, labels);
+            distinct_res[chunk0 + g] = res;
+        }
+    }
+
+    setTrainingMode(true);
+
+    std::vector<EvalResult> results(n);
+    for (size_t i = 0; i < n; ++i)
+        results[i] = distinct_res[ord[i]];
+    return results;
 }
 
 double

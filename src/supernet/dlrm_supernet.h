@@ -28,6 +28,7 @@
 #include <istream>
 #include <memory>
 #include <ostream>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -68,6 +69,16 @@ struct EvalResult
     double quality() const { return -logLoss; }
 };
 
+/** Instrumentation from the last evaluateBatch() call. */
+struct EvalBatchStats
+{
+    size_t candidates = 0;      ///< samples passed in
+    size_t distinct = 0;        ///< after full-sample dedup
+    size_t distinctBottoms = 0; ///< distinct bottom-MLP configurations run
+    size_t embLookups = 0;      ///< (table, vocab-choice) pooled gathers run
+    size_t packedPasses = 0;    ///< grouped kernel launches (top + logit)
+};
+
 /** The trainable hybrid-sharing DLRM super-network. */
 class DlrmSupernet
 {
@@ -93,8 +104,39 @@ class DlrmSupernet
      */
     const nn::Tensor &forward(const pipeline::Batch &batch);
 
-    /** Forward + loss only (no gradients): the alpha-step evaluation. */
+    /** Forward + loss only (no gradients): the alpha-step evaluation.
+     *  Runs the layers in eval mode — no backward bookkeeping or output
+     *  buffers are retained; forward values are unchanged bit-for-bit. */
     EvalResult evaluate(const pipeline::Batch &batch);
+
+    /**
+     * Evaluate MANY sampled candidates against ONE shared batch in a
+     * single packed pass: the step's samples are deduplicated, embedding
+     * lookups are shared across candidates per (table, vocab-choice),
+     * distinct bottom-MLP configurations run once, and the top MLP +
+     * logit run as grouped-mask kernels over a packed
+     * [n_distinct * batch, width] tensor (nn::matmulMaskedGrouped).
+     *
+     * Result row i is BITWISE identical to `configure(samples[i]);
+     * evaluate(batch)` — the grouped kernels preserve each candidate's
+     * per-element floating-point operation sequence, and the shared
+     * caches exploit only prefix-sharing that is exact by construction.
+     * No gradients are accumulated and no backward state is retained.
+     *
+     * Leaves the supernet configured to the last *distinct* sample;
+     * callers must configure() before any later forward/backward.
+     *
+     * @param max_chunk Cap on distinct candidates packed per pass.
+     *        0 (default) picks a cache-aware cap that keeps the packed
+     *        ping-pong buffers inside the fast cache levels. Results
+     *        are identical for every chunk size.
+     */
+    std::vector<EvalResult>
+    evaluateBatch(std::span<const searchspace::Sample> samples,
+                  const pipeline::Batch &batch, size_t max_chunk = 0);
+
+    /** Instrumentation from the last evaluateBatch() call. */
+    const EvalBatchStats &batchStats() const { return _batchStats; }
 
     /**
      * One SGD training step of the active sub-network's shared weights
@@ -175,6 +217,10 @@ class DlrmSupernet
                                   size_t depth, const nn::Tensor &grad);
     void backward(const nn::Tensor &grad_logits);
 
+    /** Flip every MLP layer (and the logit head) between training and
+     *  eval mode; embedding tables have no mode. */
+    void setTrainingMode(bool training);
+
     const searchspace::DlrmSearchSpace &_space;
     SupernetConfig _config;
 
@@ -196,6 +242,10 @@ class DlrmSupernet
 
     /** Reused scratch for gradient splits and label staging. */
     nn::Workspace _ws;
+
+    EvalBatchStats _batchStats;
+    /** Reused id-list pointer staging for batched embedding lookups. */
+    std::vector<const nn::IdList *> _idPtrScratch;
 
     std::unique_ptr<nn::SgdOptimizer> _optimizer;
     /** Every shared parameter, in construction order (checkpointing). */

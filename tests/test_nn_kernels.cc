@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "exec/shard_runner.h"
 #include "exec/thread_pool.h"
+#include "nn/activation.h"
 #include "nn/ops.h"
 #include "nn/tensor.h"
 
@@ -231,4 +232,240 @@ TEST(NnKernels, TiledBitIdenticalAcross1_2_8ExecThreads)
     nn::Tensor t8 = run_with_threads(8);
     expectBitIdentical(t1, t2);
     expectBitIdentical(t1, t8);
+}
+
+// ----------------------------------------------- grouped-mask kernels
+
+namespace {
+
+/** Random packed layout: groups of `batch` rows with random active
+ *  dims, covering [0, n_groups * batch) of a [n_groups * batch, max_w]
+ *  tensor against a shared [max_k, max_w] weight matrix. */
+std::vector<nn::MaskGroup>
+randomGroups(common::Rng &rng, size_t n_groups, size_t batch,
+             size_t max_k, size_t max_n)
+{
+    std::vector<nn::MaskGroup> groups;
+    for (size_t g = 0; g < n_groups; ++g)
+        groups.push_back(
+            {g * batch, batch,
+             static_cast<size_t>(
+                 rng.uniformInt(1, static_cast<int64_t>(max_k))),
+             static_cast<size_t>(
+                 rng.uniformInt(1, static_cast<int64_t>(max_n)))});
+    return groups;
+}
+
+/** Copy group g's rows of `packed` into a standalone tensor. */
+nn::Tensor
+sliceGroup(const nn::Tensor &packed, const nn::MaskGroup &g)
+{
+    nn::Tensor t(g.rows, packed.cols());
+    std::memcpy(t.data().data(),
+                packed.data().data() + g.rowBegin * packed.cols(),
+                g.rows * packed.cols() * sizeof(float));
+    return t;
+}
+
+} // namespace
+
+// The batched-quality-stage contract: one grouped call over a packed
+// [n_cand * batch, w] tensor is bitwise identical to per-candidate
+// masked calls on each candidate's own slice — per implementation.
+TEST(NnKernels, GroupedMatmulMatchesPerCandidateBitwise)
+{
+    common::Rng rng(8901);
+    constexpr size_t kGroups = 5, kBatch = 7, kMaxK = 48, kMaxN = 80;
+    auto groups = randomGroups(rng, kGroups, kBatch, kMaxK, kMaxN);
+    nn::Tensor a = randomTensor(kGroups * kBatch, kMaxK, rng);
+    nn::Tensor b = randomTensor(kMaxK, kMaxN, rng, 0.3);
+
+    for (int impl = 0; impl < 2; ++impl) {
+        auto grouped = impl == 0 ? nn::tiled::matmulMaskedGrouped
+                                 : nn::reference::matmulMaskedGrouped;
+        auto single = impl == 0 ? nn::tiled::matmulMasked
+                                : nn::reference::matmulMasked;
+        for (bool accumulate : {false, true}) {
+            nn::Tensor c = randomTensor(kGroups * kBatch, kMaxN, rng);
+            nn::Tensor c_grouped = c;
+            grouped(a, b, c_grouped, groups, accumulate);
+            for (const auto &g : groups) {
+                nn::Tensor a_g = sliceGroup(a, g);
+                nn::Tensor c_g = sliceGroup(c, g);
+                single(a_g, b, c_g, g.kAct, g.nAct, accumulate);
+                nn::Tensor got = sliceGroup(c_grouped, g);
+                expectBitIdentical(got, c_g);
+            }
+        }
+    }
+}
+
+TEST(NnKernels, GroupedAddBiasMatchesPerCandidateBitwise)
+{
+    common::Rng rng(9012);
+    constexpr size_t kGroups = 4, kBatch = 6, kMaxN = 72;
+    auto groups = randomGroups(rng, kGroups, kBatch, kMaxN, kMaxN);
+    nn::Tensor bias = randomTensor(1, kMaxN, rng);
+    nn::Tensor x = randomTensor(kGroups * kBatch, kMaxN, rng);
+    nn::Tensor x_grouped = x;
+    nn::addBiasGrouped(x_grouped, bias, groups);
+    for (const auto &g : groups) {
+        nn::Tensor x_g = sliceGroup(x, g);
+        nn::addBias(x_g, bias, g.nAct);
+        nn::Tensor got = sliceGroup(x_grouped, g);
+        expectBitIdentical(got, x_g);
+    }
+}
+
+TEST(NnKernels, ActivateTensorRowsMatchesFullActivation)
+{
+    common::Rng rng(1122);
+    constexpr size_t kGroups = 4, kBatch = 5, kW = 33;
+    auto groups = randomGroups(rng, kGroups, kBatch, kW, kW);
+    for (nn::Activation act :
+         {nn::Activation::ReLU, nn::Activation::Swish,
+          nn::Activation::GeLU, nn::Activation::SquaredReLU}) {
+        nn::Tensor pre = randomTensor(kGroups * kBatch, kW, rng);
+        nn::Tensor out = pre;
+        for (const auto &g : groups)
+            nn::activateTensorRows(act, out, out, g.rowBegin, g.rows,
+                                   g.nAct);
+        for (const auto &g : groups) {
+            nn::Tensor pre_g = sliceGroup(pre, g);
+            nn::Tensor act_g(pre_g.rows(), pre_g.cols());
+            nn::activateTensor(act, pre_g, act_g);
+            nn::Tensor got = sliceGroup(out, g);
+            for (size_t r = 0; r < g.rows; ++r)
+                for (size_t c = 0; c < g.nAct; ++c)
+                    EXPECT_EQ(got.at(r, c), act_g.at(r, c))
+                        << "row " << r << " col " << c;
+            // Columns past nAct must be untouched pre-activations.
+            for (size_t r = 0; r < g.rows; ++r)
+                for (size_t c = g.nAct; c < kW; ++c)
+                    EXPECT_EQ(got.at(r, c), pre_g.at(r, c));
+        }
+    }
+}
+
+// --------------------------------------------------- embedding kernels
+
+namespace {
+
+/** Random CSR id staging: per-example id counts in [0, max_ids], some
+ *  examples empty. Mirrors EmbeddingTable::stage(). */
+struct CsrIds
+{
+    std::vector<uint32_t> rows;
+    std::vector<size_t> offsets;
+    std::vector<float> inv;
+};
+
+CsrIds
+randomIds(common::Rng &rng, size_t batch, size_t vocab, size_t max_ids)
+{
+    CsrIds ids;
+    ids.offsets.push_back(0);
+    for (size_t i = 0; i < batch; ++i) {
+        size_t count = static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int64_t>(max_ids)));
+        for (size_t p = 0; p < count; ++p)
+            ids.rows.push_back(static_cast<uint32_t>(
+                rng.uniformInt(0, static_cast<int64_t>(vocab) - 1)));
+        ids.offsets.push_back(ids.rows.size());
+        ids.inv.push_back(count == 0 ? 0.0f : 1.0f / double(count));
+    }
+    return ids;
+}
+
+/** Scalar oracle replicating the historical per-row gather loop. */
+void
+oracleGather(const nn::Tensor &table, const CsrIds &ids, nn::Tensor &out,
+             size_t width)
+{
+    for (size_t i = 0; i + 1 < ids.offsets.size(); ++i) {
+        for (size_t d = 0; d < width; ++d)
+            out.at(i, d) = 0.0f;
+        for (size_t p = ids.offsets[i]; p < ids.offsets[i + 1]; ++p)
+            for (size_t d = 0; d < width; ++d)
+                out.at(i, d) += ids.inv[i] * table.at(ids.rows[p], d);
+    }
+}
+
+/** Scalar oracle for the matching scatter-add. */
+void
+oracleScatter(const nn::Tensor &grad_out, const CsrIds &ids,
+              nn::Tensor &grad_table, size_t width)
+{
+    for (size_t i = 0; i + 1 < ids.offsets.size(); ++i)
+        for (size_t p = ids.offsets[i]; p < ids.offsets[i + 1]; ++p)
+            for (size_t d = 0; d < width; ++d)
+                grad_table.at(ids.rows[p], d) +=
+                    ids.inv[i] * grad_out.at(i, d);
+}
+
+} // namespace
+
+// Unlike the matmul family (where tiled reassociates accumulation), the
+// embedding kernels keep per-element adds in id-list order from a zero
+// accumulator in BOTH implementations — so tiled, reference, and the
+// scalar oracle all agree bitwise, at full and truncated widths.
+TEST(NnKernels, EmbeddingGatherBitwiseAcrossImplsAndOracle)
+{
+    common::Rng rng(2233);
+    constexpr size_t kVocab = 64, kDim = 24, kBatch = 19;
+    nn::Tensor table = randomTensor(kVocab, kDim, rng);
+    CsrIds ids = randomIds(rng, kBatch, kVocab, 6);
+
+    for (size_t width : {kDim, size_t{8}, size_t{1}}) {
+        nn::Tensor o_ref(kBatch, width), o_tiled(kBatch, width),
+            o_oracle(kBatch, width);
+        nn::reference::embeddingGatherPooled(table, ids.rows, ids.offsets,
+                                             ids.inv, o_ref, width);
+        nn::tiled::embeddingGatherPooled(table, ids.rows, ids.offsets,
+                                         ids.inv, o_tiled, width);
+        oracleGather(table, ids, o_oracle, width);
+        expectBitIdentical(o_tiled, o_ref);
+        expectBitIdentical(o_tiled, o_oracle);
+    }
+}
+
+TEST(NnKernels, EmbeddingScatterAddBitwiseAcrossImplsAndOracle)
+{
+    common::Rng rng(3344);
+    constexpr size_t kVocab = 48, kDim = 16, kBatch = 17;
+    CsrIds ids = randomIds(rng, kBatch, kVocab, 5);
+    nn::Tensor grad_out = randomTensor(kBatch, kDim, rng);
+    // Non-zero starting gradients: scatter-add accumulates.
+    nn::Tensor g0 = randomTensor(kVocab, kDim, rng);
+
+    for (size_t width : {kDim, size_t{7}}) {
+        nn::Tensor g_ref = g0, g_tiled = g0, g_oracle = g0;
+        nn::reference::embeddingScatterAdd(grad_out, ids.rows, ids.offsets,
+                                           ids.inv, g_ref, width);
+        nn::tiled::embeddingScatterAdd(grad_out, ids.rows, ids.offsets,
+                                       ids.inv, g_tiled, width);
+        oracleScatter(grad_out, ids, g_oracle, width);
+        expectBitIdentical(g_tiled, g_ref);
+        expectBitIdentical(g_tiled, g_oracle);
+    }
+}
+
+TEST(NnKernels, EmbeddingGatherZeroesEmptyExamples)
+{
+    common::Rng rng(4455);
+    nn::Tensor table = randomTensor(8, 4, rng);
+    // Three examples, all empty: output must be all-zero even when the
+    // destination starts as garbage.
+    CsrIds ids;
+    ids.offsets = {0, 0, 0, 0};
+    ids.inv = {0.0f, 0.0f, 0.0f};
+    for (auto gather : {nn::reference::embeddingGatherPooled,
+                        nn::tiled::embeddingGatherPooled}) {
+        nn::Tensor out(3, 4);
+        for (size_t i = 0; i < out.size(); ++i)
+            out[i] = 1e30f;
+        gather(table, ids.rows, ids.offsets, ids.inv, out, 4);
+        for (size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], 0.0f) << "element " << i;
+    }
 }

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Bit-identity tests for the batched quality stage: the supernet's
+ * packed multi-candidate eval pass (DlrmSupernet::evaluateBatch) against
+ * sequential configure()+evaluate() calls, and the search steppers'
+ * batched-quality mode (one coordinator-side pass per step) against the
+ * historical per-shard path — at --threads 1/2/8, with fault injection,
+ * across batch-chunk sizes, and under both kernel implementations.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/fault_injector.h"
+#include "nn/ops.h"
+#include "pipeline/pipeline.h"
+#include "reward/reward.h"
+#include "search/h2o_dlrm_search.h"
+#include "search/tunas_search.h"
+#include "searchspace/dlrm_space.h"
+#include "supernet/dlrm_supernet.h"
+
+namespace sr = h2o::search;
+namespace ss = h2o::searchspace;
+namespace rw = h2o::reward;
+namespace pl = h2o::pipeline;
+namespace sn = h2o::supernet;
+namespace arch = h2o::arch;
+namespace nn = h2o::nn;
+namespace exec = h2o::exec;
+using h2o::common::Rng;
+
+namespace {
+
+arch::DlrmArch
+searchDlrm()
+{
+    arch::DlrmArch a;
+    a.numDenseFeatures = 4;
+    a.tables = {{512, 8, 1.0}, {256, 8, 1.0}};
+    a.bottomMlp = {{16, 0}};
+    a.topMlp = {{32, 0}};
+    a.globalBatch = 256;
+    return a;
+}
+
+struct DlrmFixture
+{
+    ss::DlrmSearchSpace space;
+    Rng rng;
+    sn::DlrmSupernet net;
+    std::unique_ptr<pl::InMemoryPipeline> pipe;
+
+    DlrmFixture()
+        : space(searchDlrm()), rng(31),
+          net(space, sn::SupernetConfig{128, 64}, rng)
+    {
+        std::vector<uint64_t> vocabs;
+        std::vector<double> ids;
+        for (const auto &t : searchDlrm().tables) {
+            vocabs.push_back(t.vocab);
+            ids.push_back(t.avgIds);
+        }
+        auto gen = std::make_unique<pl::TrafficGenerator>(
+            pl::trafficConfigFor(4, vocabs, ids), 99);
+        pipe = std::make_unique<pl::InMemoryPipeline>(std::move(gen), 32);
+    }
+};
+
+std::vector<double>
+cheapPerf(const ss::DlrmSearchSpace &space, const ss::Sample &s)
+{
+    arch::DlrmArch a = space.decode(s);
+    return {a.flopsPerExample() / 1e5};
+}
+
+void
+expectSameOutcome(const sr::SearchOutcome &a, const sr::SearchOutcome &b)
+{
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (size_t i = 0; i < a.history.size(); ++i) {
+        EXPECT_EQ(a.history[i].sample, b.history[i].sample) << "rec " << i;
+        EXPECT_EQ(a.history[i].quality, b.history[i].quality)
+            << "rec " << i;
+        EXPECT_EQ(a.history[i].performance, b.history[i].performance)
+            << "rec " << i;
+        EXPECT_EQ(a.history[i].reward, b.history[i].reward) << "rec " << i;
+        EXPECT_EQ(a.history[i].step, b.history[i].step) << "rec " << i;
+    }
+    EXPECT_EQ(a.finalSample, b.finalSample);
+    EXPECT_EQ(a.finalMeanReward, b.finalMeanReward);
+    EXPECT_EQ(a.finalEntropy, b.finalEntropy);
+}
+
+/** Restore the dispatching kernel implementation on scope exit. */
+struct KernelImplGuard
+{
+    nn::KernelImpl saved = nn::kernelImpl();
+    ~KernelImplGuard() { nn::setKernelImpl(saved); }
+};
+
+} // namespace
+
+// ------------------------------------------- supernet evaluateBatch
+
+/** evaluateBatch rows must be bitwise equal to sequential
+ *  configure()+evaluate() calls, for duplicated samples, every chunk
+ *  size, and both kernel implementations. Parameterized over seeds so
+ *  the sampled candidates cover the space (widths, ranks, vocab
+ *  choices, removed tables, bottom/top depths). */
+class EvaluateBatchProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(EvaluateBatchProperty, MatchesSequentialBitwise)
+{
+    KernelImplGuard guard;
+    DlrmFixture f;
+    Rng srng(1000 + GetParam());
+
+    // 6 distinct draws plus 2 duplicates: the dedup path must scatter
+    // one shared evaluation to every copy.
+    std::vector<ss::Sample> samples;
+    for (size_t i = 0; i < 6; ++i)
+        samples.push_back(f.space.decisions().uniformSample(srng));
+    samples.push_back(samples[0]);
+    samples.push_back(samples[2]);
+
+    auto lease = f.pipe->lease();
+    const pl::Batch &batch = lease.batch();
+
+    for (nn::KernelImpl impl :
+         {nn::KernelImpl::Tiled, nn::KernelImpl::Reference}) {
+        nn::setKernelImpl(impl);
+
+        std::vector<sn::EvalResult> seq;
+        for (const auto &s : samples) {
+            f.net.configure(s);
+            seq.push_back(f.net.evaluate(batch));
+        }
+
+        for (size_t chunk : {0u, 1u, 2u, 3u}) {
+            auto batched = f.net.evaluateBatch(samples, batch, chunk);
+            ASSERT_EQ(batched.size(), samples.size());
+            for (size_t i = 0; i < samples.size(); ++i) {
+                EXPECT_EQ(batched[i].logLoss, seq[i].logLoss)
+                    << "impl " << nn::kernelImplName(impl) << " chunk "
+                    << chunk << " sample " << i;
+                EXPECT_EQ(batched[i].auc, seq[i].auc)
+                    << "impl " << nn::kernelImplName(impl) << " chunk "
+                    << chunk << " sample " << i;
+            }
+            const auto &stats = f.net.batchStats();
+            EXPECT_EQ(stats.candidates, samples.size());
+            EXPECT_EQ(stats.distinct, 6u); // duplicates deduplicated
+        }
+    }
+    lease.markAlphaUse();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluateBatchProperty,
+                         testing::Range(0, 6));
+
+TEST(EvaluateBatch, SharesEmbeddingLookupsAcrossCandidates)
+{
+    DlrmFixture f;
+    Rng srng(7);
+    std::vector<ss::Sample> samples;
+    for (size_t i = 0; i < 8; ++i)
+        samples.push_back(f.space.decisions().uniformSample(srng));
+
+    auto lease = f.pipe->lease();
+    (void)f.net.evaluateBatch(samples, lease.batch());
+    const auto &stats = f.net.batchStats();
+    // 2 tables x at most numVocabChoices physical tables: the lookup
+    // count is bounded by the distinct (table, choice) pairs, never by
+    // the candidate count.
+    EXPECT_LE(stats.embLookups,
+              2 * f.space.numVocabChoices());
+    EXPECT_GT(stats.packedPasses, 0u);
+    lease.markAlphaUse();
+}
+
+TEST(EvaluateBatch, SingleCandidateMatchesEvaluate)
+{
+    DlrmFixture f;
+    Rng srng(11);
+    auto sample = f.space.decisions().uniformSample(srng);
+    auto lease = f.pipe->lease();
+
+    f.net.configure(sample);
+    auto seq = f.net.evaluate(lease.batch());
+    auto batched = f.net.evaluateBatch(
+        std::span<const ss::Sample>(&sample, 1), lease.batch());
+    ASSERT_EQ(batched.size(), 1u);
+    EXPECT_EQ(batched[0].logLoss, seq.logLoss);
+    EXPECT_EQ(batched[0].auc, seq.auc);
+    lease.markAlphaUse();
+}
+
+/** evaluateBatch must not perturb training: gradients accumulated after
+ *  a batched eval equal gradients accumulated without one. */
+TEST(EvaluateBatch, LeavesTrainingStateUntouched)
+{
+    DlrmFixture a, b; // identical seeds -> identical weights
+    Rng srng(13);
+    auto train_sample = a.space.decisions().uniformSample(srng);
+    std::vector<ss::Sample> eval_samples;
+    for (size_t i = 0; i < 4; ++i)
+        eval_samples.push_back(a.space.decisions().uniformSample(srng));
+
+    auto lease_a = a.pipe->lease();
+    auto lease_b = b.pipe->lease();
+
+    // Fixture a: batched eval, then a training step.
+    (void)a.net.evaluateBatch(eval_samples, lease_a.batch());
+    a.net.configure(train_sample);
+    double loss_a = a.net.accumulateGradients(lease_a.batch());
+    a.net.applyGradients(0.05);
+
+    // Fixture b: the training step alone.
+    b.net.configure(train_sample);
+    double loss_b = b.net.accumulateGradients(lease_b.batch());
+    b.net.applyGradients(0.05);
+
+    EXPECT_EQ(loss_a, loss_b);
+
+    // Post-step evaluations agree bitwise -> updated weights identical.
+    a.net.configure(train_sample);
+    b.net.configure(train_sample);
+    auto ra = a.net.evaluate(lease_a.batch());
+    auto rb = b.net.evaluate(lease_b.batch());
+    EXPECT_EQ(ra.logLoss, rb.logLoss);
+    EXPECT_EQ(ra.auc, rb.auc);
+
+    lease_a.markAlphaUse();
+    lease_b.markAlphaUse();
+}
+
+// ------------------------------------------- H2O search A/B
+
+namespace {
+
+/** One full H2O search run; batched vs per-shard quality, any thread
+ *  count, optional fault injection. */
+sr::SearchOutcome
+runH2o(bool batched, size_t threads, const exec::FaultConfig &fc,
+       std::vector<sr::H2oStepStats> *stats_out = nullptr,
+       uint64_t *preemptions = nullptr)
+{
+    DlrmFixture f;
+    exec::FaultInjector faults(fc);
+    rw::ReluReward reward({{"step_time", 1e9, -0.5}});
+    sr::H2oSearchConfig cfg;
+    cfg.numShards = 4;
+    cfg.numSteps = 10;
+    cfg.warmupSteps = 3;
+    cfg.threads = threads;
+    cfg.batchedQuality = batched;
+    cfg.faults = &faults;
+    sr::H2oDlrmSearch search(
+        f.space, f.net, *f.pipe,
+        [&](const ss::Sample &s) { return cheapPerf(f.space, s); }, reward,
+        cfg);
+    Rng rng(33);
+    auto outcome = search.run(rng);
+    if (stats_out)
+        *stats_out = search.stepStats();
+    if (preemptions)
+        *preemptions = faults.stats().preemptions.load();
+    return outcome;
+}
+
+} // namespace
+
+TEST(QualityBatchSearch, H2oBatchedMatchesPerShardAcrossThreads)
+{
+    exec::FaultConfig no_faults;
+    std::vector<sr::H2oStepStats> ref_stats;
+    auto ref = runH2o(false, 1, no_faults, &ref_stats);
+
+    for (size_t threads : {1u, 2u, 8u}) {
+        for (bool batched : {true, false}) {
+            std::vector<sr::H2oStepStats> stats;
+            auto out = runH2o(batched, threads, no_faults, &stats);
+            expectSameOutcome(out, ref);
+            ASSERT_EQ(stats.size(), ref_stats.size());
+            for (size_t i = 0; i < stats.size(); ++i) {
+                EXPECT_EQ(stats[i].meanReward, ref_stats[i].meanReward);
+                EXPECT_EQ(stats[i].meanQuality, ref_stats[i].meanQuality);
+                EXPECT_EQ(stats[i].trainLoss, ref_stats[i].trainLoss);
+                EXPECT_EQ(stats[i].liveShards, ref_stats[i].liveShards);
+            }
+        }
+    }
+}
+
+/** With preemptions striking, a degraded shard must neither draw its
+ *  sample (RNG stream untouched) nor lease a batch — in BOTH modes, so
+ *  the full histories stay bit-identical at any thread count. */
+TEST(QualityBatchSearch, H2oBatchedMatchesPerShardUnderFaults)
+{
+    exec::FaultConfig fc;
+    fc.preemptProb = 0.15;
+    fc.failProb = 0.05;
+    fc.seed = 404;
+
+    uint64_t ref_preempts = 0;
+    auto ref = runH2o(false, 1, fc, nullptr, &ref_preempts);
+    ASSERT_GT(ref_preempts, 0u) << "fault probe never struck";
+
+    for (size_t threads : {1u, 2u, 8u}) {
+        auto out = runH2o(true, threads, fc);
+        expectSameOutcome(out, ref);
+    }
+}
+
+// ------------------------------------------- TuNAS A/B
+
+TEST(QualityBatchSearch, TunasBatchedMatchesPerCandidate)
+{
+    sr::SearchOutcome outcomes[2];
+    uint64_t alpha_only[2];
+    for (int mode = 0; mode < 2; ++mode) {
+        DlrmFixture f;
+        rw::AbsoluteReward reward({{"step_time", 2.0, -0.5}});
+        sr::TunasSearchConfig cfg;
+        cfg.numIterations = 12;
+        cfg.warmupSteps = 4;
+        cfg.batchedQuality = mode == 0;
+        sr::TunasSearch search(
+            f.space, f.net, *f.pipe,
+            [&](const ss::Sample &s) { return cheapPerf(f.space, s); },
+            reward, cfg);
+        Rng rng(34);
+        outcomes[mode] = search.run(rng);
+        alpha_only[mode] = f.pipe->stats().alphaOnlyLeases;
+    }
+    expectSameOutcome(outcomes[0], outcomes[1]);
+    // The validation stream stays alpha-only in batched mode: the
+    // packed eval never trains weights.
+    EXPECT_EQ(alpha_only[0], 12u);
+    EXPECT_EQ(alpha_only[1], 12u);
+}
