@@ -29,11 +29,10 @@ main(int argc, char **argv)
     flags.defineInt("resolution", 28, "feature map height/width");
     flags.defineInt("kernel", 3, "depthwise / fused kernel size");
     flags.defineDouble("expansion", 6.0, "MBConv expansion ratio");
-    flags.defineString("chip", "tpuv4i", "target chip");
+    bench::defineChipFlag(flags);
     flags.parse(argc, argv);
 
-    hw::ChipSpec chip =
-        hw::chipSpec(hw::chipModelFromName(flags.getString("chip")));
+    hw::ChipSpec chip = bench::chipFromFlags(flags);
     uint32_t batch = static_cast<uint32_t>(flags.getInt("batch"));
     uint32_t res = static_cast<uint32_t>(flags.getInt("resolution"));
     uint32_t kernel = static_cast<uint32_t>(flags.getInt("kernel"));

@@ -11,11 +11,49 @@
 
 #include "arch/dlrm_arch.h"
 #include "arch/lowering.h"
+#include "common/flags.h"
 #include "eval/dlrm_timer.h"
 #include "hw/chip.h"
+#include "hw/target_set.h"
 #include "sim/simulator.h"
 
 namespace h2o::bench {
+
+/** Register the standard --chip flag (one chip by registry name). The
+ *  help text lists the valid names, so every bench's --help and every
+ *  unknown-name error stay in sync with the registry. */
+inline void
+defineChipFlag(common::Flags &flags, const std::string &def = "tpuv4i")
+{
+    flags.defineString("chip", def,
+                       "target chip (" + hw::chipNamesHelp() + ")");
+}
+
+/** Resolve a parsed --chip flag to its spec. Fatal on unknown names,
+ *  listing the valid ones (hw::chipModelFromName). */
+inline hw::ChipSpec
+chipFromFlags(const common::Flags &flags)
+{
+    return hw::chipSpec(hw::chipModelFromName(flags.getString("chip")));
+}
+
+/** Register the standard --chips flag (comma-separated target list for
+ *  the multi-target benches). */
+inline void
+defineChipsFlag(common::Flags &flags,
+                const std::string &def = "tpuv4i,edgecpu,edgenpu")
+{
+    flags.defineString("chips", def,
+                       "comma-separated target chips (" +
+                           hw::chipNamesHelp() + ")");
+}
+
+/** Resolve a parsed --chips flag to a TargetSet (one chip each). */
+inline hw::TargetSet
+chipsFromFlags(const common::Flags &flags)
+{
+    return hw::TargetSet::fromNames(flags.getString("chips"));
+}
 
 /** Promoted to src/eval so the NAS job server shares the
  *  implementation; the bench-local name keeps working. */

@@ -21,8 +21,10 @@
 
 #include "arch/dlrm_arch.h"
 #include "arch/lowering.h"
+#include "common/logging.h"
 #include "exec/thread_pool.h"
 #include "hw/chip.h"
+#include "hw/target_set.h"
 #include "searchspace/dlrm_space.h"
 #include "sim/sim_cache.h"
 #include "sim/simulator.h"
@@ -142,6 +144,69 @@ class CachedDlrmTimer
     {
         return stepTimes(space, samples, _serveTag, _serveConfig, _serve,
                          arch::ExecMode::Serving);
+    }
+
+    /**
+     * Joint multi-target serving step times: out[i][c] is sample i's
+     * serving step time (batch 1024) on targets[c]. All (candidate x
+     * chip) pairs go through ONE getOrComputeBatch — keys are laid out
+     * candidate-major ([i*k + c]) under the usual serve tag, with each
+     * target's SimConfig fingerprint keeping the k keyspaces disjoint —
+     * and misses simulate through Simulator::runBatchMulti (one
+     * PassWorkspace fetch per chunk, one simulator core per target).
+     * A one-element TargetSet whose platform equals the timer's serve
+     * platform issues exactly serveStepTimes' key sequence: identical
+     * hits, misses, LRU image and values.
+     */
+    std::vector<std::vector<double>>
+    serveStepTimesMulti(const searchspace::DlrmSearchSpace &space,
+                        std::span<const searchspace::Sample> samples,
+                        const hw::TargetSet &targets)
+    {
+        const size_t k = targets.size();
+        h2o_assert(k > 0, "serveStepTimesMulti needs >= 1 target");
+        std::vector<sim::SimConfig> configs;
+        configs.reserve(k);
+        for (const hw::Target &t : targets)
+            configs.push_back(sim::SimConfig{t.platform.chip, true, true,
+                                             {}});
+        std::vector<sim::SimCacheKey> keys;
+        keys.reserve(samples.size() * k);
+        for (const auto &s : samples)
+            for (size_t c = 0; c < k; ++c)
+                keys.push_back(sim::makeSimCacheKey(s, _serveTag,
+                                                    configs[c]));
+        // As in stepTimes, the lambda touches only locals + const state
+        // (configs/targets/samples), so fill-pool fan-out is safe.
+        auto results = _cache->getOrComputeBatch(
+            keys,
+            [&](const std::vector<size_t> &misses) {
+                std::vector<sim::Graph> graphs;
+                graphs.reserve(misses.size());
+                for (size_t pos : misses) {
+                    arch::DlrmArch serving =
+                        space.decode(samples[pos / k]);
+                    serving.globalBatch = 1024;
+                    graphs.push_back(arch::buildDlrmGraph(
+                        serving, targets[pos % k].platform,
+                        arch::ExecMode::Serving));
+                }
+                std::vector<sim::SimRequest> reqs;
+                reqs.reserve(misses.size());
+                for (size_t j = 0; j < misses.size(); ++j)
+                    reqs.push_back(
+                        sim::SimRequest{&graphs[j],
+                                        &configs[misses[j] % k]});
+                return sim::Simulator::runBatchMulti(reqs);
+            },
+            _fillPool.get());
+        std::vector<std::vector<double>> out(samples.size());
+        for (size_t i = 0; i < samples.size(); ++i) {
+            out[i].reserve(k);
+            for (size_t c = 0; c < k; ++c)
+                out[i].push_back(results[i * k + c].stepTimeSec);
+        }
+        return out;
     }
 
     sim::SimCacheStats cacheStats() const { return _cache->stats(); }

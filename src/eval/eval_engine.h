@@ -59,7 +59,12 @@ using PerfFn =
 
 /** Batch of candidates -> objective values, one vector per candidate.
  *  The batched analogue of PerfFn; must be pure (same answer for the
- *  same sample regardless of batch composition). */
+ *  same sample regardless of batch composition). A multi-target search
+ *  returns each candidate's PER-CHIP cost vector here (one serving
+ *  step time per deployment target, in hw::TargetSet order — see
+ *  CachedDlrmTimer::serveStepTimesMulti); the engine treats it as any
+ *  other objective vector and the reward/front layers interpret the
+ *  per-chip columns. */
 using PerfBatchFn = std::function<std::vector<std::vector<double>>(
     std::span<const searchspace::Sample>)>;
 

@@ -74,6 +74,46 @@ gpuV100()
 }
 
 ChipSpec
+edgeCpu()
+{
+    ChipSpec c;
+    c.name = "EdgeCPU";
+    c.peakTensorFlops = 0.6 * kTera;  // int8/fp16 dot-product SIMD
+    c.peakVectorFlops = 0.15 * kTera;
+    c.tensorTile = 8; // SIMD lane width, not a systolic array
+    c.hbmCapacityBytes = 8.0 * kGibi; // LPDDR4x, shared with the OS
+    c.hbmBandwidth = 34.0 * kGiga;
+    c.onChipCapacityBytes = 0.0; // no software-managed scratchpad
+    c.onChipBandwidth = 200.0 * kGiga; // L2, only reached by spills
+    c.iciBandwidth = 2.0 * kGiga; // PCIe/ethernet class
+    c.idlePowerW = 2.0;
+    c.computePowerW = 8.0;
+    c.hbmEnergyPerByte = 150e-12; // LPDDR costs more than HBM per byte
+    c.onChipEnergyPerByte = 10e-12;
+    return c;
+}
+
+ChipSpec
+edgeNpu()
+{
+    ChipSpec c;
+    c.name = "EdgeNPU";
+    c.peakTensorFlops = 4.0 * kTera;
+    c.peakVectorFlops = 0.5 * kTera;
+    c.tensorTile = 64;
+    c.hbmCapacityBytes = 4.0 * kGibi; // dedicated LPDDR partition
+    c.hbmBandwidth = 50.0 * kGiga;
+    c.onChipCapacityBytes = 2.0 * kMebi; // tightly banked SRAM
+    c.onChipBandwidth = 400.0 * kGiga;
+    c.iciBandwidth = 5.0 * kGiga;
+    c.idlePowerW = 1.0;
+    c.computePowerW = 6.0;
+    c.hbmEnergyPerByte = 150e-12;
+    c.onChipEnergyPerByte = 12e-12;
+    return c;
+}
+
+ChipSpec
 chipSpec(ChipModel model)
 {
     switch (model) {
@@ -83,20 +123,68 @@ chipSpec(ChipModel model)
         return tpuV4i();
       case ChipModel::GpuV100:
         return gpuV100();
+      case ChipModel::EdgeCpu:
+        return edgeCpu();
+      case ChipModel::EdgeNpu:
+        return edgeNpu();
     }
     h2o_panic("unhandled chip model");
+}
+
+namespace {
+
+constexpr ChipModel kAllModels[] = {
+    ChipModel::TpuV4,   ChipModel::TpuV4i,  ChipModel::GpuV100,
+    ChipModel::EdgeCpu, ChipModel::EdgeNpu,
+};
+
+} // namespace
+
+std::span<const ChipModel>
+allChipModels()
+{
+    return kAllModels;
+}
+
+const char *
+chipModelName(ChipModel model)
+{
+    switch (model) {
+      case ChipModel::TpuV4:
+        return "tpuv4";
+      case ChipModel::TpuV4i:
+        return "tpuv4i";
+      case ChipModel::GpuV100:
+        return "v100";
+      case ChipModel::EdgeCpu:
+        return "edgecpu";
+      case ChipModel::EdgeNpu:
+        return "edgenpu";
+    }
+    h2o_panic("unhandled chip model");
+}
+
+std::string
+chipNamesHelp()
+{
+    std::string help;
+    for (ChipModel model : allChipModels()) {
+        if (!help.empty())
+            help += '|';
+        help += chipModelName(model);
+    }
+    return help;
 }
 
 ChipModel
 chipModelFromName(const std::string &name)
 {
-    if (name == "tpuv4")
-        return ChipModel::TpuV4;
-    if (name == "tpuv4i")
-        return ChipModel::TpuV4i;
-    if (name == "v100" || name == "gpuv100")
+    for (ChipModel model : allChipModels())
+        if (name == chipModelName(model))
+            return model;
+    if (name == "gpuv100")
         return ChipModel::GpuV100;
-    h2o_fatal("unknown chip '", name, "' (expected tpuv4|tpuv4i|v100)");
+    h2o_fatal("unknown chip '", name, "' (valid: ", chipNamesHelp(), ")");
 }
 
 Platform

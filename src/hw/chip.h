@@ -16,12 +16,13 @@
 #define H2O_HW_CHIP_H
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 namespace h2o::hw {
 
 /** Identifier for the built-in chip models. */
-enum class ChipModel { TpuV4, TpuV4i, GpuV100 };
+enum class ChipModel { TpuV4, TpuV4i, GpuV100, EdgeCpu, EdgeNpu };
 
 /**
  * Static description of one accelerator chip.
@@ -78,10 +79,30 @@ ChipSpec tpuV4i();
 /** The NVIDIA V100 (125 TFLOPS fp16 tensor core, 900 GB/s HBM2). */
 ChipSpec gpuV100();
 
+/** An edge CPU-class device: no dedicated on-chip scratchpad (the
+ *  zero-byte CMEM budget makes the memory-placement pass spill every
+ *  tensor to LPDDR), narrow SIMD tiles, tens of GB/s DRAM. */
+ChipSpec edgeCpu();
+
+/** A small edge NPU: real tensor unit but only a few MB of tightly
+ *  banked SRAM, so CMEM residency decisions dominate its roofline. */
+ChipSpec edgeNpu();
+
 /** Fetch a built-in chip by model enum. */
 ChipSpec chipSpec(ChipModel model);
 
-/** Parse "tpuv4" / "tpuv4i" / "v100"; fatal on unknown names. */
+/** Every built-in chip model, in registry (= parse help) order. */
+std::span<const ChipModel> allChipModels();
+
+/** Canonical parse name of a model ("tpuv4i", "edgecpu", ...). */
+const char *chipModelName(ChipModel model);
+
+/** Pipe-separated list of canonical chip names, for flag help text. */
+std::string chipNamesHelp();
+
+/** Parse a canonical chip name (see chipNamesHelp()); "gpuv100" is
+ *  accepted as an alias for "v100". Fatal on unknown names, listing
+ *  the valid ones. */
 ChipModel chipModelFromName(const std::string &name);
 
 /**

@@ -1,0 +1,68 @@
+#include "hw/target_set.h"
+
+#include "common/logging.h"
+
+namespace h2o::hw {
+
+TargetSet::TargetSet(std::vector<Target> targets)
+    : _targets(std::move(targets))
+{
+    for (size_t i = 0; i < _targets.size(); ++i) {
+        const Target &t = _targets[i];
+        if (t.name.empty())
+            h2o_fatal("target ", i, " has an empty name");
+        if (t.platform.numChips == 0)
+            h2o_fatal("target '", t.name, "' has zero chips");
+        h2o_assert(t.platform.chip.peakTensorFlops > 0.0 &&
+                       t.platform.chip.hbmBandwidth > 0.0 &&
+                       t.platform.chip.onChipBandwidth > 0.0 &&
+                       t.platform.chip.iciBandwidth > 0.0,
+                   "target '", t.name, "' has non-positive hardware rates");
+        for (size_t j = 0; j < i; ++j)
+            if (_targets[j].name == t.name)
+                h2o_fatal("duplicate target name '", t.name, "'");
+    }
+}
+
+TargetSet
+TargetSet::fromNames(const std::string &csv, uint32_t numChips)
+{
+    std::vector<Target> targets;
+    size_t start = 0;
+    while (start <= csv.size()) {
+        size_t comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::string name = csv.substr(start, comma - start);
+        if (!name.empty()) {
+            ChipModel model = chipModelFromName(name);
+            targets.push_back(Target{chipModelName(model),
+                                     Platform{chipSpec(model), numChips}});
+        }
+        start = comma + 1;
+    }
+    return TargetSet(std::move(targets));
+}
+
+TargetSet
+TargetSet::fromModels(std::span<const ChipModel> models, uint32_t numChips)
+{
+    std::vector<Target> targets;
+    targets.reserve(models.size());
+    for (ChipModel model : models)
+        targets.push_back(Target{chipModelName(model),
+                                 Platform{chipSpec(model), numChips}});
+    return TargetSet(std::move(targets));
+}
+
+std::vector<std::string>
+TargetSet::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(_targets.size());
+    for (const Target &t : _targets)
+        out.push_back(t.name);
+    return out;
+}
+
+} // namespace h2o::hw

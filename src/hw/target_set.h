@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Named deployment targets for joint multi-target search.
+ *
+ * A TargetSet is an ordered list of named Platforms a single search
+ * scores every candidate against. Order is part of the contract: cost
+ * vectors, reward combiners and Pareto fronts all index targets by
+ * position, and checkpoints validate the list by name so a resumed
+ * search cannot silently reinterpret its per-chip columns.
+ */
+
+#ifndef H2O_HW_TARGET_SET_H
+#define H2O_HW_TARGET_SET_H
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/chip.h"
+
+namespace h2o::hw {
+
+/** One named deployment target of a joint multi-target search. */
+struct Target
+{
+    /** Registry name the target parses back from ("tpuv4i", "edgecpu"). */
+    std::string name;
+    /** The hardware a winning candidate would ship on. */
+    Platform platform;
+};
+
+/**
+ * Ordered, uniquely-named list of deployment targets.
+ *
+ * An empty set means "single-target mode" everywhere it is consumed; a
+ * one-element set is required to behave byte-identically to the legacy
+ * single-platform path (same SimCache keys, same reward arithmetic).
+ */
+class TargetSet
+{
+  public:
+    TargetSet() = default;
+
+    /** Validates: non-empty names, unique names, positive chip rates. */
+    explicit TargetSet(std::vector<Target> targets);
+
+    /** Build from a comma-separated list of registry chip names, e.g.
+     *  "tpuv4i,edgecpu,edgenpu". Each target gets `numChips` chips.
+     *  Fatal on unknown or duplicate names. */
+    static TargetSet fromNames(const std::string &csv, uint32_t numChips = 1);
+
+    /** Build from chip models; target names are the registry names. */
+    static TargetSet fromModels(std::span<const ChipModel> models,
+                                uint32_t numChips = 1);
+
+    size_t size() const { return _targets.size(); }
+    bool empty() const { return _targets.empty(); }
+    const Target &operator[](size_t i) const { return _targets[i]; }
+
+    std::vector<Target>::const_iterator begin() const
+    {
+        return _targets.begin();
+    }
+    std::vector<Target>::const_iterator end() const { return _targets.end(); }
+
+    /** Target names in set order (the multi-target checkpoint identity). */
+    std::vector<std::string> names() const;
+
+  private:
+    std::vector<Target> _targets;
+};
+
+} // namespace h2o::hw
+
+#endif // H2O_HW_TARGET_SET_H

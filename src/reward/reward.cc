@@ -45,6 +45,79 @@ AbsoluteReward::penalty(double normalized_excess, size_t) const
     return std::abs(normalized_excess);
 }
 
+MultiTargetReward::MultiTargetReward(
+    std::vector<PerformanceObjective> objectives, MultiTargetCombine combine,
+    double temperature, std::vector<double> weights)
+    : RewardFunction(std::move(objectives)),
+      _combine(combine),
+      _temperature(temperature),
+      _weights(std::move(weights))
+{
+    h2o_assert(!_objectives.empty(), "multi-target reward needs >= 1 target");
+    if (_combine == MultiTargetCombine::SoftMin) {
+        h2o_assert(_temperature > 0.0, "softmin temperature must be > 0, got ",
+                   _temperature);
+        if (_weights.empty())
+            _weights.assign(_objectives.size(), 1.0);
+        h2o_assert(_weights.size() == _objectives.size(), "got ",
+                   _weights.size(), " weights for ", _objectives.size(),
+                   " targets");
+        double total = 0.0;
+        for (double w : _weights) {
+            h2o_assert(w > 0.0, "softmin weights must be positive, got ", w);
+            total += w;
+        }
+        for (double &w : _weights)
+            w /= total;
+    }
+}
+
+double
+MultiTargetReward::compute(const CandidateMetrics &metrics) const
+{
+    h2o_assert(metrics.performance.size() == _objectives.size(),
+               "candidate has ", metrics.performance.size(),
+               " per-target costs for ", _objectives.size(), " targets");
+    // Per-target rewards, each against its own latency target. The
+    // k == 1 Min case must stay bitwise identical to ReluReward, so the
+    // expression mirrors RewardFunction::compute's op order exactly.
+    double worst = 0.0;
+    std::vector<double> perTarget;
+    if (_combine == MultiTargetCombine::SoftMin)
+        perTarget.reserve(_objectives.size());
+    for (size_t c = 0; c < _objectives.size(); ++c) {
+        double reward = metrics.quality;
+        double normalized_excess =
+            metrics.performance[c] / _objectives[c].target - 1.0;
+        reward += _objectives[c].beta * penalty(normalized_excess, c);
+        if (c == 0 || reward < worst)
+            worst = reward;
+        if (_combine == MultiTargetCombine::SoftMin)
+            perTarget.push_back(reward);
+    }
+    if (_combine == MultiTargetCombine::Min)
+        return worst;
+    // Stable weighted softmin anchored at the minimum:
+    //   -T log(sum w_c e^{-r_c/T}) = m - T log(sum w_c e^{-(r_c-m)/T}).
+    double sum = 0.0;
+    for (size_t c = 0; c < perTarget.size(); ++c)
+        sum += _weights[c] * std::exp(-(perTarget[c] - worst) / _temperature);
+    return worst - _temperature * std::log(sum);
+}
+
+double
+MultiTargetReward::penalty(double normalized_excess, size_t) const
+{
+    return normalized_excess > 0.0 ? normalized_excess : 0.0;
+}
+
+std::string
+MultiTargetReward::name() const
+{
+    return _combine == MultiTargetCombine::Min ? "multi_min"
+                                               : "multi_softmin";
+}
+
 std::unique_ptr<RewardFunction>
 makeReward(const std::string &name,
            std::vector<PerformanceObjective> objectives)

@@ -51,8 +51,9 @@ class RewardFunction
     explicit RewardFunction(std::vector<PerformanceObjective> objectives);
     virtual ~RewardFunction() = default;
 
-    /** Combined reward for one candidate. */
-    double compute(const CandidateMetrics &metrics) const;
+    /** Combined reward for one candidate. The base implementation is
+     *  the paper's additive form: Q + sum_i beta_i * penalty_i. */
+    virtual double compute(const CandidateMetrics &metrics) const;
 
     /** The per-objective penalty term for value T against objective i. */
     virtual double penalty(double normalized_excess, size_t i) const = 0;
@@ -86,6 +87,60 @@ class AbsoluteReward : public RewardFunction
     using RewardFunction::RewardFunction;
     double penalty(double normalized_excess, size_t i) const override;
     std::string name() const override { return "absolute"; }
+};
+
+/** How MultiTargetReward folds per-target rewards into one scalar. */
+enum class MultiTargetCombine
+{
+    /** The worst (smallest) per-target reward — a candidate is only as
+     *  good as its weakest deployment. */
+    Min,
+    /** Weighted softmin, -T * log(sum_c w_c * exp(-r_c / T)): a smooth
+     *  approximation of Min (within [min, min + T*log(1/w_min)] for
+     *  normalized weights, converging as T -> 0) that keeps gradient
+     *  signal flowing from every target, not just the current worst
+     *  one. */
+    SoftMin,
+};
+
+/**
+ * Joint multi-target reward (one objective per deployment chip).
+ *
+ * Each target c gets its own single-sided ReLU reward against its own
+ * latency target,
+ *
+ *   r_c(a) = Q(a) + beta_c * ReLU(T_c(a) / T_c0 - 1),
+ *
+ * and the combined reward is the min (or weighted softmin) over the
+ * r_c. With one target and Min combining this is bitwise identical to
+ * ReluReward over the same single objective, which is what lets a
+ * one-element TargetSet reproduce legacy single-target searches
+ * exactly.
+ */
+class MultiTargetReward : public RewardFunction
+{
+  public:
+    /**
+     * @param objectives   One per target, in TargetSet order.
+     * @param combine      Min or SoftMin.
+     * @param temperature  SoftMin temperature (> 0); ignored for Min.
+     * @param weights      SoftMin weights, one per target; empty =
+     *                     uniform. Normalized internally; ignored for
+     *                     Min.
+     */
+    MultiTargetReward(std::vector<PerformanceObjective> objectives,
+                      MultiTargetCombine combine = MultiTargetCombine::Min,
+                      double temperature = 0.05,
+                      std::vector<double> weights = {});
+
+    double compute(const CandidateMetrics &metrics) const override;
+    double penalty(double normalized_excess, size_t i) const override;
+    std::string name() const override;
+
+  private:
+    MultiTargetCombine _combine;
+    double _temperature;
+    std::vector<double> _weights; ///< normalized; empty for Min
 };
 
 /** Factory by name ("relu" | "absolute"); fatal on unknown names. */

@@ -41,6 +41,7 @@ class H2oDlrmStepper final : public StepwiseSearch
                    owner._config.retryBackoffMs})
     {
         owner._stats.clear();
+        _fronts.reset(owner._config.multiTarget);
     }
 
     bool step() override
@@ -180,6 +181,7 @@ class H2oDlrmStepper final : public StepwiseSearch
                                             std::move(ev.performance[s]),
                                             ev.rewards[s], step});
             }
+            _fronts.absorb(_outcome);
         } else {
             // Every shard lost: the step is skipped entirely (no policy
             // or weight update), which a preemptible fleet survives.
@@ -204,17 +206,25 @@ class H2oDlrmStepper final : public StepwiseSearch
 
     SearchOutcome finish() override
     {
+        _fronts.emit(_outcome);
         _outcome.finalSample = _controller.policy().argmax();
         return std::move(_outcome);
     }
 
     void save(std::ostream &os) const override
     {
+        // Multi-target searches write version 2 with a validation
+        // record after the header; single-target checkpoints keep the
+        // historical version-1 bytes exactly.
+        const bool multi = _fronts.enabled();
         common::writeTaggedU64(os, "h2o_search_ckpt",
-                               {kCheckpointVersion, _next,
-                                _owner._config.numShards,
+                               {multi ? kCheckpointVersionMulti
+                                      : kCheckpointVersion,
+                                _next, _owner._config.numShards,
                                 _owner._config.numSteps,
                                 _owner._config.warmupSteps});
+        if (multi)
+            writeMultiTargetTagged(os, _fronts.spec());
         _controller.save(os);
         _owner._supernet.save(os);
         _owner._pipeline.save(os);
@@ -247,9 +257,15 @@ class H2oDlrmStepper final : public StepwiseSearch
 
     void load(std::istream &is) override
     {
+        const bool multi = _owner._config.multiTarget.enabled();
         auto header = common::readTaggedU64(is, "h2o_search_ckpt");
-        if (header.size() != 5 || header[0] != kCheckpointVersion)
-            h2o_fatal("unsupported search checkpoint header");
+        if (header.size() != 5 ||
+            header[0] !=
+                (multi ? kCheckpointVersionMulti : kCheckpointVersion))
+            h2o_fatal("unsupported search checkpoint header (single/"
+                      "multi-target or version mismatch)");
+        if (multi)
+            readMultiTargetTagged(is, _owner._config.multiTarget);
         if (header[2] != _owner._config.numShards ||
             header[4] != _owner._config.warmupSteps) {
             h2o_fatal("checkpoint was taken with ", header[2],
@@ -288,17 +304,22 @@ class H2oDlrmStepper final : public StepwiseSearch
 
         readOutcomeTagged(is, _owner._space.decisions().numDecisions(),
                           _outcome);
+        // Fronts are a deterministic replay of the restored history.
+        _fronts.reset(_owner._config.multiTarget);
+        _fronts.absorb(_outcome);
         _warmed = true; // the restored weights already contain warm-up
     }
 
   private:
     static constexpr uint64_t kCheckpointVersion = 1;
+    static constexpr uint64_t kCheckpointVersionMulti = 2;
 
     H2oDlrmSearch &_owner;
     controller::ReinforceController _controller;
     std::vector<common::Rng> _rngs;
     eval::EvalEngine _engine;
     SearchOutcome _outcome;
+    TargetFrontTracker _fronts;
     size_t _next = 0;
     bool _warmed = false;
 };

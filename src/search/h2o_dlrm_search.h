@@ -103,6 +103,12 @@ struct H2oSearchConfig
     std::string checkpointPath;
     /** Steps between checkpoint commits. */
     size_t checkpointEvery = 1;
+
+    /** Joint multi-target annotation (per-chip costs in the
+     *  performance vectors, per-chip Pareto fronts in the outcome,
+     *  checkpoint version 2); disabled (empty) by default — checkpoint
+     *  bytes are then exactly the historical version-1 layout. */
+    MultiTargetSpec multiTarget{};
 };
 
 /** Step-level telemetry. */

@@ -37,6 +37,61 @@ paretoFront(const std::vector<ParetoPoint> &points)
     return front;
 }
 
+bool
+ParetoTracker::insert(size_t index, ParetoPoint point)
+{
+    for (const Member &m : _members) {
+        if (dominates(m.point, point))
+            return false;
+        if (m.point.quality == point.quality && m.point.cost == point.cost)
+            return false; // exact tie: first insertion wins
+    }
+    std::erase_if(_members, [&](const Member &m) {
+        return dominates(point, m.point);
+    });
+    _members.push_back(Member{index, point});
+    return true;
+}
+
+std::vector<size_t>
+ParetoTracker::sortedOrder() const
+{
+    std::vector<size_t> order(_members.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    // Cost ascending, quality descending, insertion index ascending —
+    // a total order, so the emitted front is sequence-deterministic.
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const Member &ma = _members[a];
+        const Member &mb = _members[b];
+        if (ma.point.cost != mb.point.cost)
+            return ma.point.cost < mb.point.cost;
+        if (ma.point.quality != mb.point.quality)
+            return ma.point.quality > mb.point.quality;
+        return ma.index < mb.index;
+    });
+    return order;
+}
+
+std::vector<size_t>
+ParetoTracker::front() const
+{
+    std::vector<size_t> out;
+    out.reserve(_members.size());
+    for (size_t i : sortedOrder())
+        out.push_back(_members[i].index);
+    return out;
+}
+
+std::vector<ParetoPoint>
+ParetoTracker::frontPoints() const
+{
+    std::vector<ParetoPoint> pts;
+    pts.reserve(_members.size());
+    for (size_t i : sortedOrder())
+        pts.push_back(_members[i].point);
+    return pts;
+}
+
 double
 hypervolume(const std::vector<ParetoPoint> &points,
             const ParetoPoint &reference)

@@ -39,6 +39,50 @@ bool dominates(const ParetoPoint &a, const ParetoPoint &b);
 double hypervolume(const std::vector<ParetoPoint> &points,
                    const ParetoPoint &reference);
 
+/**
+ * Incrementally maintained Pareto front over a stream of indexed
+ * points — multi-target searches keep one per deployment chip and feed
+ * every evaluated candidate through insert() as the history grows.
+ *
+ * Deterministic by construction: a point exactly equal to a retained
+ * member in both coordinates is rejected (first insertion wins), and
+ * front() orders by increasing cost (quality descending, then index
+ * ascending on remaining ties), so the emitted front depends only on
+ * the insertion sequence, which is itself a pure function of the
+ * search seed.
+ */
+class ParetoTracker
+{
+  public:
+    /** Offer one point. @return true when it joined the front (any
+     *  members it dominates are evicted). */
+    bool insert(size_t index, ParetoPoint point);
+
+    /** Number of points currently on the front. */
+    size_t size() const { return _members.size(); }
+    bool empty() const { return _members.empty(); }
+
+    /** Indices of the current front, sorted by increasing cost. */
+    std::vector<size_t> front() const;
+
+    /** The (quality, cost) pairs matching front() order. */
+    std::vector<ParetoPoint> frontPoints() const;
+
+    void clear() { _members.clear(); }
+
+  private:
+    struct Member
+    {
+        size_t index;
+        ParetoPoint point;
+    };
+
+    /** Positions into _members in front() order. */
+    std::vector<size_t> sortedOrder() const;
+
+    std::vector<Member> _members; ///< unordered; sorted on demand
+};
+
 } // namespace h2o::search
 
 #endif // H2O_SEARCH_PARETO_H

@@ -82,4 +82,91 @@ readOutcomeTagged(std::istream &is, size_t num_decisions,
     }
 }
 
+void
+TargetFrontTracker::reset(const MultiTargetSpec &spec)
+{
+    _spec = spec;
+    _trackers.assign(_spec.numTargets(), ParetoTracker{});
+    _cursor = 0;
+}
+
+void
+TargetFrontTracker::absorb(const SearchOutcome &outcome)
+{
+    if (!_spec.enabled())
+        return;
+    const size_t k = _spec.numTargets();
+    h2o_assert(_cursor <= outcome.history.size(),
+               "front tracker cursor past history (history replaced "
+               "without reset?)");
+    for (; _cursor < outcome.history.size(); ++_cursor) {
+        const CandidateRecord &rec = outcome.history[_cursor];
+        h2o_assert(rec.performance.size() >= _spec.perfOffset + k,
+                   "history record has ", rec.performance.size(),
+                   " performance values; multi-target spec needs ",
+                   _spec.perfOffset + k);
+        for (size_t c = 0; c < k; ++c) {
+            ParetoPoint p{rec.quality,
+                          rec.performance[_spec.perfOffset + c]};
+            _trackers[c].insert(_cursor, p);
+        }
+    }
+}
+
+void
+TargetFrontTracker::emit(SearchOutcome &outcome) const
+{
+    outcome.targetFronts.clear();
+    if (!_spec.enabled())
+        return;
+    outcome.targetFronts.reserve(_spec.numTargets());
+    for (size_t c = 0; c < _spec.numTargets(); ++c)
+        outcome.targetFronts.push_back(
+            TargetFront{_spec.targetNames[c], _trackers[c].front()});
+}
+
+namespace {
+
+/** 64-bit FNV-1a over a target name, for checkpoint validation. */
+uint64_t
+nameHash(const std::string &name)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char ch : name) {
+        h ^= ch;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+void
+writeMultiTargetTagged(std::ostream &os, const MultiTargetSpec &spec)
+{
+    std::vector<uint64_t> words;
+    words.reserve(2 + spec.numTargets());
+    words.push_back(spec.numTargets());
+    words.push_back(spec.perfOffset);
+    for (const std::string &name : spec.targetNames)
+        words.push_back(nameHash(name));
+    common::writeTaggedU64(os, "multi_targets", words);
+}
+
+void
+readMultiTargetTagged(std::istream &is, const MultiTargetSpec &spec)
+{
+    auto words = common::readTaggedU64(is, "multi_targets");
+    if (words.size() < 2)
+        h2o_fatal("malformed multi-target record in checkpoint");
+    if (words[0] != spec.numTargets() || words[1] != spec.perfOffset ||
+        words.size() != 2 + spec.numTargets())
+        h2o_fatal("checkpoint was written for ", words[0],
+                  " targets; search is configured for ", spec.numTargets());
+    for (size_t c = 0; c < spec.numTargets(); ++c)
+        if (words[2 + c] != nameHash(spec.targetNames[c]))
+            h2o_fatal("checkpoint target ", c, " does not match configured "
+                      "target '", spec.targetNames[c], "'");
+}
+
 } // namespace h2o::search

@@ -90,6 +90,50 @@ void writeOutcomeTagged(std::ostream &os, const SearchOutcome &outcome);
 void readOutcomeTagged(std::istream &is, size_t num_decisions,
                        SearchOutcome &outcome);
 
+/**
+ * Incremental per-target Pareto fronts over a growing search history —
+ * the shared multi-target plumbing of all three steppers. absorb()
+ * scans the records appended since the last call and feeds each
+ * target's (quality, cost) into its ParetoTracker; emit() fills
+ * SearchOutcome::targetFronts. Fronts are deterministic replays of the
+ * history, so load() rebuilds them by re-absorbing the restored
+ * history instead of deserializing anything.
+ */
+class TargetFrontTracker
+{
+  public:
+    /** Reconfigure (and clear). A disabled spec makes absorb()/emit()
+     *  no-ops, which is the single-target mode. */
+    void reset(const MultiTargetSpec &spec);
+
+    /** Absorb history records appended since the last absorb(). */
+    void absorb(const SearchOutcome &outcome);
+
+    /** Fill outcome.targetFronts from the current trackers. */
+    void emit(SearchOutcome &outcome) const;
+
+    bool enabled() const { return _spec.enabled(); }
+    const MultiTargetSpec &spec() const { return _spec; }
+
+  private:
+    MultiTargetSpec _spec;
+    std::vector<ParetoTracker> _trackers; ///< one per target
+    size_t _cursor = 0; ///< history records absorbed so far
+};
+
+/**
+ * Checkpoint extension shared by the steppers' multi-target (version 2)
+ * format: a tagged u64 record holding [numTargets, perfOffset,
+ * hash(name_0) .. hash(name_{k-1})]. The strict tagged format has no
+ * string payloads, so names are validated by 64-bit FNV-1a hash —
+ * enough to refuse resuming a checkpoint under a different target list.
+ */
+void writeMultiTargetTagged(std::ostream &os, const MultiTargetSpec &spec);
+
+/** Validate a multi-target record against the configured spec; fatal on
+ *  count, offset or name-hash mismatch (checkpoint/config divergence). */
+void readMultiTargetTagged(std::istream &is, const MultiTargetSpec &spec);
+
 } // namespace h2o::search
 
 #endif // H2O_SEARCH_STEPWISE_H

@@ -31,6 +31,7 @@ class SurrogateStepper final : public StepwiseSearch
     {
         _outcome.history.reserve(owner._config.numSteps *
                                  owner._config.samplesPerStep);
+        _fronts.reset(owner._config.multiTarget);
     }
 
     bool step() override
@@ -73,6 +74,7 @@ class SurrogateStepper final : public StepwiseSearch
                                         std::move(ev.performance[s]),
                                         ev.rewards[s], step});
         }
+        _fronts.absorb(_outcome);
         return !done();
     }
 
@@ -89,16 +91,23 @@ class SurrogateStepper final : public StepwiseSearch
 
     SearchOutcome finish() override
     {
+        _fronts.emit(_outcome);
         _outcome.finalSample = _controller.policy().argmax();
         return std::move(_outcome);
     }
 
     void save(std::ostream &os) const override
     {
+        // Multi-target searches write version 2 with a validation
+        // record appended to the header; single-target bytes are the
+        // historical version-1 layout, unchanged.
+        const bool multi = _fronts.enabled();
         common::writeTaggedU64(os, "surrogate_stepper",
-                               {kVersion, _next,
+                               {multi ? kVersionMulti : kVersion, _next,
                                 _owner._config.samplesPerStep,
                                 _owner._config.numSteps});
+        if (multi)
+            writeMultiTargetTagged(os, _fronts.spec());
         _controller.save(os);
         for (const auto &r : _rngs)
             r.save(os);
@@ -107,28 +116,39 @@ class SurrogateStepper final : public StepwiseSearch
 
     void load(std::istream &is) override
     {
+        const bool multi = _owner._config.multiTarget.enabled();
         auto header = common::readTaggedU64(is, "surrogate_stepper");
-        if (header.size() != 4 || header[0] != kVersion)
-            h2o_fatal("unsupported surrogate stepper checkpoint");
+        if (header.size() != 4 ||
+            header[0] != (multi ? kVersionMulti : kVersion))
+            h2o_fatal("unsupported surrogate stepper checkpoint (single/"
+                      "multi-target or version mismatch)");
         if (header[2] != _owner._config.samplesPerStep)
             h2o_fatal("surrogate checkpoint shard count mismatch: saved ",
                       header[2], ", configured ",
                       _owner._config.samplesPerStep);
+        if (multi)
+            readMultiTargetTagged(is, _owner._config.multiTarget);
         _next = header[1];
         _controller.load(is);
         for (auto &r : _rngs)
             r.load(is);
         readOutcomeTagged(is, _owner._space.numDecisions(), _outcome);
+        // Fronts are a deterministic function of the history: rebuild
+        // instead of serializing them.
+        _fronts.reset(_owner._config.multiTarget);
+        _fronts.absorb(_outcome);
     }
 
   private:
     static constexpr uint64_t kVersion = 1;
+    static constexpr uint64_t kVersionMulti = 2;
 
     SurrogateSearch &_owner;
     controller::ReinforceController _controller;
     std::vector<common::Rng> _rngs;
     eval::EvalEngine _engine;
     SearchOutcome _outcome;
+    TargetFrontTracker _fronts;
     size_t _next = 0;
 };
 

@@ -56,6 +56,30 @@ struct CandidateRecord
     size_t step = 0;
 };
 
+/**
+ * Annotation that a search scores each candidate across k deployment
+ * targets (hw::TargetSet order). Costs live in the usual per-candidate
+ * performance vector: performance[perfOffset + c] is target c's cost.
+ * An empty name list means single-target mode — every stepper then
+ * behaves (and checkpoints) exactly as before this field existed.
+ */
+struct MultiTargetSpec
+{
+    std::vector<std::string> targetNames; ///< ordered; empty = disabled
+    size_t perfOffset = 0; ///< index of target 0's cost in performance
+
+    bool enabled() const { return !targetNames.empty(); }
+    size_t numTargets() const { return targetNames.size(); }
+};
+
+/** One target's Pareto front (quality vs that target's cost) over a
+ *  search history. */
+struct TargetFront
+{
+    std::string target;          ///< target name (chip registry name)
+    std::vector<size_t> indices; ///< into history, cost ascending
+};
+
 /** Search outcome. */
 struct SearchOutcome
 {
@@ -63,6 +87,10 @@ struct SearchOutcome
     std::vector<CandidateRecord> history;
     double finalEntropy = 0.0;
     double finalMeanReward = 0.0;
+    /** Per-target Pareto fronts, one per MultiTargetSpec entry (empty
+     *  for single-target searches). Derived from history by finish() —
+     *  never serialized, so checkpoint bytes are unchanged. */
+    std::vector<TargetFront> targetFronts;
 };
 
 /** Search configuration. */
@@ -86,6 +114,8 @@ struct SurrogateSearchConfig
     size_t maxShardAttempts = 3;
     /** Exponential retry backoff base, in milliseconds. */
     double retryBackoffMs = 0.5;
+    /** Joint multi-target annotation; disabled (empty) by default. */
+    MultiTargetSpec multiTarget{};
 };
 
 /** The surrogate-quality searcher. */

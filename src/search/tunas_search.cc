@@ -32,6 +32,7 @@ class TunasStepper final : public StepwiseSearch
                    owner._config.maxShardAttempts,
                    owner._config.retryBackoffMs})
     {
+        _fronts.reset(owner._config.multiTarget);
     }
 
     bool step() override
@@ -115,6 +116,7 @@ class TunasStepper final : public StepwiseSearch
                                     ev.qualities[0],
                                     std::move(ev.performance[0]),
                                     ev.rewards[0], iter});
+        _fronts.absorb(_outcome);
         return !done();
     }
 
@@ -134,16 +136,22 @@ class TunasStepper final : public StepwiseSearch
 
     SearchOutcome finish() override
     {
+        _fronts.emit(_outcome);
         _outcome.finalSample = _controller.policy().argmax();
         return std::move(_outcome);
     }
 
     void save(std::ostream &os) const override
     {
+        // Version 2 + validation record when multi-target; historical
+        // version-1 bytes otherwise.
+        const bool multi = _fronts.enabled();
         common::writeTaggedU64(os, "tunas_stepper",
-                               {kVersion, _next,
+                               {multi ? kVersionMulti : kVersion, _next,
                                 _owner._config.numIterations,
                                 _owner._config.warmupSteps});
+        if (multi)
+            writeMultiTargetTagged(os, _fronts.spec());
         _controller.save(os);
         _sampleRng.save(os);
         _owner._supernet.save(os);
@@ -153,9 +161,14 @@ class TunasStepper final : public StepwiseSearch
 
     void load(std::istream &is) override
     {
+        const bool multi = _owner._config.multiTarget.enabled();
         auto header = common::readTaggedU64(is, "tunas_stepper");
-        if (header.size() != 4 || header[0] != kVersion)
-            h2o_fatal("unsupported tunas stepper checkpoint");
+        if (header.size() != 4 ||
+            header[0] != (multi ? kVersionMulti : kVersion))
+            h2o_fatal("unsupported tunas stepper checkpoint (single/"
+                      "multi-target or version mismatch)");
+        if (multi)
+            readMultiTargetTagged(is, _owner._config.multiTarget);
         if (header[3] != _owner._config.warmupSteps)
             h2o_fatal("tunas checkpoint warmup mismatch: saved ",
                       header[3], ", configured ",
@@ -167,17 +180,22 @@ class TunasStepper final : public StepwiseSearch
         _owner._pipeline.load(is);
         readOutcomeTagged(is, _owner._space.decisions().numDecisions(),
                           _outcome);
+        // Fronts are a deterministic replay of the restored history.
+        _fronts.reset(_owner._config.multiTarget);
+        _fronts.absorb(_outcome);
         _warmed = true; // the restored weights already contain warmup
     }
 
   private:
     static constexpr uint64_t kVersion = 1;
+    static constexpr uint64_t kVersionMulti = 2;
 
     TunasSearch &_owner;
     controller::ReinforceController _controller;
     common::Rng _sampleRng;
     eval::EvalEngine _engine;
     SearchOutcome _outcome;
+    TargetFrontTracker _fronts;
     size_t _next = 0;
     bool _warmed = false;
 };

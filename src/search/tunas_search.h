@@ -53,6 +53,8 @@ struct TunasSearchConfig
     size_t maxShardAttempts = 3;
     /** Exponential retry backoff base, in milliseconds. */
     double retryBackoffMs = 0.5;
+    /** Joint multi-target annotation; disabled (empty) by default. */
+    MultiTargetSpec multiTarget{};
 };
 
 /** The TuNAS alternating two-step searcher. */

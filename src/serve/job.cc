@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "eval/dlrm_timer.h"
 #include "hw/chip.h"
+#include "hw/target_set.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/traffic_generator.h"
 #include "reward/reward.h"
@@ -91,27 +92,37 @@ smallDlrm()
 /** Shared plumbing of every DLRM job: space, shared-cache timer,
  *  baseline-relative reward targets. The timer resolves the baseline
  *  step time through the shared cache, so even the targets benefit
- *  from cross-tenant hits. */
+ *  from cross-tenant hits. With spec.targets set, the job runs in
+ *  joint multi-target mode: per-chip serving step times as the
+ *  performance stage, a min-combined per-chip reward, and the
+ *  multi-target annotation on the search config. */
 class DlrmJobBase : public SearchJob
 {
   protected:
     DlrmJobBase(const JobSpec &spec, sim::SimCache &shared,
                 arch::DlrmArch baseline, uint64_t key_salt)
         : _space(std::move(baseline)),
+          _targets(spec.targets.empty()
+                       ? hw::TargetSet()
+                       : hw::TargetSet::fromNames(joinNames(spec.targets))),
           _timer(hw::trainingPlatform(), hw::servingPlatform(), shared,
                  1, key_salt),
           _baseTime(_timer.trainStepTime(_space, _space.baselineSample())),
           _baseBytes(_space.baseline().modelBytes()),
-          _reward({{"step_time", spec.stepTimeTargetRel * _baseTime, -2.0},
-                   {"model_size", spec.modelSizeTargetRel * _baseBytes,
-                    -2.0}})
+          _reward(makeJobReward(spec))
     {
     }
 
-    /** Batched performance stage: cached simulator step time + decoded
-     *  model size, parallel to the reward's objectives. */
+    /** Batched performance stage. Single-target: cached simulator step
+     *  time + decoded model size, parallel to the reward's objectives.
+     *  Multi-target: one serving step time per chip, in target order. */
     search::PerfBatchFn perfFn()
     {
+        if (!_targets.empty()) {
+            return [this](std::span<const searchspace::Sample> ss) {
+                return _timer.serveStepTimesMulti(_space, ss, _targets);
+            };
+        }
         return [this](std::span<const searchspace::Sample> ss) {
             auto step_times = _timer.trainStepTimes(_space, ss);
             std::vector<std::vector<double>> out;
@@ -123,11 +134,59 @@ class DlrmJobBase : public SearchJob
         };
     }
 
+    /** The search-config multi-target annotation matching perfFn()
+     *  (canonical registry names, so checkpoint validation is
+     *  alias-insensitive). Empty in single-target mode. */
+    search::MultiTargetSpec multiTargetSpec() const
+    {
+        search::MultiTargetSpec mt;
+        mt.targetNames = _targets.names();
+        return mt;
+    }
+
     searchspace::DlrmSearchSpace _space;
+    hw::TargetSet _targets;
     eval::CachedDlrmTimer _timer;
     double _baseTime;
     double _baseBytes;
-    reward::ReluReward _reward;
+    std::unique_ptr<reward::RewardFunction> _reward;
+
+  private:
+    static std::string joinNames(const std::vector<std::string> &names)
+    {
+        std::string csv;
+        for (const auto &n : names) {
+            if (!csv.empty())
+                csv += ',';
+            csv += n;
+        }
+        return csv;
+    }
+
+    std::unique_ptr<reward::RewardFunction>
+    makeJobReward(const JobSpec &spec)
+    {
+        if (_targets.empty()) {
+            return std::make_unique<reward::ReluReward>(
+                std::vector<reward::PerformanceObjective>{
+                    {"step_time", spec.stepTimeTargetRel * _baseTime,
+                     -2.0},
+                    {"model_size", spec.modelSizeTargetRel * _baseBytes,
+                     -2.0}});
+        }
+        // Per-chip latency targets: the baseline candidate's serving
+        // step time on each chip (resolved through the shared cache),
+        // scaled by the spec's relative target.
+        std::vector<searchspace::Sample> base{_space.baselineSample()};
+        auto base_times =
+            _timer.serveStepTimesMulti(_space, base, _targets)[0];
+        std::vector<reward::PerformanceObjective> objs;
+        objs.reserve(_targets.size());
+        for (size_t c = 0; c < _targets.size(); ++c)
+            objs.push_back({_targets[c].name,
+                            spec.stepTimeTargetRel * base_times[c], -2.0});
+        return std::make_unique<reward::MultiTargetReward>(std::move(objs));
+    }
 };
 
 class DlrmSurrogateJob final : public DlrmJobBase
@@ -140,7 +199,7 @@ class DlrmSurrogateJob final : public DlrmJobBase
                       return 100.0 * baselines::dlrmQualitySurrogate(
                                          _space.decode(s));
                   },
-                  perfFn(), _reward, config(spec))
+                  perfFn(), *_reward, config(spec))
     {
         common::Rng rng(spec.seed);
         _stepper = _search.makeStepper(rng);
@@ -149,7 +208,7 @@ class DlrmSurrogateJob final : public DlrmJobBase
     search::StepwiseSearch &stepper() override { return *_stepper; }
 
   private:
-    static search::SurrogateSearchConfig config(const JobSpec &spec)
+    search::SurrogateSearchConfig config(const JobSpec &spec) const
     {
         search::SurrogateSearchConfig cfg;
         cfg.numSteps = spec.numSteps;
@@ -161,6 +220,7 @@ class DlrmSurrogateJob final : public DlrmJobBase
         // out (and the engine's inline path means no nested pools).
         cfg.multithread = false;
         cfg.threads = 1;
+        cfg.multiTarget = multiTargetSpec();
         return cfg;
     }
 
@@ -207,7 +267,7 @@ class DlrmSupernetJob final : public DlrmSupernetJobBase
   public:
     DlrmSupernetJob(const JobSpec &spec, sim::SimCache &shared)
         : DlrmSupernetJobBase(spec, shared),
-          _search(_space, _supernet, *_pipeline, perfFn(), _reward,
+          _search(_space, _supernet, *_pipeline, perfFn(), *_reward,
                   config(spec))
     {
         common::Rng rng(spec.seed);
@@ -217,7 +277,7 @@ class DlrmSupernetJob final : public DlrmSupernetJobBase
     search::StepwiseSearch &stepper() override { return *_stepper; }
 
   private:
-    static search::H2oSearchConfig config(const JobSpec &spec)
+    search::H2oSearchConfig config(const JobSpec &spec) const
     {
         search::H2oSearchConfig cfg;
         cfg.numShards = spec.samplesPerStep;
@@ -227,6 +287,7 @@ class DlrmSupernetJob final : public DlrmSupernetJobBase
         cfg.rl.entropyWeight = spec.entropyWeight;
         cfg.batchedQuality = spec.batchedQuality;
         cfg.threads = 1; // see DlrmSurrogateJob::config
+        cfg.multiTarget = multiTargetSpec();
         return cfg;
     }
 
@@ -239,7 +300,7 @@ class DlrmTunasJob final : public DlrmSupernetJobBase
   public:
     DlrmTunasJob(const JobSpec &spec, sim::SimCache &shared)
         : DlrmSupernetJobBase(spec, shared),
-          _search(_space, _supernet, *_pipeline, perfFn(), _reward,
+          _search(_space, _supernet, *_pipeline, perfFn(), *_reward,
                   config(spec))
     {
         common::Rng rng(spec.seed);
@@ -249,7 +310,7 @@ class DlrmTunasJob final : public DlrmSupernetJobBase
     search::StepwiseSearch &stepper() override { return *_stepper; }
 
   private:
-    static search::TunasSearchConfig config(const JobSpec &spec)
+    search::TunasSearchConfig config(const JobSpec &spec) const
     {
         search::TunasSearchConfig cfg;
         cfg.numIterations = spec.numSteps;
@@ -257,6 +318,7 @@ class DlrmTunasJob final : public DlrmSupernetJobBase
         cfg.rl.learningRate = spec.learningRate;
         cfg.rl.entropyWeight = spec.entropyWeight;
         cfg.batchedQuality = spec.batchedQuality;
+        cfg.multiTarget = multiTargetSpec();
         return cfg;
     }
 

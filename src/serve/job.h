@@ -71,6 +71,15 @@ struct JobSpec
      *  per-shard supernet entry. Bit-identical results either way (the
      *  server's determinism contract is unaffected); disable to A/B. */
     bool batchedQuality = true;
+    /** Joint multi-target mode: chip registry names ("tpuv4i",
+     *  "edgecpu", "edgenpu", ...) every candidate must serve on. Empty
+     *  (the default) is the classic single-platform search, bytes
+     *  unchanged. Non-empty, the job's performance stage returns one
+     *  serving step time per chip, the reward is the min over per-chip
+     *  ReLU rewards (each against stepTimeTargetRel x that chip's
+     *  baseline serve time), and the outcome carries one Pareto front
+     *  per chip. */
+    std::vector<std::string> targets;
 };
 
 /** A finished job's outputs. */

@@ -44,6 +44,41 @@ Simulator::runBatch(std::span<const Graph *const> graphs) const
     return results;
 }
 
+std::vector<SimResult>
+Simulator::runBatchMulti(std::span<const SimRequest> requests)
+{
+    std::vector<SimResult> results;
+    results.reserve(requests.size());
+    PassWorkspace &ws = PassWorkspace::forThread();
+    std::vector<const Graph *> validated;
+    // Simulators are cheap to build (a config copy); cache one per
+    // distinct config pointer so (candidate x chip) batches construct k
+    // cores, not n*k.
+    std::vector<std::pair<const SimConfig *, Simulator>> sims;
+    for (const SimRequest &req : requests) {
+        h2o_assert(req.graph != nullptr, "null graph in runBatchMulti");
+        h2o_assert(req.config != nullptr, "null config in runBatchMulti");
+        if (std::find(validated.begin(), validated.end(), req.graph) ==
+            validated.end()) {
+            req.graph->validate();
+            validated.push_back(req.graph);
+        }
+        const Simulator *sim = nullptr;
+        for (const auto &entry : sims) {
+            if (entry.first == req.config) {
+                sim = &entry.second;
+                break;
+            }
+        }
+        if (sim == nullptr) {
+            sims.emplace_back(req.config, Simulator(*req.config));
+            sim = &sims.back().second;
+        }
+        results.push_back(sim->runValidated(*req.graph, ws));
+    }
+    return results;
+}
+
 SimResult
 Simulator::runValidated(const Graph &input, PassWorkspace &ws) const
 {

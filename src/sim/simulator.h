@@ -79,6 +79,14 @@ struct SimResult
     std::vector<OpTiming> perOp;
 };
 
+/** One (graph, configuration) pair of a heterogeneous simulation
+ *  batch; both pointers must outlive the runBatchMulti call. */
+struct SimRequest
+{
+    const Graph *graph = nullptr;
+    const SimConfig *config = nullptr;
+};
+
 /**
  * The simulator. Stateless apart from configuration. run() keeps the
  * input graph const: pass annotations go into a reusable per-thread
@@ -104,6 +112,18 @@ class Simulator
      */
     std::vector<SimResult>
     runBatch(std::span<const Graph *const> graphs) const;
+
+    /**
+     * Simulate heterogeneous (graph, config) pairs in order — the joint
+     * multi-target path batches all (candidate x chip) pairs of one
+     * evaluation through a single call. As in runBatch, the calling
+     * thread's PassWorkspace is fetched once and each distinct graph
+     * pointer is validated once; one Simulator core is built per
+     * distinct config pointer. Results are element-for-element
+     * identical to per-pair run() calls.
+     */
+    static std::vector<SimResult>
+    runBatchMulti(std::span<const SimRequest> requests);
 
     /** The configured chip. */
     const hw::ChipSpec &chip() const { return _config.chip; }

@@ -14,13 +14,13 @@ namespace hw = h2o::hw;
 
 TEST(Chip, SpecsAreSane)
 {
-    for (auto model :
-         {hw::ChipModel::TpuV4, hw::ChipModel::TpuV4i, hw::ChipModel::GpuV100}) {
+    for (auto model : hw::allChipModels()) {
         hw::ChipSpec c = hw::chipSpec(model);
         EXPECT_GT(c.peakTensorFlops, c.peakVectorFlops) << c.name;
         EXPECT_GT(c.hbmBandwidth, 0.0) << c.name;
         EXPECT_GT(c.onChipBandwidth, c.hbmBandwidth) << c.name;
         EXPECT_GT(c.hbmCapacityBytes, c.onChipCapacityBytes) << c.name;
+        EXPECT_GE(c.onChipCapacityBytes, 0.0) << c.name;
         EXPECT_GT(c.computePowerW, 0.0) << c.name;
         EXPECT_GT(c.hbmEnergyPerByte, c.onChipEnergyPerByte) << c.name;
     }
@@ -37,8 +37,40 @@ TEST(Chip, NameParsing)
     EXPECT_EQ(hw::chipModelFromName("tpuv4"), hw::ChipModel::TpuV4);
     EXPECT_EQ(hw::chipModelFromName("tpuv4i"), hw::ChipModel::TpuV4i);
     EXPECT_EQ(hw::chipModelFromName("v100"), hw::ChipModel::GpuV100);
+    EXPECT_EQ(hw::chipModelFromName("gpuv100"), hw::ChipModel::GpuV100);
+    EXPECT_EQ(hw::chipModelFromName("edgecpu"), hw::ChipModel::EdgeCpu);
+    EXPECT_EQ(hw::chipModelFromName("edgenpu"), hw::ChipModel::EdgeNpu);
     EXPECT_EXIT(hw::chipModelFromName("abacus"),
                 testing::ExitedWithCode(1), "unknown chip");
+}
+
+TEST(Chip, RegistryRoundTripsAndErrorListsValidNames)
+{
+    // Every registry name parses back to its model, so flag help and
+    // the parser can never drift apart.
+    for (auto model : hw::allChipModels())
+        EXPECT_EQ(hw::chipModelFromName(hw::chipModelName(model)), model);
+    // The unknown-name error enumerates the whole registry.
+    std::string help = hw::chipNamesHelp();
+    for (auto model : hw::allChipModels())
+        EXPECT_NE(help.find(hw::chipModelName(model)), std::string::npos);
+    EXPECT_EXIT(hw::chipModelFromName("abacus"),
+                testing::ExitedWithCode(1),
+                "valid: .*edgecpu.*edgenpu");
+}
+
+TEST(Chip, EdgeChipsModelTheirClass)
+{
+    hw::ChipSpec cpu = hw::edgeCpu();
+    // CPU-class device: no software-managed scratchpad at all.
+    EXPECT_DOUBLE_EQ(cpu.onChipCapacityBytes, 0.0);
+    hw::ChipSpec npu = hw::edgeNpu();
+    // Small NPU: real but tight SRAM, far below the datacenter chips.
+    EXPECT_GT(npu.onChipCapacityBytes, 0.0);
+    EXPECT_LT(npu.onChipCapacityBytes, hw::tpuV4i().onChipCapacityBytes);
+    // Both are orders of magnitude below serving-TPU compute.
+    EXPECT_LT(cpu.peakTensorFlops, 0.01 * hw::tpuV4i().peakTensorFlops);
+    EXPECT_LT(npu.peakTensorFlops, 0.1 * hw::tpuV4i().peakTensorFlops);
 }
 
 TEST(Chip, PaperPlatforms)

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Standalone unit tests for search/pareto.{h,cc}: the dominance
+ * predicate's edge cases (exact ties, equal-cost distinct-quality
+ * points), batch front extraction, and the incrementally maintained
+ * ParetoTracker the multi-target search keeps per deployment chip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "search/pareto.h"
+
+using h2o::search::ParetoPoint;
+using h2o::search::ParetoTracker;
+using h2o::search::dominates;
+using h2o::search::hypervolume;
+using h2o::search::paretoFront;
+
+TEST(Dominates, StrictlyBetterInBothDominates)
+{
+    EXPECT_TRUE(dominates({2.0, 1.0}, {1.0, 2.0}));
+    EXPECT_FALSE(dominates({1.0, 2.0}, {2.0, 1.0}));
+}
+
+TEST(Dominates, ExactTieDominatesNeitherWay)
+{
+    ParetoPoint p{1.5, 3.0};
+    EXPECT_FALSE(dominates(p, p));
+}
+
+TEST(Dominates, EqualCostDistinctQuality)
+{
+    // Same cost, higher quality: dominates (no-worse + strictly better).
+    EXPECT_TRUE(dominates({2.0, 1.0}, {1.0, 1.0}));
+    EXPECT_FALSE(dominates({1.0, 1.0}, {2.0, 1.0}));
+}
+
+TEST(Dominates, EqualQualityDistinctCost)
+{
+    EXPECT_TRUE(dominates({1.0, 1.0}, {1.0, 2.0}));
+    EXPECT_FALSE(dominates({1.0, 2.0}, {1.0, 1.0}));
+}
+
+TEST(Dominates, TradeOffDominatesNeither)
+{
+    // Better quality but worse cost: incomparable.
+    EXPECT_FALSE(dominates({2.0, 2.0}, {1.0, 1.0}));
+    EXPECT_FALSE(dominates({1.0, 1.0}, {2.0, 2.0}));
+}
+
+TEST(ParetoFront, SinglePoint)
+{
+    auto front = paretoFront({{1.0, 1.0}});
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0], 0u);
+}
+
+TEST(ParetoFront, DominatedPointsDropOut)
+{
+    // index 1 is dominated by 0; 2 trades off against 0.
+    auto front = paretoFront({{2.0, 1.0}, {1.0, 2.0}, {3.0, 4.0}});
+    ASSERT_EQ(front.size(), 2u);
+    EXPECT_EQ(front[0], 0u); // cost ascending
+    EXPECT_EQ(front[1], 2u);
+}
+
+TEST(Tracker, SinglePointFront)
+{
+    ParetoTracker t;
+    EXPECT_TRUE(t.insert(7, {1.0, 2.0}));
+    EXPECT_EQ(t.size(), 1u);
+    auto front = t.front();
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0], 7u);
+    auto pts = t.frontPoints();
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_DOUBLE_EQ(pts[0].quality, 1.0);
+    EXPECT_DOUBLE_EQ(pts[0].cost, 2.0);
+}
+
+TEST(Tracker, ExactTieFirstInsertionWins)
+{
+    ParetoTracker t;
+    EXPECT_TRUE(t.insert(0, {1.0, 2.0}));
+    // Coordinate-for-coordinate equal: rejected, index 0 is retained.
+    EXPECT_FALSE(t.insert(1, {1.0, 2.0}));
+    ASSERT_EQ(t.front().size(), 1u);
+    EXPECT_EQ(t.front()[0], 0u);
+}
+
+TEST(Tracker, EqualCostDistinctQualityKeepsTheBetter)
+{
+    ParetoTracker t;
+    EXPECT_TRUE(t.insert(0, {1.0, 2.0}));
+    // Same cost, strictly higher quality: evicts the incumbent.
+    EXPECT_TRUE(t.insert(1, {3.0, 2.0}));
+    ASSERT_EQ(t.front().size(), 1u);
+    EXPECT_EQ(t.front()[0], 1u);
+    // Same cost, strictly lower quality: rejected.
+    EXPECT_FALSE(t.insert(2, {2.0, 2.0}));
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Tracker, DominatedInsertRejected)
+{
+    ParetoTracker t;
+    EXPECT_TRUE(t.insert(0, {2.0, 1.0}));
+    EXPECT_FALSE(t.insert(1, {1.0, 2.0}));
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Tracker, InsertEvictsAllDominatedMembers)
+{
+    ParetoTracker t;
+    EXPECT_TRUE(t.insert(0, {1.0, 3.0}));
+    EXPECT_TRUE(t.insert(1, {2.0, 4.0}));
+    EXPECT_TRUE(t.insert(2, {3.0, 5.0}));
+    EXPECT_EQ(t.size(), 3u);
+    // Dominates all three at once.
+    EXPECT_TRUE(t.insert(3, {4.0, 2.0}));
+    ASSERT_EQ(t.front().size(), 1u);
+    EXPECT_EQ(t.front()[0], 3u);
+}
+
+TEST(Tracker, FrontOrderedByCostAscending)
+{
+    ParetoTracker t;
+    t.insert(0, {3.0, 5.0});
+    t.insert(1, {1.0, 1.0});
+    t.insert(2, {2.0, 3.0});
+    auto front = t.front();
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_EQ(front[0], 1u);
+    EXPECT_EQ(front[1], 2u);
+    EXPECT_EQ(front[2], 0u);
+    auto pts = t.frontPoints();
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_DOUBLE_EQ(pts[0].cost, 1.0);
+    EXPECT_DOUBLE_EQ(pts[2].cost, 5.0);
+}
+
+TEST(Tracker, MatchesBatchParetoFront)
+{
+    // Incremental insertion of a stream must retain exactly the batch
+    // front's points (tie-free stream, so no first-wins divergence).
+    std::vector<ParetoPoint> pts = {
+        {1.0, 1.0}, {2.0, 2.5}, {0.5, 0.4}, {3.0, 2.6},
+        {2.9, 2.4}, {1.5, 0.9}, {0.9, 3.0},
+    };
+    ParetoTracker t;
+    for (size_t i = 0; i < pts.size(); ++i)
+        t.insert(i, pts[i]);
+    EXPECT_EQ(t.front(), paretoFront(pts));
+}
+
+TEST(Tracker, ClearEmptiesTheFront)
+{
+    ParetoTracker t;
+    t.insert(0, {1.0, 1.0});
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_TRUE(t.front().empty());
+    // And the tracker is reusable afterwards.
+    EXPECT_TRUE(t.insert(5, {1.0, 1.0}));
+    EXPECT_EQ(t.front()[0], 5u);
+}
+
+TEST(Hypervolume, SinglePointArea)
+{
+    // One point vs reference (quality 0, cost 4): area (q-0)*(4-c).
+    double hv = hypervolume({{2.0, 1.0}}, {0.0, 4.0});
+    EXPECT_DOUBLE_EQ(hv, 6.0);
+}

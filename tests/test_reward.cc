@@ -142,3 +142,52 @@ TEST(Reward, SparserFeasibleRegionFavorsReLU)
     EXPECT_GE(relu.compute(beating), relu.compute(touching));
     EXPECT_LT(abs.compute(beating), abs.compute(touching));
 }
+
+TEST(Reward, MultiTargetMinIsWorstPerTargetReluReward)
+{
+    // Each target gets its own ReLU reward against its own budget; the
+    // combined reward is the worst of them.
+    std::vector<rw::PerformanceObjective> objs = {{"tpuv4i", 1.0, -2.0},
+                                                  {"edgenpu", 4.0, -2.0}};
+    rw::MultiTargetReward multi(objs);
+    // Under both budgets: pure quality.
+    EXPECT_DOUBLE_EQ(multi.compute({0.9, {0.8, 3.0}}), 0.9);
+    // Only the second target over budget (6/4 - 1 = 0.5; -2 * 0.5).
+    EXPECT_DOUBLE_EQ(multi.compute({0.9, {0.8, 6.0}}), 0.9 - 1.0);
+    // Both over budget: the worse violation wins.
+    EXPECT_DOUBLE_EQ(multi.compute({0.9, {2.0, 6.0}}), 0.9 - 2.0);
+    // Per-objective penalty is still the single-sided ReLU.
+    EXPECT_DOUBLE_EQ(multi.penalty(-0.5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(multi.penalty(0.5, 1), 0.5);
+}
+
+TEST(Reward, MultiTargetSoftMinWeightsSkewTheBound)
+{
+    std::vector<rw::PerformanceObjective> objs = {{"a", 1.0, -1.0},
+                                                  {"b", 1.0, -1.0}};
+    // Nearly all weight on target a: softmin tracks r_a even when b is
+    // the violator.
+    rw::MultiTargetReward only_a(objs, rw::MultiTargetCombine::SoftMin,
+                                 0.05, {1.0, 1e-12});
+    EXPECT_NEAR(only_a.compute({0.9, {0.5, 2.0}}), 0.9, 1e-4);
+    // Uniform weights feel the violating target.
+    rw::MultiTargetReward uniform(objs, rw::MultiTargetCombine::SoftMin,
+                                  0.05);
+    EXPECT_LT(uniform.compute({0.9, {0.5, 2.0}}), 0.9);
+}
+
+TEST(Reward, MultiTargetValidation)
+{
+    EXPECT_DEATH(rw::MultiTargetReward({{"bad", 1.0, +1.0}}),
+                 "negative beta");
+    EXPECT_DEATH(rw::MultiTargetReward(oneObjective(),
+                                       rw::MultiTargetCombine::SoftMin,
+                                       0.0),
+                 "temperature");
+    rw::MultiTargetReward r(twoObjectives());
+    EXPECT_DEATH(r.compute({0.5, {1.0}}), "per-target costs");
+    EXPECT_DEATH(rw::MultiTargetReward(twoObjectives(),
+                                       rw::MultiTargetCombine::SoftMin,
+                                       0.05, {1.0, -1.0}),
+                 "weights must be positive");
+}

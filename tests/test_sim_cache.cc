@@ -121,6 +121,81 @@ TEST(SimCache, DistinctChipsAndConfigsNeverCollide)
     EXPECT_EQ(out.stepTimeSec, 99.0);
 }
 
+TEST(SimCache, AnySingleChipFieldChangeSeparatesKeys)
+{
+    // Multi-target search relies on the chip fingerprint keeping k
+    // chips' keyspaces disjoint — two chips differing in ANY one
+    // ChipSpec field must never alias, including through mergeFrom and
+    // save()/load() round trips.
+    hw::ChipSpec base = hw::tpuV4i();
+    std::vector<hw::ChipSpec> variants;
+    auto variant = [&](auto mutate) {
+        hw::ChipSpec c = base;
+        mutate(c);
+        variants.push_back(c);
+    };
+    variant([](hw::ChipSpec &c) { c.name = "TPUv4j"; });
+    variant([](hw::ChipSpec &c) { c.peakTensorFlops += 1.0; });
+    variant([](hw::ChipSpec &c) { c.peakVectorFlops += 1.0; });
+    variant([](hw::ChipSpec &c) { c.tensorTile += 1; });
+    variant([](hw::ChipSpec &c) { c.hbmCapacityBytes += 1.0; });
+    variant([](hw::ChipSpec &c) { c.hbmBandwidth += 1.0; });
+    variant([](hw::ChipSpec &c) { c.onChipCapacityBytes += 1.0; });
+    variant([](hw::ChipSpec &c) { c.onChipBandwidth += 1.0; });
+    variant([](hw::ChipSpec &c) { c.iciBandwidth += 1.0; });
+    variant([](hw::ChipSpec &c) { c.idlePowerW += 1.0; });
+    variant([](hw::ChipSpec &c) { c.computePowerW += 1.0; });
+    variant([](hw::ChipSpec &c) { c.hbmEnergyPerByte += 1e-12; });
+    variant([](hw::ChipSpec &c) { c.onChipEnergyPerByte += 1e-12; });
+
+    for (size_t i = 0; i < variants.size(); ++i)
+        EXPECT_NE(sim::chipFingerprint(variants[i]),
+                  sim::chipFingerprint(base))
+            << "field " << i << " does not reach the fingerprint";
+
+    std::vector<size_t> sample{3, 1, 4};
+    auto key_for = [&](const hw::ChipSpec &chip) {
+        return sim::makeSimCacheKey(sample, 0,
+                                    sim::SimConfig{chip, true, true, {}});
+    };
+    sim::SimCache cache(64);
+    cache.insert(key_for(base), resultWithStepTime(0.5));
+    for (size_t i = 0; i < variants.size(); ++i)
+        cache.insert(key_for(variants[i]),
+                     resultWithStepTime(double(i + 1)));
+    EXPECT_EQ(cache.stats().entries, variants.size() + 1);
+
+    auto expect_disjoint = [&](sim::SimCache &c, const char *stage) {
+        sim::SimResult out;
+        ASSERT_TRUE(c.lookup(key_for(base), out)) << stage;
+        EXPECT_EQ(out.stepTimeSec, 0.5) << stage;
+        for (size_t i = 0; i < variants.size(); ++i) {
+            ASSERT_TRUE(c.lookup(key_for(variants[i]), out))
+                << stage << " field " << i;
+            EXPECT_EQ(out.stepTimeSec, double(i + 1))
+                << stage << " field " << i << " aliased another chip";
+        }
+    };
+    expect_disjoint(cache, "direct");
+
+    // save()/load() round trip preserves the separation.
+    std::ostringstream os;
+    cache.save(os);
+    sim::SimCache reloaded(64);
+    std::istringstream is(os.str());
+    reloaded.load(is);
+    expect_disjoint(reloaded, "save/load");
+
+    // mergeFrom into a cache already holding the base entry: the
+    // variants union in WITHOUT touching the base chip's value.
+    sim::SimCache merged(64);
+    merged.insert(key_for(base), resultWithStepTime(0.5));
+    std::istringstream is2(os.str());
+    merged.mergeFrom(is2);
+    EXPECT_EQ(merged.stats().entries, variants.size() + 1);
+    expect_disjoint(merged, "mergeFrom");
+}
+
 TEST(SimCache, LruEvictsLeastRecentlyUsed)
 {
     // One shard, room for two entries: classic A,B, touch A, add C.
