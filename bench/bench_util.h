@@ -55,6 +55,15 @@ chipsFromFlags(const common::Flags &flags)
     return hw::TargetSet::fromNames(flags.getString("chips"));
 }
 
+/** Resolve the parsed --procs flag (register it with
+ *  common::defineProcsFlag; default from H2O_PROCS, fatal on malformed
+ *  values). 0 = in-process threads, N = N worker processes. */
+inline size_t
+procsFromFlags(const common::Flags &flags)
+{
+    return static_cast<size_t>(flags.getInt("procs"));
+}
+
 /** Promoted to src/eval so the NAS job server shares the
  *  implementation; the bench-local name keeps working. */
 using eval::CachedDlrmTimer;

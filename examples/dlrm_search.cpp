@@ -53,6 +53,7 @@ main(int argc, char **argv)
                        "checkpoint file for the H2O search (resumes when "
                        "it already exists; empty disables)");
     common::defineThreadsFlag(flags);
+    common::defineProcsFlag(flags);
     flags.parse(argc, argv);
     uint64_t seed = static_cast<uint64_t>(flags.getInt("seed"));
 
@@ -142,6 +143,7 @@ main(int argc, char **argv)
     cfg.numSteps = static_cast<size_t>(flags.getInt("steps"));
     cfg.warmupSteps = cfg.numSteps / 5;
     cfg.threads = static_cast<size_t>(flags.getInt("threads"));
+    cfg.procs = static_cast<size_t>(flags.getInt("procs"));
     cfg.checkpointPath = flags.getString("checkpoint");
     cfg.checkpointEvery = 10;
     search::H2oDlrmSearch h2o_search(space, supernet, *pipe, perf_fn,

@@ -8,7 +8,7 @@
  * single-sided ReLU reward, and prints the architecture the policy
  * converged to.
  *
- *   $ ./quickstart [--threads=N]
+ *   $ ./quickstart [--threads=N] [--procs=N]
  */
 
 #include <iostream>
@@ -29,6 +29,7 @@ main(int argc, char **argv)
 {
     common::Flags flags;
     common::defineThreadsFlag(flags);
+    common::defineProcsFlag(flags);
     flags.parse(argc, argv);
 
     // 1. A baseline DLRM to search around: 3 embedding tables, a small
@@ -73,6 +74,7 @@ main(int argc, char **argv)
     config.numSteps = 100;
     config.warmupSteps = 20;
     config.threads = static_cast<size_t>(flags.getInt("threads"));
+    config.procs = static_cast<size_t>(flags.getInt("procs"));
     search::H2oDlrmSearch search(
         space, supernet, pipe,
         [&](const searchspace::Sample &s) {

@@ -11,7 +11,8 @@
  * Finishes with a results table, the telemetry tail, and the shared
  * cache's cross-tenant hit statistics.
  *
- *   $ ./serve_demo [--threads=N] [--steps=N] [--telemetry_csv=FILE]
+ *   $ ./serve_demo [--threads=N] [--procs=N] [--steps=N]
+ *                [--telemetry_csv=FILE]
  */
 
 #include <cstdlib>
@@ -29,6 +30,7 @@ main(int argc, char **argv)
 {
     common::Flags flags;
     common::defineThreadsFlag(flags);
+    common::defineProcsFlag(flags);
     flags.defineInt("steps", 12, "search steps per job");
     flags.defineString("checkpoint_dir", "serve_demo_ckpt",
                        "directory for pause/resume checkpoints");
@@ -37,6 +39,7 @@ main(int argc, char **argv)
     flags.parse(argc, argv);
 
     const auto steps = static_cast<size_t>(flags.getInt("steps"));
+    const auto procs = static_cast<size_t>(flags.getInt("procs"));
 
     serve::ServeConfig config;
     config.threads = static_cast<size_t>(flags.getInt("threads"));
@@ -57,6 +60,7 @@ main(int argc, char **argv)
         spec.seed = seed;
         spec.numSteps = steps;
         spec.stepTimeTargetRel = rel;
+        spec.procs = procs;
         return server.submit(spec);
     };
     uint64_t tight = surrogate("latency-0.85x", 11, 0.85);
@@ -68,12 +72,14 @@ main(int argc, char **argv)
     super.kind = serve::JobKind::DlrmSupernet;
     super.seed = 21;
     super.numSteps = steps;
+    super.procs = procs;
     server.submit(super);
     serve::JobSpec tunas;
     tunas.name = "tunas";
     tunas.kind = serve::JobKind::DlrmTunas;
     tunas.seed = 22;
     tunas.numSteps = steps;
+    tunas.procs = procs;
     server.submit(tunas);
     std::cout << "submitted " << server.queue().size()
               << " jobs (3 concurrency slots, slice quantum "

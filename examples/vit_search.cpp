@@ -34,6 +34,7 @@ main(int argc, char **argv)
     flags.defineInt("shards", 8, "parallel candidates per step");
     flags.defineInt("seed", 19, "RNG seed");
     common::defineThreadsFlag(flags);
+    common::defineProcsFlag(flags);
     flags.parse(argc, argv);
 
     hw::Platform train = hw::trainingPlatform();
@@ -70,6 +71,7 @@ main(int argc, char **argv)
     cfg.rl.learningRate = 0.08;
     cfg.rl.entropyWeight = 5e-3;
     cfg.threads = static_cast<size_t>(flags.getInt("threads"));
+    cfg.procs = static_cast<size_t>(flags.getInt("procs"));
     search::SurrogateSearch search(space.decisions(), quality_fn, perf_fn,
                                    reward, cfg);
     common::Rng rng(static_cast<uint64_t>(flags.getInt("seed")));

@@ -153,4 +153,27 @@ defineThreadsFlag(Flags &flags)
                     "hardware thread; default from H2O_THREADS)");
 }
 
+int64_t
+procsFlagDefault()
+{
+    const char *env = std::getenv("H2O_PROCS");
+    if (!env || *env == '\0')
+        return 0;
+    char *end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || v < 0)
+        h2o_fatal("malformed H2O_PROCS='", env,
+                  "': expected a non-negative integer (0 = in-process, "
+                  "N = N worker processes)");
+    return v;
+}
+
+void
+defineProcsFlag(Flags &flags)
+{
+    flags.defineInt("procs", procsFlagDefault(),
+                    "worker processes for shard evaluation (0 = "
+                    "in-process threads; default from H2O_PROCS)");
+}
+
 } // namespace h2o::common

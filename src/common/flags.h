@@ -84,6 +84,18 @@ int64_t threadsFlagDefault();
 /** Register the standard --threads flag with the shared help text. */
 void defineThreadsFlag(Flags &flags);
 
+/**
+ * Default value for a --procs flag: the H2O_PROCS environment variable
+ * when set, otherwise 0 (in-process thread execution — no workers are
+ * forked). Unlike H2O_THREADS, a malformed or negative H2O_PROCS is
+ * FATAL rather than ignored: silently falling back to 0 would silently
+ * drop the multi-process transport the user asked for.
+ */
+int64_t procsFlagDefault();
+
+/** Register the standard --procs flag with the shared help text. */
+void defineProcsFlag(Flags &flags);
+
 } // namespace h2o::common
 
 #endif // H2O_COMMON_FLAGS_H

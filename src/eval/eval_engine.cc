@@ -1,5 +1,7 @@
 #include "eval/eval_engine.h"
 
+#include <atomic>
+
 #include "common/logging.h"
 
 namespace h2o::eval {
@@ -18,10 +20,58 @@ batchify(PerfFn fn)
     };
 }
 
+namespace {
+
+/**
+ * The worker-side eval task: decode one candidate, run the pure
+ * per-candidate quality and/or performance functions, encode the
+ * answers. Captures COPIES of the functors so the fork-time snapshot is
+ * self-contained.
+ *
+ * Request:  u32 wantQuality | u64 decisionCount | u64 per decision
+ * Response: u32 hasQuality [f64 quality] | u32 perfCount | f64 each
+ */
+exec::ProcTaskFn
+makeEvalTask(QualityFn quality, PerfFn perf)
+{
+    return [quality = std::move(quality), perf = std::move(perf)](
+               uint64_t, uint64_t, const std::string &request) {
+        exec::WireReader req(request);
+        const bool wantQuality = req.getU32() != 0;
+        searchspace::Sample sample(req.getU64());
+        for (auto &d : sample)
+            d = static_cast<size_t>(req.getU64());
+
+        exec::WireWriter out;
+        if (wantQuality) {
+            if (!quality)
+                throw std::runtime_error(
+                    "eval task asked for quality but the engine was "
+                    "built without a pure quality functor");
+            out.putU32(1);
+            out.putDouble(quality(sample));
+        } else {
+            out.putU32(0);
+        }
+        if (perf) {
+            std::vector<double> values = perf(sample);
+            out.putU32(static_cast<uint32_t>(values.size()));
+            for (double v : values)
+                out.putDouble(v);
+        } else {
+            out.putU32(0);
+        }
+        return out.take();
+    };
+}
+
+} // namespace
+
 EvalEngine::EvalEngine(PerfStage perf,
                        const reward::RewardFunction &rewardf,
-                       EvalEngineConfig config)
+                       EvalEngineConfig config, QualityFn quality)
     : _perf(std::move(perf)), _reward(rewardf), _config(config),
+      _quality(std::move(quality)),
       _pool(config.multithread
                 ? exec::ThreadPool::resolve(config.threads,
                                             config.numShards)
@@ -34,6 +84,26 @@ EvalEngine::EvalEngine(PerfStage perf,
     h2o_assert(_perf.perCandidate || _perf.batched,
                "null performance functor");
     h2o_assert(_config.numShards > 0, "engine with zero shards");
+
+    if (_config.procs > 0) {
+        // Register the eval task, THEN fork the pool — workers only
+        // know tasks registered before their fork. The name is unique
+        // per engine instance because one process may host several
+        // engines at once (serve::Server runs one per job).
+        static std::atomic<uint64_t> instances{0};
+        _taskReg = std::make_unique<exec::ProcTaskRegistration>(
+            "eval_engine/" + std::to_string(instances.fetch_add(1)),
+            makeEvalTask(_quality, _perf.perCandidate));
+        _procPool = std::make_unique<exec::ProcPool>(
+            exec::ProcPool::resolve(_config.procs, _config.numShards));
+        _procRunner = std::make_unique<exec::ProcRunner>(
+            *_procPool,
+            exec::ShardRunnerConfig{_config.numShards,
+                                    _config.maxShardAttempts,
+                                    _config.retryBackoffMs,
+                                    _config.inlineSingleThread},
+            _config.faults);
+    }
 }
 
 void
@@ -61,9 +131,48 @@ EvalEngine::finishStep(StepEval &ev)
             _reward.compute({ev.qualities[s], ev.performance[s]});
 }
 
+void
+EvalEngine::runProcStage(size_t step, const SampleBodyFn &body,
+                         bool withQuality, StepEval &ev)
+{
+    exec::ProcShardTask task;
+    task.name = _taskReg->name();
+    // Encode = the draw. ProcRunner runs it at the exact point the
+    // thread path runs the shard body (after the fault decision, at
+    // most once per step unless the worker task throws), so each
+    // shard's RNG stream advances exactly as it would in-process.
+    task.encode = [&](size_t s) {
+        body(s, ev.samples[s]);
+        exec::WireWriter w;
+        w.putU32(withQuality ? 1u : 0u);
+        w.putU64(ev.samples[s].size());
+        for (size_t d : ev.samples[s])
+            w.putU64(static_cast<uint64_t>(d));
+        return w.take();
+    };
+    task.decode = [&](size_t s, const std::string &response) {
+        exec::WireReader r(response);
+        if (r.getU32() != 0)
+            ev.qualities[s] = r.getDouble();
+        const uint32_t perfCount = r.getU32();
+        if (_perf.perCandidate) {
+            std::vector<double> values(perfCount);
+            for (auto &v : values)
+                v = r.getDouble();
+            ev.performance[s] = std::move(values);
+        }
+    };
+    ev.report = _procRunner->runStep(step, task);
+}
+
 StepEval
 EvalEngine::evaluate(size_t step, const ShardBodyFn &body)
 {
+    if (_procRunner)
+        h2o_fatal("per-shard quality closures cannot cross the process "
+                  "boundary; with procs > 0 use the draw-only "
+                  "evaluate() overloads (pure quality functor or "
+                  "batched quality)");
     const size_t n = _config.numShards;
     StepEval ev;
     ev.samples.resize(n);
@@ -89,6 +198,42 @@ EvalEngine::evaluate(size_t step, const ShardBodyFn &body)
 }
 
 StepEval
+EvalEngine::evaluate(size_t step, const SampleBodyFn &body)
+{
+    h2o_assert(_quality, "draw-only evaluate() requires the engine to "
+                         "be built with a pure quality functor");
+    if (!_procRunner) {
+        // Thread path: compose the historical per-shard body (draw,
+        // then quality, inside the shard body) so results are
+        // bit-identical to engines that predate the draw-only mode.
+        const QualityFn &quality = _quality;
+        return evaluate(step,
+                        ShardBodyFn([&body, &quality](
+                                        size_t s,
+                                        searchspace::Sample &sample,
+                                        double &q) {
+                            body(s, sample);
+                            q = quality(sample);
+                        }));
+    }
+
+    const size_t n = _config.numShards;
+    StepEval ev;
+    ev.samples.resize(n);
+    ev.qualities.assign(n, 0.0);
+    ev.performance.resize(n);
+    ev.rewards.assign(n, 0.0);
+
+    runProcStage(step, body, /*withQuality=*/true, ev);
+    ev.survivors = ev.report.survivors();
+    if (ev.survivors.empty())
+        return ev;
+
+    finishStep(ev);
+    return ev;
+}
+
+StepEval
 EvalEngine::evaluate(size_t step, const SampleBodyFn &body,
                      const QualityBatchFn &quality)
 {
@@ -103,12 +248,18 @@ EvalEngine::evaluate(size_t step, const SampleBodyFn &body,
     // Stage 1: draw-only shard bodies under the fault-tolerant runner —
     // fault semantics are unchanged (a degraded shard never draws, its
     // RNG stream never advances). Per-candidate performance still rides
-    // along so device-in-the-loop functions overlap across workers.
-    ev.report = _runner.runStep(step, [&](size_t s) {
-        body(s, ev.samples[s]);
-        if (_perf.perCandidate)
-            ev.performance[s] = _perf.perCandidate(ev.samples[s]);
-    });
+    // along (inside the shard body on the thread path, inside the
+    // worker processes in proc mode) so device-in-the-loop functions
+    // overlap across workers.
+    if (_procRunner) {
+        runProcStage(step, body, /*withQuality=*/false, ev);
+    } else {
+        ev.report = _runner.runStep(step, [&](size_t s) {
+            body(s, ev.samples[s]);
+            if (_perf.perCandidate)
+                ev.performance[s] = _perf.perCandidate(ev.samples[s]);
+        });
+    }
     ev.survivors = ev.report.survivors();
     if (ev.survivors.empty())
         return ev;

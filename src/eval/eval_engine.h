@@ -43,9 +43,12 @@
 #define H2O_EVAL_EVAL_ENGINE_H
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "exec/proc_runner.h"
+#include "exec/proc_transport.h"
 #include "exec/shard_runner.h"
 #include "exec/thread_pool.h"
 #include "reward/reward.h"
@@ -56,6 +59,12 @@ namespace h2o::eval {
 /** Candidate -> performance objective values (e.g. perf-model query). */
 using PerfFn =
     std::function<std::vector<double>(const searchspace::Sample &)>;
+
+/** Candidate -> quality signal; PURE (same candidate, same answer,
+ *  regardless of process or thread). Required for the process
+ *  transport's worker-side quality stage; also drives the draw-only
+ *  evaluate(step, SampleBodyFn) overload on the thread path. */
+using QualityFn = std::function<double(const searchspace::Sample &)>;
 
 /** Batch of candidates -> objective values, one vector per candidate.
  *  The batched analogue of PerfFn; must be pure (same answer for the
@@ -111,6 +120,19 @@ struct EvalEngineConfig
      *  exec::ShardRunnerConfig::inlineSingleWorker), no cross-thread
      *  hand-off cost. Disable only to A/B the dispatch path. */
     bool inlineSingleThread = true;
+    /**
+     * Worker PROCESSES for the shard stage (the multi-process
+     * transport, exec::ProcRunner). 0 keeps everything in-process (the
+     * thread path above). >= 1 forks that many workers (clamped to
+     * numShards) at engine construction and ships each shard's pure
+     * work — the per-candidate quality when the engine was built with
+     * one, plus the per-candidate performance stage when configured —
+     * into them; draws, fault decisions, batched stages and aggregation
+     * stay coordinator-side. Any value (including 1 vs the pure-thread
+     * path) produces byte-identical results; `threads` then only sizes
+     * the coordinator pool still used for non-evaluate runner() steps.
+     */
+    size_t procs = 0;
 };
 
 /**
@@ -168,24 +190,41 @@ class EvalEngine
     /**
      * @param perf    Performance stage (pure). A PerfBatchFn runs once
      *                per step on the caller's thread; a PerfFn runs per
-     *                candidate inside the shard body.
+     *                candidate inside the shard body (or inside a
+     *                worker process in proc mode).
      * @param rewardf Multi-objective reward; not owned, must outlive
      *                the engine.
      * @param config  Shard count and runtime knobs.
+     * @param quality Optional PURE per-candidate quality. Enables the
+     *                draw-only evaluate(step, SampleBodyFn) overload;
+     *                in proc mode it runs inside the worker processes
+     *                (it is captured before the workers fork).
      */
     EvalEngine(PerfStage perf, const reward::RewardFunction &rewardf,
-               EvalEngineConfig config);
+               EvalEngineConfig config, QualityFn quality = nullptr);
 
     /**
      * Evaluate one step: run `body` for every shard (concurrently,
      * fault-tolerantly), then one batched performance call and the
      * reward over the survivors.
      *
+     * Thread-path only: the closure computes quality inline, which
+     * cannot cross a process boundary — fatal when procs > 0 (use the
+     * draw-only overloads there).
+     *
      * @param step Step index keying fault-injection decisions; callers
      *             with multiple runStep phases (warm-up, W-steps) must
      *             keep the combined sequence strictly increasing.
      */
     StepEval evaluate(size_t step, const ShardBodyFn &body);
+
+    /**
+     * Draw-only + pure-quality mode (requires the ctor `quality`):
+     * `body` draws each shard's candidate; the engine computes quality
+     * per candidate — inside the shard body on the thread path, inside
+     * the worker processes in proc mode. Bit-identical either way.
+     */
+    StepEval evaluate(size_t step, const SampleBodyFn &body);
 
     /**
      * Batched quality mode: run the draw-only `body` for every shard
@@ -210,16 +249,41 @@ class EvalEngine
     /** Shard count. */
     size_t numShards() const { return _config.numShards; }
 
+    /** True when the engine ships shard work to worker processes. */
+    bool multiproc() const { return _procPool != nullptr; }
+
+    /** Worker-process pool, or nullptr on the thread path. */
+    exec::ProcPool *procPool() { return _procPool.get(); }
+
+    /** Per-worker transport/liveness counters; empty on the thread
+     *  path (no worker processes to report on). */
+    exec::ProcPoolStats transportStats() const
+    {
+        return _procPool ? _procPool->stats() : exec::ProcPoolStats{};
+    }
+
   private:
     /** Shared stage-2/3 tail: batched performance over the survivors,
      *  then the reward in shard-index order. */
     void finishStep(StepEval &ev);
 
+    /** Proc-mode stage 1: draw coordinator-side, ship quality/perf to
+     *  the worker processes. `withQuality` = ask workers for quality
+     *  (draw-only batched mode sends perf-only / ack requests). */
+    void runProcStage(size_t step, const SampleBodyFn &body,
+                      bool withQuality, StepEval &ev);
+
     PerfStage _perf;
     const reward::RewardFunction &_reward;
     EvalEngineConfig _config;
+    QualityFn _quality;
     exec::ThreadPool _pool;
     exec::ShardRunner _runner;
+    /** Process transport (config.procs > 0 only). Registration order
+     *  matters: the task must be registered before the pool forks. */
+    std::unique_ptr<exec::ProcTaskRegistration> _taskReg;
+    std::unique_ptr<exec::ProcPool> _procPool;
+    std::unique_ptr<exec::ProcRunner> _procRunner;
 };
 
 } // namespace h2o::eval

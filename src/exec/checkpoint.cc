@@ -1,26 +1,94 @@
 #include "exec/checkpoint.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/logging.h"
 
 namespace h2o::exec {
 
+namespace {
+
+/** The directory holding `path` ("." for bare filenames). */
+std::string
+parentDir(const std::string &path)
+{
+    auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+/** fsync a directory so a just-renamed entry survives power loss. */
+void
+syncDir(const std::string &dir)
+{
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        h2o_fatal("cannot open checkpoint directory '", dir,
+                  "' for fsync: ", std::strerror(errno));
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        h2o_fatal("fsync of checkpoint directory '", dir,
+                  "' failed: ", std::strerror(err));
+    }
+    ::close(fd);
+}
+
+} // namespace
+
 void
 CheckpointWriter::commit(const std::string &path)
 {
+    // Durability order: write + fsync the temp FILE (its bytes are on
+    // stable storage), fsync its DIRECTORY (the temp entry is durable),
+    // rename over the destination, fsync the directory again (the
+    // rename itself is durable). Any crash leaves either the previous
+    // complete checkpoint or the new complete one — never a truncated
+    // or lost file.
     const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out)
-            h2o_fatal("cannot open checkpoint temp file '", tmp, "'");
-        out << _buf.str();
-        out.flush();
-        if (!out)
-            h2o_fatal("failed writing checkpoint temp file '", tmp, "'");
+    const std::string payload = _buf.str();
+
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        h2o_fatal("cannot open checkpoint temp file '", tmp,
+                  "': ", std::strerror(errno));
+    size_t off = 0;
+    while (off < payload.size()) {
+        ssize_t n = ::write(fd, payload.data() + off,
+                            payload.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            h2o_fatal("failed writing checkpoint temp file '", tmp,
+                      "': ", std::strerror(err));
+        }
+        off += static_cast<size_t>(n);
     }
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        h2o_fatal("fsync of checkpoint temp file '", tmp,
+                  "' failed: ", std::strerror(err));
+    }
+    if (::close(fd) != 0)
+        h2o_fatal("close of checkpoint temp file '", tmp,
+                  "' failed: ", std::strerror(errno));
+
+    const std::string dir = parentDir(path);
+    syncDir(dir);
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        h2o_fatal("failed publishing checkpoint '", path, "'");
+        h2o_fatal("failed publishing checkpoint '", path,
+                  "': ", std::strerror(errno));
+    syncDir(dir);
 }
 
 bool

@@ -10,8 +10,10 @@
  * and a restarted process resumes to a bit-identical SearchOutcome.
  *
  * Writers buffer the whole checkpoint in memory and commit() it with the
- * write-temp-then-rename idiom, so a preemption mid-write never leaves a
- * truncated checkpoint behind: the previous complete checkpoint survives.
+ * write-temp-fsync-then-rename idiom (temp file AND its directory are
+ * fsynced before and after the rename), so a preemption or power loss
+ * mid-write never leaves a truncated checkpoint behind: either the
+ * previous complete checkpoint or the new complete one survives.
  * The payload format is the strict tagged text of common/serialize, plus
  * exact (non-double-roundtripped) encodings for 64-bit counters and
  * RNG engine state added alongside it.
@@ -34,9 +36,11 @@ class CheckpointWriter
     std::ostream &stream() { return _buf; }
 
     /**
-     * Atomically publish the buffered payload at `path` (write to
-     * `path.tmp`, fsync-free rename over the destination). Fatal when
-     * the file cannot be written.
+     * Atomically AND durably publish the buffered payload at `path`:
+     * write `path.tmp`, fsync the file and its directory, rename over
+     * the destination, fsync the directory again. Fatal when the file
+     * cannot be written or any fsync fails (a checkpoint that may
+     * vanish on power loss is worse than a loud crash).
      */
     void commit(const std::string &path);
 

@@ -1,0 +1,457 @@
+#include "exec/proc_transport.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace h2o::exec {
+
+namespace {
+
+/** Process-global task registry (coordinator side). */
+std::map<std::string, ProcTaskFn> &
+registry()
+{
+    static std::map<std::string, ProcTaskFn> tasks;
+    return tasks;
+}
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/**
+ * The registry snapshot a forked worker resolves tasks from. Filled by
+ * spawn() (under the registry lock) immediately before fork so the
+ * child never touches the registry mutex — another coordinator thread
+ * could hold it at fork time, and a copied-held mutex deadlocks the
+ * single-threaded child.
+ */
+std::map<std::string, ProcTaskFn> g_forkSnapshot;
+
+/** Frames above this are a protocol bug, not a payload. */
+constexpr uint32_t kMaxFrameBytes = 1u << 30;
+
+/** Loop a full send over partial writes; MSG_NOSIGNAL so a dead peer
+ *  surfaces as EPIPE instead of killing the process. */
+bool
+sendAll(int fd, const void *data, size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** Loop a full recv; false on EOF or error (peer death). */
+bool
+recvAll(int fd, void *data, size_t len)
+{
+    char *p = static_cast<char *>(data);
+    while (len > 0) {
+        ssize_t n = ::recv(fd, p, len, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // EOF: peer is gone
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** Write one length-prefixed frame. */
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    h2o_assert(payload.size() < kMaxFrameBytes, "oversized frame");
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    if (!sendAll(fd, &len, sizeof(len)))
+        return false;
+    return sendAll(fd, payload.data(), payload.size());
+}
+
+/** Read one length-prefixed frame. */
+bool
+readFrame(int fd, std::string &payload)
+{
+    uint32_t len = 0;
+    if (!recvAll(fd, &len, sizeof(len)))
+        return false;
+    if (len >= kMaxFrameBytes)
+        return false; // corrupt length: treat the peer as gone
+    payload.resize(len);
+    if (len > 0 && !recvAll(fd, payload.data(), len))
+        return false;
+    return true;
+}
+
+/** Response status codes. */
+constexpr uint32_t kStatusOk = 0;
+constexpr uint32_t kStatusError = 1;
+
+} // namespace
+
+// ------------------------------------------------- ProcTaskRegistration
+
+ProcTaskRegistration::ProcTaskRegistration(std::string name, ProcTaskFn fn)
+    : _name(std::move(name))
+{
+    h2o_assert(fn, "null proc task");
+    std::lock_guard<std::mutex> lock(registryMutex());
+    auto [it, inserted] = registry().emplace(_name, std::move(fn));
+    (void)it;
+    h2o_assert(inserted, "duplicate proc task registration '", _name, "'");
+}
+
+ProcTaskRegistration::~ProcTaskRegistration()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    registry().erase(_name);
+}
+
+// ---------------------------------------------------------- Wire codecs
+
+void
+WireWriter::putU32(uint32_t v)
+{
+    char b[sizeof(v)];
+    std::memcpy(b, &v, sizeof(v));
+    _buf.append(b, sizeof(v));
+}
+
+void
+WireWriter::putU64(uint64_t v)
+{
+    char b[sizeof(v)];
+    std::memcpy(b, &v, sizeof(v));
+    _buf.append(b, sizeof(v));
+}
+
+void
+WireWriter::putDouble(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(bits);
+}
+
+void
+WireWriter::putBytes(const std::string &bytes)
+{
+    h2o_assert(bytes.size() < kMaxFrameBytes, "oversized wire blob");
+    putU32(static_cast<uint32_t>(bytes.size()));
+    _buf.append(bytes);
+}
+
+void
+WireReader::need(size_t n) const
+{
+    if (_pos + n > _buf.size())
+        throw std::runtime_error("truncated wire payload");
+}
+
+uint32_t
+WireReader::getU32()
+{
+    need(sizeof(uint32_t));
+    uint32_t v;
+    std::memcpy(&v, _buf.data() + _pos, sizeof(v));
+    _pos += sizeof(v);
+    return v;
+}
+
+uint64_t
+WireReader::getU64()
+{
+    need(sizeof(uint64_t));
+    uint64_t v;
+    std::memcpy(&v, _buf.data() + _pos, sizeof(v));
+    _pos += sizeof(v);
+    return v;
+}
+
+double
+WireReader::getDouble()
+{
+    uint64_t bits = getU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+WireReader::getBytes()
+{
+    uint32_t len = getU32();
+    need(len);
+    std::string out = _buf.substr(_pos, len);
+    _pos += len;
+    return out;
+}
+
+// -------------------------------------------------------- ProcPoolStats
+
+uint64_t
+ProcPoolStats::totalTasksServed() const
+{
+    uint64_t n = 0;
+    for (const auto &w : workers)
+        n += w.tasksServed;
+    return n;
+}
+
+uint64_t
+ProcPoolStats::totalRespawns() const
+{
+    uint64_t n = 0;
+    for (const auto &w : workers)
+        n += w.respawns;
+    return n;
+}
+
+uint64_t
+ProcPoolStats::totalBytes() const
+{
+    uint64_t n = 0;
+    for (const auto &w : workers)
+        n += w.bytesSent + w.bytesReceived;
+    return n;
+}
+
+// ------------------------------------------------------------- ProcPool
+
+ProcPool::ProcPool(size_t workers)
+{
+    h2o_assert(workers > 0, "proc pool with zero workers");
+    _workers.resize(workers);
+    for (size_t slot = 0; slot < workers; ++slot)
+        spawn(slot);
+}
+
+ProcPool::~ProcPool()
+{
+    // Closing the coordinator end EOFs the worker's read loop; it
+    // _exit(0)s and we reap it. A wedged worker (stuck in a task) is
+    // killed so the destructor never blocks indefinitely.
+    for (auto &w : _workers) {
+        if (w.fd >= 0)
+            ::close(w.fd);
+    }
+    for (auto &w : _workers) {
+        if (w.pid > 0) {
+            ::kill(w.pid, SIGKILL);
+            ::waitpid(w.pid, nullptr, 0);
+        }
+    }
+}
+
+void
+ProcPool::spawn(size_t slot)
+{
+    Worker &w = _workers[slot];
+    h2o_assert(w.pid <= 0 && w.fd < 0, "respawning a live worker");
+
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        h2o_fatal("socketpair failed for proc worker: ",
+                  std::strerror(errno));
+
+    // Snapshot the task registry for the child (see g_forkSnapshot).
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        g_forkSnapshot = registry();
+    }
+    // Flush stdio so buffered output is not duplicated into the child.
+    std::fflush(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0)
+        h2o_fatal("fork failed for proc worker: ", std::strerror(errno));
+    if (pid == 0) {
+        // Worker: drop every coordinator-side fd we inherited — ours
+        // and our siblings' (holding a sibling's coordinator end would
+        // keep its socket open after the coordinator closes it, hiding
+        // the EOF its worker shuts down on).
+        for (const auto &other : _workers) {
+            if (other.fd >= 0)
+                ::close(other.fd);
+        }
+        ::close(fds[0]);
+        workerMain(fds[1]);
+    }
+    ::close(fds[1]);
+    w.pid = pid;
+    w.fd = fds[0];
+    w.stats.pid = static_cast<uint64_t>(pid);
+    w.stats.alive = true;
+}
+
+void
+ProcPool::workerMain(int fd)
+{
+    // One request at a time, forever, until the coordinator hangs up.
+    // Tasks resolve against the fork-time registry snapshot — lock-free,
+    // because this process is single-threaded by construction.
+    std::string frame;
+    while (readFrame(fd, frame)) {
+        WireWriter reply;
+        try {
+            WireReader req(frame);
+            std::string task = req.getBytes();
+            uint64_t step = req.getU64();
+            uint64_t shard = req.getU64();
+            std::string payload = req.getBytes();
+            auto it = g_forkSnapshot.find(task);
+            if (it == g_forkSnapshot.end())
+                throw std::runtime_error("unknown proc task '" + task +
+                                         "' (registered after fork?)");
+            std::string result = it->second(step, shard, payload);
+            reply.putU32(kStatusOk);
+            reply.putBytes(result);
+        } catch (const std::exception &e) {
+            reply = WireWriter();
+            reply.putU32(kStatusError);
+            reply.putBytes(e.what());
+        }
+        if (!writeFrame(fd, reply.bytes()))
+            break; // coordinator is gone
+    }
+    // _exit, not exit: never run the coordinator's atexit handlers or
+    // static destructors in the worker copy.
+    ::_exit(0);
+}
+
+std::optional<std::string>
+ProcPool::call(size_t worker, const std::string &task, uint64_t step,
+               uint64_t shard, const std::string &request)
+{
+    h2o_assert(worker < _workers.size(), "proc worker out of range");
+    Worker &w = _workers[worker];
+    if (w.fd < 0)
+        return std::nullopt; // already known dead; await respawnDead()
+
+    WireWriter msg;
+    msg.putBytes(task);
+    msg.putU64(step);
+    msg.putU64(shard);
+    msg.putBytes(request);
+
+    if (!writeFrame(w.fd, msg.bytes())) {
+        markDead(worker);
+        return std::nullopt;
+    }
+    w.stats.bytesSent += sizeof(uint32_t) + msg.bytes().size();
+
+    std::string reply;
+    if (!readFrame(w.fd, reply)) {
+        markDead(worker);
+        return std::nullopt;
+    }
+    w.stats.bytesReceived += sizeof(uint32_t) + reply.size();
+
+    WireReader r(reply);
+    uint32_t status = r.getU32();
+    std::string payload = r.getBytes();
+    if (status != kStatusOk)
+        throw std::runtime_error("proc task '" + task + "' failed: " +
+                                 payload);
+    ++w.stats.tasksServed;
+    return payload;
+}
+
+void
+ProcPool::markDead(size_t slot)
+{
+    Worker &w = _workers[slot];
+    if (w.fd >= 0) {
+        ::close(w.fd);
+        w.fd = -1;
+    }
+    if (w.pid > 0) {
+        // The transport failed, so the worker is dead or wedged; make
+        // it the former and reap it so respawnDead() can re-fork.
+        ::kill(w.pid, SIGKILL);
+        ::waitpid(w.pid, nullptr, 0);
+        w.pid = -1;
+    }
+    w.stats.alive = false;
+    w.stats.pid = 0;
+}
+
+bool
+ProcPool::alive(size_t worker) const
+{
+    h2o_assert(worker < _workers.size(), "proc worker out of range");
+    return _workers[worker].fd >= 0;
+}
+
+void
+ProcPool::respawnDead()
+{
+    for (size_t slot = 0; slot < _workers.size(); ++slot) {
+        if (_workers[slot].fd >= 0)
+            continue;
+        spawn(slot);
+        ++_workers[slot].stats.respawns;
+    }
+}
+
+void
+ProcPool::killWorker(size_t worker)
+{
+    h2o_assert(worker < _workers.size(), "proc worker out of range");
+    pid_t pid = _workers[worker].pid;
+    if (pid > 0)
+        ::kill(pid, SIGKILL);
+}
+
+pid_t
+ProcPool::workerPid(size_t worker) const
+{
+    h2o_assert(worker < _workers.size(), "proc worker out of range");
+    return _workers[worker].pid > 0 ? _workers[worker].pid : 0;
+}
+
+ProcPoolStats
+ProcPool::stats() const
+{
+    ProcPoolStats s;
+    s.workers.reserve(_workers.size());
+    for (const auto &w : _workers)
+        s.workers.push_back(w.stats);
+    return s;
+}
+
+size_t
+ProcPool::resolve(size_t requested, size_t work_items)
+{
+    h2o_assert(requested > 0, "resolve() needs a positive proc count");
+    if (work_items == 0)
+        work_items = 1;
+    return std::min(requested, work_items);
+}
+
+} // namespace h2o::exec

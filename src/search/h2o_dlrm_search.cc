@@ -24,6 +24,24 @@ namespace h2o::search {
 class H2oDlrmStepper final : public StepwiseSearch
 {
   public:
+    static eval::EvalEngineConfig
+    engineConfig(const H2oSearchConfig &c)
+    {
+        if (c.procs > 0 && !c.batchedQuality)
+            h2o_fatal("procs > 0 requires batchedQuality: the per-shard "
+                      "quality body closes over the shared supernet, "
+                      "which cannot cross the process boundary");
+        eval::EvalEngineConfig ec;
+        ec.numShards = c.numShards;
+        ec.threads = c.threads;
+        ec.multithread = true;
+        ec.faults = c.faults;
+        ec.maxShardAttempts = c.maxShardAttempts;
+        ec.retryBackoffMs = c.retryBackoffMs;
+        ec.procs = c.procs;
+        return ec;
+    }
+
     H2oDlrmStepper(H2oDlrmSearch &owner, common::Rng &rng)
         : _owner(owner),
           _controller(owner._space.decisions(), owner._config.rl),
@@ -36,9 +54,7 @@ class H2oDlrmStepper final : public StepwiseSearch
           // worker pool, then one batched performance + reward pass per
           // step.
           _engine(owner._perf, owner._reward,
-                  {owner._config.numShards, owner._config.threads, true,
-                   owner._config.faults, owner._config.maxShardAttempts,
-                   owner._config.retryBackoffMs})
+                  engineConfig(owner._config))
     {
         owner._stats.clear();
         _fronts.reset(owner._config.multiTarget);
@@ -202,6 +218,11 @@ class H2oDlrmStepper final : public StepwiseSearch
     const SearchOutcome &partialOutcome() const override
     {
         return _outcome;
+    }
+
+    exec::ProcPoolStats transportStats() const override
+    {
+        return _engine.transportStats();
     }
 
     SearchOutcome finish() override

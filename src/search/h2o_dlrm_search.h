@@ -90,6 +90,13 @@ struct H2oSearchConfig
      *  thread. Clamped to numShards. Any value yields bit-identical
      *  results at the same seed. */
     size_t threads = 0;
+    /** Worker PROCESSES for the shard stage (multi-process transport,
+     *  see eval::EvalEngineConfig::procs). 0 = in-process threads.
+     *  Requires batchedQuality — the supernet forward needs the shared
+     *  weights, which live coordinator-side; shard bodies then only
+     *  draw (coordinator) while workers run the pure per-candidate
+     *  work. Any value is byte-identical. */
+    size_t procs = 0;
     /** Optional fault oracle (preemptible-fleet emulation); not owned. */
     exec::FaultInjector *faults = nullptr;
     /** Max attempts per shard per step before it is dropped. */

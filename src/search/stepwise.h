@@ -27,6 +27,7 @@
 #include <istream>
 #include <ostream>
 
+#include "exec/proc_transport.h"
 #include "search/surrogate_search.h"
 
 namespace h2o::search {
@@ -66,6 +67,11 @@ class StepwiseSearch
      * history is moved out, so the stepper is spent afterwards).
      */
     virtual SearchOutcome finish() = 0;
+
+    /** Per-worker-process transport/liveness counters (tasks served,
+     *  respawns, bytes over the wire). Empty unless the stepper's
+     *  engine runs the multi-process transport (procs > 0). */
+    virtual exec::ProcPoolStats transportStats() const { return {}; }
 
     /** Serialize the complete search state (tagged text). */
     virtual void save(std::ostream &os) const = 0;

@@ -18,16 +18,27 @@ namespace h2o::search {
 class SurrogateStepper final : public StepwiseSearch
 {
   public:
+    static eval::EvalEngineConfig
+    engineConfig(const SurrogateSearchConfig &c)
+    {
+        eval::EvalEngineConfig ec;
+        ec.numShards = c.samplesPerStep;
+        ec.threads = c.threads;
+        ec.multithread = c.multithread;
+        ec.faults = c.faults;
+        ec.maxShardAttempts = c.maxShardAttempts;
+        ec.retryBackoffMs = c.retryBackoffMs;
+        ec.procs = c.procs;
+        return ec;
+    }
+
     SurrogateStepper(SurrogateSearch &owner, common::Rng &rng)
         : _owner(owner),
           _controller(owner._space, owner._config.rl),
           _rngs(exec::ThreadPool::splitRngs(rng,
                                             owner._config.samplesPerStep)),
           _engine(owner._perf, owner._reward,
-                  {owner._config.samplesPerStep, owner._config.threads,
-                   owner._config.multithread, owner._config.faults,
-                   owner._config.maxShardAttempts,
-                   owner._config.retryBackoffMs})
+                  engineConfig(owner._config), owner._quality)
     {
         _outcome.history.reserve(owner._config.numSteps *
                                  owner._config.samplesPerStep);
@@ -41,13 +52,14 @@ class SurrogateStepper final : public StepwiseSearch
         const size_t step = _next;
 
         // Stages (1)-(2) of Figure 2, per shard: sample a candidate from
-        // pi on the shard's own stream, then evaluate quality. Shards
-        // share no mutable state, so no ordered section is needed here.
+        // pi on the shard's own stream, then evaluate quality — inside
+        // the shard body on the thread path, inside the worker processes
+        // when procs > 0 (the engine holds the pure quality functor; the
+        // draw stays coordinator-side either way). Shards share no
+        // mutable state, so no ordered section is needed here.
         auto ev = _engine.evaluate(
-            step, [&](size_t s, searchspace::Sample &sample,
-                      double &quality) {
+            step, [&](size_t s, searchspace::Sample &sample) {
                 sample = _controller.policy().sample(_rngs[s]);
-                quality = _owner._quality(sample);
             });
         ++_next;
 
@@ -87,6 +99,11 @@ class SurrogateStepper final : public StepwiseSearch
     const SearchOutcome &partialOutcome() const override
     {
         return _outcome;
+    }
+
+    exec::ProcPoolStats transportStats() const override
+    {
+        return _engine.transportStats();
     }
 
     SearchOutcome finish() override

@@ -108,6 +108,11 @@ struct SurrogateSearchConfig
      *  (eval::EvalEngineConfig::inlineSingleThread) — same results,
      *  no cross-thread dispatch. */
     size_t threads = 0;
+    /** Worker PROCESSES for the shard stage (multi-process transport;
+     *  see eval::EvalEngineConfig::procs). 0 = in-process threads.
+     *  Quality and per-candidate performance must be pure — they run
+     *  inside forked workers. Any value is byte-identical. */
+    size_t procs = 0;
     /** Optional fault oracle (preemptible-fleet emulation); not owned. */
     exec::FaultInjector *faults = nullptr;
     /** Max attempts per shard per step before it is dropped. */

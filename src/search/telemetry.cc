@@ -65,4 +65,27 @@ writeSimCacheStatsCsvFile(const sim::SimCacheStats &stats,
     writeSimCacheStatsCsv(stats, os);
 }
 
+void
+writeTransportStatsCsv(const exec::ProcPoolStats &stats, std::ostream &os)
+{
+    os << "worker,pid,alive,tasks_served,respawns,bytes_sent,"
+          "bytes_received\n";
+    for (size_t w = 0; w < stats.workers.size(); ++w) {
+        const auto &ws = stats.workers[w];
+        os << w << "," << ws.pid << "," << (ws.alive ? 1 : 0) << ","
+           << ws.tasksServed << "," << ws.respawns << "," << ws.bytesSent
+           << "," << ws.bytesReceived << "\n";
+    }
+}
+
+void
+writeTransportStatsCsvFile(const exec::ProcPoolStats &stats,
+                           const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        h2o_fatal("cannot open telemetry file '", path, "'");
+    writeTransportStatsCsv(stats, os);
+}
+
 } // namespace h2o::search

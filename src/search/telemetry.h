@@ -11,6 +11,7 @@
 #include <ostream>
 #include <string>
 
+#include "exec/proc_transport.h"
 #include "search/h2o_dlrm_search.h"
 #include "search/surrogate_search.h"
 #include "sim/sim_cache.h"
@@ -46,6 +47,20 @@ void writeSimCacheStatsCsv(const sim::SimCacheStats &stats,
 /** File variant of writeSimCacheStatsCsv; fatal if unopenable. */
 void writeSimCacheStatsCsvFile(const sim::SimCacheStats &stats,
                                const std::string &path);
+
+/**
+ * Write the multi-process transport's per-worker liveness/telemetry
+ * counters as CSV: one row per worker slot with its pid, liveness,
+ * tasks served, respawns after detected deaths, and bytes over the
+ * socket in each direction (see StepwiseSearch::transportStats). An
+ * empty stats snapshot (thread-path search) writes the header only.
+ */
+void writeTransportStatsCsv(const exec::ProcPoolStats &stats,
+                            std::ostream &os);
+
+/** File variant of writeTransportStatsCsv; fatal if unopenable. */
+void writeTransportStatsCsvFile(const exec::ProcPoolStats &stats,
+                                const std::string &path);
 
 } // namespace h2o::search
 

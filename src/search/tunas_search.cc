@@ -20,6 +20,24 @@ namespace h2o::search {
 class TunasStepper final : public StepwiseSearch
 {
   public:
+    static eval::EvalEngineConfig
+    engineConfig(const TunasSearchConfig &c)
+    {
+        if (c.procs > 0 && !c.batchedQuality)
+            h2o_fatal("procs > 0 requires batchedQuality: the per-shard "
+                      "quality body closes over the shared supernet, "
+                      "which cannot cross the process boundary");
+        eval::EvalEngineConfig ec;
+        ec.numShards = 1;
+        ec.threads = 1;
+        ec.multithread = false;
+        ec.faults = c.faults;
+        ec.maxShardAttempts = c.maxShardAttempts;
+        ec.retryBackoffMs = c.retryBackoffMs;
+        ec.procs = c.procs;
+        return ec;
+    }
+
     TunasStepper(TunasSearch &owner, common::Rng &rng)
         : _owner(owner),
           _controller(owner._space.decisions(), owner._config.rl),
@@ -28,9 +46,7 @@ class TunasStepper final : public StepwiseSearch
           // therefore lacks parallelism": a single worker and a single
           // shard, executed inline on the calling thread (see run()).
           _engine(owner._perf, owner._reward,
-                  {1, 1, false, owner._config.faults,
-                   owner._config.maxShardAttempts,
-                   owner._config.retryBackoffMs})
+                  engineConfig(owner._config))
     {
         _fronts.reset(owner._config.multiTarget);
     }
@@ -132,6 +148,11 @@ class TunasStepper final : public StepwiseSearch
     const SearchOutcome &partialOutcome() const override
     {
         return _outcome;
+    }
+
+    exec::ProcPoolStats transportStats() const override
+    {
+        return _engine.transportStats();
     }
 
     SearchOutcome finish() override

@@ -46,6 +46,11 @@ struct TunasSearchConfig
      *  evaluates one candidate per step, so this exercises the n=1
      *  packed path); disable to A/B. */
     bool batchedQuality = true;
+    /** Worker PROCESSES for the pi-step's shard stage (multi-process
+     *  transport; clamped to the single TuNAS shard, so at most one
+     *  worker forks). Requires batchedQuality — the supernet lives
+     *  coordinator-side. 0 = in-process. Byte-identical either way. */
+    size_t procs = 0;
     /** Optional fault oracle; TuNAS has a single (non-sharded) worker,
      *  so a preempted step is simply lost. Not owned. */
     exec::FaultInjector *faults = nullptr;

@@ -220,6 +220,7 @@ class DlrmSurrogateJob final : public DlrmJobBase
         // out (and the engine's inline path means no nested pools).
         cfg.multithread = false;
         cfg.threads = 1;
+        cfg.procs = spec.procs;
         cfg.multiTarget = multiTargetSpec();
         return cfg;
     }
@@ -287,6 +288,7 @@ class DlrmSupernetJob final : public DlrmSupernetJobBase
         cfg.rl.entropyWeight = spec.entropyWeight;
         cfg.batchedQuality = spec.batchedQuality;
         cfg.threads = 1; // see DlrmSurrogateJob::config
+        cfg.procs = spec.procs;
         cfg.multiTarget = multiTargetSpec();
         return cfg;
     }
@@ -318,6 +320,7 @@ class DlrmTunasJob final : public DlrmSupernetJobBase
         cfg.rl.learningRate = spec.learningRate;
         cfg.rl.entropyWeight = spec.entropyWeight;
         cfg.batchedQuality = spec.batchedQuality;
+        cfg.procs = spec.procs;
         cfg.multiTarget = multiTargetSpec();
         return cfg;
     }

@@ -71,6 +71,15 @@ struct JobSpec
      *  per-shard supernet entry. Bit-identical results either way (the
      *  server's determinism contract is unaffected); disable to A/B. */
     bool batchedQuality = true;
+    /** Worker PROCESSES for the job's shard stage (the multi-process
+     *  transport; see eval::EvalEngineConfig::procs). 0 — the default,
+     *  and the right choice for load tests — keeps the job in-process
+     *  on the scheduler's worker. >= 1 forks that many workers for THIS
+     *  job (clamped to samplesPerStep); results are byte-identical
+     *  either way, so the server's determinism contract is unaffected.
+     *  The supernet kinds additionally require batchedQuality (the
+     *  shared weights live coordinator-side). */
+    size_t procs = 0;
     /** Joint multi-target mode: chip registry names ("tpuv4i",
      *  "edgecpu", "edgenpu", ...) every candidate must serve on. Empty
      *  (the default) is the classic single-platform search, bytes
