@@ -115,7 +115,10 @@ main(int argc, char **argv)
                         {times[i], space.decode(ss[i]).modelBytes()});
                 return out;
             };
-        eval::EvalEngine engine(perf_batch, rwd, {shards, threads});
+        eval::EvalEngineConfig ec;
+        ec.numShards = shards;
+        ec.threads = threads;
+        eval::EvalEngine engine(perf_batch, rwd, ec);
         auto start = Clock::now();
         for (size_t step = 0; step < steps; ++step) {
             auto ev = engine.evaluate(

@@ -54,6 +54,7 @@ main(int argc, char **argv)
                        "it already exists; empty disables)");
     common::defineThreadsFlag(flags);
     common::defineProcsFlag(flags);
+    common::defineWorkersFlag(flags);
     flags.parse(argc, argv);
     uint64_t seed = static_cast<uint64_t>(flags.getInt("seed"));
 
@@ -144,6 +145,7 @@ main(int argc, char **argv)
     cfg.warmupSteps = cfg.numSteps / 5;
     cfg.threads = static_cast<size_t>(flags.getInt("threads"));
     cfg.procs = static_cast<size_t>(flags.getInt("procs"));
+    cfg.workers = flags.getString("workers");
     cfg.checkpointPath = flags.getString("checkpoint");
     cfg.checkpointEvery = 10;
     search::H2oDlrmSearch h2o_search(space, supernet, *pipe, perf_fn,

@@ -35,6 +35,7 @@ main(int argc, char **argv)
     flags.defineInt("seed", 29, "RNG seed");
     common::defineThreadsFlag(flags);
     common::defineProcsFlag(flags);
+    common::defineWorkersFlag(flags);
     flags.parse(argc, argv);
 
     hw::Platform train = hw::trainingPlatform();
@@ -78,6 +79,7 @@ main(int argc, char **argv)
     cfg.rl.entropyWeight = 5e-3;
     cfg.threads = static_cast<size_t>(flags.getInt("threads"));
     cfg.procs = static_cast<size_t>(flags.getInt("procs"));
+    cfg.workers = flags.getString("workers");
     search::SurrogateSearch search(space.decisions(), quality_fn, perf_fn,
                                    reward, cfg);
     common::Rng rng(static_cast<uint64_t>(flags.getInt("seed")));

@@ -8,7 +8,7 @@
  * single-sided ReLU reward, and prints the architecture the policy
  * converged to.
  *
- *   $ ./quickstart [--threads=N] [--procs=N]
+ *   $ ./quickstart [--threads=N] [--procs=N] [--workers=host:port,...]
  */
 
 #include <iostream>
@@ -30,6 +30,7 @@ main(int argc, char **argv)
     common::Flags flags;
     common::defineThreadsFlag(flags);
     common::defineProcsFlag(flags);
+    common::defineWorkersFlag(flags);
     flags.parse(argc, argv);
 
     // 1. A baseline DLRM to search around: 3 embedding tables, a small
@@ -75,6 +76,7 @@ main(int argc, char **argv)
     config.warmupSteps = 20;
     config.threads = static_cast<size_t>(flags.getInt("threads"));
     config.procs = static_cast<size_t>(flags.getInt("procs"));
+    config.workers = flags.getString("workers");
     search::H2oDlrmSearch search(
         space, supernet, pipe,
         [&](const searchspace::Sample &s) {

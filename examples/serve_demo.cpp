@@ -11,7 +11,7 @@
  * Finishes with a results table, the telemetry tail, and the shared
  * cache's cross-tenant hit statistics.
  *
- *   $ ./serve_demo [--threads=N] [--procs=N] [--steps=N]
+ *   $ ./serve_demo [--threads=N] [--procs=N] [--workers=...] [--steps=N]
  *                [--telemetry_csv=FILE]
  */
 
@@ -31,6 +31,7 @@ main(int argc, char **argv)
     common::Flags flags;
     common::defineThreadsFlag(flags);
     common::defineProcsFlag(flags);
+    common::defineWorkersFlag(flags);
     flags.defineInt("steps", 12, "search steps per job");
     flags.defineString("checkpoint_dir", "serve_demo_ckpt",
                        "directory for pause/resume checkpoints");
@@ -40,6 +41,7 @@ main(int argc, char **argv)
 
     const auto steps = static_cast<size_t>(flags.getInt("steps"));
     const auto procs = static_cast<size_t>(flags.getInt("procs"));
+    const auto workers = flags.getString("workers");
 
     serve::ServeConfig config;
     config.threads = static_cast<size_t>(flags.getInt("threads"));
@@ -61,6 +63,7 @@ main(int argc, char **argv)
         spec.numSteps = steps;
         spec.stepTimeTargetRel = rel;
         spec.procs = procs;
+        spec.workers = workers;
         return server.submit(spec);
     };
     uint64_t tight = surrogate("latency-0.85x", 11, 0.85);
@@ -73,6 +76,7 @@ main(int argc, char **argv)
     super.seed = 21;
     super.numSteps = steps;
     super.procs = procs;
+    super.workers = workers;
     server.submit(super);
     serve::JobSpec tunas;
     tunas.name = "tunas";
@@ -80,6 +84,7 @@ main(int argc, char **argv)
     tunas.seed = 22;
     tunas.numSteps = steps;
     tunas.procs = procs;
+    tunas.workers = workers;
     server.submit(tunas);
     std::cout << "submitted " << server.queue().size()
               << " jobs (3 concurrency slots, slice quantum "

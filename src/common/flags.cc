@@ -176,4 +176,64 @@ defineProcsFlag(Flags &flags)
                     "in-process threads; default from H2O_PROCS)");
 }
 
+namespace {
+
+/** Syntactic check of one worker-list entry: "local" or host:port with
+ *  a nonempty host and a port in [1, 65535]. The authoritative parse
+ *  (exec::parseWorkerList) applies the same rules; this copy keeps
+ *  common/ free of an exec/ dependency. */
+bool
+validWorkerEntry(const std::string &entry)
+{
+    if (entry == "local")
+        return true;
+    size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= entry.size())
+        return false;
+    const std::string portStr = entry.substr(colon + 1);
+    for (char c : portStr) {
+        if (c < '0' || c > '9')
+            return false;
+    }
+    char *end = nullptr;
+    long long port = std::strtoll(portStr.c_str(), &end, 10);
+    return end != portStr.c_str() && *end == '\0' && port >= 1 &&
+           port <= 65535;
+}
+
+} // namespace
+
+std::string
+workersFlagDefault()
+{
+    const char *env = std::getenv("H2O_WORKERS");
+    if (!env || *env == '\0')
+        return "";
+    const std::string csv(env);
+    size_t start = 0;
+    while (start <= csv.size()) {
+        size_t comma = csv.find(',', start);
+        const std::string entry = csv.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        if (!validWorkerEntry(entry))
+            h2o_fatal("malformed H2O_WORKERS='", env, "': entry '", entry,
+                      "' is not 'local' or host:port");
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return csv;
+}
+
+void
+defineWorkersFlag(Flags &flags)
+{
+    flags.defineString("workers", workersFlagDefault(),
+                       "comma-separated remote worker daemons for shard "
+                       "evaluation ('host:port', or 'local' to fork a "
+                       "loopback daemon); empty = none (default from "
+                       "H2O_WORKERS)");
+}
+
 } // namespace h2o::common

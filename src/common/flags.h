@@ -96,6 +96,21 @@ int64_t procsFlagDefault();
 /** Register the standard --procs flag with the shared help text. */
 void defineProcsFlag(Flags &flags);
 
+/**
+ * Default value for a --workers flag: the H2O_WORKERS environment
+ * variable when set, otherwise "" (no remote workers). The value is a
+ * comma-separated list of remote worker daemon endpoints — "host:port",
+ * or "local" to fork a loopback daemon. Like H2O_PROCS (and unlike
+ * H2O_THREADS), a malformed H2O_WORKERS is FATAL: silently dropping
+ * endpoints would silently shrink the fleet the user asked for. Only
+ * the list SYNTAX is validated here; reachability is checked when the
+ * remote pool connects.
+ */
+std::string workersFlagDefault();
+
+/** Register the standard --workers flag with the shared help text. */
+void defineWorkersFlag(Flags &flags);
+
 } // namespace h2o::common
 
 #endif // H2O_COMMON_FLAGS_H

@@ -3,6 +3,8 @@
 #include <atomic>
 
 #include "common/logging.h"
+#include "exec/remote_transport.h"
+#include "exec/shard_transport.h"
 
 namespace h2o::eval {
 
@@ -85,19 +87,42 @@ EvalEngine::EvalEngine(PerfStage perf,
                "null performance functor");
     h2o_assert(_config.numShards > 0, "engine with zero shards");
 
-    if (_config.procs > 0) {
-        // Register the eval task, THEN fork the pool — workers only
-        // know tasks registered before their fork. The name is unique
-        // per engine instance because one process may host several
-        // engines at once (serve::Server runs one per job).
+    if (_config.procs > 0 || !_config.workers.empty()) {
+        // Register the eval task, THEN build the transports — forked
+        // workers only know tasks registered before their fork, and
+        // remote handshakes verify the task is registered on both ends.
+        // The name is unique per engine instance because one process
+        // may host several engines at once (serve::Server runs one per
+        // job).
         static std::atomic<uint64_t> instances{0};
         _taskReg = std::make_unique<exec::ProcTaskRegistration>(
             "eval_engine/" + std::to_string(instances.fetch_add(1)),
             makeEvalTask(_quality, _perf.perCandidate));
-        _procPool = std::make_unique<exec::ProcPool>(
-            exec::ProcPool::resolve(_config.procs, _config.numShards));
+
+        // Forked slots first, remote slots after — fork order matters
+        // for fd hygiene (fork-local daemons must not inherit remote
+        // connection fds), and slot order fixes the shard pinning
+        // (shard s -> slot s % total) that outcomes are invariant to
+        // anyway (pure tasks).
+        std::vector<std::unique_ptr<exec::ShardTransport>> parts;
+        if (_config.procs > 0)
+            parts.push_back(std::make_unique<exec::ProcPool>(
+                exec::ProcPool::resolve(_config.procs,
+                                        _config.numShards)));
+        if (!_config.workers.empty()) {
+            exec::RemotePoolConfig remote;
+            remote.endpoints = exec::parseWorkerList(_config.workers);
+            remote.requiredTasks = {_taskReg->name()};
+            parts.push_back(
+                std::make_unique<exec::RemotePool>(std::move(remote)));
+        }
+        if (parts.size() == 1)
+            _transport = std::move(parts.front());
+        else
+            _transport = std::make_unique<exec::MixedTransport>(
+                std::move(parts));
         _procRunner = std::make_unique<exec::ProcRunner>(
-            *_procPool,
+            *_transport,
             exec::ShardRunnerConfig{_config.numShards,
                                     _config.maxShardAttempts,
                                     _config.retryBackoffMs,

@@ -133,6 +133,17 @@ struct EvalEngineConfig
      * the coordinator pool still used for non-evaluate runner() steps.
      */
     size_t procs = 0;
+    /**
+     * Remote worker daemons for the shard stage, as a comma-separated
+     * endpoint list ("host:port" for an external daemon running the
+     * same binary, "local" to fork a loopback daemon) — see
+     * exec::parseWorkerList. Empty = none. Combines with `procs`: the
+     * pool is then MIXED, forked slots first, remote slots after, and
+     * shard s is pinned to slot s % (procs + workers). Worker tasks are
+     * pure, so every combination — threads only, procs only, remote
+     * only, mixed — produces byte-identical results.
+     */
+    std::string workers;
 };
 
 /**
@@ -249,17 +260,19 @@ class EvalEngine
     /** Shard count. */
     size_t numShards() const { return _config.numShards; }
 
-    /** True when the engine ships shard work to worker processes. */
-    bool multiproc() const { return _procPool != nullptr; }
+    /** True when the engine ships shard work across a process boundary
+     *  (forked workers, remote daemons, or both). */
+    bool multiproc() const { return _transport != nullptr; }
 
-    /** Worker-process pool, or nullptr on the thread path. */
-    exec::ProcPool *procPool() { return _procPool.get(); }
+    /** Worker transport (ProcPool / RemotePool / MixedTransport), or
+     *  nullptr on the thread path. */
+    exec::ShardTransport *transport() { return _transport.get(); }
 
     /** Per-worker transport/liveness counters; empty on the thread
      *  path (no worker processes to report on). */
     exec::ProcPoolStats transportStats() const
     {
-        return _procPool ? _procPool->stats() : exec::ProcPoolStats{};
+        return _transport ? _transport->stats() : exec::ProcPoolStats{};
     }
 
   private:
@@ -279,10 +292,11 @@ class EvalEngine
     QualityFn _quality;
     exec::ThreadPool _pool;
     exec::ShardRunner _runner;
-    /** Process transport (config.procs > 0 only). Registration order
-     *  matters: the task must be registered before the pool forks. */
+    /** Process/remote transport (procs > 0 or workers nonempty only).
+     *  Registration order matters: the task must be registered before
+     *  workers fork and before remote connections handshake. */
     std::unique_ptr<exec::ProcTaskRegistration> _taskReg;
-    std::unique_ptr<exec::ProcPool> _procPool;
+    std::unique_ptr<exec::ShardTransport> _transport;
     std::unique_ptr<exec::ProcRunner> _procRunner;
 };
 

@@ -7,7 +7,7 @@
 
 namespace h2o::exec {
 
-ProcRunner::ProcRunner(ProcPool &pool, ShardRunnerConfig config,
+ProcRunner::ProcRunner(ShardTransport &pool, ShardRunnerConfig config,
                        FaultInjector *injector)
     : _pool(pool), _config(config), _injector(injector),
       _io(pool.size())

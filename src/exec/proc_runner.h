@@ -67,23 +67,25 @@ struct ProcShardTask
 };
 
 /**
- * Runs the N shards of one step across the pool's worker processes,
- * fault-tolerantly (see file comment). Shard s is pinned to worker
- * s % procs; each worker's shards execute in ascending order.
+ * Runs the N shards of one step across the transport's worker slots —
+ * forked processes, remote daemons, or a mix — fault-tolerantly (see
+ * file comment). Shard s is pinned to slot s % workers; each slot's
+ * shards execute in ascending order.
  */
 class ProcRunner
 {
   public:
     /**
-     * @param pool     Worker processes (caller-owned, outlives the
-     *                 runner). The pool must not serve unrelated calls
-     *                 during runStep().
+     * @param pool     Worker transport (caller-owned, outlives the
+     *                 runner): a ProcPool, RemotePool or MixedTransport.
+     *                 It must not serve unrelated calls during
+     *                 runStep().
      * @param config   Shard count and retry policy (shared struct with
      *                 ShardRunner; inlineSingleWorker applies to a
      *                 1-worker pool the same way).
      * @param injector Optional fault oracle; nullptr injects nothing.
      */
-    ProcRunner(ProcPool &pool, ShardRunnerConfig config,
+    ProcRunner(ShardTransport &pool, ShardRunnerConfig config,
                FaultInjector *injector = nullptr);
 
     /** Execute one step of `task` across all shards and barrier-wait.
@@ -102,9 +104,9 @@ class ProcRunner
     /** Steps executed. */
     uint64_t stepsRun() const { return _stepsRun; }
 
-    /** The underlying pool (telemetry, test kill hooks). */
-    ProcPool &pool() { return _pool; }
-    const ProcPool &pool() const { return _pool; }
+    /** The underlying transport (telemetry, test kill hooks). */
+    ShardTransport &pool() { return _pool; }
+    const ShardTransport &pool() const { return _pool; }
 
   private:
     /** Per-shard, per-step retry state. */
@@ -123,7 +125,7 @@ class ProcRunner
     bool runShardAttempts(size_t step, size_t shard, size_t worker,
                           const ProcShardTask &task, ShardAttempt &st);
 
-    ProcPool &_pool;
+    ShardTransport &_pool;
     ShardRunnerConfig _config;
     FaultInjector *_injector;
     ThreadPool _io; ///< one blocking-I/O lane per worker process

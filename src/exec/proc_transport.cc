@@ -4,13 +4,13 @@
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
-#include <map>
 #include <mutex>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include "common/logging.h"
+#include "exec/wire_io.h"
 
 namespace h2o::exec {
 
@@ -33,86 +33,45 @@ registryMutex()
 
 /**
  * The registry snapshot a forked worker resolves tasks from. Filled by
- * spawn() (under the registry lock) immediately before fork so the
- * child never touches the registry mutex — another coordinator thread
- * could hold it at fork time, and a copied-held mutex deadlocks the
- * single-threaded child.
+ * snapshotTaskRegistryForFork() (under the registry lock) immediately
+ * before fork so the child never touches the registry mutex — another
+ * coordinator thread could hold it at fork time, and a copied-held
+ * mutex deadlocks the single-threaded child.
  */
 std::map<std::string, ProcTaskFn> g_forkSnapshot;
 
-/** Frames above this are a protocol bug, not a payload. */
-constexpr uint32_t kMaxFrameBytes = 1u << 30;
-
-/** Loop a full send over partial writes; MSG_NOSIGNAL so a dead peer
- *  surfaces as EPIPE instead of killing the process. */
-bool
-sendAll(int fd, const void *data, size_t len)
-{
-    const char *p = static_cast<const char *>(data);
-    while (len > 0) {
-        ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        p += n;
-        len -= static_cast<size_t>(n);
-    }
-    return true;
-}
-
-/** Loop a full recv; false on EOF or error (peer death). */
-bool
-recvAll(int fd, void *data, size_t len)
-{
-    char *p = static_cast<char *>(data);
-    while (len > 0) {
-        ssize_t n = ::recv(fd, p, len, 0);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        if (n == 0)
-            return false; // EOF: peer is gone
-        p += n;
-        len -= static_cast<size_t>(n);
-    }
-    return true;
-}
-
-/** Write one length-prefixed frame. */
-bool
-writeFrame(int fd, const std::string &payload)
-{
-    h2o_assert(payload.size() < kMaxFrameBytes, "oversized frame");
-    uint32_t len = static_cast<uint32_t>(payload.size());
-    if (!sendAll(fd, &len, sizeof(len)))
-        return false;
-    return sendAll(fd, payload.data(), payload.size());
-}
-
-/** Read one length-prefixed frame. */
-bool
-readFrame(int fd, std::string &payload)
-{
-    uint32_t len = 0;
-    if (!recvAll(fd, &len, sizeof(len)))
-        return false;
-    if (len >= kMaxFrameBytes)
-        return false; // corrupt length: treat the peer as gone
-    payload.resize(len);
-    if (len > 0 && !recvAll(fd, payload.data(), len))
-        return false;
-    return true;
-}
-
-/** Response status codes. */
-constexpr uint32_t kStatusOk = 0;
-constexpr uint32_t kStatusError = 1;
-
 } // namespace
+
+std::map<std::string, ProcTaskFn>
+taskRegistrySnapshot()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    return registry();
+}
+
+std::vector<std::string>
+registeredTaskNames()
+{
+    std::vector<std::string> names;
+    std::lock_guard<std::mutex> lock(registryMutex());
+    names.reserve(registry().size());
+    for (const auto &[name, fn] : registry())
+        names.push_back(name);
+    return names; // std::map iteration order is already sorted
+}
+
+void
+snapshotTaskRegistryForFork()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    g_forkSnapshot = registry();
+}
+
+const std::map<std::string, ProcTaskFn> &
+forkTaskSnapshot()
+{
+    return g_forkSnapshot;
+}
 
 // ------------------------------------------------- ProcTaskRegistration
 
@@ -161,7 +120,7 @@ WireWriter::putDouble(double v)
 void
 WireWriter::putBytes(const std::string &bytes)
 {
-    h2o_assert(bytes.size() < kMaxFrameBytes, "oversized wire blob");
+    h2o_assert(bytes.size() < wire::kMaxFrameBytes, "oversized wire blob");
     putU32(static_cast<uint32_t>(bytes.size()));
     _buf.append(bytes);
 }
@@ -212,35 +171,6 @@ WireReader::getBytes()
     return out;
 }
 
-// -------------------------------------------------------- ProcPoolStats
-
-uint64_t
-ProcPoolStats::totalTasksServed() const
-{
-    uint64_t n = 0;
-    for (const auto &w : workers)
-        n += w.tasksServed;
-    return n;
-}
-
-uint64_t
-ProcPoolStats::totalRespawns() const
-{
-    uint64_t n = 0;
-    for (const auto &w : workers)
-        n += w.respawns;
-    return n;
-}
-
-uint64_t
-ProcPoolStats::totalBytes() const
-{
-    uint64_t n = 0;
-    for (const auto &w : workers)
-        n += w.bytesSent + w.bytesReceived;
-    return n;
-}
-
 // ------------------------------------------------------------- ProcPool
 
 ProcPool::ProcPool(size_t workers)
@@ -280,10 +210,7 @@ ProcPool::spawn(size_t slot)
                   std::strerror(errno));
 
     // Snapshot the task registry for the child (see g_forkSnapshot).
-    {
-        std::lock_guard<std::mutex> lock(registryMutex());
-        g_forkSnapshot = registry();
-    }
+    snapshotTaskRegistryForFork();
     // Flush stdio so buffered output is not duplicated into the child.
     std::fflush(nullptr);
 
@@ -312,33 +239,10 @@ ProcPool::spawn(size_t slot)
 void
 ProcPool::workerMain(int fd)
 {
-    // One request at a time, forever, until the coordinator hangs up.
     // Tasks resolve against the fork-time registry snapshot — lock-free,
-    // because this process is single-threaded by construction.
-    std::string frame;
-    while (readFrame(fd, frame)) {
-        WireWriter reply;
-        try {
-            WireReader req(frame);
-            std::string task = req.getBytes();
-            uint64_t step = req.getU64();
-            uint64_t shard = req.getU64();
-            std::string payload = req.getBytes();
-            auto it = g_forkSnapshot.find(task);
-            if (it == g_forkSnapshot.end())
-                throw std::runtime_error("unknown proc task '" + task +
-                                         "' (registered after fork?)");
-            std::string result = it->second(step, shard, payload);
-            reply.putU32(kStatusOk);
-            reply.putBytes(result);
-        } catch (const std::exception &e) {
-            reply = WireWriter();
-            reply.putU32(kStatusError);
-            reply.putBytes(e.what());
-        }
-        if (!writeFrame(fd, reply.bytes()))
-            break; // coordinator is gone
-    }
+    // because this process is single-threaded by construction. The loop
+    // itself is the same code the TCP daemon sessions run.
+    wire::serveRequestLoop(fd, g_forkSnapshot);
     // _exit, not exit: never run the coordinator's atexit handlers or
     // static destructors in the worker copy.
     ::_exit(0);
@@ -353,33 +257,14 @@ ProcPool::call(size_t worker, const std::string &task, uint64_t step,
     if (w.fd < 0)
         return std::nullopt; // already known dead; await respawnDead()
 
-    WireWriter msg;
-    msg.putBytes(task);
-    msg.putU64(step);
-    msg.putU64(shard);
-    msg.putBytes(request);
-
-    if (!writeFrame(w.fd, msg.bytes())) {
+    auto reply = wire::callOverFd(w.fd, task, step, shard, request,
+                                  w.stats.bytesSent, w.stats.bytesReceived);
+    if (!reply) {
         markDead(worker);
         return std::nullopt;
     }
-    w.stats.bytesSent += sizeof(uint32_t) + msg.bytes().size();
-
-    std::string reply;
-    if (!readFrame(w.fd, reply)) {
-        markDead(worker);
-        return std::nullopt;
-    }
-    w.stats.bytesReceived += sizeof(uint32_t) + reply.size();
-
-    WireReader r(reply);
-    uint32_t status = r.getU32();
-    std::string payload = r.getBytes();
-    if (status != kStatusOk)
-        throw std::runtime_error("proc task '" + task + "' failed: " +
-                                 payload);
     ++w.stats.tasksServed;
-    return payload;
+    return reply;
 }
 
 void

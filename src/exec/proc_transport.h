@@ -34,11 +34,14 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <sys/types.h>
 #include <vector>
+
+#include "exec/shard_transport.h"
 
 namespace h2o::exec {
 
@@ -71,6 +74,25 @@ class ProcTaskRegistration
   private:
     std::string _name;
 };
+
+/** Locked copy of the process-global task registry (the tasks a worker
+ *  forked or a daemon spawned RIGHT NOW would serve). */
+std::map<std::string, ProcTaskFn> taskRegistrySnapshot();
+
+/** Sorted names of the currently registered tasks. */
+std::vector<std::string> registeredTaskNames();
+
+/**
+ * Fill the fork-time registry snapshot under the registry lock. Call
+ * immediately before fork()ing a worker or daemon: the child resolves
+ * tasks from forkTaskSnapshot() and never touches the registry mutex —
+ * another coordinator thread could hold it at fork time, and a
+ * copied-held mutex deadlocks the single-threaded child.
+ */
+void snapshotTaskRegistryForFork();
+
+/** The fork-time snapshot (child side, lock-free). */
+const std::map<std::string, ProcTaskFn> &forkTaskSnapshot();
 
 /** Little-endian wire encoding for task payloads (bit-exact doubles). */
 class WireWriter
@@ -111,49 +133,30 @@ class WireReader
     size_t _pos = 0;
 };
 
-/** Coordinator-side per-worker transport counters. */
-struct ProcWorkerStats
-{
-    uint64_t pid = 0;          ///< current (or last) worker pid
-    bool alive = false;
-    uint64_t tasksServed = 0;  ///< completed request/response round trips
-    uint64_t respawns = 0;     ///< re-forks after a detected death
-    uint64_t bytesSent = 0;    ///< request bytes over the socket
-    uint64_t bytesReceived = 0;///< response bytes over the socket
-};
-
-/** Pool-wide snapshot (one entry per worker slot). */
-struct ProcPoolStats
-{
-    std::vector<ProcWorkerStats> workers;
-
-    uint64_t totalTasksServed() const;
-    uint64_t totalRespawns() const;
-    uint64_t totalBytes() const; ///< sent + received, all workers
-};
-
 /**
  * A fixed-size pool of forked worker processes (see file comment).
+ * ProcWorkerStats / ProcPoolStats live in shard_transport.h, shared
+ * with the remote transport.
  *
  * Thread-safety: call() may run concurrently for DIFFERENT worker
  * slots (one I/O thread per worker is the intended shape); calls for
  * the same slot must be serialized by the caller. spawn/respawn/dtor
  * are coordinator-thread only.
  */
-class ProcPool
+class ProcPool final : public ShardTransport
 {
   public:
     /** Fork `workers` processes (>= 1). */
     explicit ProcPool(size_t workers);
 
     /** Closes every socket (workers exit on EOF) and reaps them. */
-    ~ProcPool();
+    ~ProcPool() override;
 
     ProcPool(const ProcPool &) = delete;
     ProcPool &operator=(const ProcPool &) = delete;
 
     /** Worker slot count. */
-    size_t size() const { return _workers.size(); }
+    size_t size() const override { return _workers.size(); }
 
     /**
      * Execute one task round trip on a worker. Returns the response on
@@ -165,24 +168,24 @@ class ProcPool
     std::optional<std::string> call(size_t worker,
                                     const std::string &task,
                                     uint64_t step, uint64_t shard,
-                                    const std::string &request);
+                                    const std::string &request) override;
 
     /** Whether the slot's worker is (believed) alive. */
-    bool alive(size_t worker) const;
+    bool alive(size_t worker) const override;
 
     /** Re-fork every dead worker slot from the CURRENT coordinator
      *  state. Coordinator thread only (never from an I/O thread). */
-    void respawnDead();
+    void respawnDead() override;
 
     /** SIGKILL a worker (test/bench hook for the death-tolerance
      *  contract); the death is observed as a transport failure. */
-    void killWorker(size_t worker);
+    void killWorker(size_t worker) override;
 
     /** Current pid of a worker slot (0 when dead). */
-    pid_t workerPid(size_t worker) const;
+    pid_t workerPid(size_t worker) const override;
 
     /** Counter snapshot. */
-    ProcPoolStats stats() const;
+    ProcPoolStats stats() const override;
 
     /** Resolve a --procs style request against a shard count: procs
      *  are clamped to [1, work_items] like ThreadPool::resolve (a step

@@ -1,0 +1,157 @@
+#include "exec/wire_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+#include <sys/socket.h>
+
+#include "common/logging.h"
+
+namespace h2o::exec::wire {
+
+bool
+sendAll(int fd, const void *data, size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+recvAll(int fd, void *data, size_t len)
+{
+    char *p = static_cast<char *>(data);
+    while (len > 0) {
+        ssize_t n = ::recv(fd, p, len, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            // EAGAIN/EWOULDBLOCK = SO_RCVTIMEO expired: the remote
+            // transport treats a silent peer like a dead one.
+            return false;
+        }
+        if (n == 0)
+            return false; // EOF: peer is gone
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    h2o_assert(payload.size() < kMaxFrameBytes, "oversized frame");
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    if (!sendAll(fd, &len, sizeof(len)))
+        return false;
+    return sendAll(fd, payload.data(), payload.size());
+}
+
+bool
+readFrame(int fd, std::string &payload)
+{
+    uint32_t len = 0;
+    if (!recvAll(fd, &len, sizeof(len)))
+        return false;
+    if (len >= kMaxFrameBytes)
+        return false; // corrupt length: treat the peer as gone
+    payload.resize(len);
+    if (len > 0 && !recvAll(fd, payload.data(), len))
+        return false;
+    return true;
+}
+
+std::string
+encodeRequest(const std::string &task, uint64_t step, uint64_t shard,
+              const std::string &request)
+{
+    WireWriter msg;
+    msg.putBytes(task);
+    msg.putU64(step);
+    msg.putU64(shard);
+    msg.putBytes(request);
+    return msg.take();
+}
+
+std::optional<std::string>
+callOverFd(int fd, const std::string &task, uint64_t step, uint64_t shard,
+           const std::string &request, uint64_t &bytesSent,
+           uint64_t &bytesReceived)
+{
+    std::string msg = encodeRequest(task, step, shard, request);
+    if (!writeFrame(fd, msg))
+        return std::nullopt;
+    bytesSent += sizeof(uint32_t) + msg.size();
+
+    std::string reply;
+    if (!readFrame(fd, reply))
+        return std::nullopt;
+    bytesReceived += sizeof(uint32_t) + reply.size();
+
+    WireReader r(reply);
+    uint32_t status = r.getU32();
+    std::string payload = r.getBytes();
+    if (status != kStatusOk)
+        throw std::runtime_error("proc task '" + task + "' failed: " +
+                                 payload);
+    return payload;
+}
+
+void
+serveRequestLoop(int fd, const std::map<std::string, ProcTaskFn> &tasks)
+{
+    // One request at a time, forever, until the coordinator hangs up.
+    std::string frame;
+    while (readFrame(fd, frame)) {
+        WireWriter reply;
+        try {
+            WireReader req(frame);
+            std::string task = req.getBytes();
+            uint64_t step = req.getU64();
+            uint64_t shard = req.getU64();
+            std::string payload = req.getBytes();
+            auto it = tasks.find(task);
+            if (it == tasks.end())
+                throw std::runtime_error("unknown proc task '" + task +
+                                         "' (registered after fork?)");
+            std::string result = it->second(step, shard, payload);
+            reply.putU32(kStatusOk);
+            reply.putBytes(result);
+        } catch (const std::exception &e) {
+            reply = WireWriter();
+            reply.putU32(kStatusError);
+            reply.putBytes(e.what());
+        }
+        if (!writeFrame(fd, reply.bytes()))
+            break; // coordinator is gone
+    }
+}
+
+uint64_t
+taskSetDigest(std::vector<std::string> names)
+{
+    std::sort(names.begin(), names.end());
+    uint64_t h = 14695981039346656037ull; // FNV-1a offset basis
+    auto mix = [&h](char c) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull; // FNV-1a prime
+    };
+    for (const auto &name : names) {
+        for (char c : name)
+            mix(c);
+        mix('\0'); // unambiguous name boundary
+    }
+    return h;
+}
+
+} // namespace h2o::exec::wire

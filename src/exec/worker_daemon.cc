@@ -1,0 +1,270 @@
+#include "exec/worker_daemon.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <stdexcept>
+#include <sys/prctl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "exec/wire_io.h"
+
+namespace h2o::exec {
+
+namespace {
+
+/** Handshake reads time out so a silent connector can't wedge a
+ *  session child forever. */
+constexpr long kHandshakeTimeoutMs = 5000;
+
+void
+setRecvTimeout(int fd, long ms)
+{
+    struct timeval tv;
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/**
+ * Server side of the one-frame-each handshake (client format in
+ * remote_transport.cc::handshakeRequest). Returns true when the
+ * connection may proceed to task traffic; on failure an error reply is
+ * attempted and the session exits.
+ */
+bool
+serverHandshake(int fd, const std::map<std::string, ProcTaskFn> &tasks)
+{
+    std::vector<std::string> served;
+    served.reserve(tasks.size());
+    for (const auto &[name, fn] : tasks)
+        served.push_back(name);
+    const uint64_t servedDigest = wire::taskSetDigest(served);
+
+    auto reply = [&](uint32_t status, const std::string &message) {
+        WireWriter w;
+        w.putU32(wire::kHandshakeMagic);
+        w.putU32(wire::kProtocolVersion);
+        w.putU32(status);
+        w.putBytes(message);
+        w.putU64(static_cast<uint64_t>(::getpid()));
+        w.putU64(servedDigest);
+        return wire::writeFrame(fd, w.bytes());
+    };
+
+    std::string frame;
+    setRecvTimeout(fd, kHandshakeTimeoutMs);
+    if (!wire::readFrame(fd, frame))
+        return false; // silent or vanished connector; nothing to reply to
+    setRecvTimeout(fd, 0);
+
+    try {
+        WireReader r(frame);
+        uint32_t magic = r.getU32();
+        if (magic != wire::kHandshakeMagic) {
+            reply(wire::kStatusError, "bad handshake magic");
+            return false;
+        }
+        uint32_t version = r.getU32();
+        if (version != wire::kProtocolVersion) {
+            reply(wire::kStatusError,
+                  "protocol version mismatch: coordinator speaks v" +
+                      std::to_string(version) + ", daemon speaks v" +
+                      std::to_string(wire::kProtocolVersion) +
+                      " (redeploy the same binary everywhere)");
+            return false;
+        }
+        uint64_t digest = r.getU64();
+        uint32_t count = r.getU32();
+        std::vector<std::string> required;
+        required.reserve(count);
+        for (uint32_t i = 0; i < count; ++i)
+            required.push_back(r.getBytes());
+        if (wire::taskSetDigest(required) != digest) {
+            reply(wire::kStatusError, "corrupt handshake frame");
+            return false;
+        }
+        for (const auto &name : required) {
+            if (tasks.find(name) == tasks.end()) {
+                reply(wire::kStatusError,
+                      "task '" + name +
+                          "' is not registered on this daemon "
+                          "(mismatched binaries? deploy the same build "
+                          "everywhere)");
+                return false;
+            }
+        }
+    } catch (const std::exception &e) {
+        reply(wire::kStatusError,
+              std::string("malformed handshake: ") + e.what());
+        return false;
+    }
+    return reply(wire::kStatusOk, "");
+}
+
+} // namespace
+
+int
+listenTcp(const std::string &host, uint16_t port, int backlog,
+          uint16_t *boundPort)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        h2o_fatal("socket failed for worker daemon: ", std::strerror(errno));
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (host.empty() || host == "0.0.0.0") {
+        addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        h2o_fatal("worker daemon bind address '", host,
+                  "' is not an IPv4 address");
+    }
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        h2o_fatal("bind ", host, ":", port, " failed for worker daemon: ",
+                  std::strerror(errno));
+    if (::listen(fd, backlog) != 0)
+        h2o_fatal("listen failed for worker daemon: ", std::strerror(errno));
+
+    if (boundPort != nullptr) {
+        struct sockaddr_in bound;
+        socklen_t len = sizeof(bound);
+        if (::getsockname(fd, reinterpret_cast<struct sockaddr *>(&bound),
+                          &len) != 0)
+            h2o_fatal("getsockname failed for worker daemon: ",
+                      std::strerror(errno));
+        *boundPort = ntohs(bound.sin_port);
+    }
+    return fd;
+}
+
+WorkerDaemon::WorkerDaemon(WorkerDaemonConfig config)
+    : _config(std::move(config)), _tasks(taskRegistrySnapshot())
+{
+    _listenFd = listenTcp(_config.host, _config.port, _config.backlog, &_port);
+}
+
+WorkerDaemon::WorkerDaemon(int listenFd, std::map<std::string, ProcTaskFn> tasks,
+                           WorkerDaemonConfig config)
+    : _config(std::move(config)), _listenFd(listenFd),
+      _port(_config.port), _tasks(std::move(tasks))
+{
+    h2o_assert(_listenFd >= 0, "worker daemon adopted an invalid socket");
+}
+
+WorkerDaemon::~WorkerDaemon()
+{
+    if (_listenFd >= 0)
+        ::close(_listenFd);
+    for (pid_t pid : _sessions) {
+        if (pid > 0 && ::waitpid(pid, nullptr, WNOHANG) == 0) {
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, nullptr, 0);
+        }
+    }
+}
+
+void
+WorkerDaemon::reapSessions()
+{
+    for (auto &pid : _sessions) {
+        if (pid > 0 && ::waitpid(pid, nullptr, WNOHANG) == pid)
+            pid = 0;
+    }
+}
+
+void
+WorkerDaemon::serve()
+{
+    size_t served = 0;
+    while (_config.maxSessions == 0 || served < _config.maxSessions) {
+        reapSessions();
+        int fd = ::accept(_listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            common::warn("worker daemon accept failed: ", std::strerror(errno));
+            break;
+        }
+        // Flush stdio so buffered output is not duplicated into the
+        // session child. The daemon process is single-threaded, so this
+        // fork is safe under TSAN too (same argument as ProcPool).
+        std::fflush(nullptr);
+        pid_t pid = ::fork();
+        if (pid < 0) {
+            common::warn("worker daemon fork failed: ", std::strerror(errno));
+            ::close(fd);
+            continue;
+        }
+        if (pid == 0) {
+            ::close(_listenFd);
+            session(fd);
+        }
+        ::close(fd);
+        _sessions.push_back(pid);
+        ++served;
+    }
+}
+
+void
+WorkerDaemon::session(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (serverHandshake(fd, _tasks))
+        wire::serveRequestLoop(fd, _tasks);
+    ::close(fd);
+    // _exit, not exit: never run the daemon's atexit handlers or static
+    // destructors in the session copy.
+    ::_exit(0);
+}
+
+LocalDaemon
+spawnLocalWorkerDaemon()
+{
+    WorkerDaemonConfig config;
+    config.host = "127.0.0.1";
+    config.port = 0;
+
+    uint16_t port = 0;
+    int listenFd = listenTcp(config.host, config.port, config.backlog, &port);
+    config.port = port;
+
+    // Same pre-fork snapshot discipline as ProcPool::spawn — the daemon
+    // child must never touch the registry mutex.
+    snapshotTaskRegistryForFork();
+    std::fflush(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0)
+        h2o_fatal("fork failed for local worker daemon: ",
+                  std::strerror(errno));
+    if (pid == 0) {
+        // A fork-local daemon must never outlive its coordinator: fatal
+        // exits skip the pool destructor, and an orphaned daemon would
+        // sit in accept() forever holding inherited descriptors open.
+        ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+        if (::getppid() == 1)
+            ::_exit(0); // coordinator died before the prctl took effect
+        WorkerDaemon daemon(listenFd, forkTaskSnapshot(), config);
+        daemon.serve();
+        ::_exit(0);
+    }
+    ::close(listenFd);
+    return LocalDaemon{pid, port};
+}
+
+} // namespace h2o::exec

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * WorkerDaemon: the remote end of the cross-host shard transport.
+ *
+ * A daemon listens on TCP and forks ONE single-threaded session process
+ * per accepted connection. The session speaks exactly the ProcPool wire
+ * protocol (wire_io.h) after a one-frame handshake, serving the tasks
+ * that were registered in the daemon process when it started.
+ *
+ * Fork-per-connection is what makes "reconnect-as-respawn" literal: a
+ * coordinator that loses its connection (session killed, network blip)
+ * reconnects and gets a FRESH session forked from pristine daemon
+ * state — the same guarantee ProcPool::respawnDead() gives for local
+ * workers. Because tasks are pure functions of their request bytes,
+ * a fresh session answers byte-identically to the lost one, and the
+ * coordinator's cached-request retry resends the exact frame, so RNG
+ * streams never advance twice.
+ *
+ * Deployment shape: the SAME application binary runs on every host —
+ * the coordinator role on one, the daemon role (embedding WorkerDaemon
+ * after registering the same tasks) on the rest. The handshake's
+ * task-registry digest enforces that shape: mismatched binaries fail
+ * fast instead of corrupting a search.
+ */
+
+#ifndef H2O_EXEC_WORKER_DAEMON_H
+#define H2O_EXEC_WORKER_DAEMON_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "exec/proc_transport.h"
+
+namespace h2o::exec {
+
+struct WorkerDaemonConfig
+{
+    std::string host = "127.0.0.1"; ///< bind address
+    uint16_t port = 0;              ///< 0 = kernel-assigned ephemeral port
+    int backlog = 16;
+    /** serve() returns after this many sessions were forked (0 = loop
+     *  forever). Test hook; production daemons never stop accepting. */
+    size_t maxSessions = 0;
+};
+
+/**
+ * TCP worker daemon (see file comment). Sessions serve the task set
+ * captured at construction time — register tasks FIRST, then construct,
+ * exactly like ProcPool.
+ */
+class WorkerDaemon
+{
+  public:
+    /** Bind + listen (fatal on failure); tasks = registry snapshot. */
+    explicit WorkerDaemon(WorkerDaemonConfig config);
+
+    /** Adopt an already-listening socket and an explicit task map (the
+     *  spawnLocalWorkerDaemon() child path, where the snapshot was
+     *  taken pre-fork). */
+    WorkerDaemon(int listenFd, std::map<std::string, ProcTaskFn> tasks,
+                 WorkerDaemonConfig config);
+
+    /** Closes the listener and SIGKILLs outstanding session children. */
+    ~WorkerDaemon();
+
+    WorkerDaemon(const WorkerDaemon &) = delete;
+    WorkerDaemon &operator=(const WorkerDaemon &) = delete;
+
+    /** The bound port (resolved when config.port was 0). */
+    uint16_t port() const { return _port; }
+
+    /** Accept loop: fork a session per connection, reap finished
+     *  sessions, until maxSessions (if set) or the listener fails. */
+    void serve();
+
+  private:
+    /** Session child: handshake, then the shared serve loop. */
+    [[noreturn]] void session(int fd);
+    void reapSessions();
+
+    WorkerDaemonConfig _config;
+    int _listenFd = -1;
+    uint16_t _port = 0;
+    std::map<std::string, ProcTaskFn> _tasks;
+    std::vector<pid_t> _sessions;
+};
+
+/** A coordinator-forked loopback daemon (the "local" worker endpoint). */
+struct LocalDaemon
+{
+    pid_t pid = 0;   ///< daemon (accept-loop) process
+    uint16_t port = 0; ///< loopback port it listens on
+};
+
+/**
+ * Fork the CURRENT process into a loopback worker daemon serving the
+ * tasks registered at call time. The listener is created (and the port
+ * resolved) in the parent before forking, so the returned endpoint is
+ * immediately connectable. This is how `--workers local` slots spawn:
+ * same binary, same registered tasks, guaranteed digest parity — and
+ * how the TCP path is exercised on a single host.
+ */
+LocalDaemon spawnLocalWorkerDaemon();
+
+/**
+ * Create a listening TCP socket (SO_REUSEADDR); fatal on failure.
+ * `boundPort` (optional) receives the resolved port.
+ */
+int listenTcp(const std::string &host, uint16_t port, int backlog,
+              uint16_t *boundPort);
+
+} // namespace h2o::exec
+
+#endif // H2O_EXEC_WORKER_DAEMON_H

@@ -27,10 +27,11 @@ class H2oDlrmStepper final : public StepwiseSearch
     static eval::EvalEngineConfig
     engineConfig(const H2oSearchConfig &c)
     {
-        if (c.procs > 0 && !c.batchedQuality)
-            h2o_fatal("procs > 0 requires batchedQuality: the per-shard "
-                      "quality body closes over the shared supernet, "
-                      "which cannot cross the process boundary");
+        if ((c.procs > 0 || !c.workers.empty()) && !c.batchedQuality)
+            h2o_fatal("procs > 0 or remote workers require "
+                      "batchedQuality: the per-shard quality body "
+                      "closes over the shared supernet, which cannot "
+                      "cross the process boundary");
         eval::EvalEngineConfig ec;
         ec.numShards = c.numShards;
         ec.threads = c.threads;
@@ -39,6 +40,7 @@ class H2oDlrmStepper final : public StepwiseSearch
         ec.maxShardAttempts = c.maxShardAttempts;
         ec.retryBackoffMs = c.retryBackoffMs;
         ec.procs = c.procs;
+        ec.workers = c.workers;
         return ec;
     }
 

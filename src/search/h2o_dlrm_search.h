@@ -97,6 +97,12 @@ struct H2oSearchConfig
      *  draw (coordinator) while workers run the pure per-candidate
      *  work. Any value is byte-identical. */
     size_t procs = 0;
+    /** Remote worker daemons for the shard stage, comma-separated
+     *  ("host:port" or "local"; eval::EvalEngineConfig::workers).
+     *  Combines with procs into one mixed pool. Requires
+     *  batchedQuality for the same reason procs does. Empty = none;
+     *  any fleet shape is byte-identical. */
+    std::string workers;
     /** Optional fault oracle (preemptible-fleet emulation); not owned. */
     exec::FaultInjector *faults = nullptr;
     /** Max attempts per shard per step before it is dropped. */

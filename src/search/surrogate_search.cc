@@ -29,6 +29,7 @@ class SurrogateStepper final : public StepwiseSearch
         ec.maxShardAttempts = c.maxShardAttempts;
         ec.retryBackoffMs = c.retryBackoffMs;
         ec.procs = c.procs;
+        ec.workers = c.workers;
         return ec;
     }
 

@@ -113,6 +113,11 @@ struct SurrogateSearchConfig
      *  Quality and per-candidate performance must be pure — they run
      *  inside forked workers. Any value is byte-identical. */
     size_t procs = 0;
+    /** Remote worker daemons for the shard stage, comma-separated
+     *  ("host:port" or "local"; eval::EvalEngineConfig::workers).
+     *  Combines with procs into one mixed pool. Empty = none; any
+     *  fleet shape is byte-identical. */
+    std::string workers;
     /** Optional fault oracle (preemptible-fleet emulation); not owned. */
     exec::FaultInjector *faults = nullptr;
     /** Max attempts per shard per step before it is dropped. */

@@ -69,12 +69,12 @@ void
 writeTransportStatsCsv(const exec::ProcPoolStats &stats, std::ostream &os)
 {
     os << "worker,pid,alive,tasks_served,respawns,bytes_sent,"
-          "bytes_received\n";
+          "bytes_received,endpoint\n";
     for (size_t w = 0; w < stats.workers.size(); ++w) {
         const auto &ws = stats.workers[w];
         os << w << "," << ws.pid << "," << (ws.alive ? 1 : 0) << ","
            << ws.tasksServed << "," << ws.respawns << "," << ws.bytesSent
-           << "," << ws.bytesReceived << "\n";
+           << "," << ws.bytesReceived << "," << ws.endpoint << "\n";
     }
 }
 

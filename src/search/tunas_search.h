@@ -51,6 +51,11 @@ struct TunasSearchConfig
      *  worker forks). Requires batchedQuality — the supernet lives
      *  coordinator-side. 0 = in-process. Byte-identical either way. */
     size_t procs = 0;
+    /** Remote worker daemons for the pi-step's shard stage,
+     *  comma-separated ("host:port" or "local";
+     *  eval::EvalEngineConfig::workers). Requires batchedQuality like
+     *  procs. Empty = none; byte-identical either way. */
+    std::string workers;
     /** Optional fault oracle; TuNAS has a single (non-sharded) worker,
      *  so a preempted step is simply lost. Not owned. */
     exec::FaultInjector *faults = nullptr;

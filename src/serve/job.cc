@@ -221,6 +221,7 @@ class DlrmSurrogateJob final : public DlrmJobBase
         cfg.multithread = false;
         cfg.threads = 1;
         cfg.procs = spec.procs;
+        cfg.workers = spec.workers;
         cfg.multiTarget = multiTargetSpec();
         return cfg;
     }
@@ -289,6 +290,7 @@ class DlrmSupernetJob final : public DlrmSupernetJobBase
         cfg.batchedQuality = spec.batchedQuality;
         cfg.threads = 1; // see DlrmSurrogateJob::config
         cfg.procs = spec.procs;
+        cfg.workers = spec.workers;
         cfg.multiTarget = multiTargetSpec();
         return cfg;
     }
@@ -321,6 +323,7 @@ class DlrmTunasJob final : public DlrmSupernetJobBase
         cfg.rl.entropyWeight = spec.entropyWeight;
         cfg.batchedQuality = spec.batchedQuality;
         cfg.procs = spec.procs;
+        cfg.workers = spec.workers;
         cfg.multiTarget = multiTargetSpec();
         return cfg;
     }

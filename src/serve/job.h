@@ -80,6 +80,13 @@ struct JobSpec
      *  The supernet kinds additionally require batchedQuality (the
      *  shared weights live coordinator-side). */
     size_t procs = 0;
+    /** Remote worker daemons for the job's shard stage, comma-separated
+     *  ("host:port" or "local"; eval::EvalEngineConfig::workers).
+     *  Combines with procs into one mixed pool for THIS job. Empty —
+     *  the default — keeps the job local; results are byte-identical
+     *  for any fleet shape, so the server's determinism contract is
+     *  unaffected. */
+    std::string workers;
     /** Joint multi-target mode: chip registry names ("tpuv4i",
      *  "edgecpu", "edgenpu", ...) every candidate must serve on. Empty
      *  (the default) is the classic single-platform search, bytes

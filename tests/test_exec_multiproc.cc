@@ -588,7 +588,7 @@ TEST(MultiprocSearch, TransportStatsEmptyOnThreadPath)
     sr::writeTransportStatsCsv(stepper->transportStats(), csv);
     EXPECT_EQ(csv.str(),
               "worker,pid,alive,tasks_served,respawns,bytes_sent,"
-              "bytes_received\n");
+              "bytes_received,endpoint\n");
 }
 
 // ------------------------------------------------- fatal-path contracts
@@ -615,7 +615,7 @@ TEST(MultiprocFatal, PerShardQualityBodyWithProcsIsFatal)
             Rng rng(1);
             (void)search.run(rng);
         },
-        testing::ExitedWithCode(1), "requires batchedQuality");
+        testing::ExitedWithCode(1), "require batchedQuality");
 }
 
 TEST(ProcsFlag, EnvironmentDefaultAndFatalOnMalformed)
